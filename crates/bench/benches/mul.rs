@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks for the three multiplication algorithms of
+//! §IV-B (plus the naive baseline and the proof-friendly form) —
+//! statistical companion to the `fig5_mul_performance` binary.
+
+use bitwise_domain::{bitwise_mul, bitwise_mul_naive, ripple_mul};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tnum::mul::our_mul_simplified;
+use tnum::Tnum;
+
+fn random_pairs(n: usize, seed: u64) -> Vec<(Tnum, Tnum)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let m1: u64 = rng.gen();
+            let v1: u64 = rng.gen::<u64>() & !m1;
+            let m2: u64 = rng.gen();
+            let v2: u64 = rng.gen::<u64>() & !m2;
+            (Tnum::new(v1, m1).unwrap(), Tnum::new(v2, m2).unwrap())
+        })
+        .collect()
+}
+
+fn bench_muls(c: &mut Criterion) {
+    let inputs = random_pairs(1024, 42);
+    let mut group = c.benchmark_group("tnum_mul");
+    let algos: Vec<(&str, fn(Tnum, Tnum) -> Tnum)> = vec![
+        ("our_mul", |a, b| a.mul(b)),
+        ("our_mul_simplified", our_mul_simplified),
+        ("kern_mul", |a, b| a.mul_kernel_legacy(b)),
+        ("bitwise_mul", bitwise_mul),
+        ("bitwise_mul_naive", bitwise_mul_naive),
+        ("ripple_mul", ripple_mul),
+    ];
+    for (name, f) in algos {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
+            b.iter(|| {
+                let mut acc = Tnum::ZERO;
+                for &(p, q) in inputs {
+                    acc = acc.xor(f(black_box(p), black_box(q)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_sparsity(c: &mut Criterion) {
+    // our_mul exits once the multiplier is exhausted, so sparse multipliers
+    // are faster — an ablation of the early-exit strength reduction
+    // (Lemma 11).
+    let mut group = c.benchmark_group("mul_by_multiplier_population");
+    for bits in [4u32, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inputs: Vec<(Tnum, Tnum)> = (0..1024)
+            .map(|_| {
+                let keep = tnum::low_bits(bits);
+                let m1: u64 = rng.gen::<u64>() & keep;
+                let v1: u64 = rng.gen::<u64>() & !m1 & keep;
+                let m2: u64 = rng.gen();
+                let v2: u64 = rng.gen::<u64>() & !m2;
+                (Tnum::new(v1, m1).unwrap(), Tnum::new(v2, m2).unwrap())
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("our_mul", bits), &inputs, |b, inputs| {
+            b.iter(|| {
+                let mut acc = Tnum::ZERO;
+                for &(p, q) in inputs {
+                    acc = acc.xor(p.mul(q));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("our_mul_simplified", bits),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let mut acc = Tnum::ZERO;
+                    for &(p, q) in inputs {
+                        acc = acc.xor(our_mul_simplified(p, q));
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full-workspace bench run tractable on a
+    // small container; raise for publication-quality statistics.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_muls, bench_mul_sparsity
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benchmarks of the end-to-end substrate: assembling,
+//! verifying (with and without branch refinement — an ablation from
+//! DESIGN.md), and concretely executing representative programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebpf::asm::assemble;
+use ebpf::{Program, Vm};
+use verifier::{Analyzer, AnalyzerOptions};
+
+fn sample_programs() -> Vec<(&'static str, Program)> {
+    let masked_index = assemble(
+        r"
+            r2 = *(u8 *)(r1 + 0)
+            r2 &= 7
+            r3 = r10
+            r3 += -16
+            r3 += r2
+            *(u8 *)(r3 + 0) = 1
+            r0 = 0
+            exit
+        ",
+    )
+    .unwrap();
+    let branchy = assemble(
+        r"
+            r2 = *(u8 *)(r1 + 0)
+            if r2 > 31 goto out
+            r3 = r1
+            r3 += r2
+            r0 = *(u8 *)(r3 + 0)
+            r0 *= 3
+            if r0 s> 64 goto out
+            r0 += 1
+            exit
+        out:
+            r0 = 0
+            exit
+        ",
+    )
+    .unwrap();
+    let spill_heavy = assemble(
+        r"
+            r6 = 1
+            r7 = 2
+            *(u64 *)(r10 - 8) = r6
+            *(u64 *)(r10 - 16) = r7
+            *(u64 *)(r10 - 24) = r6
+            *(u64 *)(r10 - 32) = r7
+            r0 = *(u64 *)(r10 - 8)
+            r1 = *(u64 *)(r10 - 16)
+            r0 += r1
+            r1 = *(u64 *)(r10 - 24)
+            r0 += r1
+            r1 = *(u64 *)(r10 - 32)
+            r0 += r1
+            exit
+        ",
+    )
+    .unwrap();
+    vec![("masked_index", masked_index), ("branchy", branchy), ("spill_heavy", spill_heavy)]
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let programs = sample_programs();
+    let mut group = c.benchmark_group("verifier_analyze");
+    for (name, prog) in &programs {
+        group.bench_with_input(BenchmarkId::new("refined", name), prog, |b, prog| {
+            let analyzer = Analyzer::new(AnalyzerOptions::default());
+            b.iter(|| analyzer.analyze(prog).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("unrefined", name), prog, |b, prog| {
+            let analyzer = Analyzer::new(AnalyzerOptions {
+                refine_branches: false,
+                ..AnalyzerOptions::default()
+            });
+            b.iter(|| analyzer.analyze(prog).is_ok())
+        });
+    }
+    group.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let programs = sample_programs();
+    let mut group = c.benchmark_group("vm_execute");
+    for (name, prog) in &programs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), prog, |b, prog| {
+            let mut vm = Vm::new();
+            let mut ctx = [7u8; 64];
+            b.iter(|| vm.run(prog, &mut ctx).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let source = sample_programs()
+        .into_iter()
+        .map(|(_, p)| p.disassemble())
+        .collect::<Vec<_>>()
+        .join("");
+    c.bench_function("assemble_30_insns", |b| b.iter(|| assemble(&source).unwrap()));
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full-workspace bench run tractable on a
+    // small container; raise for publication-quality statistics.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_analyze, bench_vm, bench_assemble
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! `annotate` — the repo's user-facing verifier tool: assemble a program
+//! (from a file or stdin), run the static analyzer, and print either the
+//! annotated verifier log or the rejection diagnosis.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin annotate -- --file prog.s \
+//!     [--ctx-size 64] [--strict-alignment] [--no-refine]
+//! echo 'r0 = 0
+//! exit' | cargo run -p bench --release --bin annotate
+//! ```
+//!
+//! Exit status: 0 when the program is accepted, 1 when rejected, 2 on
+//! assembly errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use bench::cli::Args;
+use ebpf::asm::assemble;
+use verifier::{Analyzer, AnalyzerOptions};
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let source = match args_file(&args) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("cannot read stdin");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let prog = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let options = AnalyzerOptions {
+        ctx_size: args.get_u64("ctx-size", 64),
+        strict_alignment: args.has("strict-alignment"),
+        refine_branches: !args.has("no-refine"),
+    };
+    match Analyzer::new(options).analyze(&prog) {
+        Ok(analysis) => {
+            println!("ACCEPTED ({} instructions)\n", prog.len());
+            print!("{}", analysis.annotate(&prog));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("REJECTED: {e}\n");
+            // Show the program with the faulting instruction marked.
+            for (i, insn) in prog.insns().iter().enumerate() {
+                let marker = if i == e.pc() { " <-- here" } else { "" };
+                println!("{i:>3}: {insn}{marker}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn args_file(args: &Args) -> Option<String> {
+    // Args only exposes typed getters; reuse the u64 API convention by
+    // reading the raw value through a tiny shim.
+    args.get_str("file").map(str::to_string)
+}

@@ -1,0 +1,105 @@
+//! A tiny `--flag value` parser for the experiment binaries (keeps the
+//! workspace dependency-free beyond the approved list).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags: `--name value` pairs and bare `--switch`es.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage hint when a non-flag token is encountered.
+    #[must_use]
+    pub fn parse() -> Args {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit token list (testable entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a token does not start with `--`.
+    #[must_use]
+    pub fn from_iter<I: IntoIterator<Item = String>>(tokens: I) -> Args {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let name = tok
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument {tok:?}; flags are --name [value]"))
+                .to_string();
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    args.values.insert(name, value);
+                }
+                _ => args.switches.push(name),
+            }
+        }
+        args
+    }
+
+    /// Integer flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse as the requested type.
+    #[must_use]
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// String flag, if present.
+    #[must_use]
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Boolean switch.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::from_iter(tokens.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args(&["--pairs", "1000", "--full", "--width", "8"]);
+        assert_eq!(a.get_u64("pairs", 5), 1000);
+        assert_eq!(a.get_u64("width", 6), 8);
+        assert_eq!(a.get_u64("missing", 7), 7);
+        assert!(a.has("full"));
+        assert!(!a.has("naive"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn rejects_bad_integers() {
+        let a = args(&["--pairs", "many"]);
+        let _ = a.get_u64("pairs", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn rejects_positional() {
+        let _ = args(&["positional"]);
+    }
+}

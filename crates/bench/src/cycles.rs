@@ -1,0 +1,63 @@
+//! Cycle counting via the RDTSC time-stamp counter, matching the paper's
+//! measurement methodology (§IV-B). Falls back to a nanosecond clock on
+//! non-x86 targets.
+
+/// Reads the time-stamp counter.
+///
+/// On x86-64 this is the RDTSC instruction the paper used; elsewhere it
+/// is a monotonic nanosecond count (same comparison validity, different
+/// unit).
+#[must_use]
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: _rdtsc has no memory-safety preconditions; it reads the TSC.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::Instant;
+        use std::sync::OnceLock;
+        static START: OnceLock<Instant> = OnceLock::new();
+        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Measures the minimum cycle count of `f` across `trials` runs —
+/// the paper's "minimum number of cycles across these trials".
+#[must_use]
+pub fn min_cycles<R>(trials: u32, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..trials {
+        let start = rdtsc();
+        let out = f();
+        let end = rdtsc();
+        std::hint::black_box(out);
+        best = best.min(end.saturating_sub(start));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdtsc_is_monotonic_enough() {
+        let a = rdtsc();
+        let mut x = 1u64;
+        for i in 1..1000u64 {
+            x = x.wrapping_mul(i) ^ i;
+        }
+        std::hint::black_box(x);
+        let b = rdtsc();
+        assert!(b >= a, "TSC went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn min_cycles_returns_finite_value() {
+        let c = min_cycles(5, || std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(c < u64::MAX);
+    }
+}

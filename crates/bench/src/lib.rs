@@ -1,0 +1,8 @@
+//! Shared utilities for the experiment binaries: cycle counting (RDTSC,
+//! as in §IV-B of the paper), a minimal flag parser, and table printing.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod cycles;
+pub mod table;

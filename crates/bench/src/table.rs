@@ -1,0 +1,88 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders rows as a fixed-width text table with a header row and a
+/// separator, column widths fitted to content.
+///
+/// # Examples
+///
+/// ```
+/// use bench::table::render;
+/// let out = render(
+///     &["op", "cycles"],
+///     &[vec!["our_mul".into(), "262".into()], vec!["kern_mul".into(), "393".into()]],
+/// );
+/// assert!(out.contains("our_mul"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+#[must_use]
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with three decimals (Table I style).
+#[must_use]
+pub fn pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        "0.000%".to_string()
+    } else {
+        format!("{:.3}%", part as f64 / total as f64 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let out = render(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1, 8), "12.500%");
+        assert_eq!(pct(0, 0), "0.000%");
+        assert_eq!(pct(59041, 59049), "99.986%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let _ = render(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Three-valued (Kleene) logic over [`Trit`]s.
+//!
+//! Each connective returns the strongest trit consistent with every
+//! assignment of its unknown inputs — e.g. `and(Zero, Unknown) = Zero`
+//! because `0 & b = 0` for both values of `b`. These are the per-bit
+//! transfer functions from which the Regehr–Duongsaa ripple-carry
+//! operators are composed.
+
+use tnum::Trit;
+
+/// Kleene conjunction: `0` dominates, `1` is neutral.
+///
+/// # Examples
+///
+/// ```
+/// use bitwise_domain::kleene::and;
+/// use tnum::Trit::{One, Unknown, Zero};
+/// assert_eq!(and(Zero, Unknown), Zero);
+/// assert_eq!(and(One, Unknown), Unknown);
+/// assert_eq!(and(One, One), One);
+/// ```
+#[must_use]
+pub const fn and(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::Zero, _) | (_, Trit::Zero) => Trit::Zero,
+        (Trit::One, Trit::One) => Trit::One,
+        _ => Trit::Unknown,
+    }
+}
+
+/// Kleene disjunction: `1` dominates, `0` is neutral.
+#[must_use]
+pub const fn or(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::One, _) | (_, Trit::One) => Trit::One,
+        (Trit::Zero, Trit::Zero) => Trit::Zero,
+        _ => Trit::Unknown,
+    }
+}
+
+/// Kleene exclusive-or: unknown if either input is unknown.
+#[must_use]
+pub const fn xor(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::Unknown, _) | (_, Trit::Unknown) => Trit::Unknown,
+        _ => {
+            if matches!(a, Trit::One) != matches!(b, Trit::One) {
+                Trit::One
+            } else {
+                Trit::Zero
+            }
+        }
+    }
+}
+
+/// Kleene negation: flips known trits, keeps unknown.
+#[must_use]
+pub const fn not(a: Trit) -> Trit {
+    match a {
+        Trit::Zero => Trit::One,
+        Trit::One => Trit::Zero,
+        Trit::Unknown => Trit::Unknown,
+    }
+}
+
+/// Three-input majority — the carry-out of a full adder,
+/// `maj(p, q, c) = (p & q) | (c & (p ⊕ q))`, evaluated *set-wise* rather
+/// than by composing the Kleene connectives.
+///
+/// Set-wise evaluation matters: composing `or(and(p, q), and(c, xor(p, q)))`
+/// duplicates `p` and `q` and can lose precision; the majority of three
+/// trits is computed here directly over all consistent assignments.
+///
+/// # Examples
+///
+/// ```
+/// use bitwise_domain::kleene::majority;
+/// use tnum::Trit::{One, Unknown, Zero};
+/// // Two known ones force a carry regardless of the third input.
+/// assert_eq!(majority(One, One, Unknown), One);
+/// assert_eq!(majority(Zero, Unknown, Zero), Zero);
+/// assert_eq!(majority(One, Unknown, Zero), Unknown);
+/// ```
+#[must_use]
+pub fn majority(a: Trit, b: Trit, c: Trit) -> Trit {
+    let ones = [a, b, c].iter().filter(|t| matches!(t, Trit::One)).count();
+    let zeros = [a, b, c].iter().filter(|t| matches!(t, Trit::Zero)).count();
+    if ones >= 2 {
+        Trit::One
+    } else if zeros >= 2 {
+        Trit::Zero
+    } else {
+        Trit::Unknown
+    }
+}
+
+/// Three-input Kleene exclusive-or — the sum bit of a full adder.
+#[must_use]
+pub const fn xor3(a: Trit, b: Trit, c: Trit) -> Trit {
+    xor(xor(a, b), c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnum::Trit::{One, Unknown, Zero};
+
+    /// Checks a binary connective against its concrete truth table over all
+    /// consistent assignments of unknowns (i.e. optimality of the trit op).
+    fn exhaustive_binary(op_t: impl Fn(Trit, Trit) -> Trit, op_c: impl Fn(bool, bool) -> bool) {
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                let mut outcomes = std::collections::HashSet::new();
+                for x in [false, true] {
+                    if !a.contains_bit(x) {
+                        continue;
+                    }
+                    for y in [false, true] {
+                        if !b.contains_bit(y) {
+                            continue;
+                        }
+                        outcomes.insert(op_c(x, y));
+                    }
+                }
+                let expect = match (outcomes.contains(&false), outcomes.contains(&true)) {
+                    (true, true) => Unknown,
+                    (false, true) => One,
+                    (true, false) => Zero,
+                    (false, false) => unreachable!("non-empty trits"),
+                };
+                assert_eq!(op_t(a, b), expect, "{a:?}, {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_optimal() {
+        exhaustive_binary(and, |x, y| x && y);
+    }
+
+    #[test]
+    fn or_optimal() {
+        exhaustive_binary(or, |x, y| x || y);
+    }
+
+    #[test]
+    fn xor_optimal() {
+        exhaustive_binary(xor, |x, y| x != y);
+    }
+
+    #[test]
+    fn not_flips() {
+        assert_eq!(not(Zero), One);
+        assert_eq!(not(One), Zero);
+        assert_eq!(not(Unknown), Unknown);
+    }
+
+    #[test]
+    fn majority_optimal() {
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                for c in Trit::ALL {
+                    let mut outcomes = std::collections::HashSet::new();
+                    for x in [false, true] {
+                        for y in [false, true] {
+                            for z in [false, true] {
+                                if a.contains_bit(x) && b.contains_bit(y) && c.contains_bit(z) {
+                                    let n = x as u8 + y as u8 + z as u8;
+                                    outcomes.insert(n >= 2);
+                                }
+                            }
+                        }
+                    }
+                    let expect = match (outcomes.contains(&false), outcomes.contains(&true)) {
+                        (true, true) => Unknown,
+                        (false, true) => One,
+                        (true, false) => Zero,
+                        (false, false) => unreachable!(),
+                    };
+                    assert_eq!(majority(a, b, c), expect, "{a:?} {b:?} {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_beats_composition() {
+        // The composed form or(and(p,q), and(c, xor(p,q))) duplicates p and
+        // q; find at least one input where set-wise majority is strictly
+        // more precise.
+        let mut strictly_better = false;
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                for c in Trit::ALL {
+                    let composed = or(and(a, b), and(c, xor(a, b)));
+                    let direct = majority(a, b, c);
+                    // Direct must never be coarser.
+                    if direct != composed {
+                        assert!(
+                            composed.is_unknown(),
+                            "composition may only lose precision"
+                        );
+                        strictly_better = true;
+                    }
+                }
+            }
+        }
+        assert!(strictly_better, "expected majority to beat composition somewhere");
+    }
+}

@@ -1,0 +1,345 @@
+//! The LLVM-style *known bits* domain (§V of the paper: "of particular
+//! relevance to our work is the known-bits domain from LLVM").
+//!
+//! LLVM represents the same abstract values as tnums with two masks —
+//! `zeros` (bits known to be 0) and `ones` (bits known to be 1) — instead
+//! of the kernel's `value`/`mask` pair. The two encodings are isomorphic;
+//! [`KnownBits::from_tnum`]/[`KnownBits::to_tnum`] witness the bijection,
+//! and this module implements the classic LLVM transfer functions so they
+//! can be differentially tested against the kernel operators (the tests
+//! check exact agreement, supporting the paper's remark that its
+//! verification work transfers to LLVM's known-bits analysis).
+
+use tnum::Tnum;
+
+/// An abstract 64-bit value in LLVM's encoding: disjoint masks of bits
+/// known zero and known one.
+///
+/// Invariant: `zeros & ones == 0` (a conflicted value has no
+/// representation here, exactly as ⊥ has none as a [`Tnum`]).
+///
+/// # Examples
+///
+/// ```
+/// use bitwise_domain::knownbits::KnownBits;
+/// use tnum::Tnum;
+///
+/// let t: Tnum = "1x0".parse()?;
+/// let kb = KnownBits::from_tnum(t);
+/// assert_eq!(kb.ones(), 0b100);
+/// assert!(kb.zeros() & 0b001 != 0);
+/// assert_eq!(kb.to_tnum(), t);
+/// # Ok::<(), tnum::ParseTnumError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct KnownBits {
+    zeros: u64,
+    ones: u64,
+}
+
+impl KnownBits {
+    /// The completely unknown value (LLVM's default-constructed state).
+    pub const UNKNOWN: KnownBits = KnownBits { zeros: 0, ones: 0 };
+
+    /// Creates from explicit masks.
+    ///
+    /// Returns `None` when a bit is claimed both zero and one (LLVM's
+    /// `hasConflict()`).
+    #[must_use]
+    pub const fn new(zeros: u64, ones: u64) -> Option<KnownBits> {
+        if zeros & ones != 0 {
+            None
+        } else {
+            Some(KnownBits { zeros, ones })
+        }
+    }
+
+    /// The exact abstraction of a constant (`KnownBits::makeConstant`).
+    #[must_use]
+    pub const fn constant(v: u64) -> KnownBits {
+        KnownBits { zeros: !v, ones: v }
+    }
+
+    /// Bits known to be zero (`Known.Zero`).
+    #[must_use]
+    pub const fn zeros(self) -> u64 {
+        self.zeros
+    }
+
+    /// Bits known to be one (`Known.One`).
+    #[must_use]
+    pub const fn ones(self) -> u64 {
+        self.ones
+    }
+
+    /// Converts from the kernel encoding: `zeros = !(value | mask)`,
+    /// `ones = value`.
+    #[must_use]
+    pub const fn from_tnum(t: Tnum) -> KnownBits {
+        KnownBits { zeros: !(t.value() | t.mask()), ones: t.value() }
+    }
+
+    /// Converts to the kernel encoding: `value = ones`,
+    /// `mask = !(zeros | ones)`.
+    #[must_use]
+    pub const fn to_tnum(self) -> Tnum {
+        Tnum::masked(self.ones, !(self.zeros | self.ones))
+    }
+
+    /// Whether every bit is known (`isConstant()`), and the value.
+    #[must_use]
+    pub const fn as_constant(self) -> Option<u64> {
+        if self.zeros | self.ones == u64::MAX {
+            Some(self.ones)
+        } else {
+            None
+        }
+    }
+
+    /// Membership of a concrete value.
+    #[must_use]
+    pub const fn contains(self, x: u64) -> bool {
+        x & self.zeros == 0 && !x & self.ones == 0
+    }
+
+    /// LLVM `KnownBits::operator&`: known-one iff both one; known-zero if
+    /// either zero.
+    #[must_use]
+    pub const fn and(self, rhs: KnownBits) -> KnownBits {
+        KnownBits { zeros: self.zeros | rhs.zeros, ones: self.ones & rhs.ones }
+    }
+
+    /// LLVM `KnownBits::operator|`.
+    #[must_use]
+    pub const fn or(self, rhs: KnownBits) -> KnownBits {
+        KnownBits { zeros: self.zeros & rhs.zeros, ones: self.ones | rhs.ones }
+    }
+
+    /// LLVM `KnownBits::operator^`: known where both sides are known.
+    #[must_use]
+    pub const fn xor(self, rhs: KnownBits) -> KnownBits {
+        let known = (self.zeros | self.ones) & (rhs.zeros | rhs.ones);
+        let value = self.ones ^ rhs.ones;
+        KnownBits { zeros: known & !value, ones: known & value }
+    }
+
+    /// Bitwise complement: swap the masks.
+    #[must_use]
+    pub const fn not(self) -> KnownBits {
+        KnownBits { zeros: self.ones, ones: self.zeros }
+    }
+
+    /// LLVM `KnownBits::computeForAddSub(/*Add=*/true, …)` — the
+    /// carry-propagation formulation (`llvm/lib/Support/KnownBits.cpp`):
+    /// compute the known carries from the known-one sum and the
+    /// possible-one sum, then keep the bits where both agree.
+    #[must_use]
+    pub fn add(self, rhs: KnownBits) -> KnownBits {
+        // Sum of minimal members (all unknown bits 0) and of maximal
+        // members (all unknown bits 1).
+        let min_sum = self.ones.wrapping_add(rhs.ones);
+        let max_sum = (!self.zeros).wrapping_add(!rhs.zeros);
+        // A result bit is known iff both operand bits are known and the
+        // carry into that position is the same in the extreme sums.
+        let known_ops = (self.zeros | self.ones) & (rhs.zeros | rhs.ones);
+        let carry_agree = !(min_sum ^ max_sum);
+        let known = known_ops & carry_agree;
+        KnownBits { zeros: known & !min_sum, ones: known & min_sum }
+    }
+
+    /// Subtraction via `a + (~b) + 1`, LLVM's `computeForAddSub(false, …)`.
+    #[must_use]
+    pub fn sub(self, rhs: KnownBits) -> KnownBits {
+        // a - b = a + ~b + 1; fold the +1 into the minimal/maximal sums.
+        let nb = rhs.not();
+        let min_sum = self.ones.wrapping_add(nb.ones).wrapping_add(1);
+        let max_sum = (!self.zeros).wrapping_add(!nb.zeros).wrapping_add(1);
+        let known_ops = (self.zeros | self.ones) & (nb.zeros | nb.ones);
+        let carry_agree = !(min_sum ^ max_sum);
+        let known = known_ops & carry_agree;
+        KnownBits { zeros: known & !min_sum, ones: known & min_sum }
+    }
+
+    /// Left shift by a constant (`KnownBits::shl` with a known amount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 64`.
+    #[must_use]
+    pub const fn shl(self, k: u32) -> KnownBits {
+        assert!(k < 64);
+        // Low bits become known zero.
+        KnownBits { zeros: (self.zeros << k) | ((1u64 << k) - 1), ones: self.ones << k }
+    }
+
+    /// Logical right shift by a constant (`KnownBits::lshr`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 64`.
+    #[must_use]
+    pub const fn lshr(self, k: u32) -> KnownBits {
+        assert!(k < 64);
+        let high = if k == 0 { 0 } else { !(u64::MAX >> k) };
+        KnownBits { zeros: (self.zeros >> k) | high, ones: self.ones >> k }
+    }
+
+    /// Arithmetic right shift by a constant (`KnownBits::ashr`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 64`.
+    #[must_use]
+    pub const fn ashr(self, k: u32) -> KnownBits {
+        assert!(k < 64);
+        KnownBits {
+            zeros: ((self.zeros as i64) >> k) as u64,
+            ones: ((self.ones as i64) >> k) as u64,
+        }
+    }
+
+    /// LLVM `KnownBits::intersectWith`: information valid on *either*
+    /// path (the join — keeps only agreed-upon bits).
+    #[must_use]
+    pub const fn intersect_with(self, rhs: KnownBits) -> KnownBits {
+        KnownBits { zeros: self.zeros & rhs.zeros, ones: self.ones & rhs.ones }
+    }
+
+    /// LLVM `KnownBits::unionWith`: combine information known on *both*
+    /// (the meet; may conflict, hence `Option`).
+    #[must_use]
+    pub const fn union_with(self, rhs: KnownBits) -> Option<KnownBits> {
+        KnownBits::new(self.zeros | rhs.zeros, self.ones | rhs.ones)
+    }
+}
+
+impl From<Tnum> for KnownBits {
+    fn from(t: Tnum) -> KnownBits {
+        KnownBits::from_tnum(t)
+    }
+}
+
+impl From<KnownBits> for Tnum {
+    fn from(kb: KnownBits) -> Tnum {
+        kb.to_tnum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnum::enumerate::tnums;
+
+    #[test]
+    fn encoding_bijection_exhaustive_w6() {
+        for t in tnums(6) {
+            // Pad the unknown region above width 6 as known-zero, which is
+            // what from_tnum of a width-6 tnum produces.
+            let kb = KnownBits::from_tnum(t);
+            assert_eq!(kb.zeros() & kb.ones(), 0, "no conflicts");
+            assert_eq!(kb.to_tnum(), t, "round trip");
+            for x in t.concretize() {
+                assert!(kb.contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_rejected() {
+        assert_eq!(KnownBits::new(0b1, 0b1), None);
+        assert!(KnownBits::new(0b10, 0b01).is_some());
+    }
+
+    #[test]
+    fn constants() {
+        let kb = KnownBits::constant(42);
+        assert_eq!(kb.as_constant(), Some(42));
+        assert_eq!(KnownBits::UNKNOWN.as_constant(), None);
+        assert_eq!(kb.to_tnum(), Tnum::constant(42));
+    }
+
+    /// The LLVM ops must agree exactly with the kernel tnum ops through
+    /// the encoding bijection.
+    #[test]
+    fn ops_agree_with_tnum_exhaustive_w5() {
+        for a in tnums(5) {
+            for b in tnums(5) {
+                let (ka, kb) = (KnownBits::from_tnum(a), KnownBits::from_tnum(b));
+                assert_eq!(ka.and(kb).to_tnum(), a.and(b), "and {a} {b}");
+                assert_eq!(ka.or(kb).to_tnum(), a.or(b), "or {a} {b}");
+                assert_eq!(ka.xor(kb).to_tnum(), a.xor(b), "xor {a} {b}");
+                assert_eq!(
+                    ka.add(kb).to_tnum(),
+                    a.add(b),
+                    "computeForAddSub(add) vs tnum_add on {a}, {b}"
+                );
+                assert_eq!(
+                    ka.sub(kb).to_tnum(),
+                    a.sub(b),
+                    "computeForAddSub(sub) vs tnum_sub on {a}, {b}"
+                );
+                assert_eq!(
+                    ka.intersect_with(kb).to_tnum(),
+                    a.union(b),
+                    "intersectWith is the lattice join"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_agree_with_tnum() {
+        for t in tnums(6) {
+            let kb = KnownBits::from_tnum(t);
+            for k in 0..8u32 {
+                assert_eq!(kb.shl(k).to_tnum(), t.lshift(k), "shl {t} by {k}");
+                assert_eq!(kb.lshr(k).to_tnum(), t.rshift(k), "lshr {t} by {k}");
+            }
+        }
+        // ashr needs a full-width example: sign bit known one.
+        let neg = KnownBits::constant(u64::MAX << 60);
+        assert_eq!(neg.ashr(4).to_tnum(), Tnum::constant(((u64::MAX << 60) as i64 >> 4) as u64));
+        // Unknown sign bit replicates unknowns.
+        let t = Tnum::masked(0, 1 << 63);
+        assert_eq!(KnownBits::from_tnum(t).ashr(1).to_tnum(), t.arshift(1));
+    }
+
+    #[test]
+    fn add_sound_on_64bit_samples() {
+        let cases = [
+            (KnownBits::constant(u64::MAX), KnownBits::UNKNOWN),
+            (KnownBits::from_tnum(Tnum::masked(0xff00, 0x00ff)), KnownBits::constant(1)),
+        ];
+        for (a, b) in cases {
+            let r = a.add(b);
+            // Sample members.
+            for xa in [a.ones(), !a.zeros()] {
+                for xb in [b.ones(), !b.zeros()] {
+                    assert!(r.contains(xa.wrapping_add(xb)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_with_is_meet() {
+        let a = KnownBits::from_tnum("1x".parse().unwrap());
+        let b = KnownBits::from_tnum("x1".parse().unwrap());
+        let m = a.union_with(b).unwrap();
+        assert_eq!(m.to_tnum(), Tnum::constant(0b11));
+        // Conflicting knowledge: None, matching tnum intersect's ⊥.
+        let c = KnownBits::constant(0);
+        let d = KnownBits::constant(1);
+        assert_eq!(c.union_with(d), None);
+        assert_eq!(Tnum::constant(0).intersect(Tnum::constant(1)), None);
+    }
+
+    #[test]
+    fn not_involution() {
+        for t in tnums(5) {
+            let kb = KnownBits::from_tnum(t);
+            assert_eq!(kb.not().not(), kb);
+            assert_eq!(kb.not().to_tnum(), t.not().truncate(64), "{t}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # bitwise-domain — the Regehr–Duongsaa baseline
+//!
+//! Regehr and Duongsaa ("Deriving abstract transfer functions for analyzing
+//! embedded software", LCTES 2006) defined the *bitwise domain*: the same
+//! value/mask representation as tnums, with arithmetic transfer functions
+//! built from **trit-level ripple-carry logic** and **composition of
+//! abstract operators**. The tnum paper uses their operators as the prior
+//! state of the art:
+//!
+//! * their addition/subtraction run in O(n) for n-bit values (versus the
+//!   kernel's O(1) `tnum_add`/`tnum_sub`);
+//! * their multiplication `bitwise_mul` (Listing 5 of the paper) runs in
+//!   O(n²) naively; the paper contributes a machine-arithmetic optimization
+//!   that brings it from ~4921 to ~387 cycles (§IV-B).
+//!
+//! This crate implements all of those baselines over the [`Tnum`]
+//! representation so they can be compared head-to-head with the kernel
+//! operators (see the `tnum-verify` and `bench` crates):
+//!
+//! * [`ripple_add`] / [`ripple_sub`] — O(n) trit-level ripple carry/borrow;
+//! * [`bitwise_mul`] — Listing 5 with the paper's machine-arithmetic
+//!   optimization of the "kill" step;
+//! * [`bitwise_mul_naive`] — Listing 5 verbatim, killing trits one at a
+//!   time (the slow version the paper measured at ~4921 cycles);
+//! * [`ripple_mul`] — fully composed variant using [`ripple_add`] for the
+//!   partial-product summation, the closest rendering of the original
+//!   Regehr–Duongsaa construction;
+//! * [`kleene`] — the three-valued (Kleene) logic on [`Trit`]s underlying
+//!   the ripple operators;
+//! * [`knownbits`] — the LLVM *known bits* encoding of the same domain
+//!   (§V of the paper), with transfer functions differentially tested for
+//!   exact agreement with the kernel tnum operators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kleene;
+pub mod knownbits;
+mod mul;
+mod ripple;
+
+pub use mul::{bitwise_mul, bitwise_mul_naive, ripple_mul};
+pub use ripple::{ripple_add, ripple_sub};
+
+pub use tnum::{Tnum, Trit};

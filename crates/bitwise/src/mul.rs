@@ -1,0 +1,177 @@
+//! The Regehr–Duongsaa abstract multiplication (`bitwise_mul`, Listing 5 of
+//! the paper) in three renderings: the paper's machine-arithmetic-optimized
+//! form, the verbatim naive form, and a fully ripple-composed form.
+
+use crate::ripple::ripple_add;
+use tnum::{Tnum, Trit};
+
+/// `bitwise_mul` with the paper's machine-arithmetic optimization (§IV):
+/// when trit `i` of `P` is unknown, the "kill all certain-1 trits of `Q`"
+/// inner loop of Listing 5 is replaced by the single tnum construction
+/// `(0, Q.value | Q.mask)`.
+///
+/// Long multiplication: for each trit of `P`, form a partial product
+/// (`0`, `Q`, or killed-`Q`), left-shift it into place, and accumulate with
+/// `tnum_add`. 64 abstract additions of *mixed* tnums — this is the
+/// precision and speed baseline `our_mul` beats (§IV-A/B).
+///
+/// # Examples
+///
+/// ```
+/// use bitwise_domain::bitwise_mul;
+/// use tnum::Tnum;
+/// let p: Tnum = "x01".parse()?;
+/// let q: Tnum = "x10".parse()?;
+/// let r = bitwise_mul(p, q);
+/// // Sound: all four concrete products are contained.
+/// for x in p.concretize() {
+///     for y in q.concretize() {
+///         assert!(r.contains(x * y));
+///     }
+/// }
+/// # Ok::<(), tnum::ParseTnumError>(())
+/// ```
+#[must_use]
+pub fn bitwise_mul(p: Tnum, q: Tnum) -> Tnum {
+    long_mul(p, q, Tnum::add, kill_fast)
+}
+
+/// Listing 5 verbatim: the kill step iterates over the trits of `Q` and
+/// sets each certain-1 trit to unknown, one at a time.
+///
+/// Semantically identical to [`bitwise_mul`]; kept as the performance
+/// baseline the paper measured at ~4921 cycles before optimizing (§IV-B).
+#[must_use]
+pub fn bitwise_mul_naive(p: Tnum, q: Tnum) -> Tnum {
+    long_mul(p, q, Tnum::add, kill_naive)
+}
+
+/// The fully composed Regehr–Duongsaa multiplication: identical partial
+/// products, but the accumulation uses the O(n) [`ripple_add`] instead of
+/// the kernel's O(1) `tnum_add`, giving the original O(n²) construction.
+///
+/// Produces the same tnums as [`bitwise_mul`] (ripple addition is optimal,
+/// matching `tnum_add`); only the cost differs.
+#[must_use]
+pub fn ripple_mul(p: Tnum, q: Tnum) -> Tnum {
+    long_mul(p, q, ripple_add, kill_fast)
+}
+
+fn long_mul(
+    p: Tnum,
+    q: Tnum,
+    add: impl Fn(Tnum, Tnum) -> Tnum,
+    kill: impl Fn(Tnum) -> Tnum,
+) -> Tnum {
+    let mut sum = Tnum::ZERO;
+    for i in 0..tnum::BITS {
+        let product = match p.trit(i) {
+            // Bit position i of tnum P is a certain 0.
+            Trit::Zero => Tnum::ZERO,
+            // Bit position i of tnum P is a certain 1.
+            Trit::One => q,
+            // Bit position i of tnum P is uncertain.
+            Trit::Unknown => kill(q),
+        };
+        if product != Tnum::ZERO {
+            sum = add(sum, product.lshift(i));
+        }
+    }
+    sum
+}
+
+/// Kill via machine arithmetic: every possibly-set bit becomes unknown.
+fn kill_fast(q: Tnum) -> Tnum {
+    Tnum::masked(0, q.value() | q.mask())
+}
+
+/// Kill trit-by-trit, exactly as written in Listing 5.
+fn kill_naive(mut q: Tnum) -> Tnum {
+    for j in 0..tnum::BITS {
+        if q.trit(j) == Trit::One {
+            q = q.with_trit(j, Trit::Unknown);
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnum::enumerate::tnums;
+
+    #[test]
+    fn all_variants_agree_exhaustive_w4() {
+        for a in tnums(4) {
+            for b in tnums(4) {
+                let fast = bitwise_mul(a, b);
+                assert_eq!(fast, bitwise_mul_naive(a, b), "{a} * {b}");
+                assert_eq!(fast, ripple_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_mul_sound_exhaustive_w4() {
+        for a in tnums(4) {
+            for b in tnums(4) {
+                let r = bitwise_mul(a, b).truncate(4);
+                for x in a.concretize() {
+                    for y in b.concretize() {
+                        assert!(
+                            r.contains(x.wrapping_mul(y) & 0xf),
+                            "{a}*{b} missing {x}*{y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kill_makes_every_possible_bit_unknown() {
+        let q: Tnum = "1x0".parse().unwrap();
+        let killed = kill_fast(q);
+        assert_eq!(killed.to_bin_string(3), "xx0");
+        assert_eq!(kill_naive(q), killed);
+        // The killed tnum contains zero and everything q contained (Lemma 8).
+        assert!(killed.contains(0));
+        for x in q.concretize() {
+            assert!(killed.contains(x));
+        }
+    }
+
+    #[test]
+    fn constants_multiply_exactly() {
+        assert_eq!(
+            bitwise_mul(Tnum::constant(6), Tnum::constant(7)),
+            Tnum::constant(42)
+        );
+        assert_eq!(bitwise_mul(Tnum::UNKNOWN, Tnum::ZERO), Tnum::ZERO);
+        assert_eq!(bitwise_mul(Tnum::ZERO, Tnum::UNKNOWN), Tnum::ZERO);
+    }
+
+    #[test]
+    fn our_mul_never_loses_to_bitwise_mul_when_comparable_w5() {
+        // §IV-A: our_mul is more precise than bitwise_mul in the vast
+        // majority of differing cases. At small widths, verify the weaker
+        // invariant used by Fig. 4: count wins per algorithm.
+        let mut ours = 0u32;
+        let mut theirs = 0u32;
+        for a in tnums(5) {
+            for b in tnums(5) {
+                let bw = bitwise_mul(a, b).truncate(5);
+                let om = a.mul(b).truncate(5);
+                if bw == om {
+                    continue;
+                }
+                if om.is_strict_subset_of(bw) {
+                    ours += 1;
+                } else if bw.is_strict_subset_of(om) {
+                    theirs += 1;
+                }
+            }
+        }
+        assert!(ours > theirs, "our_mul wins {ours}, bitwise_mul wins {theirs}");
+    }
+}

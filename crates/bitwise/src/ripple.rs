@@ -1,0 +1,170 @@
+//! O(n) ripple-carry addition and ripple-borrow subtraction over trits —
+//! the Regehr–Duongsaa construction.
+//!
+//! Each output trit is computed from the operand trits and an abstract
+//! carry (borrow) trit via the full-adder (full-subtractor) equations of
+//! Definition 1 / Definition 23 of the paper, evaluated in three-valued
+//! logic. The carry chain makes these O(n) per operation, versus the O(1)
+//! `tnum_add`/`tnum_sub` — the efficiency gap the paper highlights.
+
+use crate::kleene;
+use tnum::{Tnum, Trit};
+
+/// Ripple-carry abstract addition: O(64) trit-level full adders.
+///
+/// Sound, and — because the per-trit carry is computed set-wise via
+/// [`kleene::majority`] — it coincides with the optimal `tnum_add` on all
+/// inputs (checked exhaustively in this crate's tests); the difference is
+/// purely asymptotic cost.
+///
+/// # Examples
+///
+/// ```
+/// use bitwise_domain::ripple_add;
+/// use tnum::Tnum;
+/// let p: Tnum = "10x0".parse()?;
+/// let q: Tnum = "10x1".parse()?;
+/// assert_eq!(ripple_add(p, q), p.add(q));
+/// # Ok::<(), tnum::ParseTnumError>(())
+/// ```
+#[must_use]
+pub fn ripple_add(a: Tnum, b: Tnum) -> Tnum {
+    let mut out = Tnum::ZERO;
+    let mut carry = Trit::Zero;
+    for i in 0..tnum::BITS {
+        let (p, q) = (a.trit(i), b.trit(i));
+        out = out.with_trit(i, kleene::xor3(p, q, carry));
+        carry = kleene::majority(p, q, carry);
+    }
+    out
+}
+
+/// Ripple-borrow abstract subtraction: O(64) trit-level full subtractors.
+///
+/// The borrow-out is `(!p & q) | (bin & !(p ⊕ q))` (Definition 23),
+/// evaluated set-wise over the three input trits.
+///
+/// # Examples
+///
+/// ```
+/// use bitwise_domain::ripple_sub;
+/// use tnum::Tnum;
+/// let p: Tnum = "1x0".parse()?;
+/// let q: Tnum = "010".parse()?;
+/// assert_eq!(ripple_sub(p, q), p.sub(q));
+/// # Ok::<(), tnum::ParseTnumError>(())
+/// ```
+#[must_use]
+pub fn ripple_sub(a: Tnum, b: Tnum) -> Tnum {
+    let mut out = Tnum::ZERO;
+    let mut borrow = Trit::Zero;
+    for i in 0..tnum::BITS {
+        let (p, q) = (a.trit(i), b.trit(i));
+        out = out.with_trit(i, kleene::xor3(p, q, borrow));
+        borrow = borrow_out(p, q, borrow);
+    }
+    out
+}
+
+/// Set-wise borrow-out of a full subtractor: over all consistent concrete
+/// assignments of `(p, q, bin)`, does `p - q - bin` underflow?
+fn borrow_out(p: Trit, q: Trit, bin: Trit) -> Trit {
+    let mut can_borrow = false;
+    let mut can_not_borrow = false;
+    for x in [false, true] {
+        if !p.contains_bit(x) {
+            continue;
+        }
+        for y in [false, true] {
+            if !q.contains_bit(y) {
+                continue;
+            }
+            for z in [false, true] {
+                if !bin.contains_bit(z) {
+                    continue;
+                }
+                // p - q - bin underflows iff p < q + bin.
+                if (x as i8) - (y as i8) - (z as i8) < 0 {
+                    can_borrow = true;
+                } else {
+                    can_not_borrow = true;
+                }
+            }
+        }
+    }
+    match (can_borrow, can_not_borrow) {
+        (true, true) => Trit::Unknown,
+        (true, false) => Trit::One,
+        (false, true) => Trit::Zero,
+        (false, false) => unreachable!("trits are non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnum::enumerate::tnums;
+
+    #[test]
+    fn ripple_add_equals_tnum_add_exhaustive_w5() {
+        // With set-wise carries the ripple adder is optimal, hence equal to
+        // tnum_add (which Theorem 6 proves optimal). The paper's complaint
+        // about Regehr–Duongsaa addition is its O(n) cost, which this
+        // construction retains.
+        for a in tnums(5) {
+            for b in tnums(5) {
+                assert_eq!(ripple_add(a, b), a.add(b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_sub_equals_tnum_sub_exhaustive_w5() {
+        for a in tnums(5) {
+            for b in tnums(5) {
+                assert_eq!(ripple_sub(a, b), a.sub(b), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_add_sound_w4() {
+        for a in tnums(4) {
+            for b in tnums(4) {
+                let r = ripple_add(a, b);
+                for x in a.concretize() {
+                    for y in b.concretize() {
+                        assert!(r.contains(x.wrapping_add(y)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carries_ripple_through_unknowns() {
+        // p = x1 concretizes to {1, 3}; adding the constant 1 gives {2, 4},
+        // whose exact abstraction is xx0: the unknown bit 1 of p feeds an
+        // unknown carry into bit 2.
+        let p: Tnum = "x1".parse().unwrap();
+        let q: Tnum = "01".parse().unwrap();
+        assert_eq!(ripple_add(p, q).to_bin_string(3), "xx0");
+    }
+
+    #[test]
+    fn constants_fold_exactly() {
+        assert_eq!(
+            ripple_add(Tnum::constant(3), Tnum::constant(4)),
+            Tnum::constant(7)
+        );
+        assert_eq!(
+            ripple_sub(Tnum::constant(4), Tnum::constant(7)),
+            Tnum::constant(4u64.wrapping_sub(7))
+        );
+        // Wrap-around at the top bit.
+        assert_eq!(
+            ripple_add(Tnum::constant(u64::MAX), Tnum::constant(1)),
+            Tnum::constant(0)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Abstract addition — the kernel's `tnum_add` (Listing 1 of the paper).
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// Abstract addition: a sound **and optimal** abstraction of wrapping
+    /// 64-bit addition, in O(1) machine operations (Theorem 6 of the paper).
+    ///
+    /// The algorithm (Listing 1) never ripples carries bit by bit. Instead
+    /// it computes two *extreme* concrete additions — `sv = P.v + Q.v`
+    /// (fewest carries, Lemma 2) and `Σ = (P.v + P.m) + (Q.v + Q.m)` (most
+    /// carries, Lemma 3) — and marks unknown exactly the bits where an
+    /// operand is unknown or the carry-in provably varies across concrete
+    /// additions (`χ = Σ ⊕ sv`, Lemmas 4–5).
+    ///
+    /// # Examples
+    ///
+    /// The Fig. 2 example: `10x0 + 10x1 = 10xx1`.
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let p: Tnum = "10x0".parse()?;
+    /// let q: Tnum = "10x1".parse()?;
+    /// assert_eq!(p.add(q).to_bin_string(5), "10xx1");
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    ///
+    /// The uncertainty amplification example from §I: adding `b ∈ {0, 1}` to
+    /// the constant all-ones makes *every* bit unknown:
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let a = Tnum::constant(u64::MAX);
+    /// let b: Tnum = "x".parse()?;
+    /// assert!(a.add(b).is_unknown());
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn add(self, other: Tnum) -> Tnum {
+        let sm = self.mask().wrapping_add(other.mask());
+        let sv = self.value().wrapping_add(other.value());
+        let sigma = sm.wrapping_add(sv);
+        let chi = sigma ^ sv;
+        let mu = chi | self.mask() | other.mask();
+        Tnum::masked(sv, mu)
+    }
+}
+
+/// Operator form of [`Tnum::add`].
+///
+/// Abstract operators soundly over-approximate their concrete counterparts,
+/// so `p + q` reads as "the abstraction of all sums `x + y`".
+impl core::ops::Add for Tnum {
+    type Output = Tnum;
+    fn add(self, rhs: Tnum) -> Tnum {
+        Tnum::add(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    /// Optimal abstract addition at small width, by brute force:
+    /// α({x + y mod 2^w}).
+    fn best_add(a: Tnum, b: Tnum, width: u32) -> Tnum {
+        let m = crate::low_bits(width);
+        Tnum::abstract_of(
+            a.concretize()
+                .flat_map(|x| b.concretize().map(move |y| x.wrapping_add(y) & m)),
+        )
+        .expect("non-empty")
+    }
+
+    #[test]
+    fn fig2_worked_example() {
+        let p: Tnum = "10x0".parse().unwrap();
+        let q: Tnum = "10x1".parse().unwrap();
+        let r = p.add(q);
+        assert_eq!((r.value(), r.mask()), (0b10001, 0b00110));
+        // γ(R) = {17, 19, 21, 23}.
+        assert_eq!(r.concretize().collect::<Vec<_>>(), vec![17, 19, 21, 23]);
+    }
+
+    #[test]
+    fn add_is_sound_and_optimal_exhaustive_w5() {
+        // Theorem 6 checked by enumeration at width 5 (truncation is exact
+        // for addition: carries only propagate upward).
+        for a in tnums(5) {
+            for b in tnums(5) {
+                let got = a.add(b).truncate(5);
+                let best = best_add(a, b, 5);
+                assert_eq!(got, best, "tnum_add not optimal for {a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        for a in tnums(4) {
+            assert_eq!(a.add(Tnum::ZERO), a);
+            assert_eq!(Tnum::ZERO.add(a), a);
+        }
+    }
+
+    #[test]
+    fn add_constants_is_concrete() {
+        assert_eq!(
+            Tnum::constant(3).add(Tnum::constant(4)),
+            Tnum::constant(7)
+        );
+        // Wrapping semantics.
+        assert_eq!(
+            Tnum::constant(u64::MAX).add(Tnum::constant(1)),
+            Tnum::constant(0)
+        );
+    }
+
+    #[test]
+    fn add_is_commutative() {
+        // Addition *is* commutative (unlike tnum multiplication).
+        for a in tnums(4) {
+            for b in tnums(4) {
+                assert_eq!(a.add(b), b.add(a));
+            }
+        }
+    }
+
+    #[test]
+    fn add_is_not_associative_witness() {
+        // §III-A observation (1): tnum addition is not associative.
+        // Exhaustively find at least one witness at width 3.
+        let all: Vec<Tnum> = tnums(3).collect();
+        let mut found = false;
+        'outer: for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    if a.add(b).add(c) != a.add(b.add(c)) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "expected a non-associativity witness at width 3");
+    }
+
+    #[test]
+    fn uncertainty_amplification() {
+        // One uncertain operand bit can make all result bits unknown (§I).
+        let ones = Tnum::constant(u64::MAX);
+        let bit: Tnum = "x".parse().unwrap();
+        assert!(ones.add(bit).is_unknown());
+    }
+
+    #[test]
+    fn operator_matches_method() {
+        let a: Tnum = "1x0".parse().unwrap();
+        let b: Tnum = "01x".parse().unwrap();
+        assert_eq!(a + b, a.add(b));
+    }
+
+    #[test]
+    fn add_monotone_in_both_arguments() {
+        // Sound abstract operators are monotone w.r.t. ⊑A; spot-check
+        // exhaustively at width 3.
+        let all: Vec<Tnum> = tnums(3).collect();
+        for &a in &all {
+            for &a2 in &all {
+                if !a.is_subset_of(a2) {
+                    continue;
+                }
+                for &b in &all {
+                    assert!(
+                        a.add(b).is_subset_of(a2.add(b)),
+                        "monotonicity violated: {a} ⊑ {a2} but sums unordered"
+                    );
+                }
+            }
+        }
+    }
+}

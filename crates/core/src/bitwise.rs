@@ -1,0 +1,235 @@
+//! Bitwise abstract operators: `and`, `or`, `xor`.
+//!
+//! These are the kernel's `tnum_and` / `tnum_or` / `tnum_xor`; prior work
+//! (Miné 2012) showed the same formulas to be sound and optimal. Because
+//! each output bit depends only on the corresponding input bits, no
+//! uncertainty propagates across positions.
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// Abstract bitwise AND (sound and optimal).
+    ///
+    /// A result bit is known `0` if either operand's bit is known `0`; known
+    /// `1` if both are known `1`; otherwise unknown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let a: Tnum = "1x1".parse()?;
+    /// let b: Tnum = "11x".parse()?;
+    /// assert_eq!(a.and(b).to_bin_string(3), "1xx");
+    /// // Masking with a constant pins high bits to zero — the classic
+    /// // verifier idiom for bounding an index.
+    /// let any = Tnum::UNKNOWN;
+    /// assert_eq!(any.and(Tnum::constant(0b111)).max_value(), 7);
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn and(self, other: Tnum) -> Tnum {
+        let alpha = self.value() | self.mask();
+        let beta = other.value() | other.mask();
+        let v = self.value() & other.value();
+        Tnum::masked(v, alpha & beta & !v)
+    }
+
+    /// Abstract bitwise OR (sound and optimal).
+    ///
+    /// A result bit is known `1` if either operand's bit is known `1`; known
+    /// `0` if both are known `0`; otherwise unknown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let a: Tnum = "0x0".parse()?;
+    /// let b: Tnum = "10x".parse()?;
+    /// assert_eq!(a.or(b).to_bin_string(3), "1xx");
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn or(self, other: Tnum) -> Tnum {
+        let v = self.value() | other.value();
+        let mu = self.mask() | other.mask();
+        // A bit known 1 in either operand stays known 1 (1 | x = 1), so the
+        // kernel removes v bits from the result mask rather than vice versa.
+        Tnum::masked(v, mu & !v)
+    }
+
+    /// Abstract bitwise XOR (sound and optimal).
+    ///
+    /// A result bit is known iff both operand bits are known.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let a: Tnum = "11x".parse()?;
+    /// let b: Tnum = "101".parse()?;
+    /// assert_eq!(a.xor(b).to_bin_string(3), "01x");
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn xor(self, other: Tnum) -> Tnum {
+        let v = self.value() ^ other.value();
+        let mu = self.mask() | other.mask();
+        Tnum::masked(v, mu)
+    }
+
+    /// Abstract bitwise NOT: flips every known trit, keeps unknowns.
+    ///
+    /// Not in `tnum.c` (BPF lowers `~x` to `x ^ -1`), provided for
+    /// completeness; equal to `self.xor(Tnum::constant(u64::MAX))`.
+    #[must_use]
+    pub const fn not(self) -> Tnum {
+        Tnum::masked(!self.value(), self.mask())
+    }
+}
+
+/// Operator form of [`Tnum::and`].
+impl core::ops::BitAnd for Tnum {
+    type Output = Tnum;
+    fn bitand(self, rhs: Tnum) -> Tnum {
+        self.and(rhs)
+    }
+}
+
+/// Operator form of [`Tnum::or`].
+impl core::ops::BitOr for Tnum {
+    type Output = Tnum;
+    fn bitor(self, rhs: Tnum) -> Tnum {
+        self.or(rhs)
+    }
+}
+
+/// Operator form of [`Tnum::xor`].
+impl core::ops::BitXor for Tnum {
+    type Output = Tnum;
+    fn bitxor(self, rhs: Tnum) -> Tnum {
+        self.xor(rhs)
+    }
+}
+
+/// Operator form of [`Tnum::not`].
+impl core::ops::Not for Tnum {
+    type Output = Tnum;
+    fn not(self) -> Tnum {
+        Tnum::not(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    fn check_optimal(
+        op_t: impl Fn(Tnum, Tnum) -> Tnum,
+        op_c: impl Fn(u64, u64) -> u64,
+        width: u32,
+    ) {
+        let m = crate::low_bits(width);
+        for a in tnums(width) {
+            for b in tnums(width) {
+                let got = op_t(a, b).truncate(width);
+                let best = Tnum::abstract_of(
+                    a.concretize()
+                        .flat_map(|x| b.concretize().map(|y| op_c(x, y) & m).collect::<Vec<_>>()),
+                )
+                .unwrap();
+                assert_eq!(got, best, "not optimal for {a}, {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_optimal_w4() {
+        check_optimal(Tnum::and, |x, y| x & y, 4);
+    }
+
+    #[test]
+    fn or_optimal_w4() {
+        check_optimal(Tnum::or, |x, y| x | y, 4);
+    }
+
+    #[test]
+    fn xor_optimal_w4() {
+        check_optimal(Tnum::xor, |x, y| x ^ y, 4);
+    }
+
+    #[test]
+    fn not_optimal_w4() {
+        for a in tnums(4) {
+            let got = a.not().truncate(4);
+            let best =
+                Tnum::abstract_of(a.concretize().map(|x| !x & 0xf)).unwrap();
+            assert_eq!(got, best);
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(
+            Tnum::constant(0b1100).and(Tnum::constant(0b1010)),
+            Tnum::constant(0b1000)
+        );
+        assert_eq!(
+            Tnum::constant(0b1100).or(Tnum::constant(0b1010)),
+            Tnum::constant(0b1110)
+        );
+        assert_eq!(
+            Tnum::constant(0b1100).xor(Tnum::constant(0b1010)),
+            Tnum::constant(0b0110)
+        );
+        assert_eq!(Tnum::constant(0).not(), Tnum::constant(u64::MAX));
+    }
+
+    #[test]
+    fn annihilators_and_identities() {
+        for t in tnums(4) {
+            assert_eq!(t.and(Tnum::ZERO), Tnum::ZERO);
+            assert_eq!(t.and(Tnum::constant(u64::MAX)), t);
+            assert_eq!(t.or(Tnum::ZERO), t);
+            assert_eq!(t.or(Tnum::constant(u64::MAX)), Tnum::constant(u64::MAX));
+            assert_eq!(t.xor(Tnum::ZERO), t);
+            assert_eq!(t.not().not(), t);
+            assert_eq!(t.xor(Tnum::constant(u64::MAX)), t.not());
+        }
+    }
+
+    #[test]
+    fn unknown_absorbs_partially() {
+        // x & unknown keeps known zeros, loses everything else.
+        let t: Tnum = "100x".parse().unwrap();
+        let r = t.and(Tnum::UNKNOWN);
+        assert_eq!(r.to_bin_string(4), "x00x");
+    }
+
+    #[test]
+    fn bitwise_ops_commutative_and_associative_w3() {
+        let all: Vec<Tnum> = tnums(3).collect();
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+                for &c in &all {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                    assert_eq!(a.xor(b).xor(c), a.xor(b.xor(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a: Tnum = "1x".parse().unwrap();
+        let b: Tnum = "x1".parse().unwrap();
+        assert_eq!(a & b, a.and(b));
+        assert_eq!(a | b, a.or(b));
+        assert_eq!(a ^ b, a.xor(b));
+        assert_eq!(!a, a.not());
+    }
+}

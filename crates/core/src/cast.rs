@@ -1,0 +1,139 @@
+//! Width casts and 32-bit subregister operations, as used by the BPF
+//! verifier for `ALU32` instructions (`tnum_cast`, `tnum_subreg`,
+//! `tnum_clear_subreg`, `tnum_with_subreg`, `tnum_const_subreg`).
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// Truncates to the low `size` *bytes* — the kernel's `tnum_cast`.
+    ///
+    /// `size` is in bytes (1, 2, 4, or 8 in BPF); `cast(8)` is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size > 8`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::constant(0x1234_5678_9abc_def0);
+    /// assert_eq!(t.cast(4), Tnum::constant(0x9abc_def0));
+    /// assert_eq!(t.cast(8), t);
+    /// ```
+    #[must_use]
+    pub const fn cast(self, size: u32) -> Tnum {
+        assert!(size <= 8, "cast size out of range 0..=8 bytes");
+        self.truncate(size * 8)
+    }
+
+    /// The low 32-bit subregister (the kernel's `tnum_subreg`):
+    /// equal to `cast(4)`.
+    #[must_use]
+    pub const fn subreg(self) -> Tnum {
+        self.cast(4)
+    }
+
+    /// Clears the low 32-bit subregister to known zeros, keeping the high
+    /// half (the kernel's `tnum_clear_subreg`).
+    #[must_use]
+    pub const fn clear_subreg(self) -> Tnum {
+        self.rshift(32).lshift(32)
+    }
+
+    /// Replaces the low 32-bit subregister with `subreg`'s low half
+    /// (the kernel's `tnum_with_subreg`).
+    ///
+    /// This is how the verifier installs the result of a 32-bit ALU
+    /// operation into the abstract 64-bit register (zero-extension of the
+    /// high half, when required, is applied separately by the caller).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let hi = Tnum::constant(0xdead_beef_0000_0000);
+    /// let lo: Tnum = "x1".parse()?;
+    /// let r = hi.with_subreg(lo);
+    /// assert_eq!(r.value() >> 32, 0xdead_beef);
+    /// assert_eq!(r.truncate(32), lo.truncate(32));
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn with_subreg(self, subreg: Tnum) -> Tnum {
+        self.clear_subreg().or(subreg.subreg())
+    }
+
+    /// Replaces the low 32-bit subregister with a known constant
+    /// (the kernel's `tnum_const_subreg`).
+    #[must_use]
+    pub const fn const_subreg(self, value: u32) -> Tnum {
+        self.with_subreg(Tnum::constant(value as u64))
+    }
+
+    /// Zero-extends from `width` bits: forces all trits at and above
+    /// `width` to known `0`. Alias of [`Tnum::truncate`] with intent-revealing
+    /// naming for modeling `zext` after narrow loads.
+    #[must_use]
+    pub const fn zero_extend_from(self, width: u32) -> Tnum {
+        self.truncate(width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    #[test]
+    fn cast_sound_and_exact_per_member() {
+        for t in tnums(6) {
+            let c = t.cast(0);
+            assert_eq!(c, Tnum::ZERO);
+            for size in 1..=8u32 {
+                let c = t.cast(size);
+                let m = crate::low_bits((size * 8).min(64));
+                let best =
+                    Tnum::abstract_of(t.concretize().map(|x| x & m)).unwrap();
+                assert_eq!(c, best, "cast({t}, {size})");
+            }
+        }
+    }
+
+    #[test]
+    fn subreg_ops_partition_the_register() {
+        let t = Tnum::masked(0xaaaa_0000_5555_0000, 0x0000_ffff_0000_ffff);
+        let lo = t.subreg();
+        let hi = t.clear_subreg();
+        assert_eq!(lo.or(hi), t);
+        assert_eq!(hi.subreg(), Tnum::ZERO);
+        assert_eq!(lo.clear_subreg(), Tnum::ZERO);
+    }
+
+    #[test]
+    fn with_subreg_replaces_low_half_only() {
+        let t = Tnum::masked(0xffff_ffff_0000_0000, 0x0000_0000_ffff_ffff);
+        let r = t.with_subreg(Tnum::constant(7));
+        assert_eq!(r.value(), 0xffff_ffff_0000_0007);
+        assert_eq!(r.mask(), 0);
+        // The high half of the replacement is ignored.
+        let s = t.with_subreg(Tnum::constant(0xdead_0000_0000_0007));
+        assert_eq!(s, r);
+    }
+
+    #[test]
+    fn const_subreg_matches_with_subreg() {
+        let t = Tnum::UNKNOWN;
+        assert_eq!(
+            t.const_subreg(0x1234),
+            t.with_subreg(Tnum::constant(0x1234))
+        );
+        assert_eq!(t.const_subreg(5).subreg(), Tnum::constant(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cast_9_panics() {
+        let _ = Tnum::ZERO.cast(9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Abstract division and remainder.
+//!
+//! The paper (§II-B) notes that for `div` and `mod` "the BPF static analyzer
+//! conservatively and soundly sets all the output trits to unknown". These
+//! operators do exactly that, with the two easy exact cases preserved
+//! (constant operands, and division by a known power of two, which is a
+//! shift).
+//!
+//! BPF semantics: division by zero yields 0 and `x % 0` yields `x` (the
+//! runtime patches the instruction); the abstract operators account for a
+//! possibly-zero divisor by joining those outcomes.
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// Abstract unsigned division with BPF `x / 0 = 0` semantics.
+    ///
+    /// Exact when both operands are constants; a right shift when the
+    /// divisor is a known nonzero power of two; otherwise conservatively ⊤
+    /// restricted only by the trivial upper bound (matching the kernel's
+    /// "mark unknown" treatment while remaining sound).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// assert_eq!(Tnum::constant(42).div(Tnum::constant(6)), Tnum::constant(7));
+    /// assert_eq!(Tnum::constant(42).div(Tnum::constant(0)), Tnum::constant(0));
+    /// let t: Tnum = "1xx0".parse()?;
+    /// assert_eq!(t.div(Tnum::constant(2)), t.rshift(1));
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub fn div(self, other: Tnum) -> Tnum {
+        match (self.as_constant(), other.as_constant()) {
+            (Some(x), Some(y)) => Tnum::constant(if y == 0 { 0 } else { x / y }),
+            (_, Some(y)) if y.is_power_of_two() => self.rshift(y.trailing_zeros()),
+            _ => Tnum::UNKNOWN,
+        }
+    }
+
+    /// Abstract unsigned remainder with BPF `x % 0 = x` semantics.
+    ///
+    /// Exact when both operands are constants; a bitwise AND with `y - 1`
+    /// when the divisor is a known nonzero power of two; otherwise
+    /// conservatively ⊤.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// assert_eq!(Tnum::constant(42).rem(Tnum::constant(5)), Tnum::constant(2));
+    /// assert_eq!(Tnum::constant(42).rem(Tnum::constant(0)), Tnum::constant(42));
+    /// // x % 8 keeps the low three trits.
+    /// let t: Tnum = "1x1x".parse()?;
+    /// assert_eq!(t.rem(Tnum::constant(8)), t.and(Tnum::constant(7)));
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub fn rem(self, other: Tnum) -> Tnum {
+        match (self.as_constant(), other.as_constant()) {
+            (Some(x), Some(y)) => Tnum::constant(if y == 0 { x } else { x % y }),
+            (_, Some(y)) if y.is_power_of_two() => self.and(Tnum::constant(y - 1)),
+            _ => Tnum::UNKNOWN,
+        }
+    }
+}
+
+/// Operator form of [`Tnum::div`].
+impl core::ops::Div for Tnum {
+    type Output = Tnum;
+    fn div(self, rhs: Tnum) -> Tnum {
+        Tnum::div(self, rhs)
+    }
+}
+
+/// Operator form of [`Tnum::rem`].
+impl core::ops::Rem for Tnum {
+    type Output = Tnum;
+    fn rem(self, rhs: Tnum) -> Tnum {
+        Tnum::rem(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    fn bpf_div(x: u64, y: u64) -> u64 {
+        if y == 0 {
+            0
+        } else {
+            x / y
+        }
+    }
+
+    fn bpf_rem(x: u64, y: u64) -> u64 {
+        if y == 0 {
+            x
+        } else {
+            x % y
+        }
+    }
+
+    #[test]
+    fn div_rem_sound_exhaustive_w4() {
+        for a in tnums(4) {
+            for b in tnums(4) {
+                let d = a.div(b);
+                let r = a.rem(b);
+                for x in a.concretize() {
+                    for y in b.concretize() {
+                        assert!(d.contains(bpf_div(x, y)), "{a}/{b}: {x}/{y}");
+                        assert!(r.contains(bpf_rem(x, y)), "{a}%{b}: {x}%{y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn div_by_zero_follows_bpf() {
+        assert_eq!(Tnum::constant(7).div(Tnum::constant(0)), Tnum::constant(0));
+        assert_eq!(Tnum::constant(7).rem(Tnum::constant(0)), Tnum::constant(7));
+    }
+
+    #[test]
+    fn power_of_two_divisor_is_precise() {
+        let t: Tnum = "1xx0".parse().unwrap();
+        assert_eq!(t.div(Tnum::constant(4)), t.rshift(2));
+        assert_eq!(t.rem(Tnum::constant(4)), t.and(Tnum::constant(3)));
+        // Division by 1 is the identity.
+        assert_eq!(t.div(Tnum::constant(1)), t);
+        assert_eq!(t.rem(Tnum::constant(1)), Tnum::ZERO);
+    }
+
+    #[test]
+    fn non_constant_divisor_is_top() {
+        let t = Tnum::constant(100);
+        let d: Tnum = "1x".parse().unwrap();
+        assert_eq!(t.div(d), Tnum::UNKNOWN);
+        assert_eq!(t.rem(d), Tnum::UNKNOWN);
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = Tnum::constant(42);
+        let b = Tnum::constant(5);
+        assert_eq!(a / b, a.div(b));
+        assert_eq!(a % b, a.rem(b));
+    }
+}

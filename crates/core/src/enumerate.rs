@@ -1,0 +1,172 @@
+//! Enumeration of all well-formed tnums at a given bit width.
+//!
+//! The exhaustive experiments of the paper (§IV-A, Table I) quantify over
+//! *every* well-formed tnum pair at widths 5–10. There are exactly `3^n`
+//! well-formed n-trit tnums; this module enumerates them in a canonical
+//! (base-3 counter) order.
+
+use crate::tnum::Tnum;
+use crate::trit::Trit;
+
+/// Iterates over all `3^width` well-formed tnums of the given width
+/// (higher bits known `0`), in base-3 counting order with the trit order
+/// `0 < 1 < x` per position.
+///
+/// # Panics
+///
+/// Panics if `width > 40` — beyond that `3^width` overflows any practical
+/// enumeration budget (and the internal `u64` index math).
+///
+/// # Examples
+///
+/// ```
+/// use tnum::enumerate::tnums;
+///
+/// assert_eq!(tnums(1).count(), 3);
+/// assert_eq!(tnums(2).count(), 9);
+/// let all: Vec<String> = tnums(1).map(|t| t.to_bin_string(1)).collect();
+/// assert_eq!(all, ["0", "1", "x"]);
+/// ```
+pub fn tnums(width: u32) -> Tnums {
+    assert!(width <= 40, "enumeration width out of range 0..=40");
+    Tnums { width, index: 0, total: 3u64.pow(width) }
+}
+
+/// The number of well-formed tnums at `width` bits: `3^width`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tnum::enumerate::count(8), 6561);
+/// ```
+#[must_use]
+pub fn count(width: u32) -> u64 {
+    3u64.pow(width)
+}
+
+/// Decodes the `index`-th tnum (in [`tnums`] order) of the given width.
+///
+/// Useful for partitioning an exhaustive sweep across threads without
+/// materializing the enumeration.
+///
+/// # Panics
+///
+/// Panics if `index >= 3^width`.
+///
+/// # Examples
+///
+/// ```
+/// use tnum::enumerate::{nth, tnums};
+/// let all: Vec<_> = tnums(3).collect();
+/// for (i, &t) in all.iter().enumerate() {
+///     assert_eq!(nth(3, i as u64), t);
+/// }
+/// ```
+#[must_use]
+pub fn nth(width: u32, index: u64) -> Tnum {
+    assert!(index < count(width), "tnum index out of range");
+    let mut t = Tnum::ZERO;
+    let mut rem = index;
+    for bit in 0..width {
+        let trit = match rem % 3 {
+            0 => Trit::Zero,
+            1 => Trit::One,
+            _ => Trit::Unknown,
+        };
+        t = t.with_trit(bit, trit);
+        rem /= 3;
+    }
+    t
+}
+
+/// Iterator over all well-formed tnums of a fixed width, created by
+/// [`tnums`].
+#[derive(Clone, Debug)]
+pub struct Tnums {
+    width: u32,
+    index: u64,
+    total: u64,
+}
+
+impl Iterator for Tnums {
+    type Item = Tnum;
+
+    fn next(&mut self) -> Option<Tnum> {
+        if self.index >= self.total {
+            return None;
+        }
+        let t = nth(self.width, self.index);
+        self.index += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.index) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Tnums {}
+impl std::iter::FusedIterator for Tnums {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_3_pow_n() {
+        for w in 0..=8 {
+            assert_eq!(tnums(w).count() as u64, count(w));
+        }
+    }
+
+    #[test]
+    fn all_distinct_and_well_formed() {
+        let mut seen = HashSet::new();
+        for t in tnums(6) {
+            assert_eq!(t.value() & t.mask(), 0, "well-formed");
+            assert!(t.fits_width(6), "fits width");
+            assert!(seen.insert((t.value(), t.mask())), "distinct");
+        }
+        assert_eq!(seen.len(), 729);
+    }
+
+    #[test]
+    fn enumeration_covers_every_wellformed_pair() {
+        // Every well-formed (v, m) pair within the width appears.
+        let set: HashSet<(u64, u64)> =
+            tnums(4).map(|t| (t.value(), t.mask())).collect();
+        for v in 0u64..16 {
+            for m in 0u64..16 {
+                if v & m == 0 {
+                    assert!(set.contains(&(v, m)), "missing ({v},{m})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_enumerates_only_zero() {
+        let all: Vec<Tnum> = tnums(0).collect();
+        assert_eq!(all, vec![Tnum::ZERO]);
+    }
+
+    #[test]
+    fn nth_agrees_with_iterator_and_size_hint() {
+        let mut it = tnums(5);
+        assert_eq!(it.len(), 243);
+        let mut i = 0u64;
+        while let Some(t) = it.next() {
+            assert_eq!(t, nth(5, i));
+            i += 1;
+        }
+        assert_eq!(i, 243);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_rejects_overflow_index() {
+        let _ = nth(2, 9);
+    }
+}

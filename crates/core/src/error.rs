@@ -1,0 +1,102 @@
+//! Error types for tnum construction and parsing.
+
+use core::fmt;
+
+/// Error returned by [`Tnum::new`](crate::Tnum::new) when a `value`/`mask`
+/// pair has overlapping bits.
+///
+/// Such pairs are the paper's ⊥ (Eqn. 4): they concretize to the empty set
+/// and are excluded from the [`Tnum`](crate::Tnum) type by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotWellFormedError {
+    /// The offending `value` operand.
+    pub value: u64,
+    /// The offending `mask` operand.
+    pub mask: u64,
+}
+
+impl fmt::Display for NotWellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tnum (value={:#x}, mask={:#x}) is not well-formed: overlapping bits {:#x}",
+            self.value,
+            self.mask,
+            self.value & self.mask
+        )
+    }
+}
+
+impl std::error::Error for NotWellFormedError {}
+
+/// Error returned when parsing a tnum from its textual trit form fails.
+///
+/// Produced by the [`FromStr`](core::str::FromStr) implementation of
+/// [`Tnum`](crate::Tnum).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseTnumError {
+    /// The input was empty.
+    Empty,
+    /// The input contained a character that is not a trit
+    /// (`0`, `1`, `x`/`X`/`u`/`U`/`μ`/`?`) or an ignored separator (`_`).
+    InvalidTrit {
+        /// The offending character.
+        character: char,
+        /// Byte offset of the character within the input.
+        offset: usize,
+    },
+    /// The input contained more than 64 trits.
+    TooWide {
+        /// Number of trits found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseTnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTnumError::Empty => write!(f, "empty tnum literal"),
+            ParseTnumError::InvalidTrit { character, offset } => {
+                write!(f, "invalid trit character {character:?} at byte offset {offset}")
+            }
+            ParseTnumError::TooWide { found } => {
+                write!(f, "tnum literal has {found} trits, more than the maximum of 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTnumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tnum;
+
+    #[test]
+    fn display_mentions_offending_bits() {
+        let err = Tnum::new(0b110, 0b010).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("0x2"), "message should name overlap: {msg}");
+    }
+
+    #[test]
+    fn parse_error_display() {
+        assert_eq!(
+            "".parse::<Tnum>().unwrap_err(),
+            ParseTnumError::Empty
+        );
+        let err = "1020".parse::<Tnum>().unwrap_err();
+        assert!(matches!(err, ParseTnumError::InvalidTrit { character: '2', offset: 2 }));
+        assert!(err.to_string().contains("'2'"));
+        let wide = "0".repeat(65).parse::<Tnum>().unwrap_err();
+        assert_eq!(wide, ParseTnumError::TooWide { found: 65 });
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NotWellFormedError>();
+        assert_err::<ParseTnumError>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Textual formatting and parsing of tnums.
+//!
+//! The canonical textual form is a string of trits, most-significant first,
+//! using `0`, `1`, and `x` (the kernel's `tnum_sbin` convention; the paper
+//! writes `μ` for `x`, which the parser also accepts).
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::ParseTnumError;
+use crate::tnum::Tnum;
+use crate::trit::Trit;
+use crate::width::BITS;
+
+impl Tnum {
+    /// Renders the low `width` trits as a string, most-significant first.
+    ///
+    /// This is the kernel's `tnum_sbin` restricted to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::new(0b1001, 0b0010)?;
+    /// assert_eq!(t.to_bin_string(4), "10x1");
+    /// assert_eq!(t.to_bin_string(6), "0010x1");
+    /// # Ok::<(), tnum::NotWellFormedError>(())
+    /// ```
+    #[must_use]
+    pub fn to_bin_string(self, width: u32) -> String {
+        assert!(width >= 1 && width <= BITS, "width out of range 1..=64");
+        (0..width)
+            .rev()
+            .map(|i| self.trit(i).to_char())
+            .collect()
+    }
+
+    /// The minimal number of trits needed to render this tnum without
+    /// dropping any known-`1` or unknown trit (at least 1).
+    #[must_use]
+    pub fn significant_bits(self) -> u32 {
+        (BITS - (self.value() | self.mask()).leading_zeros()).max(1)
+    }
+}
+
+/// Parses a tnum from its textual trit form, most-significant trit first.
+///
+/// Accepted trit characters: `0`, `1`, and any of `x`, `X`, `u`, `U`, `μ`,
+/// `?` for unknown. Underscores are ignored as visual separators. Bits above
+/// the written trits are known `0`.
+///
+/// # Examples
+///
+/// ```
+/// use tnum::Tnum;
+/// let t: Tnum = "10_x1".parse()?;
+/// assert_eq!((t.value(), t.mask()), (0b1001, 0b0010));
+/// let paper: Tnum = "10μ0".parse()?; // paper notation accepted
+/// assert_eq!(paper.mask(), 0b0010);
+/// # Ok::<(), tnum::ParseTnumError>(())
+/// ```
+impl FromStr for Tnum {
+    type Err = ParseTnumError;
+
+    fn from_str(s: &str) -> Result<Tnum, ParseTnumError> {
+        let mut trits = Vec::new();
+        for (offset, c) in s.char_indices() {
+            if c == '_' {
+                continue;
+            }
+            match Trit::from_char(c) {
+                Some(t) => trits.push(t),
+                None => return Err(ParseTnumError::InvalidTrit { character: c, offset }),
+            }
+        }
+        if trits.is_empty() {
+            return Err(ParseTnumError::Empty);
+        }
+        if trits.len() > BITS as usize {
+            return Err(ParseTnumError::TooWide { found: trits.len() });
+        }
+        Ok(Tnum::from_trits(trits))
+    }
+}
+
+/// Displays the tnum as its significant trits (e.g. `10x1`).
+impl fmt::Display for Tnum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.to_bin_string(self.significant_bits()))
+    }
+}
+
+/// Debug form shows both the trit string and the raw `(value, mask)` pair.
+impl fmt::Debug for Tnum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tnum({} = value:{:#x}/mask:{:#x})",
+            self.to_bin_string(self.significant_bits()),
+            self.value(),
+            self.mask()
+        )
+    }
+}
+
+/// Binary form (`{:b}`) renders all 64 trits (or per the requested width
+/// via the standard fill/width specifiers).
+impl fmt::Binary for Tnum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.to_bin_string(BITS))
+    }
+}
+
+/// Hex form (`{:x}`) renders nibbles, using `x` for any nibble containing an
+/// unknown bit that cannot be expressed exactly in hex.
+///
+/// A nibble prints as a hex digit when fully known; as `x` when any of its
+/// four trits is unknown.
+impl fmt::LowerHex for Tnum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::with_capacity(16);
+        for nibble in (0..16).rev() {
+            let v = (self.value() >> (nibble * 4)) & 0xf;
+            let m = (self.mask() >> (nibble * 4)) & 0xf;
+            if m == 0 {
+                s.push(char::from_digit(v as u32, 16).expect("nibble < 16"));
+            } else {
+                s.push('x');
+            }
+        }
+        let trimmed = s.trim_start_matches('0');
+        let out = if trimmed.is_empty() { "0" } else { trimmed };
+        f.pad(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_string_round_trip() {
+        for s in ["0", "1", "x", "10x0", "1x0x1", "x1x1x1x1"] {
+            let t: Tnum = s.parse().unwrap();
+            assert_eq!(t.to_bin_string(s.len() as u32), s);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_paper_and_separator_notation() {
+        let a: Tnum = "10μ0".parse().unwrap();
+        let b: Tnum = "10x0".parse().unwrap();
+        let c: Tnum = "1_0_x_0".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10z0".parse::<Tnum>().is_err());
+        assert!("".parse::<Tnum>().is_err());
+        assert!("___".parse::<Tnum>().is_err());
+    }
+
+    #[test]
+    fn parse_64_trits_ok_65_err() {
+        let ok = "x".repeat(64).parse::<Tnum>().unwrap();
+        assert!(ok.is_unknown());
+        assert!("x".repeat(65).parse::<Tnum>().is_err());
+    }
+
+    #[test]
+    fn display_uses_significant_bits() {
+        let t: Tnum = "0010x1".parse().unwrap();
+        assert_eq!(t.to_string(), "10x1");
+        assert_eq!(Tnum::ZERO.to_string(), "0");
+        assert_eq!(format!("{:>6}", Tnum::constant(0b101)), "   101");
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_informative() {
+        let t: Tnum = "1x".parse().unwrap();
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains("1x"));
+        assert!(dbg.contains("value"));
+    }
+
+    #[test]
+    fn binary_renders_full_width() {
+        let t = Tnum::constant(1);
+        let s = format!("{t:b}");
+        assert_eq!(s.len(), 64);
+        assert!(s.ends_with('1'));
+    }
+
+    #[test]
+    fn hex_marks_uncertain_nibbles() {
+        let t = Tnum::masked(0xab00, 0x00f0);
+        assert_eq!(format!("{t:x}"), "abx0");
+        assert_eq!(format!("{:x}", Tnum::ZERO), "0");
+        // Partially unknown nibble is still an 'x'.
+        let p = Tnum::masked(0x4, 0x1);
+        assert_eq!(format!("{p:x}"), "x");
+    }
+
+    #[test]
+    fn significant_bits_examples() {
+        assert_eq!(Tnum::ZERO.significant_bits(), 1);
+        assert_eq!(Tnum::constant(1).significant_bits(), 1);
+        assert_eq!(Tnum::constant(0b100).significant_bits(), 3);
+        assert_eq!(Tnum::masked(0, 0b1000).significant_bits(), 4);
+        assert_eq!(Tnum::UNKNOWN.significant_bits(), 64);
+    }
+}

@@ -1,0 +1,218 @@
+//! The Galois connection: abstraction (α) and concretization (γ).
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// The abstraction function α over a non-empty set of concrete values
+    /// (Eqn. 5 of the paper):
+    ///
+    /// * `α&(C)` = bitwise AND of all members (bits known `1` everywhere),
+    /// * `α|(C)` = bitwise OR of all members,
+    /// * result = `(α&, α& ⊕ α|)`.
+    ///
+    /// This abstraction is *bitwise exact* (Eqn. 6): the result has an
+    /// unknown trit at position `k` iff two members of `C` disagree at `k`.
+    ///
+    /// Returns `None` when the iterator is empty (α(∅) = ⊥, which `Tnum`
+    /// does not represent).
+    ///
+    /// # Examples
+    ///
+    /// The Fig. 1 examples at width 2: α({1,2,3}) = `xx` (over-approximating
+    /// to {0,1,2,3}), while α({2,3}) = `1x` is exact.
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let a = Tnum::abstract_of([1u64, 2, 3]).unwrap();
+    /// assert_eq!(a, "xx".parse()?);
+    /// assert_eq!(a.cardinality(), 4); // over-approximation
+    /// let b = Tnum::abstract_of([2u64, 3]).unwrap();
+    /// assert_eq!(b, "1x".parse()?);
+    /// assert_eq!(b.cardinality(), 2); // exact
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub fn abstract_of<I: IntoIterator<Item = u64>>(values: I) -> Option<Tnum> {
+        let mut iter = values.into_iter();
+        let first = iter.next()?;
+        let (and, or) = iter.fold((first, first), |(a, o), v| (a & v, o | v));
+        Some(Tnum::masked(and, and ^ or))
+    }
+
+    /// Iterates over γ(self): every concrete value abstracted by this tnum,
+    /// in increasing numeric order.
+    ///
+    /// The iterator yields exactly [`Tnum::cardinality`] values. Beware that
+    /// this is `2^popcount(mask)` — calling this on ⊤ would enumerate all
+    /// 2⁶⁴ values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t: Tnum = "x10".parse()?;
+    /// assert_eq!(t.concretize().collect::<Vec<_>>(), vec![0b010, 0b110]);
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub fn concretize(self) -> Concretize {
+        Concretize { base: self.value(), mask: self.mask(), sub: 0, done: false }
+    }
+}
+
+/// Iterator over the concretization γ of a tnum, created by
+/// [`Tnum::concretize`].
+///
+/// Internally enumerates submasks of the unknown-bit mask in increasing
+/// order via the standard `sub = (sub - mask) & mask` recurrence.
+#[derive(Clone, Debug)]
+pub struct Concretize {
+    base: u64,
+    mask: u64,
+    sub: u64,
+    done: bool,
+}
+
+impl Iterator for Concretize {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let out = self.base | self.sub;
+        if self.sub == self.mask {
+            self.done = true;
+        } else {
+            // Next submask of `mask` in increasing order.
+            self.sub = (self.sub.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        // Remaining count is total minus consumed; both fit usize only when
+        // popcount < usize bits, so saturate for the pathological ⊤ case.
+        let total = 1u128 << self.mask.count_ones();
+        let consumed = if self.sub == 0 && !self.done {
+            0u128
+        } else {
+            // Count of submasks strictly below `sub`: compress sub onto mask.
+            compress(self.sub, self.mask) as u128
+        };
+        let rem = total - consumed;
+        let lower = usize::try_from(rem).unwrap_or(usize::MAX);
+        (lower, usize::try_from(rem).ok())
+    }
+}
+
+impl std::iter::FusedIterator for Concretize {}
+
+/// Extracts the bits of `x` selected by `mask`, packing them densely into
+/// the low bits (a software PEXT).
+fn compress(x: u64, mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut bit = 0u32;
+    let mut m = mask;
+    while m != 0 {
+        let lsb = m & m.wrapping_neg();
+        if x & lsb != 0 {
+            out |= 1 << bit;
+        }
+        bit += 1;
+        m &= m - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_of_constant_is_singleton() {
+        let t = Tnum::constant(42);
+        assert_eq!(t.concretize().collect::<Vec<_>>(), vec![42]);
+    }
+
+    #[test]
+    fn gamma_is_sorted_and_complete() {
+        let t = Tnum::masked(0b0100_0001, 0b0011_0010);
+        let members: Vec<u64> = t.concretize().collect();
+        assert_eq!(members.len() as u128, t.cardinality());
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+        for &m in &members {
+            assert!(t.contains(m));
+        }
+        // And nothing outside gamma in the covering range is contained.
+        for x in 0..=t.max_value() {
+            assert_eq!(t.contains(x), members.binary_search(&x).is_ok());
+        }
+    }
+
+    #[test]
+    fn alpha_gamma_round_trips_exactly() {
+        // α ∘ γ is the identity on well-formed tnums (reductivity is an
+        // equality for this domain — Property G4 of the paper).
+        for t in crate::enumerate::tnums(6) {
+            let back = Tnum::abstract_of(t.concretize()).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn gamma_alpha_is_extensive() {
+        // γ ∘ α over-approximates: C ⊆ γ(α(C)) (Property G3).
+        let sets: [&[u64]; 5] = [
+            &[1, 2, 3],
+            &[2, 3],
+            &[0],
+            &[7, 11, 13, 64],
+            &[u64::MAX, 0],
+        ];
+        for set in sets {
+            let a = Tnum::abstract_of(set.iter().copied()).unwrap();
+            for &c in set {
+                assert!(a.contains(c), "{c} must be in γ(α(C)) for C={set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_of_empty_is_none() {
+        assert_eq!(Tnum::abstract_of(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn fig1_worked_examples() {
+        // Fig. 1(i): α({1,2,3}) = μμ, γ gives {0,1,2,3}.
+        let a = Tnum::abstract_of([1u64, 2, 3]).unwrap();
+        assert_eq!(a.concretize().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Fig. 1(ii): α({2,3}) = 1μ, γ gives exactly {2,3}.
+        let b = Tnum::abstract_of([2u64, 3]).unwrap();
+        assert_eq!(b.concretize().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let t = Tnum::masked(0, 0b1011);
+        let mut it = t.concretize();
+        assert_eq!(it.size_hint(), (8, Some(8)));
+        it.next();
+        it.next();
+        assert_eq!(it.size_hint(), (6, Some(6)));
+        let rest: Vec<u64> = it.collect();
+        assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn compress_is_pext() {
+        assert_eq!(compress(0b1010, 0b1110), 0b101);
+        assert_eq!(compress(0, u64::MAX), 0);
+        assert_eq!(compress(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(compress(0b100, 0b100), 1);
+    }
+}

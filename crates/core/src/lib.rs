@@ -1,0 +1,90 @@
+//! # tnum — the tristate-number abstract domain
+//!
+//! Tristate numbers (*tnums*) are the bit-level abstract domain used by the
+//! Linux kernel's eBPF verifier to track, for every bit of a 64-bit register,
+//! whether that bit is known to be `0`, known to be `1`, or unknown (written
+//! `x` here, `μ` in the paper) across all executions of a program.
+//!
+//! This crate is a from-scratch Rust implementation of the domain as
+//! formalized in *"Sound, Precise, and Fast Abstract Interpretation with
+//! Tristate Numbers"* (Vishwanathan, Shachnai, Narayana, Nagarakatte —
+//! CGO 2022). It provides:
+//!
+//! * the [`Tnum`] representation (a `value`/`mask` pair of `u64`s, exactly as
+//!   in the kernel's `struct tnum`), kept well-formed by construction;
+//! * the kernel's **O(1)** abstract addition ([`Tnum::add`], Listing 1 of the
+//!   paper) and subtraction ([`Tnum::sub`], Listing 6), proven sound *and*
+//!   maximally precise in the paper;
+//! * three abstract multiplications: the paper's new sound algorithm
+//!   ([`Tnum::mul`] = `our_mul`, now in the Linux kernel), the legacy kernel
+//!   algorithm ([`Tnum::mul_kernel_legacy`] = `kern_mul`), and the
+//!   loop-per-bitwidth reference version
+//!   ([`mul::our_mul_simplified`]);
+//! * sound and optimal bitwise operators (`and`, `or`, `xor`, shifts) and the
+//!   kernel's auxiliary operations (`cast`, `subreg`, `range`, `intersect`,
+//!   `union`, alignment tests);
+//! * the Galois connection: the abstraction function [`Tnum::abstract_of`]
+//!   (α) and concretization via [`Tnum::concretize`] (γ), plus membership
+//!   ([`Tnum::contains`]) and cardinality queries;
+//! * the lattice structure: the abstract order [`Tnum::is_subset_of`] (⊑A),
+//!   join ([`Tnum::union`]) and meet ([`Tnum::intersect`]);
+//! * width-parametric utilities ([`Tnum::truncate`],
+//!   [`Tnum::sign_extend_from`], [`enumerate::tnums`]) used by the
+//!   exhaustive verification and precision experiments.
+//!
+//! ## Quick example
+//!
+//! The worked example from Fig. 2 of the paper — adding `10x0` (i.e. {8, 10})
+//! and `10x1` (i.e. {9, 11}) yields `10xx1`:
+//!
+//! ```
+//! use tnum::Tnum;
+//!
+//! let p: Tnum = "10x0".parse()?;
+//! let q: Tnum = "10x1".parse()?;
+//! let r = p.add(q);
+//! assert_eq!(r.to_bin_string(5), "10xx1");
+//! // γ(r) = {17, 19, 21, 23}: every concrete sum is contained.
+//! for x in p.concretize() {
+//!     for y in q.concretize() {
+//!         assert!(r.contains(x.wrapping_add(y)));
+//!     }
+//! }
+//! # Ok::<(), tnum::ParseTnumError>(())
+//! ```
+//!
+//! ## Relationship to the kernel sources
+//!
+//! All operators follow the kernel's `kernel/bpf/tnum.c` algorithms with C
+//! (two's-complement, wrapping) machine-arithmetic semantics. Where the
+//! kernel algorithm differs from a mathematically cleaner choice (e.g.
+//! [`Tnum::intersect_kernel`] vs. [`Tnum::intersect`]), both are provided and
+//! the difference is documented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod add;
+mod bitwise;
+mod cast;
+mod div;
+mod error;
+mod fmt;
+mod galois;
+mod lattice;
+mod nary;
+mod range;
+mod shift;
+mod sub;
+mod tnum;
+mod trit;
+mod width;
+
+pub mod enumerate;
+pub mod mul;
+
+pub use crate::error::{NotWellFormedError, ParseTnumError};
+pub use crate::galois::Concretize;
+pub use crate::tnum::Tnum;
+pub use crate::trit::Trit;
+pub use crate::width::{low_bits, BITS};

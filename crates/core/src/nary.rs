@@ -1,0 +1,186 @@
+//! Variable-arity tnum summation — the machinery of Lemma 9
+//! ("value-mask-decomposed tnum summations"), the key structural idea
+//! behind `our_mul`.
+//!
+//! Because tnum addition is not associative (§III-A), different ways of
+//! summing the same list of tnums produce different (all sound) results.
+//! Lemma 9 proves that splitting each summand into its value part
+//! `(v, 0)` and mask part `(0, m)`, summing the two groups separately and
+//! combining them at the end, still contains every concrete sum — and
+//! §IV-A attributes `our_mul`'s precision edge to exactly this
+//! decomposition postponing the mixing of certain and uncertain trits.
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// Folds [`Tnum::add`] left-to-right over the summands — the paper's
+    /// `tnum_add(n-1..0)` spelling. Returns `None` for an empty iterator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let sum = Tnum::add_all((1..=3u64).map(Tnum::constant)).unwrap();
+    /// assert_eq!(sum, Tnum::constant(6));
+    /// ```
+    #[must_use]
+    pub fn add_all<I: IntoIterator<Item = Tnum>>(tnums: I) -> Option<Tnum> {
+        tnums.into_iter().reduce(Tnum::add)
+    }
+
+    /// Lemma 9's decomposed summation: sum all value parts, sum all mask
+    /// parts, then add the two partial sums.
+    ///
+    /// The value parts are fully concrete, so their "abstract" sum is a
+    /// single wrapping machine addition; only the mask parts go through
+    /// abstract addition. Contains every concrete sum of members (the
+    /// lemma), and never mixes certain with uncertain trits until the
+    /// final step.
+    ///
+    /// # Examples
+    ///
+    /// The example from the Lemma 9 text: `T1 = 1x0`, `T2 = 01x` — every
+    /// `x1 + x2` lands in `tnum_add((110, 0), (0, 011))`.
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t1: Tnum = "1x0".parse()?;
+    /// let t2: Tnum = "01x".parse()?;
+    /// let s = Tnum::add_all_decomposed([t1, t2]).unwrap();
+    /// for x1 in t1.concretize() {
+    ///     for x2 in t2.concretize() {
+    ///         assert!(s.contains(x1 + x2));
+    ///     }
+    /// }
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub fn add_all_decomposed<I: IntoIterator<Item = Tnum>>(tnums: I) -> Option<Tnum> {
+        let mut iter = tnums.into_iter();
+        let first = iter.next()?;
+        let mut value_sum = first.value();
+        let mut mask_sum = Tnum::masked(0, first.mask());
+        for t in iter {
+            // Summing (v_i, 0) tnums degenerates to machine addition
+            // (the strength reduction of Lemma 11).
+            value_sum = value_sum.wrapping_add(t.value());
+            mask_sum = mask_sum.add(Tnum::masked(0, t.mask()));
+        }
+        Some(Tnum::constant(value_sum).add(mask_sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    /// All concrete sums of one member from each summand, truncated.
+    fn concrete_sums(summands: &[Tnum], width: u32) -> Vec<u64> {
+        let m = crate::low_bits(width);
+        let mut sums = vec![0u64];
+        for t in summands {
+            sums = sums
+                .iter()
+                .flat_map(|&s| t.concretize().map(move |x| s.wrapping_add(x) & m))
+                .collect();
+        }
+        sums.sort_unstable();
+        sums.dedup();
+        sums
+    }
+
+    #[test]
+    fn both_methods_sound_exhaustive_w3_triples() {
+        let all: Vec<Tnum> = tnums(3).collect();
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    let folded = Tnum::add_all([a, b, c]).unwrap().truncate(3);
+                    let decomposed =
+                        Tnum::add_all_decomposed([a, b, c]).unwrap().truncate(3);
+                    for s in concrete_sums(&[a, b, c], 3) {
+                        assert!(folded.contains(s), "fold missed {s} for {a},{b},{c}");
+                        assert!(
+                            decomposed.contains(s),
+                            "decomposition missed {s} for {a},{b},{c} (Lemma 9)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neither_summation_order_dominates_in_general() {
+        // Measured finding (pinned here): over all 3⁶ width-3 triples the
+        // two methods each win thousands of cases — the decomposition is
+        // NOT universally better. Its advantage in our_mul (§IV-A) is
+        // contextual: there the value parts bypass abstract addition
+        // entirely (a single machine multiply) and only mask-only tnums
+        // are folded. `decomposition_mirrors_our_mul_structure` below
+        // exhibits that context.
+        let all: Vec<Tnum> = tnums(3).collect();
+        let mut dec_wins = 0u32;
+        let mut fold_wins = 0u32;
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    let folded = Tnum::add_all([a, b, c]).unwrap();
+                    let dec = Tnum::add_all_decomposed([a, b, c]).unwrap();
+                    if dec.is_strict_subset_of(folded) {
+                        dec_wins += 1;
+                    } else if folded.is_strict_subset_of(dec) {
+                        fold_wins += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!((dec_wins, fold_wins), (2750, 2996));
+    }
+
+    #[test]
+    fn lemma9_worked_example() {
+        // T1 = 1x0 = (100, 010), T2 = 01x = (010, 001):
+        // S = tnum_add(tnum(110, 0), tnum(0, 011)).
+        let t1: Tnum = "1x0".parse().unwrap();
+        let t2: Tnum = "01x".parse().unwrap();
+        let s = Tnum::add_all_decomposed([t1, t2]).unwrap();
+        let manual = Tnum::constant(0b110).add(Tnum::masked(0, 0b011));
+        assert_eq!(s, manual);
+    }
+
+    #[test]
+    fn singletons_and_empty() {
+        assert_eq!(Tnum::add_all(std::iter::empty()), None);
+        assert_eq!(Tnum::add_all_decomposed(std::iter::empty()), None);
+        let t: Tnum = "x1".parse().unwrap();
+        assert_eq!(Tnum::add_all([t]), Some(t));
+        // A single summand decomposes to (v,0) + (0,m) = the tnum itself.
+        assert_eq!(Tnum::add_all_decomposed([t]), Some(t));
+    }
+
+    #[test]
+    fn constants_collapse_to_machine_sum() {
+        let summands: Vec<Tnum> = (1..=10u64).map(Tnum::constant).collect();
+        assert_eq!(Tnum::add_all(summands.iter().copied()), Some(Tnum::constant(55)));
+        assert_eq!(
+            Tnum::add_all_decomposed(summands),
+            Some(Tnum::constant(55))
+        );
+    }
+
+    #[test]
+    fn decomposition_mirrors_our_mul_structure() {
+        // our_mul(p, q) is exactly the decomposed sum of its partial
+        // products; spot-check by reconstructing the Fig. 3 example.
+        let q: Tnum = "x10".parse().unwrap();
+        // Partial products for p = x01: T0 = q (bit0 certain 1),
+        // T1 = 0, T2 = kill(q << 2) (bit2 unknown).
+        let t0 = q;
+        let t2 = Tnum::masked(0, (q.value() | q.mask()) << 2);
+        let s = Tnum::add_all_decomposed([t0, t2]).unwrap();
+        let p: Tnum = "x01".parse().unwrap();
+        assert_eq!(s, p.mul(q));
+    }
+}

@@ -1,0 +1,94 @@
+//! Constructing tnums from value ranges — the kernel's `tnum_range`.
+
+use crate::tnum::Tnum;
+use crate::width::BITS;
+
+impl Tnum {
+    /// The smallest tnum containing every value in `min..=max`
+    /// (the kernel's `tnum_range`).
+    ///
+    /// All bits above the highest bit where `min` and `max` differ are
+    /// known (they are shared by the whole range); everything below is
+    /// unknown. This is exactly α applied to the interval, and the verifier
+    /// uses it to convert interval-domain knowledge into tnum knowledge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` (an empty range has no tnum abstraction).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// // 8..=11 share the prefix 10; the low two bits are free.
+    /// assert_eq!(Tnum::range(8, 11), "10xx".parse()?);
+    /// assert_eq!(Tnum::range(5, 5), Tnum::constant(5));
+    /// assert_eq!(Tnum::range(0, u64::MAX), Tnum::UNKNOWN);
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn range(min: u64, max: u64) -> Tnum {
+        assert!(min <= max, "tnum range requires min <= max");
+        let chi = min ^ max;
+        // fls64: index of the highest set bit, 1-based; 0 when chi == 0.
+        let bits = (BITS - chi.leading_zeros()) as u64;
+        if bits > 63 {
+            return Tnum::UNKNOWN;
+        }
+        let delta = (1u64 << bits) - 1;
+        Tnum::masked(min, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_every_member_exhaustive_w6() {
+        for min in 0..64u64 {
+            for max in min..64 {
+                let t = Tnum::range(min, max);
+                for x in min..=max {
+                    assert!(t.contains(x), "range({min},{max}) missing {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_is_alpha_of_interval_exhaustive_w6() {
+        // tnum_range equals the exact abstraction α(min..=max).
+        for min in 0..64u64 {
+            for max in min..64 {
+                let t = Tnum::range(min, max);
+                let best = Tnum::abstract_of(min..=max).unwrap();
+                assert_eq!(t, best, "range({min},{max})");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        assert_eq!(Tnum::range(42, 42), Tnum::constant(42));
+    }
+
+    #[test]
+    fn sign_boundary_range_is_top() {
+        // Ranges crossing bit 63 lose all information.
+        assert_eq!(Tnum::range(0, u64::MAX), Tnum::UNKNOWN);
+        assert_eq!(Tnum::range(1, 1 << 63), Tnum::UNKNOWN);
+    }
+
+    #[test]
+    fn power_of_two_aligned_ranges() {
+        assert_eq!(Tnum::range(16, 31), Tnum::masked(16, 15));
+        assert_eq!(Tnum::range(0, 7), Tnum::masked(0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn inverted_range_panics() {
+        let _ = Tnum::range(3, 2);
+    }
+}

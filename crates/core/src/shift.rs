@@ -1,0 +1,315 @@
+//! Abstract shift operators: logical left/right and arithmetic right.
+//!
+//! Constant-amount shifts are the kernel's `tnum_lshift` / `tnum_rshift` /
+//! `tnum_arshift` and are sound and optimal: shifting moves trits without
+//! interaction. Shifts by a *tnum* amount (needed for BPF's register-amount
+//! shifts) are provided as the join over the possible amounts.
+
+use crate::tnum::Tnum;
+use crate::width::BITS;
+
+impl Tnum {
+    /// Logical left shift by a constant amount (the kernel's `tnum_lshift`).
+    ///
+    /// Trits shifted out of the top are discarded; known-`0` trits enter at
+    /// the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 64`, matching Rust (and BPF-verified) semantics
+    /// where oversized shift amounts are rejected up front.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t: Tnum = "1x".parse()?;
+    /// assert_eq!(t.lshift(2).to_bin_string(4), "1x00");
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn lshift(self, shift: u32) -> Tnum {
+        assert!(shift < BITS, "shift amount out of range 0..=63");
+        Tnum::masked(self.value() << shift, self.mask() << shift)
+    }
+
+    /// Logical right shift by a constant amount (the kernel's
+    /// `tnum_rshift`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 64`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t: Tnum = "1x00".parse()?;
+    /// assert_eq!(t.rshift(2).to_bin_string(2), "1x");
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn rshift(self, shift: u32) -> Tnum {
+        assert!(shift < BITS, "shift amount out of range 0..=63");
+        Tnum::masked(self.value() >> shift, self.mask() >> shift)
+    }
+
+    /// Arithmetic right shift by a constant amount at full 64-bit width
+    /// (the kernel's `tnum_arshift` with `insn_bitness = 64`).
+    ///
+    /// The sign *trit* (bit 63) is replicated: a known sign shifts in known
+    /// copies, an unknown sign shifts in unknown trits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 64`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let neg = Tnum::constant(u64::MAX << 63); // sign bit known 1
+    /// assert_eq!(neg.arshift(63), Tnum::constant(u64::MAX));
+    /// ```
+    #[must_use]
+    pub const fn arshift(self, shift: u32) -> Tnum {
+        assert!(shift < BITS, "shift amount out of range 0..=63");
+        Tnum::masked(
+            ((self.value() as i64) >> shift) as u64,
+            ((self.mask() as i64) >> shift) as u64,
+        )
+    }
+
+    /// Arithmetic right shift of a `width`-bit tnum: sign-extends from
+    /// `width`, shifts, and truncates back. With `width == 64` this is
+    /// [`Tnum::arshift`]; with `width == 32` it matches the kernel's
+    /// `tnum_arshift` for 32-bit instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64, or if `shift >= width`.
+    #[must_use]
+    pub const fn arshift_width(self, shift: u32, width: u32) -> Tnum {
+        assert!(width >= 1 && width <= BITS, "width out of range 1..=64");
+        assert!(shift < width, "shift amount out of range for width");
+        self.sign_extend_from(width).arshift(shift).truncate(width)
+    }
+
+    /// Logical left shift by a *tnum* amount: the join of `self << k` over
+    /// every feasible amount `k ∈ γ(amount) ∩ [0, 64)`.
+    ///
+    /// Amounts ≥ 64 contribute the all-zero result, matching BPF's
+    /// wrapping-free semantics where the verifier rejects oversized constant
+    /// shifts but must still abstract register shifts soundly (BPF masks
+    /// register shift amounts to the instruction bitness; pass a masked
+    /// `amount` to model that).
+    ///
+    /// Returns ⊤-free sound results in O(64) joins worst case.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::constant(0b1);
+    /// let amt: Tnum = "x".parse()?; // shift by 0 or 1
+    /// let r = t.lshift_tnum(amt);
+    /// assert!(r.contains(0b1) && r.contains(0b10));
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub fn lshift_tnum(self, amount: Tnum) -> Tnum {
+        self.shift_tnum(amount, Tnum::lshift)
+    }
+
+    /// Logical right shift by a *tnum* amount — see [`Tnum::lshift_tnum`].
+    #[must_use]
+    pub fn rshift_tnum(self, amount: Tnum) -> Tnum {
+        self.shift_tnum(amount, Tnum::rshift)
+    }
+
+    /// Arithmetic right shift by a *tnum* amount — see
+    /// [`Tnum::lshift_tnum`]. Amounts ≥ 64 contribute the sign-fill result
+    /// (`self.arshift(63)`).
+    #[must_use]
+    pub fn arshift_tnum(self, amount: Tnum) -> Tnum {
+        let mut acc: Option<Tnum> = None;
+        let join = |acc: Option<Tnum>, t: Tnum| Some(acc.map_or(t, |a| a.union(t)));
+        // Feasible in-range amounts: iterate members of the truncated
+        // amount; if any high bit may be set, include the saturated shift.
+        let low = amount.truncate(6);
+        let may_oversize = amount.max_value() >= BITS as u64;
+        for k in feasible_amounts(amount, low) {
+            acc = join(acc, self.arshift(k));
+        }
+        if may_oversize {
+            acc = join(acc, self.arshift(BITS - 1));
+        }
+        acc.expect("at least one feasible amount always exists")
+    }
+
+    fn shift_tnum(self, amount: Tnum, op: impl Fn(Tnum, u32) -> Tnum) -> Tnum {
+        let mut acc: Option<Tnum> = None;
+        let mut join = |t: Tnum| {
+            acc = Some(match acc {
+                None => t,
+                Some(a) => a.union(t),
+            })
+        };
+        let low = amount.truncate(6);
+        for k in feasible_amounts(amount, low) {
+            join(op(self, k));
+        }
+        if amount.max_value() >= BITS as u64 {
+            // Some member shifts everything out: logical shifts give zero.
+            join(Tnum::ZERO);
+        }
+        acc.expect("at least one feasible amount always exists")
+    }
+}
+
+/// In-range shift amounts `k < 64` feasible for `amount`: members of the
+/// low-6-bit projection whose high-bit completion can be all zero.
+fn feasible_amounts(amount: Tnum, low: Tnum) -> impl Iterator<Item = u32> {
+    // A k < 64 is feasible iff k matches the low 6 trits and the high 58
+    // trits can all be zero (i.e. no known-1 high bit).
+    let high_known_one = amount.value() >> 6 != 0;
+    let iter: Box<dyn Iterator<Item = u64>> = if high_known_one {
+        Box::new(std::iter::empty())
+    } else {
+        Box::new(low.concretize())
+    };
+    iter.map(|k| k as u32)
+}
+
+/// Operator form of [`Tnum::lshift`].
+impl core::ops::Shl<u32> for Tnum {
+    type Output = Tnum;
+    fn shl(self, shift: u32) -> Tnum {
+        self.lshift(shift)
+    }
+}
+
+/// Operator form of [`Tnum::rshift`].
+impl core::ops::Shr<u32> for Tnum {
+    type Output = Tnum;
+    fn shr(self, shift: u32) -> Tnum {
+        self.rshift(shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    #[test]
+    fn const_shifts_optimal_w4() {
+        for a in tnums(4) {
+            for k in 0..4u32 {
+                let l = a.lshift(k).truncate(4);
+                let best_l = Tnum::abstract_of(
+                    a.concretize().map(|x| (x << k) & 0xf),
+                )
+                .unwrap();
+                assert_eq!(l, best_l, "lshift {a} by {k}");
+
+                let r = a.rshift(k);
+                let best_r =
+                    Tnum::abstract_of(a.concretize().map(|x| x >> k)).unwrap();
+                assert_eq!(r, best_r, "rshift {a} by {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn arshift_width_optimal_w4() {
+        for a in tnums(4) {
+            for k in 0..4u32 {
+                let got = a.arshift_width(k, 4);
+                let best = Tnum::abstract_of(a.concretize().map(|x| {
+                    // Sign-extend a 4-bit value, arithmetic shift, re-truncate.
+                    let sx = ((x as i64) << 60) >> 60;
+                    ((sx >> k) as u64) & 0xf
+                }))
+                .unwrap();
+                assert_eq!(got, best, "arshift {a} by {k} at width 4");
+            }
+        }
+    }
+
+    #[test]
+    fn arshift64_sign_fill() {
+        let neg = Tnum::constant(1 << 63);
+        assert_eq!(neg.arshift(1).value() >> 62, 0b11);
+        let unknown_sign = Tnum::masked(0, 1 << 63);
+        assert_eq!(unknown_sign.arshift(1).mask() >> 62, 0b11);
+        // shift 0 is identity.
+        for t in tnums(4) {
+            assert_eq!(t.arshift(0), t);
+            assert_eq!(t.lshift(0), t);
+            assert_eq!(t.rshift(0), t);
+        }
+    }
+
+    #[test]
+    fn tnum_amount_shifts_sound_w4() {
+        // Exhaustive soundness at width 4 with 3-bit amounts.
+        for a in tnums(4) {
+            for amt in tnums(3) {
+                let l = a.lshift_tnum(amt);
+                let r = a.rshift_tnum(amt);
+                let ar = a.arshift_tnum(amt);
+                for x in a.concretize() {
+                    for k in amt.concretize() {
+                        assert!(l.contains(x << k), "lshift {a} by {amt}: {x} << {k}");
+                        assert!(r.contains(x >> k), "rshift {a} by {amt}: {x} >> {k}");
+                        assert!(
+                            ar.contains(((x as i64) >> k) as u64),
+                            "arshift {a} by {amt}: {x} >> {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tnum_amount_constant_matches_const_shift() {
+        for a in tnums(4) {
+            for k in 0..8u32 {
+                assert_eq!(a.lshift_tnum(Tnum::constant(k as u64)), a.lshift(k));
+                assert_eq!(a.rshift_tnum(Tnum::constant(k as u64)), a.rshift(k));
+                assert_eq!(a.arshift_tnum(Tnum::constant(k as u64)), a.arshift(k));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_amounts_are_sound() {
+        let t = Tnum::constant(0b1010);
+        // Amount {64}: logical shifts produce 0 — result must contain 0.
+        let big = Tnum::constant(64);
+        assert!(t.lshift_tnum(big).contains(0));
+        assert!(t.rshift_tnum(big).contains(0));
+        // Amount {0, 64}: join of identity and zero.
+        let maybe: Tnum = Tnum::masked(0, 64);
+        let r = t.lshift_tnum(maybe);
+        assert!(r.contains(0b1010) && r.contains(0));
+        // arshift of a negative by >= 63 gives all-ones.
+        let neg = Tnum::constant(u64::MAX);
+        assert!(neg.arshift_tnum(big).contains(u64::MAX));
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a: Tnum = "1x0".parse().unwrap();
+        assert_eq!(a << 2, a.lshift(2));
+        assert_eq!(a >> 1, a.rshift(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lshift_64_panics() {
+        let _ = Tnum::constant(1).lshift(64);
+    }
+}

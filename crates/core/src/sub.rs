@@ -1,0 +1,167 @@
+//! Abstract subtraction — the kernel's `tnum_sub` (Listing 6 of the paper).
+
+use crate::tnum::Tnum;
+
+impl Tnum {
+    /// Abstract subtraction: a sound **and optimal** abstraction of wrapping
+    /// 64-bit subtraction, in O(1) machine operations (Theorem 22 of the
+    /// paper).
+    ///
+    /// Mirrors [`Tnum::add`] with borrows in place of carries: `α = dv + P.m`
+    /// produces the fewest borrows and `β = dv − Q.m` the most (Lemmas
+    /// 24–25), so `α ⊕ β` captures exactly the borrow bits that vary across
+    /// concrete subtractions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let p: Tnum = "1x0".parse()?;  // {4, 6}
+    /// let q: Tnum = "010".parse()?;  // {2}
+    /// let r = p.sub(q);              // {2, 4} ⊆ γ(r)
+    /// assert!(r.contains(2) && r.contains(4));
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn sub(self, other: Tnum) -> Tnum {
+        let dv = self.value().wrapping_sub(other.value());
+        let alpha = dv.wrapping_add(self.mask());
+        let beta = dv.wrapping_sub(other.mask());
+        let chi = alpha ^ beta;
+        let mu = chi | self.mask() | other.mask();
+        Tnum::masked(dv, mu)
+    }
+
+    /// Abstract negation: `0 - self`, the abstraction of two's-complement
+    /// negation. This is how the BPF verifier models the `neg` ALU op.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// assert_eq!(Tnum::constant(5).neg(), Tnum::constant(5u64.wrapping_neg()));
+    /// ```
+    #[must_use]
+    pub const fn neg(self) -> Tnum {
+        Tnum::ZERO.sub(self)
+    }
+}
+
+/// Operator form of [`Tnum::sub`].
+impl core::ops::Sub for Tnum {
+    type Output = Tnum;
+    fn sub(self, rhs: Tnum) -> Tnum {
+        Tnum::sub(self, rhs)
+    }
+}
+
+/// Operator form of [`Tnum::neg`].
+impl core::ops::Neg for Tnum {
+    type Output = Tnum;
+    fn neg(self) -> Tnum {
+        Tnum::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::tnums;
+
+    /// Optimal abstract subtraction at small width, by brute force.
+    fn best_sub(a: Tnum, b: Tnum, width: u32) -> Tnum {
+        let m = crate::low_bits(width);
+        Tnum::abstract_of(
+            a.concretize()
+                .flat_map(|x| b.concretize().map(move |y| x.wrapping_sub(y) & m)),
+        )
+        .expect("non-empty")
+    }
+
+    #[test]
+    fn sub_is_sound_and_optimal_exhaustive_w5() {
+        // Theorem 22 checked by enumeration at width 5. Note: unlike
+        // addition, truncating tnum_sub's 64-bit output to w bits is exact
+        // because borrows also propagate only upward.
+        for a in tnums(5) {
+            for b in tnums(5) {
+                let got = a.sub(b).truncate(5);
+                let best = best_sub(a, b, 5);
+                assert_eq!(got, best, "tnum_sub not optimal for {a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_constants_is_concrete() {
+        assert_eq!(Tnum::constant(9).sub(Tnum::constant(4)), Tnum::constant(5));
+        // Wrapping semantics.
+        assert_eq!(
+            Tnum::constant(0).sub(Tnum::constant(1)),
+            Tnum::constant(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn sub_self_is_not_zero_in_general() {
+        // x - x over a non-constant tnum is *not* the constant zero: the two
+        // occurrences are independent members of γ. (This also documents why
+        // add and sub are not inverses, §III-A observation (2).)
+        let t: Tnum = "x0".parse().unwrap();
+        assert_ne!(t.sub(t), Tnum::ZERO);
+        assert!(t.sub(t).contains(0));
+    }
+
+    #[test]
+    fn add_sub_not_inverse_witness() {
+        // §III-A observation (2): (a + b) - b ≠ a in general.
+        let all: Vec<Tnum> = tnums(3).collect();
+        let mut found = false;
+        for &a in &all {
+            for &b in &all {
+                if a.add(b).sub(b) != a {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "expected an add/sub non-inverse witness at width 3");
+    }
+
+    #[test]
+    fn neg_matches_zero_minus() {
+        for t in tnums(4) {
+            assert_eq!(t.neg(), Tnum::ZERO.sub(t));
+            // Soundness of neg at width 4.
+            for x in t.concretize() {
+                assert!(t
+                    .neg()
+                    .truncate(4)
+                    .contains(x.wrapping_neg() & 0xf));
+            }
+        }
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a: Tnum = "1x0".parse().unwrap();
+        let b: Tnum = "001".parse().unwrap();
+        assert_eq!(a - b, a.sub(b));
+        assert_eq!(-a, a.neg());
+    }
+
+    #[test]
+    fn sub_monotone_in_both_arguments() {
+        let all: Vec<Tnum> = tnums(3).collect();
+        for &a in &all {
+            for &a2 in &all {
+                if !a.is_subset_of(a2) {
+                    continue;
+                }
+                for &b in &all {
+                    assert!(a.sub(b).is_subset_of(a2.sub(b)));
+                    assert!(b.sub(a).is_subset_of(b.sub(a2)));
+                }
+            }
+        }
+    }
+}

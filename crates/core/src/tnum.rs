@@ -1,0 +1,564 @@
+//! The core tristate-number representation.
+
+use crate::error::NotWellFormedError;
+use crate::trit::Trit;
+use crate::width::{low_bits, BITS};
+
+/// A 64-bit tristate number: the kernel's `struct tnum`.
+///
+/// A tnum abstracts a *set* of 64-bit values by tracking each bit position
+/// independently as known-`0`, known-`1`, or unknown. It is represented, as
+/// in the Linux kernel, by a pair of `u64`s:
+///
+/// * `value` — bits known to be `1`,
+/// * `mask`  — bits whose value is unknown (`μ`).
+///
+/// A bit that is clear in both is known to be `0`. The pair is *well-formed*
+/// iff `value & mask == 0`; every `Tnum` this crate hands out maintains that
+/// invariant, so the bottom element ⊥ (the empty set) has no `Tnum`
+/// representation — operations that can produce an empty result (such as
+/// [`Tnum::intersect`]) return `Option<Tnum>` instead.
+///
+/// The concretization of a tnum `P` is
+/// `γ(P) = { c : c & !P.mask == P.value }` (Eqn. 7 of the paper), a set of
+/// `2^popcount(mask)` values.
+///
+/// # Examples
+///
+/// ```
+/// use tnum::Tnum;
+///
+/// // 4-bit variable abstracted as 01x0 — the motivating example from §I:
+/// // it concretizes to {0b0100, 0b0110} = {4, 6}, so `x <= 8` always holds.
+/// let x = Tnum::new(0b0100, 0b0010)?;
+/// assert_eq!(x.concretize().collect::<Vec<_>>(), vec![4, 6]);
+/// assert!(x.max_value() <= 8);
+/// # Ok::<(), tnum::NotWellFormedError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tnum {
+    value: u64,
+    mask: u64,
+}
+
+impl Tnum {
+    /// The tnum with every bit unknown: ⊤, abstracting all of `u64`.
+    ///
+    /// This is the kernel's `tnum_unknown`.
+    pub const UNKNOWN: Tnum = Tnum { value: 0, mask: u64::MAX };
+
+    /// The constant zero tnum (every bit known `0`).
+    pub const ZERO: Tnum = Tnum { value: 0, mask: 0 };
+
+    /// Creates a tnum from a `value`/`mask` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotWellFormedError`] if any bit is set in both `value` and
+    /// `mask` — such pairs represent the empty set ⊥ in the paper's
+    /// formalization (Eqn. 4) and are excluded from this type by
+    /// construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::new(0b1000, 0b0010)?; // 1 0 x 0
+    /// assert_eq!(t.to_bin_string(4), "10x0");
+    /// assert!(Tnum::new(0b1, 0b1).is_err());
+    /// # Ok::<(), tnum::NotWellFormedError>(())
+    /// ```
+    pub const fn new(value: u64, mask: u64) -> Result<Tnum, NotWellFormedError> {
+        if value & mask != 0 {
+            Err(NotWellFormedError { value, mask })
+        } else {
+            Ok(Tnum { value, mask })
+        }
+    }
+
+    /// Creates a tnum from a `value`/`mask` pair, normalizing it to be
+    /// well-formed by dropping `value` bits that are covered by `mask`.
+    ///
+    /// This mirrors how kernel code writes `TNUM(v & ~mu, mu)`: the mask
+    /// wins wherever the two overlap.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::masked(0b1011, 0b0010);
+    /// assert_eq!((t.value(), t.mask()), (0b1001, 0b0010));
+    /// ```
+    #[must_use]
+    pub const fn masked(value: u64, mask: u64) -> Tnum {
+        Tnum { value: value & !mask, mask }
+    }
+
+    /// Creates the exact abstraction of a single concrete value
+    /// (the kernel's `tnum_const`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::constant(42);
+    /// assert!(t.is_constant());
+    /// assert_eq!(t.as_constant(), Some(42));
+    /// ```
+    #[must_use]
+    pub const fn constant(value: u64) -> Tnum {
+        Tnum { value, mask: 0 }
+    }
+
+    /// The bits of this tnum known to be `1`.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The bits of this tnum whose value is unknown.
+    #[must_use]
+    pub const fn mask(self) -> u64 {
+        self.mask
+    }
+
+    /// Destructures into the `(value, mask)` pair.
+    #[must_use]
+    pub const fn into_parts(self) -> (u64, u64) {
+        (self.value, self.mask)
+    }
+
+    /// Returns the trit at bit position `bit` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    #[must_use]
+    pub fn trit(self, bit: u32) -> Trit {
+        assert!(bit < BITS, "bit index {bit} out of range for a 64-bit tnum");
+        Trit::from_value_mask(self.value >> bit, self.mask >> bit)
+            .expect("well-formed tnum cannot hold a (1,1) trit")
+    }
+
+    /// Returns a copy of this tnum with the trit at position `bit` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::{Tnum, Trit};
+    /// let t = Tnum::constant(0b100).with_trit(1, Trit::Unknown);
+    /// assert_eq!(t.to_bin_string(3), "1x0");
+    /// ```
+    #[must_use]
+    pub fn with_trit(self, bit: u32, trit: Trit) -> Tnum {
+        assert!(bit < BITS, "bit index {bit} out of range for a 64-bit tnum");
+        let (v, m) = trit.to_value_mask();
+        Tnum {
+            value: (self.value & !(1 << bit)) | (v << bit),
+            mask: (self.mask & !(1 << bit)) | (m << bit),
+        }
+    }
+
+    /// Builds a tnum from trits listed most-significant first, with all
+    /// higher bits known `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 trits are supplied.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::{Tnum, Trit};
+    /// let t = Tnum::from_trits([Trit::One, Trit::Unknown, Trit::Zero]);
+    /// assert_eq!(t.to_bin_string(3), "1x0");
+    /// ```
+    #[must_use]
+    pub fn from_trits<I: IntoIterator<Item = Trit>>(trits: I) -> Tnum {
+        let mut t = Tnum::ZERO;
+        for trit in trits {
+            assert!(
+                t.value >> (BITS - 1) == 0 && t.mask >> (BITS - 1) == 0,
+                "more than 64 trits supplied"
+            );
+            let (v, m) = trit.to_value_mask();
+            t = Tnum { value: (t.value << 1) | v, mask: (t.mask << 1) | m };
+        }
+        t
+    }
+
+    /// Iterates over the trits of the low `width` bits, least-significant
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn trits(self, width: u32) -> impl Iterator<Item = Trit> {
+        assert!(width <= BITS, "width {width} out of range");
+        (0..width).map(move |i| self.trit(i))
+    }
+
+    /// Whether this tnum is a singleton — i.e. every bit is known.
+    #[must_use]
+    pub const fn is_constant(self) -> bool {
+        self.mask == 0
+    }
+
+    /// If this tnum is a singleton, returns its unique concrete value.
+    #[must_use]
+    pub const fn as_constant(self) -> Option<u64> {
+        if self.mask == 0 {
+            Some(self.value)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this tnum is ⊤ (all 64 bits unknown).
+    #[must_use]
+    pub const fn is_unknown(self) -> bool {
+        self.mask == u64::MAX
+    }
+
+    /// The number of unknown bits (μ trits).
+    #[must_use]
+    pub const fn unknown_bits(self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// The smallest concrete value in γ(self), which is always `value`.
+    #[must_use]
+    pub const fn min_value(self) -> u64 {
+        self.value
+    }
+
+    /// The largest concrete value in γ(self), which is `value | mask`.
+    #[must_use]
+    pub const fn max_value(self) -> u64 {
+        self.value | self.mask
+    }
+
+    /// The smallest value of γ(self) interpreted as two's-complement `i64`.
+    ///
+    /// If the sign bit is unknown, the minimum is negative (sign bit set).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// assert_eq!(Tnum::UNKNOWN.min_signed(), i64::MIN);
+    /// assert_eq!(Tnum::constant(5).min_signed(), 5);
+    /// ```
+    #[must_use]
+    pub const fn min_signed(self) -> i64 {
+        if self.mask >> (BITS - 1) == 1 {
+            // Sign bit unknown: minimum sets the sign bit and clears all
+            // other unknown bits.
+            (self.value | (1 << (BITS - 1))) as i64
+        } else {
+            self.value as i64
+        }
+    }
+
+    /// The largest value of γ(self) interpreted as two's-complement `i64`.
+    #[must_use]
+    pub const fn max_signed(self) -> i64 {
+        if self.mask >> (BITS - 1) == 1 {
+            // Sign bit unknown: maximum clears the sign bit and sets all
+            // other unknown bits.
+            ((self.value | self.mask) & !(1 << (BITS - 1))) as i64
+        } else {
+            (self.value | self.mask) as i64
+        }
+    }
+
+    /// Whether all members of γ(self) are aligned to `size` bytes
+    /// (the kernel's `tnum_is_aligned`).
+    ///
+    /// `size` is typically a power of two; `size == 0` is vacuously aligned,
+    /// matching the kernel.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t = Tnum::new(0b1000, 0b0100).unwrap(); // 1x00: {8, 12}
+    /// assert!(t.is_aligned(4));
+    /// assert!(!t.is_aligned(8));
+    /// ```
+    #[must_use]
+    pub const fn is_aligned(self, size: u64) -> bool {
+        if size == 0 {
+            return true;
+        }
+        (self.value | self.mask) & (size - 1) == 0
+    }
+
+    /// Keeps only the low `width` bits, forcing all higher bits to known `0`.
+    ///
+    /// This generalizes the kernel's byte-granular `tnum_cast` to arbitrary
+    /// bit widths; it is the workhorse of the width-parametric experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    #[must_use]
+    pub const fn truncate(self, width: u32) -> Tnum {
+        let m = low_bits(width);
+        Tnum { value: self.value & m, mask: self.mask & m }
+    }
+
+    /// Whether this tnum fits in `width` bits (all higher trits known `0`).
+    #[must_use]
+    pub const fn fits_width(self, width: u32) -> bool {
+        let m = low_bits(width);
+        self.value & !m == 0 && self.mask & !m == 0
+    }
+
+    /// Sign-extends a `width`-bit tnum to 64 bits: the trit at position
+    /// `width - 1` is replicated into all higher positions.
+    ///
+    /// Used to give width-parametric semantics to arithmetic right shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t: Tnum = "10".parse::<Tnum>()?;       // 2-bit value 0b10
+    /// let s = t.sign_extend_from(2);
+    /// assert_eq!(s.value(), 0b10u64 | !0b11);    // sign bit 1 replicated
+    /// let u: Tnum = "x0".parse::<Tnum>()?;       // sign bit unknown
+    /// assert_eq!(u.sign_extend_from(2).mask(), !0b01); // μ replicated
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn sign_extend_from(self, width: u32) -> Tnum {
+        assert!(width >= 1 && width <= BITS, "width out of range 1..=64");
+        if width == BITS {
+            return self;
+        }
+        let low = low_bits(width);
+        let high = !low;
+        let sign_v = self.value >> (width - 1) & 1;
+        let sign_m = self.mask >> (width - 1) & 1;
+        Tnum {
+            value: (self.value & low) | (if sign_v == 1 { high } else { 0 }),
+            mask: (self.mask & low) | (if sign_m == 1 { high } else { 0 }),
+        }
+    }
+
+    /// Whether the concrete value `x` is a member of γ(self) — the paper's
+    /// `member` predicate (Eqn. 9): `x & !mask == value`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// let t: Tnum = "1x0".parse()?;
+    /// assert!(t.contains(0b100) && t.contains(0b110));
+    /// assert!(!t.contains(0b000));
+    /// # Ok::<(), tnum::ParseTnumError>(())
+    /// ```
+    #[must_use]
+    pub const fn contains(self, x: u64) -> bool {
+        x & !self.mask == self.value
+    }
+
+    /// The number of concrete values in γ(self): `2^popcount(mask)`.
+    ///
+    /// Returned as `u128` because ⊤ concretizes to all 2⁶⁴ values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Tnum;
+    /// assert_eq!(Tnum::constant(7).cardinality(), 1);
+    /// assert_eq!(Tnum::UNKNOWN.cardinality(), 1u128 << 64);
+    /// ```
+    #[must_use]
+    pub const fn cardinality(self) -> u128 {
+        1u128 << self.mask.count_ones()
+    }
+
+    /// The kernel's `tnum_in(a, b)` check: is every concrete value of `b`
+    /// (which the kernel requires to be "at least as known" as `a`)
+    /// contained in `a`?
+    ///
+    /// This is exactly the abstract order test `b ⊑A a` — see
+    /// [`Tnum::is_subset_of`], of which this is the argument-flipped kernel
+    /// spelling.
+    #[must_use]
+    pub const fn contains_tnum(self, b: Tnum) -> bool {
+        b.is_subset_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_ill_formed() {
+        let err = Tnum::new(0b11, 0b01).unwrap_err();
+        assert_eq!(err.value, 0b11);
+        assert_eq!(err.mask, 0b01);
+        assert!(err.to_string().contains("not well-formed"));
+    }
+
+    #[test]
+    fn masked_normalizes() {
+        let t = Tnum::masked(u64::MAX, 0b1010);
+        assert_eq!(t.value() & t.mask(), 0);
+        assert_eq!(t.value(), u64::MAX & !0b1010);
+    }
+
+    #[test]
+    fn constant_round_trip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            let t = Tnum::constant(v);
+            assert!(t.is_constant());
+            assert_eq!(t.as_constant(), Some(v));
+            assert_eq!(t.min_value(), v);
+            assert_eq!(t.max_value(), v);
+            assert_eq!(t.cardinality(), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_is_top() {
+        assert!(Tnum::UNKNOWN.is_unknown());
+        assert_eq!(Tnum::UNKNOWN.min_value(), 0);
+        assert_eq!(Tnum::UNKNOWN.max_value(), u64::MAX);
+        assert_eq!(Tnum::UNKNOWN.unknown_bits(), 64);
+        assert_eq!(Tnum::UNKNOWN.as_constant(), None);
+    }
+
+    #[test]
+    fn trit_get_set_round_trip() {
+        let mut t = Tnum::ZERO;
+        t = t.with_trit(0, Trit::One);
+        t = t.with_trit(5, Trit::Unknown);
+        assert_eq!(t.trit(0), Trit::One);
+        assert_eq!(t.trit(5), Trit::Unknown);
+        assert_eq!(t.trit(4), Trit::Zero);
+        // Overwriting an unknown trit with a known one clears the mask bit.
+        t = t.with_trit(5, Trit::Zero);
+        assert_eq!(t.trit(5), Trit::Zero);
+        assert_eq!(t.mask(), 0);
+    }
+
+    #[test]
+    fn from_trits_msb_first() {
+        let t = Tnum::from_trits([Trit::One, Trit::Zero, Trit::Unknown, Trit::Zero]);
+        assert_eq!((t.value(), t.mask()), (0b1000, 0b0010));
+        let collected: Vec<Trit> = t.trits(4).collect();
+        assert_eq!(
+            collected,
+            vec![Trit::Zero, Trit::Unknown, Trit::Zero, Trit::One]
+        );
+    }
+
+    #[test]
+    fn membership_matches_definition() {
+        let t = Tnum::new(0b1000, 0b0010).unwrap(); // 10x0
+        assert!(t.contains(0b1000));
+        assert!(t.contains(0b1010));
+        assert!(!t.contains(0b1001));
+        assert!(!t.contains(0b0000));
+    }
+
+    #[test]
+    fn min_max_bound_gamma() {
+        let t = Tnum::new(0b1000, 0b0101).unwrap();
+        let members: Vec<u64> = t.concretize().collect();
+        assert_eq!(*members.iter().min().unwrap(), t.min_value());
+        assert_eq!(*members.iter().max().unwrap(), t.max_value());
+        assert_eq!(members.len() as u128, t.cardinality());
+    }
+
+    #[test]
+    fn signed_extremes() {
+        // Sign bit unknown: covers both halves of the signed range.
+        let t = Tnum::masked(0, 1 << 63 | 0b1);
+        assert_eq!(t.min_signed(), i64::MIN);
+        assert_eq!(t.max_signed(), 1);
+        // Sign bit known 1: strictly negative.
+        let neg = Tnum::new(1 << 63, 0b1).unwrap();
+        assert!(neg.min_signed() < 0 && neg.max_signed() < 0);
+        // Exhaustive check at small width: the abstract signed extremes
+        // bound the concrete sign-extended members. When the sign trit is
+        // known the bounds are exact; an unknown sign trit replicates to
+        // *independent* unknown high bits, so the abstraction widens.
+        for t in crate::enumerate::tnums(4) {
+            let s = t.sign_extend_from(4);
+            let signed: Vec<i64> = t
+                .concretize()
+                .map(|x| ((x as i64) << 60) >> 60)
+                .collect();
+            let (lo, hi) = (*signed.iter().min().unwrap(), *signed.iter().max().unwrap());
+            assert!(s.min_signed() <= lo && hi <= s.max_signed(), "{t}");
+            if t.trit(3).is_known() {
+                assert_eq!(s.min_signed(), lo, "{t}");
+                assert_eq!(s.max_signed(), hi, "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Tnum::constant(16).is_aligned(8));
+        assert!(Tnum::constant(16).is_aligned(0));
+        assert!(!Tnum::constant(12).is_aligned(8));
+        // 1x00 = {8, 12}: 4-aligned but not 8-aligned.
+        let t = Tnum::new(0b1000, 0b0100).unwrap();
+        assert!(t.is_aligned(4));
+        assert!(!t.is_aligned(8));
+    }
+
+    #[test]
+    fn truncate_and_fits() {
+        let t = Tnum::masked(0xff00, 0x00f0);
+        assert!(t.fits_width(16));
+        assert!(!t.fits_width(8));
+        let low = t.truncate(8);
+        assert!(low.fits_width(8));
+        assert_eq!(low.mask(), 0xf0);
+        assert_eq!(low.value(), 0);
+        assert_eq!(t.truncate(64), t);
+    }
+
+    #[test]
+    fn sign_extend_known_and_unknown() {
+        // width-4 constant 0b1000 (signed -8) extends to ...11111000.
+        let t = Tnum::constant(0b1000).sign_extend_from(4);
+        assert_eq!(t.value(), (-8i64) as u64);
+        assert_eq!(t.mask(), 0);
+        // Unknown sign bit propagates μ upward.
+        let u = Tnum::masked(0, 0b1000).sign_extend_from(4);
+        assert_eq!(u.mask() & !0b111, !0b111);
+        // Width 64 is the identity.
+        assert_eq!(Tnum::constant(5).sign_extend_from(64), Tnum::constant(5));
+    }
+
+    #[test]
+    fn contains_tnum_is_order() {
+        let big: Tnum = Tnum::masked(0b1000, 0b0110); // 1xx0
+        let small: Tnum = Tnum::new(0b1010, 0).unwrap();
+        assert!(big.contains_tnum(small));
+        assert!(!small.contains_tnum(big));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trit_index_out_of_range_panics() {
+        let _ = Tnum::ZERO.trit(64);
+    }
+}

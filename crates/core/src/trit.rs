@@ -1,0 +1,196 @@
+//! The three-valued digit ("trit") making up a tnum.
+
+use core::fmt;
+
+/// A ternary digit: the abstract value of a single bit position.
+///
+/// Across all executions of a program, a given bit of a register is either
+/// known to be `0`, known to be `1`, or *unknown* (written `μ` in the paper
+/// and `x` in this crate's textual format, matching the kernel's
+/// `tnum_sbin`).
+///
+/// # Examples
+///
+/// ```
+/// use tnum::{Tnum, Trit};
+///
+/// let t: Tnum = "1x0".parse()?;
+/// assert_eq!(t.trit(0), Trit::Zero);
+/// assert_eq!(t.trit(1), Trit::Unknown);
+/// assert_eq!(t.trit(2), Trit::One);
+/// # Ok::<(), tnum::ParseTnumError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Trit {
+    /// The bit is `0` in every concrete value of the tnum.
+    Zero,
+    /// The bit is `1` in every concrete value of the tnum.
+    One,
+    /// The bit is `0` in some concrete values and `1` in others (μ).
+    Unknown,
+}
+
+impl Trit {
+    /// All three trits, in `0`, `1`, `x` order (useful for enumeration).
+    pub const ALL: [Trit; 3] = [Trit::Zero, Trit::One, Trit::Unknown];
+
+    /// Returns the `(value, mask)` bit pair encoding this trit, per Eqn. 3 of
+    /// the paper: `0 ↦ (0,0)`, `1 ↦ (1,0)`, `μ ↦ (0,1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Trit;
+    /// assert_eq!(Trit::One.to_value_mask(), (1, 0));
+    /// assert_eq!(Trit::Unknown.to_value_mask(), (0, 1));
+    /// ```
+    #[must_use]
+    pub const fn to_value_mask(self) -> (u64, u64) {
+        match self {
+            Trit::Zero => (0, 0),
+            Trit::One => (1, 0),
+            Trit::Unknown => (0, 1),
+        }
+    }
+
+    /// Decodes a `(value, mask)` bit pair into a trit.
+    ///
+    /// Returns `None` for the ill-formed pair `(1, 1)`, which the paper maps
+    /// to ⊥ (the empty tnum) and which this crate rules out by construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tnum::Trit;
+    /// assert_eq!(Trit::from_value_mask(0, 1), Some(Trit::Unknown));
+    /// assert_eq!(Trit::from_value_mask(1, 1), None);
+    /// ```
+    #[must_use]
+    pub const fn from_value_mask(value: u64, mask: u64) -> Option<Trit> {
+        match (value & 1, mask & 1) {
+            (0, 0) => Some(Trit::Zero),
+            (1, 0) => Some(Trit::One),
+            (0, 1) => Some(Trit::Unknown),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this trit is [`Trit::Unknown`].
+    #[must_use]
+    pub const fn is_unknown(self) -> bool {
+        matches!(self, Trit::Unknown)
+    }
+
+    /// Returns `true` if this trit is a known constant (`0` or `1`).
+    #[must_use]
+    pub const fn is_known(self) -> bool {
+        !self.is_unknown()
+    }
+
+    /// The canonical character for this trit: `'0'`, `'1'`, or `'x'`.
+    #[must_use]
+    pub const fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::Unknown => 'x',
+        }
+    }
+
+    /// Parses a trit character. Accepts `0`, `1`, and any of `x`, `X`, `u`,
+    /// `U`, `μ`, `?` for the unknown trit.
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Trit> {
+        match c {
+            '0' => Some(Trit::Zero),
+            '1' => Some(Trit::One),
+            'x' | 'X' | 'u' | 'U' | 'μ' | '?' => Some(Trit::Unknown),
+            _ => None,
+        }
+    }
+
+    /// Whether a concrete bit `b` is a member of this trit's concretization.
+    ///
+    /// `Unknown` contains both bit values; `Zero`/`One` contain exactly one.
+    #[must_use]
+    pub const fn contains_bit(self, b: bool) -> bool {
+        match self {
+            Trit::Zero => !b,
+            Trit::One => b,
+            Trit::Unknown => true,
+        }
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Trit::Zero => "0",
+            Trit::One => "1",
+            Trit::Unknown => "x",
+        })
+    }
+}
+
+impl From<bool> for Trit {
+    /// Converts a known concrete bit into the corresponding certain trit.
+    fn from(b: bool) -> Trit {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_mask_round_trip() {
+        for t in Trit::ALL {
+            let (v, m) = t.to_value_mask();
+            assert_eq!(Trit::from_value_mask(v, m), Some(t));
+        }
+    }
+
+    #[test]
+    fn bottom_pair_is_rejected() {
+        assert_eq!(Trit::from_value_mask(1, 1), None);
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for t in Trit::ALL {
+            assert_eq!(Trit::from_char(t.to_char()), Some(t));
+        }
+        assert_eq!(Trit::from_char('μ'), Some(Trit::Unknown));
+        assert_eq!(Trit::from_char('u'), Some(Trit::Unknown));
+        assert_eq!(Trit::from_char('2'), None);
+    }
+
+    #[test]
+    fn membership() {
+        assert!(Trit::Unknown.contains_bit(false));
+        assert!(Trit::Unknown.contains_bit(true));
+        assert!(Trit::Zero.contains_bit(false));
+        assert!(!Trit::Zero.contains_bit(true));
+        assert!(Trit::One.contains_bit(true));
+        assert!(!Trit::One.contains_bit(false));
+    }
+
+    #[test]
+    fn from_bool() {
+        assert_eq!(Trit::from(true), Trit::One);
+        assert_eq!(Trit::from(false), Trit::Zero);
+    }
+
+    #[test]
+    fn known_predicates() {
+        assert!(Trit::Zero.is_known());
+        assert!(Trit::One.is_known());
+        assert!(Trit::Unknown.is_unknown());
+        assert!(!Trit::Unknown.is_known());
+    }
+}

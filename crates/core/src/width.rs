@@ -1,0 +1,49 @@
+//! Bit-width helpers shared by the width-parametric experiment APIs.
+
+/// The native tnum width: 64 bits, matching the kernel's `u64` registers.
+pub const BITS: u32 = 64;
+
+/// A mask with the low `width` bits set.
+///
+/// `low_bits(0) == 0` and `low_bits(64) == u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if `width > 64` (in const evaluation, fails to compile).
+///
+/// # Examples
+///
+/// ```
+/// use tnum::low_bits;
+/// assert_eq!(low_bits(4), 0b1111);
+/// assert_eq!(low_bits(0), 0);
+/// assert_eq!(low_bits(64), u64::MAX);
+/// ```
+#[must_use]
+pub const fn low_bits(width: u32) -> u64 {
+    assert!(width <= BITS, "width out of range 0..=64");
+    if width == BITS {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_edges() {
+        assert_eq!(low_bits(0), 0);
+        assert_eq!(low_bits(1), 1);
+        assert_eq!(low_bits(63), u64::MAX >> 1);
+        assert_eq!(low_bits(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn low_bits_rejects_overwide() {
+        let _ = low_bits(65);
+    }
+}

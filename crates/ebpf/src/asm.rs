@@ -1,0 +1,581 @@
+//! A line-oriented assembler for the eBPF subset, using the syntax of the
+//! kernel documentation (and of LLVM's BPF assembly):
+//!
+//! ```text
+//! ; drop packets with a too-large index
+//!     r6 = r1                    ; save ctx
+//!     r0 = *(u8 *)(r6 + 0)       ; load a byte
+//!     r0 &= 7                    ; mask to [0, 7]
+//!     if r0 > 5 goto drop
+//!     r0 = 1
+//!     exit
+//! drop:
+//!     r0 = 0
+//!     exit
+//! ```
+//!
+//! Supported forms:
+//!
+//! * `rD = imm`, `rD = rS` (64-bit mov), `wD = …` (32-bit, zero-extending);
+//! * `rD += rS|imm` and likewise `-= *= /= %= &= |= ^= <<= >>= s>>=`;
+//! * `rD = -rD` (negation);
+//! * `rD = imm ll` (64-bit immediate load);
+//! * `rD = *(u8|u16|u32|u64 *)(rB + off)` loads;
+//! * `*(u8|u16|u32|u64 *)(rB + off) = rS|imm` stores;
+//! * `if rD OP rS|imm goto target` with `OP` one of
+//!   `== != > >= < <= s> s>= s< s<= &`, and `wD` forms for 32-bit compares;
+//! * `goto target`, `call imm`, `exit`;
+//! * `target` is a label or an explicit slot offset `+N`/`-N`;
+//! * comments start with `;` or `#`; labels are `name:` on their own line.
+
+use std::collections::HashMap;
+
+use crate::error::{AsmError, ProgramError};
+use crate::insn::{AluOp, Insn, JmpOp, MemSize, Src, Width};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown labels, or out-of-range operands; program-level validation
+/// failures (e.g. falling off the end) are reported on the last line.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::asm::assemble;
+/// let prog = assemble(r"
+///     r0 = 7
+///     r0 <<= 2
+///     exit
+/// ")?;
+/// assert_eq!(prog.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut insns: Vec<(usize, PendingInsn)> = Vec::new(); // (line, insn)
+    let mut labels: HashMap<String, usize> = HashMap::new(); // label -> slot
+    let mut slot = 0usize;
+    let mut last_line = 1;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        last_line = line_no;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(err(line_no, format!("invalid label name {name:?}")));
+            }
+            if labels.insert(name.to_string(), slot).is_some() {
+                return Err(err(line_no, format!("duplicate label {name:?}")));
+            }
+            continue;
+        }
+        let pending = parse_line(line).map_err(|m| err(line_no, m))?;
+        slot += pending.slots();
+        insns.push((line_no, pending));
+    }
+
+    // Resolve labels to slot-relative offsets.
+    let mut resolved = Vec::with_capacity(insns.len());
+    let mut cur_slot = 0usize;
+    for (line_no, pending) in insns {
+        let next_slot = cur_slot + pending.slots();
+        let insn = pending
+            .resolve(|target| match target {
+                Target::Offset(off) => Ok(off),
+                Target::Label(name) => {
+                    let dest = *labels
+                        .get(&name)
+                        .ok_or_else(|| format!("unknown label {name:?}"))?;
+                    i16::try_from(dest as i64 - next_slot as i64)
+                        .map_err(|_| format!("label {name:?} is out of jump range"))
+                }
+            })
+            .map_err(|m| err(line_no, m))?;
+        cur_slot = next_slot;
+        resolved.push(insn);
+    }
+
+    Program::new(resolved).map_err(|e: ProgramError| err(last_line, e.to_string()))
+}
+
+fn err(line: usize, message: String) -> AsmError {
+    AsmError { line, message }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find([';', '#']).unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A jump destination before label resolution.
+enum Target {
+    Offset(i16),
+    Label(String),
+}
+
+/// An instruction whose jump target may still be symbolic.
+enum PendingInsn {
+    Ready(Insn),
+    Ja(Target),
+    Jmp { width: Width, op: JmpOp, dst: Reg, src: Src, target: Target },
+}
+
+impl PendingInsn {
+    fn slots(&self) -> usize {
+        match self {
+            PendingInsn::Ready(i) => i.slots(),
+            _ => 1,
+        }
+    }
+
+    fn resolve(
+        self,
+        mut f: impl FnMut(Target) -> Result<i16, String>,
+    ) -> Result<Insn, String> {
+        Ok(match self {
+            PendingInsn::Ready(i) => i,
+            PendingInsn::Ja(t) => Insn::Ja { off: f(t)? },
+            PendingInsn::Jmp { width, op, dst, src, target } => {
+                Insn::Jmp { width, op, dst, src, off: f(target)? }
+            }
+        })
+    }
+}
+
+fn parse_line(line: &str) -> Result<PendingInsn, String> {
+    if line == "exit" {
+        return Ok(PendingInsn::Ready(Insn::Exit));
+    }
+    if let Some(rest) = line.strip_prefix("call") {
+        let helper: i64 = parse_int(rest.trim())?;
+        let helper = u32::try_from(helper).map_err(|_| "helper id out of range".to_string())?;
+        return Ok(PendingInsn::Ready(Insn::Call { helper }));
+    }
+    if let Some(rest) = line.strip_prefix("goto") {
+        return Ok(PendingInsn::Ja(parse_target(rest.trim())?));
+    }
+    if let Some(rest) = line.strip_prefix("if") {
+        return parse_cond(rest.trim());
+    }
+    if line.starts_with("*(") {
+        return parse_store(line).map(PendingInsn::Ready);
+    }
+    parse_assign(line).map(PendingInsn::Ready)
+}
+
+fn parse_target(s: &str) -> Result<Target, String> {
+    if let Some(rest) = s.strip_prefix('+') {
+        return Ok(Target::Offset(
+            rest.trim().parse().map_err(|_| format!("bad offset {s:?}"))?,
+        ));
+    }
+    if s.starts_with('-') {
+        return Ok(Target::Offset(s.parse().map_err(|_| format!("bad offset {s:?}"))?));
+    }
+    if is_ident(s) {
+        return Ok(Target::Label(s.to_string()));
+    }
+    Err(format!("bad jump target {s:?}"))
+}
+
+/// Parses `r0`..`r10` (64-bit) or `w0`..`w10` (32-bit view).
+fn parse_reg(s: &str) -> Result<(Reg, Width), String> {
+    let (width, rest) = match s.as_bytes().first() {
+        Some(b'r') => (Width::W64, &s[1..]),
+        Some(b'w') => (Width::W32, &s[1..]),
+        _ => return Err(format!("expected register, found {s:?}")),
+    };
+    let index: u8 = rest.parse().map_err(|_| format!("bad register {s:?}"))?;
+    let reg = Reg::new(index).ok_or_else(|| format!("register index {index} out of range"))?;
+    Ok((reg, width))
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer {s:?}"))?
+    } else {
+        body.parse::<u64>().map_err(|_| format!("bad integer {s:?}"))?
+    };
+    let signed = if neg {
+        (value as i64).checked_neg().ok_or_else(|| format!("integer {s:?} out of range"))?
+    } else {
+        value as i64
+    };
+    Ok(signed)
+}
+
+fn parse_imm32(s: &str) -> Result<i32, String> {
+    let v = parse_int(s)?;
+    // Accept both signed values and unsigned 32-bit literals (e.g.
+    // 0xffffffff), which BPF treats as the same bit pattern.
+    i32::try_from(v)
+        .or_else(|_| u32::try_from(v).map(|u| u as i32))
+        .map_err(|_| format!("immediate {s:?} does not fit in 32 bits"))
+}
+
+fn parse_src(s: &str) -> Result<(Src, Option<Width>), String> {
+    if s.starts_with('r') || s.starts_with('w') {
+        if let Ok((reg, width)) = parse_reg(s) {
+            return Ok((Src::Reg(reg), Some(width)));
+        }
+    }
+    Ok((Src::Imm(parse_imm32(s)?), None))
+}
+
+/// Parses `(u8|u16|u32|u64 *)(rB + off)` after the leading `*`.
+fn parse_mem_ref(s: &str) -> Result<(MemSize, Reg, i16), String> {
+    let s = s.trim();
+    let body = s
+        .strip_prefix('(')
+        .ok_or_else(|| format!("expected '(' in memory reference {s:?}"))?;
+    let (ty, rest) = body
+        .split_once('*')
+        .ok_or_else(|| format!("expected 'type *' in memory reference {s:?}"))?;
+    let size = match ty.trim() {
+        "u8" => MemSize::B,
+        "u16" => MemSize::H,
+        "u32" => MemSize::W,
+        "u64" => MemSize::DW,
+        other => return Err(format!("unknown access type {other:?}")),
+    };
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix(')')
+        .ok_or_else(|| format!("expected ')' after access type in {s:?}"))?;
+    let rest = rest.trim_start();
+    let addr = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| format!("expected '(reg + off)' in {s:?}"))?;
+    // Forms: "r1", "r1 + 4", "r1 - 4" (spaces optional).
+    let addr = addr.replace(' ', "");
+    let (reg_str, off) = match addr.find(['+', '-']) {
+        Some(pos) => {
+            let (r, o) = addr.split_at(pos);
+            (r, parse_int(o)?)
+        }
+        None => (addr.as_str(), 0),
+    };
+    let (base, width) = parse_reg(reg_str)?;
+    if width == Width::W32 {
+        return Err("memory references must use 64-bit registers (rN)".to_string());
+    }
+    let off = i16::try_from(off).map_err(|_| format!("offset {off} does not fit in 16 bits"))?;
+    Ok((size, base, off))
+}
+
+fn parse_store(line: &str) -> Result<Insn, String> {
+    let body = &line[1..]; // skip '*'
+    let eq = find_top_level_eq(body)
+        .ok_or_else(|| format!("expected '=' in store {line:?}"))?;
+    let (lhs, rhs) = body.split_at(eq);
+    let rhs = rhs[1..].trim();
+    let (size, base, off) = parse_mem_ref(lhs.trim())?;
+    let (src, src_width) = parse_src(rhs)?;
+    if src_width == Some(Width::W32) {
+        return Err("stores take 64-bit registers (rN); the access size selects the width"
+            .to_string());
+    }
+    Ok(Insn::Store { size, base, off, src })
+}
+
+/// Finds the `=` separating lhs from rhs, skipping `==`, `!=`, `<=`, `>=`.
+fn find_top_level_eq(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    for i in 0..b.len() {
+        if b[i] == b'=' {
+            let prev = if i > 0 { b[i - 1] } else { 0 };
+            let next = if i + 1 < b.len() { b[i + 1] } else { 0 };
+            if prev != b'=' && prev != b'!' && prev != b'<' && prev != b'>' && next != b'=' {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+fn parse_cond(rest: &str) -> Result<PendingInsn, String> {
+    // Grammar: <reg> <op> <src> goto <target>
+    let goto_pos = rest
+        .find("goto")
+        .ok_or_else(|| format!("expected 'goto' in conditional {rest:?}"))?;
+    let (cond, target_str) = rest.split_at(goto_pos);
+    let target = parse_target(target_str[4..].trim())?;
+    let mut parts = cond.split_whitespace();
+    let dst_str = parts.next().ok_or("missing register in condition")?;
+    let op_str = parts.next().ok_or("missing comparison operator")?;
+    let src_str = parts.next().ok_or("missing right-hand operand")?;
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in condition {cond:?}"));
+    }
+    let (dst, width) = parse_reg(dst_str)?;
+    let op = match op_str {
+        "==" => JmpOp::Eq,
+        "!=" => JmpOp::Ne,
+        ">" => JmpOp::Gt,
+        ">=" => JmpOp::Ge,
+        "<" => JmpOp::Lt,
+        "<=" => JmpOp::Le,
+        "s>" => JmpOp::Sgt,
+        "s>=" => JmpOp::Sge,
+        "s<" => JmpOp::Slt,
+        "s<=" => JmpOp::Sle,
+        "&" => JmpOp::Set,
+        other => return Err(format!("unknown comparison operator {other:?}")),
+    };
+    let (src, src_width) = parse_src(src_str)?;
+    if let Some(sw) = src_width {
+        if sw != width {
+            return Err("mixed 32/64-bit registers in comparison".to_string());
+        }
+    }
+    Ok(PendingInsn::Jmp { width, op, dst, src, target })
+}
+
+fn parse_assign(line: &str) -> Result<Insn, String> {
+    // Compound assignments first (longest operators first).
+    const COMPOUND: [(&str, AluOp); 11] = [
+        ("s>>=", AluOp::Arsh),
+        ("<<=", AluOp::Lsh),
+        (">>=", AluOp::Rsh),
+        ("+=", AluOp::Add),
+        ("-=", AluOp::Sub),
+        ("*=", AluOp::Mul),
+        ("/=", AluOp::Div),
+        ("%=", AluOp::Mod),
+        ("&=", AluOp::And),
+        ("|=", AluOp::Or),
+        ("^=", AluOp::Xor),
+    ];
+    for (tok, op) in COMPOUND {
+        if let Some(pos) = line.find(tok) {
+            let (lhs, rhs) = (line[..pos].trim(), line[pos + tok.len()..].trim());
+            let (dst, width) = parse_reg(lhs)?;
+            let (src, src_width) = parse_src(rhs)?;
+            if let Some(sw) = src_width {
+                if sw != width {
+                    return Err("mixed 32/64-bit registers in ALU op".to_string());
+                }
+            }
+            return Ok(Insn::Alu { width, op, dst, src });
+        }
+    }
+
+    // Plain `dst = rhs` forms.
+    let eq = find_top_level_eq(line).ok_or_else(|| format!("cannot parse {line:?}"))?;
+    let (lhs, rhs) = (line[..eq].trim(), line[eq + 1..].trim());
+    let (dst, width) = parse_reg(lhs)?;
+
+    // Negation: rD = -rD.
+    if let Some(neg) = rhs.strip_prefix('-') {
+        if neg.starts_with('r') || neg.starts_with('w') {
+            let (src_reg, src_width) = parse_reg(neg.trim())?;
+            if src_reg != dst || src_width != width {
+                return Err("negation must have the form rD = -rD".to_string());
+            }
+            return Ok(Insn::Alu { width, op: AluOp::Neg, dst, src: Src::Imm(0) });
+        }
+    }
+
+    // Load: rD = *(size *)(rB + off).
+    if let Some(mem) = rhs.strip_prefix('*') {
+        if width == Width::W32 {
+            return Err("loads write 64-bit registers (rN)".to_string());
+        }
+        let (size, base, off) = parse_mem_ref(mem)?;
+        return Ok(Insn::Load { size, dst, base, off });
+    }
+
+    // 64-bit immediate: rD = imm ll.
+    if let Some(imm_str) = rhs.strip_suffix("ll") {
+        if width == Width::W32 {
+            return Err("lddw writes 64-bit registers (rN)".to_string());
+        }
+        let v = parse_int_u64(imm_str.trim())?;
+        return Ok(Insn::LoadImm64 { dst, imm: v });
+    }
+
+    // Register or immediate mov.
+    let (src, src_width) = parse_src(rhs)?;
+    if let Some(sw) = src_width {
+        if sw != width {
+            return Err("mixed 32/64-bit registers in mov".to_string());
+        }
+    }
+    Ok(Insn::Alu { width, op: AluOp::Mov, dst, src })
+}
+
+fn parse_int_u64(s: &str) -> Result<u64, String> {
+    if let Some(rest) = s.strip_prefix('-') {
+        let v: u64 = if let Some(hex) = rest.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer {s:?}"))?
+        } else {
+            rest.parse().map_err(|_| format!("bad integer {s:?}"))?
+        };
+        Ok((v as i64).wrapping_neg() as u64)
+    } else if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer {s:?}"))
+    } else {
+        s.parse().map_err(|_| format!("bad integer {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_form() {
+        let prog = assemble(
+            r"
+            ; every supported syntactic form
+            start:
+                r6 = r1
+                w2 = 5
+                r3 = -7
+                r3 += r6
+                r3 -= 2
+                w3 *= w2
+                r3 /= 3
+                r3 %= 10
+                r3 &= 0xff
+                r3 |= r2
+                r3 ^= r3
+                r3 <<= 2
+                r3 >>= 1
+                r3 s>>= 1
+                r3 = -r3
+                r4 = 0x1122334455667788 ll
+                r5 = *(u16 *)(r6 + 4)
+                *(u32 *)(r10 - 8) = r5
+                *(u8 *)(r10 - 1) = 66
+                if r5 == 0 goto out
+                if w5 s< -3 goto out
+                if r5 & 0x80 goto start
+                goto +0
+            out:
+                call 7
+                r0 = 0
+                exit
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 26);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let prog = assemble(
+            r"
+            top:
+                r0 = 0
+                if r1 == 0 goto end
+                goto top
+            end:
+                exit
+            ",
+        )
+        .unwrap();
+        // Instruction 1 jumps to 3 (exit); instruction 2 jumps to 0.
+        assert_eq!(prog.jump_target(1, jump_off(&prog, 1)), Some(3));
+        assert_eq!(prog.jump_target(2, jump_off(&prog, 2)), Some(0));
+    }
+
+    fn jump_off(prog: &Program, idx: usize) -> i16 {
+        match prog.insns()[idx] {
+            Insn::Ja { off } | Insn::Jmp { off, .. } => off,
+            _ => panic!("not a jump"),
+        }
+    }
+
+    #[test]
+    fn labels_account_for_lddw_slots() {
+        let prog = assemble(
+            r"
+                r1 = 0x100000000 ll
+                if r1 == 0 goto out
+                r0 = 1
+                exit
+            out:
+                r0 = 0
+                exit
+            ",
+        )
+        .unwrap();
+        // lddw occupies two slots, so the label's slot is shifted.
+        assert_eq!(prog.jump_target(1, jump_off(&prog, 1)), Some(4));
+    }
+
+    #[test]
+    fn rejects_bad_syntax_with_line_numbers() {
+        let e = assemble("r0 = 0\nbogus line\nexit").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("r11 = 0\nexit").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("out of range"));
+        let e = assemble("goto nowhere\nexit").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+        let e = assemble("r0 = 1").unwrap_err();
+        assert!(e.message.contains("fall off"));
+        let e = assemble("start:\nstart:\n  exit").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn rejects_mixed_widths() {
+        assert!(assemble("r0 += w1\nexit").is_err());
+        assert!(assemble("if r0 == w1 goto +0\nexit").is_err());
+        assert!(assemble("w0 = *(u8 *)(r1 + 0)\nexit").is_err());
+    }
+
+    #[test]
+    fn unsigned_32bit_literals_accepted() {
+        let prog = assemble("r0 = 0xffffffff\nexit").unwrap();
+        match prog.insns()[0] {
+            Insn::Alu { src: Src::Imm(imm), .. } => assert_eq!(imm, -1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble("# leading\n\n  r0 = 1 ; trailing\n  exit # done\n").unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn numeric_offsets_work() {
+        let prog = assemble("if r1 != 0 goto +1\nr0 = 1\nr0 = 2\nexit").unwrap();
+        assert_eq!(prog.jump_target(0, 1), Some(2));
+    }
+
+    #[test]
+    fn store_offset_signs() {
+        let prog = assemble("*(u64 *)(r10 - 8) = 1\n*(u64 *)(r10+8) = 2\nexit").unwrap();
+        match (prog.insns()[0], prog.insns()[1]) {
+            (Insn::Store { off: a, .. }, Insn::Store { off: b, .. }) => {
+                assert_eq!((a, b), (-8, 8));
+            }
+            _ => panic!("expected stores"),
+        }
+    }
+}

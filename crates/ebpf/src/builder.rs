@@ -1,0 +1,340 @@
+//! A fluent, label-aware builder for constructing programs in code —
+//! the programmatic companion to the textual assembler.
+
+use std::collections::HashMap;
+
+use crate::error::ProgramError;
+use crate::insn::{AluOp, Insn, JmpOp, MemSize, Src, Width};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// A symbolic jump target used while building.
+#[derive(Clone, Debug)]
+enum Target {
+    Label(String),
+    Offset(i16),
+}
+
+/// Builds a [`Program`] instruction by instruction, with named labels
+/// resolved on [`ProgramBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::{builder::ProgramBuilder, Reg, Vm};
+///
+/// let prog = ProgramBuilder::new()
+///     .mov64_imm(Reg::R0, 0)
+///     .mov64_imm(Reg::R3, 10)
+///     .label("loop")
+///     .alu64_reg(ebpf::AluOp::Add, Reg::R0, Reg::R3)
+///     .alu64_imm(ebpf::AluOp::Sub, Reg::R3, 1)
+///     .jmp_imm(ebpf::JmpOp::Ne, Reg::R3, 0, "loop")
+///     .exit()
+///     .build()?;
+/// assert_eq!(Vm::new().run(&prog, &mut [])?, 55);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insns: Vec<(Insn, Option<Target>)>,
+    labels: HashMap<String, usize>, // label -> slot index
+    slot: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate label names (a programming error at the call
+    /// site, not an input error).
+    #[must_use]
+    pub fn label(mut self, name: &str) -> Self {
+        let prev = self.labels.insert(name.to_string(), self.slot);
+        assert!(prev.is_none(), "duplicate label {name:?}");
+        self
+    }
+
+    fn push(mut self, insn: Insn, target: Option<Target>) -> Self {
+        self.slot += insn.slots();
+        self.insns.push((insn, target));
+        self
+    }
+
+    /// `dst = imm` (64-bit).
+    #[must_use]
+    pub fn mov64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.push(Insn::Alu { width: Width::W64, op: AluOp::Mov, dst, src: Src::Imm(imm) }, None)
+    }
+
+    /// `dst = src` (64-bit).
+    #[must_use]
+    pub fn mov64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.push(
+            Insn::Alu { width: Width::W64, op: AluOp::Mov, dst, src: Src::Reg(src) },
+            None,
+        )
+    }
+
+    /// `dst = imm ll` (full 64-bit immediate).
+    #[must_use]
+    pub fn load_imm64(self, dst: Reg, imm: u64) -> Self {
+        self.push(Insn::LoadImm64 { dst, imm }, None)
+    }
+
+    /// `dst op= imm` (64-bit).
+    #[must_use]
+    pub fn alu64_imm(self, op: AluOp, dst: Reg, imm: i32) -> Self {
+        self.push(Insn::Alu { width: Width::W64, op, dst, src: Src::Imm(imm) }, None)
+    }
+
+    /// `dst op= src` (64-bit).
+    #[must_use]
+    pub fn alu64_reg(self, op: AluOp, dst: Reg, src: Reg) -> Self {
+        self.push(Insn::Alu { width: Width::W64, op, dst, src: Src::Reg(src) }, None)
+    }
+
+    /// `wdst op= imm` (32-bit, zero-extending).
+    #[must_use]
+    pub fn alu32_imm(self, op: AluOp, dst: Reg, imm: i32) -> Self {
+        self.push(Insn::Alu { width: Width::W32, op, dst, src: Src::Imm(imm) }, None)
+    }
+
+    /// `wdst op= wsrc` (32-bit, zero-extending).
+    #[must_use]
+    pub fn alu32_reg(self, op: AluOp, dst: Reg, src: Reg) -> Self {
+        self.push(Insn::Alu { width: Width::W32, op, dst, src: Src::Reg(src) }, None)
+    }
+
+    /// `dst = *(size *)(base + off)`.
+    #[must_use]
+    pub fn load(self, size: MemSize, dst: Reg, base: Reg, off: i16) -> Self {
+        self.push(Insn::Load { size, dst, base, off }, None)
+    }
+
+    /// `*(size *)(base + off) = src`.
+    #[must_use]
+    pub fn store_reg(self, size: MemSize, base: Reg, off: i16, src: Reg) -> Self {
+        self.push(Insn::Store { size, base, off, src: Src::Reg(src) }, None)
+    }
+
+    /// `*(size *)(base + off) = imm`.
+    #[must_use]
+    pub fn store_imm(self, size: MemSize, base: Reg, off: i16, imm: i32) -> Self {
+        self.push(Insn::Store { size, base, off, src: Src::Imm(imm) }, None)
+    }
+
+    /// `goto label`.
+    #[must_use]
+    pub fn jump(self, label: &str) -> Self {
+        self.push(Insn::Ja { off: 0 }, Some(Target::Label(label.to_string())))
+    }
+
+    /// `if dst op imm goto label`.
+    #[must_use]
+    pub fn jmp_imm(self, op: JmpOp, dst: Reg, imm: i32, label: &str) -> Self {
+        self.push(
+            Insn::Jmp { width: Width::W64, op, dst, src: Src::Imm(imm), off: 0 },
+            Some(Target::Label(label.to_string())),
+        )
+    }
+
+    /// `if dst op src goto label`.
+    #[must_use]
+    pub fn jmp_reg(self, op: JmpOp, dst: Reg, src: Reg, label: &str) -> Self {
+        self.push(
+            Insn::Jmp { width: Width::W64, op, dst, src: Src::Reg(src), off: 0 },
+            Some(Target::Label(label.to_string())),
+        )
+    }
+
+    /// `call helper`.
+    #[must_use]
+    pub fn call(self, helper: u32) -> Self {
+        self.push(Insn::Call { helper }, None)
+    }
+
+    /// `exit`.
+    #[must_use]
+    pub fn exit(self) -> Self {
+        self.push(Insn::Exit, None)
+    }
+
+    /// Appends a pre-constructed instruction with an explicit numeric
+    /// offset (escape hatch).
+    #[must_use]
+    pub fn raw(self, insn: Insn) -> Self {
+        match insn {
+            Insn::Ja { off } => self.push(Insn::Ja { off: 0 }, Some(Target::Offset(off))),
+            Insn::Jmp { off, .. } => {
+                let t = Target::Offset(off);
+                self.push(insn, Some(t))
+            }
+            _ => self.push(insn, None),
+        }
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownLabel`] for a jump to an undefined
+    /// label, [`BuildError::LabelOutOfRange`] when an offset overflows
+    /// `i16`, or the underlying [`ProgramError`] from validation.
+    pub fn build(self) -> Result<Program, BuildError> {
+        let mut resolved = Vec::with_capacity(self.insns.len());
+        let mut slot = 0usize;
+        for (insn, target) in self.insns {
+            let next_slot = slot + insn.slots();
+            let off = match target {
+                None => None,
+                Some(Target::Offset(off)) => Some(off),
+                Some(Target::Label(name)) => {
+                    let dest = *self
+                        .labels
+                        .get(&name)
+                        .ok_or(BuildError::UnknownLabel { name: name.clone() })?;
+                    Some(
+                        i16::try_from(dest as i64 - next_slot as i64)
+                            .map_err(|_| BuildError::LabelOutOfRange { name })?,
+                    )
+                }
+            };
+            let insn = match (insn, off) {
+                (Insn::Ja { .. }, Some(off)) => Insn::Ja { off },
+                (Insn::Jmp { width, op, dst, src, .. }, Some(off)) => {
+                    Insn::Jmp { width, op, dst, src, off }
+                }
+                (other, _) => other,
+            };
+            slot = next_slot;
+            resolved.push(insn);
+        }
+        Ok(Program::new(resolved)?)
+    }
+}
+
+/// Error from [`ProgramBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A jump referenced a label that was never defined.
+    UnknownLabel {
+        /// The missing label.
+        name: String,
+    },
+    /// A label resolved to an offset that does not fit in `i16`.
+    LabelOutOfRange {
+        /// The offending label.
+        name: String,
+    },
+    /// Label resolution succeeded but program validation failed.
+    Invalid(ProgramError),
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::UnknownLabel { name } => write!(f, "unknown label {name:?}"),
+            BuildError::LabelOutOfRange { name } => {
+                write!(f, "label {name:?} is out of jump range")
+            }
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> BuildError {
+        BuildError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Vm;
+
+    #[test]
+    fn builds_loop_program() {
+        let prog = ProgramBuilder::new()
+            .mov64_imm(Reg::R0, 0)
+            .mov64_imm(Reg::R3, 5)
+            .label("top")
+            .alu64_reg(AluOp::Add, Reg::R0, Reg::R3)
+            .alu64_imm(AluOp::Sub, Reg::R3, 1)
+            .jmp_imm(JmpOp::Ne, Reg::R3, 0, "top")
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(Vm::new().run(&prog, &mut []).unwrap(), 15);
+    }
+
+    #[test]
+    fn forward_labels_and_lddw_slots() {
+        let prog = ProgramBuilder::new()
+            .load_imm64(Reg::R1, u64::MAX)
+            .jmp_imm(JmpOp::Eq, Reg::R1, -1, "yes")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .label("yes")
+            .mov64_imm(Reg::R0, 1)
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(Vm::new().run(&prog, &mut []).unwrap(), 1);
+    }
+
+    #[test]
+    fn memory_helpers() {
+        let prog = ProgramBuilder::new()
+            .store_imm(MemSize::W, Reg::R10, -4, 1234)
+            .load(MemSize::W, Reg::R0, Reg::R10, -4)
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(Vm::new().run(&prog, &mut []).unwrap(), 1234);
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let err = ProgramBuilder::new()
+            .jump("nowhere")
+            .exit()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::UnknownLabel { name: "nowhere".into() });
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let err = ProgramBuilder::new().mov64_imm(Reg::R0, 0).build().unwrap_err();
+        assert!(matches!(err, BuildError::Invalid(ProgramError::FallsThrough)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_panic() {
+        let _ = ProgramBuilder::new().label("a").label("a");
+    }
+
+    #[test]
+    fn matches_assembler_output() {
+        let built = ProgramBuilder::new()
+            .mov64_imm(Reg::R0, 7)
+            .alu32_imm(AluOp::Mul, Reg::R0, 6)
+            .exit()
+            .build()
+            .unwrap();
+        let asm = crate::asm::assemble("r0 = 7\nw0 *= 6\nexit").unwrap();
+        assert_eq!(built, asm);
+    }
+}

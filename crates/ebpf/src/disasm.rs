@@ -1,0 +1,200 @@
+//! Disassembly: rendering instructions back to the assembly syntax.
+
+use core::fmt;
+
+use crate::insn::{AluOp, Insn, JmpOp, Src, Width};
+use crate::program::Program;
+use crate::reg::Reg;
+
+fn reg_name(width: Width, reg: Reg) -> String {
+    match width {
+        Width::W64 => format!("r{}", reg.index()),
+        Width::W32 => format!("w{}", reg.index()),
+    }
+}
+
+fn src_name(width: Width, src: Src) -> String {
+    match src {
+        Src::Reg(r) => reg_name(width, r),
+        Src::Imm(v) => v.to_string(),
+    }
+}
+
+/// Renders the instruction in the assembler's input syntax, with jump
+/// targets as numeric slot offsets (`goto +3`).
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::{AluOp, Insn, Reg, Src, Width};
+/// let insn = Insn::Alu { width: Width::W64, op: AluOp::Add, dst: Reg::R1, src: Src::Imm(4) };
+/// assert_eq!(insn.to_string(), "r1 += 4");
+/// ```
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Insn::Alu { width, op, dst, src } => {
+                let d = reg_name(width, dst);
+                let s = src_name(width, src);
+                match op {
+                    AluOp::Mov => write!(f, "{d} = {s}"),
+                    AluOp::Neg => write!(f, "{d} = -{d}"),
+                    AluOp::Add => write!(f, "{d} += {s}"),
+                    AluOp::Sub => write!(f, "{d} -= {s}"),
+                    AluOp::Mul => write!(f, "{d} *= {s}"),
+                    AluOp::Div => write!(f, "{d} /= {s}"),
+                    AluOp::Mod => write!(f, "{d} %= {s}"),
+                    AluOp::And => write!(f, "{d} &= {s}"),
+                    AluOp::Or => write!(f, "{d} |= {s}"),
+                    AluOp::Xor => write!(f, "{d} ^= {s}"),
+                    AluOp::Lsh => write!(f, "{d} <<= {s}"),
+                    AluOp::Rsh => write!(f, "{d} >>= {s}"),
+                    AluOp::Arsh => write!(f, "{d} s>>= {s}"),
+                }
+            }
+            Insn::LoadImm64 { dst, imm } => write!(f, "r{} = {:#x} ll", dst.index(), imm),
+            Insn::Load { size, dst, base, off } => write!(
+                f,
+                "r{} = *({} *)(r{} {} {})",
+                dst.index(),
+                size.type_name(),
+                base.index(),
+                if off < 0 { '-' } else { '+' },
+                off.unsigned_abs(),
+            ),
+            Insn::Store { size, base, off, src } => write!(
+                f,
+                "*({} *)(r{} {} {}) = {}",
+                size.type_name(),
+                base.index(),
+                if off < 0 { '-' } else { '+' },
+                off.unsigned_abs(),
+                src_name(Width::W64, src),
+            ),
+            Insn::Ja { off } => write!(f, "goto {off:+}"),
+            Insn::Jmp { width, op, dst, src, off } => {
+                let opstr = match op {
+                    JmpOp::Eq => "==",
+                    JmpOp::Ne => "!=",
+                    JmpOp::Gt => ">",
+                    JmpOp::Ge => ">=",
+                    JmpOp::Lt => "<",
+                    JmpOp::Le => "<=",
+                    JmpOp::Sgt => "s>",
+                    JmpOp::Sge => "s>=",
+                    JmpOp::Slt => "s<",
+                    JmpOp::Sle => "s<=",
+                    JmpOp::Set => "&",
+                };
+                write!(
+                    f,
+                    "if {} {} {} goto {:+}",
+                    reg_name(width, dst),
+                    opstr,
+                    src_name(width, src),
+                    off
+                )
+            }
+            Insn::Call { helper } => write!(f, "call {helper}"),
+            Insn::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+impl Program {
+    /// Renders the whole program, one instruction per line, in a form
+    /// accepted by [`crate::asm::assemble`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ebpf::asm::assemble;
+    /// let prog = assemble("r0 = 1\nif r0 > 2 goto +1\nr0 = 0\nexit")?;
+    /// let text = prog.disassemble();
+    /// assert_eq!(assemble(&text)?, prog); // round trip
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for insn in self.insns() {
+            out.push_str(&insn.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::insn::MemSize;
+
+    #[test]
+    fn display_forms() {
+        let samples: Vec<(Insn, &str)> = vec![
+            (
+                Insn::Alu { width: Width::W32, op: AluOp::Mov, dst: Reg::R2, src: Src::Imm(-3) },
+                "w2 = -3",
+            ),
+            (
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Arsh,
+                    dst: Reg::R1,
+                    src: Src::Reg(Reg::R2),
+                },
+                "r1 s>>= r2",
+            ),
+            (
+                Insn::Alu { width: Width::W64, op: AluOp::Neg, dst: Reg::R4, src: Src::Imm(0) },
+                "r4 = -r4",
+            ),
+            (Insn::LoadImm64 { dst: Reg::R3, imm: 0xff }, "r3 = 0xff ll"),
+            (
+                Insn::Load { size: MemSize::W, dst: Reg::R0, base: Reg::R1, off: -4 },
+                "r0 = *(u32 *)(r1 - 4)",
+            ),
+            (
+                Insn::Store { size: MemSize::DW, base: Reg::R10, off: 8, src: Src::Imm(7) },
+                "*(u64 *)(r10 + 8) = 7",
+            ),
+            (Insn::Ja { off: -2 }, "goto -2"),
+            (
+                Insn::Jmp {
+                    width: Width::W32,
+                    op: JmpOp::Sle,
+                    dst: Reg::R5,
+                    src: Src::Imm(0),
+                    off: 3,
+                },
+                "if w5 s<= 0 goto +3",
+            ),
+            (Insn::Call { helper: 12 }, "call 12"),
+            (Insn::Exit, "exit"),
+        ];
+        for (insn, expect) in samples {
+            assert_eq!(insn.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn full_round_trip_through_text() {
+        let source = r"
+            r6 = r1
+            r0 = *(u8 *)(r6 + 0)
+            r0 &= 7
+            w0 *= w0
+            r2 = 0xdeadbeefcafef00d ll
+            if r0 s> 40 goto +2
+            if r0 & 1 goto +1
+            r0 = 0
+            *(u64 *)(r10 - 8) = r0
+            exit
+        ";
+        let prog = assemble(source).unwrap();
+        let round = assemble(&prog.disassemble()).unwrap();
+        assert_eq!(round, prog);
+    }
+}

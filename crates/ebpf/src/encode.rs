@@ -1,0 +1,506 @@
+//! The classic 8-byte eBPF binary encoding.
+//!
+//! Layout per slot (little-endian):
+//!
+//! ```text
+//! byte 0      opcode
+//! byte 1      dst_reg (low nibble) | src_reg (high nibble)
+//! bytes 2-3   off (i16)
+//! bytes 4-7   imm (i32)
+//! ```
+//!
+//! `lddw` (`BPF_LD | BPF_IMM | BPF_DW`) occupies two slots; the second
+//! slot's `imm` carries the high 32 bits of the immediate.
+
+use crate::error::DecodeError;
+use crate::insn::{AluOp, Insn, JmpOp, MemSize, Src, Width};
+use crate::reg::Reg;
+
+// Instruction classes.
+const CLASS_LD: u8 = 0x00;
+const CLASS_LDX: u8 = 0x01;
+const CLASS_ST: u8 = 0x02;
+const CLASS_STX: u8 = 0x03;
+const CLASS_ALU: u8 = 0x04;
+const CLASS_JMP: u8 = 0x05;
+const CLASS_JMP32: u8 = 0x06;
+const CLASS_ALU64: u8 = 0x07;
+
+// Source-operand bit for ALU/JMP.
+const SRC_K: u8 = 0x00;
+const SRC_X: u8 = 0x08;
+
+// Size field for LD/ST.
+const SIZE_W: u8 = 0x00;
+const SIZE_H: u8 = 0x08;
+const SIZE_B: u8 = 0x10;
+const SIZE_DW: u8 = 0x18;
+
+// Mode field for LD/ST.
+const MODE_IMM: u8 = 0x00;
+const MODE_MEM: u8 = 0x60;
+
+/// One raw encoding slot, the direct image of the 8 bytes.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::{Insn, RawInsn, Reg, Src, Width, AluOp};
+/// let insn = Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(7) };
+/// let raw = RawInsn::encode(insn);
+/// assert_eq!(raw.len(), 1);
+/// let bytes = raw[0].to_bytes();
+/// assert_eq!(bytes[0], 0xb7); // BPF_ALU64 | BPF_MOV | BPF_K
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RawInsn {
+    /// Opcode byte.
+    pub opcode: u8,
+    /// Destination register index (0–10).
+    pub dst: u8,
+    /// Source register index (0–10).
+    pub src: u8,
+    /// Signed 16-bit offset (jump slots or memory bytes).
+    pub off: i16,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+impl RawInsn {
+    /// Serializes to the 8-byte little-endian wire form.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.opcode;
+        b[1] = (self.src << 4) | (self.dst & 0x0f);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Deserializes from the 8-byte little-endian wire form.
+    #[must_use]
+    pub fn from_bytes(b: [u8; 8]) -> RawInsn {
+        RawInsn {
+            opcode: b[0],
+            dst: b[1] & 0x0f,
+            src: b[1] >> 4,
+            off: i16::from_le_bytes([b[2], b[3]]),
+            imm: i32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+
+    /// Encodes a typed instruction into one or two raw slots.
+    #[must_use]
+    pub fn encode(insn: Insn) -> Vec<RawInsn> {
+        match insn {
+            Insn::Alu { width, op, dst, src } => {
+                let class = match width {
+                    Width::W32 => CLASS_ALU,
+                    Width::W64 => CLASS_ALU64,
+                };
+                // Neg has no source operand; canonicalize to the K form so
+                // every typed spelling encodes (and round-trips) the same.
+                let src = if op == AluOp::Neg { Src::Imm(0) } else { src };
+                let (src_bit, src_reg, imm) = split_src(src);
+                vec![RawInsn {
+                    opcode: class | src_bit | (alu_code(op) << 4),
+                    dst: dst.index() as u8,
+                    src: src_reg,
+                    off: 0,
+                    imm,
+                }]
+            }
+            Insn::LoadImm64 { dst, imm } => vec![
+                RawInsn {
+                    opcode: CLASS_LD | SIZE_DW | MODE_IMM,
+                    dst: dst.index() as u8,
+                    src: 0,
+                    off: 0,
+                    imm: imm as u32 as i32,
+                },
+                RawInsn { opcode: 0, dst: 0, src: 0, off: 0, imm: (imm >> 32) as u32 as i32 },
+            ],
+            Insn::Load { size, dst, base, off } => vec![RawInsn {
+                opcode: CLASS_LDX | size_code(size) | MODE_MEM,
+                dst: dst.index() as u8,
+                src: base.index() as u8,
+                off,
+                imm: 0,
+            }],
+            Insn::Store { size, base, off, src } => match src {
+                Src::Reg(r) => vec![RawInsn {
+                    opcode: CLASS_STX | size_code(size) | MODE_MEM,
+                    dst: base.index() as u8,
+                    src: r.index() as u8,
+                    off,
+                    imm: 0,
+                }],
+                Src::Imm(imm) => vec![RawInsn {
+                    opcode: CLASS_ST | size_code(size) | MODE_MEM,
+                    dst: base.index() as u8,
+                    src: 0,
+                    off,
+                    imm,
+                }],
+            },
+            Insn::Ja { off } => {
+                vec![RawInsn { opcode: CLASS_JMP, dst: 0, src: 0, off, imm: 0 }]
+            }
+            Insn::Jmp { width, op, dst, src, off } => {
+                let class = match width {
+                    Width::W32 => CLASS_JMP32,
+                    Width::W64 => CLASS_JMP,
+                };
+                let (src_bit, src_reg, imm) = split_src(src);
+                vec![RawInsn {
+                    opcode: class | src_bit | (jmp_code(op) << 4),
+                    dst: dst.index() as u8,
+                    src: src_reg,
+                    off,
+                    imm,
+                }]
+            }
+            Insn::Call { helper } => vec![RawInsn {
+                opcode: CLASS_JMP | (0x8 << 4),
+                dst: 0,
+                src: 0,
+                off: 0,
+                imm: helper as i32,
+            }],
+            Insn::Exit => {
+                vec![RawInsn { opcode: CLASS_JMP | (0x9 << 4), dst: 0, src: 0, off: 0, imm: 0 }]
+            }
+        }
+    }
+
+    /// Decodes a sequence of raw slots into typed instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for unknown opcodes, register indices
+    /// above 10, or a truncated `lddw` pair.
+    pub fn decode_stream(slots: &[RawInsn]) -> Result<Vec<Insn>, DecodeError> {
+        let mut out = Vec::with_capacity(slots.len());
+        let mut i = 0;
+        while i < slots.len() {
+            let raw = slots[i];
+            let insn = decode_one(raw, slots.get(i + 1).copied(), i)?;
+            i += insn.slots();
+            out.push(insn);
+        }
+        Ok(out)
+    }
+}
+
+fn split_src(src: Src) -> (u8, u8, i32) {
+    match src {
+        Src::Reg(r) => (SRC_X, r.index() as u8, 0),
+        Src::Imm(imm) => (SRC_K, 0, imm),
+    }
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0x0,
+        AluOp::Sub => 0x1,
+        AluOp::Mul => 0x2,
+        AluOp::Div => 0x3,
+        AluOp::Or => 0x4,
+        AluOp::And => 0x5,
+        AluOp::Lsh => 0x6,
+        AluOp::Rsh => 0x7,
+        AluOp::Neg => 0x8,
+        AluOp::Mod => 0x9,
+        AluOp::Xor => 0xa,
+        AluOp::Mov => 0xb,
+        AluOp::Arsh => 0xc,
+    }
+}
+
+fn alu_from_code(code: u8) -> Option<AluOp> {
+    Some(match code {
+        0x0 => AluOp::Add,
+        0x1 => AluOp::Sub,
+        0x2 => AluOp::Mul,
+        0x3 => AluOp::Div,
+        0x4 => AluOp::Or,
+        0x5 => AluOp::And,
+        0x6 => AluOp::Lsh,
+        0x7 => AluOp::Rsh,
+        0x8 => AluOp::Neg,
+        0x9 => AluOp::Mod,
+        0xa => AluOp::Xor,
+        0xb => AluOp::Mov,
+        0xc => AluOp::Arsh,
+        _ => return None,
+    })
+}
+
+fn jmp_code(op: JmpOp) -> u8 {
+    match op {
+        JmpOp::Eq => 0x1,
+        JmpOp::Gt => 0x2,
+        JmpOp::Ge => 0x3,
+        JmpOp::Set => 0x4,
+        JmpOp::Ne => 0x5,
+        JmpOp::Sgt => 0x6,
+        JmpOp::Sge => 0x7,
+        JmpOp::Lt => 0xa,
+        JmpOp::Le => 0xb,
+        JmpOp::Slt => 0xc,
+        JmpOp::Sle => 0xd,
+    }
+}
+
+fn jmp_from_code(code: u8) -> Option<JmpOp> {
+    Some(match code {
+        0x1 => JmpOp::Eq,
+        0x2 => JmpOp::Gt,
+        0x3 => JmpOp::Ge,
+        0x4 => JmpOp::Set,
+        0x5 => JmpOp::Ne,
+        0x6 => JmpOp::Sgt,
+        0x7 => JmpOp::Sge,
+        0xa => JmpOp::Lt,
+        0xb => JmpOp::Le,
+        0xc => JmpOp::Slt,
+        0xd => JmpOp::Sle,
+        _ => return None,
+    })
+}
+
+fn size_code(size: MemSize) -> u8 {
+    match size {
+        MemSize::W => SIZE_W,
+        MemSize::H => SIZE_H,
+        MemSize::B => SIZE_B,
+        MemSize::DW => SIZE_DW,
+    }
+}
+
+fn size_from_code(code: u8) -> MemSize {
+    match code & 0x18 {
+        SIZE_W => MemSize::W,
+        SIZE_H => MemSize::H,
+        SIZE_B => MemSize::B,
+        _ => MemSize::DW,
+    }
+}
+
+fn reg(index: u8, slot: usize) -> Result<Reg, DecodeError> {
+    Reg::new(index).ok_or(DecodeError::BadRegister { index, slot })
+}
+
+fn decode_one(raw: RawInsn, next: Option<RawInsn>, slot: usize) -> Result<Insn, DecodeError> {
+    let class = raw.opcode & 0x07;
+    match class {
+        CLASS_ALU | CLASS_ALU64 => {
+            let width = if class == CLASS_ALU64 { Width::W64 } else { Width::W32 };
+            let op = alu_from_code(raw.opcode >> 4)
+                .ok_or(DecodeError::UnknownOpcode { opcode: raw.opcode, slot })?;
+            let src = if raw.opcode & SRC_X != 0 {
+                Src::Reg(reg(raw.src, slot)?)
+            } else {
+                Src::Imm(raw.imm)
+            };
+            Ok(Insn::Alu { width, op, dst: reg(raw.dst, slot)?, src })
+        }
+        CLASS_JMP | CLASS_JMP32 => {
+            let code = raw.opcode >> 4;
+            if class == CLASS_JMP {
+                match code {
+                    0x0 => return Ok(Insn::Ja { off: raw.off }),
+                    0x8 => return Ok(Insn::Call { helper: raw.imm as u32 }),
+                    0x9 => return Ok(Insn::Exit),
+                    _ => {}
+                }
+            }
+            let width = if class == CLASS_JMP { Width::W64 } else { Width::W32 };
+            let op = jmp_from_code(code)
+                .ok_or(DecodeError::UnknownOpcode { opcode: raw.opcode, slot })?;
+            let src = if raw.opcode & SRC_X != 0 {
+                Src::Reg(reg(raw.src, slot)?)
+            } else {
+                Src::Imm(raw.imm)
+            };
+            Ok(Insn::Jmp { width, op, dst: reg(raw.dst, slot)?, src, off: raw.off })
+        }
+        CLASS_LD => {
+            if raw.opcode == CLASS_LD | SIZE_DW | MODE_IMM {
+                let hi = next.ok_or(DecodeError::TruncatedLoadImm64 { slot })?;
+                let imm =
+                    ((hi.imm as u32 as u64) << 32) | (raw.imm as u32 as u64);
+                Ok(Insn::LoadImm64 { dst: reg(raw.dst, slot)?, imm })
+            } else {
+                Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot })
+            }
+        }
+        CLASS_LDX => {
+            if raw.opcode & 0xe0 != MODE_MEM {
+                return Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot });
+            }
+            Ok(Insn::Load {
+                size: size_from_code(raw.opcode),
+                dst: reg(raw.dst, slot)?,
+                base: reg(raw.src, slot)?,
+                off: raw.off,
+            })
+        }
+        CLASS_ST | CLASS_STX => {
+            if raw.opcode & 0xe0 != MODE_MEM {
+                return Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot });
+            }
+            let src = if class == CLASS_STX {
+                Src::Reg(reg(raw.src, slot)?)
+            } else {
+                Src::Imm(raw.imm)
+            };
+            Ok(Insn::Store {
+                size: size_from_code(raw.opcode),
+                base: reg(raw.dst, slot)?,
+                off: raw.off,
+                src,
+            })
+        }
+        _ => Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insns() -> Vec<Insn> {
+        vec![
+            Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(-7) },
+            Insn::Alu { width: Width::W32, op: AluOp::Add, dst: Reg::R1, src: Src::Reg(Reg::R2) },
+            Insn::Alu { width: Width::W64, op: AluOp::Neg, dst: Reg::R3, src: Src::Imm(0) },
+            Insn::LoadImm64 { dst: Reg::R4, imm: 0xdead_beef_cafe_f00d },
+            Insn::Load { size: MemSize::H, dst: Reg::R5, base: Reg::R1, off: 12 },
+            Insn::Store { size: MemSize::DW, base: Reg::R10, off: -8, src: Src::Reg(Reg::R0) },
+            Insn::Store { size: MemSize::B, base: Reg::R10, off: -1, src: Src::Imm(255) },
+            Insn::Ja { off: 2 },
+            Insn::Jmp {
+                width: Width::W64,
+                op: JmpOp::Sgt,
+                dst: Reg::R1,
+                src: Src::Imm(100),
+                off: -3,
+            },
+            Insn::Jmp {
+                width: Width::W32,
+                op: JmpOp::Set,
+                dst: Reg::R2,
+                src: Src::Reg(Reg::R3),
+                off: 1,
+            },
+            Insn::Call { helper: 42 },
+            Insn::Exit,
+        ]
+    }
+
+    #[test]
+    fn round_trip_typed_raw_typed() {
+        let insns = sample_insns();
+        let mut slots = Vec::new();
+        for &i in &insns {
+            slots.extend(RawInsn::encode(i));
+        }
+        let decoded = RawInsn::decode_stream(&slots).unwrap();
+        assert_eq!(decoded, insns);
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        for &insn in &sample_insns() {
+            for raw in RawInsn::encode(insn) {
+                assert_eq!(RawInsn::from_bytes(raw.to_bytes()), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn known_opcodes_match_linux_values() {
+        // Spot-check against the opcode values documented for Linux eBPF.
+        let mov64_k = RawInsn::encode(Insn::Alu {
+            width: Width::W64,
+            op: AluOp::Mov,
+            dst: Reg::R0,
+            src: Src::Imm(1),
+        })[0];
+        assert_eq!(mov64_k.opcode, 0xb7);
+        let add64_x = RawInsn::encode(Insn::Alu {
+            width: Width::W64,
+            op: AluOp::Add,
+            dst: Reg::R1,
+            src: Src::Reg(Reg::R2),
+        })[0];
+        assert_eq!(add64_x.opcode, 0x0f);
+        let exit = RawInsn::encode(Insn::Exit)[0];
+        assert_eq!(exit.opcode, 0x95);
+        let call = RawInsn::encode(Insn::Call { helper: 1 })[0];
+        assert_eq!(call.opcode, 0x85);
+        let ldxw = RawInsn::encode(Insn::Load {
+            size: MemSize::W,
+            dst: Reg::R0,
+            base: Reg::R1,
+            off: 0,
+        })[0];
+        assert_eq!(ldxw.opcode, 0x61);
+        let stxdw = RawInsn::encode(Insn::Store {
+            size: MemSize::DW,
+            base: Reg::R10,
+            off: -8,
+            src: Src::Reg(Reg::R1),
+        })[0];
+        assert_eq!(stxdw.opcode, 0x7b);
+        let lddw = RawInsn::encode(Insn::LoadImm64 { dst: Reg::R1, imm: 0 });
+        assert_eq!(lddw[0].opcode, 0x18);
+        let jlt = RawInsn::encode(Insn::Jmp {
+            width: Width::W64,
+            op: JmpOp::Lt,
+            dst: Reg::R1,
+            src: Src::Imm(5),
+            off: 1,
+        })[0];
+        assert_eq!(jlt.opcode, 0xa5);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let bad = RawInsn { opcode: 0xff, ..RawInsn::default() };
+        assert!(matches!(
+            RawInsn::decode_stream(&[bad]),
+            Err(DecodeError::UnknownOpcode { opcode: 0xff, slot: 0 })
+        ));
+        // Truncated lddw.
+        let lddw_first = RawInsn { opcode: 0x18, ..RawInsn::default() };
+        assert!(matches!(
+            RawInsn::decode_stream(&[lddw_first]),
+            Err(DecodeError::TruncatedLoadImm64 { slot: 0 })
+        ));
+        // Bad register index.
+        let bad_reg = RawInsn { opcode: 0xb7, dst: 12, ..RawInsn::default() };
+        assert!(matches!(
+            RawInsn::decode_stream(&[bad_reg]),
+            Err(DecodeError::BadRegister { index: 12, slot: 0 })
+        ));
+    }
+
+    #[test]
+    fn negative_imm_survives_round_trip() {
+        let insn = Insn::Alu {
+            width: Width::W64,
+            op: AluOp::Mov,
+            dst: Reg::R0,
+            src: Src::Imm(i32::MIN),
+        };
+        let slots = RawInsn::encode(insn);
+        assert_eq!(RawInsn::decode_stream(&slots).unwrap()[0], insn);
+        // LoadImm64 with the sign bit set in both halves.
+        let big = Insn::LoadImm64 { dst: Reg::R9, imm: u64::MAX };
+        let slots = RawInsn::encode(big);
+        assert_eq!(RawInsn::decode_stream(&slots).unwrap()[0], big);
+    }
+}

@@ -1,0 +1,188 @@
+//! Error types for assembling, decoding, validating, and executing
+//! programs.
+
+use core::fmt;
+
+/// Error produced by the assembler ([`crate::asm::assemble`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// Explanation of what failed to parse.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Error produced when decoding raw instruction slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// An opcode byte does not correspond to a supported instruction.
+    UnknownOpcode {
+        /// The offending opcode byte.
+        opcode: u8,
+        /// Slot index of the instruction.
+        slot: usize,
+    },
+    /// A register field holds an index greater than 10.
+    BadRegister {
+        /// The offending register index.
+        index: u8,
+        /// Slot index of the instruction.
+        slot: usize,
+    },
+    /// An `lddw` instruction is missing its second slot, or the second
+    /// slot is malformed.
+    TruncatedLoadImm64 {
+        /// Slot index of the first half.
+        slot: usize,
+    },
+    /// The byte stream length is not a multiple of 8.
+    MisalignedStream {
+        /// Total length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { opcode, slot } => {
+                write!(f, "unknown opcode {opcode:#04x} at slot {slot}")
+            }
+            DecodeError::BadRegister { index, slot } => {
+                write!(f, "invalid register r{index} at slot {slot}")
+            }
+            DecodeError::TruncatedLoadImm64 { slot } => {
+                write!(f, "lddw at slot {slot} is missing its second slot")
+            }
+            DecodeError::MisalignedStream { len } => {
+                write!(f, "byte stream length {len} is not a multiple of 8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Error produced by [`crate::Program`] validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A jump lands outside the program or into the middle of an `lddw`.
+    BadJumpTarget {
+        /// Instruction index of the jump.
+        from: usize,
+        /// The (slot-relative) offset that was taken.
+        off: i16,
+    },
+    /// The program can fall off the end (the last instruction is not an
+    /// unconditional control transfer).
+    FallsThrough,
+    /// An instruction writes the read-only frame pointer `r10`.
+    WritesFramePointer {
+        /// Instruction index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program is empty"),
+            ProgramError::BadJumpTarget { from, off } => {
+                write!(f, "jump at instruction {from} with offset {off} has no valid target")
+            }
+            ProgramError::FallsThrough => {
+                write!(f, "control can fall off the end of the program")
+            }
+            ProgramError::WritesFramePointer { index } => {
+                write!(f, "instruction {index} writes the read-only frame pointer r10")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Runtime error raised by the concrete interpreter ([`crate::Vm`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// A load or store touched memory outside every mapped region.
+    OutOfBounds {
+        /// The faulting virtual address.
+        addr: u64,
+        /// The access size in bytes.
+        size: u64,
+        /// Program counter (instruction index) of the access.
+        pc: usize,
+    },
+    /// A call named an unregistered helper.
+    UnknownHelper {
+        /// The helper identifier.
+        helper: u32,
+        /// Program counter of the call.
+        pc: usize,
+    },
+    /// The step budget was exhausted (runaway program).
+    OutOfFuel,
+    /// Execution ran past the end of the program without `exit`
+    /// (unreachable for validated programs).
+    PcOutOfRange {
+        /// The faulting instruction index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { addr, size, pc } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x} (pc {pc})")
+            }
+            VmError::UnknownHelper { helper, pc } => {
+                write!(f, "call to unknown helper {helper} (pc {pc})")
+            }
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AsmError { line: 3, message: "bad register".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(DecodeError::UnknownOpcode { opcode: 0xff, slot: 2 }
+            .to_string()
+            .contains("0xff"));
+        assert!(ProgramError::BadJumpTarget { from: 1, off: -9 }
+            .to_string()
+            .contains("-9"));
+        assert!(VmError::OutOfBounds { addr: 0x10, size: 4, pc: 7 }
+            .to_string()
+            .contains("0x10"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AsmError>();
+        assert_err::<DecodeError>();
+        assert_err::<ProgramError>();
+        assert_err::<VmError>();
+    }
+}

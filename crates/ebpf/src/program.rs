@@ -1,0 +1,323 @@
+//! Validated program container with slot/instruction index mapping.
+
+use crate::encode::RawInsn;
+use crate::error::{DecodeError, ProgramError};
+use crate::insn::Insn;
+
+/// A validated sequence of instructions.
+///
+/// Jump offsets in the binary format count *slots* (an
+/// [`Insn::LoadImm64`] occupies two); this container maintains the
+/// slot ↔ instruction-index mapping and validates that:
+///
+/// * the program is non-empty and cannot fall off the end,
+/// * every jump lands on an instruction boundary inside the program,
+/// * no instruction writes the read-only frame pointer `r10`.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::{asm, Program};
+/// let prog = asm::assemble(r"
+///     r0 = 0
+///     exit
+/// ")?;
+/// assert_eq!(prog.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    insns: Vec<Insn>,
+    /// Starting slot of each instruction.
+    slot_of: Vec<usize>,
+    /// Total number of slots.
+    slots: usize,
+}
+
+impl Program {
+    /// Validates and wraps a sequence of typed instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] when the program is empty, may fall off
+    /// the end, contains a jump to a non-instruction slot, or writes `r10`.
+    pub fn new(insns: Vec<Insn>) -> Result<Program, ProgramError> {
+        if insns.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let mut slot_of = Vec::with_capacity(insns.len());
+        let mut slot = 0usize;
+        for insn in &insns {
+            slot_of.push(slot);
+            slot += insn.slots();
+        }
+        let prog = Program { insns, slot_of, slots: slot };
+
+        for (i, insn) in prog.insns.iter().enumerate() {
+            if let Some(dst) = insn.def_reg() {
+                if dst.is_frame_pointer() {
+                    return Err(ProgramError::WritesFramePointer { index: i });
+                }
+            }
+            match *insn {
+                Insn::Ja { off } | Insn::Jmp { off, .. } => {
+                    if prog.jump_target(i, off).is_none() {
+                        return Err(ProgramError::BadJumpTarget { from: i, off });
+                    }
+                }
+                _ => {}
+            }
+        }
+        // The last instruction must be exit or an unconditional jump;
+        // conditional jumps fall through past the end.
+        match prog.insns[prog.insns.len() - 1] {
+            Insn::Exit | Insn::Ja { .. } => {}
+            _ => return Err(ProgramError::FallsThrough),
+        }
+        Ok(prog)
+    }
+
+    /// The instructions, in order.
+    #[must_use]
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Number of instructions (not slots).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program is empty (never true for a validated program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Number of encoding slots (instructions + one extra per `lddw`).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// The starting slot of instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn slot_of(&self, index: usize) -> usize {
+        self.slot_of[index]
+    }
+
+    /// Resolves a jump at instruction `from` with slot-relative offset
+    /// `off` to the target *instruction index*, or `None` if it lands
+    /// outside the program or inside an `lddw`.
+    #[must_use]
+    pub fn jump_target(&self, from: usize, off: i16) -> Option<usize> {
+        let next_slot = self.slot_of[from] + self.insns[from].slots();
+        let target_slot = next_slot as i64 + off as i64;
+        if target_slot < 0 {
+            return None;
+        }
+        let target_slot = target_slot as usize;
+        self.slot_of.binary_search(&target_slot).ok()
+    }
+
+    /// The slot-relative offset that jumps from instruction `from` to
+    /// instruction `to` — the inverse of [`Program::jump_target`].
+    ///
+    /// Returns `None` if the offset does not fit in `i16`.
+    #[must_use]
+    pub fn offset_between(&self, from: usize, to: usize) -> Option<i16> {
+        let next_slot = (self.slot_of[from] + self.insns[from].slots()) as i64;
+        let off = self.slot_of[to] as i64 - next_slot;
+        i16::try_from(off).ok()
+    }
+
+    /// Encodes to raw slots.
+    #[must_use]
+    pub fn to_raw(&self) -> Vec<RawInsn> {
+        self.insns.iter().flat_map(|&i| RawInsn::encode(i)).collect()
+    }
+
+    /// Encodes to the little-endian byte stream.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_raw().iter().flat_map(|r| r.to_bytes()).collect()
+    }
+
+    /// Decodes and validates a program from raw slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for malformed slots, then a validation error
+    /// for structurally invalid programs.
+    pub fn from_raw(slots: &[RawInsn]) -> Result<Program, ProgramFromRawError> {
+        let insns = RawInsn::decode_stream(slots)?;
+        Ok(Program::new(insns)?)
+    }
+
+    /// Decodes and validates a program from its byte stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Program::from_raw`], plus a decode error when the length is not
+    /// a multiple of 8.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, ProgramFromRawError> {
+        if bytes.len() % 8 != 0 {
+            return Err(DecodeError::MisalignedStream { len: bytes.len() }.into());
+        }
+        let slots: Vec<RawInsn> = bytes
+            .chunks_exact(8)
+            .map(|c| RawInsn::from_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Program::from_raw(&slots)
+    }
+}
+
+/// Error from [`Program::from_raw`]/[`Program::from_bytes`]: either the
+/// stream failed to decode or the decoded program failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramFromRawError {
+    /// Raw slots could not be decoded.
+    Decode(DecodeError),
+    /// Decoded instructions failed program validation.
+    Validate(ProgramError),
+}
+
+impl core::fmt::Display for ProgramFromRawError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProgramFromRawError::Decode(e) => write!(f, "decode error: {e}"),
+            ProgramFromRawError::Validate(e) => write!(f, "validation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramFromRawError {}
+
+impl From<DecodeError> for ProgramFromRawError {
+    fn from(e: DecodeError) -> Self {
+        ProgramFromRawError::Decode(e)
+    }
+}
+
+impl From<ProgramError> for ProgramFromRawError {
+    fn from(e: ProgramError) -> Self {
+        ProgramFromRawError::Validate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, JmpOp, Src, Width};
+    use crate::reg::Reg;
+
+    fn mov0() -> Insn {
+        Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(0) }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Program::new(vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn fallthrough_rejected() {
+        assert_eq!(Program::new(vec![mov0()]), Err(ProgramError::FallsThrough));
+        assert!(Program::new(vec![mov0(), Insn::Exit]).is_ok());
+    }
+
+    #[test]
+    fn writes_to_r10_rejected() {
+        let bad = Insn::Alu {
+            width: Width::W64,
+            op: AluOp::Mov,
+            dst: Reg::R10,
+            src: Src::Imm(0),
+        };
+        assert_eq!(
+            Program::new(vec![bad, Insn::Exit]),
+            Err(ProgramError::WritesFramePointer { index: 0 })
+        );
+    }
+
+    #[test]
+    fn jump_validation_and_resolution() {
+        // jmp +1 over one insn, landing on exit.
+        let prog = Program::new(vec![
+            Insn::Ja { off: 1 },
+            mov0(),
+            Insn::Exit,
+        ])
+        .unwrap();
+        assert_eq!(prog.jump_target(0, 1), Some(2));
+        assert_eq!(prog.offset_between(0, 2), Some(1));
+
+        // Jump out of range.
+        assert_eq!(
+            Program::new(vec![Insn::Ja { off: 5 }, Insn::Exit]),
+            Err(ProgramError::BadJumpTarget { from: 0, off: 5 })
+        );
+        // Backward jumps are fine structurally (the verifier will reject
+        // the loop, but the container accepts it).
+        let back = Program::new(vec![mov0(), Insn::Ja { off: -2 }]).unwrap();
+        assert_eq!(back.jump_target(1, -2), Some(0));
+        assert_eq!(back.jump_target(1, -1), Some(1), "self-loop");
+    }
+
+    #[test]
+    fn jump_into_lddw_middle_rejected() {
+        // lddw occupies slots 0-1; a jump with off 0 from it targets slot 2.
+        // A jump from instruction 0 with off -1 targets slot 1 = middle.
+        let insns = vec![
+            Insn::Ja { off: 2 }, // slot 0, next 1, target slot 3 -> exit? slots: ja=0, lddw=1-2, exit=3
+            Insn::LoadImm64 { dst: Reg::R1, imm: 9 },
+            Insn::Exit,
+        ];
+        let prog = Program::new(insns).unwrap();
+        assert_eq!(prog.slot_count(), 4);
+        assert_eq!(prog.jump_target(0, 2), Some(2)); // exit
+        assert_eq!(prog.jump_target(0, 0), Some(1)); // lddw start
+        assert_eq!(prog.jump_target(0, 1), None); // lddw middle
+
+        let bad = Program::new(vec![
+            Insn::Ja { off: 1 },
+            Insn::LoadImm64 { dst: Reg::R1, imm: 9 },
+            Insn::Exit,
+        ]);
+        assert_eq!(bad, Err(ProgramError::BadJumpTarget { from: 0, off: 1 }));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let prog = Program::new(vec![
+            Insn::LoadImm64 { dst: Reg::R2, imm: u64::MAX - 1 },
+            Insn::Jmp {
+                width: Width::W64,
+                op: JmpOp::Eq,
+                dst: Reg::R2,
+                src: Src::Imm(-2),
+                off: 0,
+            },
+            mov0(),
+            Insn::Exit,
+        ])
+        .unwrap();
+        let bytes = prog.to_bytes();
+        assert_eq!(bytes.len(), prog.slot_count() * 8);
+        let back = Program::from_bytes(&bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn misaligned_bytes_rejected() {
+        assert!(matches!(
+            Program::from_bytes(&[0u8; 9]),
+            Err(ProgramFromRawError::Decode(DecodeError::MisalignedStream { len: 9 }))
+        ));
+    }
+}

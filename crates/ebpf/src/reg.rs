@@ -1,0 +1,124 @@
+//! BPF registers.
+
+use core::fmt;
+
+/// One of the eleven BPF registers `r0`–`r10`.
+///
+/// Calling convention (as in the kernel):
+///
+/// * `r0` — return value of the program and of helper calls;
+/// * `r1`–`r5` — helper-call arguments (clobbered by calls);
+/// * `r6`–`r9` — callee-saved;
+/// * `r10` — read-only frame pointer to the top of the 512-byte stack.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::Reg;
+/// let r = Reg::new(3).unwrap();
+/// assert_eq!(r.to_string(), "r3");
+/// assert_eq!(Reg::new(11), None);
+/// assert!(Reg::R10.is_frame_pointer());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// `r0` — return value.
+    pub const R0: Reg = Reg(0);
+    /// `r1` — first argument / context pointer on entry.
+    pub const R1: Reg = Reg(1);
+    /// `r2` — second argument.
+    pub const R2: Reg = Reg(2);
+    /// `r3` — third argument.
+    pub const R3: Reg = Reg(3);
+    /// `r4` — fourth argument.
+    pub const R4: Reg = Reg(4);
+    /// `r5` — fifth argument.
+    pub const R5: Reg = Reg(5);
+    /// `r6` — callee-saved.
+    pub const R6: Reg = Reg(6);
+    /// `r7` — callee-saved.
+    pub const R7: Reg = Reg(7);
+    /// `r8` — callee-saved.
+    pub const R8: Reg = Reg(8);
+    /// `r9` — callee-saved.
+    pub const R9: Reg = Reg(9);
+    /// `r10` — frame pointer (read-only).
+    pub const R10: Reg = Reg(10);
+
+    /// All registers in index order.
+    pub const ALL: [Reg; 11] = [
+        Reg(0),
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(8),
+        Reg(9),
+        Reg(10),
+    ];
+
+    /// Creates a register from its index; `None` if `index > 10`.
+    #[must_use]
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index <= 10 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index, `0..=10`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is `r10`, the read-only frame pointer.
+    #[must_use]
+    pub const fn is_frame_pointer(self) -> bool {
+        self.0 == 10
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert_eq!(Reg::new(0), Some(Reg::R0));
+        assert_eq!(Reg::new(10), Some(Reg::R10));
+        assert_eq!(Reg::new(11), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn all_is_complete_and_ordered() {
+        assert_eq!(Reg::ALL.len(), 11);
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R7.to_string(), "r7");
+    }
+
+    #[test]
+    fn frame_pointer() {
+        assert!(Reg::R10.is_frame_pointer());
+        assert!(!Reg::R9.is_frame_pointer());
+    }
+}

@@ -1,0 +1,520 @@
+//! A concrete interpreter for the eBPF subset.
+//!
+//! Implements BPF's defined arithmetic semantics exactly: wrapping ALU
+//! operations, `x / 0 = 0`, `x % 0 = x`, shift amounts masked to the
+//! operand width, and 32-bit operations that zero-extend into the 64-bit
+//! register. Memory is a 512-byte stack frame plus a caller-supplied
+//! context buffer, addressed through synthetic base addresses
+//! ([`STACK_TOP`], [`CTX_BASE`]) so that pointer arithmetic behaves like
+//! real addresses while remaining fully bounds-checked.
+
+use std::collections::HashMap;
+
+use crate::error::VmError;
+use crate::insn::{AluOp, Insn, MemSize, Src, Width};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Size of the BPF stack frame in bytes.
+pub const STACK_SIZE: u64 = 512;
+
+/// Synthetic address of the top of the stack; `r10` holds this value and
+/// valid stack slots live in `[STACK_TOP - STACK_SIZE, STACK_TOP)`.
+pub const STACK_TOP: u64 = 0x7fff_ffff_f000;
+
+/// Synthetic base address of the context buffer passed in `r1`.
+pub const CTX_BASE: u64 = 0x1000_0000;
+
+/// A registered helper function: receives the five argument registers
+/// `r1`–`r5` and produces the `r0` return value.
+pub type HelperFn = Box<dyn FnMut([u64; 5]) -> u64>;
+
+/// Execution options for the [`Vm`].
+#[derive(Clone, Copy, Debug)]
+pub struct VmOptions {
+    /// Maximum number of instructions to execute before aborting with
+    /// [`VmError::OutOfFuel`].
+    pub fuel: u64,
+}
+
+impl Default for VmOptions {
+    fn default() -> VmOptions {
+        VmOptions { fuel: 1 << 20 }
+    }
+}
+
+/// A snapshot of the machine state before executing one instruction,
+/// produced by [`Vm::run_traced`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Instruction index about to execute.
+    pub pc: usize,
+    /// All eleven registers at that point.
+    pub regs: [u64; 11],
+}
+
+/// The concrete interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::{asm::assemble, Vm};
+/// let prog = assemble(r"
+///     r0 = *(u8 *)(r1 + 0)
+///     r0 *= 3
+///     exit
+/// ")?;
+/// let mut ctx = [14u8];
+/// let ret = Vm::new().run(&prog, &mut ctx)?;
+/// assert_eq!(ret, 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Vm {
+    options: VmOptions,
+    helpers: HashMap<u32, HelperFn>,
+}
+
+impl Default for Vm {
+    fn default() -> Vm {
+        Vm::new()
+    }
+}
+
+impl Vm {
+    /// Creates a VM with default options and no registered helpers.
+    #[must_use]
+    pub fn new() -> Vm {
+        Vm { options: VmOptions::default(), helpers: HashMap::new() }
+    }
+
+    /// Creates a VM with explicit options.
+    #[must_use]
+    pub fn with_options(options: VmOptions) -> Vm {
+        Vm { options, helpers: HashMap::new() }
+    }
+
+    /// Registers (or replaces) a helper callable via `call id`.
+    pub fn register_helper(&mut self, id: u32, f: HelperFn) -> &mut Vm {
+        self.helpers.insert(id, f);
+        self
+    }
+
+    /// Runs the program to completion and returns `r0`.
+    ///
+    /// On entry `r1 = CTX_BASE`, `r2 = ctx.len()`, `r10 = STACK_TOP`, and
+    /// all other registers are zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] for out-of-bounds memory accesses, unknown
+    /// helpers, or fuel exhaustion.
+    pub fn run(&mut self, prog: &Program, ctx: &mut [u8]) -> Result<u64, VmError> {
+        self.execute(prog, ctx, None)
+    }
+
+    /// Runs the program, recording a [`Snapshot`] of the registers before
+    /// every executed instruction. Used by differential tests that check
+    /// concrete states against the abstract interpreter's invariants.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::run`].
+    pub fn run_traced(
+        &mut self,
+        prog: &Program,
+        ctx: &mut [u8],
+    ) -> Result<(u64, Vec<Snapshot>), VmError> {
+        let mut trace = Vec::new();
+        let ret = self.execute(prog, ctx, Some(&mut trace))?;
+        Ok((ret, trace))
+    }
+
+    fn execute(
+        &mut self,
+        prog: &Program,
+        ctx: &mut [u8],
+        mut trace: Option<&mut Vec<Snapshot>>,
+    ) -> Result<u64, VmError> {
+        let mut regs = [0u64; 11];
+        regs[Reg::R1.index()] = CTX_BASE;
+        regs[Reg::R2.index()] = ctx.len() as u64;
+        regs[Reg::R10.index()] = STACK_TOP;
+        let mut stack = [0u8; STACK_SIZE as usize];
+        let mut pc = 0usize;
+        let mut fuel = self.options.fuel;
+
+        loop {
+            if fuel == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            fuel -= 1;
+            let insn = *prog.insns().get(pc).ok_or(VmError::PcOutOfRange { pc })?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(Snapshot { pc, regs });
+            }
+            match insn {
+                Insn::Alu { width, op, dst, src } => {
+                    let rhs = self.operand(&regs, src);
+                    let lhs = regs[dst.index()];
+                    regs[dst.index()] = alu(width, op, lhs, rhs);
+                    pc += 1;
+                }
+                Insn::LoadImm64 { dst, imm } => {
+                    regs[dst.index()] = imm;
+                    pc += 1;
+                }
+                Insn::Load { size, dst, base, off } => {
+                    let addr = regs[base.index()].wrapping_add(off as i64 as u64);
+                    regs[dst.index()] =
+                        read_mem(&stack, ctx, addr, size).ok_or(VmError::OutOfBounds {
+                            addr,
+                            size: size.bytes(),
+                            pc,
+                        })?;
+                    pc += 1;
+                }
+                Insn::Store { size, base, off, src } => {
+                    let addr = regs[base.index()].wrapping_add(off as i64 as u64);
+                    let value = self.operand(&regs, src);
+                    write_mem(&mut stack, ctx, addr, size, value).ok_or(
+                        VmError::OutOfBounds { addr, size: size.bytes(), pc },
+                    )?;
+                    pc += 1;
+                }
+                Insn::Ja { off } => {
+                    pc = prog.jump_target(pc, off).ok_or(VmError::PcOutOfRange { pc })?;
+                }
+                Insn::Jmp { width, op, dst, src, off } => {
+                    let lhs = regs[dst.index()];
+                    let rhs = self.operand(&regs, src);
+                    let taken = match width {
+                        Width::W64 => op.eval64(lhs, rhs),
+                        Width::W32 => op.eval32(lhs, rhs),
+                    };
+                    if taken {
+                        pc = prog.jump_target(pc, off).ok_or(VmError::PcOutOfRange { pc })?;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::Call { helper } => {
+                    let args = [
+                        regs[Reg::R1.index()],
+                        regs[Reg::R2.index()],
+                        regs[Reg::R3.index()],
+                        regs[Reg::R4.index()],
+                        regs[Reg::R5.index()],
+                    ];
+                    let f = self
+                        .helpers
+                        .get_mut(&helper)
+                        .ok_or(VmError::UnknownHelper { helper, pc })?;
+                    regs[Reg::R0.index()] = f(args);
+                    // r1-r5 are caller-saved: clobber deterministically.
+                    for r in 1..=5 {
+                        regs[r] = 0;
+                    }
+                    pc += 1;
+                }
+                Insn::Exit => return Ok(regs[Reg::R0.index()]),
+            }
+        }
+    }
+
+    fn operand(&self, regs: &[u64; 11], src: Src) -> u64 {
+        match src {
+            Src::Reg(r) => regs[r.index()],
+            // Immediates are sign-extended to 64 bits, as in the kernel.
+            Src::Imm(v) => v as i64 as u64,
+        }
+    }
+}
+
+/// BPF ALU semantics for both widths.
+fn alu(width: Width, op: AluOp, dst: u64, src: u64) -> u64 {
+    match width {
+        Width::W64 => alu64(op, dst, src),
+        // 32-bit ops take the low halves and zero-extend the result.
+        Width::W32 => alu32(op, dst as u32, src as u32) as u64,
+    }
+}
+
+fn alu64(op: AluOp, dst: u64, src: u64) -> u64 {
+    match op {
+        AluOp::Add => dst.wrapping_add(src),
+        AluOp::Sub => dst.wrapping_sub(src),
+        AluOp::Mul => dst.wrapping_mul(src),
+        AluOp::Div => {
+            if src == 0 {
+                0
+            } else {
+                dst / src
+            }
+        }
+        AluOp::Mod => {
+            if src == 0 {
+                dst
+            } else {
+                dst % src
+            }
+        }
+        AluOp::Or => dst | src,
+        AluOp::And => dst & src,
+        AluOp::Xor => dst ^ src,
+        AluOp::Lsh => dst.wrapping_shl(src as u32 & 63),
+        AluOp::Rsh => dst.wrapping_shr(src as u32 & 63),
+        AluOp::Arsh => ((dst as i64).wrapping_shr(src as u32 & 63)) as u64,
+        AluOp::Neg => dst.wrapping_neg(),
+        AluOp::Mov => src,
+    }
+}
+
+fn alu32(op: AluOp, dst: u32, src: u32) -> u32 {
+    match op {
+        AluOp::Add => dst.wrapping_add(src),
+        AluOp::Sub => dst.wrapping_sub(src),
+        AluOp::Mul => dst.wrapping_mul(src),
+        AluOp::Div => {
+            if src == 0 {
+                0
+            } else {
+                dst / src
+            }
+        }
+        AluOp::Mod => {
+            if src == 0 {
+                dst
+            } else {
+                dst % src
+            }
+        }
+        AluOp::Or => dst | src,
+        AluOp::And => dst & src,
+        AluOp::Xor => dst ^ src,
+        AluOp::Lsh => dst.wrapping_shl(src & 31),
+        AluOp::Rsh => dst.wrapping_shr(src & 31),
+        AluOp::Arsh => ((dst as i32).wrapping_shr(src & 31)) as u32,
+        AluOp::Neg => dst.wrapping_neg(),
+        AluOp::Mov => src,
+    }
+}
+
+/// Which mapped region an address range falls in, and the byte offset
+/// within it.
+fn locate(ctx_len: u64, addr: u64, size: u64) -> Option<(Region, usize)> {
+    let stack_base = STACK_TOP - STACK_SIZE;
+    if addr >= stack_base && addr.checked_add(size)? <= STACK_TOP {
+        return Some((Region::Stack, (addr - stack_base) as usize));
+    }
+    if addr >= CTX_BASE && addr.checked_add(size)? <= CTX_BASE + ctx_len {
+        return Some((Region::Ctx, (addr - CTX_BASE) as usize));
+    }
+    None
+}
+
+#[derive(Clone, Copy)]
+enum Region {
+    Stack,
+    Ctx,
+}
+
+fn read_mem(stack: &[u8], ctx: &[u8], addr: u64, size: MemSize) -> Option<u64> {
+    let n = size.bytes() as usize;
+    let (region, off) = locate(ctx.len() as u64, addr, size.bytes())?;
+    let bytes = match region {
+        Region::Stack => &stack[off..off + n],
+        Region::Ctx => &ctx[off..off + n],
+    };
+    let mut buf = [0u8; 8];
+    buf[..n].copy_from_slice(bytes);
+    Some(u64::from_le_bytes(buf))
+}
+
+fn write_mem(stack: &mut [u8], ctx: &mut [u8], addr: u64, size: MemSize, value: u64) -> Option<()> {
+    let n = size.bytes() as usize;
+    let (region, off) = locate(ctx.len() as u64, addr, size.bytes())?;
+    let bytes = match region {
+        Region::Stack => &mut stack[off..off + n],
+        Region::Ctx => &mut ctx[off..off + n],
+    };
+    bytes.copy_from_slice(&value.to_le_bytes()[..n]);
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, ctx: &mut [u8]) -> Result<u64, VmError> {
+        Vm::new().run(&assemble(src).unwrap(), ctx)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        assert_eq!(run("r0 = 6\nr0 *= 7\nexit", &mut []).unwrap(), 42);
+        assert_eq!(run("r0 = 1\nr0 <<= 40\nexit", &mut []).unwrap(), 1 << 40);
+        assert_eq!(run("r0 = -1\nr0 >>= 63\nexit", &mut []).unwrap(), 1);
+        assert_eq!(
+            run("r0 = -16\nr0 s>>= 2\nexit", &mut []).unwrap(),
+            (-4i64) as u64
+        );
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        assert_eq!(run("r0 = 7\nr1 = 0\nr0 /= r1\nexit", &mut []).unwrap(), 0);
+        assert_eq!(run("r0 = 7\nr1 = 0\nr0 %= r1\nexit", &mut []).unwrap(), 7);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        // 64-bit shifts use the low 6 bits of the amount.
+        assert_eq!(run("r0 = 1\nr1 = 65\nr0 <<= r1\nexit", &mut []).unwrap(), 2);
+        // 32-bit shifts use the low 5 bits.
+        assert_eq!(run("w0 = 1\nw1 = 33\nw0 <<= w1\nexit", &mut []).unwrap(), 2);
+    }
+
+    #[test]
+    fn alu32_zero_extends() {
+        // w-register ops clear the high half.
+        assert_eq!(
+            run("r0 = 0xffffffffffffffff ll\nw0 += 1\nexit", &mut []).unwrap(),
+            0
+        );
+        assert_eq!(
+            run("r0 = 0xffffffffffffffff ll\nw0 = w0\nexit", &mut []).unwrap(),
+            0xffff_ffff
+        );
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        assert_eq!(run("r0 = -1\nexit", &mut []).unwrap(), u64::MAX);
+        // ... but 32-bit mov stays in the low half.
+        assert_eq!(run("w0 = -1\nexit", &mut []).unwrap(), 0xffff_ffff);
+    }
+
+    #[test]
+    fn stack_round_trip_all_sizes() {
+        let src = r"
+            r1 = 0x1122334455667788 ll
+            *(u64 *)(r10 - 8) = r1
+            r2 = *(u64 *)(r10 - 8)
+            r3 = *(u32 *)(r10 - 8)
+            r4 = *(u16 *)(r10 - 8)
+            r5 = *(u8 *)(r10 - 8)
+            r0 = r2
+            r0 ^= r1       ; zero if round-trip worked
+            r0 += r3
+            r0 += r4
+            r0 += r5
+            exit
+        ";
+        // r3 = low word, r4 = low half, r5 = low byte (little-endian).
+        let expect = 0x5566_7788u64 + 0x7788 + 0x88;
+        assert_eq!(run(src, &mut []).unwrap(), expect);
+    }
+
+    #[test]
+    fn ctx_access_and_length_register() {
+        let src = r"
+            r0 = r2              ; ctx length
+            r3 = *(u8 *)(r1 + 2)
+            r0 += r3
+            exit
+        ";
+        let mut ctx = [10u8, 20, 30, 40];
+        assert_eq!(run(src, &mut ctx).unwrap(), 4 + 30);
+    }
+
+    #[test]
+    fn ctx_writes_are_visible_to_caller() {
+        let mut ctx = [0u8; 4];
+        run("*(u32 *)(r1 + 0) = 0x01020304\nr0 = 0\nexit", &mut ctx).unwrap();
+        assert_eq!(ctx, [0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        // One byte past the stack.
+        let e = run("r0 = *(u8 *)(r10 + 0)\nexit", &mut []).unwrap_err();
+        assert!(matches!(e, VmError::OutOfBounds { .. }));
+        // Below the frame.
+        let e = run("*(u64 *)(r10 - 513) = 0\nr0 = 0\nexit", &mut []).unwrap_err();
+        assert!(matches!(e, VmError::OutOfBounds { .. }));
+        // Past the context.
+        let e = run("r0 = *(u32 *)(r1 + 2)\nexit", &mut [0u8; 4]).unwrap_err();
+        assert!(matches!(e, VmError::OutOfBounds { .. }));
+        // Straddling the end of the stack from inside.
+        let e = run("r0 = *(u64 *)(r10 - 4)\nexit", &mut []).unwrap_err();
+        assert!(matches!(e, VmError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        let src = r"
+            r0 = 0
+            r1 = 10
+        loop:
+            r0 += r1
+            r1 -= 1
+            if r1 != 0 goto loop
+            exit
+        ";
+        assert_eq!(run(src, &mut []).unwrap(), 55);
+    }
+
+    #[test]
+    fn jmp32_uses_low_half() {
+        let src = r"
+            r1 = 0x100000001 ll
+            r0 = 0
+            if w1 == 1 goto yes
+            exit
+        yes:
+            r0 = 1
+            exit
+        ";
+        assert_eq!(run(src, &mut []).unwrap(), 1);
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let mut vm = Vm::with_options(VmOptions { fuel: 100 });
+        let prog = assemble("loop:\ngoto loop\nexit").unwrap();
+        assert_eq!(vm.run(&prog, &mut []), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn helpers_are_called_and_clobber_args() {
+        let mut vm = Vm::new();
+        vm.register_helper(7, Box::new(|args| args[0] + args[1]));
+        let prog = assemble(
+            r"
+            r1 = 30
+            r2 = 12
+            call 7
+            r0 += r1     ; r1 was clobbered to 0
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(vm.run(&prog, &mut []).unwrap(), 42);
+        // Unknown helper faults.
+        let prog = assemble("call 99\nexit").unwrap();
+        assert!(matches!(vm.run(&prog, &mut []), Err(VmError::UnknownHelper { helper: 99, .. })));
+    }
+
+    #[test]
+    fn traced_run_records_every_step() {
+        let prog = assemble("r0 = 1\nr0 += 2\nexit").unwrap();
+        let (ret, trace) = Vm::new().run_traced(&prog, &mut []).unwrap();
+        assert_eq!(ret, 3);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].pc, 0);
+        assert_eq!(trace[1].regs[0], 1);
+        assert_eq!(trace[2].regs[0], 3);
+        assert_eq!(trace[2].regs[10], STACK_TOP);
+    }
+}

@@ -1,0 +1,30 @@
+//! # interval-domain — kernel-style value bounds
+//!
+//! The BPF verifier tracks each scalar register in a *reduced product* of
+//! two abstract domains: the bit-level tnum domain (the subject of the
+//! paper) and value ranges — unsigned `[umin, umax]` and signed
+//! `[smin, smax]` bounds, as in the kernel's `struct bpf_reg_state`.
+//!
+//! This crate provides that range half and the glue between the two
+//! domains:
+//!
+//! * [`UInterval`] / [`SInterval`] — unsigned and signed 64-bit intervals
+//!   with sound transfer functions for every BPF ALU operation;
+//! * [`Bounds`] — the product of both orders with the kernel's
+//!   *deduction* rules (`__reg_deduce_bounds`) that let each view sharpen
+//!   the other, plus tnum synchronization (`reg_bounds_sync`):
+//!   [`Bounds::from_tnum`], [`Bounds::to_tnum`], [`Bounds::refined_by_tnum`].
+//!
+//! The `verifier` crate combines [`Bounds`] with a
+//! [`Tnum`](tnum::Tnum) into its scalar register state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod signed;
+mod unsigned;
+
+pub use bounds::Bounds;
+pub use signed::SInterval;
+pub use unsigned::UInterval;

@@ -1,0 +1,273 @@
+//! Signed 64-bit intervals.
+
+use core::fmt;
+
+/// An inclusive signed interval `[min, max]`, `min <= max`, over `i64`.
+///
+/// The signed companion of [`UInterval`](crate::UInterval); operations
+/// widen to [`SInterval::FULL`] whenever signed overflow is possible,
+/// mirroring the kernel's `scalar_min_max_*` handling.
+///
+/// # Examples
+///
+/// ```
+/// use interval_domain::SInterval;
+/// let a = SInterval::new(-3, 4).unwrap();
+/// assert!(a.contains(0));
+/// assert_eq!(a.neg(), SInterval::new(-4, 3).unwrap());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SInterval {
+    min: i64,
+    max: i64,
+}
+
+impl SInterval {
+    /// The full interval `[i64::MIN, i64::MAX]` — ⊤.
+    pub const FULL: SInterval = SInterval { min: i64::MIN, max: i64::MAX };
+
+    /// Creates `[min, max]`; `None` if `min > max`.
+    #[must_use]
+    pub const fn new(min: i64, max: i64) -> Option<SInterval> {
+        if min <= max {
+            Some(SInterval { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// The singleton `[v, v]`.
+    #[must_use]
+    pub const fn constant(v: i64) -> SInterval {
+        SInterval { min: v, max: v }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub const fn min(self) -> i64 {
+        self.min
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub const fn max(self) -> i64 {
+        self.max
+    }
+
+    /// Whether this is the full interval.
+    #[must_use]
+    pub const fn is_full(self) -> bool {
+        self.min == i64::MIN && self.max == i64::MAX
+    }
+
+    /// Whether this is a singleton, and if so its value.
+    #[must_use]
+    pub const fn as_constant(self) -> Option<i64> {
+        if self.min == self.max {
+            Some(self.min)
+        } else {
+            None
+        }
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub const fn contains(self, x: i64) -> bool {
+        self.min <= x && x <= self.max
+    }
+
+    /// Interval order.
+    #[must_use]
+    pub const fn is_subset_of(self, other: SInterval) -> bool {
+        other.min <= self.min && self.max <= other.max
+    }
+
+    /// Join (convex hull).
+    #[must_use]
+    pub fn union(self, other: SInterval) -> SInterval {
+        SInterval { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Meet; `None` when disjoint.
+    #[must_use]
+    pub fn intersect(self, other: SInterval) -> Option<SInterval> {
+        SInterval::new(self.min.max(other.min), self.max.min(other.max))
+    }
+
+    /// Abstract wrapping addition: ⊤ when either extreme overflows.
+    #[must_use]
+    pub fn add(self, other: SInterval) -> SInterval {
+        match (self.min.checked_add(other.min), self.max.checked_add(other.max)) {
+            (Some(lo), Some(hi)) => SInterval { min: lo, max: hi },
+            _ => SInterval::FULL,
+        }
+    }
+
+    /// Abstract wrapping subtraction: ⊤ when either extreme overflows.
+    #[must_use]
+    pub fn sub(self, other: SInterval) -> SInterval {
+        match (self.min.checked_sub(other.max), self.max.checked_sub(other.min)) {
+            (Some(lo), Some(hi)) => SInterval { min: lo, max: hi },
+            _ => SInterval::FULL,
+        }
+    }
+
+    /// Abstract wrapping multiplication: interval product over the four
+    /// corner products, ⊤ when any corner overflows.
+    #[must_use]
+    pub fn mul(self, other: SInterval) -> SInterval {
+        let corners = [
+            self.min.checked_mul(other.min),
+            self.min.checked_mul(other.max),
+            self.max.checked_mul(other.min),
+            self.max.checked_mul(other.max),
+        ];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for c in corners {
+            match c {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => return SInterval::FULL,
+            }
+        }
+        SInterval { min: lo, max: hi }
+    }
+
+    /// Abstract negation: ⊤ when `i64::MIN` is a member (its negation
+    /// wraps).
+    #[must_use]
+    pub fn neg(self) -> SInterval {
+        match (self.max.checked_neg(), self.min.checked_neg()) {
+            (Some(lo), Some(hi)) => SInterval { min: lo, max: hi },
+            _ => SInterval::FULL,
+        }
+    }
+
+    /// Abstract arithmetic right shift by a constant (always exact on the
+    /// extremes: `>>` is monotone over signed values).
+    #[must_use]
+    pub fn arshift(self, k: u32) -> SInterval {
+        debug_assert!(k < 64);
+        SInterval { min: self.min >> k, max: self.max >> k }
+    }
+
+    /// Whether every member is non-negative (the signed and unsigned views
+    /// then coincide).
+    #[must_use]
+    pub const fn is_non_negative(self) -> bool {
+        self.min >= 0
+    }
+
+    /// Whether every member is negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.max < 0
+    }
+}
+
+impl Default for SInterval {
+    /// The default is ⊤ (no information).
+    fn default() -> SInterval {
+        SInterval::FULL
+    }
+}
+
+impl fmt::Debug for SInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+impl fmt::Display for SInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intervals() -> impl Iterator<Item = SInterval> {
+        (-6i64..6).flat_map(move |lo| (lo..6).map(move |hi| SInterval::new(lo, hi).unwrap()))
+    }
+
+    fn check_sound(
+        op_i: impl Fn(SInterval, SInterval) -> SInterval,
+        op_c: impl Fn(i64, i64) -> i64,
+    ) {
+        for a in intervals() {
+            for b in intervals() {
+                let r = op_i(a, b);
+                for x in a.min()..=a.max() {
+                    for y in b.min()..=b.max() {
+                        assert!(r.contains(op_c(x, y)), "{a} op {b} at ({x},{y})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_sound_small() {
+        check_sound(SInterval::add, |x, y| x.wrapping_add(y));
+        check_sound(SInterval::sub, |x, y| x.wrapping_sub(y));
+        check_sound(SInterval::mul, |x, y| x.wrapping_mul(y));
+    }
+
+    #[test]
+    fn neg_and_arshift_sound_small() {
+        for a in intervals() {
+            let n = a.neg();
+            for x in a.min()..=a.max() {
+                assert!(n.contains(x.wrapping_neg()));
+            }
+            for k in 0..4u32 {
+                let s = a.arshift(k);
+                for x in a.min()..=a.max() {
+                    assert!(s.contains(x >> k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_gives_full() {
+        let hi = SInterval::new(i64::MAX - 1, i64::MAX).unwrap();
+        assert!(hi.add(SInterval::constant(2)).is_full());
+        let lo = SInterval::constant(i64::MIN);
+        assert!(lo.neg().is_full());
+        assert!(lo.sub(SInterval::constant(1)).is_full());
+        assert!(hi.mul(SInterval::constant(3)).is_full());
+    }
+
+    #[test]
+    fn mul_corner_cases() {
+        // Mixed signs: corners matter.
+        let a = SInterval::new(-3, 2).unwrap();
+        let b = SInterval::new(-5, 4).unwrap();
+        let r = a.mul(b);
+        assert_eq!(r, SInterval::new(-12, 15).unwrap());
+    }
+
+    #[test]
+    fn sign_predicates() {
+        assert!(SInterval::new(0, 5).unwrap().is_non_negative());
+        assert!(!SInterval::new(-1, 5).unwrap().is_non_negative());
+        assert!(SInterval::new(-5, -1).unwrap().is_negative());
+        assert!(!SInterval::new(-5, 0).unwrap().is_negative());
+    }
+
+    #[test]
+    fn lattice_ops() {
+        let a = SInterval::new(-2, 5).unwrap();
+        let b = SInterval::new(0, 9).unwrap();
+        assert_eq!(a.union(b), SInterval::new(-2, 9).unwrap());
+        assert_eq!(a.intersect(b), SInterval::new(0, 5));
+        assert_eq!(a.intersect(SInterval::new(6, 7).unwrap()), None);
+        assert_eq!(SInterval::new(2, 1), None);
+    }
+}

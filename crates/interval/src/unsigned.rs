@@ -1,0 +1,339 @@
+//! Unsigned 64-bit intervals.
+
+use core::fmt;
+
+/// An inclusive unsigned interval `[min, max]`, `min <= max`.
+///
+/// The abstraction of a set of `u64` values by its unsigned extremes.
+/// Transfer functions are sound for BPF's wrapping ALU semantics: whenever
+/// an operation may wrap, the result widens to [`UInterval::FULL`].
+///
+/// # Examples
+///
+/// ```
+/// use interval_domain::UInterval;
+/// let a = UInterval::new(2, 5).unwrap();
+/// let b = UInterval::constant(10);
+/// assert_eq!(a.add(b), UInterval::new(12, 15).unwrap());
+/// assert!(UInterval::FULL.add(b).is_full()); // possible wrap ⇒ ⊤
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UInterval {
+    min: u64,
+    max: u64,
+}
+
+impl UInterval {
+    /// The full interval `[0, u64::MAX]` — ⊤ of the domain.
+    pub const FULL: UInterval = UInterval { min: 0, max: u64::MAX };
+
+    /// Creates `[min, max]`; `None` if `min > max` (the empty interval ⊥
+    /// has no representation, mirroring [`tnum::Tnum`]).
+    #[must_use]
+    pub const fn new(min: u64, max: u64) -> Option<UInterval> {
+        if min <= max {
+            Some(UInterval { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// The singleton `[v, v]`.
+    #[must_use]
+    pub const fn constant(v: u64) -> UInterval {
+        UInterval { min: v, max: v }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub const fn min(self) -> u64 {
+        self.min
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub const fn max(self) -> u64 {
+        self.max
+    }
+
+    /// Whether this is the full interval.
+    #[must_use]
+    pub const fn is_full(self) -> bool {
+        self.min == 0 && self.max == u64::MAX
+    }
+
+    /// Whether this is a singleton, and if so its value.
+    #[must_use]
+    pub const fn as_constant(self) -> Option<u64> {
+        if self.min == self.max {
+            Some(self.min)
+        } else {
+            None
+        }
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub const fn contains(self, x: u64) -> bool {
+        self.min <= x && x <= self.max
+    }
+
+    /// Interval order: is every member of `self` a member of `other`?
+    #[must_use]
+    pub const fn is_subset_of(self, other: UInterval) -> bool {
+        other.min <= self.min && self.max <= other.max
+    }
+
+    /// Join (convex hull).
+    #[must_use]
+    pub fn union(self, other: UInterval) -> UInterval {
+        UInterval { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Meet; `None` when disjoint.
+    #[must_use]
+    pub fn intersect(self, other: UInterval) -> Option<UInterval> {
+        UInterval::new(self.min.max(other.min), self.max.min(other.max))
+    }
+
+    /// Abstract wrapping addition: exact when no member sum wraps,
+    /// otherwise ⊤ (as in the kernel's `scalar_min_max_add`).
+    #[must_use]
+    pub fn add(self, other: UInterval) -> UInterval {
+        match (self.min.checked_add(other.min), self.max.checked_add(other.max)) {
+            (Some(lo), Some(hi)) => UInterval { min: lo, max: hi },
+            _ => UInterval::FULL,
+        }
+    }
+
+    /// Abstract wrapping subtraction: exact when no member difference
+    /// underflows, otherwise ⊤.
+    #[must_use]
+    pub fn sub(self, other: UInterval) -> UInterval {
+        match (self.min.checked_sub(other.max), self.max.checked_sub(other.min)) {
+            (Some(lo), Some(hi)) => UInterval { min: lo, max: hi },
+            _ => UInterval::FULL,
+        }
+    }
+
+    /// Abstract wrapping multiplication: exact when the extreme product
+    /// does not overflow, otherwise ⊤.
+    #[must_use]
+    pub fn mul(self, other: UInterval) -> UInterval {
+        match self.max.checked_mul(other.max) {
+            Some(hi) => UInterval { min: self.min.wrapping_mul(other.min), max: hi },
+            None => UInterval::FULL,
+        }
+    }
+
+    /// Abstract bitwise AND: `x & y <= min(x, y)`, lower bound 0.
+    #[must_use]
+    pub fn and(self, other: UInterval) -> UInterval {
+        UInterval { min: 0, max: self.max.min(other.max) }
+    }
+
+    /// Abstract bitwise OR: `x | y >= max(x, y)` and the result cannot
+    /// exceed the all-ones value of the wider operand's bit length.
+    #[must_use]
+    pub fn or(self, other: UInterval) -> UInterval {
+        UInterval { min: self.min.max(other.min), max: ones_envelope(self.max | other.max) }
+    }
+
+    /// Abstract bitwise XOR: bounded by the bit-length envelope.
+    #[must_use]
+    pub fn xor(self, other: UInterval) -> UInterval {
+        UInterval { min: 0, max: ones_envelope(self.max | other.max) }
+    }
+
+    /// Abstract left shift by a constant: exact unless the top bits shift
+    /// out, in which case ⊤.
+    #[must_use]
+    pub fn lshift(self, k: u32) -> UInterval {
+        debug_assert!(k < 64);
+        if k == 0 {
+            return self;
+        }
+        if self.max.leading_zeros() >= k {
+            UInterval { min: self.min << k, max: self.max << k }
+        } else {
+            UInterval::FULL
+        }
+    }
+
+    /// Abstract logical right shift by a constant (always exact).
+    #[must_use]
+    pub fn rshift(self, k: u32) -> UInterval {
+        debug_assert!(k < 64);
+        UInterval { min: self.min >> k, max: self.max >> k }
+    }
+
+    /// Abstract unsigned division with BPF `x / 0 = 0` semantics:
+    /// `x / y <= x`, and 0 is reachable whenever the divisor may be 0 or
+    /// exceed `x`.
+    #[must_use]
+    pub fn div(self, other: UInterval) -> UInterval {
+        let hi = if other.min == 0 { self.max } else { self.max / other.min };
+        let lo = if other.max == 0 {
+            0
+        } else if other.contains(0) {
+            0
+        } else {
+            self.min / other.max
+        };
+        UInterval { min: lo, max: hi }
+    }
+
+    /// Abstract unsigned remainder with BPF `x % 0 = x` semantics:
+    /// `x % y <= x` always.
+    #[must_use]
+    pub fn rem(self, _other: UInterval) -> UInterval {
+        UInterval { min: 0, max: self.max }
+    }
+}
+
+/// Smallest all-ones value covering `x`: `2^bits(x) - 1`.
+fn ones_envelope(x: u64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        u64::MAX >> x.leading_zeros()
+    }
+}
+
+impl Default for UInterval {
+    /// The default is ⊤ (no information), matching an untracked register.
+    fn default() -> UInterval {
+        UInterval::FULL
+    }
+}
+
+impl fmt::Debug for UInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+impl fmt::Display for UInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All intervals within [0, n).
+    fn intervals(n: u64) -> impl Iterator<Item = UInterval> {
+        (0..n).flat_map(move |lo| (lo..n).map(move |hi| UInterval::new(lo, hi).unwrap()))
+    }
+
+    fn check_sound(
+        op_i: impl Fn(UInterval, UInterval) -> UInterval,
+        op_c: impl Fn(u64, u64) -> u64,
+    ) {
+        for a in intervals(8) {
+            for b in intervals(8) {
+                let r = op_i(a, b);
+                for x in a.min()..=a.max() {
+                    for y in b.min()..=b.max() {
+                        assert!(
+                            r.contains(op_c(x, y)),
+                            "{a} op {b}: {x}, {y} -> {} not in {r}",
+                            op_c(x, y)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_sound_small() {
+        check_sound(UInterval::add, |x, y| x.wrapping_add(y));
+    }
+
+    #[test]
+    fn sub_sound_small() {
+        check_sound(UInterval::sub, |x, y| x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn mul_sound_small() {
+        check_sound(UInterval::mul, |x, y| x.wrapping_mul(y));
+    }
+
+    #[test]
+    fn and_or_xor_sound_small() {
+        check_sound(UInterval::and, |x, y| x & y);
+        check_sound(UInterval::or, |x, y| x | y);
+        check_sound(UInterval::xor, |x, y| x ^ y);
+    }
+
+    #[test]
+    fn div_rem_sound_small() {
+        check_sound(UInterval::div, |x, y| if y == 0 { 0 } else { x / y });
+        check_sound(UInterval::rem, |x, y| if y == 0 { x } else { x % y });
+    }
+
+    #[test]
+    fn shifts_sound_small() {
+        for a in intervals(8) {
+            for k in 0..6u32 {
+                let l = a.lshift(k);
+                let r = a.rshift(k);
+                for x in a.min()..=a.max() {
+                    assert!(l.contains(x << k));
+                    assert!(r.contains(x >> k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_produces_full() {
+        let nearly = UInterval::new(u64::MAX - 1, u64::MAX).unwrap();
+        assert!(nearly.add(UInterval::constant(2)).is_full());
+        assert!(UInterval::constant(0).sub(UInterval::constant(1)).is_full());
+        assert!(nearly.mul(UInterval::constant(2)).is_full());
+        assert!(nearly.lshift(1).is_full());
+    }
+
+    #[test]
+    fn lattice_ops() {
+        let a = UInterval::new(2, 5).unwrap();
+        let b = UInterval::new(4, 9).unwrap();
+        assert_eq!(a.union(b), UInterval::new(2, 9).unwrap());
+        assert_eq!(a.intersect(b), UInterval::new(4, 5));
+        let c = UInterval::new(7, 9).unwrap();
+        assert_eq!(a.intersect(c), None);
+        assert!(a.is_subset_of(UInterval::new(0, 10).unwrap()));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn constants_and_empties() {
+        assert_eq!(UInterval::new(3, 2), None);
+        assert_eq!(UInterval::constant(7).as_constant(), Some(7));
+        assert_eq!(UInterval::new(1, 2).unwrap().as_constant(), None);
+        assert_eq!(UInterval::default(), UInterval::FULL);
+    }
+
+    #[test]
+    fn ones_envelope_examples() {
+        assert_eq!(ones_envelope(0), 0);
+        assert_eq!(ones_envelope(1), 1);
+        assert_eq!(ones_envelope(5), 7);
+        assert_eq!(ones_envelope(8), 15);
+        assert_eq!(ones_envelope(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn div_by_possibly_zero_reaches_zero() {
+        let a = UInterval::new(5, 10).unwrap();
+        let maybe_zero = UInterval::new(0, 3).unwrap();
+        let r = a.div(maybe_zero);
+        assert!(r.contains(0), "x / 0 = 0 must be reachable");
+        assert!(r.contains(10), "x / 1 = x must be reachable");
+    }
+}

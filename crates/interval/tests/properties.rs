@@ -1,0 +1,135 @@
+//! Property-based tests for the interval domain at full 64-bit width.
+
+use interval_domain::{Bounds, SInterval, UInterval};
+use proptest::prelude::*;
+use tnum::Tnum;
+
+prop_compose! {
+    fn any_uinterval()(a in any::<u64>(), b in any::<u64>()) -> UInterval {
+        UInterval::new(a.min(b), a.max(b)).unwrap()
+    }
+}
+
+prop_compose! {
+    fn any_sinterval()(a in any::<i64>(), b in any::<i64>()) -> SInterval {
+        SInterval::new(a.min(b), a.max(b)).unwrap()
+    }
+}
+
+prop_compose! {
+    /// An unsigned interval with a random member.
+    fn uinterval_and_member()(i in any_uinterval(), pick in any::<u64>()) -> (UInterval, u64) {
+        let span = i.max() - i.min();
+        let x = if span == u64::MAX { pick } else { i.min() + pick % (span + 1) };
+        (i, x)
+    }
+}
+
+prop_compose! {
+    fn sinterval_and_member()(i in any_sinterval(), pick in any::<u64>()) -> (SInterval, i64) {
+        let span = i.max().wrapping_sub(i.min()) as u64;
+        let x = if span == u64::MAX { pick as i64 } else { i.min().wrapping_add((pick % (span + 1)) as i64) };
+        (i, x)
+    }
+}
+
+proptest! {
+    #[test]
+    fn unsigned_ops_sound((a, x) in uinterval_and_member(), (b, y) in uinterval_and_member()) {
+        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
+        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
+        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
+        prop_assert!(a.and(b).contains(x & y));
+        prop_assert!(a.or(b).contains(x | y));
+        prop_assert!(a.xor(b).contains(x ^ y));
+        let quotient = if y == 0 { 0 } else { x / y };
+        let remainder = if y == 0 { x } else { x % y };
+        prop_assert!(a.div(b).contains(quotient));
+        prop_assert!(a.rem(b).contains(remainder));
+    }
+
+    #[test]
+    fn unsigned_shifts_sound((a, x) in uinterval_and_member(), k in 0u32..64) {
+        prop_assert!(a.lshift(k).contains(x.wrapping_shl(k)) || a.lshift(k).is_full());
+        prop_assert!(a.lshift(k).contains(x << k) || x.leading_zeros() < k);
+        prop_assert!(a.rshift(k).contains(x >> k));
+    }
+
+    #[test]
+    fn signed_ops_sound((a, x) in sinterval_and_member(), (b, y) in sinterval_and_member()) {
+        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
+        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
+        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
+        prop_assert!(a.neg().contains(x.wrapping_neg()));
+        for k in [0u32, 1, 13, 63] {
+            prop_assert!(a.arshift(k).contains(x >> k));
+        }
+    }
+
+    #[test]
+    fn lattice_laws_unsigned(a in any_uinterval(), b in any_uinterval()) {
+        let j = a.union(b);
+        prop_assert!(a.is_subset_of(j) && b.is_subset_of(j));
+        match a.intersect(b) {
+            Some(m) => {
+                prop_assert!(m.is_subset_of(a) && m.is_subset_of(b));
+            }
+            None => prop_assert!(a.max() < b.min() || b.max() < a.min()),
+        }
+    }
+
+    #[test]
+    fn bounds_deduction_sound((u, x) in uinterval_and_member(), s in any_sinterval()) {
+        let b = Bounds::FULL;
+        prop_assert!(b.contains(x));
+        let combined = Bounds::from_unsigned(u);
+        // Deduction must preserve every member of the unsigned view that
+        // also satisfies the (full) signed view.
+        prop_assert!(combined.contains(x));
+        // From-signed construction contains its own members.
+        let sb = Bounds::from_signed(s);
+        prop_assert!(sb.contains(s.min() as u64));
+        prop_assert!(sb.contains(s.max() as u64));
+    }
+
+    #[test]
+    fn bounds_tnum_round_trip(mask in any::<u64>(), raw in any::<u64>(), pick in any::<u64>()) {
+        let t = Tnum::masked(raw, mask);
+        let x = t.value() | (pick & t.mask());
+        let b = Bounds::from_tnum(t);
+        prop_assert!(b.contains(x), "bounds from tnum lost member");
+        // And the induced tnum contains the member too.
+        prop_assert!(b.to_tnum().contains(x));
+    }
+
+    #[test]
+    fn bounds_ops_sound((ua, x) in uinterval_and_member(), (ub, y) in uinterval_and_member()) {
+        let a = Bounds::from_unsigned(ua);
+        let b = Bounds::from_unsigned(ub);
+        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
+        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
+        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
+        prop_assert!(a.and(b).contains(x & y));
+        prop_assert!(a.or(b).contains(x | y));
+        prop_assert!(a.xor(b).contains(x ^ y));
+        prop_assert!(a.neg().contains(x.wrapping_neg()));
+        let quotient = if y == 0 { 0 } else { x / y };
+        let remainder = if y == 0 { x } else { x % y };
+        prop_assert!(a.div(b).contains(quotient));
+        prop_assert!(a.rem(b).contains(remainder));
+    }
+
+    #[test]
+    fn bounds_intersection_sound((ua, x) in uinterval_and_member(), ub in any_uinterval()) {
+        let a = Bounds::from_unsigned(ua);
+        let b = Bounds::from_unsigned(ub);
+        match a.intersect(b) {
+            Some(m) => {
+                if b.contains(x) {
+                    prop_assert!(m.contains(x));
+                }
+            }
+            None => prop_assert!(!(a.contains(x) && b.contains(x))),
+        }
+    }
+}

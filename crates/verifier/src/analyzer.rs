@@ -1,0 +1,762 @@
+//! The abstract interpreter: a topological pass over the (acyclic) CFG
+//! with joins at merge points, branch refinement, and memory-safety
+//! checks.
+
+use ebpf::{AluOp, Insn, JmpOp, MemSize, Program, Reg, Src, Width, STACK_SIZE};
+
+use crate::branch::refine;
+use crate::cfg::Cfg;
+use crate::error::VerifierError;
+use crate::scalar::Scalar;
+use crate::state::{AbsState, StackSlot};
+use crate::value::RegValue;
+
+/// Tunable analysis behaviour — each toggle corresponds to a design
+/// choice called out for ablation in `DESIGN.md`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzerOptions {
+    /// Size of the context buffer the program may access via `r1`.
+    pub ctx_size: u64,
+    /// Require every memory access to be provably aligned to its size,
+    /// via the tnum alignment test (`tnum_is_aligned`).
+    pub strict_alignment: bool,
+    /// Sharpen both edges of conditional jumps. Disabling shows how much
+    /// path sensitivity the range analysis contributes.
+    pub refine_branches: bool,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> AnalyzerOptions {
+        AnalyzerOptions { ctx_size: 64, strict_alignment: false, refine_branches: true }
+    }
+}
+
+/// The result of a successful analysis: the abstract state *before* every
+/// reachable instruction, for inspection by tests, examples, and tools.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    states: Vec<Option<AbsState>>,
+}
+
+impl Analysis {
+    /// The program was accepted (an `Analysis` is only produced on
+    /// acceptance; this always returns `true` and exists for readable
+    /// call sites).
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        true
+    }
+
+    /// The abstract state before instruction `index`, or `None` when the
+    /// instruction is unreachable.
+    #[must_use]
+    pub fn state_before(&self, index: usize) -> Option<&AbsState> {
+        self.states.get(index).and_then(Option::as_ref)
+    }
+
+    /// Indices of instructions proven unreachable.
+    #[must_use]
+    pub fn unreachable(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect()
+    }
+
+    /// Renders the program's disassembly with each instruction annotated
+    /// by the registers the analyzer tracks at that point — the
+    /// human-readable verifier log, in the spirit of the kernel's
+    /// `verbose()` output.
+    ///
+    /// Unreachable instructions are marked `; unreachable`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ebpf::asm::assemble;
+    /// use verifier::{Analyzer, AnalyzerOptions};
+    ///
+    /// let prog = assemble("r2 = 5\nr2 <<= 1\nr0 = r2\nexit")?;
+    /// let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&prog)?;
+    /// let log = analysis.annotate(&prog);
+    /// assert!(log.contains("r2 <<= 1"));
+    /// assert!(log.contains("r2=5"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn annotate(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, insn) in prog.insns().iter().enumerate() {
+            let note = match self.state_before(i) {
+                None => "; unreachable".to_string(),
+                Some(state) => {
+                    let mut parts = Vec::new();
+                    for reg in Reg::ALL {
+                        let v = state.reg(reg);
+                        if v != RegValue::Uninit && reg != Reg::R10 {
+                            parts.push(format!("{reg}={v}"));
+                        }
+                    }
+                    format!("; {}", parts.join(" "))
+                }
+            };
+            let _ = writeln!(out, "{i:>3}: {insn:<40} {note}");
+        }
+        out
+    }
+}
+
+/// The BPF-style static analyzer.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    options: AnalyzerOptions,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the given options.
+    #[must_use]
+    pub fn new(options: AnalyzerOptions) -> Analyzer {
+        Analyzer { options }
+    }
+
+    /// Abstractly interprets the program, returning the per-instruction
+    /// states on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifierError`] describing the first problem found; the
+    /// program must be rejected.
+    pub fn analyze(&self, prog: &Program) -> Result<Analysis, VerifierError> {
+        let cfg = Cfg::build(prog)?;
+        let mut states: Vec<Option<AbsState>> = vec![None; prog.len()];
+        states[0] = Some(AbsState::entry());
+
+        for &i in cfg.topo_order() {
+            // Unreachable via infeasible branches: skip.
+            let Some(state) = states[i].clone() else { continue };
+            let insn = prog.insns()[i];
+            self.check_reads(&state, insn, i)?;
+            match insn {
+                Insn::Jmp { width, op, dst, src, off } => {
+                    let taken_target = prog.jump_target(i, off).expect("validated");
+                    let outcomes = self.branch_states(&state, width, op, dst, src);
+                    let (fall, taken) = outcomes?;
+                    if let Some(fall) = fall {
+                        join_into(&mut states[i + 1], fall);
+                    }
+                    if let Some(taken) = taken {
+                        join_into(&mut states[taken_target], taken);
+                    }
+                }
+                Insn::Ja { off } => {
+                    let target = prog.jump_target(i, off).expect("validated");
+                    join_into(&mut states[target], state);
+                }
+                Insn::Exit => {
+                    match state.reg(Reg::R0) {
+                        RegValue::Uninit => {
+                            return Err(VerifierError::NoReturnValue { pc: i })
+                        }
+                        RegValue::Scalar(_) => {}
+                        _ => return Err(VerifierError::PointerLeak { pc: i }),
+                    }
+                }
+                _ => {
+                    let next = self.transfer(state, insn, i)?;
+                    join_into(&mut states[i + 1], next);
+                }
+            }
+        }
+        Ok(Analysis { states })
+    }
+
+    /// Rejects reads of uninitialized registers.
+    fn check_reads(&self, state: &AbsState, insn: Insn, pc: usize) -> Result<(), VerifierError> {
+        // Helper calls are handled leniently: our model's helpers take no
+        // required arguments.
+        if matches!(insn, Insn::Call { .. }) {
+            return Ok(());
+        }
+        for reg in insn.use_regs() {
+            if !state.reg(reg).is_readable() {
+                return Err(VerifierError::UninitRead { reg, pc });
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfer function for non-control-flow instructions.
+    fn transfer(
+        &self,
+        mut state: AbsState,
+        insn: Insn,
+        pc: usize,
+    ) -> Result<AbsState, VerifierError> {
+        match insn {
+            Insn::Alu { width, op, dst, src } => {
+                let new = self.alu_value(&state, width, op, dst, src, pc)?;
+                state.set_reg(dst, new);
+            }
+            Insn::LoadImm64 { dst, imm } => {
+                state.set_reg(dst, RegValue::Scalar(Scalar::constant(imm)));
+            }
+            Insn::Load { size, dst, base, off } => {
+                let value = self.check_load(&mut state, size, base, off, pc)?;
+                state.set_reg(dst, value);
+            }
+            Insn::Store { size, base, off, src } => {
+                let value = match src {
+                    Src::Reg(r) => state.reg(r),
+                    Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
+                };
+                self.check_store(&mut state, size, base, off, value, pc)?;
+            }
+            Insn::Call { .. } => {
+                state.set_reg(Reg::R0, RegValue::unknown_scalar());
+                for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
+                    state.set_reg(r, RegValue::Uninit);
+                }
+            }
+            Insn::Ja { .. } | Insn::Jmp { .. } | Insn::Exit => unreachable!("handled by caller"),
+        }
+        Ok(state)
+    }
+
+    /// Computes the new value of `dst` for an ALU instruction, modeling
+    /// pointer arithmetic on `add`/`sub`/`mov`.
+    fn alu_value(
+        &self,
+        state: &AbsState,
+        width: Width,
+        op: AluOp,
+        dst: Reg,
+        src: Src,
+        pc: usize,
+    ) -> Result<RegValue, VerifierError> {
+        let rhs: RegValue = match src {
+            Src::Reg(r) => state.reg(r),
+            Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
+        };
+        let lhs = state.reg(dst);
+
+        // Mov just propagates the source value (pointers included) at
+        // 64-bit width; 32-bit mov truncates and hence scalarizes.
+        if op == AluOp::Mov {
+            return Ok(match (width, rhs) {
+                (Width::W64, v) => v,
+                (Width::W32, RegValue::Scalar(s)) => RegValue::Scalar(s.subreg()),
+                (Width::W32, _) => RegValue::unknown_scalar(),
+            });
+        }
+
+        match (lhs, rhs) {
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => {
+                Ok(RegValue::Scalar(a.alu(width, op, b)))
+            }
+            // Pointer ± scalar keeps the region, shifting the offset.
+            (RegValue::StackPtr { offset }, RegValue::Scalar(b))
+                if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
+            {
+                Ok(RegValue::StackPtr { offset: offset.alu64(op, b) })
+            }
+            (RegValue::CtxPtr { offset }, RegValue::Scalar(b))
+                if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
+            {
+                Ok(RegValue::CtxPtr { offset: offset.alu64(op, b) })
+            }
+            // Same-region pointer difference yields a scalar.
+            (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
+            | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b })
+                if width == Width::W64 && op == AluOp::Sub =>
+            {
+                Ok(RegValue::Scalar(a.alu64(AluOp::Sub, b)))
+            }
+            (RegValue::Uninit, _) | (_, RegValue::Uninit) => {
+                unreachable!("checked by check_reads")
+            }
+            _ => Err(VerifierError::BadPointerArithmetic { pc }),
+        }
+    }
+
+    /// Produces the fall-through and taken states of a conditional jump
+    /// (`None` for provably infeasible edges).
+    #[allow(clippy::type_complexity)]
+    fn branch_states(
+        &self,
+        state: &AbsState,
+        width: Width,
+        op: JmpOp,
+        dst: Reg,
+        src: Src,
+    ) -> Result<(Option<AbsState>, Option<AbsState>), VerifierError> {
+        let rhs: RegValue = match src {
+            Src::Reg(r) => state.reg(r),
+            Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
+        };
+        let lhs = state.reg(dst);
+
+        // Refinement applies to 64-bit scalar/scalar comparisons only;
+        // everything else passes both states through unchanged (sound).
+        let refinable = width == Width::W64 && self.options.refine_branches;
+        let (lhs_s, rhs_s) = match (lhs, rhs) {
+            (RegValue::Scalar(a), RegValue::Scalar(b)) if refinable => (a, b),
+            _ => return Ok((Some(state.clone()), Some(state.clone()))),
+        };
+
+        let make = |taken: bool| -> Option<AbsState> {
+            let (d, s) = refine(op, taken, lhs_s, rhs_s)?;
+            let mut out = state.clone();
+            out.set_reg(dst, RegValue::Scalar(d));
+            if let Src::Reg(r) = src {
+                out.set_reg(r, RegValue::Scalar(s));
+            }
+            Some(out)
+        };
+        Ok((make(false), make(true)))
+    }
+
+    /// Bounds- and alignment-checks a load, returning the loaded value.
+    fn check_load(
+        &self,
+        state: &mut AbsState,
+        size: MemSize,
+        base: Reg,
+        off: i16,
+        pc: usize,
+    ) -> Result<RegValue, VerifierError> {
+        match state.reg(base) {
+            RegValue::StackPtr { offset } => {
+                let (lo, hi) = self.check_region(
+                    "stack",
+                    offset,
+                    off,
+                    size,
+                    -(STACK_SIZE as i64),
+                    0,
+                    pc,
+                )?;
+                if lo == hi && (lo % 8 == 0 || (lo - (lo & !7)) + size.bytes() as i64 <= 8) {
+                    // Constant offset: consult the slot contents.
+                    match state.stack_slot(lo).expect("in range") {
+                        StackSlot::Uninit => Err(VerifierError::UninitStackRead { pc }),
+                        StackSlot::Spill(v)
+                            if size == MemSize::DW && lo % 8 == 0 =>
+                        {
+                            Ok(v)
+                        }
+                        _ => Ok(RegValue::unknown_scalar()),
+                    }
+                } else {
+                    // Variable offset: every possibly-read byte must be
+                    // initialized.
+                    if state.stack_range_initialized(lo, hi + size.bytes() as i64) {
+                        Ok(RegValue::unknown_scalar())
+                    } else {
+                        Err(VerifierError::UninitStackRead { pc })
+                    }
+                }
+            }
+            RegValue::CtxPtr { offset } => {
+                self.check_region("ctx", offset, off, size, 0, self.options.ctx_size as i64, pc)?;
+                Ok(RegValue::unknown_scalar())
+            }
+            RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
+            RegValue::Scalar(_) => Err(VerifierError::BadPointer { reg: base, pc }),
+        }
+    }
+
+    /// Bounds- and alignment-checks a store, updating the stack state.
+    fn check_store(
+        &self,
+        state: &mut AbsState,
+        size: MemSize,
+        base: Reg,
+        off: i16,
+        value: RegValue,
+        pc: usize,
+    ) -> Result<(), VerifierError> {
+        if !value.is_readable() {
+            // Storing an uninitialized register.
+            if let RegValue::Uninit = value {
+                return Err(VerifierError::UninitRead { reg: base, pc });
+            }
+        }
+        match state.reg(base) {
+            RegValue::StackPtr { offset } => {
+                let (lo, hi) = self.check_region(
+                    "stack",
+                    offset,
+                    off,
+                    size,
+                    -(STACK_SIZE as i64),
+                    0,
+                    pc,
+                )?;
+                if lo == hi && size == MemSize::DW && lo % 8 == 0 {
+                    state.set_stack_slot(lo, StackSlot::Spill(value));
+                } else {
+                    state.smear_stack(lo, hi + size.bytes() as i64);
+                }
+                Ok(())
+            }
+            RegValue::CtxPtr { offset } => {
+                self.check_region("ctx", offset, off, size, 0, self.options.ctx_size as i64, pc)?;
+                Ok(())
+            }
+            RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
+            RegValue::Scalar(_) => Err(VerifierError::BadPointer { reg: base, pc }),
+        }
+    }
+
+    /// Proves `region_lo <= offset + off` and
+    /// `offset + off + size <= region_hi` for every possible offset, plus
+    /// alignment under strict mode. Returns the extreme byte offsets of
+    /// the access start.
+    #[allow(clippy::too_many_arguments)]
+    fn check_region(
+        &self,
+        region: &'static str,
+        offset: Scalar,
+        off: i16,
+        size: MemSize,
+        region_lo: i64,
+        region_hi: i64,
+        pc: usize,
+    ) -> Result<(i64, i64), VerifierError> {
+        let total = offset.alu64(AluOp::Add, Scalar::constant(off as i64 as u64));
+        let lo = total.bounds().smin();
+        let hi = total.bounds().smax();
+        let end = hi.checked_add(size.bytes() as i64);
+        let in_bounds = lo >= region_lo && end.is_some_and(|e| e <= region_hi);
+        if !in_bounds {
+            return Err(VerifierError::OutOfBounds {
+                region,
+                min_off: lo,
+                max_end: end.unwrap_or(i64::MAX),
+                pc,
+            });
+        }
+        if self.options.strict_alignment && !total.tnum().is_aligned(size.bytes()) {
+            return Err(VerifierError::Misaligned { region, size: size.bytes(), pc });
+        }
+        Ok((lo, hi))
+    }
+}
+
+/// Joins `incoming` into the slot, widening any existing state.
+fn join_into(slot: &mut Option<AbsState>, incoming: AbsState) {
+    match slot {
+        None => *slot = Some(incoming),
+        Some(existing) => *existing = existing.union(&incoming),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf::asm::assemble;
+
+    fn accept(src: &str) -> Analysis {
+        Analyzer::new(AnalyzerOptions::default())
+            .analyze(&assemble(src).unwrap())
+            .unwrap_or_else(|e| panic!("expected accept, got: {e}"))
+    }
+
+    fn reject(src: &str) -> VerifierError {
+        Analyzer::new(AnalyzerOptions::default())
+            .analyze(&assemble(src).unwrap())
+            .expect_err("expected reject")
+    }
+
+    #[test]
+    fn accepts_trivial_program() {
+        accept("r0 = 0\nexit");
+    }
+
+    #[test]
+    fn rejects_uninit_r0_at_exit() {
+        assert!(matches!(reject("exit"), VerifierError::NoReturnValue { pc: 0 }));
+    }
+
+    #[test]
+    fn rejects_uninit_register_read() {
+        assert!(matches!(
+            reject("r0 = r5\nexit"),
+            VerifierError::UninitRead { reg: Reg::R5, pc: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_pointer_return() {
+        assert!(matches!(reject("r0 = r10\nexit"), VerifierError::PointerLeak { pc: 1 }));
+    }
+
+    #[test]
+    fn rejects_loops() {
+        assert!(matches!(
+            reject("l:\nr0 = 0\ngoto l"),
+            VerifierError::LoopDetected { .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_stack_round_trip_and_tracks_spill() {
+        let analysis = accept(
+            r"
+                r1 = 42
+                *(u64 *)(r10 - 8) = r1
+                r2 = *(u64 *)(r10 - 8)
+                r0 = r2
+                exit
+            ",
+        );
+        // Before exit, r0 is exactly 42: the spill was tracked.
+        let state = analysis.state_before(4).unwrap();
+        assert_eq!(state.reg(Reg::R0).as_scalar().unwrap().as_constant(), Some(42));
+    }
+
+    #[test]
+    fn rejects_uninit_stack_read() {
+        assert!(matches!(
+            reject("r0 = *(u64 *)(r10 - 8)\nexit"),
+            VerifierError::UninitStackRead { pc: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_oob_stack_access() {
+        assert!(matches!(
+            reject("*(u64 *)(r10 - 520) = 0\nr0 = 0\nexit"),
+            VerifierError::OutOfBounds { region: "stack", .. }
+        ));
+        assert!(matches!(
+            reject("*(u8 *)(r10 + 0) = 0\nr0 = 0\nexit"),
+            VerifierError::OutOfBounds { region: "stack", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_oob_ctx_access() {
+        // Default ctx_size is 64.
+        assert!(matches!(
+            reject("r0 = *(u8 *)(r1 + 64)\nexit"),
+            VerifierError::OutOfBounds { region: "ctx", .. }
+        ));
+        accept("r0 = *(u8 *)(r1 + 63)\nexit");
+    }
+
+    #[test]
+    fn rejects_scalar_dereference() {
+        assert!(matches!(
+            reject("r2 = 100\nr0 = *(u8 *)(r2 + 0)\nexit"),
+            VerifierError::BadPointer { reg: Reg::R2, pc: 1 }
+        ));
+    }
+
+    #[test]
+    fn masked_index_bounds_stack_access() {
+        // The paper's §I pattern: mask an untrusted value, then index.
+        accept(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                r2 &= 7
+                r3 = r10
+                r3 += -8
+                r3 += r2
+                *(u8 *)(r3 - 1) = 0     ; offsets [-9, -2] ⊂ [-512, 0)
+                r0 = 0
+                exit
+            ",
+        );
+        // Without the mask the same program must be rejected.
+        assert!(matches!(
+            reject(
+                r"
+                    r2 = *(u8 *)(r1 + 0)
+                    r3 = r10
+                    r3 += -8
+                    r3 += r2
+                    *(u8 *)(r3 - 1) = 0
+                    r0 = 0
+                    exit
+                ",
+            ),
+            VerifierError::OutOfBounds { region: "stack", .. }
+        ));
+    }
+
+    #[test]
+    fn branch_refinement_proves_bounds() {
+        // if r2 > 7 we bail; otherwise r2 <= 7 makes the access safe.
+        accept(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                if r2 > 7 goto out
+                r3 = r10
+                r3 += -16
+                r3 += r2
+                *(u8 *)(r3 + 0) = 1
+                r0 = 1
+                exit
+            out:
+                r0 = 0
+                exit
+            ",
+        );
+    }
+
+    #[test]
+    fn disabling_branch_refinement_loses_the_proof() {
+        let opts = AnalyzerOptions { refine_branches: false, ..AnalyzerOptions::default() };
+        let prog = assemble(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                if r2 > 7 goto out
+                r3 = r10
+                r3 += -16
+                r3 += r2
+                *(u8 *)(r3 + 0) = 1
+                r0 = 1
+                exit
+            out:
+                r0 = 0
+                exit
+            ",
+        )
+        .unwrap();
+        assert!(Analyzer::new(opts).analyze(&prog).is_err());
+        assert!(Analyzer::new(AnalyzerOptions::default()).analyze(&prog).is_ok());
+    }
+
+    #[test]
+    fn strict_alignment_uses_tnum() {
+        // r2 = byte & ~3 is 4-aligned; a u32 access through it is fine.
+        let strict = AnalyzerOptions { strict_alignment: true, ..AnalyzerOptions::default() };
+        let aligned = assemble(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                r2 &= 60             ; 4-aligned, <= 60
+                r3 = r1
+                r3 += r2
+                r0 = *(u32 *)(r3 + 0)
+                exit
+            ",
+        )
+        .unwrap();
+        Analyzer::new(AnalyzerOptions { ctx_size: 64, ..strict })
+            .analyze(&aligned)
+            .expect("aligned access accepted");
+
+        // Without the mask's low bits cleared, alignment is unprovable.
+        let misaligned = assemble(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                r2 &= 63
+                r3 = r1
+                r3 += r2
+                r0 = *(u32 *)(r3 + 0)
+                exit
+            ",
+        )
+        .unwrap();
+        let err = Analyzer::new(AnalyzerOptions { ctx_size: 68, ..strict })
+            .analyze(&misaligned)
+            .unwrap_err();
+        assert!(matches!(err, VerifierError::Misaligned { size: 4, .. }));
+    }
+
+    #[test]
+    fn infeasible_branches_are_pruned() {
+        // r2 == 3 and r2 > 7 cannot both hold; the bad access is dead.
+        let analysis = accept(
+            r"
+                r2 = 3
+                if r2 > 7 goto bad
+                r0 = 0
+                exit
+            bad:
+                r3 = 0
+                r0 = *(u8 *)(r3 + 0)   ; would be rejected if reachable
+                exit
+            ",
+        );
+        assert!(analysis.unreachable().contains(&4));
+    }
+
+    #[test]
+    fn join_widens_at_merge_points() {
+        let analysis = accept(
+            r"
+                r2 = 4
+                if r1 == 0 goto other
+                r2 = 8
+                goto end
+            other:
+                r2 = 4
+            end:
+                r0 = r2
+                exit
+            ",
+        );
+        let state = analysis.state_before(6).unwrap();
+        let r2 = state.reg(Reg::R2).as_scalar().unwrap();
+        assert!(r2.contains(4) && r2.contains(8));
+        assert!(!r2.contains(5), "tnum knows low bits are 0: {r2:?}");
+    }
+
+    #[test]
+    fn call_clobbers_caller_saved() {
+        assert!(matches!(
+            reject("r1 = 1\ncall 7\nr0 = r1\nexit"),
+            VerifierError::UninitRead { reg: Reg::R1, pc: 2 }
+        ));
+        accept("call 7\nexit"); // r0 defined by the call
+    }
+
+    #[test]
+    fn variable_stack_write_smears_then_reads_ok() {
+        accept(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                r2 &= 7
+                *(u64 *)(r10 - 8) = 0
+                *(u64 *)(r10 - 16) = 0
+                r3 = r10
+                r3 += -16
+                r3 += r2
+                *(u8 *)(r3 + 0) = 9     ; variable offset within [-16, -9]
+                r4 = *(u64 *)(r10 - 8)  ; still initialized (now Misc)
+                r0 = r4
+                exit
+            ",
+        );
+    }
+
+    #[test]
+    fn pointer_minus_pointer_is_scalar() {
+        let analysis = accept(
+            r"
+                r3 = r10
+                r3 += -8
+                r4 = r10
+                r4 -= r3
+                r0 = r4
+                exit
+            ",
+        );
+        let state = analysis.state_before(5).unwrap();
+        assert_eq!(state.reg(Reg::R0).as_scalar().unwrap().as_constant(), Some(8));
+    }
+
+    #[test]
+    fn pointer_times_scalar_rejected() {
+        assert!(matches!(
+            reject("r3 = r10\nr3 *= 2\nr0 = 0\nexit"),
+            VerifierError::BadPointerArithmetic { pc: 1 }
+        ));
+    }
+}

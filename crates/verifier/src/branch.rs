@@ -1,0 +1,286 @@
+//! Branch refinement: sharpening register states along the taken and
+//! fall-through edges of a conditional jump — the crate-level analogue of
+//! the kernel's `reg_set_min_max` and friends.
+
+use ebpf::JmpOp;
+use interval_domain::{Bounds, SInterval, UInterval};
+use tnum::Tnum;
+
+use crate::scalar::Scalar;
+
+/// Refines `(dst, src)` assuming `dst op src` evaluated to `taken`.
+///
+/// Returns `None` when the assumption is contradictory — the edge is
+/// infeasible and the analyzer skips it (path-sensitive dead-code
+/// elimination, exactly how the kernel prunes impossible branches).
+///
+/// Only 64-bit comparisons refine; 32-bit comparisons return the inputs
+/// unchanged (sound, less precise), matching this analyzer's scope.
+#[must_use]
+pub fn refine(op: JmpOp, taken: bool, dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
+    let effective = if taken {
+        Some(op)
+    } else {
+        op.negated()
+    };
+    let Some(op) = effective else {
+        // !(dst & src): all common bits are zero.
+        return refine_not_set(dst, src);
+    };
+    match op {
+        JmpOp::Eq => {
+            let both = dst.intersect(src)?;
+            Some((both, both))
+        }
+        JmpOp::Ne => refine_ne(dst, src),
+        JmpOp::Gt => refine_unsigned(dst, src, 1),
+        JmpOp::Ge => refine_unsigned(dst, src, 0),
+        JmpOp::Lt => refine_unsigned_lt(dst, src, 1),
+        JmpOp::Le => refine_unsigned_lt(dst, src, 0),
+        JmpOp::Sgt => refine_signed(dst, src, 1),
+        JmpOp::Sge => refine_signed(dst, src, 0),
+        JmpOp::Slt => refine_signed_lt(dst, src, 1),
+        JmpOp::Sle => refine_signed_lt(dst, src, 0),
+        JmpOp::Set => refine_set(dst, src),
+    }
+}
+
+/// `dst > src` (strict=1) or `dst >= src` (strict=0):
+/// `dst.umin >= src.umin + strict`, `src.umax <= dst.umax - strict`.
+fn refine_unsigned(dst: Scalar, src: Scalar, strict: u64) -> Option<(Scalar, Scalar)> {
+    let dmin = src.bounds().umin().checked_add(strict)?;
+    let smax = dst.bounds().umax().checked_sub(strict)?;
+    let d = clamp_u(dst, dmin, u64::MAX)?;
+    let s = clamp_u(src, 0, smax)?;
+    Some((d, s))
+}
+
+/// `dst < src` (strict=1) or `dst <= src` (strict=0).
+fn refine_unsigned_lt(dst: Scalar, src: Scalar, strict: u64) -> Option<(Scalar, Scalar)> {
+    let (s, d) = refine_unsigned(src, dst, strict)?;
+    Some((d, s))
+}
+
+/// Signed `dst > src` (strict=1) or `dst >= src` (strict=0).
+fn refine_signed(dst: Scalar, src: Scalar, strict: i64) -> Option<(Scalar, Scalar)> {
+    let dmin = src.bounds().smin().checked_add(strict)?;
+    let smax = dst.bounds().smax().checked_sub(strict)?;
+    let d = clamp_s(dst, dmin, i64::MAX)?;
+    let s = clamp_s(src, i64::MIN, smax)?;
+    Some((d, s))
+}
+
+fn refine_signed_lt(dst: Scalar, src: Scalar, strict: i64) -> Option<(Scalar, Scalar)> {
+    let (s, d) = refine_signed(src, dst, strict)?;
+    Some((d, s))
+}
+
+/// `dst != src`: ranges cannot be narrowed in general, but when one side
+/// is a constant at the edge of the other's range, the range shrinks by
+/// one; and equal constants are contradictory.
+fn refine_ne(dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
+    match (dst.as_constant(), src.as_constant()) {
+        (Some(a), Some(b)) if a == b => None,
+        (_, Some(c)) => Some((shave(dst, c)?, src)),
+        (Some(c), _) => Some((dst, shave(src, c)?)),
+        _ => Some((dst, src)),
+    }
+}
+
+/// Removes a constant from a scalar's range when it sits at an endpoint.
+fn shave(s: Scalar, c: u64) -> Option<Scalar> {
+    let b = s.bounds();
+    if b.umin() == c {
+        clamp_u(s, c.checked_add(1)?, u64::MAX)
+    } else if b.umax() == c {
+        clamp_u(s, 0, c.checked_sub(1)?)
+    } else {
+        Some(s)
+    }
+}
+
+/// `dst & src != 0`: when the mask is a single known bit, that bit of dst
+/// is known 1.
+fn refine_set(dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
+    if let Some(mask) = src.as_constant() {
+        if mask == 0 {
+            // dst & 0 != 0 is impossible.
+            return None;
+        }
+        if mask.is_power_of_two() {
+            let bit_known_one = Tnum::masked(mask, !mask);
+            let d = Scalar::from_parts(
+                dst.tnum().intersect(bit_known_one)?,
+                dst.bounds(),
+            )?;
+            return Some((d, src));
+        }
+    }
+    Some((dst, src))
+}
+
+/// `dst & src == 0`: every possibly-set bit of the mask is known 0 in dst.
+fn refine_not_set(dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
+    if let Some(mask) = src.as_constant() {
+        let bits_zero = Tnum::masked(0, !mask);
+        let d = Scalar::from_parts(dst.tnum().intersect(bits_zero)?, dst.bounds())?;
+        return Some((d, src));
+    }
+    Some((dst, src))
+}
+
+fn clamp_u(s: Scalar, lo: u64, hi: u64) -> Option<Scalar> {
+    let range = Bounds::from_unsigned(UInterval::new(lo, hi)?);
+    Scalar::from_parts(s.tnum(), s.bounds().intersect(range)?)
+}
+
+fn clamp_s(s: Scalar, lo: i64, hi: i64) -> Option<Scalar> {
+    let range = Bounds::from_signed(SInterval::new(lo, hi)?);
+    Scalar::from_parts(s.tnum(), s.bounds().intersect(range)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unknown() -> Scalar {
+        Scalar::unknown()
+    }
+
+    fn konst(v: u64) -> Scalar {
+        Scalar::constant(v)
+    }
+
+    /// Soundness oracle: refined abstractions must keep every concrete
+    /// pair that satisfies the branch condition.
+    fn check_sound(op: JmpOp, dst: Scalar, src: Scalar, samples: &[(u64, u64)]) {
+        for taken in [true, false] {
+            let refined = refine(op, taken, dst, src);
+            for &(x, y) in samples {
+                if !dst.contains(x) || !src.contains(y) {
+                    continue;
+                }
+                if op.eval64(x, y) == taken {
+                    let (d, s) = refined
+                        .unwrap_or_else(|| panic!("{op:?}/{taken}: feasible but refined to ⊥"));
+                    assert!(d.contains(x), "{op:?}/{taken}: lost dst={x}");
+                    assert!(s.contains(y), "{op:?}/{taken}: lost src={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ops_sound_on_samples() {
+        let values =
+            [0u64, 1, 2, 5, 7, 8, 100, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1];
+        let mut samples = Vec::new();
+        for &x in &values {
+            for &y in &values {
+                samples.push((x, y));
+            }
+        }
+        let abstractions = [
+            unknown(),
+            konst(5),
+            konst(0),
+            konst(u64::MAX),
+            Scalar::from_tnum("1xx".parse().unwrap()),
+            Scalar::from_parts(
+                Tnum::UNKNOWN,
+                Bounds::from_unsigned(UInterval::new(2, 100).unwrap()),
+            )
+            .unwrap(),
+        ];
+        for op in JmpOp::ALL {
+            for &d in &abstractions {
+                for &s in &abstractions {
+                    check_sound(op, d, s, &samples);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lt_refines_upper_bound() {
+        // if r < 8: range becomes [0, 7] on the taken edge.
+        let (d, _) = refine(JmpOp::Lt, true, unknown(), konst(8)).unwrap();
+        assert_eq!(d.bounds().umax(), 7);
+        // ... and [8, MAX] on the fall-through edge.
+        let (d, _) = refine(JmpOp::Lt, false, unknown(), konst(8)).unwrap();
+        assert_eq!(d.bounds().umin(), 8);
+    }
+
+    #[test]
+    fn eq_pins_constant_and_detects_dead_branch() {
+        let (d, s) = refine(JmpOp::Eq, true, unknown(), konst(42)).unwrap();
+        assert_eq!(d.as_constant(), Some(42));
+        assert_eq!(s.as_constant(), Some(42));
+        // 3 == 4 taken: infeasible.
+        assert_eq!(refine(JmpOp::Eq, true, konst(3), konst(4)), None);
+        // 3 != 3 taken: infeasible.
+        assert_eq!(refine(JmpOp::Ne, true, konst(3), konst(3)), None);
+    }
+
+    #[test]
+    fn signed_refinement() {
+        // if r s< 0 not taken: r >= 0 in the signed view.
+        let (d, _) = refine(JmpOp::Slt, false, unknown(), konst(0)).unwrap();
+        assert_eq!(d.bounds().smin(), 0);
+        // That also fixes the unsigned range below the sign boundary.
+        assert!(d.bounds().umax() <= i64::MAX as u64);
+    }
+
+    #[test]
+    fn set_refines_tnum_bits() {
+        // if r & 0x8 taken with single-bit mask: bit 3 known one.
+        let (d, _) = refine(JmpOp::Set, true, unknown(), konst(8)).unwrap();
+        assert_eq!(d.tnum().value() & 8, 8);
+        // Fall-through: bit 3 known zero; multi-bit masks clear all bits.
+        let (d, _) = refine(JmpOp::Set, false, unknown(), konst(0b1010)).unwrap();
+        assert_eq!(d.tnum().mask() & 0b1010, 0);
+        assert_eq!(d.tnum().value() & 0b1010, 0);
+        assert!(d.bounds().umax() <= !0b1010u64);
+        // dst & 0 is never nonzero.
+        assert_eq!(refine(JmpOp::Set, true, unknown(), konst(0)), None);
+    }
+
+    #[test]
+    fn ne_shaves_range_endpoints() {
+        let ranged = Scalar::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_unsigned(UInterval::new(0, 10).unwrap()),
+        )
+        .unwrap();
+        let (d, _) = refine(JmpOp::Ne, true, ranged, konst(10)).unwrap();
+        assert_eq!(d.bounds().umax(), 9);
+        let (d, _) = refine(JmpOp::Ne, true, ranged, konst(0)).unwrap();
+        assert_eq!(d.bounds().umin(), 1);
+        // Interior constants do not shrink the range.
+        let (d, _) = refine(JmpOp::Ne, true, ranged, konst(5)).unwrap();
+        assert_eq!((d.bounds().umin(), d.bounds().umax()), (0, 10));
+    }
+
+    #[test]
+    fn gt_between_two_unknowns_refines_both() {
+        let lowish = Scalar::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_unsigned(UInterval::new(0, 50).unwrap()),
+        )
+        .unwrap();
+        let highish = Scalar::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_unsigned(UInterval::new(40, 100).unwrap()),
+        )
+        .unwrap();
+        // lowish > highish on the taken edge: lowish in [41, 50],
+        // highish in [40, 49].
+        let (d, s) = refine(JmpOp::Gt, true, lowish, highish).unwrap();
+        assert_eq!((d.bounds().umin(), d.bounds().umax()), (41, 50));
+        assert_eq!((s.bounds().umin(), s.bounds().umax()), (40, 49));
+        // Infeasible direction: highish <= lowish impossible when disjoint.
+        let low = clamp_u(unknown(), 0, 3).unwrap();
+        let high = clamp_u(unknown(), 10, 20).unwrap();
+        assert!(refine(JmpOp::Gt, true, low, high).is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Control-flow graph construction, cycle rejection, and topological
+//! ordering.
+
+use ebpf::{Insn, Program};
+
+use crate::error::VerifierError;
+
+/// The control-flow graph of a program: successor lists per instruction,
+/// plus a topological order (programs with cycles are rejected, as in the
+/// classic BPF verifier).
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    topo: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG and rejects cyclic programs.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifierError::LoopDetected`] when a back-edge exists.
+    pub fn build(prog: &Program) -> Result<Cfg, VerifierError> {
+        let n = prog.len();
+        let mut succs = vec![Vec::new(); n];
+        for (i, insn) in prog.insns().iter().enumerate() {
+            match *insn {
+                Insn::Exit => {}
+                Insn::Ja { off } => {
+                    succs[i].push(prog.jump_target(i, off).expect("validated jump"));
+                }
+                Insn::Jmp { off, .. } => {
+                    // Fall-through first, then the taken edge.
+                    succs[i].push(i + 1);
+                    succs[i].push(prog.jump_target(i, off).expect("validated jump"));
+                }
+                _ => succs[i].push(i + 1),
+            }
+        }
+
+        // Iterative DFS with colors for cycle detection and post-order.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = Color::Gray;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < succs[node].len() {
+                let s = succs[node][*next];
+                *next += 1;
+                match color[s] {
+                    Color::White => {
+                        color[s] = Color::Gray;
+                        stack.push((s, 0));
+                    }
+                    Color::Gray => return Err(VerifierError::LoopDetected { pc: s }),
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                post.push(node);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        Ok(Cfg { succs, topo: post })
+    }
+
+    /// Successor instruction indices of instruction `i`. For conditional
+    /// jumps the fall-through edge comes first, then the taken edge.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[must_use]
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Instructions reachable from the entry, in topological order.
+    #[must_use]
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf::asm::assemble;
+
+    #[test]
+    fn straight_line_topo_is_identity() {
+        let prog = assemble("r0 = 1\nr0 += 1\nexit").unwrap();
+        let cfg = Cfg::build(&prog).unwrap();
+        assert_eq!(cfg.topo_order(), &[0, 1, 2]);
+        assert_eq!(cfg.successors(0), &[1]);
+        assert!(cfg.successors(2).is_empty());
+    }
+
+    #[test]
+    fn diamond_orders_merge_last() {
+        let prog = assemble(
+            r"
+                r0 = 0
+                if r1 == 0 goto other
+                r0 = 1
+                goto end
+            other:
+                r0 = 2
+            end:
+                exit
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog).unwrap();
+        let topo = cfg.topo_order();
+        let pos =
+            |i: usize| topo.iter().position(|&x| x == i).expect("all reachable");
+        // The merge (exit, index 5) comes after both arms.
+        assert!(pos(5) > pos(2) && pos(5) > pos(4));
+        // Conditional successors: fall-through then taken.
+        assert_eq!(cfg.successors(1), &[2, 4]);
+    }
+
+    #[test]
+    fn loops_are_rejected() {
+        let prog = assemble("loop:\nr0 = 0\nif r1 > 0 goto loop\nexit").unwrap();
+        assert!(matches!(Cfg::build(&prog), Err(VerifierError::LoopDetected { .. })));
+        let prog = assemble("self:\ngoto self\nexit").unwrap();
+        assert!(matches!(Cfg::build(&prog), Err(VerifierError::LoopDetected { .. })));
+    }
+
+    #[test]
+    fn unreachable_code_is_not_ordered() {
+        let prog = assemble("goto end\nr0 = 9\nend:\nr0 = 0\nexit").unwrap();
+        let cfg = Cfg::build(&prog).unwrap();
+        assert!(!cfg.topo_order().contains(&1), "dead insn not in topo order");
+    }
+}

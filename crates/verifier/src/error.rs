@@ -1,0 +1,154 @@
+//! Rejection reasons reported by the analyzer.
+
+use core::fmt;
+
+use ebpf::Reg;
+
+/// Why a program was rejected by the [`Analyzer`](crate::Analyzer).
+///
+/// Every variant carries the instruction index (`pc`) at fault, so callers
+/// can point at the offending line of disassembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifierError {
+    /// The control-flow graph contains a cycle; the classic verifier only
+    /// accepts loop-free programs.
+    LoopDetected {
+        /// An instruction participating in the cycle.
+        pc: usize,
+    },
+    /// An instruction reads a register that may be uninitialized.
+    UninitRead {
+        /// The register read.
+        reg: Reg,
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// A load or store dereferences a non-pointer value.
+    BadPointer {
+        /// The register used as a base address.
+        reg: Reg,
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// A memory access cannot be proven inside its region.
+    OutOfBounds {
+        /// Region name (`"stack"` or `"ctx"`).
+        region: &'static str,
+        /// Smallest possible byte offset of the access within the region
+        /// coordinates used in diagnostics.
+        min_off: i64,
+        /// Largest possible end offset of the access.
+        max_end: i64,
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// Strict alignment checking failed: the access offset cannot be
+    /// proven aligned to the access size (via `tnum_is_aligned`).
+    Misaligned {
+        /// Region name.
+        region: &'static str,
+        /// Access size in bytes.
+        size: u64,
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// A read from a stack slot that was never written.
+    UninitStackRead {
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// Arithmetic on pointers that the analyzer does not track
+    /// (e.g. multiplying a pointer, or adding two pointers).
+    BadPointerArithmetic {
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// The program exits without initializing `r0`.
+    NoReturnValue {
+        /// Index of the offending `exit`.
+        pc: usize,
+    },
+    /// The program returns a pointer in `r0`, leaking a kernel address.
+    PointerLeak {
+        /// Index of the offending `exit`.
+        pc: usize,
+    },
+}
+
+impl VerifierError {
+    /// The faulting instruction index.
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        match *self {
+            VerifierError::LoopDetected { pc }
+            | VerifierError::UninitRead { pc, .. }
+            | VerifierError::BadPointer { pc, .. }
+            | VerifierError::OutOfBounds { pc, .. }
+            | VerifierError::Misaligned { pc, .. }
+            | VerifierError::UninitStackRead { pc }
+            | VerifierError::BadPointerArithmetic { pc }
+            | VerifierError::NoReturnValue { pc }
+            | VerifierError::PointerLeak { pc } => pc,
+        }
+    }
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::LoopDetected { pc } => {
+                write!(f, "back-edge detected at instruction {pc}: loops are not allowed")
+            }
+            VerifierError::UninitRead { reg, pc } => {
+                write!(f, "instruction {pc} reads uninitialized register {reg}")
+            }
+            VerifierError::BadPointer { reg, pc } => {
+                write!(f, "instruction {pc} dereferences non-pointer register {reg}")
+            }
+            VerifierError::OutOfBounds { region, min_off, max_end, pc } => write!(
+                f,
+                "instruction {pc}: cannot prove {region} access in bounds \
+                 (offset may span [{min_off}, {max_end}))"
+            ),
+            VerifierError::Misaligned { region, size, pc } => write!(
+                f,
+                "instruction {pc}: cannot prove {size}-byte alignment of {region} access"
+            ),
+            VerifierError::UninitStackRead { pc } => {
+                write!(f, "instruction {pc} reads uninitialized stack memory")
+            }
+            VerifierError::BadPointerArithmetic { pc } => {
+                write!(f, "instruction {pc} performs unsupported pointer arithmetic")
+            }
+            VerifierError::NoReturnValue { pc } => {
+                write!(f, "exit at instruction {pc} without a value in r0")
+            }
+            VerifierError::PointerLeak { pc } => {
+                write!(f, "exit at instruction {pc} would leak a pointer in r0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_accessor_and_display() {
+        let e = VerifierError::OutOfBounds { region: "stack", min_off: -520, max_end: -512, pc: 4 };
+        assert_eq!(e.pc(), 4);
+        assert!(e.to_string().contains("stack"));
+        let e = VerifierError::UninitRead { reg: Reg::R3, pc: 1 };
+        assert!(e.to_string().contains("r3"));
+        assert_eq!(e.pc(), 1);
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<VerifierError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # verifier — a BPF-style static analyzer built on tnums
+//!
+//! This crate reproduces the *context* of the tnum paper: the Linux
+//! kernel's eBPF verifier, which uses abstract interpretation to prove that
+//! untrusted programs are memory-safe before they run in kernel context
+//! (§I of the paper). Registers are tracked in a reduced product of two
+//! domains:
+//!
+//! * the **tnum domain** ([`tnum::Tnum`]) for bit-level knowledge — the
+//!   paper's subject, driving masking, alignment, and bitwise reasoning;
+//! * the **bounds domain** ([`interval_domain::Bounds`]) for unsigned and
+//!   signed ranges — driving comparisons and access-bounds checks.
+//!
+//! [`Scalar`] couples the two with the kernel's `reg_bounds_sync`
+//! cross-refinement; [`Analyzer`] walks the control-flow graph of an
+//! [`ebpf::Program`] (rejecting loops, like the classic verifier), joins
+//! states at merge points, refines both branch directions of every
+//! conditional, and checks every memory access against its region —
+//! including tnum-based alignment (`tnum_is_aligned`) under
+//! [`AnalyzerOptions::strict_alignment`].
+//!
+//! The motivating example from §I of the paper works end to end:
+//!
+//! ```
+//! use ebpf::asm::assemble;
+//! use verifier::{Analyzer, AnalyzerOptions};
+//!
+//! // A value masked to 0b01x0 can be at most 6 <= 8, so an access at
+//! // [r10 - 16 + idx] stays inside a 16-byte stack window.
+//! let prog = assemble(r"
+//!     r2 = *(u8 *)(r1 + 0)   ; untrusted byte
+//!     r2 &= 6                ; tnum: 0000_0xx0, so r2 <= 6
+//!     r3 = r10
+//!     r3 += -16
+//!     r3 += r2               ; within [r10-16, r10-10]
+//!     *(u8 *)(r3 + 0) = 0    ; provably in bounds
+//!     r0 = 0
+//!     exit
+//! ")?;
+//! let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&prog)?;
+//! assert!(analysis.is_accepted());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod branch;
+mod cfg;
+mod error;
+mod scalar;
+mod state;
+mod value;
+
+pub use analyzer::{Analysis, Analyzer, AnalyzerOptions};
+pub use branch::refine as refine_branch;
+pub use error::VerifierError;
+pub use scalar::Scalar;
+pub use state::{AbsState, StackSlot};
+pub use value::RegValue;

@@ -1,0 +1,273 @@
+//! The per-program-point abstract machine state: registers and stack.
+
+use core::fmt;
+
+use ebpf::{Reg, STACK_SIZE};
+
+use crate::scalar::Scalar;
+use crate::value::RegValue;
+
+/// Number of 8-byte stack slots tracked (512 / 8 = 64).
+const SLOTS: usize = (STACK_SIZE / 8) as usize;
+
+/// The abstract contents of one 8-byte stack slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackSlot {
+    /// Never written on this path.
+    Uninit,
+    /// Written with bytes whose value is not tracked (partial or variable
+    /// writes, or non-slot-aligned stores). Reads yield unknown scalars.
+    Misc,
+    /// An aligned 8-byte spill of a tracked value.
+    Spill(RegValue),
+}
+
+impl StackSlot {
+    /// Join of slot states at merge points.
+    #[must_use]
+    pub fn union(self, other: StackSlot) -> StackSlot {
+        match (self, other) {
+            (StackSlot::Uninit, _) | (_, StackSlot::Uninit) => StackSlot::Uninit,
+            (StackSlot::Spill(a), StackSlot::Spill(b)) => match a.union(b) {
+                RegValue::Uninit => StackSlot::Misc,
+                v => StackSlot::Spill(v),
+            },
+            _ => StackSlot::Misc,
+        }
+    }
+
+    /// Whether reading this slot is allowed.
+    #[must_use]
+    pub fn is_initialized(self) -> bool {
+        !matches!(self, StackSlot::Uninit)
+    }
+}
+
+/// Abstract machine state at one program point: the eleven registers plus
+/// the 64 stack slots.
+///
+/// # Examples
+///
+/// ```
+/// use verifier::{AbsState, RegValue};
+/// use ebpf::Reg;
+///
+/// let state = AbsState::entry();
+/// assert!(matches!(state.reg(Reg::R1), RegValue::CtxPtr { .. }));
+/// assert!(matches!(state.reg(Reg::R10), RegValue::StackPtr { .. }));
+/// assert!(matches!(state.reg(Reg::R0), RegValue::Uninit));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct AbsState {
+    regs: [RegValue; 11],
+    stack: [StackSlot; SLOTS],
+}
+
+impl AbsState {
+    /// The state on program entry: `r1` points at the context, `r2` holds
+    /// the (unknown) context length, `r10` is the frame pointer, and
+    /// everything else — registers and stack — is uninitialized.
+    #[must_use]
+    pub fn entry() -> AbsState {
+        let mut regs = [RegValue::Uninit; 11];
+        regs[Reg::R1.index()] = RegValue::CtxPtr { offset: Scalar::constant(0) };
+        regs[Reg::R2.index()] = RegValue::unknown_scalar();
+        regs[Reg::R10.index()] = RegValue::StackPtr { offset: Scalar::constant(0) };
+        AbsState { regs, stack: [StackSlot::Uninit; SLOTS] }
+    }
+
+    /// The abstract value of a register.
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> RegValue {
+        self.regs[reg.index()]
+    }
+
+    /// Replaces the abstract value of a register.
+    pub fn set_reg(&mut self, reg: Reg, value: RegValue) {
+        self.regs[reg.index()] = value;
+    }
+
+    /// The abstract content of the 8-byte slot covering stack offset
+    /// `offset` (negative, relative to the top of the stack).
+    ///
+    /// Returns `None` when the offset is outside the frame.
+    #[must_use]
+    pub fn stack_slot(&self, offset: i64) -> Option<StackSlot> {
+        Some(self.stack[slot_index(offset)?])
+    }
+
+    /// Overwrites the slot covering `offset`.
+    ///
+    /// Returns `false` (and does nothing) when the offset is outside the
+    /// frame.
+    pub fn set_stack_slot(&mut self, offset: i64, slot: StackSlot) -> bool {
+        match slot_index(offset) {
+            Some(i) => {
+                self.stack[i] = slot;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks every slot intersecting `[start, end)` (stack-relative byte
+    /// offsets) as [`StackSlot::Misc`]: the effect of a write whose exact
+    /// location or value is not tracked.
+    pub fn smear_stack(&mut self, start: i64, end: i64) {
+        for off in (align_down(start)..end).step_by(8) {
+            if let Some(i) = slot_index(off) {
+                self.stack[i] = StackSlot::Misc;
+            }
+        }
+    }
+
+    /// Whether every byte of `[start, end)` has been initialized.
+    #[must_use]
+    pub fn stack_range_initialized(&self, start: i64, end: i64) -> bool {
+        if start >= end {
+            return true;
+        }
+        (align_down(start)..end)
+            .step_by(8)
+            .all(|off| slot_index(off).is_some_and(|i| self.stack[i].is_initialized()))
+    }
+
+    /// Pointwise join of two states at a control-flow merge.
+    #[must_use]
+    pub fn union(&self, other: &AbsState) -> AbsState {
+        let mut regs = [RegValue::Uninit; 11];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = self.regs[i].union(other.regs[i]);
+        }
+        let mut stack = [StackSlot::Uninit; SLOTS];
+        for (i, slot) in stack.iter_mut().enumerate() {
+            *slot = self.stack[i].union(other.stack[i]);
+        }
+        AbsState { regs, stack }
+    }
+
+    /// Pointwise abstract-order test (state inclusion).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &AbsState) -> bool {
+        let regs_ok = (0..11).all(|i| self.regs[i].is_subset_of(other.regs[i]));
+        let stack_ok = self.stack.iter().zip(other.stack.iter()).all(|(a, b)| match (a, b) {
+            (_, StackSlot::Uninit) => true,
+            (StackSlot::Spill(x), StackSlot::Spill(y)) => x.is_subset_of(*y),
+            (StackSlot::Misc | StackSlot::Spill(_), StackSlot::Misc) => true,
+            // Misc is not included in a tracked spill.
+            (StackSlot::Uninit, _) | (StackSlot::Misc, StackSlot::Spill(_)) => false,
+        });
+        regs_ok && stack_ok
+    }
+}
+
+/// Maps a stack-relative byte offset (negative) to its slot index.
+fn slot_index(offset: i64) -> Option<usize> {
+    if (-(STACK_SIZE as i64)..0).contains(&offset) {
+        Some(((offset + STACK_SIZE as i64) / 8) as usize)
+    } else {
+        None
+    }
+}
+
+fn align_down(off: i64) -> i64 {
+    off & !7
+}
+
+impl fmt::Debug for AbsState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "AbsState {{")?;
+        for r in Reg::ALL {
+            if self.regs[r.index()] != RegValue::Uninit {
+                writeln!(f, "  {r}: {}", self.regs[r.index()])?;
+            }
+        }
+        let written = self.stack.iter().filter(|s| s.is_initialized()).count();
+        writeln!(f, "  stack: {written}/{SLOTS} slots written")?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_index_covers_frame() {
+        assert_eq!(slot_index(-512), Some(0));
+        assert_eq!(slot_index(-8), Some(63));
+        assert_eq!(slot_index(-1), Some(63));
+        assert_eq!(slot_index(-505), Some(0));
+        assert_eq!(slot_index(0), None);
+        assert_eq!(slot_index(-513), None);
+    }
+
+    #[test]
+    fn entry_state_matches_abi() {
+        let s = AbsState::entry();
+        assert!(matches!(s.reg(Reg::R1), RegValue::CtxPtr { .. }));
+        assert!(s.reg(Reg::R2).as_scalar().is_some());
+        assert!(matches!(s.reg(Reg::R10), RegValue::StackPtr { .. }));
+        for r in [Reg::R0, Reg::R3, Reg::R6, Reg::R9] {
+            assert_eq!(s.reg(r), RegValue::Uninit);
+        }
+        assert_eq!(s.stack_slot(-8), Some(StackSlot::Uninit));
+    }
+
+    #[test]
+    fn stack_write_read_round_trip() {
+        let mut s = AbsState::entry();
+        let v = RegValue::Scalar(Scalar::constant(77));
+        assert!(s.set_stack_slot(-8, StackSlot::Spill(v)));
+        assert_eq!(s.stack_slot(-8), Some(StackSlot::Spill(v)));
+        // Out-of-frame writes are refused.
+        assert!(!s.set_stack_slot(-520, StackSlot::Misc));
+        assert!(!s.set_stack_slot(8, StackSlot::Misc));
+    }
+
+    #[test]
+    fn smear_marks_touched_slots() {
+        let mut s = AbsState::entry();
+        s.smear_stack(-20, -10); // touches slots for offsets [-24, -10)
+        assert_eq!(s.stack_slot(-17), Some(StackSlot::Misc));
+        assert_eq!(s.stack_slot(-12), Some(StackSlot::Misc));
+        assert_eq!(s.stack_slot(-30), Some(StackSlot::Uninit));
+        assert!(s.stack_range_initialized(-20, -10));
+        assert!(!s.stack_range_initialized(-32, -10));
+    }
+
+    #[test]
+    fn join_of_slots() {
+        let spill = StackSlot::Spill(RegValue::Scalar(Scalar::constant(1)));
+        assert_eq!(spill.union(StackSlot::Uninit), StackSlot::Uninit);
+        assert_eq!(spill.union(StackSlot::Misc), StackSlot::Misc);
+        match spill.union(StackSlot::Spill(RegValue::Scalar(Scalar::constant(3)))) {
+            StackSlot::Spill(RegValue::Scalar(s)) => {
+                assert!(s.contains(1) && s.contains(3));
+            }
+            other => panic!("unexpected join {other:?}"),
+        }
+        // Spills of incompatible kinds degrade to Misc, not Uninit: the
+        // bytes are initialized on both paths.
+        let ptr = StackSlot::Spill(RegValue::StackPtr { offset: Scalar::constant(0) });
+        assert_eq!(spill.union(ptr), StackSlot::Misc);
+    }
+
+    #[test]
+    fn state_join_and_order() {
+        let mut a = AbsState::entry();
+        let mut b = AbsState::entry();
+        a.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(1)));
+        b.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(2)));
+        let j = a.union(&b);
+        assert!(a.is_subset_of(&j));
+        assert!(b.is_subset_of(&j));
+        let r3 = j.reg(Reg::R3).as_scalar().unwrap();
+        assert!(r3.contains(1) && r3.contains(2));
+        // A state with an initialized slot is included in one without.
+        let mut with_slot = AbsState::entry();
+        with_slot.set_stack_slot(-8, StackSlot::Misc);
+        assert!(with_slot.is_subset_of(&AbsState::entry()));
+        assert!(!AbsState::entry().is_subset_of(&with_slot));
+    }
+}

@@ -1,0 +1,170 @@
+//! Abstract register values: scalars, region pointers, or uninitialized.
+
+use core::fmt;
+
+use crate::scalar::Scalar;
+
+/// The abstract value of one register.
+///
+/// Pointers carry a *variable offset* tracked as a full [`Scalar`]
+/// (tnum + bounds), so bit-level facts about an index — e.g. alignment
+/// after a mask — flow into memory-access checks exactly as in the kernel,
+/// where `bpf_reg_state.var_off` is a tnum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegValue {
+    /// Never written on this path; any read is rejected.
+    Uninit,
+    /// An ordinary 64-bit value.
+    Scalar(Scalar),
+    /// A pointer into the 512-byte stack frame: address
+    /// `STACK_TOP + offset` with `offset` usually negative.
+    StackPtr {
+        /// Signed byte offset from the top of the stack.
+        offset: Scalar,
+    },
+    /// A pointer into the context buffer: address `CTX_BASE + offset`.
+    CtxPtr {
+        /// Byte offset from the start of the context.
+        offset: Scalar,
+    },
+}
+
+impl RegValue {
+    /// An unknown scalar (the abstraction of "any 64-bit value").
+    #[must_use]
+    pub fn unknown_scalar() -> RegValue {
+        RegValue::Scalar(Scalar::unknown())
+    }
+
+    /// Whether this value may be read at all.
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        !matches!(self, RegValue::Uninit)
+    }
+
+    /// The scalar component if this is a scalar.
+    #[must_use]
+    pub fn as_scalar(self) -> Option<Scalar> {
+        match self {
+            RegValue::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a pointer value.
+    #[must_use]
+    pub fn is_pointer(self) -> bool {
+        matches!(self, RegValue::StackPtr { .. } | RegValue::CtxPtr { .. })
+    }
+
+    /// Join of two register values. Pointers join with pointers of the
+    /// same region by joining offsets; everything else collapses to
+    /// [`RegValue::Uninit`] (for mixed pointer kinds — reading such a
+    /// register is rejected, which is sound) or to a joined scalar.
+    #[must_use]
+    pub fn union(self, other: RegValue) -> RegValue {
+        match (self, other) {
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => RegValue::Scalar(a.union(b)),
+            (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b }) => {
+                RegValue::StackPtr { offset: a.union(b) }
+            }
+            (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => {
+                RegValue::CtxPtr { offset: a.union(b) }
+            }
+            _ => RegValue::Uninit,
+        }
+    }
+
+    /// Abstract-order test used for state-inclusion checks.
+    #[must_use]
+    pub fn is_subset_of(self, other: RegValue) -> bool {
+        match (self, other) {
+            // Uninit is the top of the "safety" order: any value may be
+            // weakened to it (it only forbids reads).
+            (_, RegValue::Uninit) => true,
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => a.is_subset_of(b),
+            (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
+            | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => {
+                a.is_subset_of(b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for RegValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Pointer offsets read best signed (stack offsets are negative).
+        fn offset(f: &mut fmt::Formatter<'_>, region: &str, s: &Scalar) -> fmt::Result {
+            if let Some(c) = s.as_constant() {
+                write!(f, "{region}{:+}", c as i64)
+            } else {
+                write!(f, "{region}+[{}, {}]", s.bounds().smin(), s.bounds().smax())
+            }
+        }
+        match self {
+            RegValue::Uninit => write!(f, "uninit"),
+            RegValue::Scalar(s) => write!(f, "{s}"),
+            RegValue::StackPtr { offset: o } => offset(f, "stack", o),
+            RegValue::CtxPtr { offset: o } => offset(f, "ctx", o),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_joins() {
+        let a = RegValue::Scalar(Scalar::constant(1));
+        let b = RegValue::Scalar(Scalar::constant(3));
+        match a.union(b) {
+            RegValue::Scalar(s) => {
+                assert!(s.contains(1) && s.contains(3));
+            }
+            other => panic!("expected scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_region_pointers_join_offsets() {
+        let p = RegValue::StackPtr { offset: Scalar::constant((-8i64) as u64) };
+        let q = RegValue::StackPtr { offset: Scalar::constant((-16i64) as u64) };
+        match p.union(q) {
+            RegValue::StackPtr { offset } => {
+                assert!(offset.contains((-8i64) as u64));
+                assert!(offset.contains((-16i64) as u64));
+            }
+            other => panic!("expected stack pointer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_kinds_collapse_to_uninit() {
+        let p = RegValue::StackPtr { offset: Scalar::constant(0) };
+        let c = RegValue::CtxPtr { offset: Scalar::constant(0) };
+        let s = RegValue::Scalar(Scalar::constant(0));
+        assert_eq!(p.union(c), RegValue::Uninit);
+        assert_eq!(p.union(s), RegValue::Uninit);
+        assert_eq!(s.union(RegValue::Uninit), RegValue::Uninit);
+    }
+
+    #[test]
+    fn order_respects_uninit_top() {
+        let s = RegValue::Scalar(Scalar::constant(5));
+        assert!(s.is_subset_of(RegValue::Uninit));
+        assert!(!RegValue::Uninit.is_subset_of(s));
+        assert!(s.is_subset_of(RegValue::unknown_scalar()));
+        assert!(!RegValue::unknown_scalar().is_subset_of(s));
+    }
+
+    #[test]
+    fn readability_and_kind_predicates() {
+        assert!(!RegValue::Uninit.is_readable());
+        assert!(RegValue::unknown_scalar().is_readable());
+        assert!(RegValue::StackPtr { offset: Scalar::constant(0) }.is_pointer());
+        assert!(RegValue::unknown_scalar().as_scalar().is_some());
+        assert!(RegValue::Uninit.as_scalar().is_none());
+    }
+}

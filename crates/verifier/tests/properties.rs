@@ -1,0 +1,129 @@
+//! Property-based tests for the verifier's scalar reduced product and
+//! branch refinement at full width.
+
+use ebpf::{AluOp, JmpOp, Width};
+use proptest::prelude::*;
+use tnum::Tnum;
+use verifier::Scalar;
+
+prop_compose! {
+    /// A random scalar abstraction together with a member.
+    fn scalar_and_member()(mask in any::<u64>(), raw in any::<u64>(), pick in any::<u64>()) -> (Scalar, u64) {
+        let t = Tnum::masked(raw, mask);
+        let x = t.value() | (pick & t.mask());
+        (Scalar::from_tnum(t), x)
+    }
+}
+
+fn concrete_alu(width: Width, op: AluOp, x: u64, y: u64) -> u64 {
+    match width {
+        Width::W64 => match op {
+            AluOp::Add => x.wrapping_add(y),
+            AluOp::Sub => x.wrapping_sub(y),
+            AluOp::Mul => x.wrapping_mul(y),
+            AluOp::Div => if y == 0 { 0 } else { x / y },
+            AluOp::Mod => if y == 0 { x } else { x % y },
+            AluOp::Or => x | y,
+            AluOp::And => x & y,
+            AluOp::Xor => x ^ y,
+            AluOp::Lsh => x.wrapping_shl(y as u32 & 63),
+            AluOp::Rsh => x.wrapping_shr(y as u32 & 63),
+            AluOp::Arsh => ((x as i64).wrapping_shr(y as u32 & 63)) as u64,
+            AluOp::Neg => x.wrapping_neg(),
+            AluOp::Mov => y,
+        },
+        Width::W32 => {
+            let (a, b) = (x as u32, y as u32);
+            u64::from(match op {
+                AluOp::Add => a.wrapping_add(b),
+                AluOp::Sub => a.wrapping_sub(b),
+                AluOp::Mul => a.wrapping_mul(b),
+                AluOp::Div => if b == 0 { 0 } else { a / b },
+                AluOp::Mod => if b == 0 { a } else { a % b },
+                AluOp::Or => a | b,
+                AluOp::And => a & b,
+                AluOp::Xor => a ^ b,
+                AluOp::Lsh => a.wrapping_shl(b & 31),
+                AluOp::Rsh => a.wrapping_shr(b & 31),
+                AluOp::Arsh => ((a as i32).wrapping_shr(b & 31)) as u32,
+                AluOp::Neg => a.wrapping_neg(),
+                AluOp::Mov => b,
+            })
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn scalar_alu_sound((a, x) in scalar_and_member(), (b, y) in scalar_and_member()) {
+        for op in AluOp::ALL {
+            for width in [Width::W64, Width::W32] {
+                let r = a.alu(width, op, b);
+                let z = concrete_alu(width, op, x, y);
+                prop_assert!(r.contains(z), "{:?}/{:?}: {} op {} = {} not in {:?}", op, width, x, y, z, r);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_keeps_members((a, x) in scalar_and_member()) {
+        let n = a.normalize().expect("non-empty");
+        prop_assert!(n.contains(x));
+    }
+
+    #[test]
+    fn union_keeps_members((a, x) in scalar_and_member(), (b, y) in scalar_and_member()) {
+        let j = a.union(b);
+        prop_assert!(j.contains(x));
+        prop_assert!(j.contains(y));
+        prop_assert!(a.is_subset_of(j));
+        prop_assert!(b.is_subset_of(j));
+    }
+
+    #[test]
+    fn intersect_keeps_common_members((a, x) in scalar_and_member(), (b, _) in scalar_and_member()) {
+        match a.intersect(b) {
+            Some(m) => {
+                if b.contains(x) {
+                    prop_assert!(m.contains(x));
+                }
+            }
+            None => prop_assert!(!b.contains(x) || !a.contains(x)),
+        }
+    }
+
+    #[test]
+    fn branch_refinement_sound((a, x) in scalar_and_member(), (b, y) in scalar_and_member()) {
+        // Whatever the concrete comparison outcome, the corresponding
+        // refined edge must keep the witnessing pair (and hence must not
+        // be reported infeasible).
+        for op in JmpOp::ALL {
+            let taken = op.eval64(x, y);
+            match verifier::refine_branch(op, taken, a, b) {
+                Some((d, s)) => {
+                    prop_assert!(d.contains(x), "{:?}/{}: lost dst {}", op, taken, x);
+                    prop_assert!(s.contains(y), "{:?}/{}: lost src {}", op, taken, y);
+                }
+                None => prop_assert!(false, "{:?}/{}: feasible edge refined to bottom", op, taken),
+            }
+        }
+    }
+
+    #[test]
+    fn branch_refinement_shrinks_or_keeps((a, _) in scalar_and_member(), (b, _) in scalar_and_member()) {
+        // Refinement never widens either side.
+        for op in JmpOp::ALL {
+            for taken in [false, true] {
+                if let Some((d, s)) = verifier::refine_branch(op, taken, a, b) {
+                    prop_assert!(d.is_subset_of(a), "{:?}/{} widened dst", op, taken);
+                    prop_assert!(s.is_subset_of(b), "{:?}/{} widened src", op, taken);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subreg_contains_low_half((a, x) in scalar_and_member()) {
+        prop_assert!(a.subreg().contains(x & 0xffff_ffff));
+    }
+}

@@ -1,0 +1,190 @@
+//! Algebraic observations about tnum arithmetic (§III-A of the paper):
+//!
+//! 1. tnum addition is **not associative**;
+//! 2. tnum addition and subtraction are **not inverse** operations;
+//! 3. tnum multiplication is **not commutative**.
+//!
+//! This module finds concrete witnesses exhaustively at small widths and
+//! counts how frequently each phenomenon occurs.
+
+use tnum::enumerate::tnums;
+use tnum::Tnum;
+
+/// A witness that `(a + b) + c ≠ a + (b + c)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AssocWitness {
+    /// Operands.
+    pub a: Tnum,
+    /// Operands.
+    pub b: Tnum,
+    /// Operands.
+    pub c: Tnum,
+    /// `(a + b) + c`.
+    pub left: Tnum,
+    /// `a + (b + c)`.
+    pub right: Tnum,
+}
+
+/// Counts non-associative triples of tnum addition at `width`, returning
+/// the count and the first witness (if any).
+///
+/// # Panics
+///
+/// Panics if `width > 5` (the sweep is cubic in `3^width`).
+#[must_use]
+pub fn addition_non_associativity(width: u32) -> (u64, Option<AssocWitness>) {
+    assert!(width <= 5, "cubic sweep limited to width 5");
+    let all: Vec<Tnum> = tnums(width).collect();
+    let mut count = 0u64;
+    let mut witness = None;
+    for &a in &all {
+        for &b in &all {
+            let ab = a.add(b).truncate(width);
+            for &c in &all {
+                let left = ab.add(c).truncate(width);
+                let right = a.add(b.add(c).truncate(width)).truncate(width);
+                if left != right {
+                    count += 1;
+                    witness.get_or_insert(AssocWitness { a, b, c, left, right });
+                }
+            }
+        }
+    }
+    (count, witness)
+}
+
+/// A witness that `(a + b) - b ≠ a`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InverseWitness {
+    /// First operand.
+    pub a: Tnum,
+    /// Second operand.
+    pub b: Tnum,
+    /// `(a + b) - b`.
+    pub round_trip: Tnum,
+}
+
+/// Counts pairs where subtracting `b` back after adding it does not
+/// return `a` (observation 2), with the first witness.
+#[must_use]
+pub fn add_sub_non_inverse(width: u32) -> (u64, Option<InverseWitness>) {
+    assert!(width <= 8, "quadratic sweep limited to width 8");
+    let all: Vec<Tnum> = tnums(width).collect();
+    let mut count = 0u64;
+    let mut witness = None;
+    for &a in &all {
+        for &b in &all {
+            let round_trip = a.add(b).truncate(width).sub(b).truncate(width);
+            if round_trip != a {
+                count += 1;
+                witness.get_or_insert(InverseWitness { a, b, round_trip });
+            }
+        }
+    }
+    (count, witness)
+}
+
+/// A witness that `a * b ≠ b * a` for `our_mul`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommWitness {
+    /// First operand.
+    pub a: Tnum,
+    /// Second operand.
+    pub b: Tnum,
+    /// `a * b`.
+    pub ab: Tnum,
+    /// `b * a`.
+    pub ba: Tnum,
+}
+
+/// Counts non-commutative pairs of the given multiplication at `width`,
+/// with the first witness.
+#[must_use]
+pub fn mul_non_commutativity(
+    mul: fn(Tnum, Tnum) -> Tnum,
+    width: u32,
+) -> (u64, Option<CommWitness>) {
+    assert!(width <= 8, "quadratic sweep limited to width 8");
+    let all: Vec<Tnum> = tnums(width).collect();
+    let mut count = 0u64;
+    let mut witness = None;
+    for &a in &all {
+        for &b in &all {
+            let ab = mul(a, b).truncate(width);
+            let ba = mul(b, a).truncate(width);
+            if ab != ba {
+                count += 1;
+                witness.get_or_insert(CommWitness { a, b, ab, ba });
+            }
+        }
+    }
+    (count, witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_not_associative() {
+        let (count, witness) = addition_non_associativity(3);
+        assert!(count > 0, "observation (1) of §III-A");
+        let w = witness.unwrap();
+        // Both orders remain sound: each contains all concrete sums.
+        for x in w.a.concretize() {
+            for y in w.b.concretize() {
+                for z in w.c.concretize() {
+                    let sum = x.wrapping_add(y).wrapping_add(z) & 0b111;
+                    assert!(w.left.contains(sum));
+                    assert!(w.right.contains(sum));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_do_not_invert() {
+        let (count, witness) = add_sub_non_inverse(3);
+        assert!(count > 0, "observation (2) of §III-A");
+        let w = witness.unwrap();
+        // The round trip must still over-approximate a (soundness).
+        assert!(w.a.is_subset_of(w.round_trip) || !w.round_trip.is_subset_of(w.a));
+    }
+
+    #[test]
+    fn our_mul_is_not_commutative() {
+        // Width 6 is the smallest width at which *truncated* products
+        // differ by operand order (2 pairs for our_mul, 20 for kern_mul —
+        // found exhaustively; the 64-bit operators already disagree at
+        // width 4, see the core crate's tests).
+        let (count, witness) = mul_non_commutativity(|a, b| a.mul(b), 6);
+        assert_eq!(count, 2, "observation (3) of §III-A");
+        let w = witness.unwrap();
+        // Both orders contain every concrete product.
+        for x in w.a.concretize() {
+            for y in w.b.concretize() {
+                let prod = x.wrapping_mul(y) & 0x3f;
+                assert!(w.ab.contains(prod));
+                assert!(w.ba.contains(prod));
+            }
+        }
+    }
+
+    #[test]
+    fn kern_mul_is_also_not_commutative() {
+        let (count, _) = mul_non_commutativity(|a, b| a.mul_kernel_legacy(b), 6);
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn constants_are_well_behaved() {
+        // Over constants, all three properties hold, so witnesses always
+        // involve unknown bits.
+        let (_, w1) = addition_non_associativity(3);
+        let w1 = w1.unwrap();
+        assert!(w1.a.unknown_bits() + w1.b.unknown_bits() + w1.c.unknown_bits() > 0);
+        let (_, w2) = add_sub_non_inverse(3);
+        let w2 = w2.unwrap();
+        assert!(w2.a.unknown_bits() + w2.b.unknown_bits() > 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tnum-verify — bounded verification and precision measurement
+//!
+//! The paper (§III-A) performs *automated bounded verification* of the
+//! kernel's tnum operators by encoding the soundness predicate (Eqn. 11)
+//! in first-order logic and discharging it to Z3. No SMT solver is
+//! available in this environment, so this crate checks the **same logical
+//! formula by exhaustive enumeration** — exact and complete at a given
+//! bitwidth, which is precisely what bounded verification provides
+//! (see `DESIGN.md`, substitution 1):
+//!
+//! * [`soundness`] — ∀ well-formed `P, Q`, ∀ `x ∈ γ(P), y ∈ γ(Q)`:
+//!   `opC(x, y) ∈ γ(opT(P, Q))`, enumerated over all `3ⁿ` tnums and all
+//!   member pairs (`16ⁿ` checks);
+//! * [`optimality`] — comparison against the brute-forced best abstract
+//!   transformer `α ∘ f ∘ γ` (maximal precision, §II-A);
+//! * [`precision`] — the Fig. 4 / Table I machinery: relative precision of
+//!   two multiplication algorithms over all input pairs at width *n*;
+//! * [`spotcheck`] — the randomized 64-bit testing harness of §VII-D,
+//!   checking soundness on sampled members of random tnum pairs;
+//! * [`algebra`] — witnesses for the paper's algebraic observations
+//!   (tnum addition is not associative, add/sub are not inverses, tnum
+//!   multiplication is not commutative);
+//! * [`ops`] — the catalog of abstract/concrete operator pairs under test,
+//!   shared by all of the above and by the `bench` experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod ops;
+pub mod optimality;
+pub mod parallel;
+pub mod precision;
+pub mod soundness;
+pub mod spotcheck;
+
+pub use ops::{Op2, OpCatalog};
+pub use optimality::{check_optimality, OptimalityReport};
+pub use precision::{
+    compare_precision, compare_precision_sampled, compare_precision_unordered, ratio_histogram,
+    PrecisionReport,
+};
+pub use soundness::{check_soundness, SoundnessReport, Violation};
+pub use spotcheck::{spot_check, SpotCheckReport};

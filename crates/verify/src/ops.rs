@@ -1,0 +1,263 @@
+//! The catalog of abstract/concrete operator pairs under verification.
+//!
+//! Each [`Op2`] couples a binary abstract operator over tnums with the
+//! concrete `u64` operation it abstracts, both parameterized by a bit
+//! width `w`: abstract results are truncated to `w` bits and concrete
+//! results are reduced mod `2^w`, which is exact for all operators in the
+//! catalog (carries/borrows/partial products only propagate upward;
+//! shift amounts are reduced before use).
+
+use tnum::{low_bits, Tnum};
+
+/// A verifiable pair of abstract and concrete binary operators.
+#[derive(Clone, Copy)]
+pub struct Op2 {
+    /// Human-readable operator name (matches the paper's terminology).
+    pub name: &'static str,
+    /// The abstract operator, width-adjusted.
+    pub abstract_op: fn(Tnum, Tnum, u32) -> Tnum,
+    /// The concrete operator, width-adjusted.
+    pub concrete_op: fn(u64, u64, u32) -> u64,
+}
+
+impl core::fmt::Debug for Op2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Op2({})", self.name)
+    }
+}
+
+/// The operators verified by the paper's bounded-verification campaign
+/// (§III-A), plus the three multiplication algorithms compared in §IV.
+pub struct OpCatalog;
+
+impl OpCatalog {
+    /// Kernel `tnum_add` vs wrapping addition.
+    #[must_use]
+    pub fn add() -> Op2 {
+        Op2 {
+            name: "add",
+            abstract_op: |a, b, w| a.add(b).truncate(w),
+            concrete_op: |x, y, w| x.wrapping_add(y) & low_bits(w),
+        }
+    }
+
+    /// Kernel `tnum_sub` vs wrapping subtraction.
+    #[must_use]
+    pub fn sub() -> Op2 {
+        Op2 {
+            name: "sub",
+            abstract_op: |a, b, w| a.sub(b).truncate(w),
+            concrete_op: |x, y, w| x.wrapping_sub(y) & low_bits(w),
+        }
+    }
+
+    /// The paper's `our_mul` (now the kernel's `tnum_mul`).
+    #[must_use]
+    pub fn mul() -> Op2 {
+        Op2 {
+            name: "our_mul",
+            abstract_op: |a, b, w| a.mul(b).truncate(w),
+            concrete_op: |x, y, w| x.wrapping_mul(y) & low_bits(w),
+        }
+    }
+
+    /// The legacy kernel multiplication (`kern_mul`, Listing 2).
+    #[must_use]
+    pub fn mul_kernel() -> Op2 {
+        Op2 {
+            name: "kern_mul",
+            abstract_op: |a, b, w| a.mul_kernel_legacy(b).truncate(w),
+            concrete_op: |x, y, w| x.wrapping_mul(y) & low_bits(w),
+        }
+    }
+
+    /// The Regehr–Duongsaa `bitwise_mul` (Listing 5, optimized form).
+    #[must_use]
+    pub fn mul_bitwise() -> Op2 {
+        Op2 {
+            name: "bitwise_mul",
+            abstract_op: |a, b, w| bitwise_domain::bitwise_mul(a, b).truncate(w),
+            concrete_op: |x, y, w| x.wrapping_mul(y) & low_bits(w),
+        }
+    }
+
+    /// `our_mul_simplified` (Listing 3) — the proof-friendly form.
+    #[must_use]
+    pub fn mul_simplified() -> Op2 {
+        Op2 {
+            name: "our_mul_simplified",
+            abstract_op: |a, b, w| tnum::mul::our_mul_simplified(a, b).truncate(w),
+            concrete_op: |x, y, w| x.wrapping_mul(y) & low_bits(w),
+        }
+    }
+
+    /// Kernel `tnum_and`.
+    #[must_use]
+    pub fn and() -> Op2 {
+        Op2 {
+            name: "and",
+            abstract_op: |a, b, w| a.and(b).truncate(w),
+            concrete_op: |x, y, w| (x & y) & low_bits(w),
+        }
+    }
+
+    /// Kernel `tnum_or`.
+    #[must_use]
+    pub fn or() -> Op2 {
+        Op2 {
+            name: "or",
+            abstract_op: |a, b, w| a.or(b).truncate(w),
+            concrete_op: |x, y, w| (x | y) & low_bits(w),
+        }
+    }
+
+    /// Kernel `tnum_xor`.
+    #[must_use]
+    pub fn xor() -> Op2 {
+        Op2 {
+            name: "xor",
+            abstract_op: |a, b, w| a.xor(b).truncate(w),
+            concrete_op: |x, y, w| (x ^ y) & low_bits(w),
+        }
+    }
+
+    /// Left shift by a tnum amount. Shift counts follow the 64-bit BPF
+    /// instruction semantics (`amount & 63`) at every verification width;
+    /// the width only truncates the *value*.
+    #[must_use]
+    pub fn lshift() -> Op2 {
+        Op2 {
+            name: "lshift",
+            abstract_op: |a, b, w| a.lshift_tnum(b.and(Tnum::constant(63))).truncate(w),
+            concrete_op: |x, y, w| (x << (y & 63)) & low_bits(w),
+        }
+    }
+
+    /// Logical right shift by a tnum amount (count masked to `& 63`).
+    #[must_use]
+    pub fn rshift() -> Op2 {
+        Op2 {
+            name: "rshift",
+            abstract_op: |a, b, w| a.rshift_tnum(b.and(Tnum::constant(63))).truncate(w),
+            concrete_op: |x, y, w| (x >> (y & 63)) & low_bits(w),
+        }
+    }
+
+    /// Arithmetic right shift (width-aware sign) by a tnum amount
+    /// (count masked to `& 63`).
+    #[must_use]
+    pub fn arshift() -> Op2 {
+        Op2 {
+            name: "arshift",
+            abstract_op: |a, b, w| {
+                a.sign_extend_from(w)
+                    .arshift_tnum(b.and(Tnum::constant(63)))
+                    .truncate(w)
+            },
+            concrete_op: |x, y, w| {
+                let sx = sign_extend(x, w);
+                ((sx >> (y & 63)) as u64) & low_bits(w)
+            },
+        }
+    }
+
+    /// Abstract division with BPF `x / 0 = 0` semantics.
+    #[must_use]
+    pub fn div() -> Op2 {
+        Op2 {
+            name: "div",
+            abstract_op: |a, b, w| a.div(b).truncate(w),
+            concrete_op: |x, y, w| (if y == 0 { 0 } else { x / y }) & low_bits(w),
+        }
+    }
+
+    /// Abstract remainder with BPF `x % 0 = x` semantics.
+    #[must_use]
+    pub fn rem() -> Op2 {
+        Op2 {
+            name: "mod",
+            abstract_op: |a, b, w| a.rem(b).truncate(w),
+            concrete_op: |x, y, w| (if y == 0 { x } else { x % y }) & low_bits(w),
+        }
+    }
+
+    /// The operators the paper lists for bounded verification (§III-A):
+    /// addition, subtraction, multiplication, bitwise or/and/xor, and the
+    /// three shifts — plus div/mod (conservative) for completeness.
+    #[must_use]
+    pub fn paper_suite() -> Vec<Op2> {
+        vec![
+            Self::add(),
+            Self::sub(),
+            Self::mul(),
+            Self::mul_kernel(),
+            Self::mul_bitwise(),
+            Self::and(),
+            Self::or(),
+            Self::xor(),
+            Self::lshift(),
+            Self::rshift(),
+            Self::arshift(),
+            Self::div(),
+            Self::rem(),
+        ]
+    }
+
+    /// The three multiplication algorithms compared in §IV.
+    #[must_use]
+    pub fn mul_suite() -> Vec<Op2> {
+        vec![Self::mul(), Self::mul_kernel(), Self::mul_bitwise()]
+    }
+}
+
+fn sign_extend(x: u64, width: u32) -> i64 {
+    debug_assert!(width >= 1 && width <= 64);
+    let shift = 64 - width;
+    ((x << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let suite = OpCatalog::paper_suite();
+        let mut names: Vec<&str> = suite.iter().map(|o| o.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn concrete_ops_match_reference_semantics() {
+        let w = 8;
+        assert_eq!((OpCatalog::add().concrete_op)(200, 100, w), 44);
+        assert_eq!((OpCatalog::sub().concrete_op)(10, 20, w), 246);
+        assert_eq!((OpCatalog::mul().concrete_op)(16, 16, w), 0);
+        assert_eq!((OpCatalog::div().concrete_op)(10, 0, w), 0);
+        assert_eq!((OpCatalog::rem().concrete_op)(10, 0, w), 10);
+        // Shift counts are masked to 64-bit semantics: 1 << 9 escapes the
+        // 8-bit window entirely.
+        assert_eq!((OpCatalog::lshift().concrete_op)(1, 9, w), 0);
+        assert_eq!((OpCatalog::lshift().concrete_op)(1, 65, w), 2); // 65 & 63 = 1
+        assert_eq!((OpCatalog::arshift().concrete_op)(0x80, 1, w), 0xc0);
+    }
+
+    #[test]
+    fn abstract_ops_stay_within_width() {
+        let a: Tnum = "x1".parse().unwrap();
+        let b: Tnum = "1x".parse().unwrap();
+        for op in OpCatalog::paper_suite() {
+            let r = (op.abstract_op)(a, b, 4);
+            assert!(r.fits_width(4), "{} escaped its width", op.name);
+        }
+    }
+
+    #[test]
+    fn sign_extend_reference() {
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Exhaustive optimality checking against the best abstract transformer
+//! `α ∘ f ∘ γ` (§II-A of the paper).
+
+use tnum::enumerate::{count, nth};
+use tnum::Tnum;
+
+use crate::ops::Op2;
+use crate::parallel::{default_threads, par_chunks};
+
+/// An input pair where the operator is strictly less precise than the
+/// best transformer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Suboptimal {
+    /// First abstract operand.
+    pub p: Tnum,
+    /// Second abstract operand.
+    pub q: Tnum,
+    /// What the operator produced.
+    pub got: Tnum,
+    /// The maximally precise result `α(f(γ(p), γ(q)))`.
+    pub best: Tnum,
+}
+
+/// Outcome of an exhaustive optimality check at one width.
+#[derive(Clone, Debug)]
+pub struct OptimalityReport {
+    /// Operator name.
+    pub name: &'static str,
+    /// Bit width checked.
+    pub width: u32,
+    /// Number of abstract input pairs enumerated.
+    pub pairs: u64,
+    /// Pairs where the operator matched the best transformer exactly.
+    pub optimal_pairs: u64,
+    /// Sample of pairs where it did not (capped at 16 to bound memory).
+    pub suboptimal_samples: Vec<Suboptimal>,
+    /// Count of *soundness* violations encountered while brute-forcing —
+    /// always zero for a sound operator.
+    pub unsound_pairs: u64,
+}
+
+impl OptimalityReport {
+    /// Whether the operator is the optimal abstraction at this width.
+    #[must_use]
+    pub fn is_optimal(&self) -> bool {
+        self.optimal_pairs == self.pairs && self.unsound_pairs == 0
+    }
+
+    /// Fraction of input pairs on which the operator is exact w.r.t. the
+    /// best transformer.
+    #[must_use]
+    pub fn optimal_fraction(&self) -> f64 {
+        self.optimal_pairs as f64 / self.pairs as f64
+    }
+}
+
+/// The maximally precise abstract result for one input pair:
+/// `α({ opC(x, y) : x ∈ γ(p), y ∈ γ(q) })`.
+#[must_use]
+pub fn best_transformer(op: Op2, p: Tnum, q: Tnum, width: u32) -> Tnum {
+    Tnum::abstract_of(
+        p.concretize()
+            .flat_map(|x| q.concretize().map(move |y| (op.concrete_op)(x, y, width))),
+    )
+    .expect("γ of a well-formed tnum is non-empty")
+}
+
+/// Exhaustively compares `op` against the best transformer at `width`.
+///
+/// # Panics
+///
+/// Panics if `width > 8` (the brute-force transformer enumerates `16^w`
+/// member pairs).
+#[must_use]
+pub fn check_optimality(op: Op2, width: u32) -> OptimalityReport {
+    assert!(width <= 8, "optimality sweeps are limited to width 8");
+    let n = count(width);
+    let per_thread = par_chunks(n, default_threads(), |lo, hi| {
+        let mut optimal = 0u64;
+        let mut unsound = 0u64;
+        let mut samples = Vec::new();
+        for pi in lo..hi {
+            let p = nth(width, pi);
+            for qi in 0..n {
+                let q = nth(width, qi);
+                let got = (op.abstract_op)(p, q, width);
+                let best = best_transformer(op, p, q, width);
+                if got == best {
+                    optimal += 1;
+                } else if best.is_subset_of(got) {
+                    if samples.len() < 16 {
+                        samples.push(Suboptimal { p, q, got, best });
+                    }
+                } else {
+                    // The operator missed a concrete result: unsound.
+                    unsound += 1;
+                }
+            }
+        }
+        (optimal, unsound, samples)
+    });
+    let mut optimal_pairs = 0;
+    let mut unsound_pairs = 0;
+    let mut suboptimal_samples = Vec::new();
+    for (o, u, s) in per_thread {
+        optimal_pairs += o;
+        unsound_pairs += u;
+        if suboptimal_samples.len() < 16 {
+            suboptimal_samples.extend(s);
+            suboptimal_samples.truncate(16);
+        }
+    }
+    OptimalityReport {
+        name: op.name,
+        width,
+        pairs: n * n,
+        optimal_pairs,
+        suboptimal_samples,
+        unsound_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpCatalog;
+
+    #[test]
+    fn add_and_sub_are_optimal_w4() {
+        // Theorems 6 and 22 of the paper, checked by enumeration.
+        for op in [OpCatalog::add(), OpCatalog::sub()] {
+            let report = check_optimality(op, 4);
+            assert!(report.is_optimal(), "{} suboptimal: {:?}", op.name, report.suboptimal_samples.first());
+        }
+    }
+
+    #[test]
+    fn bitwise_ops_are_optimal_w4() {
+        for op in [OpCatalog::and(), OpCatalog::or(), OpCatalog::xor()] {
+            assert!(check_optimality(op, 4).is_optimal(), "{}", op.name);
+        }
+    }
+
+    #[test]
+    fn no_multiplication_is_optimal_w4() {
+        // §III-C: our_mul is sound but *not* optimal; neither are the
+        // baselines.
+        for op in OpCatalog::mul_suite() {
+            let report = check_optimality(op, 4);
+            assert!(!report.is_optimal(), "{} unexpectedly optimal", op.name);
+            assert_eq!(report.unsound_pairs, 0, "{} must stay sound", op.name);
+            assert!(!report.suboptimal_samples.is_empty());
+            // The recorded samples are genuine precision losses.
+            for s in &report.suboptimal_samples {
+                assert!(s.best.is_strict_subset_of(s.got));
+            }
+        }
+    }
+
+    #[test]
+    fn div_rem_conservative_but_sound_w3() {
+        for op in [OpCatalog::div(), OpCatalog::rem()] {
+            let report = check_optimality(op, 3);
+            assert_eq!(report.unsound_pairs, 0);
+            assert!(!report.is_optimal(), "{} is intentionally conservative", op.name);
+        }
+    }
+
+    #[test]
+    fn best_transformer_matches_manual_alpha() {
+        // γ(10x) = {4, 5}; adding the constant 1 gives {5, 6} = {101, 110},
+        // whose exact abstraction is 1xx.
+        let p: Tnum = "10x".parse().unwrap();
+        let q: Tnum = "001".parse().unwrap();
+        let best = best_transformer(OpCatalog::add(), p, q, 3);
+        assert_eq!(best, "1xx".parse().unwrap());
+        // And it agrees with tnum_add (optimality on this pair).
+        assert_eq!(best, p.add(q).truncate(3));
+    }
+
+    #[test]
+    fn optimal_fraction_reported() {
+        let report = check_optimality(OpCatalog::mul(), 3);
+        assert!(report.optimal_fraction() > 0.9, "our_mul is near-optimal at small widths");
+        assert!(report.optimal_fraction() < 1.0);
+    }
+}

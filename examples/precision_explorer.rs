@@ -1,0 +1,67 @@
+//! Precision explorer: pit the three abstract multiplications against
+//! each other on chosen inputs and on a small exhaustive sweep —
+//! a hands-on miniature of §IV-A / Table I.
+//!
+//! Run with: `cargo run --example precision_explorer`
+
+use bitwise_domain::bitwise_mul;
+use tnum::Tnum;
+use tnum_verify::ops::OpCatalog;
+use tnum_verify::{compare_precision_unordered, PrecisionReport};
+
+fn show(p: &str, q: &str, width: u32) -> Result<(), tnum::ParseTnumError> {
+    let p: Tnum = p.parse()?;
+    let q: Tnum = q.parse()?;
+    let ours = p.mul(q).truncate(width);
+    let kern = p.mul_kernel_legacy(q).truncate(width);
+    let bw = bitwise_mul(p, q).truncate(width);
+    println!(
+        "P={} Q={}  our_mul={} ({} values)  kern_mul={} ({})  bitwise_mul={} ({})",
+        p.to_bin_string(width),
+        q.to_bin_string(width),
+        ours.to_bin_string(width),
+        ours.cardinality(),
+        kern.to_bin_string(width),
+        kern.cardinality(),
+        bw.to_bin_string(width),
+        bw.cardinality(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== chosen inputs ==");
+    // The Fig. 3 example.
+    show("x01", "x10", 5)?;
+    // The §IV-A incomparability example at width 9.
+    show("000000011", "011x011xx", 9)?;
+    // A case where the value/mask decomposition pays off.
+    show("00111", "0101x", 5)?;
+
+    println!("\n== exhaustive sweep (Table I in miniature) ==");
+    for width in 5..=6 {
+        let r: PrecisionReport =
+            compare_precision_unordered(OpCatalog::mul_kernel(), OpCatalog::mul(), width);
+        println!(
+            "width {width}: {} pairs, {} differ, our_mul more precise in {}, kern_mul in {}",
+            r.total, r.different, r.b_more_precise, r.a_more_precise
+        );
+    }
+
+    println!("\n== why: the number of abstract additions matters ==");
+    // tnum addition is non-associative and lossy; our_mul performs n+1
+    // additions of mask-only tnums, kern_mul up to 2n additions of mixed
+    // tnums. Count the unknown trits produced on a stress input.
+    let p: Tnum = "0x0x0x0x".parse()?;
+    let q: Tnum = "x0x0x0x0".parse()?;
+    let ours = p.mul(q).truncate(8);
+    let kern = p.mul_kernel_legacy(q).truncate(8);
+    println!(
+        "P={p} Q={q}: our_mul keeps {} known trits, kern_mul keeps {}",
+        8 - ours.truncate(8).unknown_bits(),
+        8 - kern.truncate(8).unknown_bits(),
+    );
+
+    println!("\nprecision_explorer OK");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: a tour of the tnum abstract domain.
+//!
+//! Reproduces the paper's worked examples along the way: the Fig. 2
+//! addition, the Fig. 3 multiplication, and the §I uncertainty story.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tnum::Tnum;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Constructing tnums -------------------------------------------
+    // From a trit string (x = unknown), a constant, or a set of values.
+    let from_str: Tnum = "10x0".parse()?;
+    let from_const = Tnum::constant(42);
+    let from_set = Tnum::abstract_of([8u64, 10]).expect("non-empty set");
+    println!("parsed   10x0 -> value={:#x} mask={:#x}", from_str.value(), from_str.mask());
+    println!("constant 42   -> {from_const}");
+    println!("abstract_of {{8, 10}} -> {from_set} (same as 10x0: {})", from_set == from_str);
+
+    // --- Concretization ------------------------------------------------
+    let members: Vec<u64> = from_str.concretize().collect();
+    println!("γ(10x0) = {members:?} ({} values)", from_str.cardinality());
+
+    // --- The Fig. 2 addition -------------------------------------------
+    let p: Tnum = "10x0".parse()?; // {8, 10}
+    let q: Tnum = "10x1".parse()?; // {9, 11}
+    let sum = p.add(q);
+    println!("\nFig. 2:  {p} + {q} = {}", sum.to_bin_string(5));
+    println!("γ(sum) = {:?}", sum.concretize().collect::<Vec<_>>());
+    assert_eq!(sum.to_bin_string(5), "10xx1");
+
+    // --- The Fig. 3 multiplication -------------------------------------
+    let p: Tnum = "x01".parse()?; // {1, 5}
+    let q: Tnum = "x10".parse()?; // {2, 6}
+    let prod = p.mul(q);
+    println!("\nFig. 3:  {p} * {q} = {}", prod.to_bin_string(5));
+    assert_eq!(prod.to_bin_string(5), "xxx10");
+
+    // --- §I: one unknown bit can poison every output bit ---------------
+    let ones = Tnum::constant(u64::MAX);
+    let bit: Tnum = "x".parse()?;
+    println!("\n§I:      (all ones) + {bit} = {} (all 64 trits unknown)", ones.add(bit));
+    assert!(ones.add(bit).is_unknown());
+
+    // --- The motivating bound: masking implies a range -----------------
+    let any = Tnum::UNKNOWN;
+    let masked = any.and(Tnum::constant(0b0110)); // the paper's 01x0 shape
+    println!("\nunknown & 0b0110 = {} -> max value {} <= 8", masked.to_bin_string(4), masked.max_value());
+    assert!(masked.max_value() <= 8);
+
+    // --- Lattice operations --------------------------------------------
+    let a = Tnum::constant(4);
+    let b = Tnum::constant(6);
+    let join = a.union(b);
+    println!("\nunion(100, 110) = {} — the smallest tnum containing both", join.to_bin_string(3));
+    assert!(a.is_subset_of(join) && b.is_subset_of(join));
+    let meet = join.intersect("1x0".parse()?);
+    println!("intersect(1x0, 1x0) = {meet:?}");
+
+    // --- Kernel auxiliary ops -------------------------------------------
+    println!("\ntnum_range(8, 11) = {}", Tnum::range(8, 11));
+    println!("alignment: {} is 4-aligned: {}", "1x00", "1x00".parse::<Tnum>()?.is_aligned(4));
+
+    println!("\nquickstart OK");
+    Ok(())
+}

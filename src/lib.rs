@@ -1,0 +1,22 @@
+//! # tnum-repro — facade crate
+//!
+//! One-stop re-export of the workspace reproducing *"Sound, Precise, and
+//! Fast Abstract Interpretation with Tristate Numbers"* (CGO 2022):
+//!
+//! * [`tnum`] — the tristate-number abstract domain (the paper's subject);
+//! * [`bitwise_domain`] — the Regehr–Duongsaa baseline domain;
+//! * [`interval_domain`] — kernel-style value bounds with tnum sync;
+//! * [`ebpf`] — the eBPF-subset ISA, assembler, and concrete VM;
+//! * [`verifier`] — a BPF-style abstract interpreter built on the domains;
+//! * [`tnum_verify`] — exhaustive bounded verification and precision
+//!   measurement harness.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use bitwise_domain;
+pub use ebpf;
+pub use interval_domain;
+pub use tnum;
+pub use tnum_verify;
+pub use verifier;
