@@ -1,54 +1,81 @@
-//! Criterion microbenchmarks for the O(1) kernel add/sub vs the O(n)
+//! Microbenchmarks for the O(1) kernel add/sub vs the O(n)
 //! Regehr–Duongsaa ripple operators (the paper's efficiency claim for
-//! Theorems 6/22), plus the remaining tnum operator suite.
+//! Theorems 6/22), the remaining tnum operator suite, and — via the
+//! domain-generic catalog — the same arithmetic transfer functions across
+//! all three shipped domains (tnum, known-bits, bounds).
+//!
+//! Run with: `cargo bench -p bench --bench arith`
 
-use bitwise_domain::{ripple_add, ripple_sub};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use bench::harness::Group;
+use bitwise_domain::{ripple_add, ripple_sub, KnownBits};
+use domain::rng::SplitMix64;
+use domain::AbstractDomain;
+use interval_domain::Bounds;
 use tnum::Tnum;
+use tnum_verify::ops::OpCatalog;
 
-fn random_pairs(n: usize, seed: u64) -> Vec<(Tnum, Tnum)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn random_pairs<D: AbstractDomain>(n: usize, seed: u64) -> Vec<(D, D)> {
+    let mut rng = SplitMix64::new(seed);
     (0..n)
-        .map(|_| {
-            let m1: u64 = rng.gen();
-            let v1: u64 = rng.gen::<u64>() & !m1;
-            let m2: u64 = rng.gen();
-            let v2: u64 = rng.gen::<u64>() & !m2;
-            (Tnum::new(v1, m1).unwrap(), Tnum::new(v2, m2).unwrap())
-        })
+        .map(|_| (D::random(&mut rng), D::random(&mut rng)))
         .collect()
 }
 
-fn bench_add_sub(c: &mut Criterion) {
-    let inputs = random_pairs(1024, 3);
-    let mut group = c.benchmark_group("add_sub");
-    let algos: Vec<(&str, fn(Tnum, Tnum) -> Tnum)> = vec![
+type TnumAlgo = (&'static str, fn(Tnum, Tnum) -> Tnum);
+
+fn bench_add_sub() {
+    let inputs: Vec<(Tnum, Tnum)> = random_pairs(1024, 3);
+    let mut group = Group::new("add_sub");
+    let algos: Vec<TnumAlgo> = vec![
         ("tnum_add (O(1))", |a, b| a.add(b)),
         ("ripple_add (O(n))", ripple_add),
         ("tnum_sub (O(1))", |a, b| a.sub(b)),
         ("ripple_sub (O(n))", ripple_sub),
     ];
     for (name, f) in algos {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
-            b.iter(|| {
-                let mut acc = Tnum::ZERO;
-                for &(p, q) in inputs {
-                    acc = acc.xor(f(black_box(p), black_box(q)));
-                }
-                acc
-            })
+        group.bench(name, || {
+            let mut acc = Tnum::ZERO;
+            for &(p, q) in &inputs {
+                acc = acc.xor(f(p, q));
+            }
+            acc
         });
     }
     group.finish();
 }
 
-fn bench_bitwise_and_shifts(c: &mut Criterion) {
-    let inputs = random_pairs(1024, 5);
-    let mut group = c.benchmark_group("bitwise_and_shifts");
-    let algos: Vec<(&str, fn(Tnum, Tnum) -> Tnum)> = vec![
+/// The same abstract operators, one generic code path, three domains —
+/// the cost of swapping the numerical domain behind the trait interface.
+fn bench_across_domains() {
+    fn domain_rows<D: domain::ArithDomain + domain::BitwiseDomain>(group: &mut Group, seed: u64) {
+        let inputs: Vec<(D, D)> = random_pairs(1024, seed);
+        for op in [
+            OpCatalog::<D>::add(),
+            OpCatalog::<D>::sub(),
+            OpCatalog::<D>::mul(),
+            OpCatalog::<D>::and(),
+        ] {
+            group.bench(&format!("{}/{}", D::NAME, op.name), || {
+                let mut alive = 0u64;
+                for &(p, q) in &inputs {
+                    let r = (op.abstract_op)(p, q, 64);
+                    alive = alive.wrapping_add(u64::from(r.as_constant().is_some()));
+                }
+                alive
+            });
+        }
+    }
+    let mut group = Group::new("across_domains");
+    domain_rows::<Tnum>(&mut group, 17);
+    domain_rows::<KnownBits>(&mut group, 17);
+    domain_rows::<Bounds>(&mut group, 17);
+    group.finish();
+}
+
+fn bench_bitwise_and_shifts() {
+    let inputs: Vec<(Tnum, Tnum)> = random_pairs(1024, 5);
+    let mut group = Group::new("bitwise_and_shifts");
+    let algos: Vec<TnumAlgo> = vec![
         ("and", |a, b| a.and(b)),
         ("or", |a, b| a.or(b)),
         ("xor", |a, b| a.xor(b)),
@@ -59,58 +86,50 @@ fn bench_bitwise_and_shifts(c: &mut Criterion) {
         ("intersect_kernel", |a, b| a.intersect_kernel(b)),
     ];
     for (name, f) in algos {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
-            b.iter(|| {
-                let mut acc = Tnum::ZERO;
-                for &(p, q) in inputs {
-                    acc = acc.xor(f(black_box(p), black_box(q)));
-                }
-                acc
-            })
+        group.bench(name, || {
+            let mut acc = Tnum::ZERO;
+            for &(p, q) in &inputs {
+                acc = acc.xor(f(p, q));
+            }
+            acc
         });
     }
     group.finish();
 }
 
-fn bench_galois(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(11);
+fn bench_galois() {
+    let mut rng = SplitMix64::new(11);
     // Tnums with exactly 10 unknown bits: |γ| = 1024 members each.
     let tnums: Vec<Tnum> = (0..64)
         .map(|_| {
             let mut mask = 0u64;
             while mask.count_ones() < 10 {
-                mask |= 1 << (rng.gen::<u32>() % 64);
+                mask |= 1 << (rng.next_u32() % 64);
             }
-            let value = rng.gen::<u64>() & !mask;
+            let value = rng.next_u64() & !mask;
             Tnum::new(value, mask).unwrap()
         })
         .collect();
-    let mut group = c.benchmark_group("galois");
-    group.bench_function("concretize_1024_members", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &t in &tnums {
-                for x in t.concretize() {
-                    acc = acc.wrapping_add(x);
-                }
+    let mut group = Group::new("galois");
+    group.bench("concretize_1024_members", || {
+        let mut acc = 0u64;
+        for &t in &tnums {
+            for x in t.concretize() {
+                acc = acc.wrapping_add(x);
             }
-            acc
-        })
+        }
+        acc
     });
-    group.bench_function("abstract_of_1024_members", |b| {
-        let members: Vec<u64> = tnums[0].concretize().collect();
-        b.iter(|| Tnum::abstract_of(members.iter().copied()).unwrap())
+    let members: Vec<u64> = tnums[0].concretize().collect();
+    group.bench("abstract_of_1024_members", || {
+        Tnum::abstract_of(members.iter().copied()).unwrap()
     });
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    // Short windows keep the full-workspace bench run tractable on a
-    // small container; raise for publication-quality statistics.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_add_sub, bench_bitwise_and_shifts, bench_galois
+fn main() {
+    bench_add_sub();
+    bench_across_domains();
+    bench_bitwise_and_shifts();
+    bench_galois();
 }
-criterion_main!(benches);

@@ -1,32 +1,31 @@
-//! Criterion microbenchmarks for the three multiplication algorithms of
-//! §IV-B (plus the naive baseline and the proof-friendly form) —
-//! statistical companion to the `fig5_mul_performance` binary.
+//! Microbenchmarks for the three multiplication algorithms of §IV-B
+//! (plus the naive baseline and the proof-friendly form) — statistical
+//! companion to the `fig5_mul_performance` binary — and the generic
+//! `mul` transfer function across all three domains.
+//!
+//! Run with: `cargo bench -p bench --bench mul`
 
-use bitwise_domain::{bitwise_mul, bitwise_mul_naive, ripple_mul};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use bench::harness::Group;
+use bitwise_domain::{bitwise_mul, bitwise_mul_naive, ripple_mul, KnownBits};
+use domain::rng::SplitMix64;
+use domain::{AbstractDomain, ArithDomain};
+use interval_domain::Bounds;
 use tnum::mul::our_mul_simplified;
 use tnum::Tnum;
 
-fn random_pairs(n: usize, seed: u64) -> Vec<(Tnum, Tnum)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn random_pairs<D: AbstractDomain>(n: usize, seed: u64) -> Vec<(D, D)> {
+    let mut rng = SplitMix64::new(seed);
     (0..n)
-        .map(|_| {
-            let m1: u64 = rng.gen();
-            let v1: u64 = rng.gen::<u64>() & !m1;
-            let m2: u64 = rng.gen();
-            let v2: u64 = rng.gen::<u64>() & !m2;
-            (Tnum::new(v1, m1).unwrap(), Tnum::new(v2, m2).unwrap())
-        })
+        .map(|_| (D::random(&mut rng), D::random(&mut rng)))
         .collect()
 }
 
-fn bench_muls(c: &mut Criterion) {
-    let inputs = random_pairs(1024, 42);
-    let mut group = c.benchmark_group("tnum_mul");
-    let algos: Vec<(&str, fn(Tnum, Tnum) -> Tnum)> = vec![
+type TnumAlgo = (&'static str, fn(Tnum, Tnum) -> Tnum);
+
+fn bench_muls() {
+    let inputs: Vec<(Tnum, Tnum)> = random_pairs(1024, 42);
+    let mut group = Group::new("tnum_mul");
+    let algos: Vec<TnumAlgo> = vec![
         ("our_mul", |a, b| a.mul(b)),
         ("our_mul_simplified", our_mul_simplified),
         ("kern_mul", |a, b| a.mul_kernel_legacy(b)),
@@ -35,69 +34,75 @@ fn bench_muls(c: &mut Criterion) {
         ("ripple_mul", ripple_mul),
     ];
     for (name, f) in algos {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
-            b.iter(|| {
-                let mut acc = Tnum::ZERO;
-                for &(p, q) in inputs {
-                    acc = acc.xor(f(black_box(p), black_box(q)));
-                }
-                acc
-            })
+        group.bench(name, || {
+            let mut acc = Tnum::ZERO;
+            for &(p, q) in &inputs {
+                acc = acc.xor(f(p, q));
+            }
+            acc
         });
     }
     group.finish();
 }
 
-fn bench_mul_sparsity(c: &mut Criterion) {
+/// `abs_mul` through the trait object of each domain: tnum's `our_mul`,
+/// known-bits' bridged `bitwise_mul`, and the interval hull product.
+fn bench_mul_across_domains() {
+    fn row<D: ArithDomain>(group: &mut Group) {
+        let inputs: Vec<(D, D)> = random_pairs(1024, 23);
+        group.bench(D::NAME, || {
+            let mut alive = 0u64;
+            for &(p, q) in &inputs {
+                let r = p.abs_mul(q);
+                alive = alive.wrapping_add(u64::from(r.as_constant().is_some()));
+            }
+            alive
+        });
+    }
+    let mut group = Group::new("mul_across_domains");
+    row::<Tnum>(&mut group);
+    row::<KnownBits>(&mut group);
+    row::<Bounds>(&mut group);
+    group.finish();
+}
+
+fn bench_mul_sparsity() {
     // our_mul exits once the multiplier is exhausted, so sparse multipliers
     // are faster — an ablation of the early-exit strength reduction
     // (Lemma 11).
-    let mut group = c.benchmark_group("mul_by_multiplier_population");
+    let mut group = Group::new("mul_by_multiplier_population");
     for bits in [4u32, 16, 64] {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let inputs: Vec<(Tnum, Tnum)> = (0..1024)
             .map(|_| {
                 let keep = tnum::low_bits(bits);
-                let m1: u64 = rng.gen::<u64>() & keep;
-                let v1: u64 = rng.gen::<u64>() & !m1 & keep;
-                let m2: u64 = rng.gen();
-                let v2: u64 = rng.gen::<u64>() & !m2;
+                let m1: u64 = rng.next_u64() & keep;
+                let v1: u64 = rng.next_u64() & !m1 & keep;
+                let m2: u64 = rng.next_u64();
+                let v2: u64 = rng.next_u64() & !m2;
                 (Tnum::new(v1, m1).unwrap(), Tnum::new(v2, m2).unwrap())
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("our_mul", bits), &inputs, |b, inputs| {
-            b.iter(|| {
-                let mut acc = Tnum::ZERO;
-                for &(p, q) in inputs {
-                    acc = acc.xor(p.mul(q));
-                }
-                acc
-            })
+        group.bench(&format!("our_mul/{bits}"), || {
+            let mut acc = Tnum::ZERO;
+            for &(p, q) in &inputs {
+                acc = acc.xor(p.mul(q));
+            }
+            acc
         });
-        group.bench_with_input(
-            BenchmarkId::new("our_mul_simplified", bits),
-            &inputs,
-            |b, inputs| {
-                b.iter(|| {
-                    let mut acc = Tnum::ZERO;
-                    for &(p, q) in inputs {
-                        acc = acc.xor(our_mul_simplified(p, q));
-                    }
-                    acc
-                })
-            },
-        );
+        group.bench(&format!("our_mul_simplified/{bits}"), || {
+            let mut acc = Tnum::ZERO;
+            for &(p, q) in &inputs {
+                acc = acc.xor(our_mul_simplified(p, q));
+            }
+            acc
+        });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    // Short windows keep the full-workspace bench run tractable on a
-    // small container; raise for publication-quality statistics.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_muls, bench_mul_sparsity
+fn main() {
+    bench_muls();
+    bench_mul_across_domains();
+    bench_mul_sparsity();
 }
-criterion_main!(benches);

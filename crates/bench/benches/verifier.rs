@@ -1,8 +1,10 @@
-//! Criterion benchmarks of the end-to-end substrate: assembling,
-//! verifying (with and without branch refinement — an ablation from
-//! DESIGN.md), and concretely executing representative programs.
+//! Benchmarks of the end-to-end substrate: assembling, verifying (with
+//! and without branch refinement — an ablation from DESIGN.md), and
+//! concretely executing representative programs.
+//!
+//! Run with: `cargo bench -p bench --bench verifier`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Group;
 use ebpf::asm::assemble;
 use ebpf::{Program, Vm};
 use verifier::{Analyzer, AnalyzerOptions};
@@ -57,57 +59,54 @@ fn sample_programs() -> Vec<(&'static str, Program)> {
         ",
     )
     .unwrap();
-    vec![("masked_index", masked_index), ("branchy", branchy), ("spill_heavy", spill_heavy)]
+    vec![
+        ("masked_index", masked_index),
+        ("branchy", branchy),
+        ("spill_heavy", spill_heavy),
+    ]
 }
 
-fn bench_analyze(c: &mut Criterion) {
+fn bench_analyze() {
     let programs = sample_programs();
-    let mut group = c.benchmark_group("verifier_analyze");
+    let mut group = Group::new("verifier_analyze");
     for (name, prog) in &programs {
-        group.bench_with_input(BenchmarkId::new("refined", name), prog, |b, prog| {
-            let analyzer = Analyzer::new(AnalyzerOptions::default());
-            b.iter(|| analyzer.analyze(prog).is_ok())
+        let refined = Analyzer::new(AnalyzerOptions::default());
+        group.bench(&format!("refined/{name}"), || refined.analyze(prog).is_ok());
+        let unrefined = Analyzer::new(AnalyzerOptions {
+            refine_branches: false,
+            ..AnalyzerOptions::default()
         });
-        group.bench_with_input(BenchmarkId::new("unrefined", name), prog, |b, prog| {
-            let analyzer = Analyzer::new(AnalyzerOptions {
-                refine_branches: false,
-                ..AnalyzerOptions::default()
-            });
-            b.iter(|| analyzer.analyze(prog).is_ok())
+        group.bench(&format!("unrefined/{name}"), || {
+            unrefined.analyze(prog).is_ok()
         });
     }
     group.finish();
 }
 
-fn bench_vm(c: &mut Criterion) {
+fn bench_vm() {
     let programs = sample_programs();
-    let mut group = c.benchmark_group("vm_execute");
+    let mut group = Group::new("vm_execute");
     for (name, prog) in &programs {
-        group.bench_with_input(BenchmarkId::from_parameter(name), prog, |b, prog| {
-            let mut vm = Vm::new();
-            let mut ctx = [7u8; 64];
-            b.iter(|| vm.run(prog, &mut ctx).unwrap())
-        });
+        let mut vm = Vm::new();
+        let mut ctx = [7u8; 64];
+        group.bench(name, || vm.run(prog, &mut ctx).unwrap());
     }
     group.finish();
 }
 
-fn bench_assemble(c: &mut Criterion) {
+fn bench_assemble() {
     let source = sample_programs()
         .into_iter()
         .map(|(_, p)| p.disassemble())
         .collect::<Vec<_>>()
         .join("");
-    c.bench_function("assemble_30_insns", |b| b.iter(|| assemble(&source).unwrap()));
+    let mut group = Group::new("assemble");
+    group.bench("assemble_30_insns", || assemble(&source).unwrap());
+    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    // Short windows keep the full-workspace bench run tractable on a
-    // small container; raise for publication-quality statistics.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_analyze, bench_vm, bench_assemble
+fn main() {
+    bench_analyze();
+    bench_vm();
+    bench_assemble();
 }
-criterion_main!(benches);

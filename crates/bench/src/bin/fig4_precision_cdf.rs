@@ -15,6 +15,7 @@
 
 use bench::cli::Args;
 use bench::table::render;
+use tnum::Tnum;
 use tnum_verify::ops::{Op2, OpCatalog};
 use tnum_verify::ratio_histogram;
 
@@ -34,7 +35,7 @@ fn cdf_rows(name: &str, hist: &std::collections::BTreeMap<i32, u64>) -> Vec<Vec<
         .collect()
 }
 
-fn run(name: &str, a: Op2, b: Op2, width: u32) -> Vec<Vec<String>> {
+fn run(name: &str, a: Op2<Tnum>, b: Op2<Tnum>, width: u32) -> Vec<Vec<String>> {
     let hist = ratio_histogram(a, b, width);
     let total: u64 = hist.values().sum();
     let precise: u64 = hist.iter().filter(|(k, _)| **k > 0).map(|(_, v)| *v).sum();
@@ -52,11 +53,16 @@ fn main() {
     assert!((2..=10).contains(&width), "--width must be in 2..=10");
 
     println!("Figure 4: CDF of log2 set-size ratio vs our_mul at width {width}\n");
-    let mut rows = run("kern_mul/our_mul", OpCatalog::mul_kernel(), OpCatalog::mul(), width);
+    let mut rows = run(
+        "kern_mul/our_mul",
+        OpCatalog::<Tnum>::mul_kernel(),
+        OpCatalog::<Tnum>::mul(),
+        width,
+    );
     rows.extend(run(
         "bitwise_mul/our_mul",
-        OpCatalog::mul_bitwise(),
-        OpCatalog::mul(),
+        OpCatalog::<Tnum>::mul_bitwise(),
+        OpCatalog::<Tnum>::mul(),
         width,
     ));
     println!();

@@ -23,10 +23,9 @@ use bench::cli::Args;
 use bench::cycles::min_cycles;
 use bench::table::render;
 use bitwise_domain::{bitwise_mul, bitwise_mul_naive};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use domain::rng::SplitMix64;
+use domain::AbstractDomain;
 use tnum::Tnum;
-use tnum_verify::spotcheck::random_tnum;
 
 struct Algo {
     name: &'static str,
@@ -48,12 +47,24 @@ fn main() {
     let seed = args.get_u64("seed", 1);
 
     let mut algos: Vec<Algo> = vec![
-        Algo { name: "bitwise_mul", f: bitwise_mul },
-        Algo { name: "kern_mul", f: |a, b| a.mul_kernel_legacy(b) },
-        Algo { name: "our_mul", f: |a, b| a.mul(b) },
+        Algo {
+            name: "bitwise_mul",
+            f: bitwise_mul,
+        },
+        Algo {
+            name: "kern_mul",
+            f: |a, b| a.mul_kernel_legacy(b),
+        },
+        Algo {
+            name: "our_mul",
+            f: |a, b| a.mul(b),
+        },
     ];
     if args.has("naive") {
-        algos.push(Algo { name: "bitwise_mul_naive", f: bitwise_mul_naive });
+        algos.push(Algo {
+            name: "bitwise_mul_naive",
+            f: bitwise_mul_naive,
+        });
     }
 
     println!(
@@ -61,9 +72,10 @@ fn main() {
          64-bit tnum pairs\n"
     );
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let inputs: Vec<(Tnum, Tnum)> =
-        (0..pairs).map(|_| (random_tnum(&mut rng), random_tnum(&mut rng))).collect();
+    let mut rng = SplitMix64::new(seed);
+    let inputs: Vec<(Tnum, Tnum)> = (0..pairs)
+        .map(|_| (Tnum::random(&mut rng), Tnum::random(&mut rng)))
+        .collect();
 
     let mut rows = Vec::new();
     for algo in &algos {

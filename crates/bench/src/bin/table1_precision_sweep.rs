@@ -21,6 +21,7 @@
 
 use bench::cli::Args;
 use bench::table::{pct, render};
+use tnum::Tnum;
 use tnum_verify::ops::OpCatalog;
 use tnum_verify::{compare_precision_sampled, compare_precision_unordered, PrecisionReport};
 
@@ -33,24 +34,42 @@ fn main() {
     let full = args.has("full");
 
     println!("Table I: our_mul vs kern_mul precision, widths {min}..={top}");
-    println!("(exhaustive <= {max}; widths above are {} )\n", if full { "exhaustive (--full)" } else { "sampled" });
+    println!(
+        "(exhaustive <= {max}; widths above are {} )\n",
+        if full {
+            "exhaustive (--full)"
+        } else {
+            "sampled"
+        }
+    );
 
-    let kern = OpCatalog::mul_kernel();
-    let ours = OpCatalog::mul();
+    let kern = OpCatalog::<Tnum>::mul_kernel();
+    let ours = OpCatalog::<Tnum>::mul();
 
     let mut rows = Vec::new();
     for width in min..=top {
         let (report, mode): (PrecisionReport, &str) = if width <= max || full {
             (compare_precision_unordered(kern, ours, width), "exact")
         } else {
-            (compare_precision_sampled(kern, ours, width, samples), "sampled")
+            (
+                compare_precision_sampled(kern, ours, width, samples),
+                "sampled",
+            )
         };
         rows.push(vec![
             width.to_string(),
             report.total.to_string(),
             format!("{} ({})", report.equal, pct(report.equal, report.total)),
-            format!("{} ({})", report.different, pct(report.different, report.total)),
-            format!("{} ({})", report.comparable, pct(report.comparable, report.different.max(1))),
+            format!(
+                "{} ({})",
+                report.different,
+                pct(report.different, report.total)
+            ),
+            format!(
+                "{} ({})",
+                report.comparable,
+                pct(report.comparable, report.different.max(1))
+            ),
             format!(
                 "{} ({})",
                 report.a_more_precise,

@@ -55,7 +55,10 @@ impl Args {
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 

@@ -9,6 +9,7 @@
 /// unit).
 #[must_use]
 #[inline]
+#[allow(unsafe_code)] // the sole unsafe in the workspace: the TSC intrinsic
 pub fn rdtsc() -> u64 {
     #[cfg(target_arch = "x86_64")]
     // SAFETY: _rdtsc has no memory-safety preconditions; it reads the TSC.
@@ -17,8 +18,8 @@ pub fn rdtsc() -> u64 {
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        use std::time::Instant;
         use std::sync::OnceLock;
+        use std::time::Instant;
         static START: OnceLock<Instant> = OnceLock::new();
         START.get_or_init(Instant::now).elapsed().as_nanos() as u64
     }

@@ -1,0 +1,111 @@
+//! A tiny self-contained microbenchmark harness (the workspace is
+//! dependency-free, so this stands in for criterion).
+//!
+//! Methodology: each benchmark closure is warmed up, then timed over
+//! adaptive batches until the measurement window is filled; the harness
+//! reports mean ns/iter over the best half of the batches (discarding
+//! scheduler noise, in the spirit of the paper's min-of-trials cycle
+//! methodology, §IV-B).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A benchmark group: runs closures and renders a table of results.
+pub struct Group {
+    name: String,
+    warmup: Duration,
+    window: Duration,
+    rows: Vec<(String, f64)>,
+}
+
+impl Group {
+    /// Creates a group with the default windows (0.2 s warmup, 0.5 s
+    /// measurement — tuned to keep the whole workspace bench run under a
+    /// minute on a small container).
+    #[must_use]
+    pub fn new(name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            warmup: Duration::from_millis(200),
+            window: Duration::from_millis(500),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the measurement window.
+    #[must_use]
+    pub fn window(mut self, warmup: Duration, measure: Duration) -> Group {
+        self.warmup = warmup;
+        self.window = measure;
+        self
+    }
+
+    /// Times `f` and records a row. The closure's result is passed
+    /// through [`black_box`] so the work cannot be optimized away.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = self.warmup.as_secs_f64() / calls.max(1) as f64;
+        // Pick a batch size of roughly 1 ms per batch.
+        let batch = ((0.001 / per_call) as u64).clamp(1, 1 << 24);
+        let mut samples: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.window {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        // Mean of the best half: robust against preemption spikes.
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+        let half = &samples[..(samples.len() / 2).max(1)];
+        let mean_ns = half.iter().sum::<f64>() / half.len() as f64 * 1e9;
+        self.rows.push((label.to_string(), mean_ns));
+    }
+
+    /// Renders the group as a table, with throughput ratios against the
+    /// fastest row.
+    pub fn finish(self) {
+        println!("\n## {}\n", self.name);
+        let best = self
+            .rows
+            .iter()
+            .map(|(_, ns)| *ns)
+            .fold(f64::INFINITY, f64::min);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(label, ns)| {
+                vec![
+                    label.clone(),
+                    format!("{ns:.1}"),
+                    format!("{:.2}x", ns / best),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            crate::table::render(&["benchmark", "ns/iter", "vs best"], &rows)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut g = Group::new("smoke").window(Duration::from_millis(5), Duration::from_millis(10));
+        g.bench("add", || std::hint::black_box(1u64).wrapping_add(2));
+        assert_eq!(g.rows.len(), 1);
+        assert!(g.rows[0].1 > 0.0);
+        g.finish();
+    }
+}

@@ -1,8 +1,17 @@
 //! Shared utilities for the experiment binaries: cycle counting (RDTSC,
-//! as in §IV-B of the paper), a minimal flag parser, and table printing.
+//! as in §IV-B of the paper), a minimal flag parser, table printing, and
+//! a self-contained microbenchmark harness.
 
+// `cycles::rdtsc` needs one `unsafe` intrinsic call on x86-64; everything
+// else in the crate is forbidden from using unsafe via the deny +
+// narrowly-scoped allow below.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+// Kernel-faithful operator names (`add` mirrors `tnum_add`) and explicit
+// BPF division semantics (`x / 0 = 0`) are intentional throughout.
+#![allow(clippy::should_implement_trait)]
 
 pub mod cli;
 pub mod cycles;
+pub mod harness;
 pub mod table;

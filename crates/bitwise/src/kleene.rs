@@ -196,15 +196,15 @@ mod tests {
                     let direct = majority(a, b, c);
                     // Direct must never be coarser.
                     if direct != composed {
-                        assert!(
-                            composed.is_unknown(),
-                            "composition may only lose precision"
-                        );
+                        assert!(composed.is_unknown(), "composition may only lose precision");
                         strictly_better = true;
                     }
                 }
             }
         }
-        assert!(strictly_better, "expected majority to beat composition somewhere");
+        assert!(
+            strictly_better,
+            "expected majority to beat composition somewhere"
+        );
     }
 }

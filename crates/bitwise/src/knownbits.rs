@@ -76,7 +76,10 @@ impl KnownBits {
     /// `ones = value`.
     #[must_use]
     pub const fn from_tnum(t: Tnum) -> KnownBits {
-        KnownBits { zeros: !(t.value() | t.mask()), ones: t.value() }
+        KnownBits {
+            zeros: !(t.value() | t.mask()),
+            ones: t.value(),
+        }
     }
 
     /// Converts to the kernel encoding: `value = ones`,
@@ -106,13 +109,19 @@ impl KnownBits {
     /// either zero.
     #[must_use]
     pub const fn and(self, rhs: KnownBits) -> KnownBits {
-        KnownBits { zeros: self.zeros | rhs.zeros, ones: self.ones & rhs.ones }
+        KnownBits {
+            zeros: self.zeros | rhs.zeros,
+            ones: self.ones & rhs.ones,
+        }
     }
 
     /// LLVM `KnownBits::operator|`.
     #[must_use]
     pub const fn or(self, rhs: KnownBits) -> KnownBits {
-        KnownBits { zeros: self.zeros & rhs.zeros, ones: self.ones | rhs.ones }
+        KnownBits {
+            zeros: self.zeros & rhs.zeros,
+            ones: self.ones | rhs.ones,
+        }
     }
 
     /// LLVM `KnownBits::operator^`: known where both sides are known.
@@ -120,13 +129,19 @@ impl KnownBits {
     pub const fn xor(self, rhs: KnownBits) -> KnownBits {
         let known = (self.zeros | self.ones) & (rhs.zeros | rhs.ones);
         let value = self.ones ^ rhs.ones;
-        KnownBits { zeros: known & !value, ones: known & value }
+        KnownBits {
+            zeros: known & !value,
+            ones: known & value,
+        }
     }
 
     /// Bitwise complement: swap the masks.
     #[must_use]
     pub const fn not(self) -> KnownBits {
-        KnownBits { zeros: self.ones, ones: self.zeros }
+        KnownBits {
+            zeros: self.ones,
+            ones: self.zeros,
+        }
     }
 
     /// LLVM `KnownBits::computeForAddSub(/*Add=*/true, …)` — the
@@ -144,7 +159,10 @@ impl KnownBits {
         let known_ops = (self.zeros | self.ones) & (rhs.zeros | rhs.ones);
         let carry_agree = !(min_sum ^ max_sum);
         let known = known_ops & carry_agree;
-        KnownBits { zeros: known & !min_sum, ones: known & min_sum }
+        KnownBits {
+            zeros: known & !min_sum,
+            ones: known & min_sum,
+        }
     }
 
     /// Subtraction via `a + (~b) + 1`, LLVM's `computeForAddSub(false, …)`.
@@ -157,7 +175,10 @@ impl KnownBits {
         let known_ops = (self.zeros | self.ones) & (nb.zeros | nb.ones);
         let carry_agree = !(min_sum ^ max_sum);
         let known = known_ops & carry_agree;
-        KnownBits { zeros: known & !min_sum, ones: known & min_sum }
+        KnownBits {
+            zeros: known & !min_sum,
+            ones: known & min_sum,
+        }
     }
 
     /// Left shift by a constant (`KnownBits::shl` with a known amount).
@@ -169,7 +190,10 @@ impl KnownBits {
     pub const fn shl(self, k: u32) -> KnownBits {
         assert!(k < 64);
         // Low bits become known zero.
-        KnownBits { zeros: (self.zeros << k) | ((1u64 << k) - 1), ones: self.ones << k }
+        KnownBits {
+            zeros: (self.zeros << k) | ((1u64 << k) - 1),
+            ones: self.ones << k,
+        }
     }
 
     /// Logical right shift by a constant (`KnownBits::lshr`).
@@ -181,7 +205,10 @@ impl KnownBits {
     pub const fn lshr(self, k: u32) -> KnownBits {
         assert!(k < 64);
         let high = if k == 0 { 0 } else { !(u64::MAX >> k) };
-        KnownBits { zeros: (self.zeros >> k) | high, ones: self.ones >> k }
+        KnownBits {
+            zeros: (self.zeros >> k) | high,
+            ones: self.ones >> k,
+        }
     }
 
     /// Arithmetic right shift by a constant (`KnownBits::ashr`).
@@ -202,7 +229,10 @@ impl KnownBits {
     /// path (the join — keeps only agreed-upon bits).
     #[must_use]
     pub const fn intersect_with(self, rhs: KnownBits) -> KnownBits {
-        KnownBits { zeros: self.zeros & rhs.zeros, ones: self.ones & rhs.ones }
+        KnownBits {
+            zeros: self.zeros & rhs.zeros,
+            ones: self.ones & rhs.ones,
+        }
     }
 
     /// LLVM `KnownBits::unionWith`: combine information known on *both*
@@ -298,7 +328,10 @@ mod tests {
         }
         // ashr needs a full-width example: sign bit known one.
         let neg = KnownBits::constant(u64::MAX << 60);
-        assert_eq!(neg.ashr(4).to_tnum(), Tnum::constant(((u64::MAX << 60) as i64 >> 4) as u64));
+        assert_eq!(
+            neg.ashr(4).to_tnum(),
+            Tnum::constant(((u64::MAX << 60) as i64 >> 4) as u64)
+        );
         // Unknown sign bit replicates unknowns.
         let t = Tnum::masked(0, 1 << 63);
         assert_eq!(KnownBits::from_tnum(t).ashr(1).to_tnum(), t.arshift(1));
@@ -308,7 +341,10 @@ mod tests {
     fn add_sound_on_64bit_samples() {
         let cases = [
             (KnownBits::constant(u64::MAX), KnownBits::UNKNOWN),
-            (KnownBits::from_tnum(Tnum::masked(0xff00, 0x00ff)), KnownBits::constant(1)),
+            (
+                KnownBits::from_tnum(Tnum::masked(0xff00, 0x00ff)),
+                KnownBits::constant(1),
+            ),
         ];
         for (a, b) in cases {
             let r = a.add(b);

@@ -33,12 +33,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Kernel-faithful operator names (`add` mirrors `tnum_add`) and explicit
+// BPF division semantics (`x / 0 = 0`) are intentional throughout.
+#![allow(clippy::should_implement_trait)]
 
+mod domain_impl;
 pub mod kleene;
 pub mod knownbits;
 mod mul;
 mod ripple;
 
+pub use knownbits::KnownBits;
 pub use mul::{bitwise_mul, bitwise_mul_naive, ripple_mul};
 pub use ripple::{ripple_add, ripple_sub};
 

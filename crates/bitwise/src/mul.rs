@@ -172,6 +172,9 @@ mod tests {
                 }
             }
         }
-        assert!(ours > theirs, "our_mul wins {ours}, bitwise_mul wins {theirs}");
+        assert!(
+            ours > theirs,
+            "our_mul wins {ours}, bitwise_mul wins {theirs}"
+        );
     }
 }

@@ -1,51 +1,71 @@
-//! Property-based tests for the Regehr–Duongsaa baselines at full width.
+//! Randomized property tests for the Regehr–Duongsaa baselines at full
+//! width, driven by the workspace's deterministic SplitMix64 stream.
 
 use bitwise_domain::{bitwise_mul, bitwise_mul_naive, ripple_add, ripple_mul, ripple_sub};
-use proptest::prelude::*;
+use domain::rng::SplitMix64;
 use tnum::Tnum;
 
-prop_compose! {
-    fn tnum_and_member()(mask in any::<u64>(), raw in any::<u64>(), pick in any::<u64>())
-        -> (Tnum, u64)
-    {
-        let t = Tnum::masked(raw, mask);
-        (t, t.value() | (pick & t.mask()))
+const CASES: u32 = 512;
+
+fn tnum_and_member(rng: &mut SplitMix64) -> (Tnum, u64) {
+    let t = Tnum::masked(rng.next_u64(), rng.next_u64());
+    let member = t.value() | (rng.next_u64() & t.mask());
+    (t, member)
+}
+
+#[test]
+fn ripple_add_equals_tnum_add() {
+    let mut rng = SplitMix64::new(0x20);
+    for _ in 0..CASES {
+        let (a, _) = tnum_and_member(&mut rng);
+        let (b, _) = tnum_and_member(&mut rng);
+        assert_eq!(ripple_add(a, b), a.add(b), "{a} {b}");
     }
 }
 
-proptest! {
-    #[test]
-    fn ripple_add_equals_tnum_add((a, _) in tnum_and_member(), (b, _) in tnum_and_member()) {
-        prop_assert_eq!(ripple_add(a, b), a.add(b));
+#[test]
+fn ripple_sub_equals_tnum_sub() {
+    let mut rng = SplitMix64::new(0x21);
+    for _ in 0..CASES {
+        let (a, _) = tnum_and_member(&mut rng);
+        let (b, _) = tnum_and_member(&mut rng);
+        assert_eq!(ripple_sub(a, b), a.sub(b), "{a} {b}");
     }
+}
 
-    #[test]
-    fn ripple_sub_equals_tnum_sub((a, _) in tnum_and_member(), (b, _) in tnum_and_member()) {
-        prop_assert_eq!(ripple_sub(a, b), a.sub(b));
+#[test]
+fn bitwise_mul_sound() {
+    let mut rng = SplitMix64::new(0x22);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let (b, y) = tnum_and_member(&mut rng);
+        assert!(bitwise_mul(a, b).contains(x.wrapping_mul(y)), "{a} {b}");
     }
+}
 
-    #[test]
-    fn bitwise_mul_sound((a, x) in tnum_and_member(), (b, y) in tnum_and_member()) {
-        prop_assert!(bitwise_mul(a, b).contains(x.wrapping_mul(y)));
-    }
-
-    #[test]
-    fn bitwise_mul_variants_agree((a, _) in tnum_and_member(), (b, _) in tnum_and_member()) {
+#[test]
+fn bitwise_mul_variants_agree() {
+    let mut rng = SplitMix64::new(0x23);
+    for _ in 0..CASES {
+        let (a, _) = tnum_and_member(&mut rng);
+        let (b, _) = tnum_and_member(&mut rng);
         let fast = bitwise_mul(a, b);
-        prop_assert_eq!(fast, bitwise_mul_naive(a, b));
-        prop_assert_eq!(fast, ripple_mul(a, b));
+        assert_eq!(fast, bitwise_mul_naive(a, b), "{a} {b}");
+        assert_eq!(fast, ripple_mul(a, b), "{a} {b}");
     }
+}
 
-    #[test]
-    fn our_mul_never_incomparably_worse_on_majority((a, _) in tnum_and_member(), (b, _) in tnum_and_member()) {
-        // Not a theorem — just the paper's empirical shape: when outputs
-        // differ and are comparable, track that our_mul is not *strictly
-        // dominated more often than it dominates* over the random stream.
-        // (A per-case assertion would be false; instead assert soundness
-        // of both and comparability-or-not without crashing.)
+#[test]
+fn comparability_check_is_total() {
+    // Not a theorem — just the paper's empirical shape: when outputs
+    // differ they may or may not be comparable; the comparability check
+    // itself must be total and non-panicking over the random stream.
+    let mut rng = SplitMix64::new(0x24);
+    for _ in 0..CASES {
+        let (a, _) = tnum_and_member(&mut rng);
+        let (b, _) = tnum_and_member(&mut rng);
         let ours = a.mul(b);
         let theirs = bitwise_mul(a, b);
-        // Comparability check must be total and non-panicking.
         let _ = ours.is_comparable_to(theirs);
     }
 }

@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn add_constants_is_concrete() {
-        assert_eq!(
-            Tnum::constant(3).add(Tnum::constant(4)),
-            Tnum::constant(7)
-        );
+        assert_eq!(Tnum::constant(3).add(Tnum::constant(4)), Tnum::constant(7));
         // Wrapping semantics.
         assert_eq!(
             Tnum::constant(u64::MAX).add(Tnum::constant(1)),

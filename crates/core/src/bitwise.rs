@@ -162,8 +162,7 @@ mod tests {
     fn not_optimal_w4() {
         for a in tnums(4) {
             let got = a.not().truncate(4);
-            let best =
-                Tnum::abstract_of(a.concretize().map(|x| !x & 0xf)).unwrap();
+            let best = Tnum::abstract_of(a.concretize().map(|x| !x & 0xf)).unwrap();
             assert_eq!(got, best);
         }
     }

@@ -93,8 +93,7 @@ mod tests {
             for size in 1..=8u32 {
                 let c = t.cast(size);
                 let m = crate::low_bits((size * 8).min(64));
-                let best =
-                    Tnum::abstract_of(t.concretize().map(|x| x & m)).unwrap();
+                let best = Tnum::abstract_of(t.concretize().map(|x| x & m)).unwrap();
                 assert_eq!(c, best, "cast({t}, {size})");
             }
         }

@@ -29,7 +29,11 @@ use crate::trit::Trit;
 /// ```
 pub fn tnums(width: u32) -> Tnums {
     assert!(width <= 40, "enumeration width out of range 0..=40");
-    Tnums { width, index: 0, total: 3u64.pow(width) }
+    Tnums {
+        width,
+        index: 0,
+        total: 3u64.pow(width),
+    }
 }
 
 /// The number of well-formed tnums at `width` bits: `3^width`.
@@ -135,8 +139,7 @@ mod tests {
     #[test]
     fn enumeration_covers_every_wellformed_pair() {
         // Every well-formed (v, m) pair within the width appears.
-        let set: HashSet<(u64, u64)> =
-            tnums(4).map(|t| (t.value(), t.mask())).collect();
+        let set: HashSet<(u64, u64)> = tnums(4).map(|t| (t.value(), t.mask())).collect();
         for v in 0u64..16 {
             for m in 0u64..16 {
                 if v & m == 0 {
@@ -154,14 +157,14 @@ mod tests {
 
     #[test]
     fn nth_agrees_with_iterator_and_size_hint() {
-        let mut it = tnums(5);
+        let it = tnums(5);
         assert_eq!(it.len(), 243);
-        let mut i = 0u64;
-        while let Some(t) = it.next() {
-            assert_eq!(t, nth(5, i));
-            i += 1;
+        let mut count = 0u64;
+        for (i, t) in it.enumerate() {
+            assert_eq!(t, nth(5, i as u64));
+            count += 1;
         }
-        assert_eq!(i, 243);
+        assert_eq!(count, 243);
     }
 
     #[test]

@@ -57,10 +57,16 @@ impl fmt::Display for ParseTnumError {
         match self {
             ParseTnumError::Empty => write!(f, "empty tnum literal"),
             ParseTnumError::InvalidTrit { character, offset } => {
-                write!(f, "invalid trit character {character:?} at byte offset {offset}")
+                write!(
+                    f,
+                    "invalid trit character {character:?} at byte offset {offset}"
+                )
             }
             ParseTnumError::TooWide { found } => {
-                write!(f, "tnum literal has {found} trits, more than the maximum of 64")
+                write!(
+                    f,
+                    "tnum literal has {found} trits, more than the maximum of 64"
+                )
             }
         }
     }
@@ -82,12 +88,15 @@ mod tests {
 
     #[test]
     fn parse_error_display() {
-        assert_eq!(
-            "".parse::<Tnum>().unwrap_err(),
-            ParseTnumError::Empty
-        );
+        assert_eq!("".parse::<Tnum>().unwrap_err(), ParseTnumError::Empty);
         let err = "1020".parse::<Tnum>().unwrap_err();
-        assert!(matches!(err, ParseTnumError::InvalidTrit { character: '2', offset: 2 }));
+        assert!(matches!(
+            err,
+            ParseTnumError::InvalidTrit {
+                character: '2',
+                offset: 2
+            }
+        ));
         assert!(err.to_string().contains("'2'"));
         let wide = "0".repeat(65).parse::<Tnum>().unwrap_err();
         assert_eq!(wide, ParseTnumError::TooWide { found: 65 });

@@ -32,11 +32,8 @@ impl Tnum {
     /// ```
     #[must_use]
     pub fn to_bin_string(self, width: u32) -> String {
-        assert!(width >= 1 && width <= BITS, "width out of range 1..=64");
-        (0..width)
-            .rev()
-            .map(|i| self.trit(i).to_char())
-            .collect()
+        assert!((1..=BITS).contains(&width), "width out of range 1..=64");
+        (0..width).rev().map(|i| self.trit(i).to_char()).collect()
     }
 
     /// The minimal number of trits needed to render this tnum without
@@ -74,7 +71,12 @@ impl FromStr for Tnum {
             }
             match Trit::from_char(c) {
                 Some(t) => trits.push(t),
-                None => return Err(ParseTnumError::InvalidTrit { character: c, offset }),
+                None => {
+                    return Err(ParseTnumError::InvalidTrit {
+                        character: c,
+                        offset,
+                    })
+                }
             }
         }
         if trits.is_empty() {

@@ -56,7 +56,12 @@ impl Tnum {
     /// ```
     #[must_use]
     pub fn concretize(self) -> Concretize {
-        Concretize { base: self.value(), mask: self.mask(), sub: 0, done: false }
+        Concretize {
+            base: self.value(),
+            mask: self.mask(),
+            sub: 0,
+            done: false,
+        }
     }
 }
 
@@ -166,13 +171,7 @@ mod tests {
     #[test]
     fn gamma_alpha_is_extensive() {
         // γ ∘ α over-approximates: C ⊆ γ(α(C)) (Property G3).
-        let sets: [&[u64]; 5] = [
-            &[1, 2, 3],
-            &[2, 3],
-            &[0],
-            &[7, 11, 13, 64],
-            &[u64::MAX, 0],
-        ];
+        let sets: [&[u64]; 5] = [&[1, 2, 3], &[2, 3], &[0], &[7, 11, 13, 64], &[u64::MAX, 0]];
         for set in sets {
             let a = Tnum::abstract_of(set.iter().copied()).unwrap();
             for &c in set {

@@ -24,8 +24,7 @@ impl Tnum {
     pub const fn is_subset_of(self, other: Tnum) -> bool {
         // self's unknown bits must be unknown in other, and on other's known
         // bits the values must agree.
-        self.mask() & !other.mask() == 0
-            && (self.value() ^ other.value()) & !other.mask() == 0
+        self.mask() & !other.mask() == 0 && (self.value() ^ other.value()) & !other.mask() == 0
     }
 
     /// Strict version of [`Tnum::is_subset_of`]: `γ(self) ⊊ γ(other)`.
@@ -188,8 +187,7 @@ mod tests {
     fn intersect_is_exact_meet() {
         for a in tnums(4) {
             for b in tnums(4) {
-                let expected: Vec<u64> =
-                    a.concretize().filter(|&x| b.contains(x)).collect();
+                let expected: Vec<u64> = a.concretize().filter(|&x| b.contains(x)).collect();
                 match a.intersect(b) {
                     None => assert!(expected.is_empty(), "{a} ∩ {b}"),
                     Some(m) => {

@@ -63,11 +63,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Kernel-faithful operator names (`add` mirrors `tnum_add`) and explicit
+// BPF division semantics (`x / 0 = 0`) are intentional throughout.
+#![allow(clippy::should_implement_trait)]
+#![allow(clippy::manual_checked_ops)]
 
 mod add;
 mod bitwise;
 mod cast;
 mod div;
+mod domain_impl;
 mod error;
 mod fmt;
 mod galois;

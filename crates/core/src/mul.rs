@@ -100,7 +100,11 @@ impl Tnum {
     #[must_use]
     pub const fn mul_kernel_legacy(self, other: Tnum) -> Tnum {
         let pi = self.value().wrapping_mul(other.value());
-        let acc = hma(Tnum::constant(pi), self.mask(), other.mask() | other.value());
+        let acc = hma(
+            Tnum::constant(pi),
+            self.mask(),
+            other.mask() | other.value(),
+        );
         hma(acc, other.mask(), self.value())
     }
 }
@@ -293,15 +297,17 @@ mod tests {
                 }
             }
         }
-        assert!(ours_wins > kern_wins, "ours {ours_wins} vs kern {kern_wins}");
+        assert!(
+            ours_wins > kern_wins,
+            "ours {ours_wins} vs kern {kern_wins}"
+        );
     }
 
     #[test]
     fn hma_accumulates_shifted_masks() {
         // hma(acc, x, y) adds (0, x << i) for each set bit i of y.
         let acc = hma(Tnum::ZERO, 0b1, 0b101);
-        let expect = Tnum::masked(0, 0b1)
-            .add(Tnum::masked(0, 0b100));
+        let expect = Tnum::masked(0, 0b1).add(Tnum::masked(0, 0b100));
         assert_eq!(acc, expect);
         assert_eq!(hma(Tnum::constant(9), 0b11, 0), Tnum::constant(9));
     }

@@ -207,15 +207,11 @@ mod tests {
         for a in tnums(4) {
             for k in 0..4u32 {
                 let l = a.lshift(k).truncate(4);
-                let best_l = Tnum::abstract_of(
-                    a.concretize().map(|x| (x << k) & 0xf),
-                )
-                .unwrap();
+                let best_l = Tnum::abstract_of(a.concretize().map(|x| (x << k) & 0xf)).unwrap();
                 assert_eq!(l, best_l, "lshift {a} by {k}");
 
                 let r = a.rshift(k);
-                let best_r =
-                    Tnum::abstract_of(a.concretize().map(|x| x >> k)).unwrap();
+                let best_r = Tnum::abstract_of(a.concretize().map(|x| x >> k)).unwrap();
                 assert_eq!(r, best_r, "rshift {a} by {k}");
             }
         }

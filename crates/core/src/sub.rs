@@ -133,10 +133,7 @@ mod tests {
             assert_eq!(t.neg(), Tnum::ZERO.sub(t));
             // Soundness of neg at width 4.
             for x in t.concretize() {
-                assert!(t
-                    .neg()
-                    .truncate(4)
-                    .contains(x.wrapping_neg() & 0xf));
+                assert!(t.neg().truncate(4).contains(x.wrapping_neg() & 0xf));
             }
         }
     }

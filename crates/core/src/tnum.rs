@@ -45,7 +45,10 @@ impl Tnum {
     /// The tnum with every bit unknown: ⊤, abstracting all of `u64`.
     ///
     /// This is the kernel's `tnum_unknown`.
-    pub const UNKNOWN: Tnum = Tnum { value: 0, mask: u64::MAX };
+    pub const UNKNOWN: Tnum = Tnum {
+        value: 0,
+        mask: u64::MAX,
+    };
 
     /// The constant zero tnum (every bit known `0`).
     pub const ZERO: Tnum = Tnum { value: 0, mask: 0 };
@@ -91,7 +94,10 @@ impl Tnum {
     /// ```
     #[must_use]
     pub const fn masked(value: u64, mask: u64) -> Tnum {
-        Tnum { value: value & !mask, mask }
+        Tnum {
+            value: value & !mask,
+            mask,
+        }
     }
 
     /// Creates the exact abstraction of a single concrete value
@@ -186,7 +192,10 @@ impl Tnum {
                 "more than 64 trits supplied"
             );
             let (v, m) = trit.to_value_mask();
-            t = Tnum { value: (t.value << 1) | v, mask: (t.mask << 1) | m };
+            t = Tnum {
+                value: (t.value << 1) | v,
+                mask: (t.mask << 1) | m,
+            };
         }
         t
     }
@@ -309,7 +318,10 @@ impl Tnum {
     #[must_use]
     pub const fn truncate(self, width: u32) -> Tnum {
         let m = low_bits(width);
-        Tnum { value: self.value & m, mask: self.mask & m }
+        Tnum {
+            value: self.value & m,
+            mask: self.mask & m,
+        }
     }
 
     /// Whether this tnum fits in `width` bits (all higher trits known `0`).
@@ -417,7 +429,7 @@ mod tests {
     fn masked_normalizes() {
         let t = Tnum::masked(u64::MAX, 0b1010);
         assert_eq!(t.value() & t.mask(), 0);
-        assert_eq!(t.value(), u64::MAX & !0b1010);
+        assert_eq!(t.value(), !0b1010);
     }
 
     #[test]
@@ -499,10 +511,7 @@ mod tests {
         // *independent* unknown high bits, so the abstraction widens.
         for t in crate::enumerate::tnums(4) {
             let s = t.sign_extend_from(4);
-            let signed: Vec<i64> = t
-                .concretize()
-                .map(|x| ((x as i64) << 60) >> 60)
-                .collect();
+            let signed: Vec<i64> = t.concretize().map(|x| ((x as i64) << 60) >> 60).collect();
             let (lo, hi) = (*signed.iter().min().unwrap(), *signed.iter().max().unwrap());
             assert!(s.min_signed() <= lo && hi <= s.max_signed(), "{t}");
             if t.trit(3).is_known() {

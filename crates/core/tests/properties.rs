@@ -1,188 +1,275 @@
-//! Property-based tests (proptest) for the tnum domain's core invariants
-//! at the full 64-bit width, complementing the exhaustive small-width
-//! proofs in the unit tests.
+//! Randomized property tests for the tnum domain's core invariants at
+//! the full 64-bit width, complementing the exhaustive small-width
+//! proofs in the unit tests. Driven by the workspace's deterministic
+//! SplitMix64 stream (no third-party dependencies), 512 cases per
+//! property.
 
-use proptest::prelude::*;
-use tnum::{Trit, Tnum};
+// Explicit BPF division semantics (`x / 0 = 0`, `x % 0 = x`) throughout.
+#![allow(clippy::manual_checked_ops)]
+use domain::rng::SplitMix64;
+use tnum::{Tnum, Trit};
 
-prop_compose! {
-    /// A uniformly random well-formed tnum.
-    fn any_tnum()(mask in any::<u64>(), raw in any::<u64>()) -> Tnum {
-        Tnum::masked(raw, mask)
+const CASES: u32 = 512;
+
+/// A uniformly random well-formed tnum.
+fn any_tnum(rng: &mut SplitMix64) -> Tnum {
+    Tnum::masked(rng.next_u64(), rng.next_u64())
+}
+
+/// A tnum together with a random member of its concretization.
+fn tnum_and_member(rng: &mut SplitMix64) -> (Tnum, u64) {
+    let t = any_tnum(rng);
+    (t, t.value() | (rng.next_u64() & t.mask()))
+}
+
+#[test]
+fn wellformedness_invariant() {
+    let mut rng = SplitMix64::new(0x01);
+    for _ in 0..CASES {
+        let t = any_tnum(&mut rng);
+        assert_eq!(t.value() & t.mask(), 0);
     }
 }
 
-prop_compose! {
-    /// A tnum together with a random member of its concretization.
-    fn tnum_and_member()(t in any_tnum(), pick in any::<u64>()) -> (Tnum, u64) {
-        (t, t.value() | (pick & t.mask()))
+#[test]
+fn membership_definition() {
+    let mut rng = SplitMix64::new(0x02);
+    for _ in 0..CASES {
+        let (t, x) = tnum_and_member(&mut rng);
+        assert!(t.contains(x));
+        assert!(x >= t.min_value());
+        assert!(x <= t.max_value());
     }
 }
 
-proptest! {
-    #[test]
-    fn wellformedness_invariant(t in any_tnum()) {
-        prop_assert_eq!(t.value() & t.mask(), 0);
+#[test]
+fn add_sub_soundness() {
+    let mut rng = SplitMix64::new(0x03);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let (b, y) = tnum_and_member(&mut rng);
+        assert!(a.add(b).contains(x.wrapping_add(y)), "add {a} {b}");
+        assert!(a.sub(b).contains(x.wrapping_sub(y)), "sub {a} {b}");
     }
+}
 
-    #[test]
-    fn membership_definition((t, x) in tnum_and_member()) {
-        prop_assert!(t.contains(x));
-        prop_assert!(x >= t.min_value());
-        prop_assert!(x <= t.max_value());
+#[test]
+fn mul_soundness() {
+    let mut rng = SplitMix64::new(0x04);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let (b, y) = tnum_and_member(&mut rng);
+        assert!(a.mul(b).contains(x.wrapping_mul(y)), "our_mul {a} {b}");
+        assert!(
+            a.mul_kernel_legacy(b).contains(x.wrapping_mul(y)),
+            "kern_mul {a} {b}"
+        );
     }
+}
 
-    #[test]
-    fn add_soundness((a, x) in tnum_and_member(), (b, y) in tnum_and_member()) {
-        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
+#[test]
+fn mul_equals_simplified() {
+    // Lemma 11 at width 64, randomly.
+    let mut rng = SplitMix64::new(0x05);
+    for _ in 0..CASES {
+        let a = any_tnum(&mut rng);
+        let b = any_tnum(&mut rng);
+        assert_eq!(a.mul(b), tnum::mul::our_mul_simplified(a, b), "{a} {b}");
     }
+}
 
-    #[test]
-    fn sub_soundness((a, x) in tnum_and_member(), (b, y) in tnum_and_member()) {
-        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
+#[test]
+fn bitwise_soundness() {
+    let mut rng = SplitMix64::new(0x06);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let (b, y) = tnum_and_member(&mut rng);
+        assert!(a.and(b).contains(x & y));
+        assert!(a.or(b).contains(x | y));
+        assert!(a.xor(b).contains(x ^ y));
+        assert!(a.not().contains(!x));
     }
+}
 
-    #[test]
-    fn mul_soundness((a, x) in tnum_and_member(), (b, y) in tnum_and_member()) {
-        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
-        prop_assert!(a.mul_kernel_legacy(b).contains(x.wrapping_mul(y)));
+#[test]
+fn shift_soundness() {
+    let mut rng = SplitMix64::new(0x07);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let k = rng.next_u32() % 64;
+        assert!(a.lshift(k).contains(x << k));
+        assert!(a.rshift(k).contains(x >> k));
+        assert!(a.arshift(k).contains(((x as i64) >> k) as u64));
     }
+}
 
-    #[test]
-    fn mul_equals_simplified(a in any_tnum(), b in any_tnum()) {
-        // Lemma 11 at width 64, randomly.
-        prop_assert_eq!(a.mul(b), tnum::mul::our_mul_simplified(a, b));
-    }
-
-    #[test]
-    fn bitwise_soundness((a, x) in tnum_and_member(), (b, y) in tnum_and_member()) {
-        prop_assert!(a.and(b).contains(x & y));
-        prop_assert!(a.or(b).contains(x | y));
-        prop_assert!(a.xor(b).contains(x ^ y));
-        prop_assert!(a.not().contains(!x));
-    }
-
-    #[test]
-    fn shift_soundness((a, x) in tnum_and_member(), k in 0u32..64) {
-        prop_assert!(a.lshift(k).contains(x << k));
-        prop_assert!(a.rshift(k).contains(x >> k));
-        prop_assert!(a.arshift(k).contains(((x as i64) >> k) as u64));
-    }
-
-    #[test]
-    fn neg_div_rem_soundness((a, x) in tnum_and_member(), (b, y) in tnum_and_member()) {
-        prop_assert!(a.neg().contains(x.wrapping_neg()));
+#[test]
+fn neg_div_rem_soundness() {
+    let mut rng = SplitMix64::new(0x08);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let (b, y) = tnum_and_member(&mut rng);
+        assert!(a.neg().contains(x.wrapping_neg()));
         let quotient = if y == 0 { 0 } else { x / y };
         let remainder = if y == 0 { x } else { x % y };
-        prop_assert!(a.div(b).contains(quotient));
-        prop_assert!(a.rem(b).contains(remainder));
+        assert!(a.div(b).contains(quotient));
+        assert!(a.rem(b).contains(remainder));
     }
+}
 
-    #[test]
-    fn union_is_upper_bound(a in any_tnum(), b in any_tnum()) {
+#[test]
+fn union_is_upper_bound() {
+    let mut rng = SplitMix64::new(0x09);
+    for _ in 0..CASES {
+        let a = any_tnum(&mut rng);
+        let b = any_tnum(&mut rng);
         let j = a.union(b);
-        prop_assert!(a.is_subset_of(j));
-        prop_assert!(b.is_subset_of(j));
-        prop_assert_eq!(j, b.union(a));
+        assert!(a.is_subset_of(j));
+        assert!(b.is_subset_of(j));
+        assert_eq!(j, b.union(a));
     }
+}
 
-    #[test]
-    fn intersect_is_lower_bound(a in any_tnum(), b in any_tnum()) {
+#[test]
+fn intersect_is_lower_bound() {
+    let mut rng = SplitMix64::new(0x0a);
+    for _ in 0..CASES {
+        let a = any_tnum(&mut rng);
+        let b = any_tnum(&mut rng);
         if let Some(m) = a.intersect(b) {
-            prop_assert!(m.is_subset_of(a));
-            prop_assert!(m.is_subset_of(b));
-            prop_assert_eq!(Some(m), b.intersect(a));
+            assert!(m.is_subset_of(a));
+            assert!(m.is_subset_of(b));
+            assert_eq!(Some(m), b.intersect(a));
         } else {
             // Empty: no common member exists at any known-conflicting bit.
             let both_known = !a.mask() & !b.mask();
-            prop_assert!((a.value() ^ b.value()) & both_known != 0);
+            assert!((a.value() ^ b.value()) & both_known != 0);
         }
     }
+}
 
-    #[test]
-    fn order_agrees_with_membership((a, x) in tnum_and_member(), b in any_tnum()) {
+#[test]
+fn order_agrees_with_membership() {
+    let mut rng = SplitMix64::new(0x0b);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let b = any_tnum(&mut rng);
         if a.is_subset_of(b) {
-            prop_assert!(b.contains(x));
+            assert!(b.contains(x));
         }
     }
+}
 
-    #[test]
-    fn alpha_of_members_refines((a, x) in tnum_and_member(), pick in any::<u64>()) {
+#[test]
+fn alpha_of_members_refines() {
+    let mut rng = SplitMix64::new(0x0c);
+    for _ in 0..CASES {
         // Abstracting any two members produces a tnum below `a`.
-        let y = a.value() | (pick & a.mask());
+        let (a, x) = tnum_and_member(&mut rng);
+        let y = a.value() | (rng.next_u64() & a.mask());
         let alpha = Tnum::abstract_of([x, y]).unwrap();
-        prop_assert!(alpha.is_subset_of(a));
-        prop_assert!(alpha.contains(x) && alpha.contains(y));
+        assert!(alpha.is_subset_of(a));
+        assert!(alpha.contains(x) && alpha.contains(y));
     }
+}
 
-    #[test]
-    fn parse_display_round_trip(t in any_tnum()) {
+#[test]
+fn parse_display_round_trip() {
+    let mut rng = SplitMix64::new(0x0d);
+    for _ in 0..CASES {
+        let t = any_tnum(&mut rng);
         let s = t.to_bin_string(64);
         let back: Tnum = s.parse().unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    #[test]
-    fn trit_views_are_consistent(t in any_tnum(), bit in 0u32..64) {
+#[test]
+fn trit_views_are_consistent() {
+    let mut rng = SplitMix64::new(0x0e);
+    for _ in 0..CASES {
+        let t = any_tnum(&mut rng);
+        let bit = rng.next_u32() % 64;
         let trit = t.trit(bit);
         let (v, m) = trit.to_value_mask();
-        prop_assert_eq!(v, (t.value() >> bit) & 1);
-        prop_assert_eq!(m, (t.mask() >> bit) & 1);
+        assert_eq!(v, (t.value() >> bit) & 1);
+        assert_eq!(m, (t.mask() >> bit) & 1);
         // Setting the trit back is the identity.
-        prop_assert_eq!(t.with_trit(bit, trit), t);
+        assert_eq!(t.with_trit(bit, trit), t);
         // Setting unknown then a known value round-trips the other bits.
         let poked = t.with_trit(bit, Trit::Unknown).with_trit(bit, Trit::One);
-        prop_assert_eq!(poked.trit(bit), Trit::One);
-        prop_assert_eq!(poked.with_trit(bit, trit), t);
+        assert_eq!(poked.trit(bit), Trit::One);
+        assert_eq!(poked.with_trit(bit, trit), t);
     }
+}
 
-    #[test]
-    fn truncate_then_extend_invariants(t in any_tnum(), width in 1u32..64) {
+#[test]
+fn truncate_then_extend_invariants() {
+    let mut rng = SplitMix64::new(0x0f);
+    for _ in 0..CASES {
+        let t = any_tnum(&mut rng);
+        let width = 1 + rng.next_u32() % 63;
         let tr = t.truncate(width);
-        prop_assert!(tr.fits_width(width));
+        assert!(tr.fits_width(width));
         // Truncation preserves membership of truncated members.
-        prop_assert!(tr.contains(t.value() & tnum::low_bits(width)));
+        assert!(tr.contains(t.value() & tnum::low_bits(width)));
         // Sign extension agrees with concrete sign extension on members.
         let sx = tr.sign_extend_from(width);
         let member = tr.value();
         let shift = 64 - width;
-        prop_assert!(sx.contains(((member << shift) as i64 >> shift) as u64));
+        assert!(sx.contains(((member << shift) as i64 >> shift) as u64));
     }
+}
 
-    #[test]
-    fn cardinality_counts_members(mask in any::<u64>()) {
+#[test]
+fn cardinality_counts_members() {
+    let mut rng = SplitMix64::new(0x10);
+    for _ in 0..64 {
         // Keep the popcount small enough to enumerate.
-        let mask = mask & 0x8421_0842_1084_2108; // at most 13 bits
+        let mask = rng.next_u64() & 0x8421_0842_1084_2108; // at most 13 bits
         let t = Tnum::masked(0, mask);
         let n = t.concretize().count() as u128;
-        prop_assert_eq!(n, t.cardinality());
+        assert_eq!(n, t.cardinality());
     }
+}
 
-    #[test]
-    fn range_contains_endpoints(lo in any::<u64>(), hi in any::<u64>()) {
-        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+#[test]
+fn range_contains_endpoints() {
+    let mut rng = SplitMix64::new(0x11);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let t = Tnum::range(lo, hi);
-        prop_assert!(t.contains(lo));
-        prop_assert!(t.contains(hi));
-        prop_assert!(t.contains(lo + (hi - lo) / 2));
+        assert!(t.contains(lo));
+        assert!(t.contains(hi));
+        assert!(t.contains(lo + (hi - lo) / 2));
     }
+}
 
-    #[test]
-    fn cast_and_subreg_consistency((t, x) in tnum_and_member()) {
-        prop_assert!(t.subreg().contains(x & 0xffff_ffff));
-        prop_assert!(t.clear_subreg().contains(x & !0xffff_ffff));
-        prop_assert_eq!(t.subreg().or(t.clear_subreg()), t);
+#[test]
+fn cast_and_subreg_consistency() {
+    let mut rng = SplitMix64::new(0x12);
+    for _ in 0..CASES {
+        let (t, x) = tnum_and_member(&mut rng);
+        assert!(t.subreg().contains(x & 0xffff_ffff));
+        assert!(t.clear_subreg().contains(x & !0xffff_ffff));
+        assert_eq!(t.subreg().or(t.clear_subreg()), t);
         for size in 0..=8u32 {
-            prop_assert!(t.cast(size).contains(x & tnum::low_bits(size * 8)));
+            assert!(t.cast(size).contains(x & tnum::low_bits(size * 8)));
         }
     }
+}
 
-    #[test]
-    fn tnum_amount_shift_soundness((a, x) in tnum_and_member(), (k, kv) in tnum_and_member()) {
+#[test]
+fn tnum_amount_shift_soundness() {
+    let mut rng = SplitMix64::new(0x13);
+    for _ in 0..CASES {
+        let (a, x) = tnum_and_member(&mut rng);
+        let (k, kv) = tnum_and_member(&mut rng);
         let k6 = k.and(Tnum::constant(63));
         let amt = kv & 63;
-        prop_assert!(a.lshift_tnum(k6).contains(x << amt));
-        prop_assert!(a.rshift_tnum(k6).contains(x >> amt));
-        prop_assert!(a.arshift_tnum(k6).contains(((x as i64) >> amt) as u64));
+        assert!(a.lshift_tnum(k6).contains(x << amt));
+        assert!(a.rshift_tnum(k6).contains(x >> amt));
+        assert!(a.arshift_tnum(k6).contains(((x as i64) >> amt) as u64));
     }
 }

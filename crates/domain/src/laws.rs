@@ -1,0 +1,180 @@
+//! Reusable law checkers for [`AbstractDomain`] implementors.
+//!
+//! Every domain that plugs into the verification campaign must be an
+//! actual lattice Galois-connected to sets of machine words; these
+//! checkers make that a one-call test. They enumerate all canonical
+//! elements at a small width (the same bounded quantification the
+//! campaign uses) and assert:
+//!
+//! * **lattice laws** — idempotence, commutativity, and absorption of
+//!   ⊔/⊓, plus consistency of ⊑ with both (`a ⊑ b ⇔ a ⊔ b = b ⇔
+//!   a ⊓ b = a`);
+//! * **Galois soundness** — `x ∈ γ(α({x}))` for every representable
+//!   value, membership closure of the enumeration
+//!   (`x ∈ γ(P) ⇒ P.contains(x)` and vice versa via
+//!   [`members`](AbstractDomain::members)), and reductivity of α over
+//!   member subsets.
+//!
+//! The functions panic with a counterexample on the first violation, so
+//! they slot directly into `#[test]` bodies.
+
+use crate::AbstractDomain;
+
+/// Asserts the lattice laws for every pair of canonical elements at
+/// `width` bits.
+///
+/// # Panics
+///
+/// Panics with a counterexample on the first law violation.
+pub fn assert_lattice_laws<D: AbstractDomain>(width: u32) {
+    let elems = D::enumerate_at_width(width);
+    assert!(
+        !elems.is_empty(),
+        "{}: empty enumeration at width {width}",
+        D::NAME
+    );
+    for &a in &elems {
+        // Reflexivity and idempotence.
+        assert!(a.le(a), "{}: {a:?} not ⊑ itself", D::NAME);
+        assert_eq!(a.join(a), a, "{}: join not idempotent at {a:?}", D::NAME);
+        assert_eq!(
+            a.meet(a),
+            Some(a),
+            "{}: meet not idempotent at {a:?}",
+            D::NAME
+        );
+        for &b in &elems {
+            let j = a.join(b);
+            // Commutativity.
+            assert_eq!(
+                j,
+                b.join(a),
+                "{}: join not commutative on {a:?}, {b:?}",
+                D::NAME
+            );
+            assert_eq!(
+                a.meet(b),
+                b.meet(a),
+                "{}: meet not commutative on {a:?}, {b:?}",
+                D::NAME
+            );
+            // Join is an upper bound, consistent with ⊑.
+            assert!(
+                a.le(j) && b.le(j),
+                "{}: join not an upper bound on {a:?}, {b:?}",
+                D::NAME
+            );
+            assert_eq!(
+                a.le(b),
+                j == b,
+                "{}: ⊑ vs join inconsistent on {a:?}, {b:?}",
+                D::NAME
+            );
+            // Meet is a lower bound; ⊥ (None) only without common members.
+            match a.meet(b) {
+                Some(m) => {
+                    assert!(
+                        m.le(a) && m.le(b),
+                        "{}: meet not a lower bound on {a:?}, {b:?}",
+                        D::NAME
+                    );
+                    if a.le(b) {
+                        assert_eq!(m, a, "{}: ⊑ vs meet inconsistent on {a:?}, {b:?}", D::NAME);
+                    }
+                    // Absorption: a ⊔ (a ⊓ b) = a.
+                    assert_eq!(
+                        a.join(m),
+                        a,
+                        "{}: absorption (join) fails on {a:?}, {b:?}",
+                        D::NAME
+                    );
+                }
+                None => {
+                    for x in a.members(width) {
+                        assert!(
+                            !b.contains(x),
+                            "{}: meet of {a:?}, {b:?} is ⊥ but both contain {x}",
+                            D::NAME
+                        );
+                    }
+                }
+            }
+            // Absorption: a ⊓ (a ⊔ b) = a.
+            assert_eq!(
+                a.meet(j),
+                Some(a),
+                "{}: absorption (meet) fails on {a:?}, {b:?}",
+                D::NAME
+            );
+        }
+    }
+}
+
+/// Asserts the Galois soundness conditions at `width` bits.
+///
+/// # Panics
+///
+/// Panics with a counterexample on the first violation.
+pub fn assert_galois_soundness<D: AbstractDomain>(width: u32) {
+    let lim: u64 = 1u64.checked_shl(width).expect("width < 64") - 1;
+    // Extensivity on singletons: x ∈ γ(α({x})), and α({x}) is a constant.
+    for x in 0..=lim {
+        let a = D::constant(x);
+        assert!(a.contains(x), "{}: {x} ∉ γ(α({{{x}}}))", D::NAME);
+        assert_eq!(
+            a.as_constant(),
+            Some(x),
+            "{}: α({{{x}}}) not constant",
+            D::NAME
+        );
+    }
+    let elems = D::enumerate_at_width(width);
+    for &p in &elems {
+        let members = p.members(width);
+        assert!(!members.is_empty(), "{}: {p:?} concretizes to ∅", D::NAME);
+        // members() agrees with contains() over the whole width window.
+        for x in 0..=lim {
+            assert_eq!(
+                p.contains(x),
+                members.contains(&x),
+                "{}: members/contains disagree on {x} for {p:?}",
+                D::NAME
+            );
+        }
+        // α over the members is reductive: α(γ(P)) ⊑ P.
+        let back = D::abstract_of(members.iter().copied()).expect("non-empty member set abstracts");
+        assert!(back.le(p), "{}: α(γ({p:?})) = {back:?} ⋢ {p:?}", D::NAME);
+        // ⊑ agrees with γ-inclusion over the enumeration.
+        for &q in &elems {
+            if p.le(q) {
+                for &x in &members {
+                    assert!(q.contains(x), "{}: {p:?} ⊑ {q:?} but {x} escapes", D::NAME);
+                }
+            }
+        }
+        // Truncation at the enumeration width is the identity on canonical
+        // elements, and ⊤ covers everything.
+        assert!(p.le(D::top()), "{}: {p:?} ⋢ ⊤", D::NAME);
+        assert!(p.le(D::top_at_width(width)), "{}: {p:?} ⋢ ⊤|w", D::NAME);
+    }
+}
+
+/// Asserts that [`AbstractDomain::random`] /
+/// [`AbstractDomain::random_member`] produce well-formed samples: every
+/// sampled member belongs to its element.
+///
+/// # Panics
+///
+/// Panics on the first sampled member that escapes its element.
+pub fn assert_sampling_sound<D: AbstractDomain>(rounds: u32, seed: u64) {
+    let mut rng = crate::rng::SplitMix64::new(seed);
+    for _ in 0..rounds {
+        let d = D::random(&mut rng);
+        let x = d.random_member(&mut rng);
+        assert!(
+            d.contains(x),
+            "{}: sampled member {x:#x} escapes {d:?}",
+            D::NAME
+        );
+    }
+}

@@ -118,7 +118,9 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -132,7 +134,13 @@ enum Target {
 enum PendingInsn {
     Ready(Insn),
     Ja(Target),
-    Jmp { width: Width, op: JmpOp, dst: Reg, src: Src, target: Target },
+    Jmp {
+        width: Width,
+        op: JmpOp,
+        dst: Reg,
+        src: Src,
+        target: Target,
+    },
 }
 
 impl PendingInsn {
@@ -143,16 +151,23 @@ impl PendingInsn {
         }
     }
 
-    fn resolve(
-        self,
-        mut f: impl FnMut(Target) -> Result<i16, String>,
-    ) -> Result<Insn, String> {
+    fn resolve(self, mut f: impl FnMut(Target) -> Result<i16, String>) -> Result<Insn, String> {
         Ok(match self {
             PendingInsn::Ready(i) => i,
             PendingInsn::Ja(t) => Insn::Ja { off: f(t)? },
-            PendingInsn::Jmp { width, op, dst, src, target } => {
-                Insn::Jmp { width, op, dst, src, off: f(target)? }
-            }
+            PendingInsn::Jmp {
+                width,
+                op,
+                dst,
+                src,
+                target,
+            } => Insn::Jmp {
+                width,
+                op,
+                dst,
+                src,
+                off: f(target)?,
+            },
         })
     }
 }
@@ -181,11 +196,15 @@ fn parse_line(line: &str) -> Result<PendingInsn, String> {
 fn parse_target(s: &str) -> Result<Target, String> {
     if let Some(rest) = s.strip_prefix('+') {
         return Ok(Target::Offset(
-            rest.trim().parse().map_err(|_| format!("bad offset {s:?}"))?,
+            rest.trim()
+                .parse()
+                .map_err(|_| format!("bad offset {s:?}"))?,
         ));
     }
     if s.starts_with('-') {
-        return Ok(Target::Offset(s.parse().map_err(|_| format!("bad offset {s:?}"))?));
+        return Ok(Target::Offset(
+            s.parse().map_err(|_| format!("bad offset {s:?}"))?,
+        ));
     }
     if is_ident(s) {
         return Ok(Target::Label(s.to_string()));
@@ -213,10 +232,13 @@ fn parse_int(s: &str) -> Result<i64, String> {
     let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer {s:?}"))?
     } else {
-        body.parse::<u64>().map_err(|_| format!("bad integer {s:?}"))?
+        body.parse::<u64>()
+            .map_err(|_| format!("bad integer {s:?}"))?
     };
     let signed = if neg {
-        (value as i64).checked_neg().ok_or_else(|| format!("integer {s:?} out of range"))?
+        (value as i64)
+            .checked_neg()
+            .ok_or_else(|| format!("integer {s:?} out of range"))?
     } else {
         value as i64
     };
@@ -285,17 +307,22 @@ fn parse_mem_ref(s: &str) -> Result<(MemSize, Reg, i16), String> {
 
 fn parse_store(line: &str) -> Result<Insn, String> {
     let body = &line[1..]; // skip '*'
-    let eq = find_top_level_eq(body)
-        .ok_or_else(|| format!("expected '=' in store {line:?}"))?;
+    let eq = find_top_level_eq(body).ok_or_else(|| format!("expected '=' in store {line:?}"))?;
     let (lhs, rhs) = body.split_at(eq);
     let rhs = rhs[1..].trim();
     let (size, base, off) = parse_mem_ref(lhs.trim())?;
     let (src, src_width) = parse_src(rhs)?;
     if src_width == Some(Width::W32) {
-        return Err("stores take 64-bit registers (rN); the access size selects the width"
-            .to_string());
+        return Err(
+            "stores take 64-bit registers (rN); the access size selects the width".to_string(),
+        );
     }
-    Ok(Insn::Store { size, base, off, src })
+    Ok(Insn::Store {
+        size,
+        base,
+        off,
+        src,
+    })
 }
 
 /// Finds the `=` separating lhs from rhs, skipping `==`, `!=`, `<=`, `>=`.
@@ -348,7 +375,13 @@ fn parse_cond(rest: &str) -> Result<PendingInsn, String> {
             return Err("mixed 32/64-bit registers in comparison".to_string());
         }
     }
-    Ok(PendingInsn::Jmp { width, op, dst, src, target })
+    Ok(PendingInsn::Jmp {
+        width,
+        op,
+        dst,
+        src,
+        target,
+    })
 }
 
 fn parse_assign(line: &str) -> Result<Insn, String> {
@@ -376,7 +409,12 @@ fn parse_assign(line: &str) -> Result<Insn, String> {
                     return Err("mixed 32/64-bit registers in ALU op".to_string());
                 }
             }
-            return Ok(Insn::Alu { width, op, dst, src });
+            return Ok(Insn::Alu {
+                width,
+                op,
+                dst,
+                src,
+            });
         }
     }
 
@@ -392,7 +430,12 @@ fn parse_assign(line: &str) -> Result<Insn, String> {
             if src_reg != dst || src_width != width {
                 return Err("negation must have the form rD = -rD".to_string());
             }
-            return Ok(Insn::Alu { width, op: AluOp::Neg, dst, src: Src::Imm(0) });
+            return Ok(Insn::Alu {
+                width,
+                op: AluOp::Neg,
+                dst,
+                src: Src::Imm(0),
+            });
         }
     }
 
@@ -402,7 +445,12 @@ fn parse_assign(line: &str) -> Result<Insn, String> {
             return Err("loads write 64-bit registers (rN)".to_string());
         }
         let (size, base, off) = parse_mem_ref(mem)?;
-        return Ok(Insn::Load { size, dst, base, off });
+        return Ok(Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        });
     }
 
     // 64-bit immediate: rD = imm ll.
@@ -421,7 +469,12 @@ fn parse_assign(line: &str) -> Result<Insn, String> {
             return Err("mixed 32/64-bit registers in mov".to_string());
         }
     }
-    Ok(Insn::Alu { width, op: AluOp::Mov, dst, src })
+    Ok(Insn::Alu {
+        width,
+        op: AluOp::Mov,
+        dst,
+        src,
+    })
 }
 
 fn parse_int_u64(s: &str) -> Result<u64, String> {
@@ -551,7 +604,9 @@ mod tests {
     fn unsigned_32bit_literals_accepted() {
         let prog = assemble("r0 = 0xffffffff\nexit").unwrap();
         match prog.insns()[0] {
-            Insn::Alu { src: Src::Imm(imm), .. } => assert_eq!(imm, -1),
+            Insn::Alu {
+                src: Src::Imm(imm), ..
+            } => assert_eq!(imm, -1),
             other => panic!("unexpected {other:?}"),
         }
     }

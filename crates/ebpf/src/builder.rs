@@ -71,14 +71,27 @@ impl ProgramBuilder {
     /// `dst = imm` (64-bit).
     #[must_use]
     pub fn mov64_imm(self, dst: Reg, imm: i32) -> Self {
-        self.push(Insn::Alu { width: Width::W64, op: AluOp::Mov, dst, src: Src::Imm(imm) }, None)
+        self.push(
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Mov,
+                dst,
+                src: Src::Imm(imm),
+            },
+            None,
+        )
     }
 
     /// `dst = src` (64-bit).
     #[must_use]
     pub fn mov64_reg(self, dst: Reg, src: Reg) -> Self {
         self.push(
-            Insn::Alu { width: Width::W64, op: AluOp::Mov, dst, src: Src::Reg(src) },
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Mov,
+                dst,
+                src: Src::Reg(src),
+            },
             None,
         )
     }
@@ -92,43 +105,99 @@ impl ProgramBuilder {
     /// `dst op= imm` (64-bit).
     #[must_use]
     pub fn alu64_imm(self, op: AluOp, dst: Reg, imm: i32) -> Self {
-        self.push(Insn::Alu { width: Width::W64, op, dst, src: Src::Imm(imm) }, None)
+        self.push(
+            Insn::Alu {
+                width: Width::W64,
+                op,
+                dst,
+                src: Src::Imm(imm),
+            },
+            None,
+        )
     }
 
     /// `dst op= src` (64-bit).
     #[must_use]
     pub fn alu64_reg(self, op: AluOp, dst: Reg, src: Reg) -> Self {
-        self.push(Insn::Alu { width: Width::W64, op, dst, src: Src::Reg(src) }, None)
+        self.push(
+            Insn::Alu {
+                width: Width::W64,
+                op,
+                dst,
+                src: Src::Reg(src),
+            },
+            None,
+        )
     }
 
     /// `wdst op= imm` (32-bit, zero-extending).
     #[must_use]
     pub fn alu32_imm(self, op: AluOp, dst: Reg, imm: i32) -> Self {
-        self.push(Insn::Alu { width: Width::W32, op, dst, src: Src::Imm(imm) }, None)
+        self.push(
+            Insn::Alu {
+                width: Width::W32,
+                op,
+                dst,
+                src: Src::Imm(imm),
+            },
+            None,
+        )
     }
 
     /// `wdst op= wsrc` (32-bit, zero-extending).
     #[must_use]
     pub fn alu32_reg(self, op: AluOp, dst: Reg, src: Reg) -> Self {
-        self.push(Insn::Alu { width: Width::W32, op, dst, src: Src::Reg(src) }, None)
+        self.push(
+            Insn::Alu {
+                width: Width::W32,
+                op,
+                dst,
+                src: Src::Reg(src),
+            },
+            None,
+        )
     }
 
     /// `dst = *(size *)(base + off)`.
     #[must_use]
     pub fn load(self, size: MemSize, dst: Reg, base: Reg, off: i16) -> Self {
-        self.push(Insn::Load { size, dst, base, off }, None)
+        self.push(
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            },
+            None,
+        )
     }
 
     /// `*(size *)(base + off) = src`.
     #[must_use]
     pub fn store_reg(self, size: MemSize, base: Reg, off: i16, src: Reg) -> Self {
-        self.push(Insn::Store { size, base, off, src: Src::Reg(src) }, None)
+        self.push(
+            Insn::Store {
+                size,
+                base,
+                off,
+                src: Src::Reg(src),
+            },
+            None,
+        )
     }
 
     /// `*(size *)(base + off) = imm`.
     #[must_use]
     pub fn store_imm(self, size: MemSize, base: Reg, off: i16, imm: i32) -> Self {
-        self.push(Insn::Store { size, base, off, src: Src::Imm(imm) }, None)
+        self.push(
+            Insn::Store {
+                size,
+                base,
+                off,
+                src: Src::Imm(imm),
+            },
+            None,
+        )
     }
 
     /// `goto label`.
@@ -141,7 +210,13 @@ impl ProgramBuilder {
     #[must_use]
     pub fn jmp_imm(self, op: JmpOp, dst: Reg, imm: i32, label: &str) -> Self {
         self.push(
-            Insn::Jmp { width: Width::W64, op, dst, src: Src::Imm(imm), off: 0 },
+            Insn::Jmp {
+                width: Width::W64,
+                op,
+                dst,
+                src: Src::Imm(imm),
+                off: 0,
+            },
             Some(Target::Label(label.to_string())),
         )
     }
@@ -150,7 +225,13 @@ impl ProgramBuilder {
     #[must_use]
     pub fn jmp_reg(self, op: JmpOp, dst: Reg, src: Reg, label: &str) -> Self {
         self.push(
-            Insn::Jmp { width: Width::W64, op, dst, src: Src::Reg(src), off: 0 },
+            Insn::Jmp {
+                width: Width::W64,
+                op,
+                dst,
+                src: Src::Reg(src),
+                off: 0,
+            },
             Some(Target::Label(label.to_string())),
         )
     }
@@ -209,9 +290,22 @@ impl ProgramBuilder {
             };
             let insn = match (insn, off) {
                 (Insn::Ja { .. }, Some(off)) => Insn::Ja { off },
-                (Insn::Jmp { width, op, dst, src, .. }, Some(off)) => {
-                    Insn::Jmp { width, op, dst, src, off }
-                }
+                (
+                    Insn::Jmp {
+                        width,
+                        op,
+                        dst,
+                        src,
+                        ..
+                    },
+                    Some(off),
+                ) => Insn::Jmp {
+                    width,
+                    op,
+                    dst,
+                    src,
+                    off,
+                },
                 (other, _) => other,
             };
             slot = next_slot;
@@ -311,13 +405,24 @@ mod tests {
             .exit()
             .build()
             .unwrap_err();
-        assert_eq!(err, BuildError::UnknownLabel { name: "nowhere".into() });
+        assert_eq!(
+            err,
+            BuildError::UnknownLabel {
+                name: "nowhere".into()
+            }
+        );
     }
 
     #[test]
     fn validation_errors_propagate() {
-        let err = ProgramBuilder::new().mov64_imm(Reg::R0, 0).build().unwrap_err();
-        assert!(matches!(err, BuildError::Invalid(ProgramError::FallsThrough)));
+        let err = ProgramBuilder::new()
+            .mov64_imm(Reg::R0, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::Invalid(ProgramError::FallsThrough)
+        ));
     }
 
     #[test]

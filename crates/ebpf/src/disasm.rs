@@ -33,7 +33,12 @@ fn src_name(width: Width, src: Src) -> String {
 impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Insn::Alu { width, op, dst, src } => {
+            Insn::Alu {
+                width,
+                op,
+                dst,
+                src,
+            } => {
                 let d = reg_name(width, dst);
                 let s = src_name(width, src);
                 match op {
@@ -53,7 +58,12 @@ impl fmt::Display for Insn {
                 }
             }
             Insn::LoadImm64 { dst, imm } => write!(f, "r{} = {:#x} ll", dst.index(), imm),
-            Insn::Load { size, dst, base, off } => write!(
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => write!(
                 f,
                 "r{} = *({} *)(r{} {} {})",
                 dst.index(),
@@ -62,7 +72,12 @@ impl fmt::Display for Insn {
                 if off < 0 { '-' } else { '+' },
                 off.unsigned_abs(),
             ),
-            Insn::Store { size, base, off, src } => write!(
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => write!(
                 f,
                 "*({} *)(r{} {} {}) = {}",
                 size.type_name(),
@@ -72,7 +87,13 @@ impl fmt::Display for Insn {
                 src_name(Width::W64, src),
             ),
             Insn::Ja { off } => write!(f, "goto {off:+}"),
-            Insn::Jmp { width, op, dst, src, off } => {
+            Insn::Jmp {
+                width,
+                op,
+                dst,
+                src,
+                off,
+            } => {
                 let opstr = match op {
                     JmpOp::Eq => "==",
                     JmpOp::Ne => "!=",
@@ -135,7 +156,12 @@ mod tests {
     fn display_forms() {
         let samples: Vec<(Insn, &str)> = vec![
             (
-                Insn::Alu { width: Width::W32, op: AluOp::Mov, dst: Reg::R2, src: Src::Imm(-3) },
+                Insn::Alu {
+                    width: Width::W32,
+                    op: AluOp::Mov,
+                    dst: Reg::R2,
+                    src: Src::Imm(-3),
+                },
                 "w2 = -3",
             ),
             (
@@ -148,16 +174,37 @@ mod tests {
                 "r1 s>>= r2",
             ),
             (
-                Insn::Alu { width: Width::W64, op: AluOp::Neg, dst: Reg::R4, src: Src::Imm(0) },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Neg,
+                    dst: Reg::R4,
+                    src: Src::Imm(0),
+                },
                 "r4 = -r4",
             ),
-            (Insn::LoadImm64 { dst: Reg::R3, imm: 0xff }, "r3 = 0xff ll"),
             (
-                Insn::Load { size: MemSize::W, dst: Reg::R0, base: Reg::R1, off: -4 },
+                Insn::LoadImm64 {
+                    dst: Reg::R3,
+                    imm: 0xff,
+                },
+                "r3 = 0xff ll",
+            ),
+            (
+                Insn::Load {
+                    size: MemSize::W,
+                    dst: Reg::R0,
+                    base: Reg::R1,
+                    off: -4,
+                },
                 "r0 = *(u32 *)(r1 - 4)",
             ),
             (
-                Insn::Store { size: MemSize::DW, base: Reg::R10, off: 8, src: Src::Imm(7) },
+                Insn::Store {
+                    size: MemSize::DW,
+                    base: Reg::R10,
+                    off: 8,
+                    src: Src::Imm(7),
+                },
                 "*(u64 *)(r10 + 8) = 7",
             ),
             (Insn::Ja { off: -2 }, "goto -2"),

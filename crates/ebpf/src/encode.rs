@@ -94,7 +94,12 @@ impl RawInsn {
     #[must_use]
     pub fn encode(insn: Insn) -> Vec<RawInsn> {
         match insn {
-            Insn::Alu { width, op, dst, src } => {
+            Insn::Alu {
+                width,
+                op,
+                dst,
+                src,
+            } => {
                 let class = match width {
                     Width::W32 => CLASS_ALU,
                     Width::W64 => CLASS_ALU64,
@@ -119,16 +124,32 @@ impl RawInsn {
                     off: 0,
                     imm: imm as u32 as i32,
                 },
-                RawInsn { opcode: 0, dst: 0, src: 0, off: 0, imm: (imm >> 32) as u32 as i32 },
+                RawInsn {
+                    opcode: 0,
+                    dst: 0,
+                    src: 0,
+                    off: 0,
+                    imm: (imm >> 32) as u32 as i32,
+                },
             ],
-            Insn::Load { size, dst, base, off } => vec![RawInsn {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => vec![RawInsn {
                 opcode: CLASS_LDX | size_code(size) | MODE_MEM,
                 dst: dst.index() as u8,
                 src: base.index() as u8,
                 off,
                 imm: 0,
             }],
-            Insn::Store { size, base, off, src } => match src {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => match src {
                 Src::Reg(r) => vec![RawInsn {
                     opcode: CLASS_STX | size_code(size) | MODE_MEM,
                     dst: base.index() as u8,
@@ -145,9 +166,21 @@ impl RawInsn {
                 }],
             },
             Insn::Ja { off } => {
-                vec![RawInsn { opcode: CLASS_JMP, dst: 0, src: 0, off, imm: 0 }]
+                vec![RawInsn {
+                    opcode: CLASS_JMP,
+                    dst: 0,
+                    src: 0,
+                    off,
+                    imm: 0,
+                }]
             }
-            Insn::Jmp { width, op, dst, src, off } => {
+            Insn::Jmp {
+                width,
+                op,
+                dst,
+                src,
+                off,
+            } => {
                 let class = match width {
                     Width::W32 => CLASS_JMP32,
                     Width::W64 => CLASS_JMP,
@@ -169,7 +202,13 @@ impl RawInsn {
                 imm: helper as i32,
             }],
             Insn::Exit => {
-                vec![RawInsn { opcode: CLASS_JMP | (0x9 << 4), dst: 0, src: 0, off: 0, imm: 0 }]
+                vec![RawInsn {
+                    opcode: CLASS_JMP | (0x9 << 4),
+                    dst: 0,
+                    src: 0,
+                    off: 0,
+                    imm: 0,
+                }]
             }
         }
     }
@@ -296,49 +335,84 @@ fn decode_one(raw: RawInsn, next: Option<RawInsn>, slot: usize) -> Result<Insn, 
     let class = raw.opcode & 0x07;
     match class {
         CLASS_ALU | CLASS_ALU64 => {
-            let width = if class == CLASS_ALU64 { Width::W64 } else { Width::W32 };
-            let op = alu_from_code(raw.opcode >> 4)
-                .ok_or(DecodeError::UnknownOpcode { opcode: raw.opcode, slot })?;
+            let width = if class == CLASS_ALU64 {
+                Width::W64
+            } else {
+                Width::W32
+            };
+            let op = alu_from_code(raw.opcode >> 4).ok_or(DecodeError::UnknownOpcode {
+                opcode: raw.opcode,
+                slot,
+            })?;
             let src = if raw.opcode & SRC_X != 0 {
                 Src::Reg(reg(raw.src, slot)?)
             } else {
                 Src::Imm(raw.imm)
             };
-            Ok(Insn::Alu { width, op, dst: reg(raw.dst, slot)?, src })
+            Ok(Insn::Alu {
+                width,
+                op,
+                dst: reg(raw.dst, slot)?,
+                src,
+            })
         }
         CLASS_JMP | CLASS_JMP32 => {
             let code = raw.opcode >> 4;
             if class == CLASS_JMP {
                 match code {
                     0x0 => return Ok(Insn::Ja { off: raw.off }),
-                    0x8 => return Ok(Insn::Call { helper: raw.imm as u32 }),
+                    0x8 => {
+                        return Ok(Insn::Call {
+                            helper: raw.imm as u32,
+                        })
+                    }
                     0x9 => return Ok(Insn::Exit),
                     _ => {}
                 }
             }
-            let width = if class == CLASS_JMP { Width::W64 } else { Width::W32 };
-            let op = jmp_from_code(code)
-                .ok_or(DecodeError::UnknownOpcode { opcode: raw.opcode, slot })?;
+            let width = if class == CLASS_JMP {
+                Width::W64
+            } else {
+                Width::W32
+            };
+            let op = jmp_from_code(code).ok_or(DecodeError::UnknownOpcode {
+                opcode: raw.opcode,
+                slot,
+            })?;
             let src = if raw.opcode & SRC_X != 0 {
                 Src::Reg(reg(raw.src, slot)?)
             } else {
                 Src::Imm(raw.imm)
             };
-            Ok(Insn::Jmp { width, op, dst: reg(raw.dst, slot)?, src, off: raw.off })
+            Ok(Insn::Jmp {
+                width,
+                op,
+                dst: reg(raw.dst, slot)?,
+                src,
+                off: raw.off,
+            })
         }
         CLASS_LD => {
             if raw.opcode == CLASS_LD | SIZE_DW | MODE_IMM {
                 let hi = next.ok_or(DecodeError::TruncatedLoadImm64 { slot })?;
-                let imm =
-                    ((hi.imm as u32 as u64) << 32) | (raw.imm as u32 as u64);
-                Ok(Insn::LoadImm64 { dst: reg(raw.dst, slot)?, imm })
+                let imm = ((hi.imm as u32 as u64) << 32) | (raw.imm as u32 as u64);
+                Ok(Insn::LoadImm64 {
+                    dst: reg(raw.dst, slot)?,
+                    imm,
+                })
             } else {
-                Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot })
+                Err(DecodeError::UnknownOpcode {
+                    opcode: raw.opcode,
+                    slot,
+                })
             }
         }
         CLASS_LDX => {
             if raw.opcode & 0xe0 != MODE_MEM {
-                return Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot });
+                return Err(DecodeError::UnknownOpcode {
+                    opcode: raw.opcode,
+                    slot,
+                });
             }
             Ok(Insn::Load {
                 size: size_from_code(raw.opcode),
@@ -349,7 +423,10 @@ fn decode_one(raw: RawInsn, next: Option<RawInsn>, slot: usize) -> Result<Insn, 
         }
         CLASS_ST | CLASS_STX => {
             if raw.opcode & 0xe0 != MODE_MEM {
-                return Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot });
+                return Err(DecodeError::UnknownOpcode {
+                    opcode: raw.opcode,
+                    slot,
+                });
             }
             let src = if class == CLASS_STX {
                 Src::Reg(reg(raw.src, slot)?)
@@ -363,7 +440,10 @@ fn decode_one(raw: RawInsn, next: Option<RawInsn>, slot: usize) -> Result<Insn, 
                 src,
             })
         }
-        _ => Err(DecodeError::UnknownOpcode { opcode: raw.opcode, slot }),
+        _ => Err(DecodeError::UnknownOpcode {
+            opcode: raw.opcode,
+            slot,
+        }),
     }
 }
 
@@ -373,13 +453,46 @@ mod tests {
 
     fn sample_insns() -> Vec<Insn> {
         vec![
-            Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(-7) },
-            Insn::Alu { width: Width::W32, op: AluOp::Add, dst: Reg::R1, src: Src::Reg(Reg::R2) },
-            Insn::Alu { width: Width::W64, op: AluOp::Neg, dst: Reg::R3, src: Src::Imm(0) },
-            Insn::LoadImm64 { dst: Reg::R4, imm: 0xdead_beef_cafe_f00d },
-            Insn::Load { size: MemSize::H, dst: Reg::R5, base: Reg::R1, off: 12 },
-            Insn::Store { size: MemSize::DW, base: Reg::R10, off: -8, src: Src::Reg(Reg::R0) },
-            Insn::Store { size: MemSize::B, base: Reg::R10, off: -1, src: Src::Imm(255) },
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Mov,
+                dst: Reg::R0,
+                src: Src::Imm(-7),
+            },
+            Insn::Alu {
+                width: Width::W32,
+                op: AluOp::Add,
+                dst: Reg::R1,
+                src: Src::Reg(Reg::R2),
+            },
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Neg,
+                dst: Reg::R3,
+                src: Src::Imm(0),
+            },
+            Insn::LoadImm64 {
+                dst: Reg::R4,
+                imm: 0xdead_beef_cafe_f00d,
+            },
+            Insn::Load {
+                size: MemSize::H,
+                dst: Reg::R5,
+                base: Reg::R1,
+                off: 12,
+            },
+            Insn::Store {
+                size: MemSize::DW,
+                base: Reg::R10,
+                off: -8,
+                src: Src::Reg(Reg::R0),
+            },
+            Insn::Store {
+                size: MemSize::B,
+                base: Reg::R10,
+                off: -1,
+                src: Src::Imm(255),
+            },
             Insn::Ja { off: 2 },
             Insn::Jmp {
                 width: Width::W64,
@@ -455,7 +568,10 @@ mod tests {
             src: Src::Reg(Reg::R1),
         })[0];
         assert_eq!(stxdw.opcode, 0x7b);
-        let lddw = RawInsn::encode(Insn::LoadImm64 { dst: Reg::R1, imm: 0 });
+        let lddw = RawInsn::encode(Insn::LoadImm64 {
+            dst: Reg::R1,
+            imm: 0,
+        });
         assert_eq!(lddw[0].opcode, 0x18);
         let jlt = RawInsn::encode(Insn::Jmp {
             width: Width::W64,
@@ -469,19 +585,32 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        let bad = RawInsn { opcode: 0xff, ..RawInsn::default() };
+        let bad = RawInsn {
+            opcode: 0xff,
+            ..RawInsn::default()
+        };
         assert!(matches!(
             RawInsn::decode_stream(&[bad]),
-            Err(DecodeError::UnknownOpcode { opcode: 0xff, slot: 0 })
+            Err(DecodeError::UnknownOpcode {
+                opcode: 0xff,
+                slot: 0
+            })
         ));
         // Truncated lddw.
-        let lddw_first = RawInsn { opcode: 0x18, ..RawInsn::default() };
+        let lddw_first = RawInsn {
+            opcode: 0x18,
+            ..RawInsn::default()
+        };
         assert!(matches!(
             RawInsn::decode_stream(&[lddw_first]),
             Err(DecodeError::TruncatedLoadImm64 { slot: 0 })
         ));
         // Bad register index.
-        let bad_reg = RawInsn { opcode: 0xb7, dst: 12, ..RawInsn::default() };
+        let bad_reg = RawInsn {
+            opcode: 0xb7,
+            dst: 12,
+            ..RawInsn::default()
+        };
         assert!(matches!(
             RawInsn::decode_stream(&[bad_reg]),
             Err(DecodeError::BadRegister { index: 12, slot: 0 })
@@ -499,7 +628,10 @@ mod tests {
         let slots = RawInsn::encode(insn);
         assert_eq!(RawInsn::decode_stream(&slots).unwrap()[0], insn);
         // LoadImm64 with the sign bit set in both halves.
-        let big = Insn::LoadImm64 { dst: Reg::R9, imm: u64::MAX };
+        let big = Insn::LoadImm64 {
+            dst: Reg::R9,
+            imm: u64::MAX,
+        };
         let slots = RawInsn::encode(big);
         assert_eq!(RawInsn::decode_stream(&slots).unwrap()[0], big);
     }

@@ -98,13 +98,19 @@ impl fmt::Display for ProgramError {
         match self {
             ProgramError::Empty => write!(f, "program is empty"),
             ProgramError::BadJumpTarget { from, off } => {
-                write!(f, "jump at instruction {from} with offset {off} has no valid target")
+                write!(
+                    f,
+                    "jump at instruction {from} with offset {off} has no valid target"
+                )
             }
             ProgramError::FallsThrough => {
                 write!(f, "control can fall off the end of the program")
             }
             ProgramError::WritesFramePointer { index } => {
-                write!(f, "instruction {index} writes the read-only frame pointer r10")
+                write!(
+                    f,
+                    "instruction {index} writes the read-only frame pointer r10"
+                )
             }
         }
     }
@@ -145,7 +151,10 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::OutOfBounds { addr, size, pc } => {
-                write!(f, "out-of-bounds access of {size} bytes at {addr:#x} (pc {pc})")
+                write!(
+                    f,
+                    "out-of-bounds access of {size} bytes at {addr:#x} (pc {pc})"
+                )
             }
             VmError::UnknownHelper { helper, pc } => {
                 write!(f, "call to unknown helper {helper} (pc {pc})")
@@ -164,17 +173,27 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = AsmError { line: 3, message: "bad register".into() };
+        let e = AsmError {
+            line: 3,
+            message: "bad register".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        assert!(DecodeError::UnknownOpcode { opcode: 0xff, slot: 2 }
-            .to_string()
-            .contains("0xff"));
+        assert!(DecodeError::UnknownOpcode {
+            opcode: 0xff,
+            slot: 2
+        }
+        .to_string()
+        .contains("0xff"));
         assert!(ProgramError::BadJumpTarget { from: 1, off: -9 }
             .to_string()
             .contains("-9"));
-        assert!(VmError::OutOfBounds { addr: 0x10, size: 4, pc: 7 }
-            .to_string()
-            .contains("0x10"));
+        assert!(VmError::OutOfBounds {
+            addr: 0x10,
+            size: 4,
+            pc: 7
+        }
+        .to_string()
+        .contains("0x10"));
     }
 
     #[test]

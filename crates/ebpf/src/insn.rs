@@ -335,8 +335,16 @@ impl Insn {
         }
         let mut out = Vec::new();
         match self {
-            Insn::Alu { op: AluOp::Mov, src, .. } => push_src(&mut out, src),
-            Insn::Alu { op: AluOp::Neg, dst, .. } => out.push(dst),
+            Insn::Alu {
+                op: AluOp::Mov,
+                src,
+                ..
+            } => push_src(&mut out, src),
+            Insn::Alu {
+                op: AluOp::Neg,
+                dst,
+                ..
+            } => out.push(dst),
             Insn::Alu { dst, src, .. } => {
                 out.push(dst);
                 push_src(&mut out, src);
@@ -365,7 +373,14 @@ mod tests {
     #[test]
     fn slot_counts() {
         assert_eq!(Insn::Exit.slots(), 1);
-        assert_eq!(Insn::LoadImm64 { dst: Reg::R1, imm: 0 }.slots(), 2);
+        assert_eq!(
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: 0
+            }
+            .slots(),
+            2
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl Program {
             slot_of.push(slot);
             slot += insn.slots();
         }
-        let prog = Program { insns, slot_of, slots: slot };
+        let prog = Program {
+            insns,
+            slot_of,
+            slots: slot,
+        };
 
         for (i, insn) in prog.insns.iter().enumerate() {
             if let Some(dst) = insn.def_reg() {
@@ -60,10 +64,8 @@ impl Program {
                 }
             }
             match *insn {
-                Insn::Ja { off } | Insn::Jmp { off, .. } => {
-                    if prog.jump_target(i, off).is_none() {
-                        return Err(ProgramError::BadJumpTarget { from: i, off });
-                    }
+                Insn::Ja { off } | Insn::Jmp { off, .. } if prog.jump_target(i, off).is_none() => {
+                    return Err(ProgramError::BadJumpTarget { from: i, off });
                 }
                 _ => {}
             }
@@ -139,7 +141,10 @@ impl Program {
     /// Encodes to raw slots.
     #[must_use]
     pub fn to_raw(&self) -> Vec<RawInsn> {
-        self.insns.iter().flat_map(|&i| RawInsn::encode(i)).collect()
+        self.insns
+            .iter()
+            .flat_map(|&i| RawInsn::encode(i))
+            .collect()
     }
 
     /// Encodes to the little-endian byte stream.
@@ -217,7 +222,12 @@ mod tests {
     use crate::reg::Reg;
 
     fn mov0() -> Insn {
-        Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(0) }
+        Insn::Alu {
+            width: Width::W64,
+            op: AluOp::Mov,
+            dst: Reg::R0,
+            src: Src::Imm(0),
+        }
     }
 
     #[test]
@@ -248,12 +258,7 @@ mod tests {
     #[test]
     fn jump_validation_and_resolution() {
         // jmp +1 over one insn, landing on exit.
-        let prog = Program::new(vec![
-            Insn::Ja { off: 1 },
-            mov0(),
-            Insn::Exit,
-        ])
-        .unwrap();
+        let prog = Program::new(vec![Insn::Ja { off: 1 }, mov0(), Insn::Exit]).unwrap();
         assert_eq!(prog.jump_target(0, 1), Some(2));
         assert_eq!(prog.offset_between(0, 2), Some(1));
 
@@ -275,7 +280,10 @@ mod tests {
         // A jump from instruction 0 with off -1 targets slot 1 = middle.
         let insns = vec![
             Insn::Ja { off: 2 }, // slot 0, next 1, target slot 3 -> exit? slots: ja=0, lddw=1-2, exit=3
-            Insn::LoadImm64 { dst: Reg::R1, imm: 9 },
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: 9,
+            },
             Insn::Exit,
         ];
         let prog = Program::new(insns).unwrap();
@@ -286,7 +294,10 @@ mod tests {
 
         let bad = Program::new(vec![
             Insn::Ja { off: 1 },
-            Insn::LoadImm64 { dst: Reg::R1, imm: 9 },
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: 9,
+            },
             Insn::Exit,
         ]);
         assert_eq!(bad, Err(ProgramError::BadJumpTarget { from: 0, off: 1 }));
@@ -295,7 +306,10 @@ mod tests {
     #[test]
     fn byte_round_trip() {
         let prog = Program::new(vec![
-            Insn::LoadImm64 { dst: Reg::R2, imm: u64::MAX - 1 },
+            Insn::LoadImm64 {
+                dst: Reg::R2,
+                imm: u64::MAX - 1,
+            },
             Insn::Jmp {
                 width: Width::W64,
                 op: JmpOp::Eq,
@@ -317,7 +331,9 @@ mod tests {
     fn misaligned_bytes_rejected() {
         assert!(matches!(
             Program::from_bytes(&[0u8; 9]),
-            Err(ProgramFromRawError::Decode(DecodeError::MisalignedStream { len: 9 }))
+            Err(ProgramFromRawError::Decode(DecodeError::MisalignedStream {
+                len: 9
+            }))
         ));
     }
 }

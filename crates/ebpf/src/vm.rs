@@ -84,13 +84,19 @@ impl Vm {
     /// Creates a VM with default options and no registered helpers.
     #[must_use]
     pub fn new() -> Vm {
-        Vm { options: VmOptions::default(), helpers: HashMap::new() }
+        Vm {
+            options: VmOptions::default(),
+            helpers: HashMap::new(),
+        }
     }
 
     /// Creates a VM with explicit options.
     #[must_use]
     pub fn with_options(options: VmOptions) -> Vm {
-        Vm { options, helpers: HashMap::new() }
+        Vm {
+            options,
+            helpers: HashMap::new(),
+        }
     }
 
     /// Registers (or replaces) a helper callable via `call id`.
@@ -153,7 +159,12 @@ impl Vm {
                 t.push(Snapshot { pc, regs });
             }
             match insn {
-                Insn::Alu { width, op, dst, src } => {
+                Insn::Alu {
+                    width,
+                    op,
+                    dst,
+                    src,
+                } => {
                     let rhs = self.operand(&regs, src);
                     let lhs = regs[dst.index()];
                     regs[dst.index()] = alu(width, op, lhs, rhs);
@@ -163,7 +174,12 @@ impl Vm {
                     regs[dst.index()] = imm;
                     pc += 1;
                 }
-                Insn::Load { size, dst, base, off } => {
+                Insn::Load {
+                    size,
+                    dst,
+                    base,
+                    off,
+                } => {
                     let addr = regs[base.index()].wrapping_add(off as i64 as u64);
                     regs[dst.index()] =
                         read_mem(&stack, ctx, addr, size).ok_or(VmError::OutOfBounds {
@@ -173,18 +189,33 @@ impl Vm {
                         })?;
                     pc += 1;
                 }
-                Insn::Store { size, base, off, src } => {
+                Insn::Store {
+                    size,
+                    base,
+                    off,
+                    src,
+                } => {
                     let addr = regs[base.index()].wrapping_add(off as i64 as u64);
                     let value = self.operand(&regs, src);
-                    write_mem(&mut stack, ctx, addr, size, value).ok_or(
-                        VmError::OutOfBounds { addr, size: size.bytes(), pc },
-                    )?;
+                    write_mem(&mut stack, ctx, addr, size, value).ok_or(VmError::OutOfBounds {
+                        addr,
+                        size: size.bytes(),
+                        pc,
+                    })?;
                     pc += 1;
                 }
                 Insn::Ja { off } => {
-                    pc = prog.jump_target(pc, off).ok_or(VmError::PcOutOfRange { pc })?;
+                    pc = prog
+                        .jump_target(pc, off)
+                        .ok_or(VmError::PcOutOfRange { pc })?;
                 }
-                Insn::Jmp { width, op, dst, src, off } => {
+                Insn::Jmp {
+                    width,
+                    op,
+                    dst,
+                    src,
+                    off,
+                } => {
                     let lhs = regs[dst.index()];
                     let rhs = self.operand(&regs, src);
                     let taken = match width {
@@ -192,7 +223,9 @@ impl Vm {
                         Width::W32 => op.eval32(lhs, rhs),
                     };
                     if taken {
-                        pc = prog.jump_target(pc, off).ok_or(VmError::PcOutOfRange { pc })?;
+                        pc = prog
+                            .jump_target(pc, off)
+                            .ok_or(VmError::PcOutOfRange { pc })?;
                     } else {
                         pc += 1;
                     }
@@ -211,8 +244,8 @@ impl Vm {
                         .ok_or(VmError::UnknownHelper { helper, pc })?;
                     regs[Reg::R0.index()] = f(args);
                     // r1-r5 are caller-saved: clobber deterministically.
-                    for r in 1..=5 {
-                        regs[r] = 0;
+                    for reg in &mut regs[1..=5] {
+                        *reg = 0;
                     }
                     pc += 1;
                 }
@@ -503,7 +536,10 @@ mod tests {
         assert_eq!(vm.run(&prog, &mut []).unwrap(), 42);
         // Unknown helper faults.
         let prog = assemble("call 99\nexit").unwrap();
-        assert!(matches!(vm.run(&prog, &mut []), Err(VmError::UnknownHelper { helper: 99, .. })));
+        assert!(matches!(
+            vm.run(&prog, &mut []),
+            Err(VmError::UnknownHelper { helper: 99, .. })
+        ));
     }
 
     #[test]

@@ -1,109 +1,162 @@
-//! Property-based tests for the eBPF substrate: encode/decode round
+//! Randomized property tests for the eBPF substrate: encode/decode round
 //! trips over arbitrary instructions, and VM ALU semantics against a
-//! reference model.
+//! reference model. Driven by the workspace's deterministic SplitMix64
+//! stream.
 
+// Explicit BPF division semantics (`x / 0 = 0`, `x % 0 = x`) throughout.
+#![allow(clippy::manual_checked_ops)]
+use domain::rng::SplitMix64;
 use ebpf::{asm, AluOp, Insn, JmpOp, MemSize, Program, RawInsn, Reg, Src, Vm, Width};
-use proptest::prelude::*;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..=10).prop_map(|i| Reg::new(i).unwrap())
+const CASES: u32 = 256;
+
+fn any_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::new(rng.below(11) as u8).unwrap()
 }
 
-fn any_writable_reg() -> impl Strategy<Value = Reg> {
-    (0u8..=9).prop_map(|i| Reg::new(i).unwrap())
+fn any_writable_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::new(rng.below(10) as u8).unwrap()
 }
 
-fn any_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::W32), Just(Width::W64)]
+fn any_width(rng: &mut SplitMix64) -> Width {
+    if rng.coin() {
+        Width::W32
+    } else {
+        Width::W64
+    }
 }
 
-fn any_size() -> impl Strategy<Value = MemSize> {
-    prop_oneof![Just(MemSize::B), Just(MemSize::H), Just(MemSize::W), Just(MemSize::DW)]
+fn any_size(rng: &mut SplitMix64) -> MemSize {
+    [MemSize::B, MemSize::H, MemSize::W, MemSize::DW][rng.below(4) as usize]
 }
 
-fn any_src() -> impl Strategy<Value = Src> {
-    prop_oneof![any_reg().prop_map(Src::Reg), any::<i32>().prop_map(Src::Imm)]
+fn any_src(rng: &mut SplitMix64) -> Src {
+    if rng.coin() {
+        Src::Reg(any_reg(rng))
+    } else {
+        Src::Imm(rng.next_i32())
+    }
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Lsh),
-        Just(AluOp::Rsh),
-        Just(AluOp::Mod),
-        Just(AluOp::Xor),
-        Just(AluOp::Mov),
-        Just(AluOp::Arsh),
-    ]
+fn any_alu_op(rng: &mut SplitMix64) -> AluOp {
+    // Neg is excluded as in the original strategy (its canonical form has
+    // no source operand).
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Lsh,
+        AluOp::Rsh,
+        AluOp::Mod,
+        AluOp::Xor,
+        AluOp::Mov,
+        AluOp::Arsh,
+    ][rng.below(12) as usize]
 }
 
-fn any_jmp_op() -> impl Strategy<Value = JmpOp> {
-    prop_oneof![
-        Just(JmpOp::Eq),
-        Just(JmpOp::Ne),
-        Just(JmpOp::Gt),
-        Just(JmpOp::Ge),
-        Just(JmpOp::Lt),
-        Just(JmpOp::Le),
-        Just(JmpOp::Sgt),
-        Just(JmpOp::Sge),
-        Just(JmpOp::Slt),
-        Just(JmpOp::Sle),
-        Just(JmpOp::Set),
-    ]
+fn any_jmp_op(rng: &mut SplitMix64) -> JmpOp {
+    [
+        JmpOp::Eq,
+        JmpOp::Ne,
+        JmpOp::Gt,
+        JmpOp::Ge,
+        JmpOp::Lt,
+        JmpOp::Le,
+        JmpOp::Sgt,
+        JmpOp::Sge,
+        JmpOp::Slt,
+        JmpOp::Sle,
+        JmpOp::Set,
+    ][rng.below(11) as usize]
 }
 
 /// Any single instruction (jump offsets zero so any program shape remains
 /// valid when wrapped for the round-trip tests).
-fn any_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (any_width(), any_alu_op(), any_writable_reg(), any_src())
-            .prop_map(|(width, op, dst, src)| Insn::Alu { width, op, dst, src }),
-        (any_writable_reg(), any::<u64>()).prop_map(|(dst, imm)| Insn::LoadImm64 { dst, imm }),
-        (any_size(), any_writable_reg(), any_reg(), any::<i16>())
-            .prop_map(|(size, dst, base, off)| Insn::Load { size, dst, base, off }),
-        (any_size(), any_reg(), any::<i16>(), any_src())
-            .prop_map(|(size, base, off, src)| Insn::Store { size, base, off, src }),
-        (any_width(), any_jmp_op(), any_reg(), any_src())
-            .prop_map(|(width, op, dst, src)| Insn::Jmp { width, op, dst, src, off: 0 }),
-        any::<u32>().prop_map(|helper| Insn::Call { helper }),
-    ]
+fn any_insn(rng: &mut SplitMix64) -> Insn {
+    match rng.below(6) {
+        0 => Insn::Alu {
+            width: any_width(rng),
+            op: any_alu_op(rng),
+            dst: any_writable_reg(rng),
+            src: any_src(rng),
+        },
+        1 => Insn::LoadImm64 {
+            dst: any_writable_reg(rng),
+            imm: rng.next_u64(),
+        },
+        2 => Insn::Load {
+            size: any_size(rng),
+            dst: any_writable_reg(rng),
+            base: any_reg(rng),
+            off: rng.next_u64() as i16,
+        },
+        3 => Insn::Store {
+            size: any_size(rng),
+            base: any_reg(rng),
+            off: rng.next_u64() as i16,
+            src: any_src(rng),
+        },
+        4 => Insn::Jmp {
+            width: any_width(rng),
+            op: any_jmp_op(rng),
+            dst: any_reg(rng),
+            src: any_src(rng),
+            off: 0,
+        },
+        _ => Insn::Call {
+            helper: rng.next_u32(),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn raw_encoding_round_trips(insns in proptest::collection::vec(any_insn(), 1..24)) {
+#[test]
+fn raw_encoding_round_trips() {
+    let mut rng = SplitMix64::new(0x50);
+    for _ in 0..CASES {
+        let insns: Vec<Insn> = (0..1 + rng.below(23)).map(|_| any_insn(&mut rng)).collect();
         let mut slots = Vec::new();
         for &i in &insns {
             slots.extend(RawInsn::encode(i));
         }
         let decoded = RawInsn::decode_stream(&slots).unwrap();
-        prop_assert_eq!(decoded, insns);
+        assert_eq!(decoded, insns);
     }
+}
 
-    #[test]
-    fn byte_encoding_round_trips(insn in any_insn()) {
+#[test]
+fn byte_encoding_round_trips() {
+    let mut rng = SplitMix64::new(0x51);
+    for _ in 0..CASES {
+        let insn = any_insn(&mut rng);
         for raw in RawInsn::encode(insn) {
-            prop_assert_eq!(RawInsn::from_bytes(raw.to_bytes()), raw);
+            assert_eq!(RawInsn::from_bytes(raw.to_bytes()), raw);
         }
     }
+}
 
-    #[test]
-    fn program_text_round_trips(mut insns in proptest::collection::vec(any_insn(), 1..16)) {
+#[test]
+fn program_text_round_trips() {
+    let mut rng = SplitMix64::new(0x52);
+    for _ in 0..CASES {
+        let mut insns: Vec<Insn> = (0..1 + rng.below(15)).map(|_| any_insn(&mut rng)).collect();
         insns.push(Insn::Exit);
         let prog = Program::new(insns).unwrap();
         let text = prog.disassemble();
         let back = asm::assemble(&text).unwrap();
-        prop_assert_eq!(back, prog);
+        assert_eq!(back, prog);
     }
+}
 
-    #[test]
-    fn vm_alu64_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn vm_alu64_matches_reference() {
+    let mut rng = SplitMix64::new(0x53);
+    let mut vm = Vm::new();
+    for _ in 0..64 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         // Execute `r0 = a; r3 = b; r0 op= r3; exit` for every op and
         // compare with the reference semantics.
         let cases: Vec<(AluOp, u64)> = vec![
@@ -119,53 +172,120 @@ proptest! {
             (AluOp::Rsh, a.wrapping_shr(b as u32 & 63)),
             (AluOp::Arsh, ((a as i64).wrapping_shr(b as u32 & 63)) as u64),
         ];
-        let mut vm = Vm::new();
         for (op, expect) in cases {
             let prog = Program::new(vec![
-                Insn::LoadImm64 { dst: Reg::R0, imm: a },
-                Insn::LoadImm64 { dst: Reg::R3, imm: b },
-                Insn::Alu { width: Width::W64, op, dst: Reg::R0, src: Src::Reg(Reg::R3) },
+                Insn::LoadImm64 {
+                    dst: Reg::R0,
+                    imm: a,
+                },
+                Insn::LoadImm64 {
+                    dst: Reg::R3,
+                    imm: b,
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op,
+                    dst: Reg::R0,
+                    src: Src::Reg(Reg::R3),
+                },
                 Insn::Exit,
-            ]).unwrap();
-            prop_assert_eq!(vm.run(&prog, &mut []).unwrap(), expect, "{:?}", op);
+            ])
+            .unwrap();
+            assert_eq!(vm.run(&prog, &mut []).unwrap(), expect, "{op:?}");
         }
     }
+}
 
-    #[test]
-    fn vm_jumps_match_reference(a in any::<u64>(), b in any::<u64>()) {
-        let mut vm = Vm::new();
+#[test]
+fn vm_jumps_match_reference() {
+    let mut rng = SplitMix64::new(0x54);
+    let mut vm = Vm::new();
+    for _ in 0..32 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         for op in JmpOp::ALL {
             for width in [Width::W32, Width::W64] {
                 let prog = Program::new(vec![
-                    Insn::LoadImm64 { dst: Reg::R2, imm: a },
-                    Insn::LoadImm64 { dst: Reg::R3, imm: b },
-                    Insn::Jmp { width, op, dst: Reg::R2, src: Src::Reg(Reg::R3), off: 2 },
-                    Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(0) },
+                    Insn::LoadImm64 {
+                        dst: Reg::R2,
+                        imm: a,
+                    },
+                    Insn::LoadImm64 {
+                        dst: Reg::R3,
+                        imm: b,
+                    },
+                    Insn::Jmp {
+                        width,
+                        op,
+                        dst: Reg::R2,
+                        src: Src::Reg(Reg::R3),
+                        off: 2,
+                    },
+                    Insn::Alu {
+                        width: Width::W64,
+                        op: AluOp::Mov,
+                        dst: Reg::R0,
+                        src: Src::Imm(0),
+                    },
                     Insn::Exit,
-                    Insn::Alu { width: Width::W64, op: AluOp::Mov, dst: Reg::R0, src: Src::Imm(1) },
+                    Insn::Alu {
+                        width: Width::W64,
+                        op: AluOp::Mov,
+                        dst: Reg::R0,
+                        src: Src::Imm(1),
+                    },
                     Insn::Exit,
-                ]).unwrap();
+                ])
+                .unwrap();
                 let expect = match width {
                     Width::W64 => op.eval64(a, b),
                     Width::W32 => op.eval32(a, b),
                 };
-                prop_assert_eq!(vm.run(&prog, &mut []).unwrap() == 1, expect, "{:?}/{:?}", op, width);
+                assert_eq!(
+                    vm.run(&prog, &mut []).unwrap() == 1,
+                    expect,
+                    "{op:?}/{width:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn vm_memory_round_trips(value in any::<u64>(), size in any_size(), slot in 1u8..=64) {
+#[test]
+fn vm_memory_round_trips() {
+    let mut rng = SplitMix64::new(0x55);
+    for _ in 0..CASES {
         // Store then load at a random aligned stack slot.
-        let off = -8 * i16::from(slot);
+        let value = rng.next_u64();
+        let size = any_size(&mut rng);
+        let slot = 1 + rng.below(64) as i16;
+        let off = -8 * slot;
         let prog = Program::new(vec![
-            Insn::LoadImm64 { dst: Reg::R1, imm: value },
-            Insn::Store { size, base: Reg::R10, off, src: Src::Reg(Reg::R1) },
-            Insn::Load { size, dst: Reg::R0, base: Reg::R10, off },
+            Insn::LoadImm64 {
+                dst: Reg::R1,
+                imm: value,
+            },
+            Insn::Store {
+                size,
+                base: Reg::R10,
+                off,
+                src: Src::Reg(Reg::R1),
+            },
+            Insn::Load {
+                size,
+                dst: Reg::R0,
+                base: Reg::R10,
+                off,
+            },
             Insn::Exit,
-        ]).unwrap();
+        ])
+        .unwrap();
         let got = Vm::new().run(&prog, &mut []).unwrap();
-        let masked = if size.bytes() == 8 { value } else { value & ((1 << (size.bytes() * 8)) - 1) };
-        prop_assert_eq!(got, masked);
+        let masked = if size.bytes() == 8 {
+            value
+        } else {
+            value & ((1 << (size.bytes() * 8)) - 1)
+        };
+        assert_eq!(got, masked);
     }
 }

@@ -39,12 +39,18 @@ pub struct Bounds {
 
 impl Bounds {
     /// No information: both views full.
-    pub const FULL: Bounds = Bounds { u: UInterval::FULL, s: SInterval::FULL };
+    pub const FULL: Bounds = Bounds {
+        u: UInterval::FULL,
+        s: SInterval::FULL,
+    };
 
     /// The singleton abstraction of one concrete value.
     #[must_use]
     pub const fn constant(v: u64) -> Bounds {
-        Bounds { u: UInterval::constant(v), s: SInterval::constant(v as i64) }
+        Bounds {
+            u: UInterval::constant(v),
+            s: SInterval::constant(v as i64),
+        }
     }
 
     /// Builds from an unsigned range, deducing the signed view.
@@ -53,17 +59,23 @@ impl Bounds {
     /// allows (never `None`: a non-empty unsigned range is satisfiable).
     #[must_use]
     pub fn from_unsigned(u: UInterval) -> Bounds {
-        Bounds { u, s: SInterval::FULL }
-            .deduce()
-            .expect("non-empty unsigned range is satisfiable")
+        Bounds {
+            u,
+            s: SInterval::FULL,
+        }
+        .deduce()
+        .expect("non-empty unsigned range is satisfiable")
     }
 
     /// Builds from a signed range, deducing the unsigned view.
     #[must_use]
     pub fn from_signed(s: SInterval) -> Bounds {
-        Bounds { u: UInterval::FULL, s }
-            .deduce()
-            .expect("non-empty signed range is satisfiable")
+        Bounds {
+            u: UInterval::FULL,
+            s,
+        }
+        .deduce()
+        .expect("non-empty signed range is satisfiable")
     }
 
     /// The bounds implied by a tnum: `[t.min_value(), t.max_value()]`
@@ -72,7 +84,9 @@ impl Bounds {
     pub fn from_tnum(t: Tnum) -> Bounds {
         let u = UInterval::new(t.min_value(), t.max_value()).expect("min <= max");
         let s = SInterval::new(t.min_signed(), t.max_signed()).expect("min <= max");
-        Bounds { u, s }.deduce().expect("tnum bounds are satisfiable")
+        Bounds { u, s }
+            .deduce()
+            .expect("tnum bounds are satisfiable")
     }
 
     /// The unsigned view.
@@ -138,13 +152,20 @@ impl Bounds {
     /// Join: convex hull in both views.
     #[must_use]
     pub fn union(self, other: Bounds) -> Bounds {
-        Bounds { u: self.u.union(other.u), s: self.s.union(other.s) }
+        Bounds {
+            u: self.u.union(other.u),
+            s: self.s.union(other.s),
+        }
     }
 
     /// Meet: `None` when the constraint set is unsatisfiable.
     #[must_use]
     pub fn intersect(self, other: Bounds) -> Option<Bounds> {
-        Bounds { u: self.u.intersect(other.u)?, s: self.s.intersect(other.s)? }.deduce()
+        Bounds {
+            u: self.u.intersect(other.u)?,
+            s: self.s.intersect(other.s)?,
+        }
+        .deduce()
     }
 
     /// The kernel's `__reg_deduce_bounds`: let each view sharpen the other.
@@ -195,19 +216,28 @@ impl Bounds {
     /// Abstract addition.
     #[must_use]
     pub fn add(self, other: Bounds) -> Bounds {
-        Bounds { u: self.u.add(other.u), s: self.s.add(other.s) }
+        Bounds {
+            u: self.u.add(other.u),
+            s: self.s.add(other.s),
+        }
     }
 
     /// Abstract subtraction.
     #[must_use]
     pub fn sub(self, other: Bounds) -> Bounds {
-        Bounds { u: self.u.sub(other.u), s: self.s.sub(other.s) }
+        Bounds {
+            u: self.u.sub(other.u),
+            s: self.s.sub(other.s),
+        }
     }
 
     /// Abstract multiplication.
     #[must_use]
     pub fn mul(self, other: Bounds) -> Bounds {
-        Bounds { u: self.u.mul(other.u), s: self.s.mul(other.s) }
+        Bounds {
+            u: self.u.mul(other.u),
+            s: self.s.mul(other.s),
+        }
     }
 
     /// Abstract negation (signed-led; unsigned deduced).
@@ -327,7 +357,12 @@ mod tests {
     fn deduce_never_drops_members_small() {
         // Soundness of deduction: any value satisfying both input views
         // still satisfies both output views.
-        let u_ranges = [(0u64, 5u64), (3, 200), (u64::MAX - 3, u64::MAX), (0, u64::MAX)];
+        let u_ranges = [
+            (0u64, 5u64),
+            (3, 200),
+            (u64::MAX - 3, u64::MAX),
+            (0, u64::MAX),
+        ];
         let s_ranges = [(-5i64, 5i64), (0, 100), (-10, -1), (i64::MIN, i64::MAX)];
         for &(ul, uh) in &u_ranges {
             for &(sl, sh) in &s_ranges {

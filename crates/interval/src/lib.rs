@@ -20,8 +20,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Kernel-faithful operator names (`add` mirrors `tnum_add`) and explicit
+// BPF division semantics (`x / 0 = 0`) are intentional throughout.
+#![allow(clippy::should_implement_trait)]
+#![allow(clippy::manual_checked_ops)]
 
 mod bounds;
+mod domain_impl;
 mod signed;
 mod unsigned;
 

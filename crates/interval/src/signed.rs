@@ -24,7 +24,10 @@ pub struct SInterval {
 
 impl SInterval {
     /// The full interval `[i64::MIN, i64::MAX]` — ⊤.
-    pub const FULL: SInterval = SInterval { min: i64::MIN, max: i64::MAX };
+    pub const FULL: SInterval = SInterval {
+        min: i64::MIN,
+        max: i64::MAX,
+    };
 
     /// Creates `[min, max]`; `None` if `min > max`.
     #[must_use]
@@ -85,7 +88,10 @@ impl SInterval {
     /// Join (convex hull).
     #[must_use]
     pub fn union(self, other: SInterval) -> SInterval {
-        SInterval { min: self.min.min(other.min), max: self.max.max(other.max) }
+        SInterval {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Meet; `None` when disjoint.
@@ -97,7 +103,10 @@ impl SInterval {
     /// Abstract wrapping addition: ⊤ when either extreme overflows.
     #[must_use]
     pub fn add(self, other: SInterval) -> SInterval {
-        match (self.min.checked_add(other.min), self.max.checked_add(other.max)) {
+        match (
+            self.min.checked_add(other.min),
+            self.max.checked_add(other.max),
+        ) {
             (Some(lo), Some(hi)) => SInterval { min: lo, max: hi },
             _ => SInterval::FULL,
         }
@@ -106,7 +115,10 @@ impl SInterval {
     /// Abstract wrapping subtraction: ⊤ when either extreme overflows.
     #[must_use]
     pub fn sub(self, other: SInterval) -> SInterval {
-        match (self.min.checked_sub(other.max), self.max.checked_sub(other.min)) {
+        match (
+            self.min.checked_sub(other.max),
+            self.max.checked_sub(other.min),
+        ) {
             (Some(lo), Some(hi)) => SInterval { min: lo, max: hi },
             _ => SInterval::FULL,
         }
@@ -151,7 +163,10 @@ impl SInterval {
     #[must_use]
     pub fn arshift(self, k: u32) -> SInterval {
         debug_assert!(k < 64);
-        SInterval { min: self.min >> k, max: self.max >> k }
+        SInterval {
+            min: self.min >> k,
+            max: self.max >> k,
+        }
     }
 
     /// Whether every member is non-negative (the signed and unsigned views

@@ -25,7 +25,10 @@ pub struct UInterval {
 
 impl UInterval {
     /// The full interval `[0, u64::MAX]` — ⊤ of the domain.
-    pub const FULL: UInterval = UInterval { min: 0, max: u64::MAX };
+    pub const FULL: UInterval = UInterval {
+        min: 0,
+        max: u64::MAX,
+    };
 
     /// Creates `[min, max]`; `None` if `min > max` (the empty interval ⊥
     /// has no representation, mirroring [`tnum::Tnum`]).
@@ -87,7 +90,10 @@ impl UInterval {
     /// Join (convex hull).
     #[must_use]
     pub fn union(self, other: UInterval) -> UInterval {
-        UInterval { min: self.min.min(other.min), max: self.max.max(other.max) }
+        UInterval {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Meet; `None` when disjoint.
@@ -100,7 +106,10 @@ impl UInterval {
     /// otherwise ⊤ (as in the kernel's `scalar_min_max_add`).
     #[must_use]
     pub fn add(self, other: UInterval) -> UInterval {
-        match (self.min.checked_add(other.min), self.max.checked_add(other.max)) {
+        match (
+            self.min.checked_add(other.min),
+            self.max.checked_add(other.max),
+        ) {
             (Some(lo), Some(hi)) => UInterval { min: lo, max: hi },
             _ => UInterval::FULL,
         }
@@ -110,7 +119,10 @@ impl UInterval {
     /// underflows, otherwise ⊤.
     #[must_use]
     pub fn sub(self, other: UInterval) -> UInterval {
-        match (self.min.checked_sub(other.max), self.max.checked_sub(other.min)) {
+        match (
+            self.min.checked_sub(other.max),
+            self.max.checked_sub(other.min),
+        ) {
             (Some(lo), Some(hi)) => UInterval { min: lo, max: hi },
             _ => UInterval::FULL,
         }
@@ -121,7 +133,10 @@ impl UInterval {
     #[must_use]
     pub fn mul(self, other: UInterval) -> UInterval {
         match self.max.checked_mul(other.max) {
-            Some(hi) => UInterval { min: self.min.wrapping_mul(other.min), max: hi },
+            Some(hi) => UInterval {
+                min: self.min.wrapping_mul(other.min),
+                max: hi,
+            },
             None => UInterval::FULL,
         }
     }
@@ -129,20 +144,29 @@ impl UInterval {
     /// Abstract bitwise AND: `x & y <= min(x, y)`, lower bound 0.
     #[must_use]
     pub fn and(self, other: UInterval) -> UInterval {
-        UInterval { min: 0, max: self.max.min(other.max) }
+        UInterval {
+            min: 0,
+            max: self.max.min(other.max),
+        }
     }
 
     /// Abstract bitwise OR: `x | y >= max(x, y)` and the result cannot
     /// exceed the all-ones value of the wider operand's bit length.
     #[must_use]
     pub fn or(self, other: UInterval) -> UInterval {
-        UInterval { min: self.min.max(other.min), max: ones_envelope(self.max | other.max) }
+        UInterval {
+            min: self.min.max(other.min),
+            max: ones_envelope(self.max | other.max),
+        }
     }
 
     /// Abstract bitwise XOR: bounded by the bit-length envelope.
     #[must_use]
     pub fn xor(self, other: UInterval) -> UInterval {
-        UInterval { min: 0, max: ones_envelope(self.max | other.max) }
+        UInterval {
+            min: 0,
+            max: ones_envelope(self.max | other.max),
+        }
     }
 
     /// Abstract left shift by a constant: exact unless the top bits shift
@@ -154,7 +178,10 @@ impl UInterval {
             return self;
         }
         if self.max.leading_zeros() >= k {
-            UInterval { min: self.min << k, max: self.max << k }
+            UInterval {
+                min: self.min << k,
+                max: self.max << k,
+            }
         } else {
             UInterval::FULL
         }
@@ -164,7 +191,10 @@ impl UInterval {
     #[must_use]
     pub fn rshift(self, k: u32) -> UInterval {
         debug_assert!(k < 64);
-        UInterval { min: self.min >> k, max: self.max >> k }
+        UInterval {
+            min: self.min >> k,
+            max: self.max >> k,
+        }
     }
 
     /// Abstract unsigned division with BPF `x / 0 = 0` semantics:
@@ -172,10 +202,12 @@ impl UInterval {
     /// exceed `x`.
     #[must_use]
     pub fn div(self, other: UInterval) -> UInterval {
-        let hi = if other.min == 0 { self.max } else { self.max / other.min };
-        let lo = if other.max == 0 {
-            0
-        } else if other.contains(0) {
+        let hi = if other.min == 0 {
+            self.max
+        } else {
+            self.max / other.min
+        };
+        let lo = if other.contains(0) {
             0
         } else {
             self.min / other.max
@@ -187,7 +219,10 @@ impl UInterval {
     /// `x % y <= x` always.
     #[must_use]
     pub fn rem(self, _other: UInterval) -> UInterval {
-        UInterval { min: 0, max: self.max }
+        UInterval {
+            min: 0,
+            max: self.max,
+        }
     }
 }
 

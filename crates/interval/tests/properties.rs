@@ -1,135 +1,182 @@
-//! Property-based tests for the interval domain at full 64-bit width.
+//! Randomized property tests for the interval domain at full 64-bit
+//! width, driven by the workspace's deterministic SplitMix64 stream.
 
+// Explicit BPF division semantics (`x / 0 = 0`, `x % 0 = x`) throughout.
+#![allow(clippy::manual_checked_ops)]
+use domain::rng::SplitMix64;
 use interval_domain::{Bounds, SInterval, UInterval};
-use proptest::prelude::*;
 use tnum::Tnum;
 
-prop_compose! {
-    fn any_uinterval()(a in any::<u64>(), b in any::<u64>()) -> UInterval {
-        UInterval::new(a.min(b), a.max(b)).unwrap()
-    }
+const CASES: u32 = 512;
+
+fn any_uinterval(rng: &mut SplitMix64) -> UInterval {
+    let (a, b) = (rng.next_u64(), rng.next_u64());
+    UInterval::new(a.min(b), a.max(b)).unwrap()
 }
 
-prop_compose! {
-    fn any_sinterval()(a in any::<i64>(), b in any::<i64>()) -> SInterval {
-        SInterval::new(a.min(b), a.max(b)).unwrap()
-    }
+fn any_sinterval(rng: &mut SplitMix64) -> SInterval {
+    let (a, b) = (rng.next_u64() as i64, rng.next_u64() as i64);
+    SInterval::new(a.min(b), a.max(b)).unwrap()
 }
 
-prop_compose! {
-    /// An unsigned interval with a random member.
-    fn uinterval_and_member()(i in any_uinterval(), pick in any::<u64>()) -> (UInterval, u64) {
-        let span = i.max() - i.min();
-        let x = if span == u64::MAX { pick } else { i.min() + pick % (span + 1) };
-        (i, x)
-    }
+/// An unsigned interval with a random member.
+fn uinterval_and_member(rng: &mut SplitMix64) -> (UInterval, u64) {
+    let i = any_uinterval(rng);
+    let span = i.max() - i.min();
+    let pick = rng.next_u64();
+    let x = if span == u64::MAX {
+        pick
+    } else {
+        i.min() + pick % (span + 1)
+    };
+    (i, x)
 }
 
-prop_compose! {
-    fn sinterval_and_member()(i in any_sinterval(), pick in any::<u64>()) -> (SInterval, i64) {
-        let span = i.max().wrapping_sub(i.min()) as u64;
-        let x = if span == u64::MAX { pick as i64 } else { i.min().wrapping_add((pick % (span + 1)) as i64) };
-        (i, x)
-    }
+fn sinterval_and_member(rng: &mut SplitMix64) -> (SInterval, i64) {
+    let i = any_sinterval(rng);
+    let span = i.max().wrapping_sub(i.min()) as u64;
+    let pick = rng.next_u64();
+    let x = if span == u64::MAX {
+        pick as i64
+    } else {
+        i.min().wrapping_add((pick % (span + 1)) as i64)
+    };
+    (i, x)
 }
 
-proptest! {
-    #[test]
-    fn unsigned_ops_sound((a, x) in uinterval_and_member(), (b, y) in uinterval_and_member()) {
-        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
-        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
-        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
-        prop_assert!(a.and(b).contains(x & y));
-        prop_assert!(a.or(b).contains(x | y));
-        prop_assert!(a.xor(b).contains(x ^ y));
+#[test]
+fn unsigned_ops_sound() {
+    let mut rng = SplitMix64::new(0x30);
+    for _ in 0..CASES {
+        let (a, x) = uinterval_and_member(&mut rng);
+        let (b, y) = uinterval_and_member(&mut rng);
+        assert!(a.add(b).contains(x.wrapping_add(y)));
+        assert!(a.sub(b).contains(x.wrapping_sub(y)));
+        assert!(a.mul(b).contains(x.wrapping_mul(y)));
+        assert!(a.and(b).contains(x & y));
+        assert!(a.or(b).contains(x | y));
+        assert!(a.xor(b).contains(x ^ y));
         let quotient = if y == 0 { 0 } else { x / y };
         let remainder = if y == 0 { x } else { x % y };
-        prop_assert!(a.div(b).contains(quotient));
-        prop_assert!(a.rem(b).contains(remainder));
+        assert!(a.div(b).contains(quotient));
+        assert!(a.rem(b).contains(remainder));
     }
+}
 
-    #[test]
-    fn unsigned_shifts_sound((a, x) in uinterval_and_member(), k in 0u32..64) {
-        prop_assert!(a.lshift(k).contains(x.wrapping_shl(k)) || a.lshift(k).is_full());
-        prop_assert!(a.lshift(k).contains(x << k) || x.leading_zeros() < k);
-        prop_assert!(a.rshift(k).contains(x >> k));
+#[test]
+fn unsigned_shifts_sound() {
+    let mut rng = SplitMix64::new(0x31);
+    for _ in 0..CASES {
+        let (a, x) = uinterval_and_member(&mut rng);
+        let k = rng.next_u32() % 64;
+        assert!(a.lshift(k).contains(x.wrapping_shl(k)) || a.lshift(k).is_full());
+        assert!(a.lshift(k).contains(x << k) || x.leading_zeros() < k);
+        assert!(a.rshift(k).contains(x >> k));
     }
+}
 
-    #[test]
-    fn signed_ops_sound((a, x) in sinterval_and_member(), (b, y) in sinterval_and_member()) {
-        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
-        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
-        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
-        prop_assert!(a.neg().contains(x.wrapping_neg()));
+#[test]
+fn signed_ops_sound() {
+    let mut rng = SplitMix64::new(0x32);
+    for _ in 0..CASES {
+        let (a, x) = sinterval_and_member(&mut rng);
+        let (b, y) = sinterval_and_member(&mut rng);
+        assert!(a.add(b).contains(x.wrapping_add(y)));
+        assert!(a.sub(b).contains(x.wrapping_sub(y)));
+        assert!(a.mul(b).contains(x.wrapping_mul(y)));
+        assert!(a.neg().contains(x.wrapping_neg()));
         for k in [0u32, 1, 13, 63] {
-            prop_assert!(a.arshift(k).contains(x >> k));
+            assert!(a.arshift(k).contains(x >> k));
         }
     }
+}
 
-    #[test]
-    fn lattice_laws_unsigned(a in any_uinterval(), b in any_uinterval()) {
+#[test]
+fn lattice_laws_unsigned() {
+    let mut rng = SplitMix64::new(0x33);
+    for _ in 0..CASES {
+        let a = any_uinterval(&mut rng);
+        let b = any_uinterval(&mut rng);
         let j = a.union(b);
-        prop_assert!(a.is_subset_of(j) && b.is_subset_of(j));
+        assert!(a.is_subset_of(j) && b.is_subset_of(j));
         match a.intersect(b) {
             Some(m) => {
-                prop_assert!(m.is_subset_of(a) && m.is_subset_of(b));
+                assert!(m.is_subset_of(a) && m.is_subset_of(b));
             }
-            None => prop_assert!(a.max() < b.min() || b.max() < a.min()),
+            None => assert!(a.max() < b.min() || b.max() < a.min()),
         }
     }
+}
 
-    #[test]
-    fn bounds_deduction_sound((u, x) in uinterval_and_member(), s in any_sinterval()) {
+#[test]
+fn bounds_deduction_sound() {
+    let mut rng = SplitMix64::new(0x34);
+    for _ in 0..CASES {
+        let (u, x) = uinterval_and_member(&mut rng);
+        let s = any_sinterval(&mut rng);
         let b = Bounds::FULL;
-        prop_assert!(b.contains(x));
+        assert!(b.contains(x));
         let combined = Bounds::from_unsigned(u);
         // Deduction must preserve every member of the unsigned view that
         // also satisfies the (full) signed view.
-        prop_assert!(combined.contains(x));
+        assert!(combined.contains(x));
         // From-signed construction contains its own members.
         let sb = Bounds::from_signed(s);
-        prop_assert!(sb.contains(s.min() as u64));
-        prop_assert!(sb.contains(s.max() as u64));
+        assert!(sb.contains(s.min() as u64));
+        assert!(sb.contains(s.max() as u64));
     }
+}
 
-    #[test]
-    fn bounds_tnum_round_trip(mask in any::<u64>(), raw in any::<u64>(), pick in any::<u64>()) {
-        let t = Tnum::masked(raw, mask);
-        let x = t.value() | (pick & t.mask());
+#[test]
+fn bounds_tnum_round_trip() {
+    let mut rng = SplitMix64::new(0x35);
+    for _ in 0..CASES {
+        let t = Tnum::masked(rng.next_u64(), rng.next_u64());
+        let x = t.value() | (rng.next_u64() & t.mask());
         let b = Bounds::from_tnum(t);
-        prop_assert!(b.contains(x), "bounds from tnum lost member");
+        assert!(b.contains(x), "bounds from tnum lost member");
         // And the induced tnum contains the member too.
-        prop_assert!(b.to_tnum().contains(x));
+        assert!(b.to_tnum().contains(x));
     }
+}
 
-    #[test]
-    fn bounds_ops_sound((ua, x) in uinterval_and_member(), (ub, y) in uinterval_and_member()) {
+#[test]
+fn bounds_ops_sound() {
+    let mut rng = SplitMix64::new(0x36);
+    for _ in 0..CASES {
+        let (ua, x) = uinterval_and_member(&mut rng);
+        let (ub, y) = uinterval_and_member(&mut rng);
         let a = Bounds::from_unsigned(ua);
         let b = Bounds::from_unsigned(ub);
-        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
-        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
-        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
-        prop_assert!(a.and(b).contains(x & y));
-        prop_assert!(a.or(b).contains(x | y));
-        prop_assert!(a.xor(b).contains(x ^ y));
-        prop_assert!(a.neg().contains(x.wrapping_neg()));
+        assert!(a.add(b).contains(x.wrapping_add(y)));
+        assert!(a.sub(b).contains(x.wrapping_sub(y)));
+        assert!(a.mul(b).contains(x.wrapping_mul(y)));
+        assert!(a.and(b).contains(x & y));
+        assert!(a.or(b).contains(x | y));
+        assert!(a.xor(b).contains(x ^ y));
+        assert!(a.neg().contains(x.wrapping_neg()));
         let quotient = if y == 0 { 0 } else { x / y };
         let remainder = if y == 0 { x } else { x % y };
-        prop_assert!(a.div(b).contains(quotient));
-        prop_assert!(a.rem(b).contains(remainder));
+        assert!(a.div(b).contains(quotient));
+        assert!(a.rem(b).contains(remainder));
     }
+}
 
-    #[test]
-    fn bounds_intersection_sound((ua, x) in uinterval_and_member(), ub in any_uinterval()) {
+#[test]
+fn bounds_intersection_sound() {
+    let mut rng = SplitMix64::new(0x37);
+    for _ in 0..CASES {
+        let (ua, x) = uinterval_and_member(&mut rng);
+        let ub = any_uinterval(&mut rng);
         let a = Bounds::from_unsigned(ua);
         let b = Bounds::from_unsigned(ub);
         match a.intersect(b) {
             Some(m) => {
                 if b.contains(x) {
-                    prop_assert!(m.contains(x));
+                    assert!(m.contains(x));
                 }
             }
-            None => prop_assert!(!(a.contains(x) && b.contains(x))),
+            None => assert!(!(a.contains(x) && b.contains(x))),
         }
     }
 }

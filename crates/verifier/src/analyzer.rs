@@ -27,7 +27,11 @@ pub struct AnalyzerOptions {
 
 impl Default for AnalyzerOptions {
     fn default() -> AnalyzerOptions {
-        AnalyzerOptions { ctx_size: 64, strict_alignment: false, refine_branches: true }
+        AnalyzerOptions {
+            ctx_size: 64,
+            strict_alignment: false,
+            refine_branches: true,
+        }
     }
 }
 
@@ -137,11 +141,19 @@ impl Analyzer {
 
         for &i in cfg.topo_order() {
             // Unreachable via infeasible branches: skip.
-            let Some(state) = states[i].clone() else { continue };
+            let Some(state) = states[i].clone() else {
+                continue;
+            };
             let insn = prog.insns()[i];
             self.check_reads(&state, insn, i)?;
             match insn {
-                Insn::Jmp { width, op, dst, src, off } => {
+                Insn::Jmp {
+                    width,
+                    op,
+                    dst,
+                    src,
+                    off,
+                } => {
                     let taken_target = prog.jump_target(i, off).expect("validated");
                     let outcomes = self.branch_states(&state, width, op, dst, src);
                     let (fall, taken) = outcomes?;
@@ -156,15 +168,11 @@ impl Analyzer {
                     let target = prog.jump_target(i, off).expect("validated");
                     join_into(&mut states[target], state);
                 }
-                Insn::Exit => {
-                    match state.reg(Reg::R0) {
-                        RegValue::Uninit => {
-                            return Err(VerifierError::NoReturnValue { pc: i })
-                        }
-                        RegValue::Scalar(_) => {}
-                        _ => return Err(VerifierError::PointerLeak { pc: i }),
-                    }
-                }
+                Insn::Exit => match state.reg(Reg::R0) {
+                    RegValue::Uninit => return Err(VerifierError::NoReturnValue { pc: i }),
+                    RegValue::Scalar(_) => {}
+                    _ => return Err(VerifierError::PointerLeak { pc: i }),
+                },
                 _ => {
                     let next = self.transfer(state, insn, i)?;
                     join_into(&mut states[i + 1], next);
@@ -197,18 +205,33 @@ impl Analyzer {
         pc: usize,
     ) -> Result<AbsState, VerifierError> {
         match insn {
-            Insn::Alu { width, op, dst, src } => {
+            Insn::Alu {
+                width,
+                op,
+                dst,
+                src,
+            } => {
                 let new = self.alu_value(&state, width, op, dst, src, pc)?;
                 state.set_reg(dst, new);
             }
             Insn::LoadImm64 { dst, imm } => {
                 state.set_reg(dst, RegValue::Scalar(Scalar::constant(imm)));
             }
-            Insn::Load { size, dst, base, off } => {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
                 let value = self.check_load(&mut state, size, base, off, pc)?;
                 state.set_reg(dst, value);
             }
-            Insn::Store { size, base, off, src } => {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 let value = match src {
                     Src::Reg(r) => state.reg(r),
                     Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
@@ -254,19 +277,21 @@ impl Analyzer {
         }
 
         match (lhs, rhs) {
-            (RegValue::Scalar(a), RegValue::Scalar(b)) => {
-                Ok(RegValue::Scalar(a.alu(width, op, b)))
-            }
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => Ok(RegValue::Scalar(a.alu(width, op, b))),
             // Pointer ± scalar keeps the region, shifting the offset.
             (RegValue::StackPtr { offset }, RegValue::Scalar(b))
                 if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
             {
-                Ok(RegValue::StackPtr { offset: offset.alu64(op, b) })
+                Ok(RegValue::StackPtr {
+                    offset: offset.alu64(op, b),
+                })
             }
             (RegValue::CtxPtr { offset }, RegValue::Scalar(b))
                 if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
             {
-                Ok(RegValue::CtxPtr { offset: offset.alu64(op, b) })
+                Ok(RegValue::CtxPtr {
+                    offset: offset.alu64(op, b),
+                })
             }
             // Same-region pointer difference yields a scalar.
             (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
@@ -330,24 +355,13 @@ impl Analyzer {
     ) -> Result<RegValue, VerifierError> {
         match state.reg(base) {
             RegValue::StackPtr { offset } => {
-                let (lo, hi) = self.check_region(
-                    "stack",
-                    offset,
-                    off,
-                    size,
-                    -(STACK_SIZE as i64),
-                    0,
-                    pc,
-                )?;
+                let (lo, hi) =
+                    self.check_region("stack", offset, off, size, -(STACK_SIZE as i64), 0, pc)?;
                 if lo == hi && (lo % 8 == 0 || (lo - (lo & !7)) + size.bytes() as i64 <= 8) {
                     // Constant offset: consult the slot contents.
                     match state.stack_slot(lo).expect("in range") {
                         StackSlot::Uninit => Err(VerifierError::UninitStackRead { pc }),
-                        StackSlot::Spill(v)
-                            if size == MemSize::DW && lo % 8 == 0 =>
-                        {
-                            Ok(v)
-                        }
+                        StackSlot::Spill(v) if size == MemSize::DW && lo % 8 == 0 => Ok(v),
                         _ => Ok(RegValue::unknown_scalar()),
                     }
                 } else {
@@ -361,7 +375,15 @@ impl Analyzer {
                 }
             }
             RegValue::CtxPtr { offset } => {
-                self.check_region("ctx", offset, off, size, 0, self.options.ctx_size as i64, pc)?;
+                self.check_region(
+                    "ctx",
+                    offset,
+                    off,
+                    size,
+                    0,
+                    self.options.ctx_size as i64,
+                    pc,
+                )?;
                 Ok(RegValue::unknown_scalar())
             }
             RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
@@ -387,15 +409,8 @@ impl Analyzer {
         }
         match state.reg(base) {
             RegValue::StackPtr { offset } => {
-                let (lo, hi) = self.check_region(
-                    "stack",
-                    offset,
-                    off,
-                    size,
-                    -(STACK_SIZE as i64),
-                    0,
-                    pc,
-                )?;
+                let (lo, hi) =
+                    self.check_region("stack", offset, off, size, -(STACK_SIZE as i64), 0, pc)?;
                 if lo == hi && size == MemSize::DW && lo % 8 == 0 {
                     state.set_stack_slot(lo, StackSlot::Spill(value));
                 } else {
@@ -404,7 +419,15 @@ impl Analyzer {
                 Ok(())
             }
             RegValue::CtxPtr { offset } => {
-                self.check_region("ctx", offset, off, size, 0, self.options.ctx_size as i64, pc)?;
+                self.check_region(
+                    "ctx",
+                    offset,
+                    off,
+                    size,
+                    0,
+                    self.options.ctx_size as i64,
+                    pc,
+                )?;
                 Ok(())
             }
             RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
@@ -441,7 +464,11 @@ impl Analyzer {
             });
         }
         if self.options.strict_alignment && !total.tnum().is_aligned(size.bytes()) {
-            return Err(VerifierError::Misaligned { region, size: size.bytes(), pc });
+            return Err(VerifierError::Misaligned {
+                region,
+                size: size.bytes(),
+                pc,
+            });
         }
         Ok((lo, hi))
     }
@@ -479,20 +506,29 @@ mod tests {
 
     #[test]
     fn rejects_uninit_r0_at_exit() {
-        assert!(matches!(reject("exit"), VerifierError::NoReturnValue { pc: 0 }));
+        assert!(matches!(
+            reject("exit"),
+            VerifierError::NoReturnValue { pc: 0 }
+        ));
     }
 
     #[test]
     fn rejects_uninit_register_read() {
         assert!(matches!(
             reject("r0 = r5\nexit"),
-            VerifierError::UninitRead { reg: Reg::R5, pc: 0 }
+            VerifierError::UninitRead {
+                reg: Reg::R5,
+                pc: 0
+            }
         ));
     }
 
     #[test]
     fn rejects_pointer_return() {
-        assert!(matches!(reject("r0 = r10\nexit"), VerifierError::PointerLeak { pc: 1 }));
+        assert!(matches!(
+            reject("r0 = r10\nexit"),
+            VerifierError::PointerLeak { pc: 1 }
+        ));
     }
 
     #[test]
@@ -516,7 +552,10 @@ mod tests {
         );
         // Before exit, r0 is exactly 42: the spill was tracked.
         let state = analysis.state_before(4).unwrap();
-        assert_eq!(state.reg(Reg::R0).as_scalar().unwrap().as_constant(), Some(42));
+        assert_eq!(
+            state.reg(Reg::R0).as_scalar().unwrap().as_constant(),
+            Some(42)
+        );
     }
 
     #[test]
@@ -531,11 +570,17 @@ mod tests {
     fn rejects_oob_stack_access() {
         assert!(matches!(
             reject("*(u64 *)(r10 - 520) = 0\nr0 = 0\nexit"),
-            VerifierError::OutOfBounds { region: "stack", .. }
+            VerifierError::OutOfBounds {
+                region: "stack",
+                ..
+            }
         ));
         assert!(matches!(
             reject("*(u8 *)(r10 + 0) = 0\nr0 = 0\nexit"),
-            VerifierError::OutOfBounds { region: "stack", .. }
+            VerifierError::OutOfBounds {
+                region: "stack",
+                ..
+            }
         ));
     }
 
@@ -553,7 +598,10 @@ mod tests {
     fn rejects_scalar_dereference() {
         assert!(matches!(
             reject("r2 = 100\nr0 = *(u8 *)(r2 + 0)\nexit"),
-            VerifierError::BadPointer { reg: Reg::R2, pc: 1 }
+            VerifierError::BadPointer {
+                reg: Reg::R2,
+                pc: 1
+            }
         ));
     }
 
@@ -585,7 +633,10 @@ mod tests {
                     exit
                 ",
             ),
-            VerifierError::OutOfBounds { region: "stack", .. }
+            VerifierError::OutOfBounds {
+                region: "stack",
+                ..
+            }
         ));
     }
 
@@ -611,7 +662,10 @@ mod tests {
 
     #[test]
     fn disabling_branch_refinement_loses_the_proof() {
-        let opts = AnalyzerOptions { refine_branches: false, ..AnalyzerOptions::default() };
+        let opts = AnalyzerOptions {
+            refine_branches: false,
+            ..AnalyzerOptions::default()
+        };
         let prog = assemble(
             r"
                 r2 = *(u8 *)(r1 + 0)
@@ -629,13 +683,18 @@ mod tests {
         )
         .unwrap();
         assert!(Analyzer::new(opts).analyze(&prog).is_err());
-        assert!(Analyzer::new(AnalyzerOptions::default()).analyze(&prog).is_ok());
+        assert!(Analyzer::new(AnalyzerOptions::default())
+            .analyze(&prog)
+            .is_ok());
     }
 
     #[test]
     fn strict_alignment_uses_tnum() {
         // r2 = byte & ~3 is 4-aligned; a u32 access through it is fine.
-        let strict = AnalyzerOptions { strict_alignment: true, ..AnalyzerOptions::default() };
+        let strict = AnalyzerOptions {
+            strict_alignment: true,
+            ..AnalyzerOptions::default()
+        };
         let aligned = assemble(
             r"
                 r2 = *(u8 *)(r1 + 0)
@@ -647,9 +706,12 @@ mod tests {
             ",
         )
         .unwrap();
-        Analyzer::new(AnalyzerOptions { ctx_size: 64, ..strict })
-            .analyze(&aligned)
-            .expect("aligned access accepted");
+        Analyzer::new(AnalyzerOptions {
+            ctx_size: 64,
+            ..strict
+        })
+        .analyze(&aligned)
+        .expect("aligned access accepted");
 
         // Without the mask's low bits cleared, alignment is unprovable.
         let misaligned = assemble(
@@ -663,9 +725,12 @@ mod tests {
             ",
         )
         .unwrap();
-        let err = Analyzer::new(AnalyzerOptions { ctx_size: 68, ..strict })
-            .analyze(&misaligned)
-            .unwrap_err();
+        let err = Analyzer::new(AnalyzerOptions {
+            ctx_size: 68,
+            ..strict
+        })
+        .analyze(&misaligned)
+        .unwrap_err();
         assert!(matches!(err, VerifierError::Misaligned { size: 4, .. }));
     }
 
@@ -712,7 +777,10 @@ mod tests {
     fn call_clobbers_caller_saved() {
         assert!(matches!(
             reject("r1 = 1\ncall 7\nr0 = r1\nexit"),
-            VerifierError::UninitRead { reg: Reg::R1, pc: 2 }
+            VerifierError::UninitRead {
+                reg: Reg::R1,
+                pc: 2
+            }
         ));
         accept("call 7\nexit"); // r0 defined by the call
     }
@@ -749,7 +817,10 @@ mod tests {
             ",
         );
         let state = analysis.state_before(5).unwrap();
-        assert_eq!(state.reg(Reg::R0).as_scalar().unwrap().as_constant(), Some(8));
+        assert_eq!(
+            state.reg(Reg::R0).as_scalar().unwrap().as_constant(),
+            Some(8)
+        );
     }
 
     #[test]

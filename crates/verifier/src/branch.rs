@@ -18,11 +18,7 @@ use crate::scalar::Scalar;
 /// unchanged (sound, less precise), matching this analyzer's scope.
 #[must_use]
 pub fn refine(op: JmpOp, taken: bool, dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
-    let effective = if taken {
-        Some(op)
-    } else {
-        op.negated()
-    };
+    let effective = if taken { Some(op) } else { op.negated() };
     let Some(op) = effective else {
         // !(dst & src): all common bits are zero.
         return refine_not_set(dst, src);
@@ -109,10 +105,7 @@ fn refine_set(dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
         }
         if mask.is_power_of_two() {
             let bit_known_one = Tnum::masked(mask, !mask);
-            let d = Scalar::from_parts(
-                dst.tnum().intersect(bit_known_one)?,
-                dst.bounds(),
-            )?;
+            let d = Scalar::from_parts(dst.tnum().intersect(bit_known_one)?, dst.bounds())?;
             return Some((d, src));
         }
     }
@@ -172,8 +165,19 @@ mod tests {
 
     #[test]
     fn all_ops_sound_on_samples() {
-        let values =
-            [0u64, 1, 2, 5, 7, 8, 100, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1];
+        let values = [
+            0u64,
+            1,
+            2,
+            5,
+            7,
+            8,
+            100,
+            u64::MAX,
+            u64::MAX - 1,
+            1 << 63,
+            (1 << 63) - 1,
+        ];
         let mut samples = Vec::new();
         for &x in &values {
             for &y in &values {

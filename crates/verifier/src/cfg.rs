@@ -117,8 +117,7 @@ mod tests {
         .unwrap();
         let cfg = Cfg::build(&prog).unwrap();
         let topo = cfg.topo_order();
-        let pos =
-            |i: usize| topo.iter().position(|&x| x == i).expect("all reachable");
+        let pos = |i: usize| topo.iter().position(|&x| x == i).expect("all reachable");
         // The merge (exit, index 5) comes after both arms.
         assert!(pos(5) > pos(2) && pos(5) > pos(4));
         // Conditional successors: fall-through then taken.
@@ -128,15 +127,24 @@ mod tests {
     #[test]
     fn loops_are_rejected() {
         let prog = assemble("loop:\nr0 = 0\nif r1 > 0 goto loop\nexit").unwrap();
-        assert!(matches!(Cfg::build(&prog), Err(VerifierError::LoopDetected { .. })));
+        assert!(matches!(
+            Cfg::build(&prog),
+            Err(VerifierError::LoopDetected { .. })
+        ));
         let prog = assemble("self:\ngoto self\nexit").unwrap();
-        assert!(matches!(Cfg::build(&prog), Err(VerifierError::LoopDetected { .. })));
+        assert!(matches!(
+            Cfg::build(&prog),
+            Err(VerifierError::LoopDetected { .. })
+        ));
     }
 
     #[test]
     fn unreachable_code_is_not_ordered() {
         let prog = assemble("goto end\nr0 = 9\nend:\nr0 = 0\nexit").unwrap();
         let cfg = Cfg::build(&prog).unwrap();
-        assert!(!cfg.topo_order().contains(&1), "dead insn not in topo order");
+        assert!(
+            !cfg.topo_order().contains(&1),
+            "dead insn not in topo order"
+        );
     }
 }

@@ -97,15 +97,26 @@ impl fmt::Display for VerifierError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifierError::LoopDetected { pc } => {
-                write!(f, "back-edge detected at instruction {pc}: loops are not allowed")
+                write!(
+                    f,
+                    "back-edge detected at instruction {pc}: loops are not allowed"
+                )
             }
             VerifierError::UninitRead { reg, pc } => {
                 write!(f, "instruction {pc} reads uninitialized register {reg}")
             }
             VerifierError::BadPointer { reg, pc } => {
-                write!(f, "instruction {pc} dereferences non-pointer register {reg}")
+                write!(
+                    f,
+                    "instruction {pc} dereferences non-pointer register {reg}"
+                )
             }
-            VerifierError::OutOfBounds { region, min_off, max_end, pc } => write!(
+            VerifierError::OutOfBounds {
+                region,
+                min_off,
+                max_end,
+                pc,
+            } => write!(
                 f,
                 "instruction {pc}: cannot prove {region} access in bounds \
                  (offset may span [{min_off}, {max_end}))"
@@ -118,7 +129,10 @@ impl fmt::Display for VerifierError {
                 write!(f, "instruction {pc} reads uninitialized stack memory")
             }
             VerifierError::BadPointerArithmetic { pc } => {
-                write!(f, "instruction {pc} performs unsupported pointer arithmetic")
+                write!(
+                    f,
+                    "instruction {pc} performs unsupported pointer arithmetic"
+                )
             }
             VerifierError::NoReturnValue { pc } => {
                 write!(f, "exit at instruction {pc} without a value in r0")
@@ -138,10 +152,18 @@ mod tests {
 
     #[test]
     fn pc_accessor_and_display() {
-        let e = VerifierError::OutOfBounds { region: "stack", min_off: -520, max_end: -512, pc: 4 };
+        let e = VerifierError::OutOfBounds {
+            region: "stack",
+            min_off: -520,
+            max_end: -512,
+            pc: 4,
+        };
         assert_eq!(e.pc(), 4);
         assert!(e.to_string().contains("stack"));
-        let e = VerifierError::UninitRead { reg: Reg::R3, pc: 1 };
+        let e = VerifierError::UninitRead {
+            reg: Reg::R3,
+            pc: 1,
+        };
         assert!(e.to_string().contains("r3"));
         assert_eq!(e.pc(), 1);
     }

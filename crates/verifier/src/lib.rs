@@ -11,8 +11,12 @@
 //! * the **bounds domain** ([`interval_domain::Bounds`]) for unsigned and
 //!   signed ranges — driving comparisons and access-bounds checks.
 //!
-//! [`Scalar`] couples the two with the kernel's `reg_bounds_sync`
-//! cross-refinement; [`Analyzer`] walks the control-flow graph of an
+//! The two are coupled by the generic reduced product [`Product`], whose
+//! [`normalize`](Product::normalize) drives the kernel's
+//! `reg_bounds_sync` cross-refinement through the `domain::RefineFrom`
+//! hooks; [`Scalar`] is the `Product<Tnum, Bounds>` instance the
+//! analyzer tracks registers with. [`Analyzer`] walks the control-flow
+//! graph of an
 //! [`ebpf::Program`] (rejecting loops, like the classic verifier), joins
 //! states at merge points, refines both branch directions of every
 //! conditional, and checks every memory access against its region —
@@ -44,11 +48,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Kernel-faithful operator names (`add` mirrors `tnum_add`) and explicit
+// BPF division semantics (`x / 0 = 0`) are intentional throughout.
+#![allow(clippy::manual_checked_ops)]
 
 mod analyzer;
 mod branch;
 mod cfg;
 mod error;
+mod product;
 mod scalar;
 mod state;
 mod value;
@@ -56,6 +64,7 @@ mod value;
 pub use analyzer::{Analysis, Analyzer, AnalyzerOptions};
 pub use branch::refine as refine_branch;
 pub use error::VerifierError;
+pub use product::Product;
 pub use scalar::Scalar;
 pub use state::{AbsState, StackSlot};
 pub use value::RegValue;

@@ -1,0 +1,191 @@
+//! The generic reduced product of two abstract domains.
+//!
+//! The BPF verifier tracks each scalar register in *two* domains at once
+//! — bit-level tnums and value ranges — and keeps them mutually
+//! consistent with `reg_bounds_sync`. [`Product`] captures that pattern
+//! once, for any pair of [`AbstractDomain`]s wired together with
+//! [`RefineFrom`] in both directions: the product of the lattices, with
+//! [`normalize`](Product::normalize) driving the cross-refinement to a
+//! fixpoint. [`crate::Scalar`] is the `Product<Tnum, Bounds>` instance
+//! the analyzer uses; a future domain (say, congruences) joins the
+//! product by implementing the two `RefineFrom` directions.
+
+use domain::{AbstractDomain, RefineFrom};
+
+/// The reduced product `A × B`: a conjunction of two abstractions of the
+/// same value. A concrete `x` is a member iff both components contain it;
+/// the *reduction* ([`normalize`](Product::normalize)) lets each
+/// component sharpen the other through [`RefineFrom`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Product<A, B> {
+    pub(crate) a: A,
+    pub(crate) b: B,
+}
+
+impl<A, B> Product<A, B>
+where
+    A: AbstractDomain + RefineFrom<B>,
+    B: AbstractDomain + RefineFrom<A>,
+{
+    /// A completely unknown 64-bit value: ⊤ in both components.
+    #[must_use]
+    pub fn unknown() -> Self {
+        Product {
+            a: A::top(),
+            b: B::top(),
+        }
+    }
+
+    /// The exact abstraction of one concrete value.
+    #[must_use]
+    pub fn constant(v: u64) -> Self {
+        Product {
+            a: A::constant(v),
+            b: B::constant(v),
+        }
+    }
+
+    /// Builds a product from both components, reconciling them.
+    ///
+    /// Returns `None` when they are contradictory (empty concretization).
+    #[must_use]
+    pub fn from_parts(a: A, b: B) -> Option<Self> {
+        Product { a, b }.normalize()
+    }
+
+    /// Builds a product from both components **without** reconciling
+    /// them. Sound (membership is the conjunction either way) but
+    /// possibly unreduced; callers normalize before exposing the value.
+    #[must_use]
+    pub fn raw(a: A, b: B) -> Self {
+        Product { a, b }
+    }
+
+    /// The first component.
+    #[must_use]
+    pub fn first(self) -> A {
+        self.a
+    }
+
+    /// The second component.
+    #[must_use]
+    pub fn second(self) -> B {
+        self.b
+    }
+
+    /// Both components.
+    #[must_use]
+    pub fn into_parts(self) -> (A, B) {
+        (self.a, self.b)
+    }
+
+    /// Whether the value is a known constant, and if so which.
+    #[must_use]
+    pub fn as_constant(self) -> Option<u64> {
+        self.a.as_constant().or_else(|| self.b.as_constant())
+    }
+
+    /// Membership: a concrete value must satisfy both components.
+    #[must_use]
+    pub fn contains(self, x: u64) -> bool {
+        self.a.contains(x) && self.b.contains(x)
+    }
+
+    /// Abstract-order test used for join convergence: both components
+    /// must be included.
+    #[must_use]
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.a.le(other.a) && self.b.le(other.b)
+    }
+
+    /// Join (least upper bound in both components), re-reduced.
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        Product {
+            a: self.a.join(other.a),
+            b: self.b.join(other.b),
+        }
+        .normalize()
+        .expect("join of non-empty products is non-empty")
+    }
+
+    /// Meet; `None` when the two abstractions are contradictory (the
+    /// branch being refined is infeasible).
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Option<Self> {
+        Product {
+            a: self.a.meet(other.a)?,
+            b: self.b.meet(other.b)?,
+        }
+        .normalize()
+    }
+
+    /// Cross-refines the two components to a fixpoint — the generic
+    /// rendering of the kernel's `reg_bounds_sync`. Returns `None` on
+    /// contradiction.
+    #[must_use]
+    pub fn normalize(self) -> Option<Self> {
+        let mut a = self.a;
+        let mut b = self.b;
+        // The refinement is monotone and the rules converge quickly; two
+        // rounds match the kernel's deduce/sync cadence.
+        for _ in 0..2 {
+            b = b.refine_from(&a)?;
+            a = a.refine_from(&b)?;
+        }
+        Some(Product { a, b })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interval_domain::{Bounds, UInterval};
+    use tnum::Tnum;
+
+    type P = Product<Tnum, Bounds>;
+
+    #[test]
+    fn product_reduction_is_bidirectional() {
+        // Tnum knowledge flows into the bounds…
+        let masked = P::from_parts("xx0".parse().unwrap(), Bounds::FULL).unwrap();
+        assert_eq!(masked.second().umax(), 6);
+        // …and range knowledge flows into the tnum.
+        let ranged = P::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_unsigned(UInterval::new(8, 11).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(ranged.first(), "10xx".parse().unwrap());
+    }
+
+    #[test]
+    fn contradiction_is_bottom() {
+        let r = P::from_parts(
+            "1xxx".parse().unwrap(),
+            Bounds::from_unsigned(UInterval::new(0, 3).unwrap()),
+        );
+        assert!(r.is_none(), "disjoint components must reduce to ⊥");
+    }
+
+    #[test]
+    fn lattice_operations_are_componentwise_then_reduced() {
+        let four = P::constant(4);
+        let six = P::constant(6);
+        let j = four.union(six);
+        assert!(four.is_subset_of(j) && six.is_subset_of(j));
+        assert!(j.contains(4) && j.contains(6));
+        assert_eq!(j.intersect(four), Some(four));
+        assert_eq!(four.intersect(six), None);
+        assert_eq!(P::unknown().as_constant(), None);
+        assert_eq!(P::constant(42).as_constant(), Some(42));
+    }
+
+    #[test]
+    fn raw_is_unreduced_until_normalized() {
+        let raw = P::raw("xx0".parse().unwrap(), Bounds::FULL);
+        assert!(raw.second().is_full(), "raw performs no reduction");
+        let n = raw.normalize().unwrap();
+        assert_eq!(n.second().umax(), 6);
+    }
+}

@@ -1,4 +1,4 @@
-//! The scalar register abstraction: tnum × bounds with cross-refinement.
+//! The scalar register abstraction: the reduced product of tnum × bounds.
 
 use core::fmt;
 
@@ -6,10 +6,17 @@ use ebpf::{AluOp, Width};
 use interval_domain::Bounds;
 use tnum::Tnum;
 
+use crate::product::Product;
+
 /// The abstract value of a scalar (non-pointer) register: the reduced
-/// product of a [`Tnum`] and [`Bounds`], kept mutually consistent by
-/// [`Scalar::normalize`] — the crate-level analogue of the kernel's
-/// `reg_bounds_sync`.
+/// product of a [`Tnum`] and [`Bounds`].
+///
+/// `Scalar` is a type alias for the generic [`Product`], which supplies
+/// the lattice operations (`union`, `intersect`, `is_subset_of`,
+/// `contains`) and the kernel's `reg_bounds_sync` cross-refinement
+/// ([`Product::normalize`], built on `domain::RefineFrom`). This module
+/// adds the BPF-specific transfer functions — the 64-bit and 32-bit ALU
+/// semantics the analyzer interprets instructions with.
 ///
 /// # Examples
 ///
@@ -24,117 +31,40 @@ use tnum::Tnum;
 /// assert!(s.contains(0b100) && !s.contains(1));
 /// # Ok::<(), tnum::ParseTnumError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub struct Scalar {
-    tnum: Tnum,
-    bounds: Bounds,
-}
+pub type Scalar = Product<Tnum, Bounds>;
 
 impl Scalar {
-    /// A completely unknown 64-bit value.
-    #[must_use]
-    pub fn unknown() -> Scalar {
-        Scalar { tnum: Tnum::UNKNOWN, bounds: Bounds::FULL }
-    }
-
-    /// The exact abstraction of one concrete value.
-    #[must_use]
-    pub fn constant(v: u64) -> Scalar {
-        Scalar { tnum: Tnum::constant(v), bounds: Bounds::constant(v) }
-    }
-
-    /// Builds a scalar from both components, reconciling them.
-    ///
-    /// Returns `None` when they are contradictory (empty concretization).
-    #[must_use]
-    pub fn from_parts(tnum: Tnum, bounds: Bounds) -> Option<Scalar> {
-        Scalar { tnum, bounds }.normalize()
-    }
-
     /// Builds the scalar equivalent of a tnum.
     #[must_use]
     pub fn from_tnum(tnum: Tnum) -> Scalar {
-        Scalar { tnum, bounds: Bounds::from_tnum(tnum) }
+        Scalar::raw(tnum, Bounds::from_tnum(tnum))
     }
 
     /// The bit-level component.
     #[must_use]
     pub const fn tnum(self) -> Tnum {
-        self.tnum
+        self.a
     }
 
     /// The range component.
     #[must_use]
     pub const fn bounds(self) -> Bounds {
-        self.bounds
-    }
-
-    /// Whether the value is a known constant, and if so which.
-    #[must_use]
-    pub fn as_constant(self) -> Option<u64> {
-        self.tnum.as_constant().or_else(|| self.bounds.as_constant())
-    }
-
-    /// Membership: a concrete value must satisfy both components.
-    #[must_use]
-    pub fn contains(self, x: u64) -> bool {
-        self.tnum.contains(x) && self.bounds.contains(x)
-    }
-
-    /// Abstract-order test used for join convergence: both components must
-    /// be included.
-    #[must_use]
-    pub fn is_subset_of(self, other: Scalar) -> bool {
-        self.tnum.is_subset_of(other.tnum) && self.bounds.is_subset_of(other.bounds)
-    }
-
-    /// Join (least upper bound in both components).
-    #[must_use]
-    pub fn union(self, other: Scalar) -> Scalar {
-        Scalar { tnum: self.tnum.union(other.tnum), bounds: self.bounds.union(other.bounds) }
-            .normalize()
-            .expect("join of non-empty scalars is non-empty")
-    }
-
-    /// Meet; `None` when the two abstractions are contradictory (the
-    /// branch being refined is infeasible).
-    #[must_use]
-    pub fn intersect(self, other: Scalar) -> Option<Scalar> {
-        Some(Scalar {
-            tnum: self.tnum.intersect(other.tnum)?,
-            bounds: self.bounds.intersect(other.bounds)?,
-        })
-        .and_then(Scalar::normalize)
-    }
-
-    /// Cross-refines tnum and bounds to a fixpoint — the kernel's
-    /// `reg_bounds_sync`. Returns `None` on contradiction.
-    #[must_use]
-    pub fn normalize(self) -> Option<Scalar> {
-        let mut t = self.tnum;
-        let mut b = self.bounds;
-        // The refinement is monotone and the rules converge quickly; two
-        // rounds match the kernel's deduce/sync cadence.
-        for _ in 0..2 {
-            b = b.refined_by_tnum(t)?;
-            t = t.intersect(b.to_tnum())?;
-        }
-        Some(Scalar { tnum: t, bounds: b })
+        self.b
     }
 
     /// Applies a 64-bit ALU operation.
     #[must_use]
     pub fn alu64(self, op: AluOp, rhs: Scalar) -> Scalar {
         let raw = match op {
-            AluOp::Add => Scalar { tnum: self.tnum.add(rhs.tnum), bounds: self.bounds.add(rhs.bounds) },
-            AluOp::Sub => Scalar { tnum: self.tnum.sub(rhs.tnum), bounds: self.bounds.sub(rhs.bounds) },
-            AluOp::Mul => Scalar { tnum: self.tnum.mul(rhs.tnum), bounds: self.bounds.mul(rhs.bounds) },
-            AluOp::Or => Scalar { tnum: self.tnum.or(rhs.tnum), bounds: self.bounds.or(rhs.bounds) },
-            AluOp::And => Scalar { tnum: self.tnum.and(rhs.tnum), bounds: self.bounds.and(rhs.bounds) },
-            AluOp::Xor => Scalar { tnum: self.tnum.xor(rhs.tnum), bounds: self.bounds.xor(rhs.bounds) },
-            AluOp::Div => Scalar { tnum: self.tnum.div(rhs.tnum), bounds: self.bounds.div(rhs.bounds) },
-            AluOp::Mod => Scalar { tnum: self.tnum.rem(rhs.tnum), bounds: self.bounds.rem(rhs.bounds) },
-            AluOp::Neg => Scalar { tnum: self.tnum.neg(), bounds: self.bounds.neg() },
+            AluOp::Add => Scalar::raw(self.a.add(rhs.a), self.b.add(rhs.b)),
+            AluOp::Sub => Scalar::raw(self.a.sub(rhs.a), self.b.sub(rhs.b)),
+            AluOp::Mul => Scalar::raw(self.a.mul(rhs.a), self.b.mul(rhs.b)),
+            AluOp::Or => Scalar::raw(self.a.or(rhs.a), self.b.or(rhs.b)),
+            AluOp::And => Scalar::raw(self.a.and(rhs.a), self.b.and(rhs.b)),
+            AluOp::Xor => Scalar::raw(self.a.xor(rhs.a), self.b.xor(rhs.b)),
+            AluOp::Div => Scalar::raw(self.a.div(rhs.a), self.b.div(rhs.b)),
+            AluOp::Mod => Scalar::raw(self.a.rem(rhs.a), self.b.rem(rhs.b)),
+            AluOp::Neg => Scalar::raw(self.a.neg(), self.b.neg()),
             AluOp::Mov => rhs,
             AluOp::Lsh => self.shift64(rhs, Tnum::lshift, Bounds::lshift, Tnum::lshift_tnum),
             AluOp::Rsh => self.shift64(rhs, Tnum::rshift, Bounds::rshift, Tnum::rshift_tnum),
@@ -154,12 +84,12 @@ impl Scalar {
         match amount.as_constant() {
             Some(k) => {
                 let k = (k & 63) as u32;
-                Scalar { tnum: tnum_const(self.tnum, k), bounds: bounds_const(self.bounds, k) }
+                Scalar::raw(tnum_const(self.a, k), bounds_const(self.b, k))
             }
             None => {
-                let masked = amount.tnum.and(Tnum::constant(63));
-                let t = tnum_var(self.tnum, masked);
-                Scalar { tnum: t, bounds: Bounds::from_tnum(t) }
+                let masked = amount.a.and(Tnum::constant(63));
+                let t = tnum_var(self.a, masked);
+                Scalar::raw(t, Bounds::from_tnum(t))
             }
         }
     }
@@ -178,45 +108,43 @@ impl Scalar {
             AluOp::Lsh | AluOp::Rsh | AluOp::Arsh => {
                 let k = b.as_constant().map(|k| (k & 31) as u32);
                 match (op, k) {
-                    (AluOp::Lsh, Some(k)) => Scalar {
-                        tnum: a.tnum.lshift(k),
-                        bounds: a.bounds.lshift(k),
-                    },
-                    (AluOp::Rsh, Some(k)) => Scalar {
-                        tnum: a.tnum.subreg().rshift(k),
-                        bounds: a.bounds.rshift(k),
-                    },
+                    (AluOp::Lsh, Some(k)) => Scalar::raw(a.a.lshift(k), a.b.lshift(k)),
+                    (AluOp::Rsh, Some(k)) => Scalar::raw(a.a.subreg().rshift(k), a.b.rshift(k)),
                     (AluOp::Arsh, Some(k)) => {
-                        let t = a.tnum.arshift_width(k, 32);
-                        Scalar { tnum: t, bounds: Bounds::from_tnum(t.subreg()) }
+                        let t = a.a.arshift_width(k, 32);
+                        Scalar::raw(t, Bounds::from_tnum(t.subreg()))
                     }
                     // Variable 32-bit shift amounts: give up precision on
                     // the subreg (sound: any 32-bit value).
                     _ => Scalar::from_tnum(Tnum::masked(0, u32::MAX as u64)),
                 }
             }
-            AluOp::Div => Scalar { tnum: a.tnum.div(b.tnum), bounds: a.bounds.div(b.bounds) },
-            AluOp::Mod => Scalar { tnum: a.tnum.rem(b.tnum), bounds: a.bounds.rem(b.bounds) },
-            AluOp::Neg => {
-                Scalar { tnum: a.tnum.neg(), bounds: Bounds::FULL }
-            }
+            AluOp::Div => Scalar::raw(a.a.div(b.a), a.b.div(b.b)),
+            AluOp::Mod => Scalar::raw(a.a.rem(b.a), a.b.rem(b.b)),
+            AluOp::Neg => Scalar::raw(a.a.neg(), Bounds::FULL),
             _ => a.alu64(op, b),
         };
-        let t = wide.tnum.subreg();
-        let b32 = wrap32(wide.bounds).intersect(Bounds::from_tnum(t)).unwrap_or_else(|| Bounds::from_tnum(t));
-        Scalar { tnum: t, bounds: b32 }.normalize().unwrap_or_else(Scalar::unknown)
+        let t = wide.a.subreg();
+        let b32 = wrap32(wide.b)
+            .intersect(Bounds::from_tnum(t))
+            .unwrap_or_else(|| Bounds::from_tnum(t));
+        Scalar::raw(t, b32)
+            .normalize()
+            .unwrap_or_else(Scalar::unknown)
     }
 
     /// The abstraction of the low 32 bits, zero-extended.
     #[must_use]
     pub fn subreg(self) -> Scalar {
-        let t = self.tnum.subreg();
+        let t = self.a.subreg();
         let mut b = Bounds::from_tnum(t);
         // The 64-bit range carries over exactly when it fits in 32 bits.
-        if self.bounds.umax() <= u32::MAX as u64 {
-            b = b.intersect(self.bounds).unwrap_or(b);
+        if self.b.umax() <= u32::MAX as u64 {
+            b = b.intersect(self.b).unwrap_or(b);
         }
-        Scalar { tnum: t, bounds: b }.normalize().unwrap_or_else(Scalar::unknown)
+        Scalar::raw(t, b)
+            .normalize()
+            .unwrap_or_else(Scalar::unknown)
     }
 }
 
@@ -234,7 +162,7 @@ fn wrap32(b: Bounds) -> Bounds {
 
 impl fmt::Debug for Scalar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Scalar({} {:?})", self.tnum, self.bounds)
+        write!(f, "Scalar({} {:?})", self.a, self.b)
     }
 }
 
@@ -254,10 +182,10 @@ impl fmt::Display for Scalar {
             };
         }
         let mut parts: Vec<String> = Vec::new();
-        if !self.tnum.is_unknown() {
-            parts.push(format!("tnum={:x}", self.tnum));
+        if !self.a.is_unknown() {
+            parts.push(format!("tnum={:x}", self.a));
         }
-        let b = self.bounds;
+        let b = self.b;
         if !(b.umin() == 0 && b.umax() == u64::MAX) {
             parts.push(format!("u[{}, {}]", b.umin(), b.umax()));
         }
@@ -307,9 +235,10 @@ mod tests {
                 "1xx0".parse::<Tnum>().unwrap().concretize().collect(),
             ),
             (
-                Scalar::from_parts(Tnum::UNKNOWN, Bounds::from_unsigned(
-                    interval_domain::UInterval::new(3, 6).unwrap(),
-                ))
+                Scalar::from_parts(
+                    Tnum::UNKNOWN,
+                    Bounds::from_unsigned(interval_domain::UInterval::new(3, 6).unwrap()),
+                )
                 .unwrap(),
                 vec![3, 4, 5, 6],
             ),
@@ -346,8 +275,20 @@ mod tests {
                 AluOp::Add => x.wrapping_add(y),
                 AluOp::Sub => x.wrapping_sub(y),
                 AluOp::Mul => x.wrapping_mul(y),
-                AluOp::Div => if y == 0 { 0 } else { x / y },
-                AluOp::Mod => if y == 0 { x } else { x % y },
+                AluOp::Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x / y
+                    }
+                }
+                AluOp::Mod => {
+                    if y == 0 {
+                        x
+                    } else {
+                        x % y
+                    }
+                }
                 AluOp::Or => x | y,
                 AluOp::And => x & y,
                 AluOp::Xor => x ^ y,
@@ -363,8 +304,20 @@ mod tests {
                     AluOp::Add => a.wrapping_add(b),
                     AluOp::Sub => a.wrapping_sub(b),
                     AluOp::Mul => a.wrapping_mul(b),
-                    AluOp::Div => if b == 0 { 0 } else { a / b },
-                    AluOp::Mod => if b == 0 { a } else { a % b },
+                    AluOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a / b
+                        }
+                    }
+                    AluOp::Mod => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
                     AluOp::Or => a | b,
                     AluOp::And => a & b,
                     AluOp::Xor => a ^ b,

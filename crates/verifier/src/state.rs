@@ -70,10 +70,17 @@ impl AbsState {
     #[must_use]
     pub fn entry() -> AbsState {
         let mut regs = [RegValue::Uninit; 11];
-        regs[Reg::R1.index()] = RegValue::CtxPtr { offset: Scalar::constant(0) };
+        regs[Reg::R1.index()] = RegValue::CtxPtr {
+            offset: Scalar::constant(0),
+        };
         regs[Reg::R2.index()] = RegValue::unknown_scalar();
-        regs[Reg::R10.index()] = RegValue::StackPtr { offset: Scalar::constant(0) };
-        AbsState { regs, stack: [StackSlot::Uninit; SLOTS] }
+        regs[Reg::R10.index()] = RegValue::StackPtr {
+            offset: Scalar::constant(0),
+        };
+        AbsState {
+            regs,
+            stack: [StackSlot::Uninit; SLOTS],
+        }
     }
 
     /// The abstract value of a register.
@@ -150,13 +157,17 @@ impl AbsState {
     #[must_use]
     pub fn is_subset_of(&self, other: &AbsState) -> bool {
         let regs_ok = (0..11).all(|i| self.regs[i].is_subset_of(other.regs[i]));
-        let stack_ok = self.stack.iter().zip(other.stack.iter()).all(|(a, b)| match (a, b) {
-            (_, StackSlot::Uninit) => true,
-            (StackSlot::Spill(x), StackSlot::Spill(y)) => x.is_subset_of(*y),
-            (StackSlot::Misc | StackSlot::Spill(_), StackSlot::Misc) => true,
-            // Misc is not included in a tracked spill.
-            (StackSlot::Uninit, _) | (StackSlot::Misc, StackSlot::Spill(_)) => false,
-        });
+        let stack_ok = self
+            .stack
+            .iter()
+            .zip(other.stack.iter())
+            .all(|(a, b)| match (a, b) {
+                (_, StackSlot::Uninit) => true,
+                (StackSlot::Spill(x), StackSlot::Spill(y)) => x.is_subset_of(*y),
+                (StackSlot::Misc | StackSlot::Spill(_), StackSlot::Misc) => true,
+                // Misc is not included in a tracked spill.
+                (StackSlot::Uninit, _) | (StackSlot::Misc, StackSlot::Spill(_)) => false,
+            });
         regs_ok && stack_ok
     }
 }
@@ -249,7 +260,9 @@ mod tests {
         }
         // Spills of incompatible kinds degrade to Misc, not Uninit: the
         // bytes are initialized on both paths.
-        let ptr = StackSlot::Spill(RegValue::StackPtr { offset: Scalar::constant(0) });
+        let ptr = StackSlot::Spill(RegValue::StackPtr {
+            offset: Scalar::constant(0),
+        });
         assert_eq!(spill.union(ptr), StackSlot::Misc);
     }
 

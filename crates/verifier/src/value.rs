@@ -84,9 +84,7 @@ impl RegValue {
             (_, RegValue::Uninit) => true,
             (RegValue::Scalar(a), RegValue::Scalar(b)) => a.is_subset_of(b),
             (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
-            | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => {
-                a.is_subset_of(b)
-            }
+            | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => a.is_subset_of(b),
             _ => false,
         }
     }
@@ -129,8 +127,12 @@ mod tests {
 
     #[test]
     fn same_region_pointers_join_offsets() {
-        let p = RegValue::StackPtr { offset: Scalar::constant((-8i64) as u64) };
-        let q = RegValue::StackPtr { offset: Scalar::constant((-16i64) as u64) };
+        let p = RegValue::StackPtr {
+            offset: Scalar::constant((-8i64) as u64),
+        };
+        let q = RegValue::StackPtr {
+            offset: Scalar::constant((-16i64) as u64),
+        };
         match p.union(q) {
             RegValue::StackPtr { offset } => {
                 assert!(offset.contains((-8i64) as u64));
@@ -142,8 +144,12 @@ mod tests {
 
     #[test]
     fn mixed_kinds_collapse_to_uninit() {
-        let p = RegValue::StackPtr { offset: Scalar::constant(0) };
-        let c = RegValue::CtxPtr { offset: Scalar::constant(0) };
+        let p = RegValue::StackPtr {
+            offset: Scalar::constant(0),
+        };
+        let c = RegValue::CtxPtr {
+            offset: Scalar::constant(0),
+        };
         let s = RegValue::Scalar(Scalar::constant(0));
         assert_eq!(p.union(c), RegValue::Uninit);
         assert_eq!(p.union(s), RegValue::Uninit);
@@ -163,7 +169,10 @@ mod tests {
     fn readability_and_kind_predicates() {
         assert!(!RegValue::Uninit.is_readable());
         assert!(RegValue::unknown_scalar().is_readable());
-        assert!(RegValue::StackPtr { offset: Scalar::constant(0) }.is_pointer());
+        assert!(RegValue::StackPtr {
+            offset: Scalar::constant(0)
+        }
+        .is_pointer());
         assert!(RegValue::unknown_scalar().as_scalar().is_some());
         assert!(RegValue::Uninit.as_scalar().is_none());
     }

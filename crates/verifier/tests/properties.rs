@@ -1,18 +1,21 @@
-//! Property-based tests for the verifier's scalar reduced product and
-//! branch refinement at full width.
+//! Randomized property tests for the verifier's scalar reduced product
+//! and branch refinement at full width, driven by the workspace's
+//! deterministic SplitMix64 stream.
 
+// Explicit BPF division semantics (`x / 0 = 0`, `x % 0 = x`) throughout.
+#![allow(clippy::manual_checked_ops)]
+use domain::rng::SplitMix64;
 use ebpf::{AluOp, JmpOp, Width};
-use proptest::prelude::*;
 use tnum::Tnum;
 use verifier::Scalar;
 
-prop_compose! {
-    /// A random scalar abstraction together with a member.
-    fn scalar_and_member()(mask in any::<u64>(), raw in any::<u64>(), pick in any::<u64>()) -> (Scalar, u64) {
-        let t = Tnum::masked(raw, mask);
-        let x = t.value() | (pick & t.mask());
-        (Scalar::from_tnum(t), x)
-    }
+const CASES: u32 = 256;
+
+/// A random scalar abstraction together with a member.
+fn scalar_and_member(rng: &mut SplitMix64) -> (Scalar, u64) {
+    let t = Tnum::masked(rng.next_u64(), rng.next_u64());
+    let x = t.value() | (rng.next_u64() & t.mask());
+    (Scalar::from_tnum(t), x)
 }
 
 fn concrete_alu(width: Width, op: AluOp, x: u64, y: u64) -> u64 {
@@ -21,8 +24,20 @@ fn concrete_alu(width: Width, op: AluOp, x: u64, y: u64) -> u64 {
             AluOp::Add => x.wrapping_add(y),
             AluOp::Sub => x.wrapping_sub(y),
             AluOp::Mul => x.wrapping_mul(y),
-            AluOp::Div => if y == 0 { 0 } else { x / y },
-            AluOp::Mod => if y == 0 { x } else { x % y },
+            AluOp::Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x / y
+                }
+            }
+            AluOp::Mod => {
+                if y == 0 {
+                    x
+                } else {
+                    x % y
+                }
+            }
             AluOp::Or => x | y,
             AluOp::And => x & y,
             AluOp::Xor => x ^ y,
@@ -38,8 +53,20 @@ fn concrete_alu(width: Width, op: AluOp, x: u64, y: u64) -> u64 {
                 AluOp::Add => a.wrapping_add(b),
                 AluOp::Sub => a.wrapping_sub(b),
                 AluOp::Mul => a.wrapping_mul(b),
-                AluOp::Div => if b == 0 { 0 } else { a / b },
-                AluOp::Mod => if b == 0 { a } else { a % b },
+                AluOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a / b
+                    }
+                }
+                AluOp::Mod => {
+                    if b == 0 {
+                        a
+                    } else {
+                        a % b
+                    }
+                }
                 AluOp::Or => a | b,
                 AluOp::And => a & b,
                 AluOp::Xor => a ^ b,
@@ -53,47 +80,72 @@ fn concrete_alu(width: Width, op: AluOp, x: u64, y: u64) -> u64 {
     }
 }
 
-proptest! {
-    #[test]
-    fn scalar_alu_sound((a, x) in scalar_and_member(), (b, y) in scalar_and_member()) {
+#[test]
+fn scalar_alu_sound() {
+    let mut rng = SplitMix64::new(0x40);
+    for _ in 0..CASES {
+        let (a, x) = scalar_and_member(&mut rng);
+        let (b, y) = scalar_and_member(&mut rng);
         for op in AluOp::ALL {
             for width in [Width::W64, Width::W32] {
                 let r = a.alu(width, op, b);
                 let z = concrete_alu(width, op, x, y);
-                prop_assert!(r.contains(z), "{:?}/{:?}: {} op {} = {} not in {:?}", op, width, x, y, z, r);
+                assert!(
+                    r.contains(z),
+                    "{op:?}/{width:?}: {x} op {y} = {z} not in {r:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn normalize_keeps_members((a, x) in scalar_and_member()) {
+#[test]
+fn normalize_keeps_members() {
+    let mut rng = SplitMix64::new(0x41);
+    for _ in 0..CASES {
+        let (a, x) = scalar_and_member(&mut rng);
         let n = a.normalize().expect("non-empty");
-        prop_assert!(n.contains(x));
+        assert!(n.contains(x));
     }
+}
 
-    #[test]
-    fn union_keeps_members((a, x) in scalar_and_member(), (b, y) in scalar_and_member()) {
+#[test]
+fn union_keeps_members() {
+    let mut rng = SplitMix64::new(0x42);
+    for _ in 0..CASES {
+        let (a, x) = scalar_and_member(&mut rng);
+        let (b, y) = scalar_and_member(&mut rng);
         let j = a.union(b);
-        prop_assert!(j.contains(x));
-        prop_assert!(j.contains(y));
-        prop_assert!(a.is_subset_of(j));
-        prop_assert!(b.is_subset_of(j));
+        assert!(j.contains(x));
+        assert!(j.contains(y));
+        assert!(a.is_subset_of(j));
+        assert!(b.is_subset_of(j));
     }
+}
 
-    #[test]
-    fn intersect_keeps_common_members((a, x) in scalar_and_member(), (b, _) in scalar_and_member()) {
+#[test]
+fn intersect_keeps_common_members() {
+    let mut rng = SplitMix64::new(0x43);
+    for _ in 0..CASES {
+        let (a, x) = scalar_and_member(&mut rng);
+        let (b, _) = scalar_and_member(&mut rng);
         match a.intersect(b) {
             Some(m) => {
                 if b.contains(x) {
-                    prop_assert!(m.contains(x));
+                    assert!(m.contains(x));
                 }
             }
-            None => prop_assert!(!b.contains(x) || !a.contains(x)),
+            None => assert!(!b.contains(x) || !a.contains(x)),
         }
     }
+}
 
-    #[test]
-    fn branch_refinement_sound((a, x) in scalar_and_member(), (b, y) in scalar_and_member()) {
+#[test]
+fn branch_refinement_sound() {
+    let mut rng = SplitMix64::new(0x44);
+    for _ in 0..CASES {
+        let (a, x) = scalar_and_member(&mut rng);
+        let (b, y) = scalar_and_member(&mut rng);
         // Whatever the concrete comparison outcome, the corresponding
         // refined edge must keep the witnessing pair (and hence must not
         // be reported infeasible).
@@ -101,29 +153,38 @@ proptest! {
             let taken = op.eval64(x, y);
             match verifier::refine_branch(op, taken, a, b) {
                 Some((d, s)) => {
-                    prop_assert!(d.contains(x), "{:?}/{}: lost dst {}", op, taken, x);
-                    prop_assert!(s.contains(y), "{:?}/{}: lost src {}", op, taken, y);
+                    assert!(d.contains(x), "{op:?}/{taken}: lost dst {x}");
+                    assert!(s.contains(y), "{op:?}/{taken}: lost src {y}");
                 }
-                None => prop_assert!(false, "{:?}/{}: feasible edge refined to bottom", op, taken),
+                None => panic!("{op:?}/{taken}: feasible edge refined to bottom"),
             }
         }
     }
+}
 
-    #[test]
-    fn branch_refinement_shrinks_or_keeps((a, _) in scalar_and_member(), (b, _) in scalar_and_member()) {
+#[test]
+fn branch_refinement_shrinks_or_keeps() {
+    let mut rng = SplitMix64::new(0x45);
+    for _ in 0..CASES {
+        let (a, _) = scalar_and_member(&mut rng);
+        let (b, _) = scalar_and_member(&mut rng);
         // Refinement never widens either side.
         for op in JmpOp::ALL {
             for taken in [false, true] {
                 if let Some((d, s)) = verifier::refine_branch(op, taken, a, b) {
-                    prop_assert!(d.is_subset_of(a), "{:?}/{} widened dst", op, taken);
-                    prop_assert!(s.is_subset_of(b), "{:?}/{} widened src", op, taken);
+                    assert!(d.is_subset_of(a), "{op:?}/{taken} widened dst");
+                    assert!(s.is_subset_of(b), "{op:?}/{taken} widened src");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn subreg_contains_low_half((a, x) in scalar_and_member()) {
-        prop_assert!(a.subreg().contains(x & 0xffff_ffff));
+#[test]
+fn subreg_contains_low_half() {
+    let mut rng = SplitMix64::new(0x46);
+    for _ in 0..CASES {
+        let (a, x) = scalar_and_member(&mut rng);
+        assert!(a.subreg().contains(x & 0xffff_ffff));
     }
 }

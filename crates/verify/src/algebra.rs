@@ -45,7 +45,13 @@ pub fn addition_non_associativity(width: u32) -> (u64, Option<AssocWitness>) {
                 let right = a.add(b.add(c).truncate(width)).truncate(width);
                 if left != right {
                     count += 1;
-                    witness.get_or_insert(AssocWitness { a, b, c, left, right });
+                    witness.get_or_insert(AssocWitness {
+                        a,
+                        b,
+                        c,
+                        left,
+                        right,
+                    });
                 }
             }
         }

@@ -1,29 +1,28 @@
 //! Exhaustive optimality checking against the best abstract transformer
-//! `α ∘ f ∘ γ` (§II-A of the paper).
+//! `α ∘ f ∘ γ` (§II-A of the paper), generic over the abstract domain.
 
-use tnum::enumerate::{count, nth};
-use tnum::Tnum;
+use domain::AbstractDomain;
 
 use crate::ops::Op2;
 use crate::parallel::{default_threads, par_chunks};
 
 /// An input pair where the operator is strictly less precise than the
 /// best transformer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Suboptimal {
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Suboptimal<D> {
     /// First abstract operand.
-    pub p: Tnum,
+    pub p: D,
     /// Second abstract operand.
-    pub q: Tnum,
+    pub q: D,
     /// What the operator produced.
-    pub got: Tnum,
+    pub got: D,
     /// The maximally precise result `α(f(γ(p), γ(q)))`.
-    pub best: Tnum,
+    pub best: D,
 }
 
 /// Outcome of an exhaustive optimality check at one width.
 #[derive(Clone, Debug)]
-pub struct OptimalityReport {
+pub struct OptimalityReport<D> {
     /// Operator name.
     pub name: &'static str,
     /// Bit width checked.
@@ -33,13 +32,13 @@ pub struct OptimalityReport {
     /// Pairs where the operator matched the best transformer exactly.
     pub optimal_pairs: u64,
     /// Sample of pairs where it did not (capped at 16 to bound memory).
-    pub suboptimal_samples: Vec<Suboptimal>,
+    pub suboptimal_samples: Vec<Suboptimal<D>>,
     /// Count of *soundness* violations encountered while brute-forcing —
     /// always zero for a sound operator.
     pub unsound_pairs: u64,
 }
 
-impl OptimalityReport {
+impl<D> OptimalityReport<D> {
     /// Whether the operator is the optimal abstraction at this width.
     #[must_use]
     pub fn is_optimal(&self) -> bool {
@@ -57,37 +56,44 @@ impl OptimalityReport {
 /// The maximally precise abstract result for one input pair:
 /// `α({ opC(x, y) : x ∈ γ(p), y ∈ γ(q) })`.
 #[must_use]
-pub fn best_transformer(op: Op2, p: Tnum, q: Tnum, width: u32) -> Tnum {
-    Tnum::abstract_of(
-        p.concretize()
-            .flat_map(|x| q.concretize().map(move |y| (op.concrete_op)(x, y, width))),
+pub fn best_transformer<D: AbstractDomain>(op: Op2<D>, p: D, q: D, width: u32) -> D {
+    best_from_members(op, &p.members(width), &q.members(width), width)
+}
+
+/// [`best_transformer`] over pre-materialized member sets — the shared
+/// core, so the exhaustive sweep can cache `γ` per element.
+fn best_from_members<D: AbstractDomain>(op: Op2<D>, xs: &[u64], ys: &[u64], width: u32) -> D {
+    D::abstract_of(
+        xs.iter()
+            .flat_map(|&x| ys.iter().map(move |&y| (op.concrete_op)(x, y, width))),
     )
-    .expect("γ of a well-formed tnum is non-empty")
+    .expect("γ of a well-formed element is non-empty")
 }
 
 /// Exhaustively compares `op` against the best transformer at `width`.
 ///
 /// # Panics
 ///
-/// Panics if `width > 8` (the brute-force transformer enumerates `16^w`
-/// member pairs).
+/// Panics if `width > 8` (the brute-force transformer enumerates every
+/// member pair — `16^w` of them for tnums).
 #[must_use]
-pub fn check_optimality(op: Op2, width: u32) -> OptimalityReport {
+pub fn check_optimality<D: AbstractDomain>(op: Op2<D>, width: u32) -> OptimalityReport<D> {
     assert!(width <= 8, "optimality sweeps are limited to width 8");
-    let n = count(width);
+    let elems = D::enumerate_at_width(width);
+    let members: Vec<Vec<u64>> = elems.iter().map(|d| d.members(width)).collect();
+    let n = elems.len() as u64;
     let per_thread = par_chunks(n, default_threads(), |lo, hi| {
         let mut optimal = 0u64;
         let mut unsound = 0u64;
         let mut samples = Vec::new();
         for pi in lo..hi {
-            let p = nth(width, pi);
-            for qi in 0..n {
-                let q = nth(width, qi);
+            let p = elems[pi as usize];
+            for (qi, &q) in elems.iter().enumerate() {
                 let got = (op.abstract_op)(p, q, width);
-                let best = best_transformer(op, p, q, width);
+                let best = best_from_members(op, &members[pi as usize], &members[qi], width);
                 if got == best {
                     optimal += 1;
-                } else if best.is_subset_of(got) {
+                } else if best.le(got) {
                     if samples.len() < 16 {
                         samples.push(Suboptimal { p, q, got, best });
                     }
@@ -124,28 +130,76 @@ pub fn check_optimality(op: Op2, width: u32) -> OptimalityReport {
 mod tests {
     use super::*;
     use crate::ops::OpCatalog;
+    use bitwise_domain::KnownBits;
+    use interval_domain::Bounds;
+    use tnum::Tnum;
 
     #[test]
     fn add_and_sub_are_optimal_w4() {
         // Theorems 6 and 22 of the paper, checked by enumeration.
-        for op in [OpCatalog::add(), OpCatalog::sub()] {
+        for op in [OpCatalog::<Tnum>::add(), OpCatalog::<Tnum>::sub()] {
             let report = check_optimality(op, 4);
-            assert!(report.is_optimal(), "{} suboptimal: {:?}", op.name, report.suboptimal_samples.first());
+            assert!(
+                report.is_optimal(),
+                "{} suboptimal: {:?}",
+                op.name,
+                report.suboptimal_samples.first()
+            );
         }
     }
 
     #[test]
     fn bitwise_ops_are_optimal_w4() {
-        for op in [OpCatalog::and(), OpCatalog::or(), OpCatalog::xor()] {
+        for op in [
+            OpCatalog::<Tnum>::and(),
+            OpCatalog::<Tnum>::or(),
+            OpCatalog::<Tnum>::xor(),
+        ] {
             assert!(check_optimality(op, 4).is_optimal(), "{}", op.name);
         }
+    }
+
+    #[test]
+    fn knownbits_inherits_tnum_optimality_w4() {
+        // The bijection transports the optimality theorems to the LLVM
+        // encoding — same campaign, same verdicts.
+        for op in [
+            OpCatalog::<KnownBits>::add(),
+            OpCatalog::<KnownBits>::sub(),
+            OpCatalog::<KnownBits>::and(),
+            OpCatalog::<KnownBits>::or(),
+            OpCatalog::<KnownBits>::xor(),
+        ] {
+            assert!(
+                check_optimality(op, 4).is_optimal(),
+                "knownbits {}",
+                op.name
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_sound_everywhere_but_not_bit_exact_w3() {
+        // Interval addition is the exact hull until a sum wraps past 2^w
+        // (where truncation collapses to ⊤|w); interval AND loses
+        // bit-level structure by construction — which is precisely why
+        // the kernel runs the reduced product with tnums.
+        let add = check_optimality(OpCatalog::<Bounds>::add(), 3);
+        assert_eq!(add.unsound_pairs, 0);
+        assert!(
+            add.optimal_fraction() > 0.5,
+            "non-wrapping sums are exact hulls"
+        );
+        let and = check_optimality(OpCatalog::<Bounds>::and(), 3);
+        assert_eq!(and.unsound_pairs, 0);
+        assert!(!and.is_optimal(), "interval AND cannot be bit-exact");
     }
 
     #[test]
     fn no_multiplication_is_optimal_w4() {
         // §III-C: our_mul is sound but *not* optimal; neither are the
         // baselines.
-        for op in OpCatalog::mul_suite() {
+        for op in OpCatalog::<Tnum>::mul_suite() {
             let report = check_optimality(op, 4);
             assert!(!report.is_optimal(), "{} unexpectedly optimal", op.name);
             assert_eq!(report.unsound_pairs, 0, "{} must stay sound", op.name);
@@ -159,10 +213,14 @@ mod tests {
 
     #[test]
     fn div_rem_conservative_but_sound_w3() {
-        for op in [OpCatalog::div(), OpCatalog::rem()] {
+        for op in [OpCatalog::<Tnum>::div(), OpCatalog::<Tnum>::rem()] {
             let report = check_optimality(op, 3);
             assert_eq!(report.unsound_pairs, 0);
-            assert!(!report.is_optimal(), "{} is intentionally conservative", op.name);
+            assert!(
+                !report.is_optimal(),
+                "{} is intentionally conservative",
+                op.name
+            );
         }
     }
 
@@ -172,7 +230,7 @@ mod tests {
         // whose exact abstraction is 1xx.
         let p: Tnum = "10x".parse().unwrap();
         let q: Tnum = "001".parse().unwrap();
-        let best = best_transformer(OpCatalog::add(), p, q, 3);
+        let best = best_transformer(OpCatalog::<Tnum>::add(), p, q, 3);
         assert_eq!(best, "1xx".parse().unwrap());
         // And it agrees with tnum_add (optimality on this pair).
         assert_eq!(best, p.add(q).truncate(3));
@@ -180,8 +238,11 @@ mod tests {
 
     #[test]
     fn optimal_fraction_reported() {
-        let report = check_optimality(OpCatalog::mul(), 3);
-        assert!(report.optimal_fraction() > 0.9, "our_mul is near-optimal at small widths");
+        let report = check_optimality(OpCatalog::<Tnum>::mul(), 3);
+        assert!(
+            report.optimal_fraction() > 0.9,
+            "our_mul is near-optimal at small widths"
+        );
         assert!(report.optimal_fraction() < 1.0);
     }
 }

@@ -28,7 +28,10 @@ pub fn par_chunks<R: Send>(
                 scope.spawn(move || work(start, end))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
     })
 }
 

@@ -1,7 +1,9 @@
 //! Relative precision measurement between two abstract operators — the
-//! machinery behind Fig. 4 and Table I of the paper.
+//! machinery behind Fig. 4 and Table I of the paper — generic over the
+//! abstract domain.
 
-use tnum::enumerate::{count, nth};
+use domain::AbstractDomain;
+use tnum::Tnum;
 
 use crate::ops::Op2;
 use crate::parallel::{default_threads, par_chunks};
@@ -10,7 +12,7 @@ use crate::parallel::{default_threads, par_chunks};
 ///
 /// Counts follow the paper's columns exactly: for every input pair the
 /// outputs either agree, or differ; differing outputs are either
-/// comparable under ⊑A or not; comparable differing outputs have a
+/// comparable under ⊑ or not; comparable differing outputs have a
 /// strictly more precise side.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PrecisionReport {
@@ -20,13 +22,13 @@ pub struct PrecisionReport {
     pub name_b: &'static str,
     /// Bit width.
     pub width: u32,
-    /// Total input pairs (`9^width` when exhaustive).
+    /// Total input pairs (`9^width` for tnums when exhaustive).
     pub total: u64,
     /// Pairs with identical outputs.
     pub equal: u64,
     /// Pairs with differing outputs.
     pub different: u64,
-    /// Differing pairs whose outputs are comparable under ⊑A.
+    /// Differing pairs whose outputs are comparable under ⊑.
     pub comparable: u64,
     /// Comparable pairs where the first operator is strictly more precise.
     pub a_more_precise: u64,
@@ -46,46 +48,62 @@ impl PrecisionReport {
     }
 }
 
-/// Exhaustively compares two abstract operators over all `9^width` input
-/// pairs (Table I / §VII-E).
-///
-/// # Panics
-///
-/// Panics if `width > 10`.
-#[must_use]
-pub fn compare_precision(a: Op2, b: Op2, width: u32) -> PrecisionReport {
-    assert!(width <= 10, "exhaustive precision sweeps are limited to width 10");
-    let n = count(width);
-    let partials = par_chunks(n, default_threads(), |lo, hi| {
-        let mut acc = [0u64; 5]; // equal, different, comparable, a_wins, b_wins
-        for pi in lo..hi {
-            let p = nth(width, pi);
-            for qi in 0..n {
-                let q = nth(width, qi);
-                let ra = (a.abstract_op)(p, q, width);
-                let rb = (b.abstract_op)(p, q, width);
-                if ra == rb {
-                    acc[0] += 1;
-                    continue;
-                }
-                acc[1] += 1;
-                if ra.is_strict_subset_of(rb) {
-                    acc[2] += 1;
-                    acc[3] += 1;
-                } else if rb.is_strict_subset_of(ra) {
-                    acc[2] += 1;
-                    acc[4] += 1;
-                }
-            }
-        }
-        acc
-    });
+/// Classifies one output pair into the accumulator columns
+/// `[equal, different, comparable, a_wins, b_wins]`.
+fn classify<D: AbstractDomain>(ra: D, rb: D, acc: &mut [u64; 5]) {
+    if ra == rb {
+        acc[0] += 1;
+        return;
+    }
+    acc[1] += 1;
+    if ra.le(rb) {
+        acc[2] += 1;
+        acc[3] += 1;
+    } else if rb.le(ra) {
+        acc[2] += 1;
+        acc[4] += 1;
+    }
+}
+
+fn merge(partials: Vec<[u64; 5]>) -> [u64; 5] {
     let mut acc = [0u64; 5];
     for partial in partials {
         for (slot, v) in acc.iter_mut().zip(partial) {
             *slot += v;
         }
     }
+    acc
+}
+
+/// Exhaustively compares two abstract operators over all input pairs of
+/// the domain's bounded enumeration (Table I / §VII-E).
+///
+/// # Panics
+///
+/// Panics if `width > 10`.
+#[must_use]
+pub fn compare_precision<D: AbstractDomain>(a: Op2<D>, b: Op2<D>, width: u32) -> PrecisionReport {
+    assert!(
+        width <= 10,
+        "exhaustive precision sweeps are limited to width 10"
+    );
+    let elems = D::enumerate_at_width(width);
+    let n = elems.len() as u64;
+    let partials = par_chunks(n, default_threads(), |lo, hi| {
+        let mut acc = [0u64; 5];
+        for pi in lo..hi {
+            let p = elems[pi as usize];
+            for &q in &elems {
+                classify(
+                    (a.abstract_op)(p, q, width),
+                    (b.abstract_op)(p, q, width),
+                    &mut acc,
+                );
+            }
+        }
+        acc
+    });
+    let acc = merge(partials);
     PrecisionReport {
         name_a: a.name,
         name_b: b.name,
@@ -104,45 +122,38 @@ pub fn compare_precision(a: Op2, b: Op2, width: u32) -> PrecisionReport {
 /// differing-pair statistics of Table I. With this enumeration the counts
 /// reproduce the paper exactly (width 5: 8 differing, 2 vs 6; width 6:
 /// 180 differing, 41 vs 139). `total` reports the number of unordered
-/// pairs, `3^w (3^w + 1) / 2`.
+/// pairs, `n (n + 1) / 2` over the enumeration size `n`.
 ///
 /// # Panics
 ///
 /// Panics if `width > 10`.
 #[must_use]
-pub fn compare_precision_unordered(a: Op2, b: Op2, width: u32) -> PrecisionReport {
-    assert!(width <= 10, "exhaustive precision sweeps are limited to width 10");
-    let n = count(width);
+pub fn compare_precision_unordered<D: AbstractDomain>(
+    a: Op2<D>,
+    b: Op2<D>,
+    width: u32,
+) -> PrecisionReport {
+    assert!(
+        width <= 10,
+        "exhaustive precision sweeps are limited to width 10"
+    );
+    let elems = D::enumerate_at_width(width);
+    let n = elems.len() as u64;
     let partials = par_chunks(n, default_threads(), |lo, hi| {
         let mut acc = [0u64; 5];
         for pi in lo..hi {
-            let p = nth(width, pi);
-            for qi in pi..n {
-                let q = nth(width, qi);
-                let ra = (a.abstract_op)(p, q, width);
-                let rb = (b.abstract_op)(p, q, width);
-                if ra == rb {
-                    acc[0] += 1;
-                    continue;
-                }
-                acc[1] += 1;
-                if ra.is_strict_subset_of(rb) {
-                    acc[2] += 1;
-                    acc[3] += 1;
-                } else if rb.is_strict_subset_of(ra) {
-                    acc[2] += 1;
-                    acc[4] += 1;
-                }
+            let p = elems[pi as usize];
+            for &q in &elems[pi as usize..] {
+                classify(
+                    (a.abstract_op)(p, q, width),
+                    (b.abstract_op)(p, q, width),
+                    &mut acc,
+                );
             }
         }
         acc
     });
-    let mut acc = [0u64; 5];
-    for partial in partials {
-        for (slot, v) in acc.iter_mut().zip(partial) {
-            *slot += v;
-        }
-    }
+    let acc = merge(partials);
     PrecisionReport {
         name_a: a.name,
         name_b: b.name,
@@ -157,48 +168,33 @@ pub fn compare_precision_unordered(a: Op2, b: Op2, width: u32) -> PrecisionRepor
 }
 
 /// Sampled variant of [`compare_precision`] for widths where the full
-/// `9^width` enumeration is impractical: draws `samples` input pairs
-/// uniformly (with a fixed seed for reproducibility).
+/// enumeration is impractical: draws `samples` input pairs uniformly
+/// (with a fixed seed for reproducibility).
 #[must_use]
-pub fn compare_precision_sampled(a: Op2, b: Op2, width: u32, samples: u64) -> PrecisionReport {
-    let n = count(width);
+pub fn compare_precision_sampled<D: AbstractDomain>(
+    a: Op2<D>,
+    b: Op2<D>,
+    width: u32,
+    samples: u64,
+) -> PrecisionReport {
+    let elems = D::enumerate_at_width(width);
+    let n = elems.len() as u64;
     let partials = par_chunks(samples, default_threads(), |lo, hi| {
         let mut acc = [0u64; 5];
-        // SplitMix64 per-thread stream, deterministic in `lo`.
-        let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_add(lo);
-        let mut next = move || {
-            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        };
+        // Per-thread SplitMix64 stream, deterministic in `lo`.
+        let mut rng = domain::rng::SplitMix64::new(0x9e37_79b9_7f4a_7c15u64.wrapping_add(lo));
         for _ in lo..hi {
-            let p = nth(width, next() % n);
-            let q = nth(width, next() % n);
-            let ra = (a.abstract_op)(p, q, width);
-            let rb = (b.abstract_op)(p, q, width);
-            if ra == rb {
-                acc[0] += 1;
-                continue;
-            }
-            acc[1] += 1;
-            if ra.is_strict_subset_of(rb) {
-                acc[2] += 1;
-                acc[3] += 1;
-            } else if rb.is_strict_subset_of(ra) {
-                acc[2] += 1;
-                acc[4] += 1;
-            }
+            let p = elems[rng.below(n) as usize];
+            let q = elems[rng.below(n) as usize];
+            classify(
+                (a.abstract_op)(p, q, width),
+                (b.abstract_op)(p, q, width),
+                &mut acc,
+            );
         }
         acc
     });
-    let mut acc = [0u64; 5];
-    for partial in partials {
-        for (slot, v) in acc.iter_mut().zip(partial) {
-            *slot += v;
-        }
-    }
+    let acc = merge(partials);
     PrecisionReport {
         name_a: a.name,
         name_b: b.name,
@@ -218,17 +214,22 @@ pub fn compare_precision_sampled(a: Op2, b: Op2, width: u32, samples: u64) -> Pr
 /// Because `|γ(t)| = 2^popcount(mask)`, the log-ratio is the integer
 /// difference in unknown-bit counts; the histogram maps that difference
 /// to its number of occurrences. Positive entries mean operator `b`
-/// (the paper's `our_mul`) was more precise.
+/// (the paper's `our_mul`) was more precise. Tnum-specific: the measure
+/// relies on the cardinality structure of the value/mask encoding.
 #[must_use]
-pub fn ratio_histogram(a: Op2, b: Op2, width: u32) -> std::collections::BTreeMap<i32, u64> {
+pub fn ratio_histogram(
+    a: Op2<Tnum>,
+    b: Op2<Tnum>,
+    width: u32,
+) -> std::collections::BTreeMap<i32, u64> {
     assert!(width <= 10, "exhaustive sweeps are limited to width 10");
-    let n = count(width);
+    let n = tnum::enumerate::count(width);
     let partials = par_chunks(n, default_threads(), |lo, hi| {
         let mut hist = std::collections::BTreeMap::new();
         for pi in lo..hi {
-            let p = nth(width, pi);
+            let p = tnum::enumerate::nth(width, pi);
             for qi in 0..n {
-                let q = nth(width, qi);
+                let q = tnum::enumerate::nth(width, qi);
                 let ra = (a.abstract_op)(p, q, width);
                 let rb = (b.abstract_op)(p, q, width);
                 if ra == rb {
@@ -253,12 +254,17 @@ pub fn ratio_histogram(a: Op2, b: Op2, width: u32) -> std::collections::BTreeMap
 mod tests {
     use super::*;
     use crate::ops::OpCatalog;
+    use bitwise_domain::KnownBits;
 
     #[test]
     fn table1_row_width_5_reproduced_exactly() {
         // Table I, row n=5 (unordered-pair convention): 8 differing pairs,
         // all comparable, our_mul more precise in 6 (75%), kern_mul in 2.
-        let r = compare_precision_unordered(OpCatalog::mul_kernel(), OpCatalog::mul(), 5);
+        let r = compare_precision_unordered(
+            OpCatalog::<Tnum>::mul_kernel(),
+            OpCatalog::<Tnum>::mul(),
+            5,
+        );
         assert_eq!(r.equal + r.different, r.total);
         assert_eq!(r.different, 8);
         assert_eq!(r.comparable, 8);
@@ -270,7 +276,7 @@ mod tests {
     fn ordered_counts_are_the_mirrored_doubling() {
         // Over ordered pairs every off-diagonal difference appears twice;
         // at width 5 all 8 unordered differences are off-diagonal.
-        let r = compare_precision(OpCatalog::mul_kernel(), OpCatalog::mul(), 5);
+        let r = compare_precision(OpCatalog::<Tnum>::mul_kernel(), OpCatalog::<Tnum>::mul(), 5);
         assert_eq!(r.total, 243u64 * 243);
         assert_eq!(r.different, 16);
         assert_eq!(r.b_more_precise, 12);
@@ -279,15 +285,39 @@ mod tests {
 
     #[test]
     fn identical_operators_report_all_equal() {
-        let r = compare_precision(OpCatalog::mul(), OpCatalog::mul_simplified(), 4);
+        let r = compare_precision(
+            OpCatalog::<Tnum>::mul(),
+            OpCatalog::<Tnum>::mul_simplified(),
+            4,
+        );
         assert_eq!(r.equal, r.total);
         assert_eq!(r.different, 0);
     }
 
     #[test]
+    fn cross_domain_precision_through_the_bijection() {
+        // The knownbits mul *is* bitwise_mul through the encoding, so the
+        // generic comparison against the kernel mul must reproduce the
+        // tnum-level comparison exactly.
+        let kb = compare_precision(
+            OpCatalog::<KnownBits>::mul(),
+            OpCatalog::<KnownBits>::add(),
+            3,
+        );
+        let tn = compare_precision(
+            OpCatalog::<Tnum>::mul_bitwise(),
+            OpCatalog::<Tnum>::add(),
+            3,
+        );
+        assert_eq!(kb.equal, tn.equal);
+        assert_eq!(kb.different, tn.different);
+        assert_eq!(kb.comparable, tn.comparable);
+    }
+
+    #[test]
     fn histogram_counts_match_difference_counts() {
-        let r = compare_precision(OpCatalog::mul_kernel(), OpCatalog::mul(), 5);
-        let hist = ratio_histogram(OpCatalog::mul_kernel(), OpCatalog::mul(), 5);
+        let r = compare_precision(OpCatalog::<Tnum>::mul_kernel(), OpCatalog::<Tnum>::mul(), 5);
+        let hist = ratio_histogram(OpCatalog::<Tnum>::mul_kernel(), OpCatalog::<Tnum>::mul(), 5);
         let hist_total: u64 = hist.values().sum();
         assert_eq!(hist_total, r.different);
         // Positive diffs are cases where our_mul was more precise.
@@ -297,8 +327,18 @@ mod tests {
 
     #[test]
     fn sampled_comparison_is_deterministic_and_consistent() {
-        let a = compare_precision_sampled(OpCatalog::mul_kernel(), OpCatalog::mul(), 6, 20_000);
-        let b = compare_precision_sampled(OpCatalog::mul_kernel(), OpCatalog::mul(), 6, 20_000);
+        let a = compare_precision_sampled(
+            OpCatalog::<Tnum>::mul_kernel(),
+            OpCatalog::<Tnum>::mul(),
+            6,
+            20_000,
+        );
+        let b = compare_precision_sampled(
+            OpCatalog::<Tnum>::mul_kernel(),
+            OpCatalog::<Tnum>::mul(),
+            6,
+            20_000,
+        );
         assert_eq!(a, b, "fixed seed ⇒ reproducible");
         assert_eq!(a.total, 20_000);
         assert_eq!(a.equal + a.different, a.total);

@@ -1,28 +1,29 @@
 //! Randomized 64-bit soundness testing — the enumeration-free analogue of
 //! the paper's §VII-D harness ("spot-checking the correctness of our SMT
-//! encodings"), and the only practical check at the kernel's full width.
+//! encodings"), the only practical check at the kernel's full width, and
+//! generic over the abstract domain via [`AbstractDomain::random`] /
+//! [`AbstractDomain::random_member`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tnum::Tnum;
+use domain::rng::SplitMix64;
+use domain::AbstractDomain;
 
 use crate::ops::Op2;
 use crate::soundness::Violation;
 
 /// Outcome of a randomized soundness campaign at width 64.
 #[derive(Clone, Debug)]
-pub struct SpotCheckReport {
+pub struct SpotCheckReport<D> {
     /// Operator name.
     pub name: &'static str,
-    /// Random tnum pairs drawn.
+    /// Random abstract pairs drawn.
     pub pairs: u64,
-    /// Concrete member pairs checked per tnum pair.
+    /// Concrete member pairs checked per abstract pair.
     pub members_per_pair: u32,
     /// Violations found (must be empty for a sound operator).
-    pub violations: Vec<Violation>,
+    pub violations: Vec<Violation<D>>,
 }
 
-impl SpotCheckReport {
+impl<D> SpotCheckReport<D> {
     /// Whether no violation was found.
     #[must_use]
     pub fn is_sound(&self) -> bool {
@@ -30,52 +31,53 @@ impl SpotCheckReport {
     }
 }
 
-/// Draws a uniformly random well-formed 64-bit tnum.
-pub fn random_tnum(rng: &mut impl Rng) -> Tnum {
-    let mask: u64 = rng.gen();
-    let value: u64 = rng.gen::<u64>() & !mask;
-    Tnum::new(value, mask).expect("disjoint by construction")
-}
-
-/// Draws a uniformly random member of `γ(t)`.
-pub fn random_member(rng: &mut impl Rng, t: Tnum) -> u64 {
-    t.value() | (rng.gen::<u64>() & t.mask())
-}
-
 /// Randomized soundness check at the full 64-bit width: for `pairs`
-/// random well-formed tnum pairs, checks `members_per_pair` random
+/// random well-formed abstract pairs, checks `members_per_pair` random
 /// concrete pairs for membership of the concrete result in the abstract
 /// one. Deterministic in `seed`.
 #[must_use]
-pub fn spot_check(op: Op2, pairs: u64, members_per_pair: u32, seed: u64) -> SpotCheckReport {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn spot_check<D: AbstractDomain>(
+    op: Op2<D>,
+    pairs: u64,
+    members_per_pair: u32,
+    seed: u64,
+) -> SpotCheckReport<D> {
+    let mut rng = SplitMix64::new(seed);
     let mut violations = Vec::new();
     for _ in 0..pairs {
-        let p = random_tnum(&mut rng);
-        let q = random_tnum(&mut rng);
+        let p = D::random(&mut rng);
+        let q = D::random(&mut rng);
         let r = (op.abstract_op)(p, q, 64);
         for _ in 0..members_per_pair {
-            let x = random_member(&mut rng, p);
-            let y = random_member(&mut rng, q);
+            let x = p.random_member(&mut rng);
+            let y = q.random_member(&mut rng);
             let z = (op.concrete_op)(x, y, 64);
             if !r.contains(z) {
                 violations.push(Violation { p, q, x, y, z, r });
             }
         }
     }
-    SpotCheckReport { name: op.name, pairs, members_per_pair, violations }
+    SpotCheckReport {
+        name: op.name,
+        pairs,
+        members_per_pair,
+        violations,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ops::OpCatalog;
+    use bitwise_domain::KnownBits;
+    use interval_domain::Bounds;
+    use tnum::Tnum;
 
     #[test]
     fn paper_suite_sound_at_64_bits_randomized() {
         // The analogue of "verification succeeded for bitvectors of width
         // 64" (§III-A) — here by randomized testing rather than SMT.
-        for op in OpCatalog::paper_suite() {
+        for op in OpCatalog::<Tnum>::paper_suite() {
             let report = spot_check(op, 2_000, 8, 0xC60_2022);
             assert!(
                 report.is_sound(),
@@ -87,12 +89,35 @@ mod tests {
     }
 
     #[test]
-    fn random_tnums_are_well_formed_and_members_belong() {
-        let mut rng = StdRng::seed_from_u64(7);
+    fn knownbits_and_bounds_sound_at_64_bits_randomized() {
+        // The same randomized campaign, same code path, other domains.
+        for op in OpCatalog::<KnownBits>::domain_suite() {
+            let report = spot_check(op, 1_000, 8, 0x5EED);
+            assert!(
+                report.is_sound(),
+                "knownbits {}: {:?}",
+                op.name,
+                report.violations.first()
+            );
+        }
+        for op in OpCatalog::<Bounds>::domain_suite() {
+            let report = spot_check(op, 1_000, 8, 0x5EED);
+            assert!(
+                report.is_sound(),
+                "bounds {}: {:?}",
+                op.name,
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn random_elements_are_well_formed_and_members_belong() {
+        let mut rng = SplitMix64::new(7);
         for _ in 0..1_000 {
-            let t = random_tnum(&mut rng);
+            let t = Tnum::random(&mut rng);
             assert_eq!(t.value() & t.mask(), 0);
-            let m = random_member(&mut rng, t);
+            let m = t.random_member(&mut rng);
             assert!(t.contains(m));
         }
     }
@@ -102,7 +127,7 @@ mod tests {
         let broken = Op2 {
             name: "broken_xor",
             // Claims the result equals the xor of the value parts exactly.
-            abstract_op: |a, b, _| Tnum::constant(a.value() ^ b.value()),
+            abstract_op: |a: Tnum, b: Tnum, _| Tnum::constant(a.value() ^ b.value()),
             concrete_op: |x, y, _| x ^ y,
         };
         let report = spot_check(broken, 200, 4, 42);
@@ -111,8 +136,8 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = spot_check(OpCatalog::add(), 100, 4, 9);
-        let b = spot_check(OpCatalog::add(), 100, 4, 9);
+        let a = spot_check(OpCatalog::<Tnum>::add(), 100, 4, 9);
+        let b = spot_check(OpCatalog::<Tnum>::add(), 100, 4, 9);
         assert_eq!(a.pairs, b.pairs);
         assert_eq!(a.violations.len(), b.violations.len());
     }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The encoding bijection ----------------------------------------
     let t: Tnum = "1x0x".parse()?;
     let kb = KnownBits::from_tnum(t);
-    println!("kernel encoding:  value={:04b} mask={:04b}", t.value(), t.mask());
+    println!(
+        "kernel encoding:  value={:04b} mask={:04b}",
+        t.value(),
+        t.mask()
+    );
     println!(
         "LLVM encoding:    ones ={:04b} zeros=...{:04b}",
         kb.ones(),
@@ -28,9 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b: Tnum = "x110".parse()?;
     let (ka, kbb) = (KnownBits::from_tnum(a), KnownBits::from_tnum(b));
     println!("a = {a}, b = {b}");
-    println!("  tnum_add -> {:<8} KnownBits::computeForAddSub -> {}", a.add(b), ka.add(kbb).to_tnum());
-    println!("  tnum_and -> {:<8} KnownBits & -> {}", a.and(b), ka.and(kbb).to_tnum());
-    println!("  tnum_or  -> {:<8} KnownBits | -> {}", a.or(b), ka.or(kbb).to_tnum());
+    println!(
+        "  tnum_add -> {:<8} KnownBits::computeForAddSub -> {}",
+        a.add(b),
+        ka.add(kbb).to_tnum()
+    );
+    println!(
+        "  tnum_and -> {:<8} KnownBits & -> {}",
+        a.and(b),
+        ka.and(kbb).to_tnum()
+    );
+    println!(
+        "  tnum_or  -> {:<8} KnownBits | -> {}",
+        a.or(b),
+        ka.or(kbb).to_tnum()
+    );
 
     // Exhaustive agreement at width 5 — the differential check the tests
     // pin down, run live here.

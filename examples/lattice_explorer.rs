@@ -33,9 +33,9 @@ fn main() {
     for &a in &all {
         for &b in &all {
             if a.is_strict_subset_of(b)
-                && !all.iter().any(|&c| {
-                    a.is_strict_subset_of(c) && c.is_strict_subset_of(b)
-                })
+                && !all
+                    .iter()
+                    .any(|&c| a.is_strict_subset_of(c) && c.is_strict_subset_of(b))
             {
                 println!("  {} ⊏ {}", a.to_bin_string(W), b.to_bin_string(W));
             }
@@ -46,12 +46,18 @@ fn main() {
     println!("\nFig. 1(i):  C' = {{1, 2, 3}}");
     let c1 = Tnum::abstract_of([1u64, 2, 3]).unwrap();
     println!("  α(C') = {}", c1.to_bin_string(W));
-    println!("  γ(α(C')) = {:?}  (over-approximates C')", c1.concretize().collect::<Vec<_>>());
+    println!(
+        "  γ(α(C')) = {:?}  (over-approximates C')",
+        c1.concretize().collect::<Vec<_>>()
+    );
 
     println!("Fig. 1(ii): C'' = {{2, 3}}");
     let c2 = Tnum::abstract_of([2u64, 3]).unwrap();
     println!("  α(C'') = {}", c2.to_bin_string(W));
-    println!("  γ(α(C'')) = {:?}  (exact)", c2.concretize().collect::<Vec<_>>());
+    println!(
+        "  γ(α(C'')) = {:?}  (exact)",
+        c2.concretize().collect::<Vec<_>>()
+    );
 
     // Galois-connection sanity over the whole width-2 powerset.
     println!("\nChecking C ⊆ γ(α(C)) for all 15 non-empty subsets of {{0,1,2,3}}:");
@@ -59,7 +65,10 @@ fn main() {
     for bits in 1u32..16 {
         let set: Vec<u64> = (0..4u64).filter(|v| bits & (1 << v) != 0).collect();
         let a = Tnum::abstract_of(set.iter().copied()).unwrap();
-        assert!(set.iter().all(|&v| a.contains(v)), "extensivity violated for {set:?}");
+        assert!(
+            set.iter().all(|&v| a.contains(v)),
+            "extensivity violated for {set:?}"
+        );
         checked += 1;
     }
     println!("  all {checked} subsets OK (γ∘α is extensive — Property G3)");

@@ -44,7 +44,11 @@ const BUGGY: &str = r"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prog = assemble(FILTER)?;
-    println!("program ({} instructions):\n{}", prog.len(), prog.disassemble());
+    println!(
+        "program ({} instructions):\n{}",
+        prog.len(),
+        prog.disassemble()
+    );
 
     // --- Static analysis -------------------------------------------------
     let analyzer = Analyzer::new(AnalyzerOptions::default());
@@ -71,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for byte in [0u8, 7, 14, 255] {
         let mut packet = [byte, (byte % 2 == 0) as u8, 0, 0];
         let verdict = vm.run(&prog, &mut packet)?;
-        println!("  packet[0]={byte:>3} -> verdict {verdict}, table bucket {} marked", byte & 14);
+        println!(
+            "  packet[0]={byte:>3} -> verdict {verdict}, table bucket {} marked",
+            byte & 14
+        );
     }
 
     println!("\npacket_filter OK");

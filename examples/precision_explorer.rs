@@ -40,8 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== exhaustive sweep (Table I in miniature) ==");
     for width in 5..=6 {
-        let r: PrecisionReport =
-            compare_precision_unordered(OpCatalog::mul_kernel(), OpCatalog::mul(), width);
+        let r: PrecisionReport = compare_precision_unordered(
+            OpCatalog::<Tnum>::mul_kernel(),
+            OpCatalog::<Tnum>::mul(),
+            width,
+        );
         println!(
             "width {width}: {} pairs, {} differ, our_mul more precise in {}, kern_mul in {}",
             r.total, r.different, r.b_more_precise, r.a_more_precise

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example prove_soundness`
 
+use tnum::Tnum;
 use tnum_verify::ops::OpCatalog;
 use tnum_verify::{check_optimality, check_soundness};
 
@@ -13,7 +14,7 @@ fn main() {
     println!("bounded verification at width {WIDTH} — 3^{WIDTH} = 81 tnums,");
     println!("81 x 81 = 6561 abstract pairs, 16^{WIDTH} = 65536 member checks per operator\n");
 
-    for op in OpCatalog::paper_suite() {
+    for op in OpCatalog::<Tnum>::paper_suite() {
         let s = check_soundness(op, WIDTH);
         let o = check_optimality(op, WIDTH);
         println!(

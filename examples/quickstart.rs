@@ -13,9 +13,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let from_str: Tnum = "10x0".parse()?;
     let from_const = Tnum::constant(42);
     let from_set = Tnum::abstract_of([8u64, 10]).expect("non-empty set");
-    println!("parsed   10x0 -> value={:#x} mask={:#x}", from_str.value(), from_str.mask());
+    println!(
+        "parsed   10x0 -> value={:#x} mask={:#x}",
+        from_str.value(),
+        from_str.mask()
+    );
     println!("constant 42   -> {from_const}");
-    println!("abstract_of {{8, 10}} -> {from_set} (same as 10x0: {})", from_set == from_str);
+    println!(
+        "abstract_of {{8, 10}} -> {from_set} (same as 10x0: {})",
+        from_set == from_str
+    );
 
     // --- Concretization ------------------------------------------------
     let members: Vec<u64> = from_str.concretize().collect();
@@ -39,27 +46,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- §I: one unknown bit can poison every output bit ---------------
     let ones = Tnum::constant(u64::MAX);
     let bit: Tnum = "x".parse()?;
-    println!("\n§I:      (all ones) + {bit} = {} (all 64 trits unknown)", ones.add(bit));
+    println!(
+        "\n§I:      (all ones) + {bit} = {} (all 64 trits unknown)",
+        ones.add(bit)
+    );
     assert!(ones.add(bit).is_unknown());
 
     // --- The motivating bound: masking implies a range -----------------
     let any = Tnum::UNKNOWN;
     let masked = any.and(Tnum::constant(0b0110)); // the paper's 01x0 shape
-    println!("\nunknown & 0b0110 = {} -> max value {} <= 8", masked.to_bin_string(4), masked.max_value());
+    println!(
+        "\nunknown & 0b0110 = {} -> max value {} <= 8",
+        masked.to_bin_string(4),
+        masked.max_value()
+    );
     assert!(masked.max_value() <= 8);
 
     // --- Lattice operations --------------------------------------------
     let a = Tnum::constant(4);
     let b = Tnum::constant(6);
     let join = a.union(b);
-    println!("\nunion(100, 110) = {} — the smallest tnum containing both", join.to_bin_string(3));
+    println!(
+        "\nunion(100, 110) = {} — the smallest tnum containing both",
+        join.to_bin_string(3)
+    );
     assert!(a.is_subset_of(join) && b.is_subset_of(join));
     let meet = join.intersect("1x0".parse()?);
     println!("intersect(1x0, 1x0) = {meet:?}");
 
     // --- Kernel auxiliary ops -------------------------------------------
     println!("\ntnum_range(8, 11) = {}", Tnum::range(8, 11));
-    println!("alignment: {} is 4-aligned: {}", "1x00", "1x00".parse::<Tnum>()?.is_aligned(4));
+    println!(
+        "alignment: 1x00 is 4-aligned: {}",
+        "1x00".parse::<Tnum>()?.is_aligned(4)
+    );
 
     println!("\nquickstart OK");
     Ok(())

@@ -3,18 +3,27 @@
 //! One-stop re-export of the workspace reproducing *"Sound, Precise, and
 //! Fast Abstract Interpretation with Tristate Numbers"* (CGO 2022):
 //!
+//! * [`domain`] — the domain-generic abstraction layer: the
+//!   `AbstractDomain` trait family, the `RefineFrom` reduced-product
+//!   hook, and the deterministic PRNG behind every randomized campaign;
 //! * [`tnum`] — the tristate-number abstract domain (the paper's subject);
-//! * [`bitwise_domain`] — the Regehr–Duongsaa baseline domain;
+//! * [`bitwise_domain`] — the Regehr–Duongsaa baseline operators and the
+//!   LLVM known-bits encoding of the same domain;
 //! * [`interval_domain`] — kernel-style value bounds with tnum sync;
 //! * [`ebpf`] — the eBPF-subset ISA, assembler, and concrete VM;
-//! * [`verifier`] — a BPF-style abstract interpreter built on the domains;
-//! * [`tnum_verify`] — exhaustive bounded verification and precision
-//!   measurement harness.
+//! * [`verifier`] — a BPF-style abstract interpreter whose register state
+//!   is the generic reduced product `Product<Tnum, Bounds>`;
+//! * [`tnum_verify`] — the domain-generic exhaustive bounded verification
+//!   and precision measurement harness.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use bitwise_domain;
+pub use domain;
 pub use ebpf;
 pub use interval_domain;
 pub use tnum;

@@ -7,16 +7,15 @@
 //! the concrete BPF semantics, the strongest soundness evidence the test
 //! suite produces.
 
+use domain::rng::SplitMix64;
 use ebpf::{AluOp, Insn, Program, Reg, Src, Vm, Width};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use verifier::{Analyzer, AnalyzerOptions, RegValue};
 
 /// Generates a random straight-line ALU program over r0-r5.
 ///
 /// r0..r5 are first seeded with constants so every register is
 /// initialized; then `len` random ALU instructions follow.
-fn random_alu_program(rng: &mut StdRng, len: usize) -> Program {
+fn random_alu_program(rng: &mut SplitMix64, len: usize) -> Program {
     let regs = [Reg::R0, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7];
     let mut insns: Vec<Insn> = Vec::new();
     for (i, &r) in regs.iter().enumerate() {
@@ -24,7 +23,7 @@ fn random_alu_program(rng: &mut StdRng, len: usize) -> Program {
             width: Width::W64,
             op: AluOp::Mov,
             dst: r,
-            src: Src::Imm(rng.gen::<i32>() >> (i * 4)),
+            src: Src::Imm(rng.next_i32() >> (i * 4)),
         });
     }
     let ops = [
@@ -43,22 +42,31 @@ fn random_alu_program(rng: &mut StdRng, len: usize) -> Program {
         AluOp::Mov,
     ];
     for _ in 0..len {
-        let op = ops[rng.gen_range(0..ops.len())];
-        let width = if rng.gen_bool(0.3) { Width::W32 } else { Width::W64 };
-        let dst = regs[rng.gen_range(0..regs.len())];
+        let op = ops[rng.below(ops.len() as u64) as usize];
+        let width = if rng.ratio(3, 10) {
+            Width::W32
+        } else {
+            Width::W64
+        };
+        let dst = regs[rng.below(regs.len() as u64) as usize];
         let src = if op == AluOp::Neg {
             // Canonical no-operand form.
             Src::Imm(0)
-        } else if rng.gen_bool(0.5) {
-            Src::Reg(regs[rng.gen_range(0..regs.len())])
+        } else if rng.coin() {
+            Src::Reg(regs[rng.below(regs.len() as u64) as usize])
         } else if matches!(op, AluOp::Lsh | AluOp::Rsh | AluOp::Arsh) {
             // Keep immediate shift amounts in range; register amounts are
             // masked by the semantics.
-            Src::Imm(rng.gen_range(0..if width == Width::W32 { 32 } else { 64 }))
+            Src::Imm(rng.below(if width == Width::W32 { 32 } else { 64 }) as i32)
         } else {
-            Src::Imm(rng.gen())
+            Src::Imm(rng.next_i32())
         };
-        insns.push(Insn::Alu { width, op, dst, src });
+        insns.push(Insn::Alu {
+            width,
+            op,
+            dst,
+            src,
+        });
     }
     insns.push(Insn::Exit);
     Program::new(insns).expect("straight-line ALU programs always validate")
@@ -66,7 +74,7 @@ fn random_alu_program(rng: &mut StdRng, len: usize) -> Program {
 
 #[test]
 fn random_alu_programs_abstract_containment() {
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut rng = SplitMix64::new(0xBEEF);
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     let mut vm = Vm::new();
     for round in 0..200 {
@@ -75,7 +83,9 @@ fn random_alu_programs_abstract_containment() {
             .analyze(&prog)
             .unwrap_or_else(|e| panic!("round {round}: ALU program rejected: {e}"));
         let mut ctx = [0u8; 8];
-        let (_, trace) = vm.run_traced(&prog, &mut ctx).expect("ALU programs cannot fault");
+        let (_, trace) = vm
+            .run_traced(&prog, &mut ctx)
+            .expect("ALU programs cannot fault");
         for snap in &trace {
             let state = analysis.state_before(snap.pc).expect("reachable");
             for reg in Reg::ALL {
@@ -97,15 +107,15 @@ fn random_alu_programs_abstract_containment() {
 fn random_alu_programs_with_branches() {
     // Add forward conditional branches (still loop-free): exercises branch
     // refinement soundness against concrete control flow.
-    let mut rng = StdRng::seed_from_u64(0xFACE);
+    let mut rng = SplitMix64::new(0xFACE);
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     let mut vm = Vm::new();
     for round in 0..100 {
         let base = random_alu_program(&mut rng, 12);
         // Splice a conditional jump over a random prefix-safe distance.
         let mut insns: Vec<Insn> = base.insns().to_vec();
-        let at = rng.gen_range(6..insns.len() - 1);
-        let skip = rng.gen_range(0..(insns.len() - 1 - at)) as i16;
+        let at = rng.range(6, (insns.len() - 1) as u64) as usize;
+        let skip = rng.below((insns.len() - 1 - at) as u64) as i16;
         let cmp_ops = [
             ebpf::JmpOp::Eq,
             ebpf::JmpOp::Ne,
@@ -119,13 +129,19 @@ fn random_alu_programs_with_branches() {
             at,
             Insn::Jmp {
                 width: Width::W64,
-                op: cmp_ops[rng.gen_range(0..cmp_ops.len())],
+                op: cmp_ops[rng.below(cmp_ops.len() as u64) as usize],
                 dst: Reg::R3,
-                src: if rng.gen_bool(0.5) { Src::Reg(Reg::R4) } else { Src::Imm(rng.gen()) },
+                src: if rng.coin() {
+                    Src::Reg(Reg::R4)
+                } else {
+                    Src::Imm(rng.next_i32())
+                },
                 off: skip,
             },
         );
-        let Ok(prog) = Program::new(insns) else { continue };
+        let Ok(prog) = Program::new(insns) else {
+            continue;
+        };
         let analysis = analyzer
             .analyze(&prog)
             .unwrap_or_else(|e| panic!("round {round}: rejected: {e}\n{}", prog.disassemble()));
@@ -151,7 +167,7 @@ fn random_alu_programs_with_branches() {
 
 #[test]
 fn byte_round_trip_of_random_programs() {
-    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let mut rng = SplitMix64::new(0xD15C);
     for _ in 0..100 {
         let prog = random_alu_program(&mut rng, 20);
         let bytes = prog.to_bytes();

@@ -11,9 +11,12 @@ use verifier::{Analyzer, AnalyzerOptions, RegValue};
 /// tracks as a scalar must contain the concrete value.
 fn assert_trace_contained(src: &str, ctx: &mut [u8]) -> u64 {
     let prog = assemble(src).expect("assembles");
-    let analysis = Analyzer::new(AnalyzerOptions { ctx_size: ctx.len() as u64, ..AnalyzerOptions::default() })
-        .analyze(&prog)
-        .expect("verifies");
+    let analysis = Analyzer::new(AnalyzerOptions {
+        ctx_size: ctx.len() as u64,
+        ..AnalyzerOptions::default()
+    })
+    .analyze(&prog)
+    .expect("verifies");
     let (ret, trace) = Vm::new().run_traced(&prog, ctx).expect("executes");
     for snap in &trace {
         let Some(state) = analysis.state_before(snap.pc) else {
@@ -73,7 +76,11 @@ fn branchy_arith_program() {
             ",
             &mut ctx,
         );
-        let expect = if u64::from(byte) * 3 > 300 { 300 } else { u64::from(byte) * 3 + 1 };
+        let expect = if u64::from(byte) * 3 > 300 {
+            300
+        } else {
+            u64::from(byte) * 3 + 1
+        };
         assert_eq!(ret, expect);
     }
 }
@@ -131,11 +138,16 @@ fn every_verified_program_runs_without_fault() {
         "*(u64 *)(r10 - 8) = 1\n*(u64 *)(r10 - 16) = 2\nr0 = *(u64 *)(r10 - 16)\nexit",
         "r2 = *(u8 *)(r1 + 0)\nr2 %= 8\nr3 = r10\nr3 -= 8\nr3 += r2\nr0 = 0\nexit",
     ];
-    let analyzer = Analyzer::new(AnalyzerOptions { ctx_size: 64, ..AnalyzerOptions::default() });
+    let analyzer = Analyzer::new(AnalyzerOptions {
+        ctx_size: 64,
+        ..AnalyzerOptions::default()
+    });
     let mut vm = Vm::new();
     for src in corpus {
         let prog = assemble(src).unwrap();
-        analyzer.analyze(&prog).unwrap_or_else(|e| panic!("rejected {src:?}: {e}"));
+        analyzer
+            .analyze(&prog)
+            .unwrap_or_else(|e| panic!("rejected {src:?}: {e}"));
         for fill in [0u8, 1, 63, 255] {
             let mut ctx = [fill; 64];
             vm.run(&prog, &mut ctx)
@@ -157,7 +169,9 @@ fn rejected_programs_do_fault_concretely() {
         exit
     ";
     let prog = assemble(src).unwrap();
-    assert!(Analyzer::new(AnalyzerOptions::default()).analyze(&prog).is_err());
+    assert!(Analyzer::new(AnalyzerOptions::default())
+        .analyze(&prog)
+        .is_err());
     // With a large enough byte the unchecked VM access goes out of bounds.
     let mut ctx = [200u8; 4];
     assert!(Vm::new().run(&prog, &mut ctx).is_err());
@@ -176,8 +190,13 @@ fn strict_alignment_end_to_end() {
         exit
     ";
     let prog = assemble(src).unwrap();
-    let strict = AnalyzerOptions { strict_alignment: true, ..AnalyzerOptions::default() };
-    Analyzer::new(strict).analyze(&prog).expect("8-aligned access accepted strictly");
+    let strict = AnalyzerOptions {
+        strict_alignment: true,
+        ..AnalyzerOptions::default()
+    };
+    Analyzer::new(strict)
+        .analyze(&prog)
+        .expect("8-aligned access accepted strictly");
     for byte in 0u8..=255 {
         let mut ctx = [byte, 0, 0, 0];
         Vm::new().run(&prog, &mut ctx).expect("runs");

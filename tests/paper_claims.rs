@@ -14,7 +14,7 @@ use tnum_verify::{
 fn claim_add_sub_sound_and_optimal() {
     // §III-B Theorem 6 / §VII-C Theorem 22, verified exhaustively at
     // width 5 and randomly at width 64.
-    for op in [OpCatalog::add(), OpCatalog::sub()] {
+    for op in [OpCatalog::<Tnum>::add(), OpCatalog::<Tnum>::sub()] {
         assert!(check_soundness(op, 5).is_sound());
         assert!(check_optimality(op, 5).is_optimal());
         assert!(spot_check(op, 5_000, 8, 1).is_sound());
@@ -25,7 +25,7 @@ fn claim_add_sub_sound_and_optimal() {
 fn claim_our_mul_sound_but_not_optimal() {
     // §III-C: our_mul is provably sound; "While our_mul is sound, it is
     // not optimal."
-    let op = OpCatalog::mul();
+    let op = OpCatalog::<Tnum>::mul();
     assert!(check_soundness(op, 5).is_sound());
     assert!(spot_check(op, 5_000, 8, 2).is_sound());
     let opt = check_optimality(op, 5);
@@ -39,7 +39,7 @@ fn claim_kernel_ops_sound_at_bounded_width() {
     // abstract addition, subtraction, and all other bitwise operators" —
     // and of kern_mul at width 8 (our exhaustive budget keeps width 5
     // for the test suite; the verify_soundness binary goes to 8).
-    for op in OpCatalog::paper_suite() {
+    for op in OpCatalog::<Tnum>::paper_suite() {
         assert!(check_soundness(op, 5).is_sound(), "{} unsound", op.name);
     }
 }
@@ -47,14 +47,26 @@ fn claim_kernel_ops_sound_at_bounded_width() {
 #[test]
 fn claim_table1_rows_5_and_6_exact() {
     // §VII-E Table I, exact integer agreement with the paper.
-    let r5 = compare_precision_unordered(OpCatalog::mul_kernel(), OpCatalog::mul(), 5);
+    let r5 =
+        compare_precision_unordered(OpCatalog::<Tnum>::mul_kernel(), OpCatalog::<Tnum>::mul(), 5);
     assert_eq!(
-        (r5.different, r5.comparable, r5.a_more_precise, r5.b_more_precise),
+        (
+            r5.different,
+            r5.comparable,
+            r5.a_more_precise,
+            r5.b_more_precise
+        ),
         (8, 8, 2, 6)
     );
-    let r6 = compare_precision_unordered(OpCatalog::mul_kernel(), OpCatalog::mul(), 6);
+    let r6 =
+        compare_precision_unordered(OpCatalog::<Tnum>::mul_kernel(), OpCatalog::<Tnum>::mul(), 6);
     assert_eq!(
-        (r6.different, r6.comparable, r6.a_more_precise, r6.b_more_precise),
+        (
+            r6.different,
+            r6.comparable,
+            r6.a_more_precise,
+            r6.b_more_precise
+        ),
         (180, 180, 41, 139)
     );
     // Trend (1): the fraction of equal outputs decreases with width.
@@ -73,9 +85,11 @@ fn claim_fig4_our_mul_more_precise_in_majority() {
     // precise tnum than both kern_mul and bitwise_mul". Checked at width
     // 6 in the suite (width 8 in the fig4 binary): the share must clearly
     // exceed one half and approach the paper's figure.
-    for (name, other) in [("kern", OpCatalog::mul_kernel()), ("bitwise", OpCatalog::mul_bitwise())]
-    {
-        let hist = ratio_histogram(other, OpCatalog::mul(), 6);
+    for (name, other) in [
+        ("kern", OpCatalog::<Tnum>::mul_kernel()),
+        ("bitwise", OpCatalog::<Tnum>::mul_bitwise()),
+    ] {
+        let hist = ratio_histogram(other, OpCatalog::<Tnum>::mul(), 6);
         let total: u64 = hist.values().sum();
         let ours_better: u64 = hist.iter().filter(|(k, _)| **k > 0).map(|(_, v)| *v).sum();
         let share = ours_better as f64 / total as f64;
@@ -102,7 +116,8 @@ fn claim_outputs_always_comparable_at_width_8_and_below() {
     // turn out to be always comparable" — Table I shows 100% comparable
     // for widths 5-8. Width 6 keeps the test fast; rows 5/6 are asserted
     // exactly above and width 8 in the table1 binary.
-    let r = compare_precision_unordered(OpCatalog::mul_kernel(), OpCatalog::mul(), 6);
+    let r =
+        compare_precision_unordered(OpCatalog::<Tnum>::mul_kernel(), OpCatalog::<Tnum>::mul(), 6);
     assert_eq!(r.comparable, r.different);
 }
 
@@ -150,10 +165,7 @@ fn claim_bitwise_mul_agrees_between_fast_and_naive() {
     // speedup; outputs are identical.
     for a in tnums(4) {
         for b in tnums(4) {
-            assert_eq!(
-                bitwise_mul(a, b),
-                bitwise_domain::bitwise_mul_naive(a, b)
-            );
+            assert_eq!(bitwise_mul(a, b), bitwise_domain::bitwise_mul_naive(a, b));
         }
     }
 }
