@@ -1,0 +1,95 @@
+//! Benchmarks of the widening fixpoint engine over loopy programs: a
+//! masked-memset loop swept across trip counts × widening delays, plus
+//! an unbounded loop (pure widening cost) and the VM executing the same
+//! loops for scale.
+//!
+//! Trip counts at or below the widening delay are analyzed with full
+//! precision (one join per trip — analysis cost grows with the trip
+//! count); above it, widening extrapolates and the cost flattens. That
+//! trade-off is the whole point of the delay knob, and this sweep
+//! measures it.
+//!
+//! Run with: `cargo bench -p bench --bench fixpoint`
+//!
+//! Set `BENCH_JSON=path.json` to also write the machine-readable
+//! baseline (`BENCH_PR2.json` in the repo root is the committed one).
+
+use bench::harness::Group;
+use ebpf::asm::assemble;
+use ebpf::{Program, Vm};
+use verifier::{Analyzer, AnalyzerOptions};
+
+/// A memset-style loop over a 16-byte buffer with a masked index, safe
+/// for every trip count; `trips` only changes how long the counter
+/// climbs.
+fn masked_memset(trips: u32) -> Program {
+    assemble(&format!(
+        r"
+            r1 = 0
+        loop:
+            r2 = r1
+            r2 &= 15
+            r3 = r10
+            r3 += -16
+            r3 += r2
+            *(u8 *)(r3 + 0) = 0
+            r1 += 1
+            if r1 < {trips} goto loop
+            r0 = r1
+            exit
+        "
+    ))
+    .expect("assembles")
+}
+
+fn main() {
+    let mut group = Group::new("fixpoint_sweep");
+
+    // Trip counts straddling the default delay (16) × widening delays.
+    for &trips in &[4u32, 8, 16, 64, 1024] {
+        let prog = masked_memset(trips);
+        for &delay in &[0u32, 4, 16, 64] {
+            let analyzer = Analyzer::new(AnalyzerOptions {
+                widen_delay: delay,
+                ..AnalyzerOptions::default()
+            });
+            group.bench(&format!("analyze/trips={trips}/delay={delay}"), || {
+                analyzer.analyze(&prog).expect("masked loop accepted")
+            });
+        }
+    }
+
+    // Pure widening cost: no exit test at all, the head must climb the
+    // whole threshold ladder to ⊤ before stabilizing.
+    let unbounded = assemble(
+        r"
+            r1 = 0
+        loop:
+            r1 += 1
+            if r2 > 0 goto loop
+            r0 = 0
+            exit
+        ",
+    )
+    .expect("assembles");
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    group.bench("analyze/unbounded_to_top", || {
+        analyzer.analyze(&unbounded).expect("terminates at ⊤")
+    });
+
+    // Concrete execution of the same loops, for an abstract-vs-concrete
+    // scale reference.
+    let mut vm = Vm::new();
+    for &trips in &[16u32, 1024] {
+        let prog = masked_memset(trips);
+        group.bench(&format!("vm/trips={trips}"), || {
+            vm.run(&prog, &mut []).expect("runs")
+        });
+    }
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        std::fs::write(&path, group.to_json()).expect("write bench baseline");
+        eprintln!("wrote baseline to {path}");
+    }
+    group.finish();
+}

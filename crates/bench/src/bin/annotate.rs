@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin annotate -- --file prog.s \
-//!     [--ctx-size 64] [--strict-alignment] [--no-refine]
+//!     [--ctx-size 64] [--strict-alignment] [--no-refine] \
+//!     [--reject-loops] [--widen-delay 16] [--budget 1000000]
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
@@ -49,10 +50,16 @@ fn main() -> ExitCode {
         }
     };
 
+    let defaults = AnalyzerOptions::default();
     let options = AnalyzerOptions {
         ctx_size: args.get_u64("ctx-size", 64),
         strict_alignment: args.has("strict-alignment"),
         refine_branches: !args.has("no-refine"),
+        reject_loops: args.has("reject-loops"),
+        widen_delay: args
+            .get_u64("widen-delay", u64::from(defaults.widen_delay))
+            .min(u64::from(u32::MAX)) as u32,
+        analysis_budget: args.get_u64("budget", defaults.analysis_budget),
     };
     match Analyzer::new(options).analyze(&prog) {
         Ok(analysis) => {

@@ -69,6 +69,29 @@ impl Group {
         self.rows.push((label.to_string(), mean_ns));
     }
 
+    /// Serializes the group as a small JSON document —
+    /// `{"group": name, "results": [{"label": …, "ns_per_iter": …}]}` —
+    /// for machine-readable baselines (`BENCH_PR*.json`). Hand-rolled:
+    /// the workspace is dependency-free.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(label, ns)| {
+                format!(
+                    "    {{\"label\": \"{}\", \"ns_per_iter\": {ns:.1}}}",
+                    escape_json(label)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"group\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            escape_json(&self.name),
+            rows.join(",\n")
+        )
+    }
+
     /// Renders the group as a table, with throughput ratios against the
     /// fastest row.
     pub fn finish(self) {
@@ -96,9 +119,32 @@ impl Group {
     }
 }
 
+/// Minimal RFC 8259 string escaping: quotes, backslashes, and control
+/// characters.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_labels_are_escaped() {
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_json("tab\there"), "tab\\u0009here");
+    }
 
     #[test]
     fn measures_something_positive() {

@@ -12,7 +12,7 @@
 //! analysis would borrow from this line of work.
 
 use domain::rng::SplitMix64;
-use domain::{AbstractDomain, ArithDomain, BitwiseDomain};
+use domain::{AbstractDomain, ArithDomain, BitwiseDomain, WidenDomain};
 use tnum::Tnum;
 
 use crate::knownbits::KnownBits;
@@ -74,6 +74,15 @@ impl AbstractDomain for KnownBits {
 
     fn random_member(self, rng: &mut SplitMix64) -> u64 {
         self.to_tnum().random_member(rng)
+    }
+}
+
+impl WidenDomain for KnownBits {
+    /// Widening is the join, exactly as for the isomorphic tnum encoding:
+    /// each strictly growing step forgets at least one known bit, so the
+    /// lattice has finite height and ascending chains stabilize.
+    fn widen(self, newer: KnownBits) -> KnownBits {
+        self.intersect_with(newer)
     }
 }
 
@@ -157,6 +166,7 @@ mod tests {
         domain::laws::assert_lattice_laws::<KnownBits>(4);
         domain::laws::assert_galois_soundness::<KnownBits>(5);
         domain::laws::assert_sampling_sound::<KnownBits>(2_000, 0x1111);
+        domain::laws::assert_widening_laws::<KnownBits>(3, 200, 200, 0x1112);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! verifies exactly the operators the paper verifies.
 
 use domain::rng::SplitMix64;
-use domain::{AbstractDomain, ArithDomain, BitwiseDomain};
+use domain::{AbstractDomain, ArithDomain, BitwiseDomain, WidenDomain};
 
 use crate::enumerate;
 use crate::tnum::Tnum;
@@ -71,6 +71,16 @@ impl AbstractDomain for Tnum {
     }
 }
 
+impl WidenDomain for Tnum {
+    /// Widening is the join: the tnum lattice has finite height (every
+    /// strictly growing step turns at least one known trit unknown and
+    /// there are only 64 trits), so `tnum_union` already guarantees
+    /// termination of ascending chains at loop heads.
+    fn widen(self, newer: Tnum) -> Tnum {
+        self.union(newer)
+    }
+}
+
 impl ArithDomain for Tnum {
     fn abs_add(self, rhs: Tnum) -> Tnum {
         self.add(rhs)
@@ -129,6 +139,7 @@ mod tests {
         domain::laws::assert_lattice_laws::<Tnum>(4);
         domain::laws::assert_galois_soundness::<Tnum>(5);
         domain::laws::assert_sampling_sound::<Tnum>(2_000, 0xC60);
+        domain::laws::assert_widening_laws::<Tnum>(3, 200, 200, 0xC61);
     }
 
     #[test]

@@ -118,13 +118,15 @@ impl Tnum {
     /// ```
     #[must_use]
     pub fn lshift_tnum(self, amount: Tnum) -> Tnum {
-        self.shift_tnum(amount, Tnum::lshift)
+        // Oversized logical shifts move everything out: they contribute
+        // the all-zero result.
+        self.shift_tnum(amount, Tnum::lshift, Tnum::ZERO)
     }
 
     /// Logical right shift by a *tnum* amount — see [`Tnum::lshift_tnum`].
     #[must_use]
     pub fn rshift_tnum(self, amount: Tnum) -> Tnum {
-        self.shift_tnum(amount, Tnum::rshift)
+        self.shift_tnum(amount, Tnum::rshift, Tnum::ZERO)
     }
 
     /// Arithmetic right shift by a *tnum* amount — see
@@ -132,22 +134,15 @@ impl Tnum {
     /// (`self.arshift(63)`).
     #[must_use]
     pub fn arshift_tnum(self, amount: Tnum) -> Tnum {
-        let mut acc: Option<Tnum> = None;
-        let join = |acc: Option<Tnum>, t: Tnum| Some(acc.map_or(t, |a| a.union(t)));
-        // Feasible in-range amounts: iterate members of the truncated
-        // amount; if any high bit may be set, include the saturated shift.
-        let low = amount.truncate(6);
-        let may_oversize = amount.max_value() >= BITS as u64;
-        for k in feasible_amounts(amount, low) {
-            acc = join(acc, self.arshift(k));
-        }
-        if may_oversize {
-            acc = join(acc, self.arshift(BITS - 1));
-        }
-        acc.expect("at least one feasible amount always exists")
+        self.shift_tnum(amount, Tnum::arshift, self.arshift(BITS - 1))
     }
 
-    fn shift_tnum(self, amount: Tnum, op: impl Fn(Tnum, u32) -> Tnum) -> Tnum {
+    /// The one accumulate-join loop behind every shift-by-a-tnum operator:
+    /// joins `op(self, k)` over the feasible in-range amounts, plus
+    /// `saturated` — the operator's fixed result for amounts ≥ 64 (zero
+    /// for logical shifts, the sign-fill `arshift(63)` for arithmetic
+    /// ones) — whenever some member of `amount` is oversized.
+    fn shift_tnum(self, amount: Tnum, op: impl Fn(Tnum, u32) -> Tnum, saturated: Tnum) -> Tnum {
         let mut acc: Option<Tnum> = None;
         let mut join = |t: Tnum| {
             acc = Some(match acc {
@@ -160,8 +155,7 @@ impl Tnum {
             join(op(self, k));
         }
         if amount.max_value() >= BITS as u64 {
-            // Some member shifts everything out: logical shifts give zero.
-            join(Tnum::ZERO);
+            join(saturated);
         }
         acc.expect("at least one feasible amount always exists")
     }

@@ -18,7 +18,7 @@
 //! The functions panic with a counterexample on the first violation, so
 //! they slot directly into `#[test]` bodies.
 
-use crate::AbstractDomain;
+use crate::{AbstractDomain, WidenDomain};
 
 /// Asserts the lattice laws for every pair of canonical elements at
 /// `width` bits.
@@ -156,6 +156,64 @@ pub fn assert_galois_soundness<D: AbstractDomain>(width: u32) {
         // elements, and ⊤ covers everything.
         assert!(p.le(D::top()), "{}: {p:?} ⋢ ⊤", D::NAME);
         assert!(p.le(D::top_at_width(width)), "{}: {p:?} ⋢ ⊤|w", D::NAME);
+    }
+}
+
+/// Asserts the widening laws of [`WidenDomain`] over the canonical
+/// enumeration at `width` bits, plus termination on randomized width-64
+/// ascending chains.
+///
+/// * **covering**: for every pair with `a ⊑ b`, both `a` and `b` are
+///   ⊑ `a ∇ b` (the contract callers rely on for soundness);
+/// * **stability**: `a ∇ a = a` — a loop head that stopped growing stops
+///   widening;
+/// * **termination**: `max_steps` bounds every chain
+///   `xᵢ₊₁ = xᵢ ∇ (xᵢ ⊔ yᵢ)` driven by `rounds` random `yᵢ` streams.
+///
+/// # Panics
+///
+/// Panics with a counterexample on the first violation.
+pub fn assert_widening_laws<D: WidenDomain>(width: u32, rounds: u32, max_steps: u32, seed: u64) {
+    let elems = D::enumerate_at_width(width);
+    for &a in &elems {
+        assert_eq!(a.widen(a), a, "{}: {a:?} ∇ {a:?} ≠ {a:?}", D::NAME);
+        for &b in &elems {
+            if !a.le(b) {
+                continue;
+            }
+            let w = a.widen(b);
+            assert!(
+                a.le(w) && b.le(w),
+                "{}: {a:?} ∇ {b:?} = {w:?} is not an upper bound",
+                D::NAME
+            );
+        }
+    }
+    // Termination: feed random growth at full width; the chain must
+    // stabilize well before max_steps.
+    let mut rng = crate::rng::SplitMix64::new(seed);
+    for round in 0..rounds {
+        let mut x = D::random(&mut rng);
+        let mut steps = 0u32;
+        loop {
+            let grown = x.join(D::random(&mut rng));
+            let next = x.widen(grown);
+            assert!(
+                x.le(next) && grown.le(next),
+                "{}: widening not covering at {x:?} ∇ {grown:?}",
+                D::NAME
+            );
+            if next == x {
+                break;
+            }
+            x = next;
+            steps += 1;
+            assert!(
+                steps < max_steps,
+                "{}: widening chain still growing after {max_steps} steps (round {round})",
+                D::NAME
+            );
+        }
     }
 }
 

@@ -201,6 +201,39 @@ pub trait BitwiseDomain: AbstractDomain {
     fn abs_ashr(self, rhs: Self, width: u32) -> Self;
 }
 
+/// The widening operator ∇ — the extra ingredient a domain needs before a
+/// fixpoint engine may iterate it over *cyclic* control flow.
+///
+/// `old.widen(newer)` is called at a loop head when the state there grows:
+/// `old` is the previously recorded abstraction and `newer` is `old ⊔
+/// incoming` (so `newer` is always an upper bound of `old`). The result
+/// must satisfy the two classic widening laws (Cousot & Cousot; the same
+/// contract as Miné's DBM widening):
+///
+/// * **covering**: `old ⊑ old ∇ newer` and `newer ⊑ old ∇ newer` — the
+///   widened state over-approximates everything seen so far (soundness of
+///   the fixpoint);
+/// * **termination**: every chain `x₀, x₁ = x₀ ∇ y₁, x₂ = x₁ ∇ y₂, …`
+///   with growing `yᵢ` stabilizes after finitely many steps, whatever the
+///   `yᵢ` are — this is what bounds the analysis of a loop whose concrete
+///   trip count the domain cannot see.
+///
+/// Finite-height domains (tnums, known-bits: each trit only ever moves
+/// known → unknown) may simply use their join. Infinite-ascending-chain
+/// domains (intervals) must jump: the shipped `Bounds` widening snaps a
+/// growing endpoint to the next value of a small threshold set
+/// `{0, 1, i32::MAX, u32::MAX, i64::MAX as u64, u64::MAX}` instead of
+/// creeping one trip at a time.
+///
+/// Checked for every implementor by [`laws::assert_widening_laws`].
+pub trait WidenDomain: AbstractDomain {
+    /// `self ∇ newer`: an upper bound of both that guarantees termination
+    /// of repeated widening. `newer` is expected to satisfy
+    /// `self ⊑ newer` (callers pass `self ⊔ incoming`).
+    #[must_use]
+    fn widen(self, newer: Self) -> Self;
+}
+
 /// Cross-refinement between two abstract domains tracking the same value —
 /// the hook that turns a pair of domains into a *reduced* product.
 ///

@@ -158,6 +158,23 @@ impl Bounds {
         }
     }
 
+    /// Threshold widening `self ∇ newer`, view-wise: each of the four
+    /// endpoints either holds steady or jumps to the next widening
+    /// threshold (see [`UInterval::widen`] / [`SInterval::widen`]).
+    ///
+    /// The result is deliberately **not** re-deduced: deduction is
+    /// reductive and re-sharpening a freshly widened bound from the other
+    /// view could re-open the slow ascent widening exists to cut short.
+    /// Fixpoint engines normalize once more during their narrowing pass
+    /// instead.
+    #[must_use]
+    pub fn widen(self, newer: Bounds) -> Bounds {
+        Bounds {
+            u: self.u.widen(newer.u),
+            s: self.s.widen(newer.s),
+        }
+    }
+
     /// Meet: `None` when the constraint set is unsatisfiable.
     #[must_use]
     pub fn intersect(self, other: Bounds) -> Option<Bounds> {

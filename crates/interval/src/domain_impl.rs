@@ -22,7 +22,7 @@
 //! soundly collapses to `⊤|w = [0, 2^w)` otherwise.
 
 use domain::rng::SplitMix64;
-use domain::{AbstractDomain, ArithDomain, BitwiseDomain, RefineFrom};
+use domain::{AbstractDomain, ArithDomain, BitwiseDomain, RefineFrom, WidenDomain};
 use tnum::{low_bits, Tnum};
 
 use crate::bounds::Bounds;
@@ -164,6 +164,15 @@ impl AbstractDomain for Bounds {
     }
 }
 
+impl WidenDomain for Bounds {
+    /// View-wise threshold widening — intervals have infinite ascending
+    /// chains, so unlike the bit-level domains the join is *not* enough;
+    /// growing endpoints jump to the shared threshold ladder.
+    fn widen(self, newer: Bounds) -> Bounds {
+        Bounds::widen(self, newer)
+    }
+}
+
 impl ArithDomain for Bounds {
     fn abs_add(self, rhs: Bounds) -> Bounds {
         self.add(rhs)
@@ -250,6 +259,28 @@ mod tests {
         domain::laws::assert_lattice_laws::<Bounds>(3);
         domain::laws::assert_galois_soundness::<Bounds>(4);
         domain::laws::assert_sampling_sound::<Bounds>(2_000, 0xB0);
+        domain::laws::assert_widening_laws::<Bounds>(3, 200, 64, 0xB1);
+    }
+
+    #[test]
+    fn widening_jumps_to_thresholds_and_keeps_stable_bounds() {
+        let narrow = Bounds::from_unsigned(UInterval::new(0, 4).unwrap());
+        let grown = Bounds::from_unsigned(UInterval::new(0, 5).unwrap());
+        let w = narrow.widen(grown);
+        // The stable lower bound is kept; the creeping upper bound jumps
+        // to the next threshold (i32::MAX) instead of 5.
+        assert_eq!(w.umin(), 0);
+        assert_eq!(w.umax(), i32::MAX as u64);
+        // A second growth within the widened bound is absorbed: ∇ is
+        // stationary once the chain stops climbing.
+        let grown2 = w.union(Bounds::from_unsigned(UInterval::new(0, 1000).unwrap()));
+        assert_eq!(w.widen(grown2), w);
+        // Signed endpoints jump through their own ladder.
+        let s0 = Bounds::from_signed(SInterval::new(-1, 3).unwrap());
+        let s1 = s0.union(Bounds::from_signed(SInterval::new(-7, 3).unwrap()));
+        let ws = s0.widen(s1);
+        assert_eq!(ws.smin(), i32::MIN as i64);
+        assert_eq!(ws.smax(), 3);
     }
 
     #[test]

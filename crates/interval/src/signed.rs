@@ -169,6 +169,45 @@ impl SInterval {
         }
     }
 
+    /// Classic threshold widening `self ∇ newer` — the signed companion
+    /// of [`UInterval::widen`](crate::UInterval::widen): a bound that grew
+    /// jumps to the next value of [`SInterval::WIDEN_THRESHOLDS`], stable
+    /// bounds are kept exactly.
+    #[must_use]
+    pub fn widen(self, newer: SInterval) -> SInterval {
+        let min = if newer.min >= self.min {
+            self.min
+        } else {
+            *SInterval::WIDEN_THRESHOLDS
+                .iter()
+                .rev()
+                .find(|&&t| t <= newer.min)
+                .expect("i64::MIN is always a lower threshold")
+        };
+        let max = if newer.max <= self.max {
+            self.max
+        } else {
+            *SInterval::WIDEN_THRESHOLDS
+                .iter()
+                .find(|&&t| t >= newer.max)
+                .expect("i64::MAX is always an upper threshold")
+        };
+        SInterval { min, max }
+    }
+
+    /// The jump targets of [`SInterval::widen`], ascending: zero, ±1, the
+    /// 32-bit extremes, and the register-width extremes.
+    pub const WIDEN_THRESHOLDS: [i64; 8] = [
+        i64::MIN,
+        i32::MIN as i64,
+        -1,
+        0,
+        1,
+        i32::MAX as i64,
+        u32::MAX as i64,
+        i64::MAX,
+    ];
+
     /// Whether every member is non-negative (the signed and unsigned views
     /// then coincide).
     #[must_use]

@@ -224,6 +224,48 @@ impl UInterval {
             max: self.max,
         }
     }
+
+    /// Classic threshold widening `self ∇ newer`: a bound that grew since
+    /// the last iteration jumps straight to the next value of
+    /// [`UInterval::WIDEN_THRESHOLDS`] instead of creeping one loop trip
+    /// at a time, so ascending chains stabilize after at most one jump per
+    /// remaining threshold.
+    ///
+    /// Stable bounds are kept exactly; the result always covers both
+    /// operands.
+    #[must_use]
+    pub fn widen(self, newer: UInterval) -> UInterval {
+        let min = if newer.min >= self.min {
+            self.min
+        } else {
+            *UInterval::WIDEN_THRESHOLDS
+                .iter()
+                .rev()
+                .find(|&&t| t <= newer.min)
+                .expect("0 is always a lower threshold")
+        };
+        let max = if newer.max <= self.max {
+            self.max
+        } else {
+            *UInterval::WIDEN_THRESHOLDS
+                .iter()
+                .find(|&&t| t >= newer.max)
+                .expect("u64::MAX is always an upper threshold")
+        };
+        UInterval { min, max }
+    }
+
+    /// The jump targets of [`UInterval::widen`]: the magic values of the
+    /// 64-bit machine (register-width extremes and the sign boundaries of
+    /// the narrower views), ascending.
+    pub const WIDEN_THRESHOLDS: [u64; 6] = [
+        0,
+        1,
+        i32::MAX as u64,
+        u32::MAX as u64,
+        i64::MAX as u64,
+        u64::MAX,
+    ];
 }
 
 /// Smallest all-ones value covering `x`: `2^bits(x) - 1`.

@@ -1,6 +1,23 @@
-//! The abstract interpreter: a topological pass over the (acyclic) CFG
-//! with joins at merge points, branch refinement, and memory-safety
-//! checks.
+//! The abstract interpreter: a worklist **fixpoint engine** over the CFG
+//! — reverse-postorder priorities, joins at merge points, delayed
+//! widening and one narrowing pass at loop heads, branch refinement, and
+//! memory-safety checks.
+//!
+//! Acyclic programs take the same single topological pass as before (no
+//! state ever changes twice, so the worklist degenerates). Cyclic
+//! programs — bounded loops, the workload the kernel gained with
+//! `bounded loop support` — iterate to a post-fixpoint: loop heads
+//! absorb [`AnalyzerOptions::widen_delay`] precise joins before the
+//! widening operator extrapolates growing bounds to the threshold
+//! ladder, a budget of [`AnalyzerOptions::analysis_budget`] instruction
+//! visits bounds the iteration (the kernel's one-million-instruction
+//! analogue), and a single narrowing pass afterwards re-applies every
+//! transfer function once to claw back precision the widening jumps
+//! gave away (sound: one decreasing application from a post-fixpoint is
+//! still a post-fixpoint).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ebpf::{AluOp, Insn, JmpOp, MemSize, Program, Reg, Src, Width, STACK_SIZE};
 
@@ -23,6 +40,21 @@ pub struct AnalyzerOptions {
     /// Sharpen both edges of conditional jumps. Disabling shows how much
     /// path sensitivity the range analysis contributes.
     pub refine_branches: bool,
+    /// Reject every program whose CFG contains a back-edge with
+    /// [`VerifierError::LoopDetected`] — the classic
+    /// pre-bounded-loop verifier behaviour. Off by default: loops are
+    /// analyzed by fixpoint iteration.
+    pub reject_loops: bool,
+    /// How many *changing* joins a loop head absorbs exactly before
+    /// widening kicks in. Loops whose abstract state stabilizes within
+    /// this many trips (e.g. a counted `for i in 0..16` loop bounded by
+    /// its own exit test) are analyzed with full precision; longer-lived
+    /// growth is extrapolated to the widening thresholds.
+    pub widen_delay: u32,
+    /// Upper bound on total instruction visits during the fixpoint
+    /// iteration; exceeding it aborts with
+    /// [`VerifierError::AnalysisBudgetExhausted`].
+    pub analysis_budget: u64,
 }
 
 impl Default for AnalyzerOptions {
@@ -31,6 +63,9 @@ impl Default for AnalyzerOptions {
             ctx_size: 64,
             strict_alignment: false,
             refine_branches: true,
+            reject_loops: false,
+            widen_delay: 16,
+            analysis_budget: 1_000_000,
         }
     }
 }
@@ -127,59 +162,145 @@ impl Analyzer {
         Analyzer { options }
     }
 
-    /// Abstractly interprets the program, returning the per-instruction
-    /// states on acceptance.
+    /// Abstractly interprets the program to a fixpoint, returning the
+    /// (narrowed) per-instruction states on acceptance.
     ///
     /// # Errors
     ///
     /// A [`VerifierError`] describing the first problem found; the
     /// program must be rejected.
     pub fn analyze(&self, prog: &Program) -> Result<Analysis, VerifierError> {
-        let cfg = Cfg::build(prog)?;
+        let cfg = Cfg::build(prog);
+        if self.options.reject_loops {
+            if let Some(&(_, head)) = cfg.back_edges().first() {
+                return Err(VerifierError::LoopDetected { pc: head });
+            }
+        }
+
         let mut states: Vec<Option<AbsState>> = vec![None; prog.len()];
         states[0] = Some(AbsState::entry());
+        // Changing-join counters per loop head, driving delayed widening.
+        let mut joins: Vec<u32> = vec![0; prog.len()];
 
-        for &i in cfg.topo_order() {
-            // Unreachable via infeasible branches: skip.
-            let Some(state) = states[i].clone() else {
-                continue;
-            };
-            let insn = prog.insns()[i];
-            self.check_reads(&state, insn, i)?;
-            match insn {
-                Insn::Jmp {
-                    width,
-                    op,
-                    dst,
-                    src,
-                    off,
-                } => {
-                    let taken_target = prog.jump_target(i, off).expect("validated");
-                    let outcomes = self.branch_states(&state, width, op, dst, src);
-                    let (fall, taken) = outcomes?;
-                    if let Some(fall) = fall {
-                        join_into(&mut states[i + 1], fall);
-                    }
-                    if let Some(taken) = taken {
-                        join_into(&mut states[taken_target], taken);
-                    }
-                }
-                Insn::Ja { off } => {
-                    let target = prog.jump_target(i, off).expect("validated");
-                    join_into(&mut states[target], state);
-                }
-                Insn::Exit => match state.reg(Reg::R0) {
-                    RegValue::Uninit => return Err(VerifierError::NoReturnValue { pc: i }),
-                    RegValue::Scalar(_) => {}
-                    _ => return Err(VerifierError::PointerLeak { pc: i }),
-                },
-                _ => {
-                    let next = self.transfer(state, insn, i)?;
-                    join_into(&mut states[i + 1], next);
+        // Priority worklist: always pop the pending instruction earliest
+        // in reverse postorder, so inner regions settle before outer ones
+        // re-fire (the classic weak-topological iteration strategy).
+        let mut queue: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        let mut queued = vec![false; prog.len()];
+        queue.push(Reverse((cfg.rpo_pos(0), 0)));
+        queued[0] = true;
+
+        let mut visits: u64 = 0;
+        while let Some(Reverse((_, pc))) = queue.pop() {
+            queued[pc] = false;
+            visits += 1;
+            if visits > self.options.analysis_budget {
+                return Err(VerifierError::AnalysisBudgetExhausted {
+                    pc,
+                    budget: self.options.analysis_budget,
+                });
+            }
+            let state = states[pc]
+                .clone()
+                .expect("queued instructions have a state");
+            for (succ, out) in self.step(prog, state, pc)? {
+                let changed = flow_into(
+                    &mut states[succ],
+                    out,
+                    cfg.is_loop_head(succ),
+                    &mut joins[succ],
+                    self.options.widen_delay,
+                );
+                if changed && !queued[succ] {
+                    queued[succ] = true;
+                    queue.push(Reverse((cfg.rpo_pos(succ), succ)));
                 }
             }
         }
-        Ok(Analysis { states })
+
+        // Acyclic programs never widen: the single worklist pass already
+        // computed the exact join states, and narrowing would reproduce
+        // them verbatim at the cost of re-running every transfer.
+        if cfg.back_edges().is_empty() {
+            return Ok(Analysis { states });
+        }
+
+        // One narrowing pass: recompute every state from its
+        // predecessors' stabilized states. From a post-fixpoint, one
+        // application of the (monotone) transfer functions stays a
+        // post-fixpoint while undoing over-extrapolated widening jumps —
+        // e.g. a loop head re-tightens to `entry ⊔ refined back-edge`.
+        let narrowed = self.narrow(prog, &cfg, &states)?;
+        Ok(Analysis { states: narrowed })
+    }
+
+    /// Executes one instruction abstractly: runs every safety check and
+    /// returns the `(successor, out-state)` contributions.
+    fn step(
+        &self,
+        prog: &Program,
+        state: AbsState,
+        pc: usize,
+    ) -> Result<Vec<(usize, AbsState)>, VerifierError> {
+        let insn = prog.insns()[pc];
+        self.check_reads(&state, insn, pc)?;
+        match insn {
+            Insn::Jmp {
+                width,
+                op,
+                dst,
+                src,
+                off,
+            } => {
+                let taken_target = prog.jump_target(pc, off).expect("validated");
+                let (fall, taken) = self.branch_states(&state, width, op, dst, src)?;
+                let mut out = Vec::with_capacity(2);
+                if let Some(fall) = fall {
+                    out.push((pc + 1, fall));
+                }
+                if let Some(taken) = taken {
+                    out.push((taken_target, taken));
+                }
+                Ok(out)
+            }
+            Insn::Ja { off } => {
+                let target = prog.jump_target(pc, off).expect("validated");
+                Ok(vec![(target, state)])
+            }
+            Insn::Exit => match state.reg(Reg::R0) {
+                RegValue::Uninit => Err(VerifierError::NoReturnValue { pc }),
+                RegValue::Scalar(_) => Ok(Vec::new()),
+                _ => Err(VerifierError::PointerLeak { pc }),
+            },
+            _ => {
+                let next = self.transfer(state, insn, pc)?;
+                Ok(vec![(pc + 1, next)])
+            }
+        }
+    }
+
+    /// The narrowing pass: one plain-join recomputation of every
+    /// reachable state from the stabilized `states`.
+    fn narrow(
+        &self,
+        prog: &Program,
+        cfg: &Cfg,
+        states: &[Option<AbsState>],
+    ) -> Result<Vec<Option<AbsState>>, VerifierError> {
+        let mut narrowed: Vec<Option<AbsState>> = vec![None; prog.len()];
+        narrowed[0] = Some(AbsState::entry());
+        for &pc in cfg.rpo() {
+            let Some(state) = states[pc].clone() else {
+                continue;
+            };
+            for (succ, out) in self.step(prog, state, pc)? {
+                match &mut narrowed[succ] {
+                    slot @ None => *slot = Some(out),
+                    Some(existing) => *existing = existing.union(&out),
+                }
+            }
+        }
+        Ok(narrowed)
     }
 
     /// Rejects reads of uninitialized registers.
@@ -474,11 +595,47 @@ impl Analyzer {
     }
 }
 
-/// Joins `incoming` into the slot, widening any existing state.
-fn join_into(slot: &mut Option<AbsState>, incoming: AbsState) {
+/// Merges `incoming` into the slot and reports whether the stored state
+/// actually grew (the worklist only re-fires on growth).
+///
+/// At a loop head, the first `delay` changing joins are precise; every
+/// later one widens (`existing ∇ (existing ⊔ incoming)`), which
+/// extrapolates still-growing components to the threshold ladder while
+/// keeping already-stable ones exact — the delayed-widening recipe that
+/// preserves bounds a counted loop reaches within `delay` trips.
+fn flow_into(
+    slot: &mut Option<AbsState>,
+    incoming: AbsState,
+    is_loop_head: bool,
+    joins: &mut u32,
+    delay: u32,
+) -> bool {
     match slot {
-        None => *slot = Some(incoming),
-        Some(existing) => *existing = existing.union(&incoming),
+        None => {
+            *slot = Some(incoming);
+            true
+        }
+        Some(existing) => {
+            if incoming.is_subset_of(existing) {
+                return false;
+            }
+            let grown = existing.union(&incoming);
+            let next = if is_loop_head && *joins >= delay {
+                existing.widen(&grown)
+            } else {
+                grown
+            };
+            if is_loop_head {
+                *joins = joins.saturating_add(1);
+            }
+            // The join re-normalizes, which may canonicalize without
+            // enlarging; only a real change re-fires the successor.
+            if next == *existing {
+                return false;
+            }
+            *existing = next;
+            true
+        }
     }
 }
 
@@ -532,11 +689,169 @@ mod tests {
     }
 
     #[test]
-    fn rejects_loops() {
+    fn reject_loops_flag_preserves_classic_behaviour() {
+        let prog = assemble("l:\nr0 = 0\ngoto l").unwrap();
+        let classic = Analyzer::new(AnalyzerOptions {
+            reject_loops: true,
+            ..AnalyzerOptions::default()
+        });
         assert!(matches!(
-            reject("l:\nr0 = 0\ngoto l"),
+            classic.analyze(&prog).unwrap_err(),
             VerifierError::LoopDetected { .. }
         ));
+        // The default engine instead runs the loop to a fixpoint; this
+        // one never exits, so it is accepted with the exit unreachable.
+        let analysis = accept("l:\nr0 = 0\ngoto l\nexit");
+        assert!(analysis.unreachable().contains(&2));
+        // Loop-free programs are unaffected by the flag.
+        classic
+            .analyze(&assemble("r0 = 0\nexit").unwrap())
+            .expect("acyclic program accepted under reject_loops");
+    }
+
+    #[test]
+    fn bounded_loop_accepted_with_exact_counter_range() {
+        // for i in 0..16 { buf[i] = i; sum += i }, returning the counter.
+        let analysis = accept(
+            r"
+                r1 = 0              ; i
+                r6 = 0              ; sum
+            loop:
+                r3 = r10
+                r3 += -16
+                r3 += r1
+                *(u8 *)(r3 + 0) = 7 ; in bounds iff i <= 15
+                r6 += r1
+                r1 += 1
+                if r1 < 16 goto loop
+                r0 = r1
+                exit
+            ",
+        );
+        // The exit test pins the counter exactly; the loop body sees the
+        // full [0, 15] window.
+        let exit_state = analysis.state_before(10).unwrap();
+        let r0 = exit_state.reg(Reg::R0).as_scalar().unwrap();
+        assert_eq!(r0.as_constant(), Some(16), "narrowed exit counter");
+        let head = analysis.state_before(2).unwrap();
+        let i = head.reg(Reg::R1).as_scalar().unwrap();
+        assert_eq!((i.bounds().umin(), i.bounds().umax()), (0, 15));
+    }
+
+    #[test]
+    fn unbounded_loop_terminates_by_widening() {
+        // No exit test bounds r1: the analysis must widen to ⊤ and
+        // stabilize instead of diverging one trip at a time.
+        let analysis = accept(
+            r"
+                r1 = 0
+            loop:
+                r1 += 1
+                if r2 > 0 goto loop
+                r0 = 0
+                exit
+            ",
+        );
+        let exit_state = analysis.state_before(3).unwrap();
+        let r1 = exit_state.reg(Reg::R1).as_scalar().unwrap();
+        assert!(r1.contains(1) && r1.contains(1 << 40), "widened to ⊤-ish");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let tiny = Analyzer::new(AnalyzerOptions {
+            analysis_budget: 4,
+            ..AnalyzerOptions::default()
+        });
+        let prog = assemble("r1 = 0\nloop:\nr1 += 1\nif r2 > 0 goto loop\nr0 = 0\nexit").unwrap();
+        assert!(matches!(
+            tiny.analyze(&prog).unwrap_err(),
+            VerifierError::AnalysisBudgetExhausted { budget: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn eager_widening_loses_the_loop_proof_delay_keeps() {
+        // A 13-byte buffer memset over 13 trips: the store is safe only
+        // because the exit test keeps i <= 12 — an *interval* fact the
+        // head reaches after 12 precise joins (the tnum half can say no
+        // better than [0, 15], which overruns the buffer). Widening
+        // eagerly (delay 0) jumps the interval to the threshold ladder
+        // before the test can cap it, so the store check fails.
+        let prog = assemble(
+            r"
+                r1 = 0
+            loop:
+                r3 = r10
+                r3 += -13
+                r3 += r1
+                *(u8 *)(r3 + 0) = 0
+                r1 += 1
+                if r1 < 13 goto loop
+                r0 = 0
+                exit
+            ",
+        )
+        .unwrap();
+        let eager = Analyzer::new(AnalyzerOptions {
+            widen_delay: 0,
+            ..AnalyzerOptions::default()
+        });
+        assert!(matches!(
+            eager.analyze(&prog).unwrap_err(),
+            VerifierError::OutOfBounds {
+                region: "stack",
+                ..
+            }
+        ));
+        Analyzer::new(AnalyzerOptions::default())
+            .analyze(&prog)
+            .expect("delayed widening keeps the bound");
+    }
+
+    #[test]
+    fn nested_loops_reach_a_fixpoint() {
+        let analysis = accept(
+            r"
+                r6 = 0
+            outer:
+                r1 = 0
+            inner:
+                r1 += 1
+                if r1 < 4 goto inner
+                r6 += 1
+                if r6 < 4 goto outer
+                r0 = r6
+                exit
+            ",
+        );
+        let exit_state = analysis.state_before(7).unwrap();
+        let r0 = exit_state.reg(Reg::R0).as_scalar().unwrap();
+        assert_eq!(r0.as_constant(), Some(4));
+    }
+
+    #[test]
+    fn loop_carried_spill_stays_tracked() {
+        // A spill written before the loop and only read inside it keeps
+        // its value across the back-edge join.
+        let analysis = accept(
+            r"
+                r1 = 99
+                *(u64 *)(r10 - 8) = r1
+                r2 = 0
+            loop:
+                r3 = *(u64 *)(r10 - 8)
+                r2 += 1
+                if r2 < 8 goto loop
+                r0 = r3
+                exit
+            ",
+        );
+        let exit_state = analysis.state_before(7).unwrap();
+        assert_eq!(
+            exit_state.reg(Reg::R0).as_scalar().unwrap().as_constant(),
+            Some(99)
+        );
     }
 
     #[test]

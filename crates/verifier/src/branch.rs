@@ -83,16 +83,25 @@ fn refine_ne(dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
     }
 }
 
-/// Removes a constant from a scalar's range when it sits at an endpoint.
+/// Removes a constant from a scalar's range when it sits at an endpoint —
+/// of **either** view. A constant strictly inside `[umin, umax]` can
+/// still sit at `smin`/`smax` (and vice versa), so both views are shaved;
+/// the product's normalization then propagates the tightening across.
 fn shave(s: Scalar, c: u64) -> Option<Scalar> {
     let b = s.bounds();
+    let mut out = s;
     if b.umin() == c {
-        clamp_u(s, c.checked_add(1)?, u64::MAX)
+        out = clamp_u(out, c.checked_add(1)?, u64::MAX)?;
     } else if b.umax() == c {
-        clamp_u(s, 0, c.checked_sub(1)?)
-    } else {
-        Some(s)
+        out = clamp_u(out, 0, c.checked_sub(1)?)?;
     }
+    let (b, ci) = (out.bounds(), c as i64);
+    if b.smin() == ci {
+        out = clamp_s(out, ci.checked_add(1)?, i64::MAX)?;
+    } else if b.smax() == ci {
+        out = clamp_s(out, i64::MIN, ci.checked_sub(1)?)?;
+    }
+    Some(out)
 }
 
 /// `dst & src != 0`: when the mask is a single known bit, that bit of dst
@@ -177,6 +186,14 @@ mod tests {
             u64::MAX - 1,
             1 << 63,
             (1 << 63) - 1,
+            // Signed-boundary members: the endpoints (and their
+            // neighbours) of the signed abstractions below, locking in
+            // the signed half of `shave`.
+            (-5i64) as u64,
+            (-4i64) as u64,
+            (-1i64) as u64,
+            3,
+            4,
         ];
         let mut samples = Vec::new();
         for &x in &values {
@@ -189,10 +206,18 @@ mod tests {
             konst(5),
             konst(0),
             konst(u64::MAX),
+            konst((-5i64) as u64),
             Scalar::from_tnum("1xx".parse().unwrap()),
             Scalar::from_parts(
                 Tnum::UNKNOWN,
                 Bounds::from_unsigned(UInterval::new(2, 100).unwrap()),
+            )
+            .unwrap(),
+            // Straddles zero: its signed endpoints are strictly inside
+            // the unsigned view, the case the signed shave exists for.
+            Scalar::from_parts(
+                Tnum::UNKNOWN,
+                Bounds::from_signed(SInterval::new(-5, 4).unwrap()),
             )
             .unwrap(),
         ];
@@ -263,6 +288,35 @@ mod tests {
         // Interior constants do not shrink the range.
         let (d, _) = refine(JmpOp::Ne, true, ranged, konst(5)).unwrap();
         assert_eq!((d.bounds().umin(), d.bounds().umax()), (0, 10));
+    }
+
+    #[test]
+    fn ne_shaves_signed_endpoints() {
+        // [-5, 4] signed: both signed endpoints are strictly inside the
+        // unsigned view ([0, u64::MAX]-ish), so the unsigned-only shave
+        // used to keep them silently.
+        let straddling = Scalar::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_signed(SInterval::new(-5, 4).unwrap()),
+        )
+        .unwrap();
+        let (d, _) = refine(JmpOp::Ne, true, straddling, konst((-5i64) as u64)).unwrap();
+        assert_eq!(d.bounds().smin(), -4, "smin endpoint shaved");
+        let (d, _) = refine(JmpOp::Ne, true, straddling, konst(4)).unwrap();
+        assert_eq!(d.bounds().smax(), 3, "smax endpoint shaved");
+        // Signed-interior constants still leave the range alone.
+        let (d, _) = refine(JmpOp::Ne, true, straddling, konst(0)).unwrap();
+        assert_eq!((d.bounds().smin(), d.bounds().smax()), (-5, 4));
+        // A negative-range abstraction whose unsigned endpoints coincide
+        // with the signed ones shaves exactly once, from both views.
+        let negative = Scalar::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_signed(SInterval::new(-9, -3).unwrap()),
+        )
+        .unwrap();
+        let (d, _) = refine(JmpOp::Ne, true, negative, konst((-3i64) as u64)).unwrap();
+        assert_eq!(d.bounds().smax(), -4);
+        assert_eq!(d.bounds().umax(), (-4i64) as u64);
     }
 
     #[test]

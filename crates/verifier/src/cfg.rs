@@ -1,26 +1,36 @@
-//! Control-flow graph construction, cycle rejection, and topological
-//! ordering.
+//! Control-flow graph construction, back-edge classification, and the
+//! weak-topological iteration order of the fixpoint engine.
+//!
+//! Earlier revisions rejected every cyclic program here, like the
+//! pre-5.3 kernel verifier. Loops are now first-class: a depth-first
+//! pass computes a reverse postorder (RPO) over the reachable
+//! instructions, and every *retreating* edge with respect to that order
+//! — an edge from a later to an earlier position, which every cycle must
+//! contain — is classified as a back-edge whose target is a **loop
+//! head**, the widening point of [`crate::Analyzer`]'s worklist. The
+//! classic all-loops-rejected behaviour survives behind
+//! [`crate::AnalyzerOptions::reject_loops`].
 
 use ebpf::{Insn, Program};
 
-use crate::error::VerifierError;
-
 /// The control-flow graph of a program: successor lists per instruction,
-/// plus a topological order (programs with cycles are rejected, as in the
-/// classic BPF verifier).
+/// the reverse-postorder iteration schedule, and the back-edge/loop-head
+/// classification driving widening.
 #[derive(Clone, Debug)]
 pub struct Cfg {
     succs: Vec<Vec<usize>>,
-    topo: Vec<usize>,
+    rpo: Vec<usize>,
+    /// Position of each instruction in `rpo`; `usize::MAX` marks
+    /// unreachable instructions.
+    rpo_pos: Vec<usize>,
+    loop_head: Vec<bool>,
+    back_edges: Vec<(usize, usize)>,
 }
 
 impl Cfg {
-    /// Builds the CFG and rejects cyclic programs.
-    ///
-    /// # Errors
-    ///
-    /// [`VerifierError::LoopDetected`] when a back-edge exists.
-    pub fn build(prog: &Program) -> Result<Cfg, VerifierError> {
+    /// Builds the CFG, classifying back-edges instead of rejecting them.
+    #[must_use]
+    pub fn build(prog: &Program) -> Cfg {
         let n = prog.len();
         let mut succs = vec![Vec::new(); n];
         for (i, insn) in prog.insns().iter().enumerate() {
@@ -38,37 +48,53 @@ impl Cfg {
             }
         }
 
-        // Iterative DFS with colors for cycle detection and post-order.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Gray,
-            Black,
-        }
-        let mut color = vec![Color::White; n];
+        // Iterative DFS producing a postorder of the reachable subgraph;
+        // its reverse is the RPO the worklist iterates in.
+        let mut visited = vec![false; n];
         let mut post = Vec::with_capacity(n);
         let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
-        color[0] = Color::Gray;
+        visited[0] = true;
         while let Some(&mut (node, ref mut next)) = stack.last_mut() {
             if *next < succs[node].len() {
                 let s = succs[node][*next];
                 *next += 1;
-                match color[s] {
-                    Color::White => {
-                        color[s] = Color::Gray;
-                        stack.push((s, 0));
-                    }
-                    Color::Gray => return Err(VerifierError::LoopDetected { pc: s }),
-                    Color::Black => {}
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
                 }
             } else {
-                color[node] = Color::Black;
                 post.push(node);
                 stack.pop();
             }
         }
         post.reverse();
-        Ok(Cfg { succs, topo: post })
+        let rpo = post;
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (pos, &pc) in rpo.iter().enumerate() {
+            rpo_pos[pc] = pos;
+        }
+
+        // Retreating edges w.r.t. the RPO: robust for irreducible CFGs
+        // too, and every cycle necessarily contains one, so widening at
+        // their targets guarantees termination.
+        let mut loop_head = vec![false; n];
+        let mut back_edges = Vec::new();
+        for &i in &rpo {
+            for &s in &succs[i] {
+                if rpo_pos[s] <= rpo_pos[i] {
+                    loop_head[s] = true;
+                    back_edges.push((i, s));
+                }
+            }
+        }
+
+        Cfg {
+            succs,
+            rpo,
+            rpo_pos,
+            loop_head,
+            back_edges,
+        }
     }
 
     /// Successor instruction indices of instruction `i`. For conditional
@@ -79,10 +105,34 @@ impl Cfg {
         &self.succs[i]
     }
 
-    /// Instructions reachable from the entry, in topological order.
+    /// Instructions reachable from the entry, in reverse postorder — a
+    /// weak-topological iteration schedule: acyclic regions come in
+    /// dependency order, loop bodies after their head.
     #[must_use]
-    pub fn topo_order(&self) -> &[usize] {
-        &self.topo
+    pub fn rpo(&self) -> &[usize] {
+        &self.rpo
+    }
+
+    /// The RPO position of instruction `i` — the worklist priority
+    /// (`usize::MAX` for unreachable instructions, which are never
+    /// queued).
+    #[must_use]
+    pub fn rpo_pos(&self, i: usize) -> usize {
+        self.rpo_pos[i]
+    }
+
+    /// Whether instruction `i` is the target of a back-edge — a widening
+    /// point of the fixpoint iteration.
+    #[must_use]
+    pub fn is_loop_head(&self, i: usize) -> bool {
+        self.loop_head[i]
+    }
+
+    /// Every retreating edge `(from, to)` in RPO terms. Empty exactly for
+    /// the loop-free programs the classic verifier accepted.
+    #[must_use]
+    pub fn back_edges(&self) -> &[(usize, usize)] {
+        &self.back_edges
     }
 }
 
@@ -92,12 +142,13 @@ mod tests {
     use ebpf::asm::assemble;
 
     #[test]
-    fn straight_line_topo_is_identity() {
+    fn straight_line_rpo_is_identity() {
         let prog = assemble("r0 = 1\nr0 += 1\nexit").unwrap();
-        let cfg = Cfg::build(&prog).unwrap();
-        assert_eq!(cfg.topo_order(), &[0, 1, 2]);
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.rpo(), &[0, 1, 2]);
         assert_eq!(cfg.successors(0), &[1]);
         assert!(cfg.successors(2).is_empty());
+        assert!(cfg.back_edges().is_empty());
     }
 
     #[test]
@@ -115,36 +166,59 @@ mod tests {
             ",
         )
         .unwrap();
-        let cfg = Cfg::build(&prog).unwrap();
-        let topo = cfg.topo_order();
-        let pos = |i: usize| topo.iter().position(|&x| x == i).expect("all reachable");
+        let cfg = Cfg::build(&prog);
+        let pos = |i: usize| cfg.rpo_pos(i);
         // The merge (exit, index 5) comes after both arms.
         assert!(pos(5) > pos(2) && pos(5) > pos(4));
         // Conditional successors: fall-through then taken.
         assert_eq!(cfg.successors(1), &[2, 4]);
+        assert!(cfg.back_edges().is_empty());
     }
 
     #[test]
-    fn loops_are_rejected() {
+    fn back_edges_are_classified_not_rejected() {
         let prog = assemble("loop:\nr0 = 0\nif r1 > 0 goto loop\nexit").unwrap();
-        assert!(matches!(
-            Cfg::build(&prog),
-            Err(VerifierError::LoopDetected { .. })
-        ));
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.back_edges(), &[(1, 0)]);
+        assert!(cfg.is_loop_head(0));
+        assert!(!cfg.is_loop_head(1));
+        // The head precedes its body in the iteration order.
+        assert!(cfg.rpo_pos(0) < cfg.rpo_pos(1));
+
+        // A self-loop is its own head.
         let prog = assemble("self:\ngoto self\nexit").unwrap();
-        assert!(matches!(
-            Cfg::build(&prog),
-            Err(VerifierError::LoopDetected { .. })
-        ));
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.back_edges(), &[(0, 0)]);
+        assert!(cfg.is_loop_head(0));
     }
 
     #[test]
     fn unreachable_code_is_not_ordered() {
         let prog = assemble("goto end\nr0 = 9\nend:\nr0 = 0\nexit").unwrap();
-        let cfg = Cfg::build(&prog).unwrap();
-        assert!(
-            !cfg.topo_order().contains(&1),
-            "dead insn not in topo order"
-        );
+        let cfg = Cfg::build(&prog);
+        assert!(!cfg.rpo().contains(&1), "dead insn not in rpo");
+        assert_eq!(cfg.rpo_pos(1), usize::MAX);
+    }
+
+    #[test]
+    fn nested_loops_mark_both_heads() {
+        let prog = assemble(
+            r"
+                r0 = 0
+            outer:
+                r1 = 0
+            inner:
+                r1 += 1
+                if r1 < 4 goto inner
+                r0 += 1
+                if r0 < 4 goto outer
+                exit
+            ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&prog);
+        assert!(cfg.is_loop_head(1), "outer head");
+        assert!(cfg.is_loop_head(2), "inner head");
+        assert_eq!(cfg.back_edges().len(), 2);
     }
 }

@@ -10,11 +10,23 @@ use ebpf::Reg;
 /// can point at the offending line of disassembly.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VerifierError {
-    /// The control-flow graph contains a cycle; the classic verifier only
-    /// accepts loop-free programs.
+    /// The control-flow graph contains a cycle and the analyzer was
+    /// configured with
+    /// [`AnalyzerOptions::reject_loops`](crate::AnalyzerOptions::reject_loops)
+    /// — the classic pre-bounded-loop verifier behaviour.
     LoopDetected {
-        /// An instruction participating in the cycle.
+        /// An instruction participating in the cycle (a loop head).
         pc: usize,
+    },
+    /// The fixpoint iteration exceeded its total-visits budget (the
+    /// analogue of the kernel's one-million-instruction complexity
+    /// limit) before stabilizing.
+    AnalysisBudgetExhausted {
+        /// The instruction being processed when the budget ran out.
+        pc: usize,
+        /// The configured budget
+        /// ([`AnalyzerOptions::analysis_budget`](crate::AnalyzerOptions::analysis_budget)).
+        budget: u64,
     },
     /// An instruction reads a register that may be uninitialized.
     UninitRead {
@@ -81,6 +93,7 @@ impl VerifierError {
     pub fn pc(&self) -> usize {
         match *self {
             VerifierError::LoopDetected { pc }
+            | VerifierError::AnalysisBudgetExhausted { pc, .. }
             | VerifierError::UninitRead { pc, .. }
             | VerifierError::BadPointer { pc, .. }
             | VerifierError::OutOfBounds { pc, .. }
@@ -100,6 +113,12 @@ impl fmt::Display for VerifierError {
                 write!(
                     f,
                     "back-edge detected at instruction {pc}: loops are not allowed"
+                )
+            }
+            VerifierError::AnalysisBudgetExhausted { pc, budget } => {
+                write!(
+                    f,
+                    "analysis budget of {budget} instruction visits exhausted at instruction {pc}"
                 )
             }
             VerifierError::UninitRead { reg, pc } => {

@@ -15,13 +15,42 @@
 //! [`normalize`](Product::normalize) drives the kernel's
 //! `reg_bounds_sync` cross-refinement through the `domain::RefineFrom`
 //! hooks; [`Scalar`] is the `Product<Tnum, Bounds>` instance the
-//! analyzer tracks registers with. [`Analyzer`] walks the control-flow
-//! graph of an
-//! [`ebpf::Program`] (rejecting loops, like the classic verifier), joins
-//! states at merge points, refines both branch directions of every
-//! conditional, and checks every memory access against its region —
-//! including tnum-based alignment (`tnum_is_aligned`) under
-//! [`AnalyzerOptions::strict_alignment`].
+//! analyzer tracks registers with. [`Analyzer`] runs a worklist
+//! **fixpoint engine** over the control-flow graph of an
+//! [`ebpf::Program`]: reverse-postorder priorities, joins at merge
+//! points, branch refinement on both edges of every conditional, and —
+//! for cyclic programs, which the classic verifier rejected outright —
+//! delayed widening (`domain::WidenDomain`) at loop heads, one
+//! narrowing pass after stabilization, and a total-visit budget, so
+//! bounded loops verify precisely and unbounded ones terminate at ⊤.
+//! Every memory access is checked against its region — including
+//! tnum-based alignment (`tnum_is_aligned`) under
+//! [`AnalyzerOptions::strict_alignment`] — and the classic all-loops
+//! rejection survives under [`AnalyzerOptions::reject_loops`].
+//!
+//! A bounded loop end to end:
+//!
+//! ```
+//! use ebpf::asm::assemble;
+//! use verifier::{Analyzer, AnalyzerOptions};
+//!
+//! // memset(buf[0..16], 0), i bounded by its own exit test.
+//! let prog = assemble(r"
+//!     r1 = 0
+//! loop:
+//!     r3 = r10
+//!     r3 += -16
+//!     r3 += r1
+//!     *(u8 *)(r3 + 0) = 0
+//!     r1 += 1
+//!     if r1 < 16 goto loop
+//!     r0 = r1
+//!     exit
+//! ")?;
+//! let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&prog)?;
+//! assert!(analysis.is_accepted());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! The motivating example from §I of the paper works end to end:
 //!

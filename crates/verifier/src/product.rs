@@ -10,7 +10,7 @@
 //! the analyzer uses; a future domain (say, congruences) joins the
 //! product by implementing the two `RefineFrom` directions.
 
-use domain::{AbstractDomain, RefineFrom};
+use domain::{AbstractDomain, RefineFrom, WidenDomain};
 
 /// The reduced product `A × B`: a conjunction of two abstractions of the
 /// same value. A concrete `x` is a member iff both components contain it;
@@ -123,17 +123,48 @@ where
     /// Cross-refines the two components to a fixpoint — the generic
     /// rendering of the kernel's `reg_bounds_sync`. Returns `None` on
     /// contradiction.
+    ///
+    /// Iterates until **neither component changes**: `RefineFrom` is
+    /// reductive (each round shrinks or keeps both components), so the
+    /// loop terminates, and the result is a true reduction fixpoint —
+    /// re-refining it in either direction is the identity. A fixed round
+    /// count (the kernel's deduce/sync cadence, used here previously) can
+    /// publish an under-reduced product when one direction's gain enables
+    /// another round of the other's.
     #[must_use]
     pub fn normalize(self) -> Option<Self> {
         let mut a = self.a;
         let mut b = self.b;
-        // The refinement is monotone and the rules converge quickly; two
-        // rounds match the kernel's deduce/sync cadence.
-        for _ in 0..2 {
-            b = b.refine_from(&a)?;
-            a = a.refine_from(&b)?;
+        loop {
+            let nb = b.refine_from(&a)?;
+            let na = a.refine_from(&nb)?;
+            if na == a && nb == b {
+                return Some(Product { a, b });
+            }
+            a = na;
+            b = nb;
         }
-        Some(Product { a, b })
+    }
+}
+
+impl<A, B> Product<A, B>
+where
+    A: WidenDomain,
+    B: WidenDomain,
+{
+    /// Widening `self ∇ newer`, componentwise.
+    ///
+    /// The result is deliberately **not** re-normalized: normalization is
+    /// reductive, and re-sharpening a freshly widened component from the
+    /// other one could undo the extrapolation jump and re-open the slow
+    /// ascent widening exists to cut short. The analyzer re-normalizes
+    /// naturally at the next join and during its narrowing pass.
+    #[must_use]
+    pub fn widen(self, newer: Self) -> Self {
+        Product {
+            a: self.a.widen(newer.a),
+            b: self.b.widen(newer.b),
+        }
     }
 }
 
@@ -179,6 +210,51 @@ mod tests {
         assert_eq!(four.intersect(six), None);
         assert_eq!(P::unknown().as_constant(), None);
         assert_eq!(P::constant(42).as_constant(), Some(42));
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_a_true_reduction_fixpoint_w6() {
+        // Exhaustive over every width-≤6 component pair (the width-6
+        // enumerations subsume all narrower elements): a published
+        // product must be a fixpoint of both refinement directions, so
+        // normalizing twice is the same as normalizing once. The old
+        // fixed two-round cadence under-reduced some pairs.
+        use domain::{AbstractDomain, RefineFrom};
+        let tnums = <Tnum as AbstractDomain>::enumerate_at_width(6);
+        let bounds = <Bounds as AbstractDomain>::enumerate_at_width(6);
+        for &t in &tnums {
+            for &b in &bounds {
+                let Some(p) = P::from_parts(t, b) else {
+                    continue;
+                };
+                assert_eq!(p.normalize(), Some(p), "idempotence on {t} × {b:?}");
+                assert_eq!(
+                    p.a.refine_from(&p.b),
+                    Some(p.a),
+                    "tnum side of {t} × {b:?} not at the reduction fixpoint"
+                );
+                assert_eq!(
+                    p.b.refine_from(&p.a),
+                    Some(p.b),
+                    "bounds side of {t} × {b:?} not at the reduction fixpoint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_and_from_parts_publish_reduced_products() {
+        // The public constructors go through normalize, so whatever they
+        // return must already be fully reduced.
+        let a = P::from_parts("x1x".parse().unwrap(), Bounds::FULL).unwrap();
+        let b = P::from_parts(
+            Tnum::UNKNOWN,
+            Bounds::from_unsigned(UInterval::new(2, 6).unwrap()),
+        )
+        .unwrap();
+        for p in [a, b, a.union(b), a.intersect(b).unwrap()] {
+            assert_eq!(p.normalize(), Some(p), "{p:?} left under-reduced");
+        }
     }
 
     #[test]

@@ -23,17 +23,33 @@ pub enum StackSlot {
 }
 
 impl StackSlot {
-    /// Join of slot states at merge points.
-    #[must_use]
-    pub fn union(self, other: StackSlot) -> StackSlot {
+    /// The shared shape of [`StackSlot::union`] and [`StackSlot::widen`]:
+    /// agreeing spills merge their values with `f`, and any disagreement
+    /// invalidates the slot ([`StackSlot::Misc`] for incompatible
+    /// initialized contents, [`StackSlot::Uninit`] when one path never
+    /// wrote it).
+    fn merge(self, other: StackSlot, f: impl Fn(RegValue, RegValue) -> RegValue) -> StackSlot {
         match (self, other) {
             (StackSlot::Uninit, _) | (_, StackSlot::Uninit) => StackSlot::Uninit,
-            (StackSlot::Spill(a), StackSlot::Spill(b)) => match a.union(b) {
+            (StackSlot::Spill(a), StackSlot::Spill(b)) => match f(a, b) {
                 RegValue::Uninit => StackSlot::Misc,
                 v => StackSlot::Spill(v),
             },
             _ => StackSlot::Misc,
         }
+    }
+
+    /// Join of slot states at merge points.
+    #[must_use]
+    pub fn union(self, other: StackSlot) -> StackSlot {
+        self.merge(other, RegValue::union)
+    }
+
+    /// Widening of slot states at a loop head: spills widen their tracked
+    /// values; disagreement invalidates the slot exactly as in the join.
+    #[must_use]
+    pub fn widen(self, newer: StackSlot) -> StackSlot {
+        self.merge(newer, RegValue::widen)
     }
 
     /// Whether reading this slot is allowed.
@@ -139,18 +155,40 @@ impl AbsState {
             .all(|off| slot_index(off).is_some_and(|i| self.stack[i].is_initialized()))
     }
 
-    /// Pointwise join of two states at a control-flow merge.
-    #[must_use]
-    pub fn union(&self, other: &AbsState) -> AbsState {
+    /// The shared shape of [`AbsState::union`] and [`AbsState::widen`]:
+    /// registers and stack slots merge pointwise.
+    fn merge(
+        &self,
+        other: &AbsState,
+        fr: impl Fn(RegValue, RegValue) -> RegValue,
+        fs: impl Fn(StackSlot, StackSlot) -> StackSlot,
+    ) -> AbsState {
         let mut regs = [RegValue::Uninit; 11];
         for (i, slot) in regs.iter_mut().enumerate() {
-            *slot = self.regs[i].union(other.regs[i]);
+            *slot = fr(self.regs[i], other.regs[i]);
         }
         let mut stack = [StackSlot::Uninit; SLOTS];
         for (i, slot) in stack.iter_mut().enumerate() {
-            *slot = self.stack[i].union(other.stack[i]);
+            *slot = fs(self.stack[i], other.stack[i]);
         }
         AbsState { regs, stack }
+    }
+
+    /// Pointwise join of two states at a control-flow merge.
+    #[must_use]
+    pub fn union(&self, other: &AbsState) -> AbsState {
+        self.merge(other, RegValue::union, StackSlot::union)
+    }
+
+    /// Pointwise widening `self ∇ newer` at a loop head: registers and
+    /// stack slots widen independently, so components that already
+    /// stabilized are kept exact while growing ones extrapolate.
+    ///
+    /// `newer` is expected to be an upper bound of `self` (callers pass
+    /// `self.union(incoming)`), mirroring [`domain::WidenDomain::widen`].
+    #[must_use]
+    pub fn widen(&self, newer: &AbsState) -> AbsState {
+        self.merge(newer, RegValue::widen, StackSlot::widen)
     }
 
     /// Pointwise abstract-order test (state inclusion).

@@ -57,22 +57,39 @@ impl RegValue {
         matches!(self, RegValue::StackPtr { .. } | RegValue::CtxPtr { .. })
     }
 
-    /// Join of two register values. Pointers join with pointers of the
-    /// same region by joining offsets; everything else collapses to
-    /// [`RegValue::Uninit`] (for mixed pointer kinds — reading such a
-    /// register is rejected, which is sound) or to a joined scalar.
-    #[must_use]
-    pub fn union(self, other: RegValue) -> RegValue {
+    /// The shared shape of [`RegValue::union`] and [`RegValue::widen`]:
+    /// same-kind values merge their scalars with `f`; everything else
+    /// collapses to [`RegValue::Uninit`] (for mixed pointer kinds —
+    /// reading such a register is rejected, which is sound).
+    fn merge(self, other: RegValue, f: impl Fn(Scalar, Scalar) -> Scalar) -> RegValue {
         match (self, other) {
-            (RegValue::Scalar(a), RegValue::Scalar(b)) => RegValue::Scalar(a.union(b)),
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => RegValue::Scalar(f(a, b)),
             (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b }) => {
-                RegValue::StackPtr { offset: a.union(b) }
+                RegValue::StackPtr { offset: f(a, b) }
             }
             (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => {
-                RegValue::CtxPtr { offset: a.union(b) }
+                RegValue::CtxPtr { offset: f(a, b) }
             }
             _ => RegValue::Uninit,
         }
+    }
+
+    /// Join of two register values. Pointers join with pointers of the
+    /// same region by joining offsets; everything else collapses to
+    /// [`RegValue::Uninit`] or to a joined scalar.
+    #[must_use]
+    pub fn union(self, other: RegValue) -> RegValue {
+        self.merge(other, Scalar::union)
+    }
+
+    /// Widening `self ∇ newer` at a loop head: like [`RegValue::union`]
+    /// but extrapolating with [`Scalar::widen`] so growing scalars (and
+    /// growing pointer offsets) stabilize. Mismatched kinds collapse to
+    /// [`RegValue::Uninit`], exactly as in the join — the top of the
+    /// safety order, so termination is preserved.
+    #[must_use]
+    pub fn widen(self, newer: RegValue) -> RegValue {
+        self.merge(newer, Scalar::widen)
     }
 
     /// Abstract-order test used for state-inclusion checks.

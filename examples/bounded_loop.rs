@@ -1,0 +1,112 @@
+//! Bounded loops through the fixpoint engine: a counted memset and a
+//! memcpy-style filter — the workload class the classic loop-rejecting
+//! verifier could not touch — are verified with delayed widening, then
+//! executed on the concrete VM to confirm the proven facts.
+//!
+//! Run with: `cargo run --example bounded_loop`
+
+use ebpf::asm::assemble;
+use ebpf::{Reg, Vm};
+use verifier::{Analyzer, AnalyzerOptions, VerifierError};
+
+/// `for i in 0..13 { buf[i] = 0; sum += i }; return i` — 13 is chosen
+/// deliberately: it is not a power of two, so the interval half of the
+/// reduced product (not the tnum half) carries the whole safety proof.
+const MEMSET: &str = r"
+    r1 = 0                  ; i
+    r6 = 0                  ; sum
+loop:
+    r3 = r10
+    r3 += -13
+    r3 += r1                ; &buf[i], i in [0, 12]
+    *(u8 *)(r3 + 0) = 0
+    r6 += r1
+    r1 += 1
+    if r1 < 13 goto loop
+    r0 = r1
+    exit
+";
+
+/// Copy-and-mask filter: move 8 context bytes onto the stack, masking
+/// each — a memcpy-shaped loop whose index bounds both a context load
+/// and a stack store.
+const MEMCPY_FILTER: &str = r"
+    r6 = 0                  ; i
+loop:
+    r3 = r1
+    r3 += r6
+    r2 = *(u8 *)(r3 + 0)    ; ctx[i]
+    r2 &= 127               ; filter: clear the top bit
+    r4 = r10
+    r4 += -8
+    r4 += r6
+    *(u8 *)(r4 + 0) = r2    ; buf[i]
+    r6 += 1
+    if r6 < 8 goto loop
+    r0 = r6
+    exit
+";
+
+/// The same memset without the exit test: genuinely unbounded. The
+/// analysis must still terminate — widening drives the counter to ⊤ and
+/// the unbounded store is rejected, not looped on forever.
+const UNBOUNDED: &str = r"
+    r1 = 0
+loop:
+    r3 = r10
+    r3 += -13
+    r3 += r1
+    *(u8 *)(r3 + 0) = 0
+    r1 += 1
+    goto loop
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let memset = assemble(MEMSET)?;
+    let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&memset)?;
+    println!("== counted memset: ACCEPTED ==\n");
+    print!("{}", analysis.annotate(&memset));
+
+    // The fixpoint's exit state pins the counter exactly: the loop runs
+    // 13 trips, and narrowing recovers i = 13 from the widened head.
+    let exit_state = analysis.state_before(memset.len() - 1).expect("reachable");
+    let r0 = exit_state.reg(Reg::R0).as_scalar().expect("scalar");
+    println!("\nabstract exit r0 = {r0} (finite, sound)");
+    let ret = Vm::new().run(&memset, &mut [0u8; 8])?;
+    println!("concrete  exit r0 = {ret}");
+    assert!(r0.contains(ret), "soundness: concrete result contained");
+
+    // Eager widening (delay 0) extrapolates i before the exit test can
+    // cap it and loses the proof — the delay is what buys precision.
+    let eager = Analyzer::new(AnalyzerOptions {
+        widen_delay: 0,
+        ..AnalyzerOptions::default()
+    });
+    match eager.analyze(&memset) {
+        Err(e) => println!("\nwith widen_delay = 0: REJECTED ({e})"),
+        Ok(_) => unreachable!("eager widening cannot keep the bound"),
+    }
+
+    let filter = assemble(MEMCPY_FILTER)?;
+    let analyzer = Analyzer::new(AnalyzerOptions {
+        ctx_size: 8,
+        ..AnalyzerOptions::default()
+    });
+    analyzer.analyze(&filter)?;
+    let mut ctx = *b"\xff\x80\x7f12345";
+    let ret = Vm::new().run(&filter, &mut ctx)?;
+    println!("\n== memcpy filter: ACCEPTED == (copied {ret} bytes)");
+
+    // And the unbounded variant terminates the *analysis* (widening to
+    // ⊤ makes the store unprovable) instead of iterating forever.
+    let unbounded = assemble(UNBOUNDED)?;
+    match Analyzer::new(AnalyzerOptions::default()).analyze(&unbounded) {
+        Err(VerifierError::OutOfBounds { pc, .. }) => {
+            println!(
+                "\n== unbounded memset: REJECTED == (store at pc {pc} unprovable after widening)"
+            );
+        }
+        other => unreachable!("expected out-of-bounds rejection, got {other:?}"),
+    }
+    Ok(())
+}

@@ -11,21 +11,27 @@ use domain::rng::SplitMix64;
 use ebpf::{AluOp, Insn, Program, Reg, Src, Vm, Width};
 use verifier::{Analyzer, AnalyzerOptions, RegValue};
 
-/// Generates a random straight-line ALU program over r0-r5.
-///
-/// r0..r5 are first seeded with constants so every register is
-/// initialized; then `len` random ALU instructions follow.
-fn random_alu_program(rng: &mut SplitMix64, len: usize) -> Program {
-    let regs = [Reg::R0, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7];
-    let mut insns: Vec<Insn> = Vec::new();
-    for (i, &r) in regs.iter().enumerate() {
-        insns.push(Insn::Alu {
+/// The fuzzed register set: seeded with constants up front so every
+/// random use reads an initialized register.
+const FUZZ_REGS: [Reg; 6] = [Reg::R0, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7];
+
+/// Seed instructions giving every fuzzed register a random constant.
+fn seed_regs(rng: &mut SplitMix64) -> Vec<Insn> {
+    FUZZ_REGS
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| Insn::Alu {
             width: Width::W64,
             op: AluOp::Mov,
             dst: r,
             src: Src::Imm(rng.next_i32() >> (i * 4)),
-        });
-    }
+        })
+        .collect()
+}
+
+/// One random ALU instruction over [`FUZZ_REGS`] — the shared body
+/// generator of the straight-line and loopy fuzz suites.
+fn random_alu_insn(rng: &mut SplitMix64) -> Insn {
     let ops = [
         AluOp::Add,
         AluOp::Sub,
@@ -41,32 +47,39 @@ fn random_alu_program(rng: &mut SplitMix64, len: usize) -> Program {
         AluOp::Neg,
         AluOp::Mov,
     ];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    let width = if rng.ratio(3, 10) {
+        Width::W32
+    } else {
+        Width::W64
+    };
+    let dst = FUZZ_REGS[rng.below(FUZZ_REGS.len() as u64) as usize];
+    let src = if op == AluOp::Neg {
+        // Canonical no-operand form.
+        Src::Imm(0)
+    } else if rng.coin() {
+        Src::Reg(FUZZ_REGS[rng.below(FUZZ_REGS.len() as u64) as usize])
+    } else if matches!(op, AluOp::Lsh | AluOp::Rsh | AluOp::Arsh) {
+        // Keep immediate shift amounts in range; register amounts are
+        // masked by the semantics.
+        Src::Imm(rng.below(if width == Width::W32 { 32 } else { 64 }) as i32)
+    } else {
+        Src::Imm(rng.next_i32())
+    };
+    Insn::Alu {
+        width,
+        op,
+        dst,
+        src,
+    }
+}
+
+/// Generates a random straight-line ALU program: seeds, then `len`
+/// random ALU instructions.
+fn random_alu_program(rng: &mut SplitMix64, len: usize) -> Program {
+    let mut insns = seed_regs(rng);
     for _ in 0..len {
-        let op = ops[rng.below(ops.len() as u64) as usize];
-        let width = if rng.ratio(3, 10) {
-            Width::W32
-        } else {
-            Width::W64
-        };
-        let dst = regs[rng.below(regs.len() as u64) as usize];
-        let src = if op == AluOp::Neg {
-            // Canonical no-operand form.
-            Src::Imm(0)
-        } else if rng.coin() {
-            Src::Reg(regs[rng.below(regs.len() as u64) as usize])
-        } else if matches!(op, AluOp::Lsh | AluOp::Rsh | AluOp::Arsh) {
-            // Keep immediate shift amounts in range; register amounts are
-            // masked by the semantics.
-            Src::Imm(rng.below(if width == Width::W32 { 32 } else { 64 }) as i32)
-        } else {
-            Src::Imm(rng.next_i32())
-        };
-        insns.push(Insn::Alu {
-            width,
-            op,
-            dst,
-            src,
-        });
+        insns.push(random_alu_insn(rng));
     }
     insns.push(Insn::Exit);
     Program::new(insns).expect("straight-line ALU programs always validate")
@@ -163,6 +176,148 @@ fn random_alu_programs_with_branches() {
             }
         }
     }
+}
+
+/// Generates a bounded-loop program: the counter `r8` starts at a masked
+/// untrusted context byte, a random ALU body churns `r0`/`r3`–`r7` every
+/// trip, and the back-edge condition `r8 < limit` bounds the loop.
+///
+/// All instructions are single-slot, so instruction indices double as
+/// jump offsets.
+fn random_loop_program(rng: &mut SplitMix64, body_len: usize) -> Program {
+    let mut insns: Vec<Insn> = vec![
+        // r8 = ctx[0] & 7: the trip count depends on untrusted input.
+        Insn::Load {
+            size: ebpf::MemSize::B,
+            dst: Reg::R8,
+            base: Reg::R1,
+            off: 0,
+        },
+        Insn::Alu {
+            width: Width::W64,
+            op: AluOp::And,
+            dst: Reg::R8,
+            src: Src::Imm(7),
+        },
+    ];
+    insns.extend(seed_regs(rng));
+    let head = insns.len();
+    for _ in 0..body_len {
+        insns.push(random_alu_insn(rng));
+    }
+    insns.push(Insn::Alu {
+        width: Width::W64,
+        op: AluOp::Add,
+        dst: Reg::R8,
+        src: Src::Imm(1),
+    });
+    // Trip counts from 1 (r8 masked to <= 7, limit 8) up to 24 — both
+    // sides of the default widening delay.
+    let limit = rng.range(8, 25) as i32;
+    let jmp_index = insns.len();
+    insns.push(Insn::Jmp {
+        width: Width::W64,
+        op: ebpf::JmpOp::Lt,
+        dst: Reg::R8,
+        src: Src::Imm(limit),
+        off: (head as i64 - (jmp_index + 1) as i64) as i16,
+    });
+    insns.push(Insn::Exit);
+    Program::new(insns).expect("loop programs validate")
+}
+
+#[test]
+fn random_loop_programs_abstract_containment() {
+    let mut rng = SplitMix64::new(0x100D);
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let mut vm = Vm::new();
+    for round in 0..60 {
+        let prog = random_loop_program(&mut rng, 10);
+        let analysis = analyzer
+            .analyze(&prog)
+            .unwrap_or_else(|e| panic!("round {round}: loop program rejected: {e}"));
+        let exit_pc = prog.len() - 1;
+        // SplitMix64-driven inputs vary the trip count through ctx[0].
+        for _ in 0..6 {
+            let mut ctx = [0u8; 8];
+            for byte in &mut ctx {
+                *byte = rng.next_u32() as u8;
+            }
+            let (ret, trace) = vm
+                .run_traced(&prog, &mut ctx)
+                .expect("ALU loop programs cannot fault");
+            // Per-step containment across every trip…
+            for snap in &trace {
+                let state = analysis.state_before(snap.pc).expect("reachable");
+                for reg in Reg::ALL {
+                    if let RegValue::Scalar(s) = state.reg(reg) {
+                        assert!(
+                            s.contains(snap.regs[reg.index()]),
+                            "round {round} pc {}: {reg} = {:#x} escapes {s:?}\nprogram:\n{}",
+                            snap.pc,
+                            snap.regs[reg.index()],
+                            prog.disassemble(),
+                        );
+                    }
+                }
+            }
+            // …and the concrete return value sits in the abstract exit
+            // state.
+            let exit_state = analysis.state_before(exit_pc).expect("exit reachable");
+            let r0 = exit_state
+                .reg(Reg::R0)
+                .as_scalar()
+                .expect("r0 is a scalar at exit");
+            assert!(
+                r0.contains(ret),
+                "round {round}: final r0 = {ret:#x} escapes {r0:?}\nprogram:\n{}",
+                prog.disassemble(),
+            );
+        }
+    }
+}
+
+#[test]
+fn delayed_widening_regression_vs_vm() {
+    // The 13-trip memset: the interval bound i <= 12 is the whole safety
+    // argument (the tnum can only offer [0, 15]). Eager widening (delay
+    // 0) extrapolates the counter before the exit test caps it and must
+    // reject; the default delayed engine accepts, and the acceptance is
+    // *correct* — the concrete VM executes the program in bounds.
+    let prog = ebpf::asm::assemble(
+        r"
+            r1 = 0
+        loop:
+            r3 = r10
+            r3 += -13
+            r3 += r1
+            *(u8 *)(r3 + 0) = 0
+            r1 += 1
+            if r1 < 13 goto loop
+            r0 = r1
+            exit
+        ",
+    )
+    .unwrap();
+    let eager = Analyzer::new(AnalyzerOptions {
+        widen_delay: 0,
+        ..AnalyzerOptions::default()
+    });
+    assert!(
+        eager.analyze(&prog).is_err(),
+        "eager widening loses the bound"
+    );
+    let analysis = Analyzer::new(AnalyzerOptions::default())
+        .analyze(&prog)
+        .expect("delayed widening keeps the bound");
+    let (ret, _) = Vm::new()
+        .run_traced(&prog, &mut [0u8; 8])
+        .expect("verified program executes safely");
+    assert_eq!(ret, 13);
+    let exit_state = analysis.state_before(prog.len() - 1).unwrap();
+    let r0 = exit_state.reg(Reg::R0).as_scalar().unwrap();
+    assert!(r0.contains(ret), "concrete result inside the exit state");
+    assert_eq!(r0.as_constant(), Some(13), "narrowing pins the counter");
 }
 
 #[test]

@@ -128,6 +128,38 @@ fn alu32_and_shift_program() {
 }
 
 #[test]
+fn bounded_loop_filter_program() {
+    // A counted filter loop: sum the first 8 packet bytes through a
+    // stack staging buffer, with the loop bounded by its own exit test —
+    // the workload class the fixpoint engine opens up.
+    for fill in [0u8, 1, 77, 255] {
+        let mut ctx = [fill; 8];
+        let ret = assert_trace_contained(
+            r"
+                r6 = 0              ; i
+                r7 = 0              ; sum
+            loop:
+                r3 = r1
+                r3 += r6
+                r2 = *(u8 *)(r3 + 0)
+                r4 = r10
+                r4 += -8
+                r4 += r6
+                *(u8 *)(r4 + 0) = r2
+                r5 = *(u8 *)(r4 + 0)
+                r7 += r5
+                r6 += 1
+                if r6 < 8 goto loop
+                r0 = r7
+                exit
+            ",
+            &mut ctx,
+        );
+        assert_eq!(ret, u64::from(fill) * 8);
+    }
+}
+
+#[test]
 fn every_verified_program_runs_without_fault() {
     // A corpus of accepted programs: acceptance must imply fault-free
     // concrete execution on arbitrary contexts (the verifier's whole job).
