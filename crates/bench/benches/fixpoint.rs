@@ -9,54 +9,31 @@
 //! trade-off is the whole point of the delay knob, and this sweep
 //! measures it.
 //!
+//! Since PR 3 every sweep configuration also reports its
+//! `AnalysisStats` — deep state copies vs. shared clones vs.
+//! short-circuited joins under the copy-on-write state layer — which is
+//! the regression surface `fixpoint_guard` checks in CI.
+//!
 //! Run with: `cargo bench -p bench --bench fixpoint`
 //!
 //! Set `BENCH_JSON=path.json` to also write the machine-readable
-//! baseline (`BENCH_PR2.json` in the repo root is the committed one).
+//! baseline (`BENCH_PR3.json` in the repo root is the committed one).
 
+use bench::fixpoint_suite;
 use bench::harness::Group;
+use bench::table;
 use ebpf::asm::assemble;
-use ebpf::{Program, Vm};
+use ebpf::Vm;
 use verifier::{Analyzer, AnalyzerOptions};
-
-/// A memset-style loop over a 16-byte buffer with a masked index, safe
-/// for every trip count; `trips` only changes how long the counter
-/// climbs.
-fn masked_memset(trips: u32) -> Program {
-    assemble(&format!(
-        r"
-            r1 = 0
-        loop:
-            r2 = r1
-            r2 &= 15
-            r3 = r10
-            r3 += -16
-            r3 += r2
-            *(u8 *)(r3 + 0) = 0
-            r1 += 1
-            if r1 < {trips} goto loop
-            r0 = r1
-            exit
-        "
-    ))
-    .expect("assembles")
-}
 
 fn main() {
     let mut group = Group::new("fixpoint_sweep");
 
-    // Trip counts straddling the default delay (16) × widening delays.
-    for &trips in &[4u32, 8, 16, 64, 1024] {
-        let prog = masked_memset(trips);
-        for &delay in &[0u32, 4, 16, 64] {
-            let analyzer = Analyzer::new(AnalyzerOptions {
-                widen_delay: delay,
-                ..AnalyzerOptions::default()
-            });
-            group.bench(&format!("analyze/trips={trips}/delay={delay}"), || {
-                analyzer.analyze(&prog).expect("masked loop accepted")
-            });
-        }
+    for (label, prog, options) in fixpoint_suite::sweep_configs() {
+        let analyzer = Analyzer::new(options);
+        group.bench(&label, || {
+            analyzer.analyze(&prog).expect("masked loop accepted")
+        });
     }
 
     // Pure widening cost: no exit test at all, the head must climb the
@@ -81,15 +58,50 @@ fn main() {
     // scale reference.
     let mut vm = Vm::new();
     for &trips in &[16u32, 1024] {
-        let prog = masked_memset(trips);
+        let prog = fixpoint_suite::masked_memset(trips);
         group.bench(&format!("vm/trips={trips}"), || {
             vm.run(&prog, &mut []).expect("runs")
         });
     }
 
+    // One un-timed analysis per sweep configuration for the
+    // copy-on-write statistics (deterministic, unlike the timings).
+    let stats = fixpoint_suite::collect_stats();
+
     if let Ok(path) = std::env::var("BENCH_JSON") {
-        std::fs::write(&path, group.to_json()).expect("write bench baseline");
+        let doc = fixpoint_suite::to_json("fixpoint_sweep", group.rows(), &stats);
+        std::fs::write(&path, doc).expect("write bench baseline");
         eprintln!("wrote baseline to {path}");
     }
     group.finish();
+
+    // Render the sharing counters alongside the timing table.
+    println!("\n## fixpoint_sweep state sharing\n");
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|(label, s)| {
+            vec![
+                label.clone(),
+                s.states_allocated.to_string(),
+                s.states_shared.to_string(),
+                s.joins_short_circuited.to_string(),
+                s.widenings_applied.to_string(),
+                s.clone_everything_equivalent().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "configuration",
+                "allocated",
+                "shared",
+                "short-circuited",
+                "widenings",
+                "clone-everything equiv."
+            ],
+            &rows
+        )
+    );
 }

@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run -p bench --release --bin annotate -- --file prog.s \
 //!     [--ctx-size 64] [--strict-alignment] [--no-refine] \
-//!     [--reject-loops] [--widen-delay 16] [--budget 1000000]
+//!     [--reject-loops] [--widen-delay 16] [--no-thresholds] \
+//!     [--budget 1000000]
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
         widen_delay: args
             .get_u64("widen-delay", u64::from(defaults.widen_delay))
             .min(u64::from(u32::MAX)) as u32,
+        harvest_thresholds: !args.has("no-thresholds"),
         analysis_budget: args.get_u64("budget", defaults.analysis_budget),
     };
     match Analyzer::new(options).analyze(&prog) {

@@ -1,0 +1,84 @@
+//! `fixpoint_guard` — the CI smoke check for the copy-on-write state
+//! layer: re-runs the fixpoint sweep (`bench::fixpoint_suite`), compares
+//! the total `states_allocated` against the committed `BENCH_PR3.json`
+//! baseline, and fails when it regresses by more than 20%.
+//!
+//! The allocation counters are deterministic (unlike the timings), so
+//! this is a stable gate: a refactor that quietly re-introduces
+//! clone-everything state propagation fails CI even on noisy runners.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR3.json]
+//! ```
+//!
+//! Exit status: 0 when within budget, 1 on regression or a missing/old
+//! baseline.
+
+use std::process::ExitCode;
+
+use bench::cli::Args;
+use bench::fixpoint_suite;
+use bench::table;
+
+/// Allowed regression over the committed baseline, in percent.
+const TOLERANCE_PERCENT: u64 = 20;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let path = args
+        .get_str("baseline")
+        .unwrap_or("BENCH_PR3.json")
+        .to_string();
+
+    let stats = fixpoint_suite::collect_stats();
+    let current: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
+    let shared: u64 = stats.iter().map(|(_, s)| s.states_shared).sum();
+    let clone_everything: u64 = stats
+        .iter()
+        .map(|(_, s)| s.clone_everything_equivalent())
+        .sum();
+
+    let rows = vec![
+        vec!["states allocated (deep)".to_string(), current.to_string()],
+        vec![
+            "states shared (O(1) clones)".to_string(),
+            shared.to_string(),
+        ],
+        vec![
+            "clone-everything equivalent".to_string(),
+            clone_everything.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        table::render(&["fixpoint sweep total", "count"], &rows)
+    );
+
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("fixpoint_guard: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(baseline) = fixpoint_suite::total_allocated_in_json(&doc) else {
+        eprintln!("fixpoint_guard: {path} carries no states_allocated stats");
+        return ExitCode::FAILURE;
+    };
+
+    let budget = baseline + baseline * TOLERANCE_PERCENT / 100;
+    println!(
+        "baseline {baseline} deep copies, budget {budget} (+{TOLERANCE_PERCENT}%), current {current}"
+    );
+    if current > budget {
+        eprintln!(
+            "fixpoint_guard: states_allocated regressed: {current} > {budget} \
+             (baseline {baseline} + {TOLERANCE_PERCENT}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("fixpoint_guard: OK");
+    ExitCode::SUCCESS
+}

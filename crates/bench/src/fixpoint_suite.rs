@@ -1,0 +1,150 @@
+//! The fixpoint sweep shared by the `fixpoint` bench and the
+//! `fixpoint_guard` CI binary: the masked-memset workload across trip
+//! counts × widening delays, plus the [`AnalysisStats`] collection and
+//! the hand-rolled JSON baseline format (`BENCH_PR3.json`).
+//!
+//! Keeping the sweep definition in one place guarantees the guard checks
+//! exactly the configurations the committed baseline was produced from.
+
+use ebpf::asm::assemble;
+use ebpf::Program;
+use verifier::{AnalysisStats, Analyzer, AnalyzerOptions};
+
+/// A memset-style loop over a 16-byte buffer with a masked index, safe
+/// for every trip count; `trips` only changes how long the counter
+/// climbs.
+#[must_use]
+pub fn masked_memset(trips: u32) -> Program {
+    assemble(&format!(
+        r"
+            r1 = 0
+        loop:
+            r2 = r1
+            r2 &= 15
+            r3 = r10
+            r3 += -16
+            r3 += r2
+            *(u8 *)(r3 + 0) = 0
+            r1 += 1
+            if r1 < {trips} goto loop
+            r0 = r1
+            exit
+        "
+    ))
+    .expect("assembles")
+}
+
+/// Trip counts straddling the default widening delay (16).
+pub const TRIPS: [u32; 5] = [4, 8, 16, 64, 1024];
+
+/// Widening delays swept per trip count.
+pub const DELAYS: [u32; 4] = [0, 4, 16, 64];
+
+/// Every `(label, program, options)` configuration of the sweep, in the
+/// order the bench reports them.
+#[must_use]
+pub fn sweep_configs() -> Vec<(String, Program, AnalyzerOptions)> {
+    let mut out = Vec::new();
+    for &trips in &TRIPS {
+        let prog = masked_memset(trips);
+        for &delay in &DELAYS {
+            out.push((
+                format!("analyze/trips={trips}/delay={delay}"),
+                prog.clone(),
+                AnalyzerOptions {
+                    widen_delay: delay,
+                    ..AnalyzerOptions::default()
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Runs every sweep configuration once and returns its sharing
+/// statistics. Panics if any configuration is rejected — the sweep
+/// programs are safe at every delay (the masked index carries the proof
+/// even when the counter widens), so a rejection is an engine
+/// regression.
+#[must_use]
+pub fn collect_stats() -> Vec<(String, AnalysisStats)> {
+    sweep_configs()
+        .into_iter()
+        .map(|(label, prog, options)| {
+            let analysis = Analyzer::new(options)
+                .analyze(&prog)
+                .unwrap_or_else(|e| panic!("{label}: masked loop rejected: {e}"));
+            (label, analysis.stats())
+        })
+        .collect()
+}
+
+/// Serializes timing rows and per-configuration statistics as the
+/// `BENCH_PR3.json` baseline document.
+#[must_use]
+pub fn to_json(
+    group: &str,
+    timings: &[(String, f64)],
+    stats: &[(String, AnalysisStats)],
+) -> String {
+    let timing_rows: Vec<String> = timings
+        .iter()
+        .map(|(label, ns)| format!("    {{\"label\": \"{label}\", \"ns_per_iter\": {ns:.1}}}"))
+        .collect();
+    let stat_rows: Vec<String> = stats
+        .iter()
+        .map(|(label, s)| {
+            format!(
+                "    {{\"label\": \"{label}\", \"stats\": {}}}",
+                s.to_json_object()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"group\": \"{group}\",\n  \"results\": [\n{}\n  ],\n  \"stats\": [\n{}\n  ]\n}}\n",
+        timing_rows.join(",\n"),
+        stat_rows.join(",\n")
+    )
+}
+
+/// Extracts the total `states_allocated` across all stats rows of a
+/// baseline document written by [`to_json`]. Hand-rolled (the workspace
+/// is dependency-free): sums every `"states_allocated": N` occurrence.
+///
+/// Returns `None` when the document contains no such field (e.g. a
+/// pre-PR 3 baseline).
+#[must_use]
+pub fn total_allocated_in_json(doc: &str) -> Option<u64> {
+    const KEY: &str = "\"states_allocated\":";
+    let mut total = 0u64;
+    let mut found = false;
+    let mut rest = doc;
+    while let Some(at) = rest.find(KEY) {
+        rest = &rest[at + KEY.len()..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        total += digits.parse::<u64>().ok()?;
+        found = true;
+    }
+    found.then_some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_accepted_and_stats_round_trip_through_json() {
+        let stats = collect_stats();
+        assert_eq!(stats.len(), TRIPS.len() * DELAYS.len());
+        let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
+        assert!(total > 0);
+        let doc = to_json("fixpoint_sweep", &[("x".to_string(), 1.0)], &stats);
+        assert_eq!(total_allocated_in_json(&doc), Some(total));
+        // A document without stats rows reports None, not zero.
+        assert_eq!(total_allocated_in_json("{\"results\": []}"), None);
+    }
+}

@@ -69,6 +69,15 @@ impl Group {
         self.rows.push((label.to_string(), mean_ns));
     }
 
+    /// The measured `(label, ns_per_iter)` rows so far, in bench order —
+    /// for benches that assemble their own JSON document (e.g. the
+    /// fixpoint sweep, which interleaves timing rows with analyzer
+    /// statistics).
+    #[must_use]
+    pub fn rows(&self) -> &[(String, f64)] {
+        &self.rows
+    }
+
     /// Serializes the group as a small JSON document —
     /// `{"group": name, "results": [{"label": …, "ns_per_iter": …}]}` —
     /// for machine-readable baselines (`BENCH_PR*.json`). Hand-rolled:

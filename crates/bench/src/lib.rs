@@ -13,5 +13,6 @@
 
 pub mod cli;
 pub mod cycles;
+pub mod fixpoint_suite;
 pub mod harness;
 pub mod table;

@@ -117,6 +117,21 @@ pub trait AbstractDomain:
     /// Membership in the concretization: `x ∈ γ(self)`.
     fn contains(self, x: u64) -> bool;
 
+    /// Cheap may-equality used by containers (reduced products, register
+    /// files) to short-circuit joins and inclusion checks before falling
+    /// into the pointwise lattice operations.
+    ///
+    /// Contract: a `true` result must imply `γ(self) = γ(other)` (no
+    /// false positives); `false` for semantically equal elements is
+    /// allowed (an identity-based override may miss equal copies). The
+    /// default is plain structural equality, which is already O(1) for
+    /// the shipped word-sized domains; a heap-backed domain (e.g. a
+    /// future relational one) would override this with a pointer-identity
+    /// test.
+    fn fast_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+
     /// Every canonical element whose concretization is a subset of
     /// `[0, 2^width)` — the quantification space of the bounded
     /// verification campaign (the analogue of the paper's "for bitvectors

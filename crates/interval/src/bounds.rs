@@ -175,6 +175,18 @@ impl Bounds {
         }
     }
 
+    /// [`Bounds::widen`] with the built-in ladders extended by harvested
+    /// per-program thresholds ([`crate::WidenThresholds`]), so growing
+    /// endpoints can land on the comparison constants that actually bound
+    /// the loop instead of the register-width extremes.
+    #[must_use]
+    pub fn widen_with(self, newer: Bounds, thresholds: &crate::WidenThresholds) -> Bounds {
+        Bounds {
+            u: self.u.widen_with(newer.u, thresholds.unsigned()),
+            s: self.s.widen_with(newer.s, thresholds.signed()),
+        }
+    }
+
     /// Meet: `None` when the constraint set is unsatisfiable.
     #[must_use]
     pub fn intersect(self, other: Bounds) -> Option<Bounds> {

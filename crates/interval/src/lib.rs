@@ -28,8 +28,10 @@
 mod bounds;
 mod domain_impl;
 mod signed;
+mod thresholds;
 mod unsigned;
 
 pub use bounds::Bounds;
 pub use signed::SInterval;
+pub use thresholds::WidenThresholds;
 pub use unsigned::UInterval;

@@ -175,22 +175,45 @@ impl SInterval {
     /// bounds are kept exactly.
     #[must_use]
     pub fn widen(self, newer: SInterval) -> SInterval {
+        self.widen_with(newer, &[])
+    }
+
+    /// [`SInterval::widen`] over the built-in ladder extended with `extra`
+    /// thresholds (sorted ascending) — the signed companion of
+    /// [`UInterval::widen_with`](crate::UInterval::widen_with).
+    #[must_use]
+    pub fn widen_with(self, newer: SInterval, extra: &[i64]) -> SInterval {
+        debug_assert!(
+            extra.windows(2).all(|w| w[0] <= w[1]),
+            "thresholds ascending"
+        );
         let min = if newer.min >= self.min {
             self.min
         } else {
-            *SInterval::WIDEN_THRESHOLDS
+            let base = *SInterval::WIDEN_THRESHOLDS
                 .iter()
                 .rev()
                 .find(|&&t| t <= newer.min)
-                .expect("i64::MIN is always a lower threshold")
+                .expect("i64::MIN is always a lower threshold");
+            extra
+                .iter()
+                .copied()
+                .take_while(|&t| t <= newer.min)
+                .last()
+                .map_or(base, |e| base.max(e))
         };
         let max = if newer.max <= self.max {
             self.max
         } else {
-            *SInterval::WIDEN_THRESHOLDS
+            let base = *SInterval::WIDEN_THRESHOLDS
                 .iter()
                 .find(|&&t| t >= newer.max)
-                .expect("i64::MAX is always an upper threshold")
+                .expect("i64::MAX is always an upper threshold");
+            extra
+                .iter()
+                .copied()
+                .find(|&t| t >= newer.max)
+                .map_or(base, |e| base.min(e))
         };
         SInterval { min, max }
     }

@@ -1,0 +1,142 @@
+//! Program-derived widening thresholds — the classic "widening with
+//! thresholds" refinement (Cousot's *widening with a threshold set*).
+//!
+//! The built-in ladders of [`UInterval::widen`](crate::UInterval::widen)
+//! and [`SInterval::widen`](crate::SInterval::widen) only know the magic
+//! values of the 64-bit machine, so an eagerly widened loop counter jumps
+//! straight to `i32::MAX`. A fixpoint engine that *harvests* the
+//! comparison constants of the program under analysis can extend the
+//! ladder so the same jump lands on the `i < N` guard that actually
+//! bounds the loop — keeping the precision of a long widening delay at
+//! the cost of an eager one.
+
+/// A harvested set of extra widening thresholds, kept sorted for the
+/// ladder search in [`UInterval::widen_with`](crate::UInterval::widen_with)
+/// and [`SInterval::widen_with`](crate::SInterval::widen_with).
+///
+/// # Examples
+///
+/// ```
+/// use interval_domain::{UInterval, WidenThresholds};
+///
+/// // `if i < 13`: harvesting 13 plants 12, 13, 14 in the ladder, so a
+/// // counter creeping past [0, 4] widens to 12 instead of i32::MAX.
+/// let th = WidenThresholds::harvest([13]);
+/// let old = UInterval::new(0, 4).unwrap();
+/// let grown = UInterval::new(0, 5).unwrap();
+/// assert_eq!(old.widen_with(grown, th.unsigned()).max(), 12);
+/// assert_eq!(old.widen(grown).max(), i32::MAX as u64);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WidenThresholds {
+    u: Vec<u64>,
+    s: Vec<i64>,
+}
+
+impl WidenThresholds {
+    /// The empty threshold set: widening falls back to the built-in
+    /// ladders alone.
+    pub const EMPTY: WidenThresholds = WidenThresholds {
+        u: Vec::new(),
+        s: Vec::new(),
+    };
+
+    /// Builds a threshold set from the comparison constants of a program.
+    ///
+    /// Each constant `v` plants `v - 1`, `v`, and `v + 1` (saturating) in
+    /// both ladders, covering the stable bound of every strict and
+    /// non-strict guard in either direction (`i < v` stabilizes at
+    /// `v - 1`, `i <= v` at `v`, `i != v` exits at `v`, …). Unsigned
+    /// thresholds use the same bit pattern the comparison sees (negative
+    /// constants sign-extend, exactly as BPF immediates do).
+    pub fn harvest<I: IntoIterator<Item = i64>>(values: I) -> WidenThresholds {
+        let mut u = Vec::new();
+        let mut s = Vec::new();
+        for v in values {
+            for c in [v.saturating_sub(1), v, v.saturating_add(1)] {
+                s.push(c);
+                u.push(c as u64);
+            }
+        }
+        u.sort_unstable();
+        u.dedup();
+        s.sort_unstable();
+        s.dedup();
+        WidenThresholds { u, s }
+    }
+
+    /// The unsigned ladder extension, ascending.
+    #[must_use]
+    pub fn unsigned(&self) -> &[u64] {
+        &self.u
+    }
+
+    /// The signed ladder extension, ascending.
+    #[must_use]
+    pub fn signed(&self) -> &[i64] {
+        &self.s
+    }
+
+    /// Whether no thresholds were harvested.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.u.is_empty() && self.s.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SInterval, UInterval};
+
+    #[test]
+    fn harvest_plants_neighbours_in_both_ladders() {
+        let th = WidenThresholds::harvest([13, 0]);
+        assert_eq!(th.signed(), &[-1, 0, 1, 12, 13, 14]);
+        assert_eq!(
+            th.unsigned(),
+            &[0, 1, 12, 13, 14, u64::MAX] // -1 sign-extends
+        );
+        assert!(WidenThresholds::EMPTY.is_empty());
+        assert!(!th.is_empty());
+    }
+
+    #[test]
+    fn widen_with_lands_on_the_harvested_guard() {
+        let th = WidenThresholds::harvest([13]);
+        let old = UInterval::new(0, 2).unwrap();
+        let grown = UInterval::new(0, 3).unwrap();
+        assert_eq!(old.widen_with(grown, th.unsigned()).max(), 12);
+        // Growth beyond every harvested threshold falls back to the
+        // built-in ladder.
+        let past = UInterval::new(0, 20).unwrap();
+        assert_eq!(old.widen_with(past, th.unsigned()).max(), i32::MAX as u64);
+        // Signed lower bounds jump to harvested values too — to the
+        // *tightest* rung that still covers the growth (-6 ≤ -3).
+        let th = WidenThresholds::harvest([-7]);
+        let s0 = SInterval::new(-2, 0).unwrap();
+        let s1 = SInterval::new(-3, 0).unwrap();
+        assert_eq!(s0.widen_with(s1, th.signed()).min(), -6);
+        assert_eq!(s0.widen(s1).min(), i32::MIN as i64);
+    }
+
+    #[test]
+    fn widen_with_still_covers_and_terminates() {
+        let th = WidenThresholds::harvest([5, 100]);
+        let mut cur = UInterval::new(0, 0).unwrap();
+        let mut jumps = 0;
+        for k in 1..10_000u64 {
+            let grown = cur.union(UInterval::new(0, k).unwrap());
+            let next = cur.widen_with(grown, th.unsigned());
+            assert!(grown.is_subset_of(next), "covering at k={k}");
+            if next != cur {
+                jumps += 1;
+                cur = next;
+            }
+        }
+        // One jump per rung of the merged ladder at most: the chain
+        // stabilizes long before the input stops growing.
+        assert!(jumps <= th.unsigned().len() + 2, "chain took {jumps} jumps");
+        assert_eq!(cur.max(), i32::MAX as u64);
+    }
+}

@@ -235,22 +235,52 @@ impl UInterval {
     /// operands.
     #[must_use]
     pub fn widen(self, newer: UInterval) -> UInterval {
+        self.widen_with(newer, &[])
+    }
+
+    /// [`UInterval::widen`] over the built-in ladder *extended* with
+    /// `extra` thresholds (sorted ascending) — the classic "widening with
+    /// thresholds" refinement: an analyzer harvests the comparison
+    /// constants of the program under analysis so a growing bound lands
+    /// on the nearest `i < N` guard instead of jumping to a register-width
+    /// extreme.
+    ///
+    /// Termination is preserved: the merged ladder is finite, and every
+    /// jump moves strictly up it.
+    #[must_use]
+    pub fn widen_with(self, newer: UInterval, extra: &[u64]) -> UInterval {
+        debug_assert!(
+            extra.windows(2).all(|w| w[0] <= w[1]),
+            "thresholds ascending"
+        );
         let min = if newer.min >= self.min {
             self.min
         } else {
-            *UInterval::WIDEN_THRESHOLDS
+            let base = *UInterval::WIDEN_THRESHOLDS
                 .iter()
                 .rev()
                 .find(|&&t| t <= newer.min)
-                .expect("0 is always a lower threshold")
+                .expect("0 is always a lower threshold");
+            // The tightest lower threshold across both ladders.
+            extra
+                .iter()
+                .copied()
+                .take_while(|&t| t <= newer.min)
+                .last()
+                .map_or(base, |e| base.max(e))
         };
         let max = if newer.max <= self.max {
             self.max
         } else {
-            *UInterval::WIDEN_THRESHOLDS
+            let base = *UInterval::WIDEN_THRESHOLDS
                 .iter()
                 .find(|&&t| t >= newer.max)
-                .expect("u64::MAX is always an upper threshold")
+                .expect("u64::MAX is always an upper threshold");
+            extra
+                .iter()
+                .copied()
+                .find(|&t| t >= newer.max)
+                .map_or(base, |e| base.min(e))
         };
         UInterval { min, max }
     }

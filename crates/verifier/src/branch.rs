@@ -8,14 +8,13 @@ use tnum::Tnum;
 
 use crate::scalar::Scalar;
 
-/// Refines `(dst, src)` assuming `dst op src` evaluated to `taken`.
+/// Refines `(dst, src)` assuming the **64-bit** comparison `dst op src`
+/// evaluated to `taken`.
 ///
 /// Returns `None` when the assumption is contradictory — the edge is
 /// infeasible and the analyzer skips it (path-sensitive dead-code
 /// elimination, exactly how the kernel prunes impossible branches).
-///
-/// Only 64-bit comparisons refine; 32-bit comparisons return the inputs
-/// unchanged (sound, less precise), matching this analyzer's scope.
+/// 32-bit comparisons go through [`refine32`].
 #[must_use]
 pub fn refine(op: JmpOp, taken: bool, dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
     let effective = if taken { Some(op) } else { op.negated() };
@@ -39,6 +38,73 @@ pub fn refine(op: JmpOp, taken: bool, dst: Scalar, src: Scalar) -> Option<(Scala
         JmpOp::Sle => refine_signed_lt(dst, src, 0),
         JmpOp::Set => refine_set(dst, src),
     }
+}
+
+/// Refines `(dst, src)` assuming the **32-bit** comparison
+/// `dst.w op src.w` evaluated to `taken` — the kernel's
+/// `reg_set_min_max` on the `u32`/`s32` sub-register bounds.
+///
+/// A 32-bit comparison reads only the zero-extended low halves, so the
+/// full [`refine`] machinery runs on [`Scalar::subreg`] of both sides and
+/// the refined low-32 knowledge is merged back into the 64-bit values by
+/// [`merge_subreg`]: tnum low bits always transfer; range facts transfer
+/// exactly when the 64-bit value provably fits in the low word (then the
+/// value *is* its sub-register). `None` still means the edge is
+/// infeasible — sound, because an unsigned/equality 32-bit compare is
+/// precisely the 64-bit compare of the two sub-register abstractions.
+///
+/// Signed 32-bit comparisons read the sign at **bit 31**, which the
+/// zero-extended sub-register misplaces (`0xffff_ffff` is −1 as `i32`
+/// but positive as `i64`), so they refine only when both low words are
+/// provably non-negative as `i32` — then the signed compare coincides
+/// with the unsigned one — and pass through unrefined otherwise (sound,
+/// exactly the pre-PR 3 behaviour).
+#[must_use]
+pub fn refine32(op: JmpOp, taken: bool, dst: Scalar, src: Scalar) -> Option<(Scalar, Scalar)> {
+    let (d, s) = (dst.subreg(), src.subreg());
+    let op = match op {
+        JmpOp::Sgt | JmpOp::Sge | JmpOp::Slt | JmpOp::Sle => {
+            let sign_free =
+                d.bounds().umax() <= i32::MAX as u64 && s.bounds().umax() <= i32::MAX as u64;
+            if !sign_free {
+                return Some((dst, src));
+            }
+            match op {
+                JmpOp::Sgt => JmpOp::Gt,
+                JmpOp::Sge => JmpOp::Ge,
+                JmpOp::Slt => JmpOp::Lt,
+                JmpOp::Sle => JmpOp::Le,
+                _ => unreachable!(),
+            }
+        }
+        unsigned_or_eq => unsigned_or_eq,
+    };
+    let (d32, s32) = refine(op, taken, d, s)?;
+    Some((merge_subreg(dst, d32)?, merge_subreg(src, s32)?))
+}
+
+/// Folds refined sub-register knowledge back into the full 64-bit value;
+/// `None` when the combination is contradictory (infeasible edge).
+fn merge_subreg(full: Scalar, sub: Scalar) -> Option<Scalar> {
+    const LOW: u64 = u32::MAX as u64;
+    // Bit level: the low 32 bits obey the refined subreg, the high 32
+    // bits keep whatever the full value knew. Both inputs are
+    // well-formed per bit, so the spliced pair is too.
+    let (ft, st) = (full.tnum(), sub.tnum());
+    let tnum = Tnum::new(
+        (ft.value() & !LOW) | (st.value() & LOW),
+        (ft.mask() & !LOW) | (st.mask() & LOW),
+    )
+    .expect("per-bit splice of well-formed tnums is well-formed");
+    // Range level: only transferable when the full value provably equals
+    // its zero-extended low word.
+    let fits_low_word = full.bounds().umax() <= LOW && full.bounds().smin() >= 0;
+    let bounds = if fits_low_word {
+        full.bounds().intersect(sub.bounds())?
+    } else {
+        full.bounds()
+    };
+    Scalar::from_parts(tnum, bounds)
 }
 
 /// `dst > src` (strict=1) or `dst >= src` (strict=0):
@@ -228,6 +294,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The 32-bit soundness oracle: refined abstractions must keep every
+    /// concrete pair whose *low words* satisfy the branch condition.
+    fn check_sound32(op: JmpOp, dst: Scalar, src: Scalar, samples: &[(u64, u64)]) {
+        for taken in [true, false] {
+            let refined = refine32(op, taken, dst, src);
+            for &(x, y) in samples {
+                if !dst.contains(x) || !src.contains(y) {
+                    continue;
+                }
+                if op.eval32(x, y) == taken {
+                    let (d, s) = refined
+                        .unwrap_or_else(|| panic!("{op:?}/{taken} w32: feasible but refined to ⊥"));
+                    assert!(d.contains(x), "{op:?}/{taken} w32: lost dst={x:#x}");
+                    assert!(s.contains(y), "{op:?}/{taken} w32: lost src={y:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ops_sound_on_samples_w32() {
+        // Values whose high and low words stress the subreg split: equal
+        // low words with different high words, sign-boundary low words,
+        // and plain small values.
+        let values = [
+            0u64,
+            1,
+            7,
+            8,
+            0xffff_ffff,
+            0x1_0000_0000,
+            0x1_0000_0007,
+            0xdead_beef_0000_0008,
+            u64::MAX,
+            (1 << 31) - 1,
+            1 << 31,
+            (-5i64) as u64,
+        ];
+        let mut samples = Vec::new();
+        for &x in &values {
+            for &y in &values {
+                samples.push((x, y));
+            }
+        }
+        let abstractions = [
+            unknown(),
+            konst(5),
+            konst(0xffff_ffff),
+            konst(0x1_0000_0007),
+            konst((-5i64) as u64),
+            Scalar::from_tnum("1xx".parse().unwrap()),
+            // High bits unknown, low byte masked: only the tnum can carry
+            // the refinement back.
+            Scalar::from_tnum(Tnum::masked(0, 0xff)),
+            Scalar::from_parts(
+                Tnum::UNKNOWN,
+                Bounds::from_unsigned(UInterval::new(2, 100).unwrap()),
+            )
+            .unwrap(),
+        ];
+        for op in JmpOp::ALL {
+            for &d in &abstractions {
+                for &s in &abstractions {
+                    check_sound32(op, d, s, &samples);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine32_bounds_small_values_exactly() {
+        // A value known to fit the low word transfers range facts fully.
+        let byte = Scalar::from_tnum(Tnum::masked(0, 0xff));
+        let (d, _) = refine32(JmpOp::Lt, true, byte, konst(16)).unwrap();
+        assert_eq!(d.bounds().umax(), 15);
+        let (d, _) = refine32(JmpOp::Gt, false, byte, konst(7)).unwrap();
+        assert_eq!(d.bounds().umax(), 7);
+        // Equal-constant low words with a contradictory condition prune.
+        assert!(refine32(JmpOp::Ne, true, konst(3), konst(3)).is_none());
+        assert!(refine32(JmpOp::Gt, true, konst(3), konst(9)).is_none());
+    }
+
+    #[test]
+    fn refine32_keeps_unrelated_high_bits() {
+        // dst = 0x1_0000_00xx: the compare sees only the low word, so the
+        // taken edge of `w < 16` keeps the high bit and caps the low byte.
+        let high_plus_byte =
+            Scalar::from_parts(Tnum::masked(1 << 32, 0xff), interval_domain::Bounds::FULL).unwrap();
+        let (d, _) = refine32(JmpOp::Lt, true, high_plus_byte, konst(16)).unwrap();
+        assert!(d.contains(0x1_0000_0005));
+        assert!(!d.contains(0x1_0000_0020), "low word capped below 16");
+        assert_eq!(d.tnum().value() & (1 << 32), 1 << 32, "high bit kept");
+        // The full-range bounds must NOT be intersected with the subreg
+        // range (the value does not fit the low word).
+        assert!(d.bounds().umax() >= 1 << 32);
     }
 
     #[test]

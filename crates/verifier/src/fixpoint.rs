@@ -1,0 +1,224 @@
+//! The fixpoint layer: the reverse-postorder priority worklist, the
+//! per-register delayed-widening/narrowing schedule, the visit budget,
+//! and the [`AnalysisStats`] accounting of copy-on-write state traffic.
+//!
+//! The engine knows nothing about instruction semantics — it asks
+//! [`crate::transfer::Transfer`] for successor contributions and owns
+//! only *how* states flow: joins at merge points
+//! ([`crate::AbsState::flow_join`]), per-component widening at loop heads
+//! (each register and stack slot burns its own
+//! [`crate::AnalyzerOptions::widen_delay`], see
+//! [`crate::state::JoinCounters`]), widening thresholds harvested from
+//! the program's comparison immediates, and one narrowing pass after
+//! stabilization.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ebpf::{Insn, Program, Src};
+use interval_domain::WidenThresholds;
+
+use crate::analyzer::AnalyzerOptions;
+use crate::cfg::Cfg;
+use crate::error::VerifierError;
+use crate::state::{stats, AbsState, JoinCounters, WidenCtx};
+use crate::transfer::Transfer;
+
+/// Counters describing one analysis run — the observable effect of the
+/// copy-on-write state layer, emitted by the fixpoint bench
+/// (`BENCH_PR3.json`) and guarded by CI against regression.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Deep copies of a register file or stack frame actually performed
+    /// (materializations of shared components plus fresh allocations).
+    /// The clone-everything engine of PR 2 performed two of these for
+    /// *every* state clone and join.
+    pub states_allocated: u64,
+    /// `AbsState` clones that only bumped refcounts — each one is a
+    /// full-state deep copy the previous engine would have made.
+    pub states_shared: u64,
+    /// Joins/inclusion checks that resolved a whole component (register
+    /// file or stack frame) by pointer identity without pointwise work.
+    pub joins_short_circuited: u64,
+    /// Widening operator applications to individual registers or stack
+    /// slots at loop heads.
+    pub widenings_applied: u64,
+    /// Instruction visits consumed from the analysis budget.
+    pub visits: u64,
+}
+
+impl AnalysisStats {
+    /// Deep component copies an engine without structural sharing would
+    /// have performed for the same run: two (register file + stack) per
+    /// state clone, on top of what this engine still materialized.
+    #[must_use]
+    pub fn clone_everything_equivalent(&self) -> u64 {
+        self.states_allocated + 2 * self.states_shared
+    }
+
+    /// Renders the counters as a JSON object fragment (hand-rolled — the
+    /// workspace is dependency-free), for bench baselines.
+    #[must_use]
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\"states_allocated\": {}, \"states_shared\": {}, \
+             \"joins_short_circuited\": {}, \"widenings_applied\": {}, \
+             \"visits\": {}}}",
+            self.states_allocated,
+            self.states_shared,
+            self.joins_short_circuited,
+            self.widenings_applied,
+            self.visits
+        )
+    }
+}
+
+/// Harvests widening thresholds from the program's conditional-jump
+/// immediates — the constants of `if rX op N` guards — so a widened
+/// bound can land on the loop's actual exit test (classic "widening with
+/// thresholds") instead of a register-width extreme.
+///
+/// Immediates are widened exactly as the comparison will see them:
+/// sign-extended for 64-bit jumps, **zero-extended** for 32-bit jumps
+/// (`if w8 < -5` compares against `0xffff_fffb` on the zero-extended
+/// sub-register, so that is the useful rung, not the sign-extended
+/// 64-bit pattern).
+fn harvest_thresholds(prog: &Program) -> WidenThresholds {
+    WidenThresholds::harvest(prog.insns().iter().filter_map(|insn| match insn {
+        Insn::Jmp {
+            width,
+            src: Src::Imm(v),
+            ..
+        } => Some(match width {
+            ebpf::Width::W64 => *v as i64,
+            ebpf::Width::W32 => i64::from(*v as u32),
+        }),
+        _ => None,
+    }))
+}
+
+/// Runs the worklist to a (widened) post-fixpoint and applies one
+/// narrowing pass, returning per-instruction states and the run's
+/// sharing statistics.
+///
+/// # Errors
+///
+/// A [`VerifierError`] from the transfer layer (the program is unsafe)
+/// or [`VerifierError::AnalysisBudgetExhausted`] when the iteration
+/// exceeds its visit budget.
+pub fn run(
+    transfer: &Transfer,
+    prog: &Program,
+    cfg: &Cfg,
+    options: &AnalyzerOptions,
+) -> Result<(Vec<Option<AbsState>>, AnalysisStats), VerifierError> {
+    stats::reset();
+    // Thresholds only matter where widening can fire; acyclic programs
+    // (the bulk of real workloads) skip the harvest scan entirely.
+    let thresholds = if options.harvest_thresholds && !cfg.back_edges().is_empty() {
+        harvest_thresholds(prog)
+    } else {
+        WidenThresholds::EMPTY
+    };
+
+    let mut states: Vec<Option<AbsState>> = vec![None; prog.len()];
+    states[0] = Some(AbsState::entry());
+    // Per-loop-head, per-component changing-join counters driving the
+    // per-register delayed widening (allocated lazily: only heads join).
+    let mut counters: Vec<Option<Box<JoinCounters>>> = vec![None; prog.len()];
+
+    // Priority worklist: always pop the pending instruction earliest
+    // in reverse postorder, so inner regions settle before outer ones
+    // re-fire (the classic weak-topological iteration strategy).
+    let mut queue: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+    let mut queued = vec![false; prog.len()];
+    queue.push(Reverse((cfg.rpo_pos(0), 0)));
+    queued[0] = true;
+
+    let mut visits: u64 = 0;
+    while let Some(Reverse((_, pc))) = queue.pop() {
+        queued[pc] = false;
+        visits += 1;
+        if visits > options.analysis_budget {
+            return Err(VerifierError::AnalysisBudgetExhausted {
+                pc,
+                budget: options.analysis_budget,
+            });
+        }
+        let state = states[pc]
+            .clone()
+            .expect("queued instructions have a state");
+        for (succ, out) in transfer.step(prog, state, pc)? {
+            let changed = match &mut states[succ] {
+                slot @ None => {
+                    *slot = Some(out);
+                    true
+                }
+                Some(existing) => {
+                    if out.is_subset_of(existing) {
+                        false
+                    } else {
+                        let widen = cfg.is_loop_head(succ).then(|| WidenCtx {
+                            counters: counters[succ].get_or_insert_with(Default::default),
+                            delay: options.widen_delay,
+                            thresholds: &thresholds,
+                        });
+                        existing.flow_join(&out, widen)
+                    }
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                queue.push(Reverse((cfg.rpo_pos(succ), succ)));
+            }
+        }
+    }
+
+    // Acyclic programs never widen: the single worklist pass already
+    // computed the exact join states, and narrowing would reproduce
+    // them verbatim at the cost of re-running every transfer.
+    let states = if cfg.back_edges().is_empty() {
+        states
+    } else {
+        narrow(transfer, prog, cfg, &states)?
+    };
+
+    let (allocated, shared, short_circuited, widenings) = stats::snapshot();
+    Ok((
+        states,
+        AnalysisStats {
+            states_allocated: allocated,
+            states_shared: shared,
+            joins_short_circuited: short_circuited,
+            widenings_applied: widenings,
+            visits,
+        },
+    ))
+}
+
+/// The narrowing pass: one plain-join recomputation of every reachable
+/// state from the stabilized `states`. From a post-fixpoint, one
+/// application of the (monotone) transfer functions stays a
+/// post-fixpoint while undoing over-extrapolated widening jumps — e.g. a
+/// loop head re-tightens to `entry ⊔ refined back-edge`.
+fn narrow(
+    transfer: &Transfer,
+    prog: &Program,
+    cfg: &Cfg,
+    states: &[Option<AbsState>],
+) -> Result<Vec<Option<AbsState>>, VerifierError> {
+    let mut narrowed: Vec<Option<AbsState>> = vec![None; prog.len()];
+    narrowed[0] = Some(AbsState::entry());
+    for &pc in cfg.rpo() {
+        let Some(state) = states[pc].clone() else {
+            continue;
+        };
+        for (succ, out) in transfer.step(prog, state, pc)? {
+            match &mut narrowed[succ] {
+                slot @ None => *slot = Some(out),
+                Some(existing) => *existing = existing.union(&out),
+            }
+        }
+    }
+    Ok(narrowed)
+}

@@ -15,16 +15,29 @@
 //! [`normalize`](Product::normalize) drives the kernel's
 //! `reg_bounds_sync` cross-refinement through the `domain::RefineFrom`
 //! hooks; [`Scalar`] is the `Product<Tnum, Bounds>` instance the
-//! analyzer tracks registers with. [`Analyzer`] runs a worklist
-//! **fixpoint engine** over the control-flow graph of an
-//! [`ebpf::Program`]: reverse-postorder priorities, joins at merge
-//! points, branch refinement on both edges of every conditional, and —
-//! for cyclic programs, which the classic verifier rejected outright —
-//! delayed widening (`domain::WidenDomain`) at loop heads, one
-//! narrowing pass after stabilization, and a total-visit budget, so
-//! bounded loops verify precisely and unbounded ones terminate at ⊤.
-//! Every memory access is checked against its region — including
-//! tnum-based alignment (`tnum_is_aligned`) under
+//! analyzer tracks registers with. [`Analyzer`] is a thin facade over
+//! two layers:
+//!
+//! * [`transfer`] — the abstract semantics of one instruction: ALU and
+//!   pointer arithmetic, conditional branches with two-sided refinement
+//!   at **both** widths (64-bit and zero-extended 32-bit sub-register
+//!   compares), and bounds/alignment-checked memory access;
+//! * [`fixpoint`] — the reverse-postorder priority worklist: joins at
+//!   merge points, **per-register delayed widening** at loop heads
+//!   (each register and stack slot burns its own
+//!   [`AnalyzerOptions::widen_delay`]), widening thresholds harvested
+//!   from the program's comparison immediates, one narrowing pass after
+//!   stabilization, and a total-visit budget — so bounded loops verify
+//!   precisely and unbounded ones terminate at ⊤.
+//!
+//! The per-program-point state ([`state::AbsState`]) is **copy-on-write**:
+//! the register file and the 64-slot stack frame live behind `Rc`s, so
+//! propagating a state along an edge is two refcount bumps and a
+//! transfer that writes one register shares all 64 stack slots
+//! untouched. Joins and inclusion checks short-circuit whole components
+//! on pointer identity, and [`AnalysisStats`] (on every [`Analysis`])
+//! counts the saved allocations. Every memory access is checked against
+//! its region — including tnum-based alignment (`tnum_is_aligned`) under
 //! [`AnalyzerOptions::strict_alignment`] — and the classic all-loops
 //! rejection survives under [`AnalyzerOptions::reject_loops`].
 //!
@@ -85,15 +98,19 @@ mod analyzer;
 mod branch;
 mod cfg;
 mod error;
+pub mod fixpoint;
 mod product;
 mod scalar;
-mod state;
+pub mod state;
+pub mod transfer;
 mod value;
 
 pub use analyzer::{Analysis, Analyzer, AnalyzerOptions};
 pub use branch::refine as refine_branch;
+pub use branch::refine32 as refine_branch32;
 pub use error::VerifierError;
+pub use fixpoint::AnalysisStats;
 pub use product::Product;
 pub use scalar::Scalar;
-pub use state::{AbsState, StackSlot};
+pub use state::{AbsState, JoinCounters, StackSlot};
 pub use value::RegValue;

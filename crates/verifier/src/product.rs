@@ -99,8 +99,16 @@ where
     }
 
     /// Join (least upper bound in both components), re-reduced.
+    ///
+    /// Short-circuits on [`AbstractDomain::fast_eq`] of both components:
+    /// `x ⊔ x = x` needs neither the joins nor the reduction loop, and
+    /// self-joins dominate fixpoint iteration once a loop head begins to
+    /// stabilize.
     #[must_use]
     pub fn union(self, other: Self) -> Self {
+        if self.a.fast_eq(&other.a) && self.b.fast_eq(&other.b) {
+            return self;
+        }
         Product {
             a: self.a.join(other.a),
             b: self.b.join(other.b),

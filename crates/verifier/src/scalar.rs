@@ -46,6 +46,23 @@ impl Scalar {
         self.a
     }
 
+    /// Widening `self ∇ newer` with the interval half extended by
+    /// harvested thresholds ([`Bounds::widen_with`]); the tnum half has
+    /// finite height and keeps its join-wise ∇. Like the generic
+    /// [`Product::widen`], the result is deliberately not re-normalized.
+    #[must_use]
+    pub fn widen_with(
+        self,
+        newer: Scalar,
+        thresholds: &interval_domain::WidenThresholds,
+    ) -> Scalar {
+        use domain::WidenDomain as _;
+        Scalar::raw(
+            self.a.widen(newer.a),
+            self.b.widen_with(newer.b, thresholds),
+        )
+    }
+
     /// The range component.
     #[must_use]
     pub const fn bounds(self) -> Bounds {

@@ -1,14 +1,99 @@
-//! The per-program-point abstract machine state: registers and stack.
+//! The per-program-point abstract machine state: registers and stack,
+//! with **copy-on-write structural sharing**.
+//!
+//! The kernel's verifier goes to great lengths to share and prune
+//! `bpf_verifier_state` rather than copy it; this module does the same
+//! for the fixpoint engine. An [`AbsState`] is two [`Rc`]-backed
+//! components — the 11-register file and the 64-slot stack frame —
+//! so cloning a state is two reference-count bumps, and a transfer
+//! function that writes one register materializes (deep-copies) only the
+//! register file while all 64 stack slots stay shared. The `Rc` identity
+//! doubles as change tracking: a component that was never written keeps
+//! its pointer, letting [`AbsState::is_subset_of`], [`AbsState::union`],
+//! and [`AbsState::flow_join`] short-circuit whole components on
+//! `Rc::ptr_eq` before falling into pointwise lattice operations.
+//!
+//! The loop-head merge ([`AbsState::flow_join`]) also owns **per-register
+//! widening stabilization** ([`JoinCounters`]): each register and stack
+//! slot burns its *own* widening delay, so an accumulator that keeps
+//! changing no longer spends the precise joins a bounded counter needed
+//! (the shared-counter engine of PR 2 widened the whole state once any
+//! component had changed `delay` times).
+//!
+//! Sharing traffic is counted in thread-local [`stats`] counters that the
+//! fixpoint engine snapshots into `AnalysisStats`.
 
 use core::fmt;
+use std::rc::Rc;
 
 use ebpf::{Reg, STACK_SIZE};
+use interval_domain::WidenThresholds;
 
 use crate::scalar::Scalar;
 use crate::value::RegValue;
 
 /// Number of 8-byte stack slots tracked (512 / 8 = 64).
 const SLOTS: usize = (STACK_SIZE / 8) as usize;
+
+/// Number of architectural registers tracked (r0–r10).
+const REGS: usize = 11;
+
+/// Thread-local sharing counters behind `AnalysisStats`. Thread-local
+/// (not per-call plumbing) so the state layer's internals stay free of
+/// `&mut stats` threading; the fixpoint engine resets them at the start
+/// of an analysis and snapshots them at the end.
+pub(crate) mod stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATED: Cell<u64> = const { Cell::new(0) };
+        static SHARED: Cell<u64> = const { Cell::new(0) };
+        static SHORT_CIRCUITED: Cell<u64> = const { Cell::new(0) };
+        static WIDENINGS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    fn bump(c: &'static std::thread::LocalKey<Cell<u64>>) {
+        c.with(|v| v.set(v.get() + 1));
+    }
+
+    /// A deep copy of a register file or stack frame was performed.
+    pub(crate) fn bump_allocated() {
+        bump(&ALLOCATED);
+    }
+
+    /// An `AbsState` clone shared both components (refcount bumps only).
+    pub(crate) fn bump_shared() {
+        bump(&SHARED);
+    }
+
+    /// A join/inclusion resolved a whole component by pointer identity.
+    pub(crate) fn bump_short_circuited() {
+        bump(&SHORT_CIRCUITED);
+    }
+
+    /// A widening operator was applied to one register or stack slot.
+    pub(crate) fn bump_widenings() {
+        bump(&WIDENINGS);
+    }
+
+    /// Zeroes all counters (start of an analysis).
+    pub(crate) fn reset() {
+        for c in [&ALLOCATED, &SHARED, &SHORT_CIRCUITED, &WIDENINGS] {
+            c.with(|v| v.set(0));
+        }
+    }
+
+    /// `(allocated, shared, short_circuited, widenings)` since the last
+    /// [`reset`].
+    pub(crate) fn snapshot() -> (u64, u64, u64, u64) {
+        (
+            ALLOCATED.with(Cell::get),
+            SHARED.with(Cell::get),
+            SHORT_CIRCUITED.with(Cell::get),
+            WIDENINGS.with(Cell::get),
+        )
+    }
+}
 
 /// The abstract contents of one 8-byte stack slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +134,13 @@ impl StackSlot {
     /// values; disagreement invalidates the slot exactly as in the join.
     #[must_use]
     pub fn widen(self, newer: StackSlot) -> StackSlot {
-        self.merge(newer, RegValue::widen)
+        self.widen_with(newer, &WidenThresholds::EMPTY)
+    }
+
+    /// [`StackSlot::widen`] with harvested interval thresholds.
+    #[must_use]
+    pub fn widen_with(self, newer: StackSlot, thresholds: &WidenThresholds) -> StackSlot {
+        self.merge(newer, |a, b| a.widen_with(b, thresholds))
     }
 
     /// Whether reading this slot is allowed.
@@ -57,10 +148,73 @@ impl StackSlot {
     pub fn is_initialized(self) -> bool {
         !matches!(self, StackSlot::Uninit)
     }
+
+    /// Slot inclusion for state-inclusion checks.
+    fn is_subset_of(self, other: StackSlot) -> bool {
+        match (self, other) {
+            (_, StackSlot::Uninit) => true,
+            (StackSlot::Spill(x), StackSlot::Spill(y)) => x.is_subset_of(y),
+            (StackSlot::Misc | StackSlot::Spill(_), StackSlot::Misc) => true,
+            // Misc is not included in a tracked spill.
+            (StackSlot::Uninit, _) | (StackSlot::Misc, StackSlot::Spill(_)) => false,
+        }
+    }
+}
+
+/// Per-component changing-join counters at one loop head, driving
+/// **per-register delayed widening**.
+///
+/// The engine of PR 2 kept one counter per loop head: any changing join
+/// burned the shared `widen_delay`, so a still-growing accumulator (or a
+/// second back-edge) could exhaust the delay a bounded counter needed to
+/// reach its exit-test fixpoint, widening the counter to a threshold and
+/// losing the bounds proof. Here every register and every stack slot
+/// counts its *own* changing joins and is widened only once it has
+/// individually absorbed `widen_delay` of them — stable components are
+/// never penalized for their neighbours' churn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinCounters {
+    regs: [u32; REGS],
+    slots: [u32; SLOTS],
+}
+
+impl JoinCounters {
+    /// Fresh counters: no changing joins seen yet.
+    #[must_use]
+    pub fn new() -> JoinCounters {
+        JoinCounters {
+            regs: [0; REGS],
+            slots: [0; SLOTS],
+        }
+    }
+
+    /// The number of changing joins register `reg` has absorbed.
+    #[must_use]
+    pub fn reg_joins(&self, reg: Reg) -> u32 {
+        self.regs[reg.index()]
+    }
+}
+
+impl Default for JoinCounters {
+    fn default() -> JoinCounters {
+        JoinCounters::new()
+    }
+}
+
+/// The widening context of a loop-head merge: the head's per-component
+/// counters, the configured delay, and the harvested interval thresholds.
+pub struct WidenCtx<'a> {
+    /// Per-register / per-slot changing-join counters of this loop head.
+    pub counters: &'a mut JoinCounters,
+    /// How many changing joins each component absorbs exactly before its
+    /// own widening kicks in.
+    pub delay: u32,
+    /// Program-derived extra thresholds for the interval ladders.
+    pub thresholds: &'a WidenThresholds,
 }
 
 /// Abstract machine state at one program point: the eleven registers plus
-/// the 64 stack slots.
+/// the 64 stack slots, both behind copy-on-write [`Rc`]s.
 ///
 /// # Examples
 ///
@@ -72,12 +226,37 @@ impl StackSlot {
 /// assert!(matches!(state.reg(Reg::R1), RegValue::CtxPtr { .. }));
 /// assert!(matches!(state.reg(Reg::R10), RegValue::StackPtr { .. }));
 /// assert!(matches!(state.reg(Reg::R0), RegValue::Uninit));
+///
+/// // Clones share storage until written.
+/// let mut copy = state.clone();
+/// copy.set_reg(Reg::R0, RegValue::unknown_scalar());
+/// assert!(matches!(state.reg(Reg::R0), RegValue::Uninit));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
 pub struct AbsState {
-    regs: [RegValue; 11],
-    stack: [StackSlot; SLOTS],
+    regs: Rc<[RegValue; REGS]>,
+    stack: Rc<[StackSlot; SLOTS]>,
 }
+
+impl Clone for AbsState {
+    /// O(1): bumps the two component refcounts. The deep copy happens
+    /// lazily, only for the component a later write actually touches.
+    fn clone(&self) -> AbsState {
+        stats::bump_shared();
+        AbsState {
+            regs: Rc::clone(&self.regs),
+            stack: Rc::clone(&self.stack),
+        }
+    }
+}
+
+impl PartialEq for AbsState {
+    fn eq(&self, other: &AbsState) -> bool {
+        (Rc::ptr_eq(&self.regs, &other.regs) || self.regs == other.regs)
+            && (Rc::ptr_eq(&self.stack, &other.stack) || self.stack == other.stack)
+    }
+}
+
+impl Eq for AbsState {}
 
 impl AbsState {
     /// The state on program entry: `r1` points at the context, `r2` holds
@@ -85,7 +264,7 @@ impl AbsState {
     /// everything else — registers and stack — is uninitialized.
     #[must_use]
     pub fn entry() -> AbsState {
-        let mut regs = [RegValue::Uninit; 11];
+        let mut regs = [RegValue::Uninit; REGS];
         regs[Reg::R1.index()] = RegValue::CtxPtr {
             offset: Scalar::constant(0),
         };
@@ -93,10 +272,30 @@ impl AbsState {
         regs[Reg::R10.index()] = RegValue::StackPtr {
             offset: Scalar::constant(0),
         };
+        stats::bump_allocated();
+        stats::bump_allocated();
         AbsState {
-            regs,
-            stack: [StackSlot::Uninit; SLOTS],
+            regs: Rc::new(regs),
+            stack: Rc::new([StackSlot::Uninit; SLOTS]),
         }
+    }
+
+    /// Mutable access to the register file, materializing a private copy
+    /// if it is currently shared.
+    fn regs_mut(&mut self) -> &mut [RegValue; REGS] {
+        if Rc::strong_count(&self.regs) > 1 {
+            stats::bump_allocated();
+        }
+        Rc::make_mut(&mut self.regs)
+    }
+
+    /// Mutable access to the stack frame, materializing a private copy if
+    /// it is currently shared.
+    fn stack_mut(&mut self) -> &mut [StackSlot; SLOTS] {
+        if Rc::strong_count(&self.stack) > 1 {
+            stats::bump_allocated();
+        }
+        Rc::make_mut(&mut self.stack)
     }
 
     /// The abstract value of a register.
@@ -107,7 +306,11 @@ impl AbsState {
 
     /// Replaces the abstract value of a register.
     pub fn set_reg(&mut self, reg: Reg, value: RegValue) {
-        self.regs[reg.index()] = value;
+        // No-op writes (common for `mov` round-trips and re-deriving the
+        // same refinement) keep the file shared.
+        if self.regs[reg.index()] != value {
+            self.regs_mut()[reg.index()] = value;
+        }
     }
 
     /// The abstract content of the 8-byte slot covering stack offset
@@ -126,7 +329,9 @@ impl AbsState {
     pub fn set_stack_slot(&mut self, offset: i64, slot: StackSlot) -> bool {
         match slot_index(offset) {
             Some(i) => {
-                self.stack[i] = slot;
+                if self.stack[i] != slot {
+                    self.stack_mut()[i] = slot;
+                }
                 true
             }
             None => false,
@@ -137,10 +342,14 @@ impl AbsState {
     /// offsets) as [`StackSlot::Misc`]: the effect of a write whose exact
     /// location or value is not tracked.
     pub fn smear_stack(&mut self, start: i64, end: i64) {
-        for off in (align_down(start)..end).step_by(8) {
-            if let Some(i) = slot_index(off) {
-                self.stack[i] = StackSlot::Misc;
-            }
+        let slots = || (align_down(start)..end).step_by(8).filter_map(slot_index);
+        // Decide before materializing: an all-Misc range keeps sharing.
+        if slots().all(|i| self.stack[i] == StackSlot::Misc) {
+            return;
+        }
+        let stack = self.stack_mut();
+        for i in slots() {
+            stack[i] = StackSlot::Misc;
         }
     }
 
@@ -155,59 +364,202 @@ impl AbsState {
             .all(|off| slot_index(off).is_some_and(|i| self.stack[i].is_initialized()))
     }
 
-    /// The shared shape of [`AbsState::union`] and [`AbsState::widen`]:
-    /// registers and stack slots merge pointwise.
-    fn merge(
-        &self,
-        other: &AbsState,
-        fr: impl Fn(RegValue, RegValue) -> RegValue,
-        fs: impl Fn(StackSlot, StackSlot) -> StackSlot,
-    ) -> AbsState {
-        let mut regs = [RegValue::Uninit; 11];
-        for (i, slot) in regs.iter_mut().enumerate() {
-            *slot = fr(self.regs[i], other.regs[i]);
-        }
-        let mut stack = [StackSlot::Uninit; SLOTS];
-        for (i, slot) in stack.iter_mut().enumerate() {
-            *slot = fs(self.stack[i], other.stack[i]);
-        }
-        AbsState { regs, stack }
-    }
-
-    /// Pointwise join of two states at a control-flow merge.
+    /// Pointwise join of two states at a control-flow merge. Components
+    /// identical by pointer or value are *shared*, not reallocated.
     #[must_use]
     pub fn union(&self, other: &AbsState) -> AbsState {
-        self.merge(other, RegValue::union, StackSlot::union)
+        AbsState {
+            regs: union_component(&self.regs, &other.regs),
+            stack: union_component(&self.stack, &other.stack),
+        }
     }
 
-    /// Pointwise widening `self ∇ newer` at a loop head: registers and
-    /// stack slots widen independently, so components that already
-    /// stabilized are kept exact while growing ones extrapolate.
+    /// Merges `incoming` into `self` in place — the join the fixpoint
+    /// engine performs when an edge flows into an instruction that
+    /// already has a state — and reports whether `self` actually grew.
     ///
-    /// `newer` is expected to be an upper bound of `self` (callers pass
-    /// `self.union(incoming)`), mirroring [`domain::WidenDomain::widen`].
+    /// At a loop head (`widen` is `Some`), each register and stack slot
+    /// first absorbs [`WidenCtx::delay`] *of its own* changing joins
+    /// exactly; every later one widens that component
+    /// (`cur ∇ (cur ⊔ incoming)`), extrapolating through the built-in
+    /// and harvested interval thresholds while components that already
+    /// stabilized are left untouched. Components equal by `Rc` identity
+    /// short-circuit without any pointwise work.
+    pub fn flow_join(&mut self, incoming: &AbsState, widen: Option<WidenCtx<'_>>) -> bool {
+        // Split the widening context into per-component halves so each
+        // array flows with its own counters.
+        let (regs_widen, stack_widen) = match widen {
+            Some(WidenCtx {
+                counters,
+                delay,
+                thresholds,
+            }) => {
+                let JoinCounters { regs, slots } = counters;
+                (
+                    Some((regs, delay, thresholds)),
+                    Some((slots, delay, thresholds)),
+                )
+            }
+            None => (None, None),
+        };
+        let regs_changed = flow_component(&mut self.regs, &incoming.regs, regs_widen);
+        let stack_changed = flow_component(&mut self.stack, &incoming.stack, stack_widen);
+        regs_changed || stack_changed
+    }
+
+    /// Pointwise widening `self ∇ newer` (kept for completeness and the
+    /// domain-law tests; the engine itself widens through
+    /// [`AbsState::flow_join`], which applies ∇ per component).
     #[must_use]
     pub fn widen(&self, newer: &AbsState) -> AbsState {
-        self.merge(newer, RegValue::widen, StackSlot::widen)
+        let mut out = self.clone();
+        let mut counters = JoinCounters::new();
+        out.flow_join(
+            newer,
+            Some(WidenCtx {
+                counters: &mut counters,
+                delay: 0,
+                thresholds: &WidenThresholds::EMPTY,
+            }),
+        );
+        out
     }
 
-    /// Pointwise abstract-order test (state inclusion).
+    /// Pointwise abstract-order test (state inclusion), with whole
+    /// components short-circuited on `Rc` identity.
     #[must_use]
     pub fn is_subset_of(&self, other: &AbsState) -> bool {
-        let regs_ok = (0..11).all(|i| self.regs[i].is_subset_of(other.regs[i]));
-        let stack_ok = self
-            .stack
-            .iter()
-            .zip(other.stack.iter())
-            .all(|(a, b)| match (a, b) {
-                (_, StackSlot::Uninit) => true,
-                (StackSlot::Spill(x), StackSlot::Spill(y)) => x.is_subset_of(*y),
-                (StackSlot::Misc | StackSlot::Spill(_), StackSlot::Misc) => true,
-                // Misc is not included in a tracked spill.
-                (StackSlot::Uninit, _) | (StackSlot::Misc, StackSlot::Spill(_)) => false,
-            });
-        regs_ok && stack_ok
+        let regs_ok = Rc::ptr_eq(&self.regs, &other.regs) || {
+            (0..REGS).all(|i| self.regs[i].is_subset_of(other.regs[i]))
+        };
+        if !regs_ok {
+            return false;
+        }
+        Rc::ptr_eq(&self.stack, &other.stack)
+            || self
+                .stack
+                .iter()
+                .zip(other.stack.iter())
+                .all(|(a, b)| a.is_subset_of(*b))
     }
+
+    /// Whether the two states share their register file (used by tests
+    /// and stats reporting; `true` implies equal register values).
+    #[must_use]
+    pub fn shares_regs_with(&self, other: &AbsState) -> bool {
+        Rc::ptr_eq(&self.regs, &other.regs)
+    }
+
+    /// Whether the two states share their stack frame.
+    #[must_use]
+    pub fn shares_stack_with(&self, other: &AbsState) -> bool {
+        Rc::ptr_eq(&self.stack, &other.stack)
+    }
+}
+
+/// The pointwise lattice interface shared by the two state component
+/// types, letting [`union_component`] and [`flow_component`] merge the
+/// register file and the stack frame through one code path.
+trait Component: Copy + PartialEq {
+    fn union(self, other: Self) -> Self;
+    fn is_subset_of(self, other: Self) -> bool;
+    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self;
+}
+
+impl Component for RegValue {
+    fn union(self, other: Self) -> Self {
+        RegValue::union(self, other)
+    }
+    fn is_subset_of(self, other: Self) -> bool {
+        RegValue::is_subset_of(self, other)
+    }
+    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self {
+        RegValue::widen_with(self, newer, thresholds)
+    }
+}
+
+impl Component for StackSlot {
+    fn union(self, other: Self) -> Self {
+        StackSlot::union(self, other)
+    }
+    fn is_subset_of(self, other: Self) -> bool {
+        StackSlot::is_subset_of(self, other)
+    }
+    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self {
+        StackSlot::widen_with(self, newer, thresholds)
+    }
+}
+
+/// Sharing-aware pointwise join of one `Rc`-backed component array:
+/// identical-by-pointer inputs short-circuit, and a join that changes
+/// nothing returns the left input's `Rc` instead of allocating.
+fn union_component<T: Component, const N: usize>(a: &Rc<[T; N]>, b: &Rc<[T; N]>) -> Rc<[T; N]> {
+    if Rc::ptr_eq(a, b) {
+        stats::bump_short_circuited();
+        return Rc::clone(a);
+    }
+    let mut merged = **a;
+    let mut changed = false;
+    for (slot, &incoming) in merged.iter_mut().zip(b.iter()) {
+        let next = slot.union(incoming);
+        if next != *slot {
+            *slot = next;
+            changed = true;
+        }
+    }
+    if changed {
+        stats::bump_allocated();
+        Rc::new(merged)
+    } else {
+        Rc::clone(a)
+    }
+}
+
+/// In-place flow of `inc` into `dst` with optional per-index delayed
+/// widening — the component half of [`AbsState::flow_join`]. Returns
+/// whether `dst` grew; materializes `dst` only on the first real change.
+fn flow_component<T: Component, const N: usize>(
+    dst: &mut Rc<[T; N]>,
+    inc: &Rc<[T; N]>,
+    mut widen: Option<(&mut [u32; N], u32, &WidenThresholds)>,
+) -> bool {
+    if Rc::ptr_eq(dst, inc) {
+        stats::bump_short_circuited();
+        return false;
+    }
+    let mut changed = false;
+    for i in 0..N {
+        let cur = dst[i];
+        let incoming = inc[i];
+        if incoming == cur || incoming.is_subset_of(cur) {
+            continue;
+        }
+        let grown = cur.union(incoming);
+        let next = match &mut widen {
+            Some((counters, delay, thresholds)) => {
+                let joins = &mut counters[i];
+                let next = if *joins >= *delay {
+                    stats::bump_widenings();
+                    cur.widen_with(grown, thresholds)
+                } else {
+                    grown
+                };
+                *joins = joins.saturating_add(1);
+                next
+            }
+            None => grown,
+        };
+        // The join re-normalizes, which may canonicalize without
+        // enlarging; only a real change re-fires the successor.
+        if next != cur {
+            if Rc::strong_count(dst) > 1 {
+                stats::bump_allocated();
+            }
+            Rc::make_mut(dst)[i] = next;
+            changed = true;
+        }
+    }
+    changed
 }
 
 /// Maps a stack-relative byte offset (negative) to its slot index.
@@ -264,6 +616,28 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_until_written() {
+        let base = AbsState::entry();
+        let mut copy = base.clone();
+        assert!(base.shares_regs_with(&copy) && base.shares_stack_with(&copy));
+        // Writing a register materializes only the register file…
+        copy.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(9)));
+        assert!(!base.shares_regs_with(&copy));
+        assert!(base.shares_stack_with(&copy), "stack still shared");
+        // …and the original is unaffected.
+        assert_eq!(base.reg(Reg::R3), RegValue::Uninit);
+        // A stack write materializes the frame.
+        copy.set_stack_slot(-8, StackSlot::Misc);
+        assert!(!base.shares_stack_with(&copy));
+        assert_eq!(base.stack_slot(-8), Some(StackSlot::Uninit));
+        // No-op writes keep sharing.
+        let mut noop = base.clone();
+        noop.set_reg(Reg::R0, RegValue::Uninit);
+        noop.set_stack_slot(-16, StackSlot::Uninit);
+        assert!(base.shares_regs_with(&noop) && base.shares_stack_with(&noop));
+    }
+
+    #[test]
     fn stack_write_read_round_trip() {
         let mut s = AbsState::entry();
         let v = RegValue::Scalar(Scalar::constant(77));
@@ -315,10 +689,70 @@ mod tests {
         assert!(b.is_subset_of(&j));
         let r3 = j.reg(Reg::R3).as_scalar().unwrap();
         assert!(r3.contains(1) && r3.contains(2));
+        // The untouched stack is shared through the join, not copied.
+        assert!(j.shares_stack_with(&a));
         // A state with an initialized slot is included in one without.
         let mut with_slot = AbsState::entry();
         with_slot.set_stack_slot(-8, StackSlot::Misc);
         assert!(with_slot.is_subset_of(&AbsState::entry()));
         assert!(!AbsState::entry().is_subset_of(&with_slot));
+    }
+
+    #[test]
+    fn flow_join_is_per_component_and_reports_growth() {
+        let mut head = AbsState::entry();
+        head.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(0)));
+        let mut incoming = head.clone();
+        // Identical states: no growth, no materialization.
+        assert!(!head.clone().flow_join(&incoming, None));
+        incoming.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(1)));
+        assert!(head.flow_join(&incoming, None));
+        let r3 = head.reg(Reg::R3).as_scalar().unwrap();
+        assert!(r3.contains(0) && r3.contains(1));
+    }
+
+    #[test]
+    fn per_register_delay_widens_only_exhausted_components() {
+        let th = WidenThresholds::EMPTY;
+        let mut counters = JoinCounters::new();
+        let mut head = AbsState::entry();
+        head.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(0)));
+        head.set_reg(Reg::R4, RegValue::Scalar(Scalar::constant(0)));
+        // r4 churns for 3 rounds while r3 is stable; with delay 2, r4
+        // widens on its 3rd changing join but r3's budget stays unburned.
+        for k in 1..=3u64 {
+            let mut inc = head.clone();
+            inc.set_reg(Reg::R4, RegValue::Scalar(Scalar::constant(k)));
+            head.flow_join(
+                &inc,
+                Some(WidenCtx {
+                    counters: &mut counters,
+                    delay: 2,
+                    thresholds: &th,
+                }),
+            );
+        }
+        assert_eq!(counters.reg_joins(Reg::R4), 3);
+        assert_eq!(counters.reg_joins(Reg::R3), 0, "stable reg burns nothing");
+        let r4 = head.reg(Reg::R4).as_scalar().unwrap();
+        assert!(r4.bounds().umax() >= 3, "r4 was widened or joined past 3");
+        // Now r3 grows once: it still gets a precise join (its own
+        // counter is below the delay) even though r4 exhausted its.
+        let mut inc = head.clone();
+        inc.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(1)));
+        head.flow_join(
+            &inc,
+            Some(WidenCtx {
+                counters: &mut counters,
+                delay: 2,
+                thresholds: &th,
+            }),
+        );
+        let r3 = head.reg(Reg::R3).as_scalar().unwrap();
+        assert_eq!(
+            (r3.bounds().umin(), r3.bounds().umax()),
+            (0, 1),
+            "precise join, not a widening jump"
+        );
     }
 }

@@ -1,0 +1,391 @@
+//! The transfer layer: abstract semantics of individual instructions —
+//! ALU arithmetic (including pointer arithmetic), conditional branches
+//! with two-sided refinement, and bounds/alignment-checked memory access.
+//!
+//! [`Transfer`] is deliberately *stateless across instructions*: it maps
+//! one `(state, instruction)` pair to successor contributions and knows
+//! nothing about iteration order, joins, or widening — that is
+//! [`crate::fixpoint`]'s job. The split mirrors the paper's architecture
+//! (abstract operators vs. the analysis driving them) and keeps every
+//! safety check in one place regardless of how the engine schedules it.
+
+use ebpf::{AluOp, Insn, JmpOp, MemSize, Program, Reg, Src, Width, STACK_SIZE};
+
+use crate::analyzer::AnalyzerOptions;
+use crate::branch::{refine, refine32};
+use crate::error::VerifierError;
+use crate::scalar::Scalar;
+use crate::state::{AbsState, StackSlot};
+use crate::value::RegValue;
+
+/// The instruction-semantics half of the analyzer: one abstract step.
+#[derive(Clone, Copy, Debug)]
+pub struct Transfer {
+    options: AnalyzerOptions,
+}
+
+/// The abstract value produced by a load of `size` bytes whose content is
+/// not tracked: zero-extended, so the high `64 - 8·size` bits are known
+/// zero (the kernel's `coerce_reg_to_size`). Bounding a `u8` load to
+/// `[0, 255]` is what lets a 32-bit guard on it transfer range facts to
+/// the full register.
+fn loaded_value(size: MemSize) -> RegValue {
+    if size == MemSize::DW {
+        return RegValue::unknown_scalar();
+    }
+    let low = u64::MAX >> (64 - 8 * size.bytes());
+    RegValue::Scalar(Scalar::from_tnum(tnum::Tnum::masked(0, low)))
+}
+
+impl Transfer {
+    /// Builds the transfer layer for one analysis configuration.
+    #[must_use]
+    pub fn new(options: AnalyzerOptions) -> Transfer {
+        Transfer { options }
+    }
+
+    /// Executes one instruction abstractly: runs every safety check and
+    /// returns the `(successor, out-state)` contributions.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifierError`] when the instruction is provably unsafe under
+    /// `state` — the program must be rejected.
+    pub fn step(
+        &self,
+        prog: &Program,
+        state: AbsState,
+        pc: usize,
+    ) -> Result<Vec<(usize, AbsState)>, VerifierError> {
+        let insn = prog.insns()[pc];
+        self.check_reads(&state, insn, pc)?;
+        match insn {
+            Insn::Jmp {
+                width,
+                op,
+                dst,
+                src,
+                off,
+            } => {
+                let taken_target = prog.jump_target(pc, off).expect("validated");
+                let (fall, taken) = self.branch_states(&state, width, op, dst, src)?;
+                let mut out = Vec::with_capacity(2);
+                if let Some(fall) = fall {
+                    out.push((pc + 1, fall));
+                }
+                if let Some(taken) = taken {
+                    out.push((taken_target, taken));
+                }
+                Ok(out)
+            }
+            Insn::Ja { off } => {
+                let target = prog.jump_target(pc, off).expect("validated");
+                Ok(vec![(target, state)])
+            }
+            Insn::Exit => match state.reg(Reg::R0) {
+                RegValue::Uninit => Err(VerifierError::NoReturnValue { pc }),
+                RegValue::Scalar(_) => Ok(Vec::new()),
+                _ => Err(VerifierError::PointerLeak { pc }),
+            },
+            _ => {
+                let next = self.transfer(state, insn, pc)?;
+                Ok(vec![(pc + 1, next)])
+            }
+        }
+    }
+
+    /// Rejects reads of uninitialized registers.
+    fn check_reads(&self, state: &AbsState, insn: Insn, pc: usize) -> Result<(), VerifierError> {
+        // Helper calls are handled leniently: our model's helpers take no
+        // required arguments.
+        if matches!(insn, Insn::Call { .. }) {
+            return Ok(());
+        }
+        for reg in insn.use_regs() {
+            if !state.reg(reg).is_readable() {
+                return Err(VerifierError::UninitRead { reg, pc });
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfer function for non-control-flow instructions.
+    fn transfer(
+        &self,
+        mut state: AbsState,
+        insn: Insn,
+        pc: usize,
+    ) -> Result<AbsState, VerifierError> {
+        match insn {
+            Insn::Alu {
+                width,
+                op,
+                dst,
+                src,
+            } => {
+                let new = self.alu_value(&state, width, op, dst, src, pc)?;
+                state.set_reg(dst, new);
+            }
+            Insn::LoadImm64 { dst, imm } => {
+                state.set_reg(dst, RegValue::Scalar(Scalar::constant(imm)));
+            }
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
+                let value = self.check_load(&mut state, size, base, off, pc)?;
+                state.set_reg(dst, value);
+            }
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
+                let value = match src {
+                    Src::Reg(r) => state.reg(r),
+                    Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
+                };
+                self.check_store(&mut state, size, base, off, value, pc)?;
+            }
+            Insn::Call { .. } => {
+                state.set_reg(Reg::R0, RegValue::unknown_scalar());
+                for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
+                    state.set_reg(r, RegValue::Uninit);
+                }
+            }
+            Insn::Ja { .. } | Insn::Jmp { .. } | Insn::Exit => unreachable!("handled by caller"),
+        }
+        Ok(state)
+    }
+
+    /// Computes the new value of `dst` for an ALU instruction, modeling
+    /// pointer arithmetic on `add`/`sub`/`mov`.
+    fn alu_value(
+        &self,
+        state: &AbsState,
+        width: Width,
+        op: AluOp,
+        dst: Reg,
+        src: Src,
+        pc: usize,
+    ) -> Result<RegValue, VerifierError> {
+        let rhs: RegValue = match src {
+            Src::Reg(r) => state.reg(r),
+            Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
+        };
+        let lhs = state.reg(dst);
+
+        // Mov just propagates the source value (pointers included) at
+        // 64-bit width; 32-bit mov truncates and hence scalarizes.
+        if op == AluOp::Mov {
+            return Ok(match (width, rhs) {
+                (Width::W64, v) => v,
+                (Width::W32, RegValue::Scalar(s)) => RegValue::Scalar(s.subreg()),
+                (Width::W32, _) => RegValue::unknown_scalar(),
+            });
+        }
+
+        match (lhs, rhs) {
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => Ok(RegValue::Scalar(a.alu(width, op, b))),
+            // Pointer ± scalar keeps the region, shifting the offset.
+            (RegValue::StackPtr { offset }, RegValue::Scalar(b))
+                if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
+            {
+                Ok(RegValue::StackPtr {
+                    offset: offset.alu64(op, b),
+                })
+            }
+            (RegValue::CtxPtr { offset }, RegValue::Scalar(b))
+                if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
+            {
+                Ok(RegValue::CtxPtr {
+                    offset: offset.alu64(op, b),
+                })
+            }
+            // Same-region pointer difference yields a scalar.
+            (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
+            | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b })
+                if width == Width::W64 && op == AluOp::Sub =>
+            {
+                Ok(RegValue::Scalar(a.alu64(AluOp::Sub, b)))
+            }
+            (RegValue::Uninit, _) | (_, RegValue::Uninit) => {
+                unreachable!("checked by check_reads")
+            }
+            _ => Err(VerifierError::BadPointerArithmetic { pc }),
+        }
+    }
+
+    /// Produces the fall-through and taken states of a conditional jump
+    /// (`None` for provably infeasible edges).
+    ///
+    /// 64-bit scalar/scalar comparisons refine through
+    /// [`refine`]; 32-bit ones through [`refine32`], which sharpens the
+    /// zero-extended low words (so `if w1 < 16` now bounds a 32-bit
+    /// counter exactly instead of passing both edges through unrefined).
+    #[allow(clippy::type_complexity)]
+    fn branch_states(
+        &self,
+        state: &AbsState,
+        width: Width,
+        op: JmpOp,
+        dst: Reg,
+        src: Src,
+    ) -> Result<(Option<AbsState>, Option<AbsState>), VerifierError> {
+        let rhs: RegValue = match src {
+            Src::Reg(r) => state.reg(r),
+            Src::Imm(v) => RegValue::Scalar(Scalar::constant(v as i64 as u64)),
+        };
+        let lhs = state.reg(dst);
+
+        // Refinement applies to scalar/scalar comparisons; pointers pass
+        // both states through unchanged (sound).
+        let (lhs_s, rhs_s) = match (lhs, rhs) {
+            (RegValue::Scalar(a), RegValue::Scalar(b)) if self.options.refine_branches => (a, b),
+            _ => return Ok((Some(state.clone()), Some(state.clone()))),
+        };
+
+        let make = |taken: bool| -> Option<AbsState> {
+            let (d, s) = match width {
+                Width::W64 => refine(op, taken, lhs_s, rhs_s)?,
+                Width::W32 => refine32(op, taken, lhs_s, rhs_s)?,
+            };
+            let mut out = state.clone();
+            out.set_reg(dst, RegValue::Scalar(d));
+            if let Src::Reg(r) = src {
+                out.set_reg(r, RegValue::Scalar(s));
+            }
+            Some(out)
+        };
+        Ok((make(false), make(true)))
+    }
+
+    /// Bounds- and alignment-checks a load, returning the loaded value.
+    fn check_load(
+        &self,
+        state: &mut AbsState,
+        size: MemSize,
+        base: Reg,
+        off: i16,
+        pc: usize,
+    ) -> Result<RegValue, VerifierError> {
+        match state.reg(base) {
+            RegValue::StackPtr { offset } => {
+                let (lo, hi) =
+                    self.check_region("stack", offset, off, size, -(STACK_SIZE as i64), 0, pc)?;
+                if lo == hi && (lo % 8 == 0 || (lo - (lo & !7)) + size.bytes() as i64 <= 8) {
+                    // Constant offset: consult the slot contents.
+                    match state.stack_slot(lo).expect("in range") {
+                        StackSlot::Uninit => Err(VerifierError::UninitStackRead { pc }),
+                        StackSlot::Spill(v) if size == MemSize::DW && lo % 8 == 0 => Ok(v),
+                        _ => Ok(loaded_value(size)),
+                    }
+                } else {
+                    // Variable offset: every possibly-read byte must be
+                    // initialized.
+                    if state.stack_range_initialized(lo, hi + size.bytes() as i64) {
+                        Ok(loaded_value(size))
+                    } else {
+                        Err(VerifierError::UninitStackRead { pc })
+                    }
+                }
+            }
+            RegValue::CtxPtr { offset } => {
+                self.check_region(
+                    "ctx",
+                    offset,
+                    off,
+                    size,
+                    0,
+                    self.options.ctx_size as i64,
+                    pc,
+                )?;
+                Ok(loaded_value(size))
+            }
+            RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
+            RegValue::Scalar(_) => Err(VerifierError::BadPointer { reg: base, pc }),
+        }
+    }
+
+    /// Bounds- and alignment-checks a store, updating the stack state.
+    fn check_store(
+        &self,
+        state: &mut AbsState,
+        size: MemSize,
+        base: Reg,
+        off: i16,
+        value: RegValue,
+        pc: usize,
+    ) -> Result<(), VerifierError> {
+        // Uninitialized store *values* are already rejected by
+        // check_reads: a store's use_regs() includes its source register.
+        debug_assert!(value.is_readable());
+        match state.reg(base) {
+            RegValue::StackPtr { offset } => {
+                let (lo, hi) =
+                    self.check_region("stack", offset, off, size, -(STACK_SIZE as i64), 0, pc)?;
+                if lo == hi && size == MemSize::DW && lo % 8 == 0 {
+                    state.set_stack_slot(lo, StackSlot::Spill(value));
+                } else {
+                    state.smear_stack(lo, hi + size.bytes() as i64);
+                }
+                Ok(())
+            }
+            RegValue::CtxPtr { offset } => {
+                self.check_region(
+                    "ctx",
+                    offset,
+                    off,
+                    size,
+                    0,
+                    self.options.ctx_size as i64,
+                    pc,
+                )?;
+                Ok(())
+            }
+            RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
+            RegValue::Scalar(_) => Err(VerifierError::BadPointer { reg: base, pc }),
+        }
+    }
+
+    /// Proves `region_lo <= offset + off` and
+    /// `offset + off + size <= region_hi` for every possible offset, plus
+    /// alignment under strict mode. Returns the extreme byte offsets of
+    /// the access start.
+    #[allow(clippy::too_many_arguments)]
+    fn check_region(
+        &self,
+        region: &'static str,
+        offset: Scalar,
+        off: i16,
+        size: MemSize,
+        region_lo: i64,
+        region_hi: i64,
+        pc: usize,
+    ) -> Result<(i64, i64), VerifierError> {
+        let total = offset.alu64(AluOp::Add, Scalar::constant(off as i64 as u64));
+        let lo = total.bounds().smin();
+        let hi = total.bounds().smax();
+        let end = hi.checked_add(size.bytes() as i64);
+        let in_bounds = lo >= region_lo && end.is_some_and(|e| e <= region_hi);
+        if !in_bounds {
+            return Err(VerifierError::OutOfBounds {
+                region,
+                min_off: lo,
+                max_end: end.unwrap_or(i64::MAX),
+                pc,
+            });
+        }
+        if self.options.strict_alignment && !total.tnum().is_aligned(size.bytes()) {
+            return Err(VerifierError::Misaligned {
+                region,
+                size: size.bytes(),
+                pc,
+            });
+        }
+        Ok((lo, hi))
+    }
+}

@@ -92,6 +92,19 @@ impl RegValue {
         self.merge(newer, Scalar::widen)
     }
 
+    /// [`RegValue::widen`] with harvested interval thresholds
+    /// ([`Scalar::widen_with`]), so a growing counter or pointer offset
+    /// can land on a comparison constant of the program instead of a
+    /// register-width extreme.
+    #[must_use]
+    pub fn widen_with(
+        self,
+        newer: RegValue,
+        thresholds: &interval_domain::WidenThresholds,
+    ) -> RegValue {
+        self.merge(newer, |a, b| a.widen_with(b, thresholds))
+    }
+
     /// Abstract-order test used for state-inclusion checks.
     #[must_use]
     pub fn is_subset_of(self, other: RegValue) -> bool {

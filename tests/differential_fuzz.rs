@@ -180,11 +180,12 @@ fn random_alu_programs_with_branches() {
 
 /// Generates a bounded-loop program: the counter `r8` starts at a masked
 /// untrusted context byte, a random ALU body churns `r0`/`r3`–`r7` every
-/// trip, and the back-edge condition `r8 < limit` bounds the loop.
+/// trip, and the back-edge condition `r8 < limit` bounds the loop — at
+/// the given comparison `width` (32-bit guards exercise `refine32`).
 ///
 /// All instructions are single-slot, so instruction indices double as
 /// jump offsets.
-fn random_loop_program(rng: &mut SplitMix64, body_len: usize) -> Program {
+fn random_loop_program_at(rng: &mut SplitMix64, body_len: usize, width: Width) -> Program {
     let mut insns: Vec<Insn> = vec![
         // r8 = ctx[0] & 7: the trip count depends on untrusted input.
         Insn::Load {
@@ -216,7 +217,7 @@ fn random_loop_program(rng: &mut SplitMix64, body_len: usize) -> Program {
     let limit = rng.range(8, 25) as i32;
     let jmp_index = insns.len();
     insns.push(Insn::Jmp {
-        width: Width::W64,
+        width,
         op: ebpf::JmpOp::Lt,
         dst: Reg::R8,
         src: Src::Imm(limit),
@@ -226,13 +227,15 @@ fn random_loop_program(rng: &mut SplitMix64, body_len: usize) -> Program {
     Program::new(insns).expect("loop programs validate")
 }
 
-#[test]
-fn random_loop_programs_abstract_containment() {
-    let mut rng = SplitMix64::new(0x100D);
+/// Shared body of the 64-bit and 32-bit loop-fuzz suites: analyze, run
+/// on the VM across random contexts, and assert per-step containment
+/// plus exit-state containment of the concrete return value.
+fn check_loop_containment(seed: u64, rounds: usize, width: Width) {
+    let mut rng = SplitMix64::new(seed);
     let analyzer = Analyzer::new(AnalyzerOptions::default());
     let mut vm = Vm::new();
-    for round in 0..60 {
-        let prog = random_loop_program(&mut rng, 10);
+    for round in 0..rounds {
+        let prog = random_loop_program_at(&mut rng, 10, width);
         let analysis = analyzer
             .analyze(&prog)
             .unwrap_or_else(|e| panic!("round {round}: loop program rejected: {e}"));
@@ -278,6 +281,105 @@ fn random_loop_programs_abstract_containment() {
 }
 
 #[test]
+fn random_loop_programs_abstract_containment() {
+    check_loop_containment(0x100D, 60, Width::W64);
+}
+
+#[test]
+fn random_w32_guarded_loop_programs_abstract_containment() {
+    // The same bounded-loop workload guarded by `if w8 < limit`:
+    // `refine32` must keep the counter bounded (and sound) through the
+    // zero-extended sub-register compare.
+    check_loop_containment(0x32B1, 60, Width::W32);
+}
+
+#[test]
+fn w32_guarded_memset_verifies_and_matches_vm() {
+    // A 13-byte memset whose exit test compares the *sub-register*:
+    // before `refine32`, both edges of `if w1 < 13` passed through
+    // unrefined and the counter widened past the buffer, rejecting a
+    // program the concrete VM executes safely. Thresholds stay off so
+    // the 32-bit refinement alone carries the proof.
+    let prog = ebpf::asm::assemble(
+        r"
+            r1 = 0
+        loop:
+            r3 = r10
+            r3 += -13
+            r3 += r1
+            *(u8 *)(r3 + 0) = 0
+            r1 += 1
+            if w1 < 13 goto loop
+            r0 = r1
+            exit
+        ",
+    )
+    .unwrap();
+    let analysis = Analyzer::new(AnalyzerOptions {
+        harvest_thresholds: false,
+        ..AnalyzerOptions::default()
+    })
+    .analyze(&prog)
+    .expect("32-bit guard refines the counter");
+    let (ret, _) = Vm::new()
+        .run_traced(&prog, &mut [0u8; 8])
+        .expect("verified program executes safely");
+    assert_eq!(ret, 13);
+    let exit_state = analysis.state_before(prog.len() - 1).unwrap();
+    let r0 = exit_state.reg(Reg::R0).as_scalar().unwrap();
+    assert!(r0.contains(ret));
+}
+
+#[test]
+fn per_register_widening_keeps_counter_plus_accumulator_vs_vm() {
+    // Regression for per-register widening stabilization: a continue-
+    // style loop with two back-edges hands the head two changing joins
+    // per trip (the accumulator differs on the two paths). The shared
+    // per-head delay counter of PR 2 was burned twice per trip by the
+    // accumulator and widened the counter mid-ascent — rejecting a
+    // program the VM executes safely. Per-register counters charge the
+    // counter only for its own 12 changing joins, inside the default
+    // delay of 16.
+    let prog = ebpf::asm::assemble(
+        r"
+            r1 = 0              ; i
+            r6 = 0              ; sum
+        loop:
+            r3 = r10
+            r3 += -13
+            r3 += r1
+            *(u8 *)(r3 + 0) = 0 ; in bounds iff i <= 12
+            r1 += 1
+            r6 += 1
+            if r1 > 12 goto out
+            if r2 > 0 goto loop ; back-edge 1
+            r6 += 7
+            goto loop           ; back-edge 2
+        out:
+            r0 = r1
+            exit
+        ",
+    )
+    .unwrap();
+    let analysis = Analyzer::new(AnalyzerOptions {
+        harvest_thresholds: false,
+        ..AnalyzerOptions::default()
+    })
+    .analyze(&prog)
+    .expect("per-register delay keeps the counter bound");
+    // The acceptance is correct: the concrete VM runs it in bounds, and
+    // the exit state contains the concrete result.
+    let (ret, _) = Vm::new()
+        .run_traced(&prog, &mut [0u8; 8])
+        .expect("verified program executes safely");
+    assert_eq!(ret, 13);
+    let exit_state = analysis.state_before(prog.len() - 1).unwrap();
+    let r0 = exit_state.reg(Reg::R0).as_scalar().unwrap();
+    assert!(r0.contains(ret));
+    assert_eq!(r0.as_constant(), Some(13), "narrowing pins the counter");
+}
+
+#[test]
 fn delayed_widening_regression_vs_vm() {
     // The 13-trip memset: the interval bound i <= 12 is the whole safety
     // argument (the tnum can only offer [0, 15]). Eager widening (delay
@@ -301,12 +403,23 @@ fn delayed_widening_regression_vs_vm() {
     .unwrap();
     let eager = Analyzer::new(AnalyzerOptions {
         widen_delay: 0,
+        harvest_thresholds: false,
         ..AnalyzerOptions::default()
     });
     assert!(
         eager.analyze(&prog).is_err(),
-        "eager widening loses the bound"
+        "eager widening without thresholds loses the bound"
     );
+    // With harvested thresholds ("widening with thresholds"), the same
+    // eager configuration lands the counter on the `i < 13` guard and
+    // keeps the proof.
+    let eager_with_thresholds = Analyzer::new(AnalyzerOptions {
+        widen_delay: 0,
+        ..AnalyzerOptions::default()
+    });
+    eager_with_thresholds
+        .analyze(&prog)
+        .expect("harvested thresholds recover the bound without delay");
     let analysis = Analyzer::new(AnalyzerOptions::default())
         .analyze(&prog)
         .expect("delayed widening keeps the bound");
