@@ -1,39 +1,40 @@
-//! Benchmarks of the widening fixpoint engine over loopy programs: a
-//! masked-memset loop swept across trip counts × widening delays, plus
-//! an unbounded loop (pure widening cost) and the VM executing the same
-//! loops for scale.
+//! Benchmarks of the exploration strategies over loopy programs: a
+//! masked-memset loop swept across trip counts × widening delays
+//! (fixpoint strategy) × unroll bounds (path-sensitive strategy), the
+//! two-back-edge pruning workload, an unbounded loop (pure widening
+//! cost), and the VM executing the same loops for scale.
 //!
-//! Trip counts at or below the widening delay are analyzed with full
-//! precision (one join per trip — analysis cost grows with the trip
-//! count); above it, widening extrapolates and the cost flattens. That
-//! trade-off is the whole point of the delay knob, and this sweep
-//! measures it.
+//! For the fixpoint, trip counts at or below the widening delay are
+//! analyzed with full precision and cost grows with the trip count;
+//! above it, widening extrapolates and the cost flattens. The
+//! path-sensitive strategy trades the same way on `unroll_k` — per-trip
+//! exact states below the bound, widening fallback above it — but pays
+//! per *path*, with the visited table pruning re-convergent ones. The
+//! sweep measures both sides of both knobs.
 //!
-//! Since PR 3 every sweep configuration also reports its
-//! `AnalysisStats` — deep state copies vs. shared clones vs.
-//! short-circuited joins under the copy-on-write state layer — which is
-//! the regression surface `fixpoint_guard` checks in CI.
+//! Every configuration also reports its `AnalysisStats` — deep copies
+//! vs. shared clones vs. short-circuited joins under the copy-on-write
+//! state layer, plus the pruning ledger (states pruned / subset checks /
+//! unrolled trips) — which is the regression surface `fixpoint_guard`
+//! checks in CI.
 //!
 //! Run with: `cargo bench -p bench --bench fixpoint`
 //!
 //! Set `BENCH_JSON=path.json` to also write the machine-readable
-//! baseline (`BENCH_PR3.json` in the repo root is the committed one).
+//! baseline (`BENCH_PR4.json` in the repo root is the committed one).
 
 use bench::fixpoint_suite;
 use bench::harness::Group;
 use bench::table;
 use ebpf::asm::assemble;
 use ebpf::Vm;
-use verifier::{Analyzer, AnalyzerOptions};
+use verifier::VerificationSession;
 
 fn main() {
     let mut group = Group::new("fixpoint_sweep");
 
-    for (label, prog, options) in fixpoint_suite::sweep_configs() {
-        let analyzer = Analyzer::new(options);
-        group.bench(&label, || {
-            analyzer.analyze(&prog).expect("masked loop accepted")
-        });
+    for (label, prog, session) in fixpoint_suite::sweep_configs() {
+        group.bench(&label, || session.run(&prog).expect("sweep accepted"));
     }
 
     // Pure widening cost: no exit test at all, the head must climb the
@@ -49,9 +50,9 @@ fn main() {
         ",
     )
     .expect("assembles");
-    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    let session = VerificationSession::new();
     group.bench("analyze/unbounded_to_top", || {
-        analyzer.analyze(&unbounded).expect("terminates at ⊤")
+        session.run(&unbounded).expect("terminates at ⊤")
     });
 
     // Concrete execution of the same loops, for an abstract-vs-concrete
@@ -65,7 +66,8 @@ fn main() {
     }
 
     // One un-timed analysis per sweep configuration for the
-    // copy-on-write statistics (deterministic, unlike the timings).
+    // copy-on-write and pruning statistics (deterministic, unlike the
+    // timings).
     let stats = fixpoint_suite::collect_stats();
 
     if let Ok(path) = std::env::var("BENCH_JSON") {
@@ -75,8 +77,8 @@ fn main() {
     }
     group.finish();
 
-    // Render the sharing counters alongside the timing table.
-    println!("\n## fixpoint_sweep state sharing\n");
+    // Render the sharing and pruning counters alongside the timings.
+    println!("\n## fixpoint_sweep state sharing and pruning\n");
     let rows: Vec<Vec<String>> = stats
         .iter()
         .map(|(label, s)| {
@@ -84,9 +86,10 @@ fn main() {
                 label.clone(),
                 s.states_allocated.to_string(),
                 s.states_shared.to_string(),
-                s.joins_short_circuited.to_string(),
                 s.widenings_applied.to_string(),
-                s.clone_everything_equivalent().to_string(),
+                s.states_pruned.to_string(),
+                s.subset_checks.to_string(),
+                s.unrolled_trips.to_string(),
             ]
         })
         .collect();
@@ -97,9 +100,10 @@ fn main() {
                 "configuration",
                 "allocated",
                 "shared",
-                "short-circuited",
                 "widenings",
-                "clone-everything equiv."
+                "pruned",
+                "subset checks",
+                "unrolled trips"
             ],
             &rows
         )

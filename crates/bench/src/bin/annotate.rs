@@ -6,22 +6,22 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin annotate -- --file prog.s \
-//!     [--ctx-size 64] [--strict-alignment] [--no-refine] \
-//!     [--reject-loops] [--widen-delay 16] [--no-thresholds] \
-//!     [--budget 1000000]
+//!     [--strategy fixpoint|path] [--ctx-size 64] [--strict-alignment] \
+//!     [--no-refine] [--reject-loops] [--widen-delay 16] \
+//!     [--unroll-k 32] [--no-thresholds] [--budget 1000000]
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
 //!
 //! Exit status: 0 when the program is accepted, 1 when rejected, 2 on
-//! assembly errors.
+//! assembly or usage errors.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use bench::cli::Args;
 use ebpf::asm::assemble;
-use verifier::{Analyzer, AnalyzerOptions};
+use verifier::{AnalyzerOptions, Strategy, VerificationSession};
 
 fn main() -> ExitCode {
     let args = Args::parse();
@@ -51,6 +51,14 @@ fn main() -> ExitCode {
         }
     };
 
+    let strategy = match args.get_str("strategy") {
+        None | Some("fixpoint") => Strategy::WideningFixpoint,
+        Some("path") => Strategy::PathSensitive,
+        Some(other) => {
+            eprintln!("unknown --strategy {other} (expected fixpoint or path)");
+            return ExitCode::from(2);
+        }
+    };
     let defaults = AnalyzerOptions::default();
     let options = AnalyzerOptions {
         ctx_size: args.get_u64("ctx-size", 64),
@@ -62,10 +70,20 @@ fn main() -> ExitCode {
             .min(u64::from(u32::MAX)) as u32,
         harvest_thresholds: !args.has("no-thresholds"),
         analysis_budget: args.get_u64("budget", defaults.analysis_budget),
+        unroll_k: args
+            .get_u64("unroll-k", u64::from(defaults.unroll_k))
+            .min(u64::from(u32::MAX)) as u32,
     };
-    match Analyzer::new(options).analyze(&prog) {
+    let session = VerificationSession::new()
+        .with_options(options)
+        .with_strategy(strategy);
+    match session.run(&prog) {
         Ok(analysis) => {
-            println!("ACCEPTED ({} instructions)\n", prog.len());
+            println!(
+                "ACCEPTED ({} instructions, {} strategy)\n",
+                prog.len(),
+                analysis.strategy().name()
+            );
             print!("{}", analysis.annotate(&prog));
             ExitCode::SUCCESS
         }

@@ -1,16 +1,22 @@
-//! `fixpoint_guard` — the CI smoke check for the copy-on-write state
-//! layer: re-runs the fixpoint sweep (`bench::fixpoint_suite`), compares
-//! the total `states_allocated` against the committed `BENCH_PR3.json`
-//! baseline, and fails when it regresses by more than 20%.
+//! `fixpoint_guard` — the CI smoke check for the exploration engines:
+//! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
+//! totals against the committed `BENCH_PR4.json` baseline, and fails
+//! when either regresses by more than 20%:
 //!
-//! The allocation counters are deterministic (unlike the timings), so
-//! this is a stable gate: a refactor that quietly re-introduces
-//! clone-everything state propagation fails CI even on noisy runners.
+//! * **`states_allocated`** (absolute): a refactor that quietly
+//!   re-introduces clone-everything state propagation fails CI;
+//! * **pruned-state ratio** (`states_pruned / subset_checks`,
+//!   relative): a change that makes the path-sensitive visited table
+//!   stop covering arrivals — more probes buying fewer prunes — fails
+//!   CI even if it stays sound.
+//!
+//! The counters are deterministic (unlike the timings), so this is a
+//! stable gate even on noisy runners.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR3.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR4.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -22,14 +28,15 @@ use bench::cli::Args;
 use bench::fixpoint_suite;
 use bench::table;
 
-/// Allowed regression over the committed baseline, in percent.
+/// Allowed regression over the committed baseline, in percent — applied
+/// to the allocation total and to the pruned-state ratio alike.
 const TOLERANCE_PERCENT: u64 = 20;
 
 fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR3.json")
+        .unwrap_or("BENCH_PR4.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -39,6 +46,8 @@ fn main() -> ExitCode {
         .iter()
         .map(|(_, s)| s.clone_everything_equivalent())
         .sum();
+    let pruned: u64 = stats.iter().map(|(_, s)| s.states_pruned).sum();
+    let checks: u64 = stats.iter().map(|(_, s)| s.subset_checks).sum();
 
     let rows = vec![
         vec!["states allocated (deep)".to_string(), current.to_string()],
@@ -50,10 +59,12 @@ fn main() -> ExitCode {
             "clone-everything equivalent".to_string(),
             clone_everything.to_string(),
         ],
+        vec!["states pruned (visited)".to_string(), pruned.to_string()],
+        vec!["subset checks".to_string(), checks.to_string()],
     ];
     println!(
         "{}",
-        table::render(&["fixpoint sweep total", "count"], &rows)
+        table::render(&["strategy sweep total", "count"], &rows)
     );
 
     let doc = match std::fs::read_to_string(&path) {
@@ -67,6 +78,13 @@ fn main() -> ExitCode {
         eprintln!("fixpoint_guard: {path} carries no states_allocated stats");
         return ExitCode::FAILURE;
     };
+    let (Some(base_pruned), Some(base_checks)) = (
+        fixpoint_suite::total_field_in_json(&doc, "states_pruned"),
+        fixpoint_suite::total_field_in_json(&doc, "subset_checks"),
+    ) else {
+        eprintln!("fixpoint_guard: {path} carries no pruning stats");
+        return ExitCode::FAILURE;
+    };
 
     let budget = baseline + baseline * TOLERANCE_PERCENT / 100;
     println!(
@@ -76,6 +94,23 @@ fn main() -> ExitCode {
         eprintln!(
             "fixpoint_guard: states_allocated regressed: {current} > {budget} \
              (baseline {baseline} + {TOLERANCE_PERCENT}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Pruned-state ratio, compared cross-multiplied to stay in integers:
+    // fail when  pruned/checks  <  (base_pruned/base_checks) · (1 - tol).
+    println!(
+        "baseline pruning {base_pruned}/{base_checks} probes, current {pruned}/{checks} \
+         (tolerance -{TOLERANCE_PERCENT}% relative)"
+    );
+    if base_pruned > 0
+        && (checks == 0
+            || pruned * base_checks * 100 < base_pruned * checks * (100 - TOLERANCE_PERCENT))
+    {
+        eprintln!(
+            "fixpoint_guard: pruned-state ratio regressed: {pruned}/{checks} is more than \
+             {TOLERANCE_PERCENT}% below the baseline {base_pruned}/{base_checks}"
         );
         return ExitCode::FAILURE;
     }

@@ -1,14 +1,16 @@
-//! The fixpoint sweep shared by the `fixpoint` bench and the
+//! The exploration-strategy sweep shared by the `fixpoint` bench and the
 //! `fixpoint_guard` CI binary: the masked-memset workload across trip
-//! counts × widening delays, plus the [`AnalysisStats`] collection and
-//! the hand-rolled JSON baseline format (`BENCH_PR3.json`).
+//! counts × widening delays (fixpoint strategy) × unroll bounds
+//! (path-sensitive strategy), the two-back-edge pruning workload, the
+//! [`AnalysisStats`] collection, and the hand-rolled JSON baseline
+//! format (`BENCH_PR4.json`).
 //!
 //! Keeping the sweep definition in one place guarantees the guard checks
 //! exactly the configurations the committed baseline was produced from.
 
 use ebpf::asm::assemble;
 use ebpf::Program;
-use verifier::{AnalysisStats, Analyzer, AnalyzerOptions};
+use verifier::{AnalysisStats, AnalyzerOptions, Strategy, VerificationSession};
 
 /// A memset-style loop over a 16-byte buffer with a masked index, safe
 /// for every trip count; `trips` only changes how long the counter
@@ -34,53 +36,123 @@ pub fn masked_memset(trips: u32) -> Program {
     .expect("assembles")
 }
 
-/// Trip counts straddling the default widening delay (16).
+/// The two-back-edge counter+accumulator loop (13 trips over a 13-byte
+/// buffer): a continue-style loop whose accumulator differs across the
+/// two paths back to the head. Under the path-sensitive strategy the
+/// re-converging paths are where visited-state pruning actually fires —
+/// the workload behind the `states_pruned` counters in the baseline.
+#[must_use]
+pub fn two_back_edge() -> Program {
+    assemble(
+        r"
+            r1 = 0              ; i
+            r6 = 0              ; sum
+        loop:
+            r3 = r10
+            r3 += -13
+            r3 += r1
+            *(u8 *)(r3 + 0) = 0 ; in bounds iff i <= 12
+            r1 += 1
+            r6 += 1
+            if r1 > 12 goto out
+            if r2 > 0 goto loop ; back-edge 1
+            r6 += 7
+            goto loop           ; back-edge 2
+        out:
+            r0 = r1
+            exit
+        ",
+    )
+    .expect("assembles")
+}
+
+/// Trip counts straddling the default widening delay (16) and the
+/// default unroll bound (32).
 pub const TRIPS: [u32; 5] = [4, 8, 16, 64, 1024];
 
-/// Widening delays swept per trip count.
+/// Widening delays swept per trip count (fixpoint strategy).
 pub const DELAYS: [u32; 4] = [0, 4, 16, 64];
 
-/// Every `(label, program, options)` configuration of the sweep, in the
-/// order the bench reports them.
+/// Unroll bounds swept per trip count (path-sensitive strategy): 0 is
+/// the pure widening fallback, 64 unrolls everything but the 1024-trip
+/// configuration exactly.
+pub const UNROLLS: [u32; 3] = [0, 16, 64];
+
+/// Every `(label, program, session)` configuration of the sweep, in the
+/// order the bench reports them: the masked-memset trips × delays under
+/// the fixpoint strategy, trips × unrolls under the path-sensitive
+/// strategy, then the two-back-edge pruning workload under both.
 #[must_use]
-pub fn sweep_configs() -> Vec<(String, Program, AnalyzerOptions)> {
+pub fn sweep_configs() -> Vec<(String, Program, VerificationSession)> {
     let mut out = Vec::new();
     for &trips in &TRIPS {
         let prog = masked_memset(trips);
         for &delay in &DELAYS {
             out.push((
-                format!("analyze/trips={trips}/delay={delay}"),
+                format!("fixpoint/trips={trips}/delay={delay}"),
                 prog.clone(),
-                AnalyzerOptions {
+                VerificationSession::new().with_options(AnalyzerOptions {
                     widen_delay: delay,
                     ..AnalyzerOptions::default()
-                },
+                }),
             ));
         }
+        for &unroll in &UNROLLS {
+            out.push((
+                format!("path/trips={trips}/unroll={unroll}"),
+                prog.clone(),
+                VerificationSession::new()
+                    .with_strategy(Strategy::PathSensitive)
+                    .with_options(AnalyzerOptions {
+                        unroll_k: unroll,
+                        ..AnalyzerOptions::default()
+                    }),
+            ));
+        }
+    }
+    let pruning = two_back_edge();
+    out.push((
+        "fixpoint/two_back_edge".to_string(),
+        pruning.clone(),
+        VerificationSession::new(),
+    ));
+    for &unroll in &[4u32, 32] {
+        // Below the 13 trips (fallback widening + summary pruning) and
+        // above them (exact unrolling, pruning on path re-convergence).
+        out.push((
+            format!("path/two_back_edge/unroll={unroll}"),
+            pruning.clone(),
+            VerificationSession::new()
+                .with_strategy(Strategy::PathSensitive)
+                .with_options(AnalyzerOptions {
+                    unroll_k: unroll,
+                    ..AnalyzerOptions::default()
+                }),
+        ));
     }
     out
 }
 
-/// Runs every sweep configuration once and returns its sharing
-/// statistics. Panics if any configuration is rejected — the sweep
-/// programs are safe at every delay (the masked index carries the proof
-/// even when the counter widens), so a rejection is an engine
-/// regression.
+/// Runs every sweep configuration once and returns its statistics.
+/// Panics if any configuration is rejected — the sweep programs are safe
+/// under every configuration (the masked index carries the memset proof
+/// even when the counter widens; the two-back-edge exit test is
+/// harvested as a threshold), so a rejection is an engine regression.
 #[must_use]
 pub fn collect_stats() -> Vec<(String, AnalysisStats)> {
     sweep_configs()
         .into_iter()
-        .map(|(label, prog, options)| {
-            let analysis = Analyzer::new(options)
-                .analyze(&prog)
-                .unwrap_or_else(|e| panic!("{label}: masked loop rejected: {e}"));
+        .map(|(label, prog, session)| {
+            let analysis = session
+                .run(&prog)
+                .unwrap_or_else(|e| panic!("{label}: sweep program rejected: {e}"));
             (label, analysis.stats())
         })
         .collect()
 }
 
 /// Serializes timing rows and per-configuration statistics as the
-/// `BENCH_PR3.json` baseline document.
+/// `BENCH_PR4.json` baseline document.
 #[must_use]
 pub fn to_json(
     group: &str,
@@ -107,20 +179,20 @@ pub fn to_json(
     )
 }
 
-/// Extracts the total `states_allocated` across all stats rows of a
+/// Extracts the total of one numeric stats field across all rows of a
 /// baseline document written by [`to_json`]. Hand-rolled (the workspace
-/// is dependency-free): sums every `"states_allocated": N` occurrence.
+/// is dependency-free): sums every `"<field>": N` occurrence.
 ///
-/// Returns `None` when the document contains no such field (e.g. a
-/// pre-PR 3 baseline).
+/// Returns `None` when the document contains no such field (e.g. an
+/// older baseline that predates the counter).
 #[must_use]
-pub fn total_allocated_in_json(doc: &str) -> Option<u64> {
-    const KEY: &str = "\"states_allocated\":";
+pub fn total_field_in_json(doc: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\":");
     let mut total = 0u64;
     let mut found = false;
     let mut rest = doc;
-    while let Some(at) = rest.find(KEY) {
-        rest = &rest[at + KEY.len()..];
+    while let Some(at) = rest.find(&key) {
+        rest = &rest[at + key.len()..];
         let digits: String = rest
             .trim_start()
             .chars()
@@ -132,6 +204,13 @@ pub fn total_allocated_in_json(doc: &str) -> Option<u64> {
     found.then_some(total)
 }
 
+/// Total `states_allocated` across all stats rows of a baseline
+/// document — the shorthand [`total_field_in_json`] grew out of.
+#[must_use]
+pub fn total_allocated_in_json(doc: &str) -> Option<u64> {
+    total_field_in_json(doc, "states_allocated")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,12 +218,32 @@ mod tests {
     #[test]
     fn sweep_is_accepted_and_stats_round_trip_through_json() {
         let stats = collect_stats();
-        assert_eq!(stats.len(), TRIPS.len() * DELAYS.len());
+        assert_eq!(
+            stats.len(),
+            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 3
+        );
         let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
         assert!(total > 0);
         let doc = to_json("fixpoint_sweep", &[("x".to_string(), 1.0)], &stats);
         assert_eq!(total_allocated_in_json(&doc), Some(total));
+        let pruned: u64 = stats.iter().map(|(_, s)| s.states_pruned).sum();
+        assert!(pruned > 0, "the sweep must exercise pruning");
+        assert_eq!(total_field_in_json(&doc, "states_pruned"), Some(pruned));
+        let checks: u64 = stats.iter().map(|(_, s)| s.subset_checks).sum();
+        assert_eq!(total_field_in_json(&doc, "subset_checks"), Some(checks));
         // A document without stats rows reports None, not zero.
         assert_eq!(total_allocated_in_json("{\"results\": []}"), None);
+        assert_eq!(total_field_in_json("{}", "states_pruned"), None);
+    }
+
+    #[test]
+    fn pruning_workload_prunes_under_path_sensitivity() {
+        let stats = collect_stats();
+        let pruned_on_two_back_edge: u64 = stats
+            .iter()
+            .filter(|(label, _)| label.starts_with("path/two_back_edge"))
+            .map(|(_, s)| s.states_pruned)
+            .sum();
+        assert!(pruned_on_two_back_edge > 0, "two-back-edge suite prunes");
     }
 }

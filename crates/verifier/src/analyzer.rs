@@ -1,24 +1,29 @@
-//! The analyzer facade: configuration ([`AnalyzerOptions`]), the
-//! [`Analyzer`] entry point, and the [`Analysis`] result with its
-//! annotated verifier log and sharing statistics.
+//! The driver API: configuration ([`AnalyzerOptions`]), the
+//! builder-style [`VerificationSession`] entry point that selects an
+//! exploration [`Strategy`], the strategy-tagged [`Analysis`] result
+//! with its annotated verifier log and statistics, and the thin
+//! [`Analyzer`] compatibility facade.
 //!
-//! The actual work is split across two layers, mirroring the kernel's
+//! The actual work is split across three layers, mirroring the kernel's
 //! separation of `check_*` semantics from the verifier's state graph:
 //!
 //! * [`crate::transfer`] — the abstract semantics of one instruction
 //!   (ALU, branches with two-sided 64-*and* 32-bit refinement, memory
 //!   safety checks);
-//! * [`crate::fixpoint`] — the reverse-postorder worklist, per-register
-//!   delayed widening with harvested thresholds, narrowing, budget, and
-//!   the [`AnalysisStats`] accounting of copy-on-write state traffic.
+//! * [`crate::explore`] — the pluggable exploration strategies driving
+//!   those steps: the widening fixpoint worklist and the path-sensitive
+//!   pruning explorer;
+//! * [`crate::fixpoint`] — the reverse-postorder worklist engine behind
+//!   [`Strategy::WideningFixpoint`], and the [`AnalysisStats`]
+//!   accounting both strategies report.
 
 use ebpf::{Program, Reg};
 
 use crate::cfg::Cfg;
 use crate::error::VerifierError;
-use crate::fixpoint::{self, AnalysisStats};
+use crate::explore::{Exploration, ExplorationStrategy, Strategy};
+use crate::fixpoint::AnalysisStats;
 use crate::state::AbsState;
-use crate::transfer::Transfer;
 use crate::value::RegValue;
 
 /// Tunable analysis behaviour — each toggle corresponds to a design
@@ -50,10 +55,21 @@ pub struct AnalyzerOptions {
     /// jumping to a register-width extreme. Disable to measure what the
     /// delay alone buys.
     pub harvest_thresholds: bool,
-    /// Upper bound on total instruction visits during the fixpoint
-    /// iteration; exceeding it aborts with
+    /// Upper bound on total instruction visits during the exploration
+    /// (worklist pops for the fixpoint, DFS arrivals for the
+    /// path-sensitive explorer); exceeding it aborts with
     /// [`VerifierError::AnalysisBudgetExhausted`].
     pub analysis_budget: u64,
+    /// How many trips of each loop the **path-sensitive** strategy
+    /// unrolls with full per-trip precision before that loop head falls
+    /// back to widening. The budget is charged per loop *entry* (a
+    /// nested loop unrolls afresh on every outer trip). When `unroll_k`
+    /// is at least a bounded loop's actual trip count, the loop
+    /// verifies with *exact* per-trip states — no widening at all;
+    /// past the bound the head behaves like an eagerly widened fixpoint
+    /// head with harvested thresholds. Ignored by
+    /// [`Strategy::WideningFixpoint`].
+    pub unroll_k: u32,
 }
 
 impl Default for AnalyzerOptions {
@@ -66,15 +82,18 @@ impl Default for AnalyzerOptions {
             widen_delay: 16,
             harvest_thresholds: true,
             analysis_budget: 1_000_000,
+            unroll_k: 32,
         }
     }
 }
 
 /// The result of a successful analysis: the abstract state *before* every
-/// reachable instruction plus the run's sharing statistics, for
-/// inspection by tests, examples, benches, and tools.
+/// reachable instruction plus the run's statistics, tagged with the
+/// [`Strategy`] that produced it, for inspection by tests, examples,
+/// benches, and tools.
 #[derive(Clone, Debug)]
 pub struct Analysis {
+    strategy: Strategy,
     states: Vec<Option<AbsState>>,
     stats: AnalysisStats,
 }
@@ -88,14 +107,30 @@ impl Analysis {
         true
     }
 
+    /// The exploration strategy that produced this analysis.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
     /// The abstract state before instruction `index`, or `None` when the
     /// instruction is unreachable.
+    ///
+    /// Under [`Strategy::WideningFixpoint`] this is the engine's single
+    /// (narrowed) state cell for the instruction. Under
+    /// [`Strategy::PathSensitive`] there *is* no single cell — the
+    /// explorer keeps one state per visited path — so the reported state
+    /// is the **join over the explored path states** reaching the
+    /// instruction, which is the tightest single-state summary the
+    /// strategy can offer.
     #[must_use]
     pub fn state_before(&self, index: usize) -> Option<&AbsState> {
         self.states.get(index).and_then(Option::as_ref)
     }
 
-    /// Indices of instructions proven unreachable.
+    /// Indices of instructions proven unreachable — never reached by the
+    /// fixpoint's propagation, or (path-sensitively) by any explored
+    /// path, which includes branches refined infeasible on every path.
     #[must_use]
     pub fn unreachable(&self) -> Vec<usize> {
         self.states
@@ -105,8 +140,9 @@ impl Analysis {
             .collect()
     }
 
-    /// State-sharing and widening counters of this run — the observable
-    /// effect of the copy-on-write state layer.
+    /// State-sharing, widening, and pruning counters of this run — the
+    /// observable effect of the copy-on-write state layer and (under
+    /// [`Strategy::PathSensitive`]) of visited-state pruning.
     #[must_use]
     pub fn stats(&self) -> AnalysisStats {
         self.stats
@@ -123,10 +159,10 @@ impl Analysis {
     ///
     /// ```
     /// use ebpf::asm::assemble;
-    /// use verifier::{Analyzer, AnalyzerOptions};
+    /// use verifier::VerificationSession;
     ///
     /// let prog = assemble("r2 = 5\nr2 <<= 1\nr0 = r2\nexit")?;
-    /// let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&prog)?;
+    /// let analysis = VerificationSession::new().run(&prog)?;
     /// let log = analysis.annotate(&prog);
     /// assert!(log.contains("r2 <<= 1"));
     /// assert!(log.contains("r2=5"));
@@ -156,7 +192,120 @@ impl Analysis {
     }
 }
 
-/// The BPF-style static analyzer.
+/// The builder-style entry point of the analyzer: carries the
+/// [`AnalyzerOptions`], selects the exploration [`Strategy`], and runs
+/// programs into strategy-tagged [`Analysis`] results.
+///
+/// This replaces the bare `Analyzer::new(options).analyze(prog)` pair
+/// as the primary API (that pair survives as a thin facade); it is the
+/// seam future scaling directions — sharded exploration, per-function
+/// caching, multi-strategy portfolios — plug into via
+/// [`ExplorationStrategy`].
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::asm::assemble;
+/// use verifier::{AnalyzerOptions, Strategy, VerificationSession};
+///
+/// let prog = assemble("r2 = 5\nr2 <<= 1\nr0 = r2\nexit")?;
+/// let analysis = VerificationSession::new()
+///     .with_options(AnalyzerOptions { strict_alignment: true, ..AnalyzerOptions::default() })
+///     .with_strategy(Strategy::PathSensitive)
+///     .run(&prog)?;
+/// assert!(analysis.is_accepted());
+/// assert_eq!(analysis.strategy(), Strategy::PathSensitive);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerificationSession {
+    options: AnalyzerOptions,
+    strategy: Strategy,
+}
+
+impl VerificationSession {
+    /// A session with default options and the default strategy
+    /// ([`Strategy::WideningFixpoint`]).
+    #[must_use]
+    pub fn new() -> VerificationSession {
+        VerificationSession::default()
+    }
+
+    /// Replaces the analysis options.
+    #[must_use]
+    pub fn with_options(mut self, options: AnalyzerOptions) -> VerificationSession {
+        self.options = options;
+        self
+    }
+
+    /// Selects the exploration strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy) -> VerificationSession {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The session's analysis options.
+    #[must_use]
+    pub fn options(&self) -> AnalyzerOptions {
+        self.options
+    }
+
+    /// The session's selected strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Explores the program with the selected strategy, returning the
+    /// strategy-tagged per-instruction states on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifierError`] describing the first problem found; the
+    /// program must be rejected.
+    pub fn run(&self, prog: &Program) -> Result<Analysis, VerifierError> {
+        let Exploration { states, stats } =
+            self.explore_with(self.strategy.implementation(), prog)?;
+        Ok(Analysis {
+            strategy: self.strategy,
+            states,
+            stats,
+        })
+    }
+
+    /// Explores the program with a caller-supplied
+    /// [`ExplorationStrategy`] — the plug-in seam for strategies beyond
+    /// the built-in [`Strategy`] pair — returning the raw
+    /// [`Exploration`].
+    ///
+    /// The session-level policy checks (currently
+    /// [`AnalyzerOptions::reject_loops`]) run before the strategy, so
+    /// every strategy sees the same admission rules.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifierError`] from the policy checks or the strategy.
+    pub fn explore_with(
+        &self,
+        strategy: &dyn ExplorationStrategy,
+        prog: &Program,
+    ) -> Result<Exploration, VerifierError> {
+        if self.options.reject_loops {
+            let cfg = Cfg::build(prog);
+            if let Some(&(_, head)) = cfg.back_edges().first() {
+                return Err(VerifierError::LoopDetected { pc: head });
+            }
+        }
+        strategy.explore(prog, &self.options)
+    }
+}
+
+/// The classic two-call facade over [`VerificationSession`], kept for
+/// compatibility with pre-session callers. Soft-deprecated: prefer
+/// `VerificationSession::new().with_options(..).run(prog)`, which also
+/// exposes strategy selection — `Analyzer` always runs the default
+/// [`Strategy::WideningFixpoint`].
 ///
 /// See the crate docs for an end-to-end example.
 #[derive(Clone, Debug, Default)]
@@ -171,23 +320,18 @@ impl Analyzer {
         Analyzer { options }
     }
 
-    /// Abstractly interprets the program to a fixpoint, returning the
-    /// (narrowed) per-instruction states on acceptance.
+    /// Abstractly interprets the program with the widening fixpoint,
+    /// returning the (narrowed) per-instruction states on acceptance.
+    /// Equivalent to `VerificationSession::new().with_options(..).run`.
     ///
     /// # Errors
     ///
     /// A [`VerifierError`] describing the first problem found; the
     /// program must be rejected.
     pub fn analyze(&self, prog: &Program) -> Result<Analysis, VerifierError> {
-        let cfg = Cfg::build(prog);
-        if self.options.reject_loops {
-            if let Some(&(_, head)) = cfg.back_edges().first() {
-                return Err(VerifierError::LoopDetected { pc: head });
-            }
-        }
-        let transfer = Transfer::new(self.options);
-        let (states, stats) = fixpoint::run(&transfer, prog, &cfg, &self.options)?;
-        Ok(Analysis { states, stats })
+        VerificationSession::new()
+            .with_options(self.options)
+            .run(prog)
     }
 }
 
@@ -874,6 +1018,337 @@ mod tests {
         assert!(matches!(
             reject("r3 = r10\nr3 *= 2\nr0 = 0\nexit"),
             VerifierError::BadPointerArithmetic { pc: 1 }
+        ));
+    }
+
+    // ---- VerificationSession and the path-sensitive strategy ----
+
+    fn path_session() -> VerificationSession {
+        VerificationSession::new().with_strategy(Strategy::PathSensitive)
+    }
+
+    const MEMSET_16: &str = r"
+        r1 = 0
+    loop:
+        r3 = r10
+        r3 += -16
+        r3 += r1
+        *(u8 *)(r3 + 0) = 0
+        r1 += 1
+        if r1 < 16 goto loop
+        r0 = r1
+        exit
+    ";
+
+    #[test]
+    fn facade_and_session_agree_and_tag_strategies() {
+        let prog = assemble("r0 = 3\nexit").unwrap();
+        let via_facade = Analyzer::new(AnalyzerOptions::default())
+            .analyze(&prog)
+            .unwrap();
+        assert_eq!(via_facade.strategy(), Strategy::WideningFixpoint);
+        let via_session = path_session().run(&prog).unwrap();
+        assert_eq!(via_session.strategy(), Strategy::PathSensitive);
+        // Both report the same exit state on this trivial program.
+        let c = |a: &Analysis| {
+            a.state_before(1)
+                .unwrap()
+                .reg(Reg::R0)
+                .as_scalar()
+                .unwrap()
+                .as_constant()
+        };
+        assert_eq!(c(&via_facade), Some(3));
+        assert_eq!(c(&via_session), Some(3));
+    }
+
+    #[test]
+    fn path_sensitive_unrolls_memset16_exactly_without_widening() {
+        // unroll_k (default 32) >= 16 trips: every trip is explored with
+        // its own exact state — no join at the head, no widening at all —
+        // and the exit bound is *exact*, where the fixpoint needs
+        // widening + narrowing to recover it.
+        let prog = assemble(MEMSET_16).unwrap();
+        let analysis = path_session().run(&prog).expect("unrolled memset");
+        let stats = analysis.stats();
+        assert_eq!(stats.widenings_applied, 0, "pure unrolling: {stats:?}");
+        assert!(stats.unrolled_trips >= 16, "{stats:?}");
+        let r0 = analysis
+            .state_before(8)
+            .unwrap()
+            .reg(Reg::R0)
+            .as_scalar()
+            .unwrap();
+        assert_eq!(r0.as_constant(), Some(16), "exact exit counter");
+        // The reported head state is the join over the 16 per-trip
+        // states: the full counter window.
+        let i = analysis
+            .state_before(1)
+            .unwrap()
+            .reg(Reg::R1)
+            .as_scalar()
+            .unwrap();
+        assert_eq!((i.bounds().umin(), i.bounds().umax()), (0, 15));
+    }
+
+    /// The two-back-edge counter+accumulator loop of
+    /// `per_register_delay_verifies_counter_plus_accumulator`, shared by
+    /// the path-sensitive tests below.
+    const TWO_BACK_EDGE: &str = r"
+        r1 = 0              ; i
+        r6 = 0              ; sum
+    loop:
+        r3 = r10
+        r3 += -13
+        r3 += r1
+        *(u8 *)(r3 + 0) = 0 ; in bounds iff i <= 12
+        r1 += 1
+        r6 += 1
+        if r1 > 12 goto out
+        if r2 > 0 goto loop ; back-edge 1
+        r6 += 7
+        goto loop           ; back-edge 2
+    out:
+        r0 = r1
+        exit
+    ";
+
+    #[test]
+    fn path_sensitive_unrolls_counter_plus_accumulator_exactly() {
+        // 13 trips <= default unroll_k: exact per-trip states, no
+        // widening — the per-register delay machinery the fixpoint needs
+        // for this program is not even consulted.
+        let prog = assemble(TWO_BACK_EDGE).unwrap();
+        let analysis = path_session().run(&prog).expect("unrolled loop");
+        assert_eq!(analysis.stats().widenings_applied, 0);
+        let r0 = analysis
+            .state_before(prog.len() - 1)
+            .unwrap()
+            .reg(Reg::R0)
+            .as_scalar()
+            .unwrap();
+        assert_eq!(r0.as_constant(), Some(13), "exact exit counter");
+    }
+
+    #[test]
+    fn path_sensitive_prunes_and_widens_past_the_unroll_bound() {
+        // With unroll_k = 4 < 13 trips, the head falls back to widening
+        // (landing on the harvested `12` threshold, so the program still
+        // verifies with the exact exit bound) and the stabilized summary
+        // prunes every later arrival — the `is_state_visited` effect.
+        let prog = assemble(TWO_BACK_EDGE).unwrap();
+        let analysis = path_session()
+            .with_options(AnalyzerOptions {
+                unroll_k: 4,
+                ..AnalyzerOptions::default()
+            })
+            .run(&prog)
+            .expect("widening fallback keeps the bound via thresholds");
+        let stats = analysis.stats();
+        assert!(stats.widenings_applied > 0, "fallback widened: {stats:?}");
+        assert!(stats.states_pruned > 0, "summary pruned: {stats:?}");
+        assert!(stats.subset_checks >= stats.states_pruned);
+        let r0 = analysis
+            .state_before(prog.len() - 1)
+            .unwrap()
+            .reg(Reg::R0)
+            .as_scalar()
+            .unwrap();
+        assert_eq!(r0.as_constant(), Some(13), "branch refinement pins exit");
+    }
+
+    #[test]
+    fn path_sensitive_unrolls_nested_loops_freshly_per_entry() {
+        // The inner head's unroll budget restarts on every outer trip:
+        // 8 outer × 8 inner arrivals stay well inside unroll_k = 32
+        // *per entry* (cumulatively they would exhaust it mid-run and
+        // silently widen — the regression this test pins down).
+        let analysis = path_session()
+            .run(
+                &assemble(
+                    r"
+                    r6 = 0
+                outer:
+                    r1 = 0
+                inner:
+                    r1 += 1
+                    if r1 < 8 goto inner
+                    r6 += 1
+                    if r6 < 8 goto outer
+                    r0 = r6
+                    exit
+                ",
+                )
+                .unwrap(),
+            )
+            .expect("nested bounded loops unroll");
+        assert_eq!(
+            analysis.stats().widenings_applied,
+            0,
+            "per-entry budgets: {:?}",
+            analysis.stats()
+        );
+        let r0 = analysis
+            .state_before(7)
+            .unwrap()
+            .reg(Reg::R0)
+            .as_scalar()
+            .unwrap();
+        assert_eq!(r0.as_constant(), Some(8), "exact nested exit");
+    }
+
+    #[test]
+    fn path_sensitive_reports_joined_merge_states_and_unreachable() {
+        // The reported state at a merge point is the join over the
+        // explored paths, and branches infeasible on every path stay
+        // unreachable — `unreachable()`/`state_before()` behave exactly
+        // as under the fixpoint.
+        let prog = assemble(
+            r"
+                r2 = 4
+                if r1 == 0 goto other
+                r2 = 8
+                goto end
+            other:
+                r2 = 4
+            end:
+                r0 = r2
+                exit
+            ",
+        )
+        .unwrap();
+        let analysis = path_session().run(&prog).unwrap();
+        let r2 = analysis
+            .state_before(6)
+            .unwrap()
+            .reg(Reg::R2)
+            .as_scalar()
+            .unwrap();
+        assert!(r2.contains(4) && r2.contains(8), "join over both paths");
+
+        let prog = assemble(
+            r"
+                r2 = 3
+                if r2 > 7 goto bad
+                r0 = 0
+                exit
+            bad:
+                r3 = 0
+                r0 = *(u8 *)(r3 + 0)
+                exit
+            ",
+        )
+        .unwrap();
+        let analysis = path_session().run(&prog).unwrap();
+        assert!(analysis.unreachable().contains(&4));
+        assert!(analysis.state_before(4).is_none());
+    }
+
+    #[test]
+    fn path_sensitive_terminates_unbounded_loops_by_fallback_widening() {
+        // No exit test: unrolling alone would diverge. Past unroll_k the
+        // head widens the counter to ⊤ and the unbounded store is
+        // rejected — same verdict as the fixpoint, reached path-wise.
+        let prog = assemble(
+            r"
+                r1 = 0
+            loop:
+                r3 = r10
+                r3 += -13
+                r3 += r1
+                *(u8 *)(r3 + 0) = 0
+                r1 += 1
+                goto loop
+            ",
+        )
+        .unwrap();
+        assert!(matches!(
+            path_session().run(&prog).unwrap_err(),
+            VerifierError::OutOfBounds {
+                region: "stack",
+                ..
+            }
+        ));
+        // A harmless unbounded loop is *accepted*: the summary
+        // stabilizes and prunes the lap.
+        let analysis = path_session()
+            .run(&assemble("l:\nr0 = 0\ngoto l\nexit").unwrap())
+            .unwrap();
+        assert!(analysis.unreachable().contains(&2));
+        assert!(analysis.stats().states_pruned > 0);
+    }
+
+    #[test]
+    fn path_sensitive_budget_exhaustion_is_reported() {
+        let prog = assemble(MEMSET_16).unwrap();
+        let err = path_session()
+            .with_options(AnalyzerOptions {
+                analysis_budget: 6,
+                ..AnalyzerOptions::default()
+            })
+            .run(&prog)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VerifierError::AnalysisBudgetExhausted { budget: 6, .. }
+        ));
+    }
+
+    #[test]
+    fn reject_loops_is_a_session_policy_for_every_strategy() {
+        let prog = assemble("l:\nr0 = 0\ngoto l\nexit").unwrap();
+        for strategy in Strategy::ALL {
+            let err = VerificationSession::new()
+                .with_strategy(strategy)
+                .with_options(AnalyzerOptions {
+                    reject_loops: true,
+                    ..AnalyzerOptions::default()
+                })
+                .run(&prog)
+                .unwrap_err();
+            assert!(
+                matches!(err, VerifierError::LoopDetected { .. }),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_strategies_plug_in_through_explore_with() {
+        // The trait is the extension seam: a portfolio strategy that
+        // runs path-sensitively and falls back to the fixpoint composes
+        // from the outside, no engine changes needed.
+        struct PathThenFixpoint;
+        impl crate::explore::ExplorationStrategy for PathThenFixpoint {
+            fn name(&self) -> &'static str {
+                "path-then-fixpoint"
+            }
+            fn explore(
+                &self,
+                prog: &Program,
+                options: &AnalyzerOptions,
+            ) -> Result<Exploration, VerifierError> {
+                crate::explore::PathSensitive
+                    .explore(prog, options)
+                    .or_else(|_| crate::explore::WideningFixpoint.explore(prog, options))
+            }
+        }
+        let strategy = PathThenFixpoint;
+        assert_eq!(strategy.name(), "path-then-fixpoint");
+        let session = VerificationSession::new();
+        let prog = assemble(MEMSET_16).unwrap();
+        let exploration = session
+            .explore_with(&strategy, &prog)
+            .expect("path-sensitive leg accepts");
+        assert_eq!(exploration.stats.widenings_applied, 0, "path leg ran");
+        // Session policies still apply to custom strategies.
+        let strict = session.with_options(AnalyzerOptions {
+            reject_loops: true,
+            ..AnalyzerOptions::default()
+        });
+        assert!(matches!(
+            strict.explore_with(&strategy, &prog).unwrap_err(),
+            VerifierError::LoopDetected { .. }
         ));
     }
 }

@@ -99,7 +99,8 @@ impl Cfg {
 
     /// Successor instruction indices of instruction `i`. For conditional
     /// jumps the fall-through edge comes first, then the taken edge.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Used by the path-sensitive explorer to find merge points (its
+    /// pruning checkpoints).
     #[must_use]
     pub fn successors(&self, i: usize) -> &[usize] {
         &self.succs[i]

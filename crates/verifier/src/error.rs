@@ -18,9 +18,12 @@ pub enum VerifierError {
         /// An instruction participating in the cycle (a loop head).
         pc: usize,
     },
-    /// The fixpoint iteration exceeded its total-visits budget (the
-    /// analogue of the kernel's one-million-instruction complexity
-    /// limit) before stabilizing.
+    /// The exploration exceeded its total-visits budget (the analogue of
+    /// the kernel's one-million-instruction complexity limit) before
+    /// finishing — the fixpoint iteration failed to stabilize, or the
+    /// path-sensitive explorer's branch fan-out outran both pruning and
+    /// the unroll fallback (the kernel rejects such programs as "too
+    /// complex" for the same reason).
     AnalysisBudgetExhausted {
         /// The instruction being processed when the budget ran out.
         pc: usize,

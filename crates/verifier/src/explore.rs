@@ -1,0 +1,316 @@
+//! Pluggable exploration strategies: *how* the analyzer walks a program
+//! is a first-class choice, not a hardwired worklist.
+//!
+//! The [`ExplorationStrategy`] trait is the seam between the transfer
+//! layer (one abstract instruction step, [`crate::transfer`]) and the
+//! driver that schedules those steps. Two built-in strategies implement
+//! it, selectable through [`Strategy`] on a
+//! [`VerificationSession`](crate::VerificationSession):
+//!
+//! * [`WideningFixpoint`] — the reverse-postorder priority worklist of
+//!   [`crate::fixpoint`]: joins every path at merge points, widens at
+//!   loop heads (per-register delay + harvested thresholds), narrows
+//!   once. One state cell per instruction; cost is near-linear in the
+//!   program, precision pays the join/widening toll.
+//! * [`PathSensitive`] — a kernel-style depth-first branch walker: each
+//!   conditional forks an O(1) copy-on-write state, a per-pc
+//!   [`VisitedTable`](crate::visited::VisitedTable) prunes any arrival
+//!   included in an already-explored state (the kernel's
+//!   `is_state_visited`), the first
+//!   [`AnalyzerOptions::unroll_k`](crate::AnalyzerOptions::unroll_k)
+//!   trips of every loop are unrolled with full per-trip precision, and
+//!   past the bound the loop head falls back to widening (with the same
+//!   harvested thresholds), so unbounded loops still terminate.
+//!
+//! Both return an [`Exploration`] — per-instruction states plus
+//! [`AnalysisStats`] — which the session tags with its [`Strategy`] into
+//! an [`Analysis`](crate::Analysis). Every future scaling direction
+//! (sharded exploration, per-function caching, strategy portfolios)
+//! plugs in behind the same trait.
+
+use ebpf::Program;
+use interval_domain::WidenThresholds;
+
+use crate::analyzer::AnalyzerOptions;
+use crate::cfg::Cfg;
+use crate::error::VerifierError;
+use crate::fixpoint::{self, AnalysisStats};
+use crate::state::{stats, AbsState, JoinCounters, WidenCtx};
+use crate::transfer::Transfer;
+use crate::visited::VisitedTable;
+
+/// The raw result of one exploration run: the abstract state *before*
+/// every instruction (`None` for instructions proven unreachable) and
+/// the run's counters. Wrapped into a strategy-tagged
+/// [`Analysis`](crate::Analysis) by
+/// [`VerificationSession::run`](crate::VerificationSession::run).
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Per-instruction abstract states; under [`PathSensitive`] each is
+    /// the *join over the explored path states* reaching that pc.
+    pub states: Vec<Option<AbsState>>,
+    /// The run's sharing, widening, and pruning counters.
+    pub stats: AnalysisStats,
+}
+
+/// An exploration strategy: a driver that schedules
+/// [`Transfer`] steps over a program until every reachable instruction
+/// has a sound abstract state — or the program is rejected.
+///
+/// Implementations own iteration order, state storage, pruning, and
+/// termination (widening and/or budgets); they share the transfer layer,
+/// so every safety check is identical across strategies.
+pub trait ExplorationStrategy {
+    /// A short stable name for logs, bench labels, and baselines.
+    fn name(&self) -> &'static str;
+
+    /// Runs the strategy over `prog`.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifierError`] from the transfer layer (the program is
+    /// unsafe) or [`VerifierError::AnalysisBudgetExhausted`] when the
+    /// exploration exceeds
+    /// [`AnalyzerOptions::analysis_budget`].
+    fn explore(
+        &self,
+        prog: &Program,
+        options: &AnalyzerOptions,
+    ) -> Result<Exploration, VerifierError>;
+}
+
+/// Built-in strategy selector for
+/// [`VerificationSession`](crate::VerificationSession) — enum dispatch
+/// over the two [`ExplorationStrategy`] implementations, and the tag an
+/// [`Analysis`](crate::Analysis) carries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The widening fixpoint worklist ([`WideningFixpoint`]) — the
+    /// default, and the only engine previous revisions had.
+    #[default]
+    WideningFixpoint,
+    /// The kernel-style path-sensitive explorer ([`PathSensitive`]).
+    PathSensitive,
+}
+
+impl Strategy {
+    /// Every built-in strategy, for sweeps and differential campaigns.
+    pub const ALL: [Strategy; 2] = [Strategy::WideningFixpoint, Strategy::PathSensitive];
+
+    /// The implementation behind this selector.
+    #[must_use]
+    pub fn implementation(self) -> &'static dyn ExplorationStrategy {
+        match self {
+            Strategy::WideningFixpoint => &WideningFixpoint,
+            Strategy::PathSensitive => &PathSensitive,
+        }
+    }
+
+    /// The strategy's stable name (`"fixpoint"` / `"path"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.implementation().name()
+    }
+}
+
+/// The widening-fixpoint strategy: the RPO priority worklist with joins
+/// at merge points, per-register delayed widening with harvested
+/// thresholds at loop heads, one narrowing pass, and the visit budget —
+/// see [`crate::fixpoint`] for the engine itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WideningFixpoint;
+
+impl ExplorationStrategy for WideningFixpoint {
+    fn name(&self) -> &'static str {
+        "fixpoint"
+    }
+
+    fn explore(
+        &self,
+        prog: &Program,
+        options: &AnalyzerOptions,
+    ) -> Result<Exploration, VerifierError> {
+        let cfg = Cfg::build(prog);
+        let transfer = Transfer::new(*options);
+        let (states, stats) = fixpoint::run(&transfer, prog, &cfg, options)?;
+        Ok(Exploration { states, stats })
+    }
+}
+
+/// The kernel-style path-sensitive strategy: DFS over branch paths with
+/// visited-state pruning and bounded loop unrolling.
+///
+/// Per arrival at an instruction the explorer:
+///
+/// 1. at a loop head, charges the path's per-head trip counter; within
+///    [`AnalyzerOptions::unroll_k`] the trip is explored with full
+///    per-trip precision (no join, no widening — this is what recovers
+///    exact exit bounds the fixpoint's loop-head join destroys), past it
+///    the arrival is widened into the head's *summary* state (delay 0,
+///    harvested thresholds) and exploration continues from the summary —
+///    the widening fallback that bounds the state space;
+/// 2. at a *checkpoint* (loop head or merge point), probes the
+///    [`VisitedTable`]: an arrival included in an already-explored state
+///    is pruned (`is_state_visited`), otherwise it is recorded;
+/// 3. joins the arrival into the per-pc reported state (so
+///    [`Analysis::state_before`](crate::Analysis::state_before) is the
+///    join over explored paths), then steps the transfer layer and
+///    pushes every successor contribution with an O(1) state clone.
+///
+/// Termination: acyclic path segments are finite, every cycle passes a
+/// loop head, and past the unroll bound the head's summary chain is a
+/// widening sequence — once it stabilizes, the next arrival is included
+/// in the recorded summary and pruned. The
+/// [`AnalyzerOptions::analysis_budget`] still bounds the total work
+/// (path explosion on branch-heavy programs surfaces as
+/// [`VerifierError::AnalysisBudgetExhausted`], the kernel's complexity
+/// limit).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathSensitive;
+
+impl ExplorationStrategy for PathSensitive {
+    fn name(&self) -> &'static str {
+        "path"
+    }
+
+    fn explore(
+        &self,
+        prog: &Program,
+        options: &AnalyzerOptions,
+    ) -> Result<Exploration, VerifierError> {
+        let cfg = Cfg::build(prog);
+        let transfer = Transfer::new(*options);
+        stats::reset();
+        let thresholds = if options.harvest_thresholds && !cfg.back_edges().is_empty() {
+            fixpoint::harvest_thresholds(prog)
+        } else {
+            WidenThresholds::EMPTY
+        };
+
+        // Dense loop-head indexing for the per-path trip counters and
+        // the per-head widening summaries.
+        let mut head_idx = vec![usize::MAX; prog.len()];
+        let heads: Vec<usize> = (0..prog.len()).filter(|&pc| cfg.is_loop_head(pc)).collect();
+        for (i, &h) in heads.iter().enumerate() {
+            head_idx[h] = i;
+        }
+        // RPO position per head: heads *later* in RPO are (for reducible
+        // CFGs) nested inside or sequenced after earlier ones, and get
+        // their unroll budget reset when an earlier head takes a trip —
+        // an inner loop is unrolled per *entry*, not once per program.
+        let head_rpo: Vec<usize> = heads.iter().map(|&h| cfg.rpo_pos(h)).collect();
+        // Checkpoints — where paths can re-converge, so where pruning
+        // can fire: loop heads plus merge points (≥ 2 predecessors).
+        let mut preds = vec![0u32; prog.len()];
+        for &pc in cfg.rpo() {
+            for &s in cfg.successors(pc) {
+                preds[s] += 1;
+            }
+        }
+
+        let mut visited = VisitedTable::new(prog.len());
+        let mut report: Vec<Option<AbsState>> = vec![None; prog.len()];
+        let mut summaries: Vec<Option<AbsState>> = vec![None; heads.len()];
+        let mut counters: Vec<JoinCounters> = heads.iter().map(|_| JoinCounters::new()).collect();
+        let mut unrolled_trips: u64 = 0;
+
+        // The DFS worklist: `(pc, in-state, per-head trip counts)`.
+        // Pushing a fork clones the state (two refcount bumps) and the
+        // tiny trip vector — PR 3's copy-on-write layer is what makes
+        // the multiplied live states affordable.
+        let mut stack: Vec<(usize, AbsState, Vec<u32>)> =
+            vec![(0, AbsState::entry(), vec![0; heads.len()])];
+        let mut visits: u64 = 0;
+        while let Some((pc, mut state, mut trips)) = stack.pop() {
+            visits += 1;
+            if visits > options.analysis_budget {
+                return Err(VerifierError::AnalysisBudgetExhausted {
+                    pc,
+                    budget: options.analysis_budget,
+                });
+            }
+            let h = head_idx[pc];
+            if h != usize::MAX {
+                // A new trip of this loop restarts the unroll budget of
+                // every head nested inside it (later in RPO), so an
+                // 8×8 nested loop unrolls 8 fresh inner trips per outer
+                // trip instead of exhausting the inner budget across
+                // outer iterations. Termination is untouched: in any
+                // cycle, the head earliest in RPO is never reset by the
+                // others, saturates, and drives the widening fallback.
+                for (j, &pos) in head_rpo.iter().enumerate() {
+                    if pos > head_rpo[h] {
+                        trips[j] = 0;
+                    }
+                }
+                if trips[h] < options.unroll_k {
+                    // Unrolled trip: keep the path state exact.
+                    trips[h] += 1;
+                    unrolled_trips += 1;
+                } else {
+                    // Past the unroll bound: widen into the head's
+                    // summary and continue from it. The trip counter
+                    // stays saturated, so this path keeps flowing
+                    // through the summary on every further lap.
+                    match &mut summaries[h] {
+                        slot @ None => *slot = Some(state.clone()),
+                        Some(summary) => {
+                            summary.flow_join(
+                                &state,
+                                Some(WidenCtx {
+                                    counters: &mut counters[h],
+                                    delay: 0,
+                                    thresholds: &thresholds,
+                                }),
+                            );
+                            state = summary.clone();
+                        }
+                    }
+                }
+            }
+            if h != usize::MAX || preds[pc] > 1 {
+                if visited.is_covered(pc, &state) {
+                    continue;
+                }
+                visited.insert(pc, state.clone());
+            }
+            match &mut report[pc] {
+                slot @ None => *slot = Some(state.clone()),
+                Some(existing) => *existing = existing.union(&state),
+            }
+            for (succ, out) in transfer.step(prog, state, pc)? {
+                stack.push((succ, out, trips.clone()));
+            }
+        }
+
+        let (allocated, shared, short_circuited, widenings) = stats::snapshot();
+        Ok(Exploration {
+            states: report,
+            stats: AnalysisStats {
+                states_allocated: allocated,
+                states_shared: shared,
+                joins_short_circuited: short_circuited,
+                widenings_applied: widenings,
+                visits,
+                states_pruned: visited.states_pruned(),
+                subset_checks: visited.subset_checks(),
+                unrolled_trips,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_selector_round_trips_names() {
+        assert_eq!(Strategy::default(), Strategy::WideningFixpoint);
+        assert_eq!(Strategy::WideningFixpoint.name(), "fixpoint");
+        assert_eq!(Strategy::PathSensitive.name(), "path");
+        for s in Strategy::ALL {
+            assert_eq!(s.implementation().name(), s.name());
+        }
+    }
+}

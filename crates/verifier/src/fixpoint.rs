@@ -25,8 +25,9 @@ use crate::state::{stats, AbsState, JoinCounters, WidenCtx};
 use crate::transfer::Transfer;
 
 /// Counters describing one analysis run — the observable effect of the
-/// copy-on-write state layer, emitted by the fixpoint bench
-/// (`BENCH_PR3.json`) and guarded by CI against regression.
+/// copy-on-write state layer and (under the path-sensitive strategy) of
+/// kernel-style visited-state pruning, emitted by the fixpoint bench
+/// (`BENCH_PR4.json`) and guarded by CI against regression.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AnalysisStats {
     /// Deep copies of a register file or stack frame actually performed
@@ -45,6 +46,19 @@ pub struct AnalysisStats {
     pub widenings_applied: u64,
     /// Instruction visits consumed from the analysis budget.
     pub visits: u64,
+    /// Branch states discarded because they were included in an
+    /// already-explored state at the same instruction (the kernel's
+    /// `is_state_visited` pruning). Always zero under the widening
+    /// fixpoint, which joins instead of pruning.
+    pub states_pruned: u64,
+    /// `AbsState::is_subset_of` probes run against the visited-state
+    /// table — the cost side of the pruning ledger.
+    pub subset_checks: u64,
+    /// Loop-head arrivals explored with full per-trip precision, within
+    /// the path-sensitive strategy's
+    /// [`AnalyzerOptions::unroll_k`](crate::AnalyzerOptions::unroll_k)
+    /// unroll bound.
+    pub unrolled_trips: u64,
 }
 
 impl AnalysisStats {
@@ -63,12 +77,16 @@ impl AnalysisStats {
         format!(
             "{{\"states_allocated\": {}, \"states_shared\": {}, \
              \"joins_short_circuited\": {}, \"widenings_applied\": {}, \
-             \"visits\": {}}}",
+             \"visits\": {}, \"states_pruned\": {}, \"subset_checks\": {}, \
+             \"unrolled_trips\": {}}}",
             self.states_allocated,
             self.states_shared,
             self.joins_short_circuited,
             self.widenings_applied,
-            self.visits
+            self.visits,
+            self.states_pruned,
+            self.subset_checks,
+            self.unrolled_trips
         )
     }
 }
@@ -83,7 +101,11 @@ impl AnalysisStats {
 /// (`if w8 < -5` compares against `0xffff_fffb` on the zero-extended
 /// sub-register, so that is the useful rung, not the sign-extended
 /// 64-bit pattern).
-fn harvest_thresholds(prog: &Program) -> WidenThresholds {
+///
+/// Shared with the path-sensitive explorer's widening fallback
+/// ([`crate::explore::PathSensitive`]), so both strategies extrapolate
+/// through the same program-derived ladder.
+pub(crate) fn harvest_thresholds(prog: &Program) -> WidenThresholds {
     WidenThresholds::harvest(prog.insns().iter().filter_map(|insn| match insn {
         Insn::Jmp {
             width,
@@ -192,6 +214,11 @@ pub fn run(
             joins_short_circuited: short_circuited,
             widenings_applied: widenings,
             visits,
+            // The fixpoint joins instead of pruning and never unrolls;
+            // these counters belong to the path-sensitive strategy.
+            states_pruned: 0,
+            subset_checks: 0,
+            unrolled_trips: 0,
         },
     ))
 }

@@ -15,37 +15,51 @@
 //! [`normalize`](Product::normalize) drives the kernel's
 //! `reg_bounds_sync` cross-refinement through the `domain::RefineFrom`
 //! hooks; [`Scalar`] is the `Product<Tnum, Bounds>` instance the
-//! analyzer tracks registers with. [`Analyzer`] is a thin facade over
-//! two layers:
+//! analyzer tracks registers with. The entry point is the builder-style
+//! [`VerificationSession`], which carries the [`AnalyzerOptions`] and
+//! selects a pluggable exploration [`Strategy`] over three layers:
 //!
 //! * [`transfer`] — the abstract semantics of one instruction: ALU and
 //!   pointer arithmetic, conditional branches with two-sided refinement
 //!   at **both** widths (64-bit and zero-extended 32-bit sub-register
 //!   compares), and bounds/alignment-checked memory access;
-//! * [`fixpoint`] — the reverse-postorder priority worklist: joins at
-//!   merge points, **per-register delayed widening** at loop heads
-//!   (each register and stack slot burns its own
-//!   [`AnalyzerOptions::widen_delay`]), widening thresholds harvested
-//!   from the program's comparison immediates, one narrowing pass after
-//!   stabilization, and a total-visit budget — so bounded loops verify
-//!   precisely and unbounded ones terminate at ⊤.
+//! * [`explore`] — *how* those steps are scheduled, behind the
+//!   [`ExplorationStrategy`] trait: [`Strategy::WideningFixpoint`]
+//!   joins every path at merge points and widens at loop heads, while
+//!   [`Strategy::PathSensitive`] DFS-walks branch paths kernel-style,
+//!   prunes any state included in an already-explored one
+//!   (`is_state_visited`, via a per-pc [`VisitedTable`]), unrolls the
+//!   first [`AnalyzerOptions::unroll_k`] trips of each loop with exact
+//!   per-trip precision, and falls back to widening past the bound;
+//! * [`fixpoint`] — the reverse-postorder priority worklist behind the
+//!   fixpoint strategy: joins at merge points, **per-register delayed
+//!   widening** at loop heads (each register and stack slot burns its
+//!   own [`AnalyzerOptions::widen_delay`]), widening thresholds
+//!   harvested from the program's comparison immediates, one narrowing
+//!   pass after stabilization, and a total-visit budget.
 //!
 //! The per-program-point state ([`state::AbsState`]) is **copy-on-write**:
 //! the register file and the 64-slot stack frame live behind `Rc`s, so
-//! propagating a state along an edge is two refcount bumps and a
-//! transfer that writes one register shares all 64 stack slots
-//! untouched. Joins and inclusion checks short-circuit whole components
-//! on pointer identity, and [`AnalysisStats`] (on every [`Analysis`])
-//! counts the saved allocations. Every memory access is checked against
-//! its region — including tnum-based alignment (`tnum_is_aligned`) under
-//! [`AnalyzerOptions::strict_alignment`] — and the classic all-loops
-//! rejection survives under [`AnalyzerOptions::reject_loops`].
+//! forking a state at a branch is two refcount bumps and a transfer
+//! that writes one register shares all 64 stack slots untouched. Joins
+//! and inclusion checks short-circuit whole components on pointer
+//! identity — which is what makes path-sensitive exploration (many live
+//! states) and its subset-based pruning affordable — and
+//! [`AnalysisStats`] (on every [`Analysis`]) counts the saved
+//! allocations alongside the pruning ledger. Every memory access is
+//! checked against its region — including tnum-based alignment
+//! (`tnum_is_aligned`) under [`AnalyzerOptions::strict_alignment`] —
+//! and the classic all-loops rejection survives under
+//! [`AnalyzerOptions::reject_loops`].
 //!
-//! A bounded loop end to end:
+//! A bounded loop end to end — and because the path-sensitive strategy
+//! unrolls the 16 trips instead of joining them at the loop head, it
+//! proves the exit counter *exactly*, without a single widening:
 //!
 //! ```
 //! use ebpf::asm::assemble;
-//! use verifier::{Analyzer, AnalyzerOptions};
+//! use ebpf::Reg;
+//! use verifier::{Strategy, VerificationSession};
 //!
 //! // memset(buf[0..16], 0), i bounded by its own exit test.
 //! let prog = assemble(r"
@@ -60,16 +74,22 @@
 //!     r0 = r1
 //!     exit
 //! ")?;
-//! let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&prog)?;
+//! let analysis = VerificationSession::new()
+//!     .with_strategy(Strategy::PathSensitive)
+//!     .run(&prog)?;
 //! assert!(analysis.is_accepted());
+//! let r0 = analysis.state_before(8).unwrap().reg(Reg::R0).as_scalar().unwrap();
+//! assert_eq!(r0.as_constant(), Some(16)); // exact, per-trip precision
+//! assert_eq!(analysis.stats().widenings_applied, 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! The motivating example from §I of the paper works end to end:
+//! The motivating example from §I of the paper works end to end under
+//! the default session (the widening fixpoint):
 //!
 //! ```
 //! use ebpf::asm::assemble;
-//! use verifier::{Analyzer, AnalyzerOptions};
+//! use verifier::{Strategy, VerificationSession};
 //!
 //! // A value masked to 0b01x0 can be at most 6 <= 8, so an access at
 //! // [r10 - 16 + idx] stays inside a 16-byte stack window.
@@ -83,8 +103,9 @@
 //!     r0 = 0
 //!     exit
 //! ")?;
-//! let analysis = Analyzer::new(AnalyzerOptions::default()).analyze(&prog)?;
+//! let analysis = VerificationSession::new().run(&prog)?;
 //! assert!(analysis.is_accepted());
+//! assert_eq!(analysis.strategy(), Strategy::WideningFixpoint);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -98,19 +119,23 @@ mod analyzer;
 mod branch;
 mod cfg;
 mod error;
+pub mod explore;
 pub mod fixpoint;
 mod product;
 mod scalar;
 pub mod state;
 pub mod transfer;
 mod value;
+pub mod visited;
 
-pub use analyzer::{Analysis, Analyzer, AnalyzerOptions};
+pub use analyzer::{Analysis, Analyzer, AnalyzerOptions, VerificationSession};
 pub use branch::refine as refine_branch;
 pub use branch::refine32 as refine_branch32;
 pub use error::VerifierError;
+pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, WideningFixpoint};
 pub use fixpoint::AnalysisStats;
 pub use product::Product;
 pub use scalar::Scalar;
 pub use state::{AbsState, JoinCounters, StackSlot};
 pub use value::RegValue;
+pub use visited::VisitedTable;

@@ -13,6 +13,14 @@
 //! and [`AbsState::flow_join`] short-circuit whole components on
 //! `Rc::ptr_eq` before falling into pointwise lattice operations.
 //!
+//! Those properties are what make the path-sensitive exploration
+//! strategy ([`crate::explore::PathSensitive`]) viable: forking a state
+//! at every branch is O(1), and its kernel-style pruning probes
+//! (`is_state_visited` via [`crate::VisitedTable`]) lean on exactly the
+//! [`AbsState::is_subset_of`] identity short-circuits. The soundness of
+//! pruning rests on `is_subset_of` implying concrete-state containment
+//! — locked in by the property suite in `tests/properties.rs`.
+//!
 //! The loop-head merge ([`AbsState::flow_join`]) also owns **per-register
 //! widening stabilization** ([`JoinCounters`]): each register and stack
 //! slot burns its *own* widening delay, so an accumulator that keeps

@@ -1,0 +1,159 @@
+//! The per-pc visited-state table of the path-sensitive explorer —
+//! the analogue of the kernel verifier's `explored_states` /
+//! `is_state_visited` machinery.
+//!
+//! The kernel prunes a branch the moment its verifier state is *included
+//! in* a state it has already fully explored at the same instruction:
+//! everything the new state could do, the old one already proved safe.
+//! [`VisitedTable`] provides exactly that primitive on top of
+//! [`AbsState::is_subset_of`], whose copy-on-write `Rc` identity
+//! short-circuits make the inclusion probe cheap for states that still
+//! share components with a recorded one.
+//!
+//! The table also owns the pruning accounting surfaced through
+//! [`crate::AnalysisStats`]: how many inclusion probes ran
+//! (`subset_checks`) and how many branch states they killed
+//! (`states_pruned`) — the observable effect of kernel-style pruning,
+//! benchmarked in `BENCH_PR4.json` and guarded by CI.
+
+use crate::state::AbsState;
+
+/// Per-instruction lists of already-explored abstract states, with
+/// inclusion-based pruning ([`VisitedTable::is_covered`]) and the
+/// counters behind [`crate::AnalysisStats::states_pruned`] /
+/// [`crate::AnalysisStats::subset_checks`].
+///
+/// Entries are only recorded at *checkpoints* chosen by the explorer
+/// (loop heads and control-flow merge points — where paths can actually
+/// re-converge); straight-line instructions are never probed.
+#[derive(Clone, Debug, Default)]
+pub struct VisitedTable {
+    buckets: Vec<Vec<AbsState>>,
+    subset_checks: u64,
+    states_pruned: u64,
+}
+
+impl VisitedTable {
+    /// An empty table for a program of `len` instructions.
+    #[must_use]
+    pub fn new(len: usize) -> VisitedTable {
+        VisitedTable {
+            buckets: vec![Vec::new(); len],
+            subset_checks: 0,
+            states_pruned: 0,
+        }
+    }
+
+    /// Whether `state` is included in an already-recorded state at `pc`
+    /// — if so, exploring it can prove nothing new and the caller should
+    /// prune the path (counted in [`VisitedTable::states_pruned`]).
+    ///
+    /// Newest entries are probed first: in a loop the most recent trip's
+    /// state is the likeliest cover for a re-converging path.
+    pub fn is_covered(&mut self, pc: usize, state: &AbsState) -> bool {
+        for seen in self.buckets[pc].iter().rev() {
+            self.subset_checks += 1;
+            if state.is_subset_of(seen) {
+                self.states_pruned += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records `state` as fully explored at `pc`, so later arrivals it
+    /// covers are pruned.
+    pub fn insert(&mut self, pc: usize, state: AbsState) {
+        self.buckets[pc].push(state);
+    }
+
+    /// The states recorded at `pc`, in insertion order.
+    #[must_use]
+    pub fn entries(&self, pc: usize) -> &[AbsState] {
+        &self.buckets[pc]
+    }
+
+    /// The join over every state recorded at `pc`, or `None` when the
+    /// instruction was never checkpointed — a single-state summary of a
+    /// checkpoint for diagnostics and tooling. (The explorer itself
+    /// reports per-pc joins through its own accumulator, which also
+    /// covers non-checkpoint instructions.)
+    #[must_use]
+    pub fn joined(&self, pc: usize) -> Option<AbsState> {
+        let mut entries = self.buckets[pc].iter();
+        let first = entries.next()?.clone();
+        Some(entries.fold(first, |acc, s| acc.union(s)))
+    }
+
+    /// Total number of states recorded across all instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no state has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Inclusion probes performed so far.
+    #[must_use]
+    pub fn subset_checks(&self) -> u64 {
+        self.subset_checks
+    }
+
+    /// Arrivals pruned as covered so far.
+    #[must_use]
+    pub fn states_pruned(&self) -> u64 {
+        self.states_pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+    use crate::value::RegValue;
+    use ebpf::Reg;
+
+    fn with_r3(c: u64) -> AbsState {
+        let mut s = AbsState::entry();
+        s.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(c)));
+        s
+    }
+
+    #[test]
+    fn covers_equal_and_included_states_only() {
+        let mut table = VisitedTable::new(4);
+        let a = with_r3(1);
+        assert!(!table.is_covered(2, &a), "empty bucket covers nothing");
+        table.insert(2, a.clone());
+        // Identical state: covered (one probe, one prune).
+        assert!(table.is_covered(2, &a));
+        // A strictly smaller state is covered too…
+        let joined = a.union(&with_r3(5));
+        table.insert(2, joined);
+        assert!(table.is_covered(2, &with_r3(5)));
+        // …but a different pc is a different bucket…
+        assert!(!table.is_covered(3, &a));
+        // …and an incomparable state is not covered.
+        assert!(!table.is_covered(2, &with_r3(9)));
+        assert_eq!(table.states_pruned(), 2);
+        assert!(table.subset_checks() >= table.states_pruned());
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn joined_is_the_union_over_entries() {
+        let mut table = VisitedTable::new(2);
+        assert!(table.joined(1).is_none());
+        table.insert(1, with_r3(1));
+        table.insert(1, with_r3(4));
+        let j = table.joined(1).expect("two entries");
+        let r3 = j.reg(Reg::R3).as_scalar().unwrap();
+        assert!(r3.contains(1) && r3.contains(4));
+        assert_eq!(table.entries(1).len(), 2);
+    }
+}

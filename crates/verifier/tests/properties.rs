@@ -1,13 +1,14 @@
-//! Randomized property tests for the verifier's scalar reduced product
-//! and branch refinement at full width, driven by the workspace's
+//! Randomized property tests for the verifier's scalar reduced product,
+//! branch refinement at full width, and the `AbsState` inclusion order
+//! that path-sensitive pruning leans on, driven by the workspace's
 //! deterministic SplitMix64 stream.
 
 // Explicit BPF division semantics (`x / 0 = 0`, `x % 0 = x`) throughout.
 #![allow(clippy::manual_checked_ops)]
 use domain::rng::SplitMix64;
-use ebpf::{AluOp, JmpOp, Width};
+use ebpf::{AluOp, JmpOp, Reg, Width};
 use tnum::Tnum;
-use verifier::Scalar;
+use verifier::{AbsState, RegValue, Scalar, StackSlot};
 
 const CASES: u32 = 256;
 
@@ -174,6 +175,121 @@ fn branch_refinement_shrinks_or_keeps() {
                 if let Some((d, s)) = verifier::refine_branch(op, taken, a, b) {
                     assert!(d.is_subset_of(a), "{op:?}/{taken} widened dst");
                     assert!(s.is_subset_of(b), "{op:?}/{taken} widened src");
+                }
+            }
+        }
+    }
+}
+
+// ---- `AbsState::is_subset_of`: the pruning soundness argument ----
+//
+// The path-sensitive explorer discards a branch state the moment it is
+// included in an already-explored one, so `is_subset_of` must be a real
+// abstract order: reflexive, absorbed by `union`, and — the load-bearing
+// half — it must imply *concrete-state containment*: every concrete
+// register/stack assignment the pruned state admits, the covering state
+// admits too (otherwise pruning would skip genuinely new behaviour).
+
+/// Registers the random-state generator populates.
+const STATE_REGS: [Reg; 5] = [Reg::R0, Reg::R3, Reg::R4, Reg::R6, Reg::R9];
+
+/// Stack offsets (one per distinct slot) the generator populates.
+const STATE_SLOTS: [i64; 3] = [-8, -16, -24];
+
+/// Sampled concrete members of a random state: one witness value per
+/// scalar register and per tracked spill slot.
+type Members = (Vec<(Reg, u64)>, Vec<(i64, u64)>);
+
+/// A random abstract state together with its sampled concrete members.
+fn state_and_members(rng: &mut SplitMix64) -> (AbsState, Members) {
+    let mut state = AbsState::entry();
+    let mut reg_members = Vec::new();
+    for reg in STATE_REGS {
+        match rng.below(4) {
+            0 => {} // stays Uninit
+            1 => {
+                let (s, x) = scalar_and_member(rng);
+                state.set_reg(reg, RegValue::Scalar(s));
+                reg_members.push((reg, x));
+            }
+            2 => {
+                let (offset, _) = scalar_and_member(rng);
+                state.set_reg(reg, RegValue::StackPtr { offset });
+            }
+            _ => {
+                let (offset, _) = scalar_and_member(rng);
+                state.set_reg(reg, RegValue::CtxPtr { offset });
+            }
+        }
+    }
+    let mut slot_members = Vec::new();
+    for off in STATE_SLOTS {
+        match rng.below(3) {
+            0 => {} // stays Uninit
+            1 => {
+                state.set_stack_slot(off, StackSlot::Misc);
+            }
+            _ => {
+                let (s, x) = scalar_and_member(rng);
+                state.set_stack_slot(off, StackSlot::Spill(RegValue::Scalar(s)));
+                slot_members.push((off, x));
+            }
+        }
+    }
+    (state, (reg_members, slot_members))
+}
+
+#[test]
+fn state_inclusion_is_reflexive_and_union_absorbed() {
+    let mut rng = SplitMix64::new(0x50);
+    for _ in 0..CASES {
+        let (a, _) = state_and_members(&mut rng);
+        let (b, _) = state_and_members(&mut rng);
+        assert!(a.is_subset_of(&a), "reflexivity");
+        let j = a.union(&b);
+        assert!(a.is_subset_of(&j), "a below a ⊔ b");
+        assert!(b.is_subset_of(&j), "b below a ⊔ b");
+        // Absorption: joining an included state changes nothing (up to
+        // mutual inclusion) — re-processing a pruned arrival would be
+        // pure waste, which is exactly why pruning is safe to do.
+        let jj = j.union(&a);
+        assert!(jj.is_subset_of(&j) && j.is_subset_of(&jj), "absorption");
+    }
+}
+
+#[test]
+fn state_inclusion_implies_concrete_containment() {
+    let mut rng = SplitMix64::new(0x51);
+    for _ in 0..CASES {
+        let (a, (reg_members, slot_members)) = state_and_members(&mut rng);
+        let (c, _) = state_and_members(&mut rng);
+        // `b` is a constructed superset (how visited-table covers arise:
+        // the covering state saw at least everything the arrival did).
+        let b = a.union(&c);
+        assert!(a.is_subset_of(&b));
+        // Every sampled concrete register value of `a` is admitted by
+        // `b`: either b tracks a scalar that contains it, or b gave the
+        // register up entirely (Uninit — the top of the safety order,
+        // which only *forbids* reads and so admits any concrete value).
+        for &(reg, x) in &reg_members {
+            match b.reg(reg) {
+                RegValue::Uninit => {}
+                RegValue::Scalar(s) => {
+                    assert!(s.contains(x), "{reg}: member {x:#x} escapes cover")
+                }
+                other => panic!("{reg}: scalar joined into pointer {other:?}"),
+            }
+        }
+        // Same for spilled stack slots: Spill must still contain the
+        // member; Misc ("some initialized bytes") and Uninit admit any.
+        for &(off, x) in &slot_members {
+            match b.stack_slot(off).expect("in frame") {
+                StackSlot::Uninit | StackSlot::Misc => {}
+                StackSlot::Spill(RegValue::Scalar(s)) => {
+                    assert!(s.contains(x), "slot {off}: member {x:#x} escapes cover")
+                }
+                StackSlot::Spill(other) => {
+                    panic!("slot {off}: scalar spill joined into {other:?}")
                 }
             }
         }

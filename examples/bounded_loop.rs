@@ -1,13 +1,15 @@
-//! Bounded loops through the fixpoint engine: a counted memset and a
-//! memcpy-style filter — the workload class the classic loop-rejecting
-//! verifier could not touch — are verified with delayed widening, then
-//! executed on the concrete VM to confirm the proven facts.
+//! Bounded loops through both exploration strategies: a counted memset
+//! and a memcpy-style filter — the workload class the classic
+//! loop-rejecting verifier could not touch — are verified with delayed
+//! widening, re-verified path-sensitively (exact per-trip unrolling,
+//! visited-state pruning) side by side, then executed on the concrete VM
+//! to confirm the proven facts.
 //!
 //! Run with: `cargo run --example bounded_loop`
 
 use ebpf::asm::assemble;
 use ebpf::{Reg, Vm};
-use verifier::{Analyzer, AnalyzerOptions, VerifierError};
+use verifier::{Analyzer, AnalyzerOptions, Strategy, VerificationSession, VerifierError};
 
 /// `for i in 0..13 { buf[i] = 0; sum += i }; return i` — 13 is chosen
 /// deliberately: it is not a power of two, so the interval half of the
@@ -112,6 +114,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(_) => println!("with widen_delay = 0 + harvested thresholds: ACCEPTED"),
         Err(e) => unreachable!("thresholds recover the bound: {e}"),
     }
+
+    // ---- Side by side: widening fixpoint vs path-sensitive ----
+    //
+    // The same memset under both exploration strategies. The fixpoint
+    // joins all 13 trips at the loop head and needs widening + narrowing
+    // to recover the exit bound; the path-sensitive explorer unrolls the
+    // 13 trips with exact per-trip states (unroll_k defaults to 32) and
+    // never widens at all. A loop with two back-edges shows the other
+    // half of the kernel-style machinery: re-converging paths are pruned
+    // against the visited-state table.
+    println!("\n== strategy comparison on the counted memset ==\n");
+    let mut per_strategy = Vec::new();
+    for strategy in Strategy::ALL {
+        let analysis = VerificationSession::new()
+            .with_strategy(strategy)
+            .run(&memset)?;
+        let exit = analysis.state_before(memset.len() - 1).expect("reachable");
+        let r0 = exit.reg(Reg::R0).as_scalar().expect("scalar");
+        println!(
+            "{:>8}: exit r0 = {r0}, {} visits, {} widenings, {} unrolled trips, \
+             {} pruned / {} subset checks",
+            strategy.name(),
+            analysis.stats().visits,
+            analysis.stats().widenings_applied,
+            analysis.stats().unrolled_trips,
+            analysis.stats().states_pruned,
+            analysis.stats().subset_checks,
+        );
+        per_strategy.push(analysis.stats());
+    }
+    let (fp, ps) = (per_strategy[0], per_strategy[1]);
+    println!(
+        "\ndelta (path - fixpoint): {:+} visits, {:+} widenings, {:+} deep copies",
+        ps.visits as i64 - fp.visits as i64,
+        ps.widenings_applied as i64 - fp.widenings_applied as i64,
+        ps.states_allocated as i64 - fp.states_allocated as i64,
+    );
+    assert_eq!(ps.widenings_applied, 0, "unrolling needs no widening");
+
+    // Pruning needs paths that re-converge: the bench suite's canonical
+    // continue-style loop with two back-edges hands the visited table
+    // states to cover.
+    let two_back_edge = bench::fixpoint_suite::two_back_edge();
+    let pruned = VerificationSession::new()
+        .with_strategy(Strategy::PathSensitive)
+        .with_options(AnalyzerOptions {
+            unroll_k: 4,
+            ..AnalyzerOptions::default()
+        })
+        .run(&two_back_edge)?;
+    println!(
+        "\n== two-back-edge loop, unroll_k = 4 == ACCEPTED \
+         ({} states pruned by the visited table, {} widenings past the unroll bound)",
+        pruned.stats().states_pruned,
+        pruned.stats().widenings_applied,
+    );
+    assert!(pruned.stats().states_pruned > 0, "pruning fired");
 
     let filter = assemble(MEMCPY_FILTER)?;
     let analyzer = Analyzer::new(AnalyzerOptions {

@@ -9,7 +9,7 @@
 
 use domain::rng::SplitMix64;
 use ebpf::{AluOp, Insn, Program, Reg, Src, Vm, Width};
-use verifier::{Analyzer, AnalyzerOptions, RegValue};
+use verifier::{Analyzer, AnalyzerOptions, RegValue, Strategy, VerificationSession};
 
 /// The fuzzed register set: seeded with constants up front so every
 /// random use reads an initialized register.
@@ -431,6 +431,203 @@ fn delayed_widening_regression_vs_vm() {
     let r0 = exit_state.reg(Reg::R0).as_scalar().unwrap();
     assert!(r0.contains(ret), "concrete result inside the exit state");
     assert_eq!(r0.as_constant(), Some(13), "narrowing pins the counter");
+}
+
+/// One session per built-in strategy: `(widening fixpoint, path-sensitive)`.
+fn both_strategies() -> (VerificationSession, VerificationSession) {
+    (
+        VerificationSession::new(),
+        VerificationSession::new().with_strategy(Strategy::PathSensitive),
+    )
+}
+
+#[test]
+fn strategies_agree_on_loop_free_programs() {
+    // Random loop-free programs — ALU churn, a spliced conditional
+    // branch, and (two rounds in three) a store through a masked index,
+    // whose mask decides the verdict: both strategies must agree on
+    // accept/reject, and on acceptance the concrete VM execution must be
+    // contained in *both* strategies' abstract states.
+    let mut rng = SplitMix64::new(0x51AE);
+    let (fixpoint, path) = both_strategies();
+    let mut vm = Vm::new();
+    let (mut accepts, mut rejects) = (0u32, 0u32);
+    for round in 0..120 {
+        let base = random_alu_program(&mut rng, 10);
+        let mut insns: Vec<Insn> = base.insns().to_vec();
+        // Drop the exit (re-appended below), then splice a conditional
+        // jump over a prefix-safe distance, so the two paths reach the
+        // store with differently refined registers.
+        insns.pop();
+        let at = rng.range(6, insns.len() as u64) as usize;
+        let skip = rng.below((insns.len() - at) as u64) as i16;
+        let cmp_ops = [
+            ebpf::JmpOp::Eq,
+            ebpf::JmpOp::Ne,
+            ebpf::JmpOp::Lt,
+            ebpf::JmpOp::Ge,
+            ebpf::JmpOp::Sgt,
+            ebpf::JmpOp::Sle,
+        ];
+        insns.insert(
+            at,
+            Insn::Jmp {
+                width: Width::W64,
+                op: cmp_ops[rng.below(cmp_ops.len() as u64) as usize],
+                dst: Reg::R3,
+                src: if rng.coin() {
+                    Src::Reg(Reg::R4)
+                } else {
+                    Src::Imm(rng.next_i32())
+                },
+                off: skip,
+            },
+        );
+        if rng.ratio(2, 3) {
+            // Store to [r10 - 16 + (idx & mask)]: masks 7/15 keep the
+            // byte store inside the 16-byte window (accept), 31/63
+            // provably overrun it on some path (reject) — and a hull of
+            // in-bounds path states is itself in bounds, so the joined
+            // fixpoint view cannot disagree with the per-path one.
+            let mask = [7i32, 15, 31, 63][rng.below(4) as usize];
+            let idx = FUZZ_REGS[rng.below(FUZZ_REGS.len() as u64) as usize];
+            insns.extend([
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::And,
+                    dst: idx,
+                    src: Src::Imm(mask),
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Mov,
+                    dst: Reg::R9,
+                    src: Src::Reg(Reg::R10),
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Add,
+                    dst: Reg::R9,
+                    src: Src::Imm(-16),
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Add,
+                    dst: Reg::R9,
+                    src: Src::Reg(idx),
+                },
+                Insn::Store {
+                    size: ebpf::MemSize::B,
+                    base: Reg::R9,
+                    off: 0,
+                    src: Src::Imm(0),
+                },
+            ]);
+        }
+        insns.push(Insn::Exit);
+        let Ok(prog) = Program::new(insns) else {
+            continue;
+        };
+        let by_fixpoint = fixpoint.run(&prog);
+        let by_path = path.run(&prog);
+        assert_eq!(
+            by_fixpoint.is_ok(),
+            by_path.is_ok(),
+            "round {round}: verdicts disagree (fixpoint: {by_fixpoint:?}, \
+             path: {by_path:?})\n{}",
+            prog.disassemble(),
+        );
+        let (Ok(by_fixpoint), Ok(by_path)) = (by_fixpoint, by_path) else {
+            rejects += 1;
+            continue;
+        };
+        accepts += 1;
+        let mut ctx = [0u8; 8];
+        let (_, trace) = vm
+            .run_traced(&prog, &mut ctx)
+            .expect("accepted programs execute safely");
+        for snap in &trace {
+            for analysis in [&by_fixpoint, &by_path] {
+                let state = analysis.state_before(snap.pc).expect("reachable");
+                for reg in Reg::ALL {
+                    if let RegValue::Scalar(s) = state.reg(reg) {
+                        assert!(
+                            s.contains(snap.regs[reg.index()]),
+                            "round {round} pc {} ({:?}): {reg} escapes\n{}",
+                            snap.pc,
+                            analysis.strategy(),
+                            prog.disassemble(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        accepts > 10 && rejects > 10,
+        "campaign must exercise both verdicts: {accepts} accepts, {rejects} rejects"
+    );
+}
+
+#[test]
+fn path_sensitive_never_less_precise_on_bounded_loops() {
+    // The bounded-loop workload of `check_loop_containment`, run under
+    // both strategies: the path-sensitive explorer must accept whatever
+    // the fixpoint accepts, stay sound against the concrete VM (ground
+    // truth), and report per-pc states *included in* the fixpoint's —
+    // per-trip exploration is never less precise than the loop-head
+    // join. Trip limits (<= 24) sit inside the default unroll_k (32), so
+    // the run is pure unrolling: no widening at all.
+    let mut rng = SplitMix64::new(0xC0DE);
+    let (fixpoint, path) = both_strategies();
+    let mut vm = Vm::new();
+    for width in [Width::W64, Width::W32] {
+        for round in 0..30 {
+            let prog = random_loop_program_at(&mut rng, 10, width);
+            let by_fixpoint = fixpoint
+                .run(&prog)
+                .unwrap_or_else(|e| panic!("round {round}: fixpoint rejected: {e}"));
+            let by_path = path.run(&prog).unwrap_or_else(|e| {
+                panic!("round {round}: path-sensitive rejected an accepted program: {e}")
+            });
+            assert_eq!(by_path.stats().widenings_applied, 0, "pure unrolling");
+            for _ in 0..4 {
+                let mut ctx = [0u8; 8];
+                for byte in &mut ctx {
+                    *byte = rng.next_u32() as u8;
+                }
+                let (ret, trace) = vm.run_traced(&prog, &mut ctx).expect("cannot fault");
+                for snap in &trace {
+                    let ps = by_path.state_before(snap.pc).expect("reachable");
+                    let fp = by_fixpoint.state_before(snap.pc).expect("reachable");
+                    // Ground truth: the concrete step is inside the
+                    // path-sensitive state…
+                    for reg in Reg::ALL {
+                        if let RegValue::Scalar(s) = ps.reg(reg) {
+                            assert!(
+                                s.contains(snap.regs[reg.index()]),
+                                "round {round} pc {}: {reg} escapes path state\n{}",
+                                snap.pc,
+                                prog.disassemble(),
+                            );
+                        }
+                    }
+                    // …and the path-sensitive state is inside the
+                    // fixpoint's (strictly more precise or equal).
+                    assert!(
+                        ps.is_subset_of(fp),
+                        "round {round} pc {}: path state not included in \
+                         fixpoint state\n{}",
+                        snap.pc,
+                        prog.disassemble(),
+                    );
+                }
+                let exit = by_path.state_before(prog.len() - 1).expect("reachable");
+                let r0 = exit.reg(Reg::R0).as_scalar().expect("scalar at exit");
+                assert!(r0.contains(ret), "round {round}: exit r0 escapes");
+            }
+        }
+    }
 }
 
 #[test]
