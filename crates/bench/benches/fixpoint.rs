@@ -14,14 +14,16 @@
 //!
 //! Every configuration also reports its `AnalysisStats` — deep copies
 //! vs. shared clones vs. short-circuited joins under the copy-on-write
-//! state layer, plus the pruning ledger (states pruned / subset checks /
-//! unrolled trips) — which is the regression surface `fixpoint_guard`
-//! checks in CI.
+//! state layer, plus the pruning-table ledger (states pruned / subset
+//! checks / fingerprint rejects / evictions) and the
+//! `bytes_materialized` working-set proxy of the chunked stack frames —
+//! which is the regression surface `fixpoint_guard` checks in CI
+//! (including the deep-unroll `subset_checks` gate).
 //!
 //! Run with: `cargo bench -p bench --bench fixpoint`
 //!
 //! Set `BENCH_JSON=path.json` to also write the machine-readable
-//! baseline (`BENCH_PR4.json` in the repo root is the committed one).
+//! baseline (`BENCH_PR5.json` in the repo root is the committed one).
 
 use bench::fixpoint_suite;
 use bench::harness::Group;
@@ -85,11 +87,12 @@ fn main() {
             vec![
                 label.clone(),
                 s.states_allocated.to_string(),
-                s.states_shared.to_string(),
                 s.widenings_applied.to_string(),
                 s.states_pruned.to_string(),
                 s.subset_checks.to_string(),
-                s.unrolled_trips.to_string(),
+                s.fingerprint_rejects.to_string(),
+                s.visited_evicted.to_string(),
+                s.bytes_materialized.to_string(),
             ]
         })
         .collect();
@@ -99,11 +102,12 @@ fn main() {
             &[
                 "configuration",
                 "allocated",
-                "shared",
                 "widenings",
                 "pruned",
                 "subset checks",
-                "unrolled trips"
+                "fp rejects",
+                "evicted",
+                "bytes"
             ],
             &rows
         )

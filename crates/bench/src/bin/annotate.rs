@@ -8,7 +8,7 @@
 //! cargo run -p bench --release --bin annotate -- --file prog.s \
 //!     [--strategy fixpoint|path] [--ctx-size 64] [--strict-alignment] \
 //!     [--no-refine] [--reject-loops] [--widen-delay 16] \
-//!     [--unroll-k 32] [--no-thresholds] [--budget 1000000]
+//!     [--unroll-k 32] [--visited-cap 32] [--no-thresholds] [--budget 1000000]
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
@@ -72,6 +72,9 @@ fn main() -> ExitCode {
         analysis_budget: args.get_u64("budget", defaults.analysis_budget),
         unroll_k: args
             .get_u64("unroll-k", u64::from(defaults.unroll_k))
+            .min(u64::from(u32::MAX)) as u32,
+        visited_cap: args
+            .get_u64("visited-cap", u64::from(defaults.visited_cap))
             .min(u64::from(u32::MAX)) as u32,
     };
     let session = VerificationSession::new()

@@ -1,14 +1,20 @@
 //! `fixpoint_guard` — the CI smoke check for the exploration engines:
 //! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
-//! totals against the committed `BENCH_PR4.json` baseline, and fails
-//! when either regresses by more than 20%:
+//! totals against the committed `BENCH_PR5.json` baseline, and fails
+//! when any of three deterministic counters regresses by more than 20%:
 //!
-//! * **`states_allocated`** (absolute): a refactor that quietly
+//! * **`states_allocated`** (absolute total): a refactor that quietly
 //!   re-introduces clone-everything state propagation fails CI;
 //! * **pruned-state ratio** (`states_pruned / subset_checks`,
 //!   relative): a change that makes the path-sensitive visited table
 //!   stop covering arrivals — more probes buying fewer prunes — fails
-//!   CI even if it stays sound.
+//!   CI even if it stays sound;
+//! * **`subset_checks` at the deep-unroll point**
+//!   (`path/trips=1024/unroll=64`, absolute): the quadratic
+//!   chain-scan growth the fingerprint-indexed table eliminated; a
+//!   change that reopens it (losing the fingerprint gate, the chain
+//!   cap, or dominance eviction) fails CI long before the wall-clock
+//!   noise would show it.
 //!
 //! The counters are deterministic (unlike the timings), so this is a
 //! stable gate even on noisy runners.
@@ -16,7 +22,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR4.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR5.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -29,14 +35,21 @@ use bench::fixpoint_suite;
 use bench::table;
 
 /// Allowed regression over the committed baseline, in percent — applied
-/// to the allocation total and to the pruned-state ratio alike.
+/// to the allocation total, the pruned-state ratio, and the deep-unroll
+/// `subset_checks` count alike.
 const TOLERANCE_PERCENT: u64 = 20;
+
+/// The sweep label whose `subset_checks` count the deep-unroll gate
+/// regresses on: the configuration where visited-chain scans used to
+/// grow quadratically (2.7k probes before the fingerprint-indexed
+/// table).
+const DEEP_UNROLL_LABEL: &str = "path/trips=1024/unroll=64";
 
 fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR4.json")
+        .unwrap_or("BENCH_PR5.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -48,6 +61,12 @@ fn main() -> ExitCode {
         .sum();
     let pruned: u64 = stats.iter().map(|(_, s)| s.states_pruned).sum();
     let checks: u64 = stats.iter().map(|(_, s)| s.subset_checks).sum();
+    let fp_rejects: u64 = stats.iter().map(|(_, s)| s.fingerprint_rejects).sum();
+    let evicted: u64 = stats.iter().map(|(_, s)| s.visited_evicted).sum();
+    let deep_checks = stats
+        .iter()
+        .find(|(label, _)| label == DEEP_UNROLL_LABEL)
+        .map(|(_, s)| s.subset_checks);
 
     let rows = vec![
         vec!["states allocated (deep)".to_string(), current.to_string()],
@@ -61,6 +80,8 @@ fn main() -> ExitCode {
         ],
         vec!["states pruned (visited)".to_string(), pruned.to_string()],
         vec!["subset checks".to_string(), checks.to_string()],
+        vec!["fingerprint rejects".to_string(), fp_rejects.to_string()],
+        vec!["visited evicted".to_string(), evicted.to_string()],
     ];
     println!(
         "{}",
@@ -111,6 +132,32 @@ fn main() -> ExitCode {
         eprintln!(
             "fixpoint_guard: pruned-state ratio regressed: {pruned}/{checks} is more than \
              {TOLERANCE_PERCENT}% below the baseline {base_pruned}/{base_checks}"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Deep-unroll subset_checks gate: the quadratic chain-scan
+    // regression surface.
+    let Some(base_deep) =
+        fixpoint_suite::label_field_in_json(&doc, DEEP_UNROLL_LABEL, "subset_checks")
+    else {
+        eprintln!("fixpoint_guard: {path} carries no {DEEP_UNROLL_LABEL} subset_checks");
+        return ExitCode::FAILURE;
+    };
+    let Some(deep_checks) = deep_checks else {
+        eprintln!("fixpoint_guard: sweep no longer contains {DEEP_UNROLL_LABEL}");
+        return ExitCode::FAILURE;
+    };
+    let deep_budget = base_deep + base_deep * TOLERANCE_PERCENT / 100;
+    println!(
+        "baseline {DEEP_UNROLL_LABEL} subset_checks {base_deep}, budget {deep_budget} \
+         (+{TOLERANCE_PERCENT}%), current {deep_checks}"
+    );
+    if deep_checks > deep_budget {
+        eprintln!(
+            "fixpoint_guard: deep-unroll subset_checks regressed: {deep_checks} > {deep_budget} \
+             (baseline {base_deep} + {TOLERANCE_PERCENT}%) — the visited table is scanning \
+             chains it should fingerprint-reject, cap, or evict"
         );
         return ExitCode::FAILURE;
     }

@@ -2,8 +2,10 @@
 //! `fixpoint_guard` CI binary: the masked-memset workload across trip
 //! counts × widening delays (fixpoint strategy) × unroll bounds
 //! (path-sensitive strategy), the two-back-edge pruning workload, the
+//! spill-heavy workload behind the chunked-frame `bytes_materialized`
+//! numbers, the visited-cap ablation at the deep-unroll point, the
 //! [`AnalysisStats`] collection, and the hand-rolled JSON baseline
-//! format (`BENCH_PR4.json`).
+//! format (`BENCH_PR5.json`).
 //!
 //! Keeping the sweep definition in one place guarantees the guard checks
 //! exactly the configurations the committed baseline was produced from.
@@ -66,6 +68,32 @@ pub fn two_back_edge() -> Program {
     .expect("assembles")
 }
 
+/// A spill-heavy loop: two loop-carried values are spilled to slots in
+/// *different* stack chunks every trip, so each loop-head join grows two
+/// chunks of the frame. Under whole-frame copy-on-write this
+/// materialized the full 4 KiB frame per change; chunked frames copy two
+/// ~0.5 KiB chunks — the `bytes_materialized` delta in the baseline is
+/// the observable effect.
+#[must_use]
+pub fn spill_loop(trips: u32) -> Program {
+    assemble(&format!(
+        r"
+            r1 = 0              ; i
+            r6 = 0              ; acc
+        loop:
+            r6 += r1
+            *(u64 *)(r10 - 8) = r6      ; spill in the last chunk
+            *(u64 *)(r10 - 264) = r1    ; spill in the fourth chunk
+            r7 = *(u64 *)(r10 - 8)
+            r1 += 1
+            if r1 < {trips} goto loop
+            r0 = r7
+            exit
+        "
+    ))
+    .expect("assembles")
+}
+
 /// Trip counts straddling the default widening delay (16) and the
 /// default unroll bound (32).
 pub const TRIPS: [u32; 5] = [4, 8, 16, 64, 1024];
@@ -110,6 +138,22 @@ pub fn sweep_configs() -> Vec<(String, Program, VerificationSession)> {
             ));
         }
     }
+    // Visited-cap ablation at the deep-unroll point (trips=1024,
+    // unroll=64): unbounded chains isolate what fingerprint gating alone
+    // buys; cap=8 shows the chain cap's marginal effect past the default.
+    for &cap in &[0u32, 8] {
+        out.push((
+            format!("path/trips=1024/unroll=64/cap={cap}"),
+            masked_memset(1024),
+            VerificationSession::new()
+                .with_strategy(Strategy::PathSensitive)
+                .with_options(AnalyzerOptions {
+                    unroll_k: 64,
+                    visited_cap: cap,
+                    ..AnalyzerOptions::default()
+                }),
+        ));
+    }
     let pruning = two_back_edge();
     out.push((
         "fixpoint/two_back_edge".to_string(),
@@ -130,6 +174,25 @@ pub fn sweep_configs() -> Vec<(String, Program, VerificationSession)> {
                 }),
         ));
     }
+    // The spill-heavy workload: loop-carried spills in two different
+    // chunks, under both strategies — the chunked-frame
+    // `bytes_materialized` showcase.
+    let spills = spill_loop(64);
+    out.push((
+        "fixpoint/spill_loop/trips=64".to_string(),
+        spills.clone(),
+        VerificationSession::new(),
+    ));
+    out.push((
+        "path/spill_loop/trips=64/unroll=16".to_string(),
+        spills,
+        VerificationSession::new()
+            .with_strategy(Strategy::PathSensitive)
+            .with_options(AnalyzerOptions {
+                unroll_k: 16,
+                ..AnalyzerOptions::default()
+            }),
+    ));
     out
 }
 
@@ -152,7 +215,7 @@ pub fn collect_stats() -> Vec<(String, AnalysisStats)> {
 }
 
 /// Serializes timing rows and per-configuration statistics as the
-/// `BENCH_PR4.json` baseline document.
+/// `BENCH_PR5.json` baseline document.
 #[must_use]
 pub fn to_json(
     group: &str,
@@ -211,6 +274,36 @@ pub fn total_allocated_in_json(doc: &str) -> Option<u64> {
     total_field_in_json(doc, "states_allocated")
 }
 
+/// Extracts one numeric stats field from the row labelled exactly
+/// `label` in a baseline document written by [`to_json`] — the
+/// per-configuration lookup behind the guard's `subset_checks`
+/// regression gate at the deep-unroll point.
+///
+/// Returns `None` when the label or the field is absent. The label is
+/// matched as the full quoted string, so `path/trips=1024/unroll=64`
+/// does not match its `/cap=…` ablation variants.
+#[must_use]
+pub fn label_field_in_json(doc: &str, label: &str, field: &str) -> Option<u64> {
+    // Anchor on the stats row (the same label also appears as a timing
+    // row, which carries no counters).
+    let label_key = format!("\"label\": \"{label}\", \"stats\"");
+    let at = doc.find(&label_key)?;
+    let row = &doc[at + label_key.len()..];
+    // Stay inside this row: the field must appear before the next label.
+    let row = match row.find("\"label\":") {
+        Some(end) => &row[..end],
+        None => row,
+    };
+    let field_key = format!("\"{field}\":");
+    let after = &row[row.find(&field_key)? + field_key.len()..];
+    let digits: String = after
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,7 +313,9 @@ mod tests {
         let stats = collect_stats();
         assert_eq!(
             stats.len(),
-            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 3
+            // trips sweep + cap ablation (2) + two-back-edge (3) +
+            // spill loop (2).
+            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 7
         );
         let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
         assert!(total > 0);
@@ -234,6 +329,59 @@ mod tests {
         // A document without stats rows reports None, not zero.
         assert_eq!(total_allocated_in_json("{\"results\": []}"), None);
         assert_eq!(total_field_in_json("{}", "states_pruned"), None);
+        // Per-label extraction: exact label match, no prefix bleed into
+        // the /cap ablation rows, None on unknown labels or fields.
+        let deep = stats
+            .iter()
+            .find(|(l, _)| l == "path/trips=1024/unroll=64")
+            .expect("deep-unroll row present");
+        assert_eq!(
+            label_field_in_json(&doc, "path/trips=1024/unroll=64", "subset_checks"),
+            Some(deep.1.subset_checks)
+        );
+        let capped = stats
+            .iter()
+            .find(|(l, _)| l == "path/trips=1024/unroll=64/cap=0")
+            .expect("cap ablation row present");
+        assert_eq!(
+            label_field_in_json(&doc, "path/trips=1024/unroll=64/cap=0", "subset_checks"),
+            Some(capped.1.subset_checks)
+        );
+        assert_eq!(label_field_in_json(&doc, "no/such/label", "visits"), None);
+        assert_eq!(
+            label_field_in_json(&doc, "path/trips=1024/unroll=64", "no_such_field"),
+            None
+        );
+    }
+
+    #[test]
+    fn fingerprint_and_eviction_counters_fire_on_the_sweep() {
+        let stats = collect_stats();
+        let by_label = |needle: &str| {
+            stats
+                .iter()
+                .find(|(l, _)| l == needle)
+                .unwrap_or_else(|| panic!("{needle} missing from sweep"))
+                .1
+        };
+        // Deep unrolling floods the loop-head chain: fingerprint gating
+        // must dismiss most candidates and the cap must evict.
+        let deep = by_label("path/trips=1024/unroll=64");
+        assert!(deep.fingerprint_rejects > 0, "{deep:?}");
+        assert!(deep.visited_evicted > 0, "{deep:?}");
+        // Unbounded chains never capacity-evict; dominance eviction may
+        // still fire, but the probe side must dismiss more than the
+        // capped run examines in full.
+        let uncapped = by_label("path/trips=1024/unroll=64/cap=0");
+        assert!(uncapped.fingerprint_rejects >= deep.fingerprint_rejects);
+        // The spill loop materializes chunks, not whole frames: the
+        // copied volume stays far below a 4 KiB-per-join regime.
+        let spills = by_label("fixpoint/spill_loop/trips=64");
+        assert!(spills.bytes_materialized > 0);
+        assert!(
+            spills.bytes_materialized < spills.states_allocated * 4096,
+            "chunked frames must copy less than whole-frame semantics: {spills:?}"
+        );
     }
 
     #[test]

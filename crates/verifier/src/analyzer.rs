@@ -70,6 +70,16 @@ pub struct AnalyzerOptions {
     /// head with harvested thresholds. Ignored by
     /// [`Strategy::WideningFixpoint`].
     pub unroll_k: u32,
+    /// Per-pc chain cap of the **path-sensitive** strategy's visited
+    /// table: each checkpoint keeps at most this many explored states,
+    /// evicting oldest-first (after dominance eviction) once full —
+    /// the kernel's `explored_states` list-length hygiene. `0` means
+    /// unbounded chains. Capping bounds the per-arrival probe cost on
+    /// deep unrolls at the price of occasionally re-exploring a path an
+    /// evicted entry would have pruned; verdicts are unaffected
+    /// (pruning is a pure optimization). Ignored by
+    /// [`Strategy::WideningFixpoint`].
+    pub visited_cap: u32,
 }
 
 impl Default for AnalyzerOptions {
@@ -83,6 +93,7 @@ impl Default for AnalyzerOptions {
             harvest_thresholds: true,
             analysis_budget: 1_000_000,
             unroll_k: 32,
+            visited_cap: 32,
         }
     }
 }

@@ -148,10 +148,18 @@ impl ExplorationStrategy for WideningFixpoint {
 ///    exact exit bounds the fixpoint's loop-head join destroys), past it
 ///    the arrival is widened into the head's *summary* state (delay 0,
 ///    harvested thresholds) and exploration continues from the summary —
-///    the widening fallback that bounds the state space;
+///    the widening fallback that bounds the state space. An arrival that
+///    does not grow the summary is pruned on the spot: the recorded
+///    re-entry state's walk already covers it (this is what keeps a
+///    second back-edge from re-walking the body every trip);
 /// 2. at a *checkpoint* (loop head or merge point), probes the
 ///    [`VisitedTable`]: an arrival included in an already-explored state
-///    is pruned (`is_state_visited`), otherwise it is recorded;
+///    is pruned (`is_state_visited`), otherwise it is recorded. Probes
+///    are fingerprint-indexed — chains are scanned by 64-bit state
+///    fingerprint with full inclusion checks reserved for fingerprint
+///    matches plus a small newest-first budget — and chains are kept
+///    short by dominance eviction and the
+///    [`AnalyzerOptions::visited_cap`] chain cap;
 /// 3. joins the arrival into the per-pc reported state (so
 ///    [`Analysis::state_before`](crate::Analysis::state_before) is the
 ///    join over explored paths), then steps the transfer layer and
@@ -208,7 +216,7 @@ impl ExplorationStrategy for PathSensitive {
             }
         }
 
-        let mut visited = VisitedTable::new(prog.len());
+        let mut visited = VisitedTable::with_cap(prog.len(), options.visited_cap as usize);
         let mut report: Vec<Option<AbsState>> = vec![None; prog.len()];
         let mut summaries: Vec<Option<AbsState>> = vec![None; heads.len()];
         let mut counters: Vec<JoinCounters> = heads.iter().map(|_| JoinCounters::new()).collect();
@@ -216,10 +224,11 @@ impl ExplorationStrategy for PathSensitive {
 
         // The DFS worklist: `(pc, in-state, per-head trip counts)`.
         // Pushing a fork clones the state (two refcount bumps) and the
-        // tiny trip vector — PR 3's copy-on-write layer is what makes
-        // the multiplied live states affordable.
-        let mut stack: Vec<(usize, AbsState, Vec<u32>)> =
-            vec![(0, AbsState::entry(), vec![0; heads.len()])];
+        // `Rc`'d trip vector (one more) — the copy-on-write layer is
+        // what makes the multiplied live states affordable; the trip
+        // counts only materialize at loop heads, where they change.
+        let mut stack: Vec<(usize, AbsState, std::rc::Rc<Vec<u32>>)> =
+            vec![(0, AbsState::entry(), std::rc::Rc::new(vec![0; heads.len()]))];
         let mut visits: u64 = 0;
         while let Some((pc, mut state, mut trips)) = stack.pop() {
             visits += 1;
@@ -238,14 +247,26 @@ impl ExplorationStrategy for PathSensitive {
                 // outer iterations. Termination is untouched: in any
                 // cycle, the head earliest in RPO is never reset by the
                 // others, saturates, and drives the widening fallback.
-                for (j, &pos) in head_rpo.iter().enumerate() {
-                    if pos > head_rpo[h] {
-                        trips[j] = 0;
+                // (Resets never touch `h` itself — only heads later in
+                // RPO — so the trip test below is unaffected by them.)
+                let take_trip = trips[h] < options.unroll_k;
+                let needs_reset = head_rpo
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &pos)| pos > head_rpo[h] && trips[j] != 0);
+                if take_trip || needs_reset {
+                    let t = std::rc::Rc::make_mut(&mut trips);
+                    for (j, &pos) in head_rpo.iter().enumerate() {
+                        if pos > head_rpo[h] {
+                            t[j] = 0;
+                        }
+                    }
+                    if take_trip {
+                        t[h] += 1;
                     }
                 }
-                if trips[h] < options.unroll_k {
+                if take_trip {
                     // Unrolled trip: keep the path state exact.
-                    trips[h] += 1;
                     unrolled_trips += 1;
                 } else {
                     // Past the unroll bound: widen into the head's
@@ -255,7 +276,7 @@ impl ExplorationStrategy for PathSensitive {
                     match &mut summaries[h] {
                         slot @ None => *slot = Some(state.clone()),
                         Some(summary) => {
-                            summary.flow_join(
+                            let grew = summary.flow_join(
                                 &state,
                                 Some(WidenCtx {
                                     counters: &mut counters[h],
@@ -263,6 +284,20 @@ impl ExplorationStrategy for PathSensitive {
                                     thresholds: &thresholds,
                                 }),
                             );
+                            // The widened re-entry state is recorded at
+                            // the head (inserted below whenever it
+                            // grows), so an arrival that adds nothing —
+                            // typically the *second* back-edge of the
+                            // same trip — is covered by the walk the
+                            // summary already took: prune it here
+                            // instead of re-walking the body. This is
+                            // also what keeps the fallback terminating
+                            // even if cap eviction dropped the recorded
+                            // summary from the chain.
+                            if !grew {
+                                visited.note_summary_prune();
+                                continue;
+                            }
                             state = summary.clone();
                         }
                     }
@@ -276,25 +311,32 @@ impl ExplorationStrategy for PathSensitive {
             }
             match &mut report[pc] {
                 slot @ None => *slot = Some(state.clone()),
-                Some(existing) => *existing = existing.union(&state),
+                // In-place join: the accumulator materializes once and
+                // then absorbs later paths without fresh allocations.
+                Some(existing) => {
+                    existing.flow_join(&state, None);
+                }
             }
             for (succ, out) in transfer.step(prog, state, pc)? {
                 stack.push((succ, out, trips.clone()));
             }
         }
 
-        let (allocated, shared, short_circuited, widenings) = stats::snapshot();
+        let traffic = stats::snapshot();
         Ok(Exploration {
             states: report,
             stats: AnalysisStats {
-                states_allocated: allocated,
-                states_shared: shared,
-                joins_short_circuited: short_circuited,
-                widenings_applied: widenings,
+                states_allocated: traffic.allocated,
+                states_shared: traffic.shared,
+                joins_short_circuited: traffic.short_circuited,
+                widenings_applied: traffic.widenings,
                 visits,
                 states_pruned: visited.states_pruned(),
                 subset_checks: visited.subset_checks(),
                 unrolled_trips,
+                fingerprint_rejects: visited.fingerprint_rejects(),
+                visited_evicted: visited.visited_evicted(),
+                bytes_materialized: traffic.bytes,
             },
         })
     }

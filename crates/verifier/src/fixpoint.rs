@@ -27,7 +27,7 @@ use crate::transfer::Transfer;
 /// Counters describing one analysis run — the observable effect of the
 /// copy-on-write state layer and (under the path-sensitive strategy) of
 /// kernel-style visited-state pruning, emitted by the fixpoint bench
-/// (`BENCH_PR4.json`) and guarded by CI against regression.
+/// (`BENCH_PR5.json`) and guarded by CI against regression.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AnalysisStats {
     /// Deep copies of a register file or stack frame actually performed
@@ -51,14 +51,29 @@ pub struct AnalysisStats {
     /// `is_state_visited` pruning). Always zero under the widening
     /// fixpoint, which joins instead of pruning.
     pub states_pruned: u64,
-    /// `AbsState::is_subset_of` probes run against the visited-state
-    /// table — the cost side of the pruning ledger.
+    /// Full `AbsState::is_subset_of` probes run against the
+    /// visited-state table (covering probes plus dominance-eviction
+    /// probes) — the cost side of the pruning ledger, and the counter
+    /// the `fixpoint_guard` deep-unroll gate regresses on.
     pub subset_checks: u64,
     /// Loop-head arrivals explored with full per-trip precision, within
     /// the path-sensitive strategy's
     /// [`AnalyzerOptions::unroll_k`](crate::AnalyzerOptions::unroll_k)
     /// unroll bound.
     pub unrolled_trips: u64,
+    /// Visited-table probe candidates dismissed in O(1) on fingerprint
+    /// mismatch, without a full inclusion check — each one is a
+    /// pointwise `is_subset_of` the pre-fingerprint table would have
+    /// run.
+    pub fingerprint_rejects: u64,
+    /// Visited-table entries dropped from pruning chains: dominated by
+    /// a newer insertion, or displaced oldest-first by the per-pc chain
+    /// cap ([`AnalyzerOptions::visited_cap`](crate::AnalyzerOptions::visited_cap)).
+    pub visited_evicted: u64,
+    /// Bytes copied by all state materializations (register files,
+    /// stack chunks, and chunk spines) — the working-set proxy showing
+    /// what chunked copy-on-write frames save over whole-frame copies.
+    pub bytes_materialized: u64,
 }
 
 impl AnalysisStats {
@@ -78,7 +93,8 @@ impl AnalysisStats {
             "{{\"states_allocated\": {}, \"states_shared\": {}, \
              \"joins_short_circuited\": {}, \"widenings_applied\": {}, \
              \"visits\": {}, \"states_pruned\": {}, \"subset_checks\": {}, \
-             \"unrolled_trips\": {}}}",
+             \"unrolled_trips\": {}, \"fingerprint_rejects\": {}, \
+             \"visited_evicted\": {}, \"bytes_materialized\": {}}}",
             self.states_allocated,
             self.states_shared,
             self.joins_short_circuited,
@@ -86,7 +102,10 @@ impl AnalysisStats {
             self.visits,
             self.states_pruned,
             self.subset_checks,
-            self.unrolled_trips
+            self.unrolled_trips,
+            self.fingerprint_rejects,
+            self.visited_evicted,
+            self.bytes_materialized
         )
     }
 }
@@ -205,20 +224,24 @@ pub fn run(
         narrow(transfer, prog, cfg, &states)?
     };
 
-    let (allocated, shared, short_circuited, widenings) = stats::snapshot();
+    let traffic = stats::snapshot();
     Ok((
         states,
         AnalysisStats {
-            states_allocated: allocated,
-            states_shared: shared,
-            joins_short_circuited: short_circuited,
-            widenings_applied: widenings,
+            states_allocated: traffic.allocated,
+            states_shared: traffic.shared,
+            joins_short_circuited: traffic.short_circuited,
+            widenings_applied: traffic.widenings,
             visits,
             // The fixpoint joins instead of pruning and never unrolls;
-            // these counters belong to the path-sensitive strategy.
+            // the pruning-table counters belong to the path-sensitive
+            // strategy.
             states_pruned: 0,
             subset_checks: 0,
             unrolled_trips: 0,
+            fingerprint_rejects: 0,
+            visited_evicted: 0,
+            bytes_materialized: traffic.bytes,
         },
     ))
 }
@@ -243,7 +266,11 @@ fn narrow(
         for (succ, out) in transfer.step(prog, state, pc)? {
             match &mut narrowed[succ] {
                 slot @ None => *slot = Some(out),
-                Some(existing) => *existing = existing.union(&out),
+                // In-place join: the cell materializes once and then
+                // absorbs later edges without fresh allocations.
+                Some(existing) => {
+                    existing.flow_join(&out, None);
+                }
             }
         }
     }

@@ -39,14 +39,22 @@
 //!   pass after stabilization, and a total-visit budget.
 //!
 //! The per-program-point state ([`state::AbsState`]) is **copy-on-write**:
-//! the register file and the 64-slot stack frame live behind `Rc`s, so
-//! forking a state at a branch is two refcount bumps and a transfer
-//! that writes one register shares all 64 stack slots untouched. Joins
-//! and inclusion checks short-circuit whole components on pointer
-//! identity — which is what makes path-sensitive exploration (many live
-//! states) and its subset-based pruning affordable — and
-//! [`AnalysisStats`] (on every [`Analysis`]) counts the saved
-//! allocations alongside the pruning ledger. Every memory access is
+//! the register file and the stack frame — itself [`STACK_CHUNKS`]
+//! independently-`Rc`'d chunks of [`CHUNK_SLOTS`] slots — live behind
+//! `Rc`s, so forking a state at a branch is two refcount bumps, a
+//! transfer that writes one register shares all 64 stack slots
+//! untouched, and a single spill materializes one ~0.5 KiB chunk, not a
+//! 4 KiB frame. Every state also carries an incrementally maintained
+//! 64-bit structural **fingerprint** ([`AbsState::fingerprint`]): equal
+//! states always fingerprint equally, so the [`VisitedTable`] dismisses
+//! unequal pruning candidates in O(1) and keeps its per-pc chains short
+//! with dominance eviction and the [`AnalyzerOptions::visited_cap`]
+//! chain cap. Joins and inclusion checks short-circuit components and
+//! chunks on pointer identity — which is what makes path-sensitive
+//! exploration (many live states) and its subset-based pruning
+//! affordable — and [`AnalysisStats`] (on every [`Analysis`]) counts
+//! the saved allocations, the copied bytes, and the pruning ledger
+//! (probes, fingerprint rejects, evictions). Every memory access is
 //! checked against its region — including tnum-based alignment
 //! (`tnum_is_aligned`) under [`AnalyzerOptions::strict_alignment`] —
 //! and the classic all-loops rejection survives under
@@ -136,6 +144,6 @@ pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, Wid
 pub use fixpoint::AnalysisStats;
 pub use product::Product;
 pub use scalar::Scalar;
-pub use state::{AbsState, JoinCounters, StackSlot};
+pub use state::{AbsState, JoinCounters, StackSlot, CHUNK_SLOTS, STACK_CHUNKS};
 pub use value::RegValue;
 pub use visited::VisitedTable;

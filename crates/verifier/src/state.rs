@@ -1,35 +1,52 @@
 //! The per-program-point abstract machine state: registers and stack,
-//! with **copy-on-write structural sharing**.
+//! with **copy-on-write structural sharing**, **chunked stack frames**,
+//! and **incrementally maintained structural fingerprints**.
 //!
 //! The kernel's verifier goes to great lengths to share and prune
 //! `bpf_verifier_state` rather than copy it; this module does the same
-//! for the fixpoint engine. An [`AbsState`] is two [`Rc`]-backed
-//! components — the 11-register file and the 64-slot stack frame —
-//! so cloning a state is two reference-count bumps, and a transfer
-//! function that writes one register materializes (deep-copies) only the
-//! register file while all 64 stack slots stay shared. The `Rc` identity
-//! doubles as change tracking: a component that was never written keeps
-//! its pointer, letting [`AbsState::is_subset_of`], [`AbsState::union`],
-//! and [`AbsState::flow_join`] short-circuit whole components on
-//! `Rc::ptr_eq` before falling into pointwise lattice operations.
+//! for the exploration engines, in three layers:
+//!
+//! * **Sharing.** An [`AbsState`] is two [`Rc`]-backed components — the
+//!   11-register file and the stack frame — so cloning a state is two
+//!   reference-count bumps. The `Rc` identity doubles as change
+//!   tracking: a component that was never written keeps its pointer,
+//!   letting [`AbsState::is_subset_of`], [`AbsState::union`], and
+//!   [`AbsState::flow_join`] short-circuit whole components on
+//!   `Rc::ptr_eq` before falling into pointwise lattice operations.
+//! * **Chunking.** The 64-slot stack frame is not one array but
+//!   [`STACK_CHUNKS`] independently-`Rc`'d chunks of [`CHUNK_SLOTS`]
+//!   slots behind a small shared spine, so a single spill materializes
+//!   one ~0.5 KiB chunk (plus the pointer spine) instead of the whole
+//!   4 KiB frame, and joins/inclusions short-circuit chunk by chunk.
+//!   The copied volume is tracked as the `bytes_materialized` counter.
+//! * **Fingerprints.** Every component carries a 64-bit structural
+//!   fingerprint — SplitMix64-mixed, position-salted summaries of its
+//!   values, XOR-combined so register and slot writes update it in
+//!   O(1) — plus a generation counter bumped on each copy-on-write
+//!   materialization. Equal states always have equal fingerprints
+//!   ([`AbsState::fingerprint`]), so an equality probe can reject in
+//!   O(1) on fingerprint mismatch before falling back to the pointwise
+//!   comparison; [`crate::VisitedTable`] indexes its pruning chains by
+//!   exactly this fingerprint.
 //!
 //! Those properties are what make the path-sensitive exploration
 //! strategy ([`crate::explore::PathSensitive`]) viable: forking a state
 //! at every branch is O(1), and its kernel-style pruning probes
-//! (`is_state_visited` via [`crate::VisitedTable`]) lean on exactly the
-//! [`AbsState::is_subset_of`] identity short-circuits. The soundness of
-//! pruning rests on `is_subset_of` implying concrete-state containment
-//! — locked in by the property suite in `tests/properties.rs`.
+//! (`is_state_visited` via [`crate::VisitedTable`]) lean on the
+//! fingerprint index and the [`AbsState::is_subset_of`] identity
+//! short-circuits. The soundness of pruning rests on `is_subset_of`
+//! implying concrete-state containment — locked in by the property
+//! suite in `tests/properties.rs`, which also pins the fingerprint
+//! invariant (equal contents ⟹ equal fingerprint) and the
+//! chunked-frame equivalence with whole-frame semantics.
 //!
 //! The loop-head merge ([`AbsState::flow_join`]) also owns **per-register
 //! widening stabilization** ([`JoinCounters`]): each register and stack
 //! slot burns its *own* widening delay, so an accumulator that keeps
-//! changing no longer spends the precise joins a bounded counter needed
-//! (the shared-counter engine of PR 2 widened the whole state once any
-//! component had changed `delay` times).
+//! changing no longer spends the precise joins a bounded counter needed.
 //!
 //! Sharing traffic is counted in thread-local [`stats`] counters that the
-//! fixpoint engine snapshots into `AnalysisStats`.
+//! exploration engines snapshot into `AnalysisStats`.
 
 use core::fmt;
 use std::rc::Rc;
@@ -46,27 +63,60 @@ const SLOTS: usize = (STACK_SIZE / 8) as usize;
 /// Number of architectural registers tracked (r0–r10).
 const REGS: usize = 11;
 
+/// Slots per copy-on-write stack chunk: the sharing granularity of the
+/// frame. A spill materializes one chunk of this many slots, not the
+/// whole frame.
+pub const CHUNK_SLOTS: usize = 8;
+
+/// Number of independently-`Rc`'d chunks the stack frame is split into.
+pub const STACK_CHUNKS: usize = SLOTS / CHUNK_SLOTS;
+
 /// Thread-local sharing counters behind `AnalysisStats`. Thread-local
 /// (not per-call plumbing) so the state layer's internals stay free of
-/// `&mut stats` threading; the fixpoint engine resets them at the start
-/// of an analysis and snapshots them at the end.
+/// `&mut stats` threading; the exploration engines reset them at the
+/// start of an analysis and snapshot them at the end.
 pub(crate) mod stats {
     use std::cell::Cell;
+
+    /// Snapshot of the state layer's sharing counters.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub(crate) struct Traffic {
+        /// Deep copies of a component (register file or stack chunk).
+        pub(crate) allocated: u64,
+        /// O(1) `AbsState` clones (refcount bumps only).
+        pub(crate) shared: u64,
+        /// Whole components (or chunks) resolved by pointer identity.
+        pub(crate) short_circuited: u64,
+        /// Widening operator applications to individual components.
+        pub(crate) widenings: u64,
+        /// Bytes copied by all materializations, including the chunk
+        /// spine — the working-set proxy `BENCH_PR5.json` tracks.
+        pub(crate) bytes: u64,
+    }
 
     thread_local! {
         static ALLOCATED: Cell<u64> = const { Cell::new(0) };
         static SHARED: Cell<u64> = const { Cell::new(0) };
         static SHORT_CIRCUITED: Cell<u64> = const { Cell::new(0) };
         static WIDENINGS: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
     }
 
     fn bump(c: &'static std::thread::LocalKey<Cell<u64>>) {
         c.with(|v| v.set(v.get() + 1));
     }
 
-    /// A deep copy of a register file or stack frame was performed.
-    pub(crate) fn bump_allocated() {
+    /// A deep copy of `bytes` bytes (register file or stack chunk) was
+    /// performed.
+    pub(crate) fn bump_allocated(bytes: usize) {
         bump(&ALLOCATED);
+        BYTES.with(|v| v.set(v.get() + bytes as u64));
+    }
+
+    /// Bytes copied without a full component materialization (the chunk
+    /// spine of the stack frame).
+    pub(crate) fn bump_bytes(bytes: usize) {
+        BYTES.with(|v| v.set(v.get() + bytes as u64));
     }
 
     /// An `AbsState` clone shared both components (refcount bumps only).
@@ -74,7 +124,8 @@ pub(crate) mod stats {
         bump(&SHARED);
     }
 
-    /// A join/inclusion resolved a whole component by pointer identity.
+    /// A join/inclusion resolved a whole component or chunk by pointer
+    /// identity.
     pub(crate) fn bump_short_circuited() {
         bump(&SHORT_CIRCUITED);
     }
@@ -86,20 +137,20 @@ pub(crate) mod stats {
 
     /// Zeroes all counters (start of an analysis).
     pub(crate) fn reset() {
-        for c in [&ALLOCATED, &SHARED, &SHORT_CIRCUITED, &WIDENINGS] {
+        for c in [&ALLOCATED, &SHARED, &SHORT_CIRCUITED, &WIDENINGS, &BYTES] {
             c.with(|v| v.set(0));
         }
     }
 
-    /// `(allocated, shared, short_circuited, widenings)` since the last
-    /// [`reset`].
-    pub(crate) fn snapshot() -> (u64, u64, u64, u64) {
-        (
-            ALLOCATED.with(Cell::get),
-            SHARED.with(Cell::get),
-            SHORT_CIRCUITED.with(Cell::get),
-            WIDENINGS.with(Cell::get),
-        )
+    /// The counters accumulated since the last [`reset`].
+    pub(crate) fn snapshot() -> Traffic {
+        Traffic {
+            allocated: ALLOCATED.with(Cell::get),
+            shared: SHARED.with(Cell::get),
+            short_circuited: SHORT_CIRCUITED.with(Cell::get),
+            widenings: WIDENINGS.with(Cell::get),
+            bytes: BYTES.with(Cell::get),
+        }
     }
 }
 
@@ -157,8 +208,12 @@ impl StackSlot {
         !matches!(self, StackSlot::Uninit)
     }
 
-    /// Slot inclusion for state-inclusion checks.
-    fn is_subset_of(self, other: StackSlot) -> bool {
+    /// Slot inclusion for state-inclusion checks: everything is included
+    /// in [`StackSlot::Uninit`] (the top of the safety order — it only
+    /// forbids reads), initialized slots are included in
+    /// [`StackSlot::Misc`], and spills compare their tracked values.
+    #[must_use]
+    pub fn is_subset_of(self, other: StackSlot) -> bool {
         match (self, other) {
             (_, StackSlot::Uninit) => true,
             (StackSlot::Spill(x), StackSlot::Spill(y)) => x.is_subset_of(y),
@@ -167,6 +222,240 @@ impl StackSlot {
             (StackSlot::Uninit, _) | (StackSlot::Misc, StackSlot::Spill(_)) => false,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------
+
+/// The SplitMix64 output mixer (Steele, Lea & Flood, OOPSLA 2014): three
+/// xor-shift-multiply rounds, the same finalizer `domain::rng` uses.
+/// All structural fingerprints are built from it.
+const fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The SplitMix64 increment (golden-ratio constant), used to derive
+/// position salts.
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The position salt folded into a value hash before mixing: makes the
+/// XOR-combined component fingerprint sensitive to *where* a value sits,
+/// with `domain` separating registers, slots, and the chunk spine.
+const fn pos_salt(domain: u64, index: usize) -> u64 {
+    mix(domain ^ (index as u64 + 1).wrapping_mul(PHI))
+}
+
+/// Hash of a scalar's full representation (tnum and both bound pairs).
+/// Two equal scalars always hash equally (the hash reads exactly the
+/// fields `PartialEq` compares). A multiply-fold — each field scaled by
+/// its own odd constant, one final mix — keeps the per-write cost of
+/// incremental fingerprint maintenance to a handful of multiplies;
+/// collisions only cost a confirming pointwise probe, never soundness.
+fn hash_scalar(s: Scalar) -> u64 {
+    let h = s.tnum().value().wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ s.tnum().mask().wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ s.bounds().umin().wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ s.bounds().umax().wrapping_mul(0x2545_f491_4f6c_dd1d)
+        ^ (s.bounds().smin() as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)
+        ^ (s.bounds().smax() as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+    mix(h)
+}
+
+/// The pointwise lattice interface shared by the two state component
+/// types, letting the generic [`Cells`] store, the joins, and the flows
+/// merge the register file and the stack chunks through one code path.
+trait Component: Copy + PartialEq {
+    /// Fingerprint domain separating this component type's hashes.
+    const DOMAIN: u64;
+    fn union(self, other: Self) -> Self;
+    fn is_subset_of(self, other: Self) -> bool;
+    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self;
+    /// Equality-respecting content hash: `a == b ⟹ hash(a) == hash(b)`.
+    fn content_hash(self) -> u64;
+}
+
+impl Component for RegValue {
+    const DOMAIN: u64 = 0x5249_4c45_5f52_4547; // "RILE_REG"
+
+    fn union(self, other: Self) -> Self {
+        RegValue::union(self, other)
+    }
+    fn is_subset_of(self, other: Self) -> bool {
+        RegValue::is_subset_of(self, other)
+    }
+    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self {
+        RegValue::widen_with(self, newer, thresholds)
+    }
+    fn content_hash(self) -> u64 {
+        match self {
+            RegValue::Uninit => 0x1,
+            RegValue::Scalar(s) => mix(hash_scalar(s) ^ 0x2),
+            RegValue::StackPtr { offset } => mix(hash_scalar(offset) ^ 0x3),
+            RegValue::CtxPtr { offset } => mix(hash_scalar(offset) ^ 0x4),
+        }
+    }
+}
+
+impl Component for StackSlot {
+    const DOMAIN: u64 = 0x4652_414d_455f_534c; // "FRAME_SL"
+
+    fn union(self, other: Self) -> Self {
+        StackSlot::union(self, other)
+    }
+    fn is_subset_of(self, other: Self) -> bool {
+        StackSlot::is_subset_of(self, other)
+    }
+    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self {
+        StackSlot::widen_with(self, newer, thresholds)
+    }
+    fn content_hash(self) -> u64 {
+        match self {
+            StackSlot::Uninit => 0x10,
+            StackSlot::Misc => 0x20,
+            StackSlot::Spill(v) => mix(v.content_hash() ^ 0x30),
+        }
+    }
+}
+
+/// One fingerprinted, generation-counted array of components — the
+/// representation of both the register file and each stack chunk.
+///
+/// `fp` is the XOR over all positions of the position-salted value hash;
+/// the per-position hashes are cached in `hashes`, so a write re-hashes
+/// only the *new* value and folds the cached old hash out of `fp` in
+/// O(1). `generation` counts the copy-on-write materializations in this
+/// component's history (pure diagnostics — it never feeds a semantic
+/// decision).
+#[derive(Clone, Debug)]
+struct Cells<T, const N: usize> {
+    fp: u64,
+    generation: u64,
+    hashes: [u64; N],
+    vals: [T; N],
+}
+
+impl<T: Component, const N: usize> Cells<T, N> {
+    fn new(vals: [T; N]) -> Cells<T, N> {
+        let mut hashes = [0u64; N];
+        let mut fp = 0;
+        for (i, v) in vals.iter().enumerate() {
+            hashes[i] = mix(v.content_hash() ^ pos_salt(T::DOMAIN, i));
+            fp ^= hashes[i];
+        }
+        Cells {
+            fp,
+            generation: 0,
+            hashes,
+            vals,
+        }
+    }
+
+    /// Writes position `i`, updating the fingerprint in O(1).
+    fn set(&mut self, i: usize, v: T) {
+        let new = mix(v.content_hash() ^ pos_salt(T::DOMAIN, i));
+        self.fp ^= self.hashes[i] ^ new;
+        self.hashes[i] = new;
+        self.vals[i] = v;
+    }
+
+    #[cfg(test)]
+    fn recomputed_fp(&self) -> u64 {
+        Cells::new(self.vals).fp
+    }
+}
+
+/// The register file: eleven fingerprinted registers.
+type RegFile = Cells<RegValue, REGS>;
+
+/// One stack chunk: [`CHUNK_SLOTS`] fingerprinted slots. The chunk
+/// fingerprint is over chunk-*local* positions, so chunks with equal
+/// contents are interchangeable (and the all-`Uninit` chunk is shared
+/// across all eight positions of a fresh frame); the frame spine mixes
+/// the chunk's position in when combining.
+type Chunk = Cells<StackSlot, CHUNK_SLOTS>;
+
+/// The stack frame spine: [`STACK_CHUNKS`] `Rc`'d chunks plus the
+/// XOR-combined, position-mixed frame fingerprint.
+#[derive(Clone, Debug)]
+struct Frame {
+    fp: u64,
+    generation: u64,
+    chunks: [Rc<Chunk>; STACK_CHUNKS],
+}
+
+/// The fingerprint domain of the chunk spine's position mixing.
+const FRAME_DOMAIN: u64 = 0x4652_414d_455f_4650; // "FRAME_FP"
+
+/// One chunk's position-mixed contribution to the frame fingerprint.
+const fn chunk_contrib(c: usize, chunk_fp: u64) -> u64 {
+    mix(chunk_fp ^ pos_salt(FRAME_DOMAIN, c))
+}
+
+impl Frame {
+    fn compute_fp(chunks: &[Rc<Chunk>; STACK_CHUNKS]) -> u64 {
+        let mut fp = 0;
+        for (c, chunk) in chunks.iter().enumerate() {
+            fp ^= chunk_contrib(c, chunk.fp);
+        }
+        fp
+    }
+
+    fn from_chunks(chunks: [Rc<Chunk>; STACK_CHUNKS], generation: u64) -> Frame {
+        Frame {
+            fp: Frame::compute_fp(&chunks),
+            generation,
+            chunks,
+        }
+    }
+
+    /// The slot at flat index `i`.
+    fn slot(&self, i: usize) -> StackSlot {
+        self.chunks[i / CHUNK_SLOTS].vals[i % CHUNK_SLOTS]
+    }
+
+    /// Writes the slot at flat index `i`, materializing only its chunk
+    /// and keeping the frame fingerprint incremental.
+    fn set_slot(&mut self, i: usize, v: StackSlot) {
+        let (c, j) = (i / CHUNK_SLOTS, i % CHUNK_SLOTS);
+        if self.chunks[c].vals[j] == v {
+            return;
+        }
+        let old = chunk_contrib(c, self.chunks[c].fp);
+        cells_mut(&mut self.chunks[c]).set(j, v);
+        self.fp ^= old ^ chunk_contrib(c, self.chunks[c].fp);
+    }
+}
+
+thread_local! {
+    /// The all-uninitialized frame every analysis starts from: eight
+    /// positions sharing *one* empty chunk allocation. Cached so
+    /// `AbsState::entry` is two refcount bumps, not nine allocations.
+    static EMPTY_FRAME: Rc<Frame> = {
+        let empty_chunk = Rc::new(Chunk::new([StackSlot::Uninit; CHUNK_SLOTS]));
+        let chunks = std::array::from_fn(|_| Rc::clone(&empty_chunk));
+        Rc::new(Frame::from_chunks(chunks, 0))
+    };
+}
+
+/// Mutable access to a fingerprinted component (register file or stack
+/// chunk), materializing — and counting, in both `states_allocated` and
+/// the component's generation — a private copy if it is currently
+/// shared. The single copy-on-write fault path: every component
+/// materialization in this module goes through here so the accounting
+/// `fixpoint_guard` gates on cannot drift between call sites.
+fn cells_mut<T: Component, const N: usize>(rc: &mut Rc<Cells<T, N>>) -> &mut Cells<T, N> {
+    let was_shared = Rc::strong_count(rc) > 1;
+    if was_shared {
+        stats::bump_allocated(size_of::<Cells<T, N>>());
+    }
+    let c = Rc::make_mut(rc);
+    if was_shared {
+        c.generation += 1;
+    }
+    c
 }
 
 /// Per-component changing-join counters at one loop head, driving
@@ -222,7 +511,9 @@ pub struct WidenCtx<'a> {
 }
 
 /// Abstract machine state at one program point: the eleven registers plus
-/// the 64 stack slots, both behind copy-on-write [`Rc`]s.
+/// the 64 stack slots (as [`STACK_CHUNKS`] copy-on-write chunks), both
+/// behind [`Rc`]s, with a structural [`fingerprint`](AbsState::fingerprint)
+/// maintained on every write.
 ///
 /// # Examples
 ///
@@ -239,15 +530,18 @@ pub struct WidenCtx<'a> {
 /// let mut copy = state.clone();
 /// copy.set_reg(Reg::R0, RegValue::unknown_scalar());
 /// assert!(matches!(state.reg(Reg::R0), RegValue::Uninit));
+/// // The fingerprint tracks the divergence in O(1).
+/// assert_ne!(state.fingerprint(), copy.fingerprint());
 /// ```
 pub struct AbsState {
-    regs: Rc<[RegValue; REGS]>,
-    stack: Rc<[StackSlot; SLOTS]>,
+    regs: Rc<RegFile>,
+    stack: Rc<Frame>,
 }
 
 impl Clone for AbsState {
     /// O(1): bumps the two component refcounts. The deep copy happens
-    /// lazily, only for the component a later write actually touches.
+    /// lazily, only for the component (or stack chunk) a later write
+    /// actually touches.
     fn clone(&self) -> AbsState {
         stats::bump_shared();
         AbsState {
@@ -259,8 +553,20 @@ impl Clone for AbsState {
 
 impl PartialEq for AbsState {
     fn eq(&self, other: &AbsState) -> bool {
-        (Rc::ptr_eq(&self.regs, &other.regs) || self.regs == other.regs)
-            && (Rc::ptr_eq(&self.stack, &other.stack) || self.stack == other.stack)
+        // Fingerprint mismatch proves inequality in O(1); a match still
+        // needs the pointwise confirmation (hashes can collide).
+        if self.fingerprint() != other.fingerprint() {
+            return false;
+        }
+        let regs_eq = Rc::ptr_eq(&self.regs, &other.regs) || self.regs.vals == other.regs.vals;
+        regs_eq
+            && (Rc::ptr_eq(&self.stack, &other.stack)
+                || self
+                    .stack
+                    .chunks
+                    .iter()
+                    .zip(other.stack.chunks.iter())
+                    .all(|(a, b)| Rc::ptr_eq(a, b) || a.vals == b.vals))
     }
 }
 
@@ -280,44 +586,57 @@ impl AbsState {
         regs[Reg::R10.index()] = RegValue::StackPtr {
             offset: Scalar::constant(0),
         };
-        stats::bump_allocated();
-        stats::bump_allocated();
+        stats::bump_allocated(size_of::<RegFile>());
         AbsState {
-            regs: Rc::new(regs),
-            stack: Rc::new([StackSlot::Uninit; SLOTS]),
+            regs: Rc::new(Cells::new(regs)),
+            stack: EMPTY_FRAME.with(Rc::clone),
         }
+    }
+
+    /// The 64-bit structural fingerprint of this state: a pure function
+    /// of the register and slot contents, maintained incrementally on
+    /// every write. **Equal states always have equal fingerprints**, so
+    /// a fingerprint mismatch rejects an equality probe in O(1); the
+    /// converse does not hold (hashes can collide), so a match must be
+    /// confirmed pointwise.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.regs.fp ^ self.stack.fp
+    }
+
+    /// The copy-on-write generation counters `(register file, stack
+    /// spine)`: how many materializations each component's history has
+    /// absorbed. Diagnostics for tests and tooling — the values never
+    /// feed a semantic decision.
+    #[must_use]
+    pub fn generations(&self) -> (u64, u64) {
+        (self.regs.generation, self.stack.generation)
     }
 
     /// Mutable access to the register file, materializing a private copy
     /// if it is currently shared.
-    fn regs_mut(&mut self) -> &mut [RegValue; REGS] {
-        if Rc::strong_count(&self.regs) > 1 {
-            stats::bump_allocated();
-        }
-        Rc::make_mut(&mut self.regs)
+    fn regs_mut(&mut self) -> &mut RegFile {
+        cells_mut(&mut self.regs)
     }
 
-    /// Mutable access to the stack frame, materializing a private copy if
-    /// it is currently shared.
-    fn stack_mut(&mut self) -> &mut [StackSlot; SLOTS] {
-        if Rc::strong_count(&self.stack) > 1 {
-            stats::bump_allocated();
-        }
-        Rc::make_mut(&mut self.stack)
+    /// Mutable access to the stack spine, materializing a private copy
+    /// (pointer array only — the chunks stay shared) if needed.
+    fn frame_mut(&mut self) -> &mut Frame {
+        frame_spine_mut(&mut self.stack)
     }
 
     /// The abstract value of a register.
     #[must_use]
     pub fn reg(&self, reg: Reg) -> RegValue {
-        self.regs[reg.index()]
+        self.regs.vals[reg.index()]
     }
 
     /// Replaces the abstract value of a register.
     pub fn set_reg(&mut self, reg: Reg, value: RegValue) {
         // No-op writes (common for `mov` round-trips and re-deriving the
         // same refinement) keep the file shared.
-        if self.regs[reg.index()] != value {
-            self.regs_mut()[reg.index()] = value;
+        if self.regs.vals[reg.index()] != value {
+            self.regs_mut().set(reg.index(), value);
         }
     }
 
@@ -327,18 +646,20 @@ impl AbsState {
     /// Returns `None` when the offset is outside the frame.
     #[must_use]
     pub fn stack_slot(&self, offset: i64) -> Option<StackSlot> {
-        Some(self.stack[slot_index(offset)?])
+        Some(self.stack.slot(slot_index(offset)?))
     }
 
-    /// Overwrites the slot covering `offset`.
+    /// Overwrites the slot covering `offset`, materializing only the
+    /// ~0.5 KiB chunk holding it (plus the pointer spine), never the
+    /// whole frame.
     ///
     /// Returns `false` (and does nothing) when the offset is outside the
     /// frame.
     pub fn set_stack_slot(&mut self, offset: i64, slot: StackSlot) -> bool {
         match slot_index(offset) {
             Some(i) => {
-                if self.stack[i] != slot {
-                    self.stack_mut()[i] = slot;
+                if self.stack.slot(i) != slot {
+                    self.frame_mut().set_slot(i, slot);
                 }
                 true
             }
@@ -352,12 +673,12 @@ impl AbsState {
     pub fn smear_stack(&mut self, start: i64, end: i64) {
         let slots = || (align_down(start)..end).step_by(8).filter_map(slot_index);
         // Decide before materializing: an all-Misc range keeps sharing.
-        if slots().all(|i| self.stack[i] == StackSlot::Misc) {
+        if slots().all(|i| self.stack.slot(i) == StackSlot::Misc) {
             return;
         }
-        let stack = self.stack_mut();
+        let frame = self.frame_mut();
         for i in slots() {
-            stack[i] = StackSlot::Misc;
+            frame.set_slot(i, StackSlot::Misc);
         }
     }
 
@@ -369,16 +690,17 @@ impl AbsState {
         }
         (align_down(start)..end)
             .step_by(8)
-            .all(|off| slot_index(off).is_some_and(|i| self.stack[i].is_initialized()))
+            .all(|off| slot_index(off).is_some_and(|i| self.stack.slot(i).is_initialized()))
     }
 
     /// Pointwise join of two states at a control-flow merge. Components
-    /// identical by pointer or value are *shared*, not reallocated.
+    /// (and individual stack chunks) identical by pointer or value are
+    /// *shared*, not reallocated.
     #[must_use]
     pub fn union(&self, other: &AbsState) -> AbsState {
         AbsState {
-            regs: union_component(&self.regs, &other.regs),
-            stack: union_component(&self.stack, &other.stack),
+            regs: union_cells(&self.regs, &other.regs),
+            stack: union_frame(&self.stack, &other.stack),
         }
     }
 
@@ -391,8 +713,8 @@ impl AbsState {
     /// exactly; every later one widens that component
     /// (`cur ∇ (cur ⊔ incoming)`), extrapolating through the built-in
     /// and harvested interval thresholds while components that already
-    /// stabilized are left untouched. Components equal by `Rc` identity
-    /// short-circuit without any pointwise work.
+    /// stabilized are left untouched. Components (and chunks) equal by
+    /// `Rc` identity short-circuit without any pointwise work.
     pub fn flow_join(&mut self, incoming: &AbsState, widen: Option<WidenCtx<'_>>) -> bool {
         // Split the widening context into per-component halves so each
         // array flows with its own counters.
@@ -404,14 +726,14 @@ impl AbsState {
             }) => {
                 let JoinCounters { regs, slots } = counters;
                 (
-                    Some((regs, delay, thresholds)),
-                    Some((slots, delay, thresholds)),
+                    Some((&mut regs[..], delay, thresholds)),
+                    Some((&mut slots[..], delay, thresholds)),
                 )
             }
             None => (None, None),
         };
-        let regs_changed = flow_component(&mut self.regs, &incoming.regs, regs_widen);
-        let stack_changed = flow_component(&mut self.stack, &incoming.stack, stack_widen);
+        let regs_changed = flow_cells(&mut self.regs, &incoming.regs, regs_widen);
+        let stack_changed = flow_frame(&mut self.stack, &incoming.stack, stack_widen);
         regs_changed || stack_changed
     }
 
@@ -434,11 +756,12 @@ impl AbsState {
     }
 
     /// Pointwise abstract-order test (state inclusion), with whole
-    /// components short-circuited on `Rc` identity.
+    /// components — and individual stack chunks — short-circuited on
+    /// `Rc` identity.
     #[must_use]
     pub fn is_subset_of(&self, other: &AbsState) -> bool {
         let regs_ok = Rc::ptr_eq(&self.regs, &other.regs) || {
-            (0..REGS).all(|i| self.regs[i].is_subset_of(other.regs[i]))
+            (0..REGS).all(|i| self.regs.vals[i].is_subset_of(other.regs.vals[i]))
         };
         if !regs_ok {
             return false;
@@ -446,9 +769,16 @@ impl AbsState {
         Rc::ptr_eq(&self.stack, &other.stack)
             || self
                 .stack
+                .chunks
                 .iter()
-                .zip(other.stack.iter())
-                .all(|(a, b)| a.is_subset_of(*b))
+                .zip(other.stack.chunks.iter())
+                .all(|(a, b)| {
+                    Rc::ptr_eq(a, b)
+                        || a.vals
+                            .iter()
+                            .zip(b.vals.iter())
+                            .all(|(x, y)| x.is_subset_of(*y))
+                })
     }
 
     /// Whether the two states share their register file (used by tests
@@ -458,78 +788,93 @@ impl AbsState {
         Rc::ptr_eq(&self.regs, &other.regs)
     }
 
-    /// Whether the two states share their stack frame.
+    /// Whether the two states share their stack frame spine.
     #[must_use]
     pub fn shares_stack_with(&self, other: &AbsState) -> bool {
         Rc::ptr_eq(&self.stack, &other.stack)
     }
-}
 
-/// The pointwise lattice interface shared by the two state component
-/// types, letting [`union_component`] and [`flow_component`] merge the
-/// register file and the stack frame through one code path.
-trait Component: Copy + PartialEq {
-    fn union(self, other: Self) -> Self;
-    fn is_subset_of(self, other: Self) -> bool;
-    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self;
-}
-
-impl Component for RegValue {
-    fn union(self, other: Self) -> Self {
-        RegValue::union(self, other)
-    }
-    fn is_subset_of(self, other: Self) -> bool {
-        RegValue::is_subset_of(self, other)
-    }
-    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self {
-        RegValue::widen_with(self, newer, thresholds)
+    /// How many of the [`STACK_CHUNKS`] stack chunks the two states share
+    /// by pointer — the observable grain of chunked copy-on-write (a
+    /// single spill leaves `STACK_CHUNKS - 1` chunks shared).
+    #[must_use]
+    pub fn shared_stack_chunks(&self, other: &AbsState) -> usize {
+        self.stack
+            .chunks
+            .iter()
+            .zip(other.stack.chunks.iter())
+            .filter(|(a, b)| Rc::ptr_eq(a, b))
+            .count()
     }
 }
 
-impl Component for StackSlot {
-    fn union(self, other: Self) -> Self {
-        StackSlot::union(self, other)
-    }
-    fn is_subset_of(self, other: Self) -> bool {
-        StackSlot::is_subset_of(self, other)
-    }
-    fn widen_with(self, newer: Self, thresholds: &WidenThresholds) -> Self {
-        StackSlot::widen_with(self, newer, thresholds)
-    }
-}
-
-/// Sharing-aware pointwise join of one `Rc`-backed component array:
+/// Sharing-aware pointwise join of one fingerprinted component array:
 /// identical-by-pointer inputs short-circuit, and a join that changes
 /// nothing returns the left input's `Rc` instead of allocating.
-fn union_component<T: Component, const N: usize>(a: &Rc<[T; N]>, b: &Rc<[T; N]>) -> Rc<[T; N]> {
+fn union_cells<T: Component, const N: usize>(
+    a: &Rc<Cells<T, N>>,
+    b: &Rc<Cells<T, N>>,
+) -> Rc<Cells<T, N>> {
     if Rc::ptr_eq(a, b) {
         stats::bump_short_circuited();
         return Rc::clone(a);
     }
-    let mut merged = **a;
-    let mut changed = false;
-    for (slot, &incoming) in merged.iter_mut().zip(b.iter()) {
-        let next = slot.union(incoming);
-        if next != *slot {
-            *slot = next;
-            changed = true;
+    let mut merged: Option<Cells<T, N>> = None;
+    for i in 0..N {
+        let next = a.vals[i].union(b.vals[i]);
+        if next != a.vals[i] {
+            merged
+                .get_or_insert_with(|| {
+                    stats::bump_allocated(size_of::<Cells<T, N>>());
+                    (**a).clone()
+                })
+                .set(i, next);
         }
     }
+    match merged {
+        Some(m) => Rc::new(m),
+        None => Rc::clone(a),
+    }
+}
+
+/// Chunk-wise join of two stack frames: chunks identical by pointer are
+/// shared without pointwise work, and a no-op join returns the left
+/// frame's `Rc`.
+fn union_frame(a: &Rc<Frame>, b: &Rc<Frame>) -> Rc<Frame> {
+    if Rc::ptr_eq(a, b) {
+        stats::bump_short_circuited();
+        return Rc::clone(a);
+    }
+    let mut changed = false;
+    let chunks: [Rc<Chunk>; STACK_CHUNKS] = std::array::from_fn(|c| {
+        if Rc::ptr_eq(&a.chunks[c], &b.chunks[c]) {
+            stats::bump_short_circuited();
+            return Rc::clone(&a.chunks[c]);
+        }
+        let merged = union_cells(&a.chunks[c], &b.chunks[c]);
+        if !Rc::ptr_eq(&merged, &a.chunks[c]) {
+            changed = true;
+        }
+        merged
+    });
     if changed {
-        stats::bump_allocated();
-        Rc::new(merged)
+        stats::bump_bytes(size_of::<Frame>());
+        Rc::new(Frame::from_chunks(chunks, a.generation))
     } else {
         Rc::clone(a)
     }
 }
 
 /// In-place flow of `inc` into `dst` with optional per-index delayed
-/// widening — the component half of [`AbsState::flow_join`]. Returns
+/// widening — the shared half of [`AbsState::flow_join`]. Returns
 /// whether `dst` grew; materializes `dst` only on the first real change.
-fn flow_component<T: Component, const N: usize>(
-    dst: &mut Rc<[T; N]>,
-    inc: &Rc<[T; N]>,
-    mut widen: Option<(&mut [u32; N], u32, &WidenThresholds)>,
+///
+/// `widen` carries the counter slice for exactly this array's indices
+/// (the register counters, or one chunk's slice of the slot counters).
+fn flow_cells<T: Component, const N: usize>(
+    dst: &mut Rc<Cells<T, N>>,
+    inc: &Rc<Cells<T, N>>,
+    mut widen: Option<(&mut [u32], u32, &WidenThresholds)>,
 ) -> bool {
     if Rc::ptr_eq(dst, inc) {
         stats::bump_short_circuited();
@@ -537,8 +882,8 @@ fn flow_component<T: Component, const N: usize>(
     }
     let mut changed = false;
     for i in 0..N {
-        let cur = dst[i];
-        let incoming = inc[i];
+        let cur = dst.vals[i];
+        let incoming = inc.vals[i];
         if incoming == cur || incoming.is_subset_of(cur) {
             continue;
         }
@@ -560,10 +905,77 @@ fn flow_component<T: Component, const N: usize>(
         // The join re-normalizes, which may canonicalize without
         // enlarging; only a real change re-fires the successor.
         if next != cur {
-            if Rc::strong_count(dst) > 1 {
-                stats::bump_allocated();
-            }
-            Rc::make_mut(dst)[i] = next;
+            cells_mut(dst).set(i, next);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Mutable access to a frame spine behind an `Rc`, materializing a
+/// private copy if shared. The spine is only the chunk pointer array
+/// (the chunks themselves stay shared until they change), so the copy
+/// is a few dozen bytes — counted in `bytes_materialized` but not as a
+/// component allocation.
+fn frame_spine_mut(rc: &mut Rc<Frame>) -> &mut Frame {
+    let was_shared = Rc::strong_count(rc) > 1;
+    if was_shared {
+        stats::bump_bytes(size_of::<Frame>());
+    }
+    let f = Rc::make_mut(rc);
+    if was_shared {
+        f.generation += 1;
+    }
+    f
+}
+
+/// The frame half of [`AbsState::flow_join`]: flows chunk by chunk, with
+/// `Rc` identity short-circuits per chunk, slicing the slot counters to
+/// each chunk's window. The spine is materialized up front once any
+/// chunk pair differs by pointer — a deliberate trade against re-scanning
+/// every chunk twice (the copy is the pointer array, a few dozen bytes,
+/// even when the flow then turns out to change nothing).
+fn flow_frame(
+    dst: &mut Rc<Frame>,
+    inc: &Rc<Frame>,
+    widen: Option<(&mut [u32], u32, &WidenThresholds)>,
+) -> bool {
+    if Rc::ptr_eq(dst, inc) {
+        stats::bump_short_circuited();
+        return false;
+    }
+    // All chunks identical by pointer: nothing can flow.
+    if dst
+        .chunks
+        .iter()
+        .zip(inc.chunks.iter())
+        .all(|(a, b)| Rc::ptr_eq(a, b))
+    {
+        stats::bump_short_circuited();
+        return false;
+    }
+    let frame = frame_spine_mut(dst);
+    let (mut counters, widen_rest) = match widen {
+        Some((slots, delay, thresholds)) => (Some(slots), Some((delay, thresholds))),
+        None => (None, None),
+    };
+    let mut changed = false;
+    for c in 0..STACK_CHUNKS {
+        if Rc::ptr_eq(&frame.chunks[c], &inc.chunks[c]) {
+            stats::bump_short_circuited();
+            continue;
+        }
+        let chunk_widen = match (&mut counters, widen_rest) {
+            (Some(slots), Some((delay, thresholds))) => Some((
+                &mut slots[c * CHUNK_SLOTS..(c + 1) * CHUNK_SLOTS],
+                delay,
+                thresholds,
+            )),
+            _ => None,
+        };
+        let old = chunk_contrib(c, frame.chunks[c].fp);
+        if flow_cells(&mut frame.chunks[c], &inc.chunks[c], chunk_widen) {
+            frame.fp ^= old ^ chunk_contrib(c, frame.chunks[c].fp);
             changed = true;
         }
     }
@@ -587,11 +999,13 @@ impl fmt::Debug for AbsState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "AbsState {{")?;
         for r in Reg::ALL {
-            if self.regs[r.index()] != RegValue::Uninit {
-                writeln!(f, "  {r}: {}", self.regs[r.index()])?;
+            if self.regs.vals[r.index()] != RegValue::Uninit {
+                writeln!(f, "  {r}: {}", self.regs.vals[r.index()])?;
             }
         }
-        let written = self.stack.iter().filter(|s| s.is_initialized()).count();
+        let written = (0..SLOTS)
+            .filter(|&i| self.stack.slot(i).is_initialized())
+            .count();
         writeln!(f, "  stack: {written}/{SLOTS} slots written")?;
         write!(f, "}}")
     }
@@ -634,10 +1048,15 @@ mod tests {
         assert!(base.shares_stack_with(&copy), "stack still shared");
         // …and the original is unaffected.
         assert_eq!(base.reg(Reg::R3), RegValue::Uninit);
-        // A stack write materializes the frame.
+        // A stack write materializes the spine and exactly one chunk.
         copy.set_stack_slot(-8, StackSlot::Misc);
         assert!(!base.shares_stack_with(&copy));
         assert_eq!(base.stack_slot(-8), Some(StackSlot::Uninit));
+        assert_eq!(
+            base.shared_stack_chunks(&copy),
+            STACK_CHUNKS - 1,
+            "one chunk materialized, the rest stay shared"
+        );
         // No-op writes keep sharing.
         let mut noop = base.clone();
         noop.set_reg(Reg::R0, RegValue::Uninit);
@@ -720,6 +1139,47 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_is_incremental_and_content_pure() {
+        // Same contents reached through different histories fingerprint
+        // identically, and the incremental maintenance matches a from-
+        // scratch recomputation.
+        let mut a = AbsState::entry();
+        a.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(7)));
+        a.set_reg(Reg::R4, RegValue::Scalar(Scalar::constant(9)));
+        a.set_stack_slot(-8, StackSlot::Misc);
+        let mut b = AbsState::entry();
+        b.set_stack_slot(-8, StackSlot::Misc);
+        b.set_reg(Reg::R4, RegValue::Scalar(Scalar::constant(1)));
+        b.set_reg(Reg::R4, RegValue::Scalar(Scalar::constant(9))); // overwrite
+        b.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(7)));
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.regs.fp, a.regs.recomputed_fp());
+        assert_eq!(a.stack.fp, Frame::compute_fp(&a.stack.chunks));
+        for c in &a.stack.chunks {
+            assert_eq!(c.fp, c.recomputed_fp());
+        }
+        // Divergence flips the fingerprint (and equality) in O(1).
+        b.set_stack_slot(-16, StackSlot::Misc);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generations_count_materializations() {
+        let base = AbsState::entry();
+        let mut copy = base.clone();
+        assert_eq!(copy.generations(), base.generations());
+        copy.set_reg(Reg::R3, RegValue::Scalar(Scalar::constant(1)));
+        assert_eq!(copy.generations().0, base.generations().0 + 1);
+        copy.set_stack_slot(-8, StackSlot::Misc);
+        assert_eq!(copy.generations().1, base.generations().1 + 1);
+        // Writes into an already-private component do not bump again.
+        copy.set_reg(Reg::R4, RegValue::Scalar(Scalar::constant(2)));
+        assert_eq!(copy.generations().0, base.generations().0 + 1);
+    }
+
+    #[test]
     fn per_register_delay_widens_only_exhausted_components() {
         let th = WidenThresholds::EMPTY;
         let mut counters = JoinCounters::new();
@@ -762,5 +1222,36 @@ mod tests {
             (0, 1),
             "precise join, not a widening jump"
         );
+    }
+
+    #[test]
+    fn slot_widening_flows_through_chunk_counters() {
+        // A churning spill burns the *slot's* counter, not its chunk
+        // neighbours': after `delay` changing joins the slot widens while
+        // a stable slot in the same chunk keeps precise joins available.
+        let th = WidenThresholds::EMPTY;
+        let mut counters = JoinCounters::new();
+        let mut head = AbsState::entry();
+        head.set_stack_slot(-8, StackSlot::Spill(RegValue::Scalar(Scalar::constant(0))));
+        for k in 1..=3u64 {
+            let mut inc = head.clone();
+            inc.set_stack_slot(-8, StackSlot::Spill(RegValue::Scalar(Scalar::constant(k))));
+            head.flow_join(
+                &inc,
+                Some(WidenCtx {
+                    counters: &mut counters,
+                    delay: 2,
+                    thresholds: &th,
+                }),
+            );
+        }
+        assert_eq!(counters.slots[63], 3, "slot -8 is flat index 63");
+        assert_eq!(counters.slots[62], 0, "neighbour slot burns nothing");
+        match head.stack_slot(-8).unwrap() {
+            StackSlot::Spill(RegValue::Scalar(s)) => {
+                assert!(s.bounds().umax() >= 3, "widened or joined past 3")
+            }
+            other => panic!("unexpected slot {other:?}"),
+        }
     }
 }

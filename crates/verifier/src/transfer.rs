@@ -8,6 +8,16 @@
 //! [`crate::fixpoint`]'s job. The split mirrors the paper's architecture
 //! (abstract operators vs. the analysis driving them) and keeps every
 //! safety check in one place regardless of how the engine schedules it.
+//!
+//! Two properties keep the per-visit hot path cheap for both engines:
+//! successor contributions come back in the inline, allocation-free
+//! [`Successors`] pair (an instruction has at most a fall-through and a
+//! jump target), and every state write goes through the copy-on-write
+//! layer — a stack store materializes one ~0.5 KiB chunk of the frame,
+//! never the whole 4 KiB array, and a no-op write (a refinement that
+//! derived the same value) keeps components shared, which preserves both
+//! the `Rc` short-circuits and the state fingerprints downstream pruning
+//! probes lean on.
 
 use ebpf::{AluOp, Insn, JmpOp, MemSize, Program, Reg, Src, Width, STACK_SIZE};
 
@@ -17,6 +27,61 @@ use crate::error::VerifierError;
 use crate::scalar::Scalar;
 use crate::state::{AbsState, StackSlot};
 use crate::value::RegValue;
+
+/// The successor contributions of one abstract step: at most two
+/// (the fall-through and a jump target), stored inline so the hottest
+/// path of both exploration engines — one `step` per visit — performs
+/// no heap allocation.
+///
+/// Iterate it like the `Vec` it replaces:
+///
+/// ```
+/// use ebpf::asm::assemble;
+/// use verifier::transfer::Transfer;
+/// use verifier::{AbsState, AnalyzerOptions};
+///
+/// let prog = assemble("r0 = 0\nexit")?;
+/// let transfer = Transfer::new(AnalyzerOptions::default());
+/// for (succ, _state) in transfer.step(&prog, AbsState::entry(), 0)? {
+///     assert_eq!(succ, 1);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Successors {
+    slots: [Option<(usize, AbsState)>; 2],
+}
+
+impl Successors {
+    /// No successors (`exit`, or a branch with both edges infeasible).
+    fn none() -> Successors {
+        Successors::default()
+    }
+
+    /// A single successor.
+    fn one(pc: usize, state: AbsState) -> Successors {
+        Successors {
+            slots: [Some((pc, state)), None],
+        }
+    }
+
+    /// Fall-through and/or taken edge of a conditional jump, either of
+    /// which may have been refined away as infeasible.
+    fn branch(fall: Option<(usize, AbsState)>, taken: Option<(usize, AbsState)>) -> Successors {
+        Successors {
+            slots: [fall, taken],
+        }
+    }
+}
+
+impl IntoIterator for Successors {
+    type Item = (usize, AbsState);
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<(usize, AbsState)>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.into_iter().flatten()
+    }
+}
 
 /// The instruction-semantics half of the analyzer: one abstract step.
 #[derive(Clone, Copy, Debug)]
@@ -56,7 +121,7 @@ impl Transfer {
         prog: &Program,
         state: AbsState,
         pc: usize,
-    ) -> Result<Vec<(usize, AbsState)>, VerifierError> {
+    ) -> Result<Successors, VerifierError> {
         let insn = prog.insns()[pc];
         self.check_reads(&state, insn, pc)?;
         match insn {
@@ -69,27 +134,23 @@ impl Transfer {
             } => {
                 let taken_target = prog.jump_target(pc, off).expect("validated");
                 let (fall, taken) = self.branch_states(&state, width, op, dst, src)?;
-                let mut out = Vec::with_capacity(2);
-                if let Some(fall) = fall {
-                    out.push((pc + 1, fall));
-                }
-                if let Some(taken) = taken {
-                    out.push((taken_target, taken));
-                }
-                Ok(out)
+                Ok(Successors::branch(
+                    fall.map(|s| (pc + 1, s)),
+                    taken.map(|s| (taken_target, s)),
+                ))
             }
             Insn::Ja { off } => {
                 let target = prog.jump_target(pc, off).expect("validated");
-                Ok(vec![(target, state)])
+                Ok(Successors::one(target, state))
             }
             Insn::Exit => match state.reg(Reg::R0) {
                 RegValue::Uninit => Err(VerifierError::NoReturnValue { pc }),
-                RegValue::Scalar(_) => Ok(Vec::new()),
+                RegValue::Scalar(_) => Ok(Successors::none()),
                 _ => Err(VerifierError::PointerLeak { pc }),
             },
             _ => {
                 let next = self.transfer(state, insn, pc)?;
-                Ok(vec![(pc + 1, next)])
+                Ok(Successors::one(pc + 1, next))
             }
         }
     }

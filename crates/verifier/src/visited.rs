@@ -1,46 +1,111 @@
 //! The per-pc visited-state table of the path-sensitive explorer —
 //! the analogue of the kernel verifier's `explored_states` /
-//! `is_state_visited` machinery.
+//! `is_state_visited` machinery, rebuilt around **state fingerprints**.
 //!
 //! The kernel prunes a branch the moment its verifier state is *included
 //! in* a state it has already fully explored at the same instruction:
 //! everything the new state could do, the old one already proved safe.
-//! [`VisitedTable`] provides exactly that primitive on top of
-//! [`AbsState::is_subset_of`], whose copy-on-write `Rc` identity
-//! short-circuits make the inclusion probe cheap for states that still
-//! share components with a recorded one.
+//! It also keeps its `explored_states` lists healthy — hashed lookup,
+//! capped list lengths (`states_maxlen`-style), and dropping states a
+//! newer insertion subsumes — because an unbounded linear scan of full
+//! state comparisons grows quadratically on long loops. [`VisitedTable`]
+//! applies the same hygiene:
+//!
+//! * **Fingerprint-indexed probes.** Each chain entry stores the state's
+//!   64-bit [`AbsState::fingerprint`] next to it. A probe first compares
+//!   fingerprints: a mismatch proves the candidate *unequal* in O(1)
+//!   (the property suite pins `equal states ⟹ equal fingerprints`), so
+//!   the expensive pointwise [`AbsState::is_subset_of`] runs only for
+//!   fingerprint matches — plus a small newest-first budget of
+//!   strict-inclusion probes ([`STRICT_PROBES`]), since a strictly
+//!   smaller arrival can hide behind any fingerprint. Skipped candidates
+//!   are counted as [`VisitedTable::fingerprint_rejects`]. Skipping a
+//!   probe is always sound: pruning is an optimization, and the
+//!   equality path (which termination of the widening fallback leans
+//!   on) is probed against the *entire* chain.
+//! * **Dominance eviction.** Inserting a state compares it against the
+//!   newest [`DOMINANCE_PROBES`] entries; any entry *included in* the
+//!   newcomer is dropped — everything it covered, the newcomer covers.
+//!   This is what keeps widening-fallback chains short: each widened
+//!   summary subsumes (and evicts) its predecessor.
+//! * **Chain caps.** Each pc keeps at most `cap` entries
+//!   ([`crate::AnalyzerOptions::visited_cap`], default
+//!   [`DEFAULT_CAP`]); a full chain evicts oldest-first, kernel-style.
+//!   Evictions of both kinds are counted in
+//!   [`VisitedTable::visited_evicted`].
 //!
 //! The table also owns the pruning accounting surfaced through
-//! [`crate::AnalysisStats`]: how many inclusion probes ran
-//! (`subset_checks`) and how many branch states they killed
-//! (`states_pruned`) — the observable effect of kernel-style pruning,
-//! benchmarked in `BENCH_PR4.json` and guarded by CI.
+//! [`crate::AnalysisStats`]: how many full inclusion probes ran
+//! (`subset_checks`), how many candidates were dismissed by fingerprint
+//! (`fingerprint_rejects`), how many entries were evicted
+//! (`visited_evicted`), and how many branch states were pruned
+//! (`states_pruned`) — benchmarked in `BENCH_PR5.json` and guarded by
+//! CI (`fixpoint_guard` fails on `subset_checks` regressions at the
+//! deep-unroll point).
 
 use crate::state::AbsState;
 
-/// Per-instruction lists of already-explored abstract states, with
-/// inclusion-based pruning ([`VisitedTable::is_covered`]) and the
-/// counters behind [`crate::AnalysisStats::states_pruned`] /
-/// [`crate::AnalysisStats::subset_checks`].
+/// Default per-pc chain cap (the kernel caps its `explored_states`
+/// lists the same way).
+pub const DEFAULT_CAP: usize = 32;
+
+/// Newest-first budget of full strict-inclusion probes per arrival:
+/// candidates beyond it whose fingerprint already mismatched are skipped
+/// outright. Newest entries are the likeliest covers (the most recent
+/// trip or summary), so the budget is spent where pruning actually
+/// fires.
+const STRICT_PROBES: usize = 2;
+
+/// Newest-first budget of dominance probes per insertion: how many
+/// existing entries an insertion checks for being subsumed by the
+/// newcomer. Widening chains grow monotonically, so the predecessor a
+/// new summary dominates is always the newest entry.
+const DOMINANCE_PROBES: usize = 2;
+
+/// One recorded exploration: the state plus its cached fingerprint.
+#[derive(Clone, Debug)]
+struct Entry {
+    fp: u64,
+    state: AbsState,
+}
+
+/// Per-instruction chains of already-explored abstract states, with
+/// fingerprint-gated inclusion pruning ([`VisitedTable::is_covered`]),
+/// dominance and oldest-first eviction, and the counters behind
+/// [`crate::AnalysisStats`].
 ///
 /// Entries are only recorded at *checkpoints* chosen by the explorer
 /// (loop heads and control-flow merge points — where paths can actually
 /// re-converge); straight-line instructions are never probed.
 #[derive(Clone, Debug, Default)]
 pub struct VisitedTable {
-    buckets: Vec<Vec<AbsState>>,
+    buckets: Vec<Vec<Entry>>,
+    cap: usize,
     subset_checks: u64,
     states_pruned: u64,
+    fingerprint_rejects: u64,
+    visited_evicted: u64,
 }
 
 impl VisitedTable {
-    /// An empty table for a program of `len` instructions.
+    /// An empty table for a program of `len` instructions, with the
+    /// default per-pc chain cap ([`DEFAULT_CAP`]).
     #[must_use]
     pub fn new(len: usize) -> VisitedTable {
+        VisitedTable::with_cap(len, DEFAULT_CAP)
+    }
+
+    /// An empty table with an explicit per-pc chain cap; `cap == 0`
+    /// means unbounded chains (no capacity eviction).
+    #[must_use]
+    pub fn with_cap(len: usize, cap: usize) -> VisitedTable {
         VisitedTable {
             buckets: vec![Vec::new(); len],
+            cap: if cap == 0 { usize::MAX } else { cap },
             subset_checks: 0,
             states_pruned: 0,
+            fingerprint_rejects: 0,
+            visited_evicted: 0,
         }
     }
 
@@ -49,13 +114,30 @@ impl VisitedTable {
     /// prune the path (counted in [`VisitedTable::states_pruned`]).
     ///
     /// Newest entries are probed first: in a loop the most recent trip's
-    /// state is the likeliest cover for a re-converging path.
+    /// state is the likeliest cover for a re-converging path. Candidates
+    /// whose fingerprint matches get a full inclusion probe wherever
+    /// they sit in the chain; mismatched candidates (provably unequal)
+    /// get one only within the newest-first [`STRICT_PROBES`] budget and
+    /// are otherwise dismissed in O(1).
     pub fn is_covered(&mut self, pc: usize, state: &AbsState) -> bool {
+        let fp = state.fingerprint();
+        let mut strict_left = STRICT_PROBES;
         for seen in self.buckets[pc].iter().rev() {
-            self.subset_checks += 1;
-            if state.is_subset_of(seen) {
-                self.states_pruned += 1;
-                return true;
+            let full_probe = if seen.fp == fp {
+                true
+            } else if strict_left > 0 {
+                strict_left -= 1;
+                true
+            } else {
+                self.fingerprint_rejects += 1;
+                false
+            };
+            if full_probe {
+                self.subset_checks += 1;
+                if state.is_subset_of(&seen.state) {
+                    self.states_pruned += 1;
+                    return true;
+                }
             }
         }
         false
@@ -63,26 +145,61 @@ impl VisitedTable {
 
     /// Records `state` as fully explored at `pc`, so later arrivals it
     /// covers are pruned.
+    ///
+    /// Insertion performs **dominance eviction** — the newest
+    /// [`DOMINANCE_PROBES`] entries are dropped if the newcomer includes
+    /// them (their pruning power is subsumed) — and then enforces the
+    /// chain cap by evicting the oldest entry.
     pub fn insert(&mut self, pc: usize, state: AbsState) {
-        self.buckets[pc].push(state);
+        let fp = state.fingerprint();
+        let bucket = &mut self.buckets[pc];
+        let lo = bucket.len().saturating_sub(DOMINANCE_PROBES);
+        for i in (lo..bucket.len()).rev() {
+            self.subset_checks += 1;
+            if bucket[i].state.is_subset_of(&state) {
+                bucket.remove(i);
+                self.visited_evicted += 1;
+            }
+        }
+        while bucket.len() >= self.cap {
+            bucket.remove(0);
+            self.visited_evicted += 1;
+        }
+        bucket.push(Entry { fp, state });
     }
 
-    /// The states recorded at `pc`, in insertion order.
-    #[must_use]
-    pub fn entries(&self, pc: usize) -> &[AbsState] {
-        &self.buckets[pc]
+    /// Notes a prune that happened outside the table — the explorer's
+    /// loop-head summary covering an arrival without a chain probe — so
+    /// the `states_pruned`/`subset_checks` ledger stays complete (the
+    /// cover was established by one inclusion-shaped `flow_join`).
+    pub fn note_summary_prune(&mut self) {
+        self.subset_checks += 1;
+        self.states_pruned += 1;
     }
 
-    /// The join over every state recorded at `pc`, or `None` when the
-    /// instruction was never checkpointed — a single-state summary of a
-    /// checkpoint for diagnostics and tooling. (The explorer itself
-    /// reports per-pc joins through its own accumulator, which also
-    /// covers non-checkpoint instructions.)
+    /// The surviving states recorded at `pc`, oldest first.
+    ///
+    /// This is *insertion order minus evictions*: dominance eviction and
+    /// the chain cap may have removed entries anywhere in (respectively
+    /// the newest and oldest end of) the chain, so consecutive returned
+    /// states need not be consecutive insertions.
+    pub fn entries(&self, pc: usize) -> impl ExactSizeIterator<Item = &AbsState> {
+        self.buckets[pc].iter().map(|e| &e.state)
+    }
+
+    /// The join over every surviving state recorded at `pc`, or `None`
+    /// when the instruction was never checkpointed — a single-state
+    /// summary of a checkpoint for diagnostics and tooling. (The
+    /// explorer itself reports per-pc joins through its own accumulator,
+    /// which also covers non-checkpoint instructions.)
     #[must_use]
     pub fn joined(&self, pc: usize) -> Option<AbsState> {
-        let mut entries = self.buckets[pc].iter();
-        let first = entries.next()?.clone();
-        Some(entries.fold(first, |acc, s| acc.union(s)))
+        let mut entries = self.entries(pc);
+        let first = entries.next()?;
+        // One O(1) clone of the first entry seeds the fold; `union`
+        // already shares unchanged components, so the accumulator never
+        // deep-copies what the entries agree on.
+        Some(entries.fold(first.clone(), |acc, s| acc.union(s)))
     }
 
     /// Total number of states recorded across all instructions.
@@ -97,7 +214,8 @@ impl VisitedTable {
         self.buckets.iter().all(Vec::is_empty)
     }
 
-    /// Inclusion probes performed so far.
+    /// Full inclusion probes performed so far (covering probes plus
+    /// dominance-eviction probes).
     #[must_use]
     pub fn subset_checks(&self) -> u64 {
         self.subset_checks
@@ -107,6 +225,20 @@ impl VisitedTable {
     #[must_use]
     pub fn states_pruned(&self) -> u64 {
         self.states_pruned
+    }
+
+    /// Probe candidates dismissed in O(1) on fingerprint mismatch
+    /// without a full inclusion check.
+    #[must_use]
+    pub fn fingerprint_rejects(&self) -> u64 {
+        self.fingerprint_rejects
+    }
+
+    /// Entries dropped from chains: dominated by a newer insertion, or
+    /// displaced oldest-first by the chain cap.
+    #[must_use]
+    pub fn visited_evicted(&self) -> u64 {
+        self.visited_evicted
     }
 }
 
@@ -129,9 +261,10 @@ mod tests {
         let a = with_r3(1);
         assert!(!table.is_covered(2, &a), "empty bucket covers nothing");
         table.insert(2, a.clone());
-        // Identical state: covered (one probe, one prune).
+        // Identical state: covered (fingerprint match, one probe).
         assert!(table.is_covered(2, &a));
-        // A strictly smaller state is covered too…
+        // A strictly smaller state is covered too (strict-probe path:
+        // its fingerprint differs from the recorded join's)…
         let joined = a.union(&with_r3(5));
         table.insert(2, joined);
         assert!(table.is_covered(2, &with_r3(5)));
@@ -141,8 +274,64 @@ mod tests {
         assert!(!table.is_covered(2, &with_r3(9)));
         assert_eq!(table.states_pruned(), 2);
         assert!(table.subset_checks() >= table.states_pruned());
-        assert_eq!(table.len(), 2);
         assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn dominance_eviction_drops_subsumed_entries() {
+        let mut table = VisitedTable::new(2);
+        let a = with_r3(1);
+        table.insert(1, a.clone());
+        assert_eq!(table.entries(1).len(), 1);
+        // The join subsumes `a`: inserting it evicts `a`, and anything
+        // `a` covered is still covered by the survivor.
+        let joined = a.union(&with_r3(5));
+        table.insert(1, joined);
+        assert_eq!(table.entries(1).len(), 1, "dominated entry evicted");
+        assert_eq!(table.visited_evicted(), 1);
+        assert!(table.is_covered(1, &a), "survivor still covers");
+        // An incomparable insertion evicts nothing.
+        table.insert(1, with_r3(9));
+        assert_eq!(table.entries(1).len(), 2);
+        assert_eq!(table.visited_evicted(), 1);
+    }
+
+    #[test]
+    fn chain_cap_evicts_oldest_first() {
+        let mut table = VisitedTable::with_cap(1, 2);
+        table.insert(0, with_r3(1));
+        table.insert(0, with_r3(2));
+        table.insert(0, with_r3(3)); // displaces with_r3(1)
+        assert_eq!(table.entries(0).len(), 2);
+        assert_eq!(table.visited_evicted(), 1);
+        // The oldest entry is gone: its state no longer covers.
+        assert!(!table.is_covered(0, &with_r3(1)));
+        assert!(table.is_covered(0, &with_r3(3)), "newest survives");
+        // cap == 0 means unbounded.
+        let mut unbounded = VisitedTable::with_cap(1, 0);
+        for k in 0..100 {
+            unbounded.insert(0, with_r3(k));
+        }
+        assert_eq!(unbounded.entries(0).len(), 100);
+        assert_eq!(unbounded.visited_evicted(), 0);
+    }
+
+    #[test]
+    fn fingerprint_mismatches_skip_deep_probes_past_the_budget() {
+        let mut table = VisitedTable::with_cap(1, 0);
+        for k in 0..16 {
+            table.insert(0, with_r3(100 + k));
+        }
+        let checks_before = table.subset_checks();
+        // An incomparable arrival: every candidate's fingerprint
+        // mismatches, so only the strict-probe budget runs deep checks
+        // and the rest are O(1) rejects.
+        assert!(!table.is_covered(0, &with_r3(7)));
+        assert_eq!(table.subset_checks() - checks_before, 2);
+        assert_eq!(table.fingerprint_rejects(), 14);
+        // An arrival *equal* to the oldest entry is still found: the
+        // fingerprint match forces the deep probe wherever it sits.
+        assert!(table.is_covered(0, &with_r3(100)));
     }
 
     #[test]
@@ -155,5 +344,6 @@ mod tests {
         let r3 = j.reg(Reg::R3).as_scalar().unwrap();
         assert!(r3.contains(1) && r3.contains(4));
         assert_eq!(table.entries(1).len(), 2);
+        assert_eq!(table.len(), 2);
     }
 }

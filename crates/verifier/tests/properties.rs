@@ -304,3 +304,264 @@ fn subreg_contains_low_half() {
         assert!(a.subreg().contains(x & 0xffff_ffff));
     }
 }
+
+// ---- Fingerprints: soundness of the O(1) equality reject ----
+//
+// The visited table dismisses probe candidates whose fingerprint differs
+// from the arrival's without running the pointwise comparison. That is
+// sound exactly when fingerprint inequality implies state inequality —
+// equivalently (contrapositive), when equal states always fingerprint
+// equally, regardless of the write history that produced them.
+
+#[test]
+fn fingerprint_inequality_implies_state_inequality() {
+    let mut rng = SplitMix64::new(0xF1A9);
+    for _ in 0..CASES {
+        // Two random states: the fingerprint comparison must never
+        // contradict structural equality in either direction.
+        let (a, _) = state_and_members(&mut rng);
+        let (b, _) = state_and_members(&mut rng);
+        if a.fingerprint() != b.fingerprint() {
+            assert_ne!(a, b, "fingerprint mismatch on equal states");
+        }
+        if a == b {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+}
+
+#[test]
+fn equal_states_fingerprint_equally_across_histories() {
+    // The same contents reached through different write orders,
+    // overwrites, clone-then-materialize chains, and joins must
+    // fingerprint identically — the incremental maintenance may never
+    // depend on history.
+    let mut rng = SplitMix64::new(0xF1B0);
+    for _ in 0..CASES {
+        let (target, _) = state_and_members(&mut rng);
+        // Rebuild the same contents in shuffled order with decoy writes.
+        let mut rebuilt = AbsState::entry();
+        for &reg in STATE_REGS.iter().rev() {
+            let (decoy, _) = scalar_and_member(&mut rng);
+            rebuilt.set_reg(reg, RegValue::Scalar(decoy));
+        }
+        for &off in &STATE_SLOTS {
+            rebuilt.set_stack_slot(off, StackSlot::Misc);
+        }
+        for &off in STATE_SLOTS.iter().rev() {
+            rebuilt.set_stack_slot(off, target.stack_slot(off).unwrap());
+        }
+        for &reg in &STATE_REGS {
+            rebuilt.set_reg(reg, target.reg(reg));
+        }
+        assert_eq!(rebuilt, target);
+        assert_eq!(
+            rebuilt.fingerprint(),
+            target.fingerprint(),
+            "history-dependent fingerprint"
+        );
+        // A materialized clone keeps the fingerprint of its contents.
+        let mut cloned = target.clone();
+        cloned.set_reg(Reg::R3, RegValue::unknown_scalar());
+        cloned.set_reg(Reg::R3, target.reg(Reg::R3));
+        assert_eq!(cloned.fingerprint(), target.fingerprint());
+        // Self-join is a no-op on contents, hence on the fingerprint.
+        assert_eq!(target.union(&target).fingerprint(), target.fingerprint());
+    }
+}
+
+// ---- Chunked frames: bit-identical to whole-frame semantics ----
+//
+// The stack frame is stored as 8 copy-on-write chunks of 8 slots. The
+// reference model below is the *old* whole-frame semantics: a flat
+// 64-slot array with every lattice operation applied pointwise. The
+// chunked representation must be observationally identical, slot for
+// slot, on every operation — chunk routing, boundary straddling, and
+// per-chunk short-circuits may never change a result.
+
+/// All well-formed tnums of width `w` (value and mask within the low
+/// `w` bits, no overlap): the 3^w patterns of the exhaustive campaigns.
+fn tnums_of_width(w: u32) -> Vec<Tnum> {
+    let top = 1u64 << w;
+    let mut out = Vec::new();
+    for value in 0..top {
+        for mask in 0..top {
+            if value & mask == 0 {
+                out.push(Tnum::masked(value, mask));
+            }
+        }
+    }
+    out
+}
+
+/// The whole-frame reference for one slot of [`AbsState::flow_join`]:
+/// mirror of the engine's per-component flow (skip included arrivals,
+/// otherwise join, with optional delay-0 widening).
+fn flat_flow(cur: StackSlot, inc: StackSlot, widen: bool) -> StackSlot {
+    if inc == cur || inc.is_subset_of(cur) {
+        return cur;
+    }
+    let grown = cur.union(inc);
+    if widen {
+        cur.widen(grown)
+    } else {
+        grown
+    }
+}
+
+/// Offset of flat slot index `i` (0..64), covering both chunk interiors
+/// and boundaries.
+fn slot_offset(i: usize) -> i64 {
+    (i as i64) * 8 - 512
+}
+
+#[test]
+fn chunked_frame_matches_flat_model_exhaustively() {
+    // Exhaustive w ≤ 6 slot campaign: every pair of width-≤6 tnum spills
+    // (3^6 = 729 patterns, 531 441 ordered pairs) flows through
+    // union / inclusion / join-flow / widen at the *state* level, packed
+    // 64 pairs per state so chunk boundaries and interiors are both
+    // exercised, and every slot of the result is compared against the
+    // flat whole-frame model.
+    let tnums = tnums_of_width(6);
+    let pairs: Vec<(StackSlot, StackSlot)> = tnums
+        .iter()
+        .flat_map(|&a| {
+            tnums.iter().map(move |&b| {
+                (
+                    StackSlot::Spill(RegValue::Scalar(Scalar::from_tnum(a))),
+                    StackSlot::Spill(RegValue::Scalar(Scalar::from_tnum(b))),
+                )
+            })
+        })
+        .collect();
+    // Sprinkle the non-spill variants into the stream at a fixed cadence
+    // so Uninit/Misc routing is part of the same campaign.
+    let variant = |slot: StackSlot, k: usize| match k % 16 {
+        3 => StackSlot::Uninit,
+        11 => StackSlot::Misc,
+        _ => slot,
+    };
+    for (batch_idx, batch) in pairs.chunks(64).enumerate() {
+        let mut a = AbsState::entry();
+        let mut b = AbsState::entry();
+        for (i, &(sa, sb)) in batch.iter().enumerate() {
+            a.set_stack_slot(slot_offset(i), variant(sa, batch_idx + i));
+            b.set_stack_slot(slot_offset(i), variant(sb, batch_idx + i + 7));
+        }
+        let union = a.union(&b);
+        let widened = a.widen(&b);
+        let mut flowed = a.clone();
+        flowed.flow_join(&b, None);
+        let mut subset_expected = true;
+        for (i, &(sa, sb)) in batch.iter().enumerate() {
+            let (sa, sb) = (variant(sa, batch_idx + i), variant(sb, batch_idx + i + 7));
+            let off = slot_offset(i);
+            assert_eq!(
+                union.stack_slot(off).unwrap(),
+                sa.union(sb),
+                "slot {i}: chunked union diverges from flat model"
+            );
+            assert_eq!(
+                flowed.stack_slot(off).unwrap(),
+                flat_flow(sa, sb, false),
+                "slot {i}: chunked flow-join diverges from flat model"
+            );
+            assert_eq!(
+                widened.stack_slot(off).unwrap(),
+                flat_flow(sa, sb, true),
+                "slot {i}: chunked widening diverges from flat model"
+            );
+            subset_expected &= sa.is_subset_of(sb);
+        }
+        assert_eq!(
+            a.is_subset_of(&b),
+            subset_expected,
+            "chunked inclusion diverges from the flat conjunction"
+        );
+    }
+}
+
+#[test]
+fn chunked_frame_matches_flat_model_on_random_op_sequences() {
+    // Randomized mirror-model test: a chunked state and a flat 64-slot
+    // array absorb the same random writes, smears, and merges; after
+    // every step all 64 observable slots must agree. Smear ranges are
+    // drawn to straddle chunk boundaries as often as not.
+    const SLOT_COUNT: usize = 64;
+    let mut rng = SplitMix64::new(0xC4B7);
+    for _ in 0..64 {
+        let mut state = AbsState::entry();
+        let mut flat = [StackSlot::Uninit; SLOT_COUNT];
+        for _ in 0..48 {
+            match rng.below(4) {
+                0 => {
+                    let i = rng.below(SLOT_COUNT as u64) as usize;
+                    let (s, _) = scalar_and_member(&mut rng);
+                    let slot = StackSlot::Spill(RegValue::Scalar(s));
+                    state.set_stack_slot(slot_offset(i), slot);
+                    flat[i] = slot;
+                }
+                1 => {
+                    // A byte-granular smear across up to 4 chunks.
+                    let start = -(rng.range(1, 512) as i64);
+                    let len = rng.range(1, 256) as i64;
+                    let end = (start + len).min(0);
+                    state.smear_stack(start, end);
+                    for (i, slot) in flat.iter_mut().enumerate() {
+                        let lo = slot_offset(i);
+                        if lo < end && lo + 8 > (start & !7) {
+                            *slot = StackSlot::Misc;
+                        }
+                    }
+                }
+                2 => {
+                    // Merge with a random partner, mirrored flatly.
+                    let (partner, _) = state_and_members(&mut rng);
+                    let widen = rng.coin();
+                    for (i, slot) in flat.iter_mut().enumerate() {
+                        let p = partner.stack_slot(slot_offset(i)).unwrap();
+                        *slot = flat_flow(*slot, p, widen);
+                    }
+                    if widen {
+                        state = state.widen(&partner);
+                    } else {
+                        state.flow_join(&partner, None);
+                    }
+                }
+                _ => {
+                    // Clone-and-diverge: copy-on-write must isolate the
+                    // original from writes through the clone.
+                    let mut fork = state.clone();
+                    let i = rng.below(SLOT_COUNT as u64) as usize;
+                    fork.set_stack_slot(slot_offset(i), StackSlot::Misc);
+                }
+            }
+            for (i, &expected) in flat.iter().enumerate() {
+                assert_eq!(
+                    state.stack_slot(slot_offset(i)).unwrap(),
+                    expected,
+                    "slot {i} diverged from the flat model"
+                );
+            }
+        }
+        // The range-initialization view agrees with the flat model too.
+        for _ in 0..8 {
+            let start = -(rng.range(1, 512) as i64);
+            let end = (start + rng.range(1, 128) as i64).min(0);
+            let expect = (0..SLOT_COUNT).all(|i| {
+                let lo = slot_offset(i);
+                if lo < end && lo + 8 > (start & !7) {
+                    flat[i].is_initialized()
+                } else {
+                    true
+                }
+            });
+            assert_eq!(
+                state.stack_range_initialized(start, end),
+                expect,
+                "range [{start}, {end}) initialization diverged"
+            );
+        }
+    }
+}

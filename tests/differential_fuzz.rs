@@ -644,3 +644,124 @@ fn byte_round_trip_of_random_programs() {
         assert_eq!(reasm, prog);
     }
 }
+
+#[test]
+fn eviction_and_chain_caps_never_change_verdicts() {
+    // Pruning-table hygiene — fingerprint-gated probes, dominance
+    // eviction, and per-pc chain caps — is a pure optimization: dropping
+    // (or never consulting) a visited entry can only mean re-exploring a
+    // path, never accepting or rejecting differently. Run the loopy and
+    // store-verdict corpora under the path-sensitive strategy across the
+    // whole cap spectrum — unbounded chains (0), the default (32), and
+    // pathologically tiny caps that evict almost everything — and
+    // require identical verdicts; on acceptance, also identical per-pc
+    // report states at the exit (the join over explored paths must not
+    // depend on table hygiene).
+    let caps: [u32; 4] = [0, 32, 2, 1];
+    let sessions: Vec<VerificationSession> = caps
+        .iter()
+        .map(|&visited_cap| {
+            VerificationSession::new()
+                .with_strategy(Strategy::PathSensitive)
+                .with_options(AnalyzerOptions {
+                    visited_cap,
+                    unroll_k: 4, // force the widening fallback + summaries
+                    ..AnalyzerOptions::default()
+                })
+        })
+        .collect();
+    let mut rng = SplitMix64::new(0xE71C);
+    let (mut accepts, mut rejects) = (0u32, 0u32);
+    for round in 0..60 {
+        // Alternate bounded loops (both guard widths) with store-verdict
+        // programs whose mask decides accept/reject.
+        let prog = if round % 2 == 0 {
+            let width = if round % 4 == 0 {
+                Width::W64
+            } else {
+                Width::W32
+            };
+            random_loop_program_at(&mut rng, 8, width)
+        } else {
+            let mask = [7i32, 15, 31, 63][rng.below(4) as usize];
+            let mut insns = seed_regs(&mut rng);
+            for _ in 0..6 {
+                insns.push(random_alu_insn(&mut rng));
+            }
+            insns.extend([
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::And,
+                    dst: Reg::R3,
+                    src: Src::Imm(mask),
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Mov,
+                    dst: Reg::R9,
+                    src: Src::Reg(Reg::R10),
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Add,
+                    dst: Reg::R9,
+                    src: Src::Imm(-16),
+                },
+                Insn::Alu {
+                    width: Width::W64,
+                    op: AluOp::Add,
+                    dst: Reg::R9,
+                    src: Src::Reg(Reg::R3),
+                },
+                Insn::Store {
+                    size: ebpf::MemSize::B,
+                    base: Reg::R9,
+                    off: 0,
+                    src: Src::Imm(0),
+                },
+                Insn::Exit,
+            ]);
+            Program::new(insns).expect("store programs validate")
+        };
+        let results: Vec<_> = sessions.iter().map(|s| s.run(&prog)).collect();
+        let baseline_ok = results[0].is_ok();
+        if baseline_ok {
+            accepts += 1;
+        } else {
+            rejects += 1;
+        }
+        for (cap, result) in caps.iter().zip(results.iter()).skip(1) {
+            assert_eq!(
+                result.is_ok(),
+                baseline_ok,
+                "round {round}: visited_cap={cap} changed the verdict\n{}",
+                prog.disassemble(),
+            );
+        }
+        let exit_pc = prog.len() - 1;
+        if let Ok(baseline) = &results[0] {
+            for (cap, result) in caps.iter().zip(results.iter()).skip(1) {
+                let analysis = result.as_ref().expect("same verdict");
+                match (
+                    baseline.state_before(exit_pc),
+                    analysis.state_before(exit_pc),
+                ) {
+                    (Some(b), Some(a)) => assert!(
+                        a.is_subset_of(b) && b.is_subset_of(a),
+                        "round {round}: visited_cap={cap} changed the exit state\n{}",
+                        prog.disassemble(),
+                    ),
+                    (b, a) => assert_eq!(
+                        b.is_none(),
+                        a.is_none(),
+                        "round {round}: visited_cap={cap} changed exit reachability"
+                    ),
+                }
+            }
+        }
+    }
+    assert!(
+        accepts > 5 && rejects > 5,
+        "campaign must exercise both verdicts: {accepts} accepts, {rejects} rejects"
+    );
+}
