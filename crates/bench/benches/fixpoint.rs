@@ -72,12 +72,45 @@ fn main() {
     // timings).
     let stats = fixpoint_suite::collect_stats();
 
+    // The batched-throughput family: the 64-program mixed batch at each
+    // worker count, cold memo cache per configuration.
+    let throughput = fixpoint_suite::throughput_rows();
+
     if let Ok(path) = std::env::var("BENCH_JSON") {
-        let doc = fixpoint_suite::to_json("fixpoint_sweep", group.rows(), &stats);
+        let doc = fixpoint_suite::to_json("fixpoint_sweep", group.rows(), &stats, &throughput);
         std::fs::write(&path, doc).expect("write bench baseline");
         eprintln!("wrote baseline to {path}");
     }
     group.finish();
+
+    println!("\n## batched throughput (64 mixed programs)\n");
+    let throughput_table: Vec<Vec<String>> = throughput
+        .iter()
+        .map(|(label, s)| {
+            vec![
+                label.clone(),
+                format!("{:.1}", s.programs_per_sec()),
+                format!("{:.1}%", s.memo_hit_rate() * 100.0),
+                s.memo_hits.to_string(),
+                s.memo_misses.to_string(),
+                s.memo_evicted.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "configuration",
+                "programs/sec",
+                "memo hit rate",
+                "hits",
+                "misses",
+                "evicted"
+            ],
+            &throughput_table
+        )
+    );
 
     // Render the sharing and pruning counters alongside the timings.
     println!("\n## fixpoint_sweep state sharing and pruning\n");

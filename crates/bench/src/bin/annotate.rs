@@ -1,6 +1,9 @@
 //! `annotate` — the repo's user-facing verifier tool: assemble a program
 //! (from a file or stdin), run the static analyzer, and print either the
-//! annotated verifier log or the rejection diagnosis.
+//! annotated verifier log or the rejection diagnosis. With `--dir` it
+//! instead verifies every `.ebpf` fixture in a directory through the
+//! batched engine ([`VerificationSession::run_batch`]) and prints a
+//! per-program verdict table plus the throughput roll-up.
 //!
 //! Usage:
 //!
@@ -8,49 +11,28 @@
 //! cargo run -p bench --release --bin annotate -- --file prog.s \
 //!     [--strategy fixpoint|path] [--ctx-size 64] [--strict-alignment] \
 //!     [--no-refine] [--reject-loops] [--widen-delay 16] \
-//!     [--unroll-k 32] [--visited-cap 32] [--no-thresholds] [--budget 1000000]
+//!     [--unroll-k 32] [--visited-cap 32] [--no-thresholds] \
+//!     [--budget 1000000] [--no-memo]
+//! cargo run -p bench --release --bin annotate -- --dir fixtures \
+//!     [--jobs 4] [--strategy path] [--no-memo]
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
 //!
-//! Exit status: 0 when the program is accepted, 1 when rejected, 2 on
-//! assembly or usage errors.
+//! Exit status: 0 when every program is accepted, 1 when any is
+//! rejected, 2 on assembly or usage errors.
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bench::cli::Args;
 use ebpf::asm::assemble;
-use verifier::{AnalyzerOptions, Strategy, VerificationSession};
+use ebpf::Program;
+use verifier::{AnalyzerOptions, Strategy, TransferMemo, VerificationSession};
 
 fn main() -> ExitCode {
     let args = Args::parse();
-    let source = match args_file(&args) {
-        Some(path) => match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => {
-            let mut s = String::new();
-            if std::io::stdin().read_to_string(&mut s).is_err() {
-                eprintln!("cannot read stdin");
-                return ExitCode::from(2);
-            }
-            s
-        }
-    };
-
-    let prog = match assemble(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("assembly error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
     let strategy = match args.get_str("strategy") {
         None | Some("fixpoint") => Strategy::WideningFixpoint,
         Some("path") => Strategy::PathSensitive,
@@ -76,10 +58,52 @@ fn main() -> ExitCode {
         visited_cap: args
             .get_u64("visited-cap", u64::from(defaults.visited_cap))
             .min(u64::from(u32::MAX)) as u32,
+        memo_cache: if args.has("no-memo") {
+            None
+        } else {
+            Some(Arc::new(TransferMemo::new()))
+        },
     };
     let session = VerificationSession::new()
         .with_options(options)
         .with_strategy(strategy);
+
+    if let Some(dir) = args.get_str("dir") {
+        let jobs = args.get_u64("jobs", 0).min(u64::from(u16::MAX)) as usize;
+        return run_dir(&session, dir, jobs);
+    }
+    run_single(&args, &session)
+}
+
+/// The classic single-program mode: one source from `--file` or stdin,
+/// the annotated log (or rejection diagnosis) on stdout.
+fn run_single(args: &Args, session: &VerificationSession) -> ExitCode {
+    let source = match args.get_str("file") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("cannot read stdin");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let prog = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
     match session.run(&prog) {
         Ok(analysis) => {
             println!(
@@ -102,8 +126,86 @@ fn main() -> ExitCode {
     }
 }
 
-fn args_file(args: &Args) -> Option<String> {
-    // Args only exposes typed getters; reuse the u64 API convention by
-    // reading the raw value through a tiny shim.
-    args.get_str("file").map(str::to_string)
+/// The batch mode: every `.ebpf` file under `dir` (sorted by name),
+/// verified concurrently through [`VerificationSession::run_batch`],
+/// reported as a verdict table plus the throughput summary.
+fn run_dir(session: &VerificationSession, dir: &str, jobs: usize) -> ExitCode {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "ebpf"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read directory {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .ebpf fixtures under {dir}");
+        return ExitCode::from(2);
+    }
+
+    let mut names = Vec::new();
+    let mut progs: Vec<Program> = Vec::new();
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match assemble(&source) {
+            Ok(p) => {
+                names.push(
+                    path.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| path.display().to_string()),
+                );
+                progs.push(p);
+            }
+            Err(e) => {
+                eprintln!("assembly error in {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = session.run_batch(&progs, jobs);
+    let name_width = names.iter().map(String::len).max().unwrap_or(4).max(4);
+    println!("{:<name_width$}  {:>5}  verdict", "file", "insns");
+    let mut rejected = 0usize;
+    for (name, (prog, result)) in names.iter().zip(progs.iter().zip(&report.results)) {
+        match result {
+            Ok(_) => println!("{name:<name_width$}  {:>5}  ACCEPTED", prog.len()),
+            Err(e) => {
+                rejected += 1;
+                println!("{name:<name_width$}  {:>5}  REJECTED: {e}", prog.len());
+            }
+        }
+    }
+    let stats = &report.stats;
+    println!(
+        "\n{} programs ({} accepted, {} rejected) in {:.1} ms on {} jobs: {:.1} programs/sec",
+        stats.programs,
+        stats.accepted,
+        stats.rejected,
+        stats.elapsed.as_secs_f64() * 1e3,
+        stats.jobs,
+        stats.programs_per_sec()
+    );
+    println!(
+        "memo: {} hits / {} misses ({:.1}% hit rate), {} evicted",
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.memo_hit_rate() * 100.0,
+        stats.memo_evicted
+    );
+    if rejected == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

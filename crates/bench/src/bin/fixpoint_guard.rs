@@ -1,7 +1,7 @@
 //! `fixpoint_guard` — the CI smoke check for the exploration engines:
 //! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
-//! totals against the committed `BENCH_PR5.json` baseline, and fails
-//! when any of three deterministic counters regresses by more than 20%:
+//! totals against the committed `BENCH_PR6.json` baseline, and fails
+//! when any of the gated quantities regresses by more than 20%:
 //!
 //! * **`states_allocated`** (absolute total): a refactor that quietly
 //!   re-introduces clone-everything state propagation fails CI;
@@ -14,15 +14,23 @@
 //!   chain-scan growth the fingerprint-indexed table eliminated; a
 //!   change that reopens it (losing the fingerprint gate, the chain
 //!   cap, or dominance eviction) fails CI long before the wall-clock
-//!   noise would show it.
+//!   noise would show it;
+//! * **`memo_hits`** (absolute total): the transfer-memo counters the
+//!   sweep reports deterministically — a change that silently disables
+//!   or misses the cache fails CI;
+//! * **batched `programs_per_sec` at jobs=4** (wall-clock, best of
+//!   three runs of the 64-program mixed batch): the one timing-based
+//!   gate, guarding the batch engine's throughput against a >20%
+//!   regression on the same runner class that produced the baseline.
 //!
-//! The counters are deterministic (unlike the timings), so this is a
-//! stable gate even on noisy runners.
+//! The counter gates are deterministic (unlike the timings), so they
+//! are stable even on noisy runners; the throughput gate takes the best
+//! of three runs to shave scheduler noise.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR5.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR6.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -33,6 +41,7 @@ use std::process::ExitCode;
 use bench::cli::Args;
 use bench::fixpoint_suite;
 use bench::table;
+use verifier::VerificationSession;
 
 /// Allowed regression over the committed baseline, in percent — applied
 /// to the allocation total, the pruned-state ratio, and the deep-unroll
@@ -45,11 +54,15 @@ const TOLERANCE_PERCENT: u64 = 20;
 /// table).
 const DEEP_UNROLL_LABEL: &str = "path/trips=1024/unroll=64";
 
+/// The throughput configuration the wall-clock gate replays: the
+/// 64-program mixed batch on four workers.
+const THROUGHPUT_GATE_JOBS: usize = 4;
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR5.json")
+        .unwrap_or("BENCH_PR6.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -63,6 +76,8 @@ fn main() -> ExitCode {
     let checks: u64 = stats.iter().map(|(_, s)| s.subset_checks).sum();
     let fp_rejects: u64 = stats.iter().map(|(_, s)| s.fingerprint_rejects).sum();
     let evicted: u64 = stats.iter().map(|(_, s)| s.visited_evicted).sum();
+    let memo_hits: u64 = stats.iter().map(|(_, s)| s.memo_hits).sum();
+    let memo_misses: u64 = stats.iter().map(|(_, s)| s.memo_misses).sum();
     let deep_checks = stats
         .iter()
         .find(|(label, _)| label == DEEP_UNROLL_LABEL)
@@ -82,6 +97,8 @@ fn main() -> ExitCode {
         vec!["subset checks".to_string(), checks.to_string()],
         vec!["fingerprint rejects".to_string(), fp_rejects.to_string()],
         vec!["visited evicted".to_string(), evicted.to_string()],
+        vec!["memo hits".to_string(), memo_hits.to_string()],
+        vec!["memo misses".to_string(), memo_misses.to_string()],
     ];
     println!(
         "{}",
@@ -158,6 +175,59 @@ fn main() -> ExitCode {
             "fixpoint_guard: deep-unroll subset_checks regressed: {deep_checks} > {deep_budget} \
              (baseline {base_deep} + {TOLERANCE_PERCENT}%) — the visited table is scanning \
              chains it should fingerprint-reject, cap, or evict"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Memo-hit gate: a change that silently disables the transfer memo
+    // (or makes its keys stop matching) drops the deterministic
+    // per-sweep hit total.
+    let Some(base_hits) = fixpoint_suite::total_field_in_json(&doc, "memo_hits") else {
+        eprintln!("fixpoint_guard: {path} carries no memo_hits stats");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "baseline memo {base_hits} hits, current {memo_hits}/{} lookups \
+         (tolerance -{TOLERANCE_PERCENT}%)",
+        memo_hits + memo_misses
+    );
+    if memo_hits * 100 < base_hits * (100 - TOLERANCE_PERCENT) {
+        eprintln!(
+            "fixpoint_guard: memo hits regressed: {memo_hits} is more than \
+             {TOLERANCE_PERCENT}% below the baseline {base_hits} — the transfer \
+             memo stopped serving lookups it used to"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Batched-throughput gate (the one wall-clock check): replay the
+    // 64-program mixed batch at jobs=4, best of three, against the
+    // baseline rate.
+    let gate_label = fixpoint_suite::throughput_label(THROUGHPUT_GATE_JOBS);
+    let Some(base_rate) =
+        fixpoint_suite::label_float_in_json(&doc, &gate_label, "programs_per_sec")
+    else {
+        eprintln!("fixpoint_guard: {path} carries no {gate_label} programs_per_sec");
+        return ExitCode::FAILURE;
+    };
+    let batch = fixpoint_suite::throughput_batch();
+    let rate = (0..3)
+        .map(|_| {
+            let report = VerificationSession::new().run_batch(&batch, THROUGHPUT_GATE_JOBS);
+            assert_eq!(report.stats.rejected, 0, "throughput batch stays safe");
+            report.stats.programs_per_sec()
+        })
+        .fold(0.0f64, f64::max);
+    let floor =
+        base_rate * f64::from(100 - u32::try_from(TOLERANCE_PERCENT).expect("small")) / 100.0;
+    println!(
+        "baseline {gate_label} {base_rate:.1} programs/sec, floor {floor:.1} \
+         (-{TOLERANCE_PERCENT}%), current {rate:.1} (best of 3)"
+    );
+    if rate < floor {
+        eprintln!(
+            "fixpoint_guard: batched throughput regressed: {rate:.1} programs/sec is more \
+             than {TOLERANCE_PERCENT}% below the baseline {base_rate:.1} at jobs={THROUGHPUT_GATE_JOBS}"
         );
         return ExitCode::FAILURE;
     }

@@ -4,15 +4,16 @@
 //! (path-sensitive strategy), the two-back-edge pruning workload, the
 //! spill-heavy workload behind the chunked-frame `bytes_materialized`
 //! numbers, the visited-cap ablation at the deep-unroll point, the
-//! [`AnalysisStats`] collection, and the hand-rolled JSON baseline
-//! format (`BENCH_PR5.json`).
+//! batched `throughput/` family (the 64-program mixed batch per worker
+//! count), the [`AnalysisStats`] collection, and the hand-rolled JSON
+//! baseline format (`BENCH_PR6.json`).
 //!
 //! Keeping the sweep definition in one place guarantees the guard checks
 //! exactly the configurations the committed baseline was produced from.
 
 use ebpf::asm::assemble;
 use ebpf::Program;
-use verifier::{AnalysisStats, AnalyzerOptions, Strategy, VerificationSession};
+use verifier::{AnalysisStats, AnalyzerOptions, BatchStats, Strategy, VerificationSession};
 
 /// A memset-style loop over a 16-byte buffer with a masked index, safe
 /// for every trip count; `trips` only changes how long the counter
@@ -92,6 +93,93 @@ pub fn spill_loop(trips: u32) -> Program {
         "
     ))
     .expect("assembles")
+}
+
+/// A loop-free packet-filter-style program: an untrusted byte bounded
+/// by a branch guard (`bound` ≤ 63 keeps the store inside the 64-byte
+/// window), a checked store, and a pure scalar ALU tail — the acyclic
+/// workload in the mixed throughput batch, and a memo-friendly one (the
+/// ALU tail repeats across `bound` variants).
+///
+/// # Panics
+///
+/// Panics when `bound > 63` (the store would not be provable).
+#[must_use]
+pub fn packet_filter(bound: u32) -> Program {
+    assert!(bound <= 63, "bound {bound} would defeat the bounds proof");
+    assemble(&format!(
+        r"
+            r2 = *(u8 *)(r1 + 0)
+            if r2 > {bound} goto drop
+            r3 = r10
+            r3 += -64
+            r3 += r2
+            *(u8 *)(r3 + 0) = 1
+            r4 = r2
+            r4 <<= 2
+            r4 += 14
+            r4 &= 255
+            r0 = r4
+            exit
+        drop:
+            r0 = 0
+            exit
+        "
+    ))
+    .expect("assembles")
+}
+
+/// Programs in the mixed throughput batch.
+pub const THROUGHPUT_BATCH: usize = 64;
+
+/// Worker counts the throughput family sweeps.
+pub const THROUGHPUT_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// The 64-program mixed batch behind the `throughput/` bench family:
+/// loopy workloads (masked memset at varied trip counts, the
+/// two-back-edge loop, the spill loop) interleaved with loop-free
+/// packet filters, so work stealing has real cost variance to level and
+/// the shared memo cache sees both repeated and fresh transfer
+/// arguments.
+#[must_use]
+pub fn throughput_batch() -> Vec<Program> {
+    (0..THROUGHPUT_BATCH)
+        .map(|i| {
+            let k = (i / 4) as u32;
+            match i % 4 {
+                0 => masked_memset(4 + (k % 8) * 8),
+                1 => packet_filter(7 + (k % 8) * 8),
+                2 => two_back_edge(),
+                _ => spill_loop(8 + (k % 8) * 8),
+            }
+        })
+        .collect()
+}
+
+/// The baseline label of one throughput configuration.
+#[must_use]
+pub fn throughput_label(jobs: usize) -> String {
+    format!("throughput/batch={THROUGHPUT_BATCH}/jobs={jobs}")
+}
+
+/// Runs the mixed batch once per [`THROUGHPUT_JOBS`] worker count —
+/// each on a fresh session, so every configuration starts from a cold
+/// memo cache — and returns the `(label, stats)` rows the baseline
+/// document records.
+#[must_use]
+pub fn throughput_rows() -> Vec<(String, BatchStats)> {
+    let batch = throughput_batch();
+    THROUGHPUT_JOBS
+        .iter()
+        .map(|&jobs| {
+            let report = VerificationSession::new().run_batch(&batch, jobs);
+            assert_eq!(
+                report.stats.rejected, 0,
+                "throughput batch programs are all safe"
+            );
+            (throughput_label(jobs), report.stats)
+        })
+        .collect()
 }
 
 /// Trip counts straddling the default widening delay (16) and the
@@ -214,13 +302,18 @@ pub fn collect_stats() -> Vec<(String, AnalysisStats)> {
         .collect()
 }
 
-/// Serializes timing rows and per-configuration statistics as the
-/// `BENCH_PR5.json` baseline document.
+/// Serializes timing rows, per-configuration statistics, and batched
+/// throughput rows as the `BENCH_PR6.json` baseline document.
+///
+/// Throughput rows deliberately prefix their memo counters
+/// (`batch_memo_hits` etc.) so [`total_field_in_json`] totals over the
+/// per-configuration `stats` rows never absorb batch traffic.
 #[must_use]
 pub fn to_json(
     group: &str,
     timings: &[(String, f64)],
     stats: &[(String, AnalysisStats)],
+    throughput: &[(String, BatchStats)],
 ) -> String {
     let timing_rows: Vec<String> = timings
         .iter()
@@ -235,10 +328,26 @@ pub fn to_json(
             )
         })
         .collect();
+    let throughput_rows: Vec<String> = throughput
+        .iter()
+        .map(|(label, s)| {
+            format!(
+                "    {{\"label\": \"{label}\", \"programs_per_sec\": {:.1}, \
+                 \"accepted\": {}, \"batch_memo_hits\": {}, \
+                 \"batch_memo_misses\": {}, \"batch_memo_evicted\": {}}}",
+                s.programs_per_sec(),
+                s.accepted,
+                s.memo_hits,
+                s.memo_misses,
+                s.memo_evicted
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"group\": \"{group}\",\n  \"results\": [\n{}\n  ],\n  \"stats\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"group\": \"{group}\",\n  \"results\": [\n{}\n  ],\n  \"stats\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ]\n}}\n",
         timing_rows.join(",\n"),
-        stat_rows.join(",\n")
+        stat_rows.join(",\n"),
+        throughput_rows.join(",\n")
     )
 }
 
@@ -304,6 +413,32 @@ pub fn label_field_in_json(doc: &str, label: &str, field: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Extracts one numeric field — integer or decimal — from the row
+/// labelled exactly `label` anywhere in a baseline document written by
+/// [`to_json`]. The float-capable sibling of [`label_field_in_json`],
+/// for the `throughput` rows' `programs_per_sec` rates.
+///
+/// Returns `None` when the label or the field is absent.
+#[must_use]
+pub fn label_float_in_json(doc: &str, label: &str, field: &str) -> Option<f64> {
+    let label_key = format!("\"label\": \"{label}\",");
+    let at = doc.find(&label_key)?;
+    let row = &doc[at + label_key.len()..];
+    // Stay inside this row: the field must appear before the next label.
+    let row = match row.find("\"label\":") {
+        Some(end) => &row[..end],
+        None => row,
+    };
+    let field_key = format!("\"{field}\":");
+    let after = &row[row.find(&field_key)? + field_key.len()..];
+    let number: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    number.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,7 +454,7 @@ mod tests {
         );
         let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
         assert!(total > 0);
-        let doc = to_json("fixpoint_sweep", &[("x".to_string(), 1.0)], &stats);
+        let doc = to_json("fixpoint_sweep", &[("x".to_string(), 1.0)], &stats, &[]);
         assert_eq!(total_allocated_in_json(&doc), Some(total));
         let pruned: u64 = stats.iter().map(|(_, s)| s.states_pruned).sum();
         assert!(pruned > 0, "the sweep must exercise pruning");
@@ -382,6 +517,61 @@ mod tests {
             spills.bytes_materialized < spills.states_allocated * 4096,
             "chunked frames must copy less than whole-frame semantics: {spills:?}"
         );
+    }
+
+    #[test]
+    fn throughput_batch_is_mixed_and_accepted() {
+        let batch = throughput_batch();
+        assert_eq!(batch.len(), THROUGHPUT_BATCH);
+        // Mixed sizes: the batch must contain more than one distinct
+        // program length (loopy and loop-free workloads differ).
+        let mut lens: Vec<usize> = batch.iter().map(ebpf::Program::len).collect();
+        lens.sort_unstable();
+        lens.dedup();
+        assert!(lens.len() > 1, "batch must mix workload shapes: {lens:?}");
+        // A slice through the batched engine: every program accepted,
+        // and the shared cache sees cross-program hits.
+        let report = VerificationSession::new().run_batch(&batch[..8], 2);
+        assert_eq!(report.stats.accepted, 8, "{:?}", report.stats);
+        assert!(report.stats.memo_hits > 0, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn throughput_rows_round_trip_through_json() {
+        use std::time::Duration;
+        let stats = BatchStats {
+            programs: THROUGHPUT_BATCH,
+            accepted: THROUGHPUT_BATCH,
+            rejected: 0,
+            jobs: 4,
+            elapsed: Duration::from_millis(128),
+            per_worker_programs: vec![16; 4],
+            per_worker_visits: vec![100; 4],
+            memo_hits: 375,
+            memo_misses: 225,
+            memo_evicted: 3,
+        };
+        let label = throughput_label(4);
+        let doc = to_json(
+            "fixpoint_sweep",
+            &[],
+            &[],
+            &[(label.clone(), stats.clone())],
+        );
+        let rate = label_float_in_json(&doc, &label, "programs_per_sec").unwrap();
+        assert!((rate - stats.programs_per_sec()).abs() < 0.1, "{rate}");
+        assert_eq!(
+            label_float_in_json(&doc, &label, "batch_memo_hits"),
+            Some(375.0)
+        );
+        assert_eq!(label_float_in_json(&doc, &label, "no_such_field"), None);
+        assert_eq!(
+            label_float_in_json(&doc, "throughput/batch=64/jobs=9", "programs_per_sec"),
+            None
+        );
+        // The prefixed batch counters never leak into the sweep totals.
+        assert_eq!(total_field_in_json(&doc, "memo_hits"), None);
+        assert_eq!(total_field_in_json(&doc, "batch_memo_hits"), Some(375));
     }
 
     #[test]

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod laws;
+pub mod parallel;
 pub mod rng;
 
 use crate::rng::SplitMix64;

@@ -1,0 +1,198 @@
+//! Scoped-thread fan-out shared by the verification campaigns
+//! (`tnum_verify`) and the batched program verifier (`verifier::batch`).
+//!
+//! Two scheduling shapes, both built on `std::thread::scope` (the
+//! workspace is dependency-free — no rayon):
+//!
+//! * [`par_chunks`] — static contiguous chunking, for uniform work like
+//!   exhaustive operand sweeps where every index costs the same;
+//! * [`par_workers`] + [`WorkQueue`] — self-scheduling workers claiming
+//!   indices from a shared atomic queue, for *non-uniform* work like
+//!   verifying a batch of programs whose analysis costs differ by orders
+//!   of magnitude: a worker that drew a cheap program immediately steals
+//!   the next pending one instead of idling behind a static partition.
+//!
+//! Thread counts default to [`default_threads`], which honors the
+//! `TNUM_THREADS` environment variable so CI runs and bench baselines
+//! can pin reproducible worker counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `0..total` into contiguous chunks, runs `work` on each chunk in
+/// its own thread, and returns the per-chunk results in order.
+///
+/// `work` receives the chunk range as `(start, end)`.
+///
+/// # Examples
+///
+/// ```
+/// use domain::parallel::par_chunks;
+/// let partials = par_chunks(1000, 4, |start, end| (start..end).sum::<u64>());
+/// assert_eq!(partials.into_iter().sum::<u64>(), (0..1000).sum());
+/// ```
+pub fn par_chunks<R: Send>(
+    total: u64,
+    threads: usize,
+    work: impl Fn(u64, u64) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(total.max(1) as usize);
+    let chunk = total.div_ceil(threads as u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(total);
+                let work = &work;
+                scope.spawn(move || work(start, end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
+    })
+}
+
+/// A shared claim queue over `0..total`: workers [`claim`](WorkQueue::claim)
+/// the next pending index atomically, so finished workers steal remaining
+/// work instead of idling behind a static partition.
+///
+/// # Examples
+///
+/// ```
+/// use domain::parallel::WorkQueue;
+/// let q = WorkQueue::new(3);
+/// assert_eq!(q.claim(), Some(0));
+/// assert_eq!(q.claim(), Some(1));
+/// assert_eq!(q.claim(), Some(2));
+/// assert_eq!(q.claim(), None);
+/// ```
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl WorkQueue {
+    /// A queue over the indices `0..total`, none claimed yet.
+    #[must_use]
+    pub fn new(total: usize) -> WorkQueue {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claims the next pending index, or `None` when the queue is
+    /// drained. Each index is handed out exactly once across all
+    /// threads.
+    pub fn claim(&self) -> Option<usize> {
+        // `fetch_add` past `total` is harmless: later claimers see an
+        // even larger index and also return None. usize overflow would
+        // need 2^64 calls.
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// The total number of indices this queue hands out.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Runs `work(worker_id)` on `threads` scoped threads and returns the
+/// per-worker results in worker order. `work` typically loops on a
+/// shared [`WorkQueue`] until it drains.
+///
+/// # Examples
+///
+/// ```
+/// use domain::parallel::{par_workers, WorkQueue};
+/// let queue = WorkQueue::new(100);
+/// let claimed = par_workers(4, |_worker| {
+///     let mut sum = 0u64;
+///     while let Some(i) = queue.claim() {
+///         sum += i as u64;
+///     }
+///     sum
+/// });
+/// assert_eq!(claimed.iter().sum::<u64>(), (0..100).sum());
+/// ```
+pub fn par_workers<R: Send>(threads: usize, work: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = threads.max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let work = &work;
+                scope.spawn(move || work(worker))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// A sensible default thread count for this machine: the `TNUM_THREADS`
+/// environment variable when set to a positive integer (CI pins this for
+/// reproducible baselines), otherwise the available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TNUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items_exactly_once() {
+        for threads in [1, 2, 3, 7] {
+            let counts = par_chunks(100, threads, |s, e| e - s);
+            assert_eq!(counts.iter().sum::<u64>(), 100);
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        assert_eq!(par_chunks(0, 4, |s, e| e - s).iter().sum::<u64>(), 0);
+        assert_eq!(par_chunks(1, 8, |s, e| e - s).iter().sum::<u64>(), 1);
+        assert_eq!(par_chunks(3, 8, |s, e| e - s).iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn work_queue_hands_out_each_index_once_across_threads() {
+        let queue = WorkQueue::new(1000);
+        assert_eq!(queue.total(), 1000);
+        let seen = par_workers(4, |_| {
+            let mut mine = Vec::new();
+            while let Some(i) = queue.claim() {
+                mine.push(i);
+            }
+            mine
+        });
+        let mut all: Vec<usize> = seen.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_queue_claims_nothing() {
+        let queue = WorkQueue::new(0);
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -17,18 +17,22 @@
 //!   [`Strategy::WideningFixpoint`], and the [`AnalysisStats`]
 //!   accounting both strategies report.
 
+use std::sync::Arc;
+
 use ebpf::{Program, Reg};
 
+use crate::batch::{self, BatchReport};
 use crate::cfg::Cfg;
 use crate::error::VerifierError;
 use crate::explore::{Exploration, ExplorationStrategy, Strategy};
 use crate::fixpoint::AnalysisStats;
+use crate::memo::TransferMemo;
 use crate::state::AbsState;
 use crate::value::RegValue;
 
 /// Tunable analysis behaviour — each toggle corresponds to a design
 /// choice called out for ablation in `DESIGN.md`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AnalyzerOptions {
     /// Size of the context buffer the program may access via `r1`.
     pub ctx_size: u64,
@@ -80,6 +84,15 @@ pub struct AnalyzerOptions {
     /// (pruning is a pure optimization). Ignored by
     /// [`Strategy::WideningFixpoint`].
     pub visited_cap: u32,
+    /// The fingerprint-keyed transfer memo cache
+    /// ([`TransferMemo`]): pure scalar ALU results and branch
+    /// refinements are cached by `(operation, operand fingerprints)` and
+    /// shared — across the programs of a [`batch`](crate::batch) run
+    /// when sessions share one `Arc` — with full operand equality
+    /// verified before every reuse, so hits can never change a verdict.
+    /// `Some` (a fresh cache) by default; `None` disables memoization
+    /// entirely (for ablations and differential tests).
+    pub memo_cache: Option<Arc<TransferMemo>>,
 }
 
 impl Default for AnalyzerOptions {
@@ -94,6 +107,7 @@ impl Default for AnalyzerOptions {
             analysis_budget: 1_000_000,
             unroll_k: 32,
             visited_cap: 32,
+            memo_cache: Some(Arc::new(TransferMemo::new())),
         }
     }
 }
@@ -110,6 +124,27 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Assembles an analysis from its parts — used by the batch engine
+    /// to rebuild results on the submitting thread after their dense
+    /// `Send` snapshots crossed the worker boundary.
+    pub(crate) fn from_raw(
+        strategy: Strategy,
+        states: Vec<Option<AbsState>>,
+        stats: AnalysisStats,
+    ) -> Analysis {
+        Analysis {
+            strategy,
+            states,
+            stats,
+        }
+    }
+
+    /// The raw per-instruction states, for the batch engine's snapshot
+    /// conversion.
+    pub(crate) fn raw_states(&self) -> &[Option<AbsState>] {
+        &self.states
+    }
+
     /// The program was accepted (an `Analysis` is only produced on
     /// acceptance; this always returns `true` and exists for readable
     /// call sites).
@@ -228,7 +263,7 @@ impl Analysis {
 /// assert_eq!(analysis.strategy(), Strategy::PathSensitive);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct VerificationSession {
     options: AnalyzerOptions,
     strategy: Strategy,
@@ -256,10 +291,11 @@ impl VerificationSession {
         self
     }
 
-    /// The session's analysis options.
+    /// The session's analysis options (the memo cache `Arc` is shared,
+    /// not deep-copied).
     #[must_use]
     pub fn options(&self) -> AnalyzerOptions {
-        self.options
+        self.options.clone()
     }
 
     /// The session's selected strategy.
@@ -283,6 +319,53 @@ impl VerificationSession {
             states,
             stats,
         })
+    }
+
+    /// Verifies a batch of programs concurrently on `jobs` worker
+    /// threads, returning per-program results **in submission order**
+    /// plus a [`BatchStats`](crate::batch::BatchStats) roll-up
+    /// (programs/sec, per-worker distribution, memo traffic).
+    ///
+    /// Every program runs under this session's options and strategy; in
+    /// particular all workers share the session's
+    /// [`AnalyzerOptions::memo_cache`], so scalar transfer results
+    /// computed for one program are reused by the others. Parallelism is
+    /// program-granular (abstract states are `Rc`-backed and never cross
+    /// threads); workers claim programs from a shared queue, so a worker
+    /// that drew cheap programs steals the remaining ones. `jobs == 0`
+    /// selects [`domain::parallel::default_threads`] (which honors the
+    /// `TNUM_THREADS` environment variable).
+    ///
+    /// Per-program heterogeneity (different options or strategies per
+    /// program) goes through [`batch::run`](crate::batch::run) directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ebpf::asm::assemble;
+    /// use verifier::VerificationSession;
+    ///
+    /// let progs = vec![
+    ///     assemble("r0 = 1\nexit")?,
+    ///     assemble("r0 = 2\nexit")?,
+    /// ];
+    /// let report = VerificationSession::new().run_batch(&progs, 2);
+    /// assert_eq!(report.results.len(), 2);
+    /// assert!(report.results.iter().all(|r| r.is_ok()));
+    /// assert_eq!(report.stats.accepted, 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn run_batch(&self, progs: &[Program], jobs: usize) -> BatchReport {
+        let items: Vec<batch::BatchItem> = progs
+            .iter()
+            .map(|prog| batch::BatchItem {
+                prog: prog.clone(),
+                options: self.options.clone(),
+                strategy: self.strategy,
+            })
+            .collect();
+        batch::run(&items, jobs)
     }
 
     /// Explores the program with a caller-supplied
@@ -341,7 +424,7 @@ impl Analyzer {
     /// program must be rejected.
     pub fn analyze(&self, prog: &Program) -> Result<Analysis, VerifierError> {
         VerificationSession::new()
-            .with_options(self.options)
+            .with_options(self.options.clone())
             .run(prog)
     }
 }
@@ -891,7 +974,7 @@ mod tests {
         .unwrap();
         Analyzer::new(AnalyzerOptions {
             ctx_size: 64,
-            ..strict
+            ..strict.clone()
         })
         .analyze(&aligned)
         .expect("aligned access accepted");

@@ -1,0 +1,403 @@
+//! The batched verification engine: verify many programs concurrently
+//! on a scoped-thread worker pool, measured in **programs/sec**.
+//!
+//! This is the "verification-as-a-service" throughput layer from the
+//! ROADMAP: a load-time verifier is rarely handed one program at a time
+//! — it sees fleets (every variant of a packet filter, a CI sweep of
+//! fixtures) — and the per-program analyses are independent. Because
+//! [`AbsState`](crate::AbsState) is `Rc`-backed and `!Send`,
+//! parallelism is **program-granular**: each worker owns every state it
+//! allocates, and nothing `Rc`-backed ever crosses a thread boundary.
+//! Two mechanisms make the pool more than N independent loops:
+//!
+//! * **Work stealing.** Workers claim programs from a shared
+//!   [`WorkQueue`] instead of a static partition, so a worker that drew
+//!   cheap acyclic programs immediately steals the remaining loopy
+//!   ones. Analysis costs within one batch differ by orders of
+//!   magnitude, which is exactly when static chunking idles.
+//! * **Cross-program memoization.** All items can share one
+//!   [`TransferMemo`](crate::memo::TransferMemo) (the default when
+//!   batching through
+//!   [`VerificationSession::run_batch`]): pure scalar transfer results
+//!   computed while verifying one program are reused by every other,
+//!   with full operand equality checked before each reuse.
+//!
+//! Results come back **in submission order** as real
+//! [`Analysis`] values: each worker flattens its per-instruction states
+//! into dense `Copy` snapshots (which *are* `Send`), and the submitting
+//! thread rebuilds them — fingerprints and all — after the scope joins.
+
+use std::time::{Duration, Instant};
+
+use domain::parallel::{default_threads, par_workers, WorkQueue};
+use ebpf::Program;
+
+use crate::analyzer::{Analysis, AnalyzerOptions, VerificationSession};
+use crate::error::VerifierError;
+use crate::explore::Strategy;
+use crate::fixpoint::AnalysisStats;
+use crate::memo;
+use crate::state::{AbsState, StackSlot, REGS, SLOTS};
+use crate::value::RegValue;
+
+/// One unit of batch work: a program with its own options and strategy.
+/// Heterogeneous batches (per-program configuration) are first-class;
+/// [`VerificationSession::run_batch`] builds homogeneous ones sharing
+/// the session's options — including its memo cache `Arc`.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// The program to verify.
+    pub prog: Program,
+    /// The analysis options for this program. Items whose options hold
+    /// the same `memo_cache` `Arc` share cached transfer results.
+    pub options: AnalyzerOptions,
+    /// The exploration strategy for this program.
+    pub strategy: Strategy,
+}
+
+/// The roll-up of one batch run: throughput, verdict counts, how the
+/// work spread across workers, and the memo-cache traffic.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Programs submitted.
+    pub programs: usize,
+    /// Programs accepted.
+    pub accepted: usize,
+    /// Programs rejected (any [`VerifierError`]).
+    pub rejected: usize,
+    /// Worker threads the pool actually ran.
+    pub jobs: usize,
+    /// Wall-clock time from first claim to scope join.
+    pub elapsed: Duration,
+    /// Programs each worker claimed — the work-stealing distribution.
+    pub per_worker_programs: Vec<usize>,
+    /// Instruction visits each worker's *accepted* analyses consumed
+    /// (rejected runs abort at the first error and report no stats).
+    pub per_worker_visits: Vec<u64>,
+    /// Memo-cache hits across all workers (accepted and rejected runs).
+    pub memo_hits: u64,
+    /// Memo-cache misses across all workers.
+    pub memo_misses: u64,
+    /// Memo-cache entries evicted by the per-shard caps.
+    pub memo_evicted: u64,
+}
+
+impl BatchStats {
+    /// Verification throughput: programs per wall-clock second.
+    #[must_use]
+    pub fn programs_per_sec(&self) -> f64 {
+        self.programs as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of memo lookups that hit, in `[0, 1]` (0 when the cache
+    /// was disabled or never consulted).
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The result of a batch run: per-program outcomes in submission order
+/// plus the [`BatchStats`] roll-up.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One verdict per submitted program, index-aligned with the input.
+    pub results: Vec<Result<Analysis, VerifierError>>,
+    /// The run's throughput and distribution counters.
+    pub stats: BatchStats,
+}
+
+/// One per-instruction state flattened to dense `Copy` arrays — the
+/// `Send` representation that crosses the worker boundary (boxed: a
+/// point is ~5 KiB and lives in a `Vec`).
+struct DensePoint {
+    regs: [RegValue; REGS],
+    slots: [StackSlot; SLOTS],
+}
+
+/// A whole [`Analysis`] in `Send` form.
+struct SendAnalysis {
+    strategy: Strategy,
+    states: Vec<Option<Box<DensePoint>>>,
+    stats: AnalysisStats,
+}
+
+impl SendAnalysis {
+    fn capture(a: &Analysis) -> SendAnalysis {
+        SendAnalysis {
+            strategy: a.strategy(),
+            states: a
+                .raw_states()
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|st| {
+                        let (regs, slots) = st.to_parts();
+                        Box::new(DensePoint { regs, slots })
+                    })
+                })
+                .collect(),
+            stats: a.stats(),
+        }
+    }
+
+    fn rebuild(self) -> Analysis {
+        Analysis::from_raw(
+            self.strategy,
+            self.states
+                .into_iter()
+                .map(|p| p.map(|p| AbsState::from_parts(p.regs, p.slots)))
+                .collect(),
+            self.stats,
+        )
+    }
+}
+
+/// What one worker brings back across the scope join.
+struct WorkerOutput {
+    results: Vec<(usize, Result<SendAnalysis, VerifierError>)>,
+    visits: u64,
+    memo: (u64, u64, u64),
+}
+
+/// Verifies every item concurrently on `jobs` workers (0 =
+/// [`default_threads`], which honors `TNUM_THREADS`), returning
+/// per-program results in submission order.
+///
+/// This is the heterogeneous entry point;
+/// [`VerificationSession::run_batch`] is the common homogeneous wrapper.
+#[must_use]
+pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
+    let jobs = if jobs == 0 { default_threads() } else { jobs };
+    let workers = jobs.min(items.len()).max(1);
+    let queue = WorkQueue::new(items.len());
+    let start = Instant::now();
+    let per_worker = par_workers(workers, |_worker| {
+        let mut results = Vec::new();
+        let mut visits: u64 = 0;
+        let mut memo = (0u64, 0u64, 0u64);
+        while let Some(i) = queue.claim() {
+            let item = &items[i];
+            let session = VerificationSession::new()
+                .with_options(item.options.clone())
+                .with_strategy(item.strategy);
+            memo::counters::reset();
+            let res = session.run(&item.prog).map(|a| {
+                visits += a.stats().visits;
+                SendAnalysis::capture(&a)
+            });
+            // The thread-local memo counters now hold exactly this
+            // program's traffic — harvested here so rejected runs
+            // (which produce no `AnalysisStats`) are counted too.
+            let (h, m, e) = memo::counters::snapshot();
+            memo = (memo.0 + h, memo.1 + m, memo.2 + e);
+            results.push((i, res));
+        }
+        WorkerOutput {
+            results,
+            visits,
+            memo,
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut slots: Vec<Option<Result<Analysis, VerifierError>>> =
+        std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut per_worker_programs = Vec::with_capacity(workers);
+    let mut per_worker_visits = Vec::with_capacity(workers);
+    let (mut memo_hits, mut memo_misses, mut memo_evicted) = (0, 0, 0);
+    for w in per_worker {
+        per_worker_programs.push(w.results.len());
+        per_worker_visits.push(w.visits);
+        memo_hits += w.memo.0;
+        memo_misses += w.memo.1;
+        memo_evicted += w.memo.2;
+        for (i, res) in w.results {
+            slots[i] = Some(res.map(SendAnalysis::rebuild));
+        }
+    }
+    let results: Vec<Result<Analysis, VerifierError>> = slots
+        .into_iter()
+        .map(|r| r.expect("the queue hands every index to exactly one worker"))
+        .collect();
+    let accepted = results.iter().filter(|r| r.is_ok()).count();
+    BatchReport {
+        stats: BatchStats {
+            programs: items.len(),
+            accepted,
+            rejected: results.len() - accepted,
+            jobs: workers,
+            elapsed,
+            per_worker_programs,
+            per_worker_visits,
+            memo_hits,
+            memo_misses,
+            memo_evicted,
+        },
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf::asm::assemble;
+    use ebpf::Reg;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| assemble(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn dense_snapshots_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SendAnalysis>();
+        assert_send::<WorkerOutput>();
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Distinct return constants identify each program; one reject in
+        // the middle must stay at its own index.
+        let batch = progs(&[
+            "r0 = 10\nexit",
+            "r0 = r9\nexit", // uninit read: rejected
+            "r0 = 30\nexit",
+            "r0 = 40\nexit",
+        ]);
+        for jobs in [1, 2, 8] {
+            let report = VerificationSession::new().run_batch(&batch, jobs);
+            assert_eq!(report.results.len(), 4);
+            assert!(matches!(
+                report.results[1],
+                Err(VerifierError::UninitRead { .. })
+            ));
+            for (i, want) in [(0, 10), (2, 30), (3, 40)] {
+                let a = report.results[i].as_ref().unwrap();
+                let r0 = a.state_before(1).unwrap().reg(Reg::R0).as_scalar().unwrap();
+                assert_eq!(r0.as_constant(), Some(want), "index {i} at jobs={jobs}");
+            }
+            assert_eq!(report.stats.accepted, 3);
+            assert_eq!(report.stats.rejected, 1);
+            assert_eq!(report.stats.programs, 4);
+            assert_eq!(
+                report.stats.per_worker_programs.iter().sum::<usize>(),
+                4,
+                "every program claimed exactly once"
+            );
+            assert_eq!(report.stats.jobs, jobs.min(4));
+        }
+    }
+
+    #[test]
+    fn rebuilt_states_match_a_sequential_run_exactly() {
+        let prog = assemble(
+            r"
+                r2 = *(u8 *)(r1 + 0)
+                r2 &= 7
+                r3 = r10
+                r3 += -8
+                r3 += r2
+                *(u8 *)(r3 + 0) = 0
+                r0 = 0
+                exit
+            ",
+        )
+        .unwrap();
+        let session = VerificationSession::new();
+        let direct = session.run(&prog).unwrap();
+        let report = session.run_batch(std::slice::from_ref(&prog), 1);
+        let batched = report.results[0].as_ref().unwrap();
+        assert_eq!(batched.strategy(), direct.strategy());
+        // The session's memo cache is shared across runs, so the second
+        // run hits where the first missed; every other counter (and all
+        // verdict-relevant output below) must be identical.
+        let neutral = |mut s: crate::AnalysisStats| {
+            s.memo_hits = 0;
+            s.memo_misses = 0;
+            s.memo_evicted = 0;
+            s
+        };
+        assert_eq!(neutral(batched.stats()), neutral(direct.stats()));
+        assert_eq!(
+            batched.stats().memo_hits + batched.stats().memo_misses,
+            direct.stats().memo_hits + direct.stats().memo_misses,
+            "memo traffic volume matches even when hit/miss split differs"
+        );
+        for pc in 0..prog.len() {
+            match (direct.state_before(pc), batched.state_before(pc)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a, b, "state at pc {pc}");
+                    assert_eq!(a.fingerprint(), b.fingerprint(), "fingerprint at pc {pc}");
+                }
+                (a, b) => panic!("reachability diverged at pc {pc}: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(batched.annotate(&prog), direct.annotate(&prog));
+    }
+
+    #[test]
+    fn batch_shares_the_memo_cache_across_programs() {
+        // Two identical programs through one session: on jobs=1 the
+        // second run must hit the entries the first one inserted.
+        let batch = progs(&["r2 = 5\nr2 += 3\nr2 *= 2\nr0 = r2\nexit"; 2]);
+        let report = VerificationSession::new().run_batch(&batch, 1);
+        assert!(
+            report.stats.memo_hits > 0,
+            "second program reuses the first's transfer results: {:?}",
+            report.stats
+        );
+        let hit_rate = report.stats.memo_hit_rate();
+        assert!(hit_rate > 0.0 && hit_rate <= 1.0);
+        // And the per-program stats surface the same traffic.
+        let second = report.results[1].as_ref().unwrap().stats();
+        assert!(second.memo_hits > 0, "{second:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_noop() {
+        let report = VerificationSession::new().run_batch(&[], 4);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.programs, 0);
+        assert_eq!(report.stats.accepted, 0);
+        assert_eq!(report.stats.memo_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_jobs_selects_default_threads() {
+        let report = VerificationSession::new().run_batch(&progs(&["r0 = 0\nexit"]), 0);
+        assert_eq!(report.stats.jobs, 1, "capped by batch size");
+        assert!(report.results[0].is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_items_run_their_own_configuration() {
+        let loopy = assemble("l:\nr0 = 0\ngoto l\nexit").unwrap();
+        let items = vec![
+            BatchItem {
+                prog: loopy.clone(),
+                options: AnalyzerOptions::default(),
+                strategy: Strategy::WideningFixpoint,
+            },
+            BatchItem {
+                prog: loopy,
+                options: AnalyzerOptions {
+                    reject_loops: true,
+                    ..AnalyzerOptions::default()
+                },
+                strategy: Strategy::WideningFixpoint,
+            },
+        ];
+        let report = run(&items, 2);
+        assert!(report.results[0].is_ok(), "fixpoint accepts the loop");
+        assert!(
+            matches!(report.results[1], Err(VerifierError::LoopDetected { .. })),
+            "reject_loops item keeps its own policy"
+        );
+    }
+}

@@ -131,7 +131,7 @@ impl ExplorationStrategy for WideningFixpoint {
         options: &AnalyzerOptions,
     ) -> Result<Exploration, VerifierError> {
         let cfg = Cfg::build(prog);
-        let transfer = Transfer::new(*options);
+        let transfer = Transfer::new(options.clone());
         let (states, stats) = fixpoint::run(&transfer, prog, &cfg, options)?;
         Ok(Exploration { states, stats })
     }
@@ -187,8 +187,9 @@ impl ExplorationStrategy for PathSensitive {
         options: &AnalyzerOptions,
     ) -> Result<Exploration, VerifierError> {
         let cfg = Cfg::build(prog);
-        let transfer = Transfer::new(*options);
+        let transfer = Transfer::new(options.clone());
         stats::reset();
+        crate::memo::counters::reset();
         let thresholds = if options.harvest_thresholds && !cfg.back_edges().is_empty() {
             fixpoint::harvest_thresholds(prog)
         } else {
@@ -323,6 +324,7 @@ impl ExplorationStrategy for PathSensitive {
         }
 
         let traffic = stats::snapshot();
+        let (memo_hits, memo_misses, memo_evicted) = crate::memo::counters::snapshot();
         Ok(Exploration {
             states: report,
             stats: AnalysisStats {
@@ -337,6 +339,9 @@ impl ExplorationStrategy for PathSensitive {
                 fingerprint_rejects: visited.fingerprint_rejects(),
                 visited_evicted: visited.visited_evicted(),
                 bytes_materialized: traffic.bytes,
+                memo_hits,
+                memo_misses,
+                memo_evicted,
             },
         })
     }

@@ -74,6 +74,16 @@ pub struct AnalysisStats {
     /// stack chunks, and chunk spines) — the working-set proxy showing
     /// what chunked copy-on-write frames save over whole-frame copies.
     pub bytes_materialized: u64,
+    /// Transfer memo cache lookups served from a verified entry
+    /// (operand equality confirmed — see [`crate::memo::TransferMemo`]).
+    /// Zero when [`AnalyzerOptions::memo_cache`] is `None`.
+    pub memo_hits: u64,
+    /// Transfer memo cache lookups that found no entry (or only a
+    /// colliding one with different operands) and computed afresh.
+    pub memo_misses: u64,
+    /// Transfer memo entries this run's inserts displaced through the
+    /// per-shard capacity caps.
+    pub memo_evicted: u64,
 }
 
 impl AnalysisStats {
@@ -94,7 +104,8 @@ impl AnalysisStats {
              \"joins_short_circuited\": {}, \"widenings_applied\": {}, \
              \"visits\": {}, \"states_pruned\": {}, \"subset_checks\": {}, \
              \"unrolled_trips\": {}, \"fingerprint_rejects\": {}, \
-             \"visited_evicted\": {}, \"bytes_materialized\": {}}}",
+             \"visited_evicted\": {}, \"bytes_materialized\": {}, \
+             \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evicted\": {}}}",
             self.states_allocated,
             self.states_shared,
             self.joins_short_circuited,
@@ -105,7 +116,10 @@ impl AnalysisStats {
             self.unrolled_trips,
             self.fingerprint_rejects,
             self.visited_evicted,
-            self.bytes_materialized
+            self.bytes_materialized,
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_evicted
         )
     }
 }
@@ -154,6 +168,7 @@ pub fn run(
     options: &AnalyzerOptions,
 ) -> Result<(Vec<Option<AbsState>>, AnalysisStats), VerifierError> {
     stats::reset();
+    crate::memo::counters::reset();
     // Thresholds only matter where widening can fire; acyclic programs
     // (the bulk of real workloads) skip the harvest scan entirely.
     let thresholds = if options.harvest_thresholds && !cfg.back_edges().is_empty() {
@@ -225,6 +240,7 @@ pub fn run(
     };
 
     let traffic = stats::snapshot();
+    let (memo_hits, memo_misses, memo_evicted) = crate::memo::counters::snapshot();
     Ok((
         states,
         AnalysisStats {
@@ -242,6 +258,9 @@ pub fn run(
             fingerprint_rejects: 0,
             visited_evicted: 0,
             bytes_materialized: traffic.bytes,
+            memo_hits,
+            memo_misses,
+            memo_evicted,
         },
     ))
 }

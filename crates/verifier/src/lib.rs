@@ -124,11 +124,13 @@
 #![allow(clippy::manual_checked_ops)]
 
 mod analyzer;
+pub mod batch;
 mod branch;
 mod cfg;
 mod error;
 pub mod explore;
 pub mod fixpoint;
+pub mod memo;
 mod product;
 mod scalar;
 pub mod state;
@@ -137,13 +139,16 @@ mod value;
 pub mod visited;
 
 pub use analyzer::{Analysis, Analyzer, AnalyzerOptions, VerificationSession};
+pub use batch::{BatchItem, BatchReport, BatchStats};
 pub use branch::refine as refine_branch;
 pub use branch::refine32 as refine_branch32;
 pub use error::VerifierError;
 pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, WideningFixpoint};
 pub use fixpoint::AnalysisStats;
+pub use memo::{MemoEffect, MemoKey, TransferMemo};
 pub use product::Product;
 pub use scalar::Scalar;
+pub use state::value_fingerprint;
 pub use state::{AbsState, JoinCounters, StackSlot, CHUNK_SLOTS, STACK_CHUNKS};
 pub use value::RegValue;
 pub use visited::VisitedTable;

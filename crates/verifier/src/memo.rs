@@ -1,0 +1,383 @@
+//! The fingerprint-keyed **transfer memo cache**: cross-program sharing
+//! of pure transfer-function results for the batched throughput engine
+//! ([`crate::batch`]).
+//!
+//! `AbsState` is `Rc`-backed and `!Send`, so batch parallelism is
+//! program-granular — workers never share states. What they *can* share
+//! is the arithmetic: the scalar halves of the transfer layer
+//! ([`crate::transfer`]) are pure functions of their operand values, and
+//! real batches (64 variants of a packet filter, a fleet of similar
+//! loops) recompute the same `(operands, operation)` pairs constantly.
+//! [`TransferMemo`] caches exactly those:
+//!
+//! * **ALU**: `(width, op, lhs, rhs) → result` for scalar × scalar
+//!   arithmetic ([`MemoEffect::Alu`]);
+//! * **branches**: `(width, op, lhs, rhs) → both refined edges`
+//!   ([`MemoEffect::Branch`]) — including edges proven infeasible, which
+//!   is verdict-relevant and reproduced exactly.
+//!
+//! Pointer arithmetic, memory checks, and errors are never cached: they
+//! depend on more than the operand values (regions, option flags), and
+//! keeping the cache to total scalar functions is what makes a hit
+//! unconditionally sound.
+//!
+//! Keys are [`MemoKey`]s — a packed instruction word plus the
+//! XOR-mixed operand fingerprints ([`crate::state::value_fingerprint`]).
+//! Fingerprints can collide, so every entry stores its exact operands
+//! and [`TransferMemo::lookup`] verifies full operand equality before
+//! reuse; a key match with unequal operands is a miss, never a wrong
+//! answer. The table is split into [`SHARDS`] independently-locked
+//! shards (selected by key hash) so concurrent workers rarely contend,
+//! and each shard evicts oldest-first past its cap — the same bounded
+//! "LRU-ish" hygiene as the visited table's chain cap.
+//!
+//! Per-run traffic is counted in thread-local [`counters`] the
+//! exploration engines snapshot into
+//! [`AnalysisStats`](crate::AnalysisStats)
+//! (`memo_hits` / `memo_misses` / `memo_evicted`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use ebpf::{AluOp, JmpOp, Width};
+
+use crate::scalar::Scalar;
+use crate::state::mix;
+
+/// Number of independently-locked shards. A power of two so shard
+/// selection is a mask; 16 keeps contention negligible at the jobs
+/// counts the batch engine targets (≤ 8 on typical hosts).
+pub const SHARDS: usize = 16;
+
+/// Default per-shard entry cap (≈ 16 K entries across the cache).
+const DEFAULT_SHARD_CAP: usize = 1024;
+
+/// Thread-local memo traffic counters, reset per analysis run and
+/// snapshotted into `AnalysisStats` — same pattern as
+/// [`crate::state::stats`].
+pub(crate) mod counters {
+    use std::cell::Cell;
+
+    thread_local! {
+        static HITS: Cell<u64> = const { Cell::new(0) };
+        static MISSES: Cell<u64> = const { Cell::new(0) };
+        static EVICTED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn bump_hit() {
+        HITS.with(|v| v.set(v.get() + 1));
+    }
+
+    pub(crate) fn bump_miss() {
+        MISSES.with(|v| v.set(v.get() + 1));
+    }
+
+    pub(crate) fn bump_evicted() {
+        EVICTED.with(|v| v.set(v.get() + 1));
+    }
+
+    /// Zeroes the counters (start of an analysis run).
+    pub(crate) fn reset() {
+        for c in [&HITS, &MISSES, &EVICTED] {
+            c.with(|v| v.set(0));
+        }
+    }
+
+    /// `(hits, misses, evicted)` accumulated since the last [`reset`].
+    pub(crate) fn snapshot() -> (u64, u64, u64) {
+        (
+            HITS.with(Cell::get),
+            MISSES.with(Cell::get),
+            EVICTED.with(Cell::get),
+        )
+    }
+}
+
+/// A memo cache key: the packed instruction word plus the mixed operand
+/// fingerprints.
+///
+/// The instruction word packs the *semantic* identity of the operation —
+/// kind (ALU vs. branch), opcode, and width — and deliberately omits
+/// register numbers and jump offsets: the cached results are pure value
+/// functions, so `r3 += r1` and `r7 += r2` over equal operand values hit
+/// the same entry, across programs. The fields are public so tests can
+/// forge colliding keys and prove the operand-equality check holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Packed operation word: kind tag, opcode, and width.
+    pub insn: u64,
+    /// Mixed fingerprints of both operand values.
+    pub fp: u64,
+}
+
+/// Order-sensitive combination of the two operand fingerprints (ALU and
+/// comparisons are not commutative in general).
+const fn mix_operands(lhs_fp: u64, rhs_fp: u64) -> u64 {
+    mix(lhs_fp ^ mix(rhs_fp ^ 0x4d45_4d4f_5f52_4853)) // "MEMO_RHS"
+}
+
+const fn width_bit(width: Width) -> u64 {
+    match width {
+        Width::W64 => 0,
+        Width::W32 => 1,
+    }
+}
+
+impl MemoKey {
+    /// The key of a scalar × scalar ALU computation.
+    #[must_use]
+    pub fn alu(width: Width, op: AluOp, lhs_fp: u64, rhs_fp: u64) -> MemoKey {
+        MemoKey {
+            insn: 0x100 | (op as u64) << 1 | width_bit(width),
+            fp: mix_operands(lhs_fp, rhs_fp),
+        }
+    }
+
+    /// The key of a scalar × scalar conditional-branch refinement.
+    #[must_use]
+    pub fn branch(width: Width, op: JmpOp, lhs_fp: u64, rhs_fp: u64) -> MemoKey {
+        MemoKey {
+            insn: 0x200 | (op as u64) << 1 | width_bit(width),
+            fp: mix_operands(lhs_fp, rhs_fp),
+        }
+    }
+
+    /// The shard this key lands in.
+    fn shard(self) -> usize {
+        (mix(self.fp ^ self.insn) as usize) & (SHARDS - 1)
+    }
+}
+
+/// The verdict-relevant output of one memoized transfer computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoEffect {
+    /// The result scalar of an ALU operation.
+    Alu(Scalar),
+    /// Both refined edges of a conditional branch, `[fall, taken]`:
+    /// each edge's refined `(dst, src)` scalar pair, or `None` for an
+    /// edge proven infeasible.
+    Branch([Option<(Scalar, Scalar)>; 2]),
+}
+
+/// One cached computation: the *exact* operands (for collision-proof
+/// verification on lookup) and the effect they produced.
+#[derive(Clone, Copy, Debug)]
+struct MemoEntry {
+    lhs: Scalar,
+    rhs: Scalar,
+    effect: MemoEffect,
+}
+
+/// One locked shard: the key → entry map plus insertion order for
+/// oldest-first eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<MemoKey, MemoEntry>,
+    order: VecDeque<MemoKey>,
+}
+
+/// The sharded, fingerprint-keyed transfer memo cache shared across the
+/// programs of a batch (via `Arc` in
+/// [`AnalyzerOptions::memo_cache`](crate::AnalyzerOptions::memo_cache)).
+///
+/// Thread-safe: shards are `Mutex`-protected and selected by key hash,
+/// so workers verifying different programs contend only when they touch
+/// the same shard at the same instant.
+#[derive(Debug)]
+pub struct TransferMemo {
+    shards: [Mutex<Shard>; SHARDS],
+    shard_cap: usize,
+}
+
+impl Default for TransferMemo {
+    fn default() -> TransferMemo {
+        TransferMemo::new()
+    }
+}
+
+impl TransferMemo {
+    /// A cache with the default per-shard capacity.
+    #[must_use]
+    pub fn new() -> TransferMemo {
+        TransferMemo::with_shard_capacity(DEFAULT_SHARD_CAP)
+    }
+
+    /// A cache holding at most `shard_cap` entries per shard (evicting
+    /// oldest-first past the cap). A cap of 0 disables insertion — every
+    /// lookup misses — which is occasionally useful for ablations.
+    #[must_use]
+    pub fn with_shard_capacity(shard_cap: usize) -> TransferMemo {
+        TransferMemo {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            shard_cap,
+        }
+    }
+
+    /// Looks up `key`, returning the cached effect only when the stored
+    /// operands are *exactly equal* to `(lhs, rhs)` — a fingerprint
+    /// collision therefore reads as a miss, never as a wrong result.
+    /// Counts a hit or miss in the calling thread's [`counters`].
+    #[must_use]
+    pub fn lookup(&self, key: MemoKey, lhs: Scalar, rhs: Scalar) -> Option<MemoEffect> {
+        let shard = self.shards[key.shard()]
+            .lock()
+            .expect("memo shard poisoned");
+        match shard.map.get(&key) {
+            Some(entry) if entry.lhs == lhs && entry.rhs == rhs => {
+                counters::bump_hit();
+                Some(entry.effect)
+            }
+            _ => {
+                counters::bump_miss();
+                None
+            }
+        }
+    }
+
+    /// Records a computed effect under `key`, evicting the shard's
+    /// oldest entry when full. A later insert under an existing key
+    /// overwrites in place (the colliding-operand case), keeping map and
+    /// eviction order consistent.
+    pub fn insert(&self, key: MemoKey, lhs: Scalar, rhs: Scalar, effect: MemoEffect) {
+        if self.shard_cap == 0 {
+            return;
+        }
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .expect("memo shard poisoned");
+        let entry = MemoEntry { lhs, rhs, effect };
+        if shard.map.insert(key, entry).is_some() {
+            return; // overwrote in place; key already in `order`
+        }
+        shard.order.push_back(key);
+        while shard.map.len() > self.shard_cap {
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.map.remove(&oldest).is_some() {
+                counters::bump_evicted();
+            }
+        }
+    }
+
+    /// Total number of live entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> Scalar {
+        Scalar::constant(v)
+    }
+
+    #[test]
+    fn round_trips_an_alu_entry() {
+        counters::reset();
+        let memo = TransferMemo::new();
+        let key = MemoKey::alu(Width::W64, AluOp::Add, 11, 22);
+        assert_eq!(memo.lookup(key, s(1), s(2)), None);
+        memo.insert(key, s(1), s(2), MemoEffect::Alu(s(3)));
+        assert_eq!(memo.lookup(key, s(1), s(2)), Some(MemoEffect::Alu(s(3))));
+        let (hits, misses, _) = counters::snapshot();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn forged_key_collision_is_rejected_by_operand_equality() {
+        // Two *distinct* operand pairs under the very same key: the
+        // cache must refuse to serve the first pair's effect to the
+        // second — full operand equality is checked before reuse.
+        let memo = TransferMemo::new();
+        let key = MemoKey {
+            insn: 0x101,
+            fp: 42,
+        }; // forged: same for both
+        memo.insert(key, s(1), s(2), MemoEffect::Alu(s(3)));
+        assert_eq!(memo.lookup(key, s(1), s(2)), Some(MemoEffect::Alu(s(3))));
+        assert_eq!(
+            memo.lookup(key, s(9), s(2)),
+            None,
+            "colliding key with different lhs must miss"
+        );
+        assert_eq!(
+            memo.lookup(key, s(1), s(7)),
+            None,
+            "colliding key with different rhs must miss"
+        );
+    }
+
+    #[test]
+    fn alu_and_branch_keys_never_overlap() {
+        // Same opcode byte value, same operands — the kind tag keeps the
+        // key spaces disjoint.
+        let a = MemoKey::alu(Width::W64, AluOp::Add, 5, 6);
+        let b = MemoKey::branch(Width::W64, JmpOp::Eq, 5, 6);
+        assert_ne!(a.insn & 0x300, b.insn & 0x300);
+    }
+
+    #[test]
+    fn operand_order_matters_in_the_key() {
+        let ab = MemoKey::alu(Width::W64, AluOp::Sub, 1, 2);
+        let ba = MemoKey::alu(Width::W64, AluOp::Sub, 2, 1);
+        assert_ne!(ab, ba, "sub is not commutative; keys must differ");
+    }
+
+    #[test]
+    fn shard_cap_evicts_oldest_first() {
+        counters::reset();
+        let memo = TransferMemo::with_shard_capacity(2);
+        // Generate enough distinct keys that some shard overflows.
+        for i in 0..(SHARDS as u64 * 8) {
+            let key = MemoKey::alu(Width::W64, AluOp::Add, i, i + 1);
+            memo.insert(key, s(i), s(i), MemoEffect::Alu(s(i)));
+        }
+        assert!(memo.len() <= SHARDS * 2, "caps hold: {}", memo.len());
+        let (_, _, evicted) = counters::snapshot();
+        assert!(evicted > 0, "overflow evicted oldest entries");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let memo = TransferMemo::with_shard_capacity(0);
+        let key = MemoKey::alu(Width::W64, AluOp::Add, 1, 2);
+        memo.insert(key, s(1), s(2), MemoEffect::Alu(s(3)));
+        assert!(memo.is_empty());
+        assert_eq!(memo.lookup(key, s(1), s(2)), None);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_coherent() {
+        let memo = TransferMemo::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let memo = &memo;
+                scope.spawn(move || {
+                    for i in 0..256 {
+                        let key = MemoKey::alu(Width::W64, AluOp::Add, i, t % 2);
+                        let (l, r) = (s(i), s(t % 2));
+                        if let Some(MemoEffect::Alu(out)) = memo.lookup(key, l, r) {
+                            assert_eq!(out, s(i + t % 2), "hits are coherent");
+                        } else {
+                            memo.insert(key, l, r, MemoEffect::Alu(s(i + t % 2)));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(!memo.is_empty());
+    }
+}

@@ -58,10 +58,10 @@ use crate::scalar::Scalar;
 use crate::value::RegValue;
 
 /// Number of 8-byte stack slots tracked (512 / 8 = 64).
-const SLOTS: usize = (STACK_SIZE / 8) as usize;
+pub(crate) const SLOTS: usize = (STACK_SIZE / 8) as usize;
 
 /// Number of architectural registers tracked (r0–r10).
-const REGS: usize = 11;
+pub(crate) const REGS: usize = 11;
 
 /// Slots per copy-on-write stack chunk: the sharing granularity of the
 /// frame. A spill materializes one chunk of this many slots, not the
@@ -231,7 +231,7 @@ impl StackSlot {
 /// The SplitMix64 output mixer (Steele, Lea & Flood, OOPSLA 2014): three
 /// xor-shift-multiply rounds, the same finalizer `domain::rng` uses.
 /// All structural fingerprints are built from it.
-const fn mix(z: u64) -> u64 {
+pub(crate) const fn mix(z: u64) -> u64 {
     let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -806,6 +806,44 @@ impl AbsState {
             .filter(|(a, b)| Rc::ptr_eq(a, b))
             .count()
     }
+
+    /// Flattens the state into dense value arrays — plain `Copy` data
+    /// with no `Rc`s, so the result is `Send` and can cross the
+    /// program-granular thread boundary of `verifier::batch`.
+    pub(crate) fn to_parts(&self) -> ([RegValue; REGS], [StackSlot; SLOTS]) {
+        let slots = std::array::from_fn(|i| self.stack.slot(i));
+        (self.regs.vals, slots)
+    }
+
+    /// Rebuilds a state from the dense arrays of
+    /// [`to_parts`](AbsState::to_parts) on the receiving thread.
+    /// Fingerprints are recomputed from the contents, so a round-trip
+    /// preserves both equality and [`AbsState::fingerprint`].
+    pub(crate) fn from_parts(regs: [RegValue; REGS], slots: [StackSlot; SLOTS]) -> AbsState {
+        let chunks: [Rc<Chunk>; STACK_CHUNKS] = std::array::from_fn(|c| {
+            Rc::new(Chunk::new(std::array::from_fn(|j| {
+                slots[c * CHUNK_SLOTS + j]
+            })))
+        });
+        AbsState {
+            regs: Rc::new(Cells::new(regs)),
+            stack: Rc::new(Frame::from_chunks(chunks, 0)),
+        }
+    }
+}
+
+/// The 64-bit structural fingerprint of one abstract register value — a
+/// pure function of the value's contents (two equal values always
+/// fingerprint equally), built from the same SplitMix64 mixing as
+/// [`AbsState::fingerprint`] but *without* position salting, so the same
+/// value fingerprints identically wherever (and in whichever program) it
+/// appears. This is the stable per-value key the fingerprint-keyed
+/// transfer memo cache ([`crate::memo::TransferMemo`]) shards on; as with
+/// the state fingerprint, collisions are possible and any consumer must
+/// confirm equality pointwise before trusting a match.
+#[must_use]
+pub fn value_fingerprint(v: RegValue) -> u64 {
+    v.content_hash()
 }
 
 /// Sharing-aware pointwise join of one fingerprinted component array:

@@ -24,8 +24,9 @@ use ebpf::{AluOp, Insn, JmpOp, MemSize, Program, Reg, Src, Width, STACK_SIZE};
 use crate::analyzer::AnalyzerOptions;
 use crate::branch::{refine, refine32};
 use crate::error::VerifierError;
+use crate::memo::{MemoEffect, MemoKey};
 use crate::scalar::Scalar;
-use crate::state::{AbsState, StackSlot};
+use crate::state::{value_fingerprint, AbsState, StackSlot};
 use crate::value::RegValue;
 
 /// The successor contributions of one abstract step: at most two
@@ -84,7 +85,7 @@ impl IntoIterator for Successors {
 }
 
 /// The instruction-semantics half of the analyzer: one abstract step.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Transfer {
     options: AnalyzerOptions,
 }
@@ -250,7 +251,9 @@ impl Transfer {
         }
 
         match (lhs, rhs) {
-            (RegValue::Scalar(a), RegValue::Scalar(b)) => Ok(RegValue::Scalar(a.alu(width, op, b))),
+            (RegValue::Scalar(a), RegValue::Scalar(b)) => {
+                Ok(RegValue::Scalar(self.memo_alu(width, op, a, b)))
+            }
             // Pointer ± scalar keeps the region, shifting the offset.
             (RegValue::StackPtr { offset }, RegValue::Scalar(b))
                 if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
@@ -278,6 +281,63 @@ impl Transfer {
             }
             _ => Err(VerifierError::BadPointerArithmetic { pc }),
         }
+    }
+
+    /// Scalar × scalar ALU arithmetic, through the transfer memo cache
+    /// when [`AnalyzerOptions::memo_cache`] is set: a pure function of
+    /// `(width, op, a, b)`, so a verified cache hit returns the
+    /// bit-identical scalar the computation would have produced.
+    fn memo_alu(&self, width: Width, op: AluOp, a: Scalar, b: Scalar) -> Scalar {
+        let Some(cache) = &self.options.memo_cache else {
+            return a.alu(width, op, b);
+        };
+        let key = MemoKey::alu(
+            width,
+            op,
+            value_fingerprint(RegValue::Scalar(a)),
+            value_fingerprint(RegValue::Scalar(b)),
+        );
+        if let Some(MemoEffect::Alu(out)) = cache.lookup(key, a, b) {
+            return out;
+        }
+        let out = a.alu(width, op, b);
+        cache.insert(key, a, b, MemoEffect::Alu(out));
+        out
+    }
+
+    /// Both refined edges (`[fall, taken]`) of a scalar × scalar
+    /// comparison, through the memo cache when enabled. Infeasible edges
+    /// (`None`) are part of the cached effect — they are verdict-relevant
+    /// and must reproduce exactly.
+    fn memo_refine(
+        &self,
+        width: Width,
+        op: JmpOp,
+        a: Scalar,
+        b: Scalar,
+    ) -> [Option<(Scalar, Scalar)>; 2] {
+        let compute = || {
+            let edge = |taken| match width {
+                Width::W64 => refine(op, taken, a, b),
+                Width::W32 => refine32(op, taken, a, b),
+            };
+            [edge(false), edge(true)]
+        };
+        let Some(cache) = &self.options.memo_cache else {
+            return compute();
+        };
+        let key = MemoKey::branch(
+            width,
+            op,
+            value_fingerprint(RegValue::Scalar(a)),
+            value_fingerprint(RegValue::Scalar(b)),
+        );
+        if let Some(MemoEffect::Branch(edges)) = cache.lookup(key, a, b) {
+            return edges;
+        }
+        let edges = compute();
+        cache.insert(key, a, b, MemoEffect::Branch(edges));
+        edges
     }
 
     /// Produces the fall-through and taken states of a conditional jump
@@ -309,11 +369,9 @@ impl Transfer {
             _ => return Ok((Some(state.clone()), Some(state.clone()))),
         };
 
-        let make = |taken: bool| -> Option<AbsState> {
-            let (d, s) = match width {
-                Width::W64 => refine(op, taken, lhs_s, rhs_s)?,
-                Width::W32 => refine32(op, taken, lhs_s, rhs_s)?,
-            };
+        let edges = self.memo_refine(width, op, lhs_s, rhs_s);
+        let make = |edge: Option<(Scalar, Scalar)>| -> Option<AbsState> {
+            let (d, s) = edge?;
             let mut out = state.clone();
             out.set_reg(dst, RegValue::Scalar(d));
             if let Src::Reg(r) = src {
@@ -321,7 +379,7 @@ impl Transfer {
             }
             Some(out)
         };
-        Ok((make(false), make(true)))
+        Ok((make(edges[0]), make(edges[1])))
     }
 
     /// Bounds- and alignment-checks a load, returning the loaded value.

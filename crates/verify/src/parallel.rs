@@ -1,67 +1,25 @@
 //! Minimal scoped-thread fan-out for exhaustive sweeps.
+//!
+//! The implementation lives in [`domain::parallel`] so the batched
+//! program verifier (`verifier::batch`) can share the same thread-count
+//! defaults (including the `TNUM_THREADS` override) and scheduling
+//! helpers; this module re-exports the sweep-facing subset under its
+//! historical path.
 
-/// Splits `0..total` into contiguous chunks, runs `work` on each chunk in
-/// its own thread, and returns the per-chunk results in order.
-///
-/// `work` receives the chunk range as `(start, end)`.
-///
-/// # Examples
-///
-/// ```
-/// use tnum_verify::parallel::par_chunks;
-/// let partials = par_chunks(1000, 4, |start, end| (start..end).sum::<u64>());
-/// assert_eq!(partials.into_iter().sum::<u64>(), (0..1000).sum());
-/// ```
-pub fn par_chunks<R: Send>(
-    total: u64,
-    threads: usize,
-    work: impl Fn(u64, u64) -> R + Sync,
-) -> Vec<R> {
-    let threads = threads.max(1).min(total.max(1) as usize);
-    let chunk = total.div_ceil(threads as u64);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|t| {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(total);
-                let work = &work;
-                scope.spawn(move || work(start, end))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread panicked"))
-            .collect()
-    })
-}
-
-/// A sensible default thread count for this machine.
-#[must_use]
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
-}
+pub use domain::parallel::{default_threads, par_chunks};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn covers_all_items_exactly_once() {
-        for threads in [1, 2, 3, 7] {
-            let counts = par_chunks(100, threads, |s, e| e - s);
-            assert_eq!(counts.iter().sum::<u64>(), 100);
-        }
+    fn reexported_par_chunks_covers_all_items() {
+        let partials = par_chunks(1000, 4, |start, end| (start..end).sum::<u64>());
+        assert_eq!(partials.into_iter().sum::<u64>(), (0..1000).sum());
     }
 
     #[test]
-    fn handles_degenerate_sizes() {
-        assert_eq!(par_chunks(0, 4, |s, e| e - s).iter().sum::<u64>(), 0);
-        assert_eq!(par_chunks(1, 8, |s, e| e - s).iter().sum::<u64>(), 1);
-        assert_eq!(par_chunks(3, 8, |s, e| e - s).iter().sum::<u64>(), 3);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
+    fn reexported_default_threads_is_positive() {
         assert!(default_threads() >= 1);
     }
 }
