@@ -3,7 +3,11 @@
 //! annotated verifier log or the rejection diagnosis. With `--dir` it
 //! instead verifies every `.ebpf` fixture in a directory through the
 //! batched engine ([`VerificationSession::run_batch`]) and prints a
-//! per-program verdict table plus the throughput roll-up.
+//! per-program verdict table plus the throughput roll-up. With
+//! `--passes` it skips verification entirely and dumps the static
+//! pass framework's facts (`verifier::passes`): per-pc live registers,
+//! live stack-slot counts, reaching-definition counts, and
+//! dead/unreachable-instruction diagnostics.
 //!
 //! Usage:
 //!
@@ -12,9 +16,11 @@
 //!     [--strategy fixpoint|path] [--ctx-size 64] [--strict-alignment] \
 //!     [--no-refine] [--reject-loops] [--widen-delay 16] \
 //!     [--unroll-k 32] [--visited-cap 32] [--no-thresholds] \
-//!     [--budget 1000000] [--no-memo]
+//!     [--budget 1000000] [--no-memo] [--no-liveness]
 //! cargo run -p bench --release --bin annotate -- --dir fixtures \
-//!     [--jobs 4] [--strategy path] [--no-memo]
+//!     [--jobs 4] [--strategy path] [--no-memo] [--no-liveness]
+//! cargo run -p bench --release --bin annotate -- --passes --file prog.s
+//! cargo run -p bench --release --bin annotate -- --passes --dir fixtures
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
@@ -29,10 +35,23 @@ use std::sync::Arc;
 use bench::cli::Args;
 use ebpf::asm::assemble;
 use ebpf::Program;
-use verifier::{AnalyzerOptions, Strategy, TransferMemo, VerificationSession};
+use verifier::{AnalyzerOptions, Cfg, ProgramPasses, Strategy, TransferMemo, VerificationSession};
 
 fn main() -> ExitCode {
     let args = Args::parse();
+    if args.has("passes") {
+        return if let Some(dir) = args.get_str("dir") {
+            match collect_fixtures(dir) {
+                Ok((names, progs)) => run_passes_dir(&names, &progs),
+                Err(code) => code,
+            }
+        } else {
+            match read_source(&args) {
+                Ok(source) => run_passes_single(&source),
+                Err(code) => code,
+            }
+        };
+    }
     let strategy = match args.get_str("strategy") {
         None | Some("fixpoint") => Strategy::WideningFixpoint,
         Some("path") => Strategy::PathSensitive,
@@ -63,6 +82,7 @@ fn main() -> ExitCode {
         } else {
             Some(Arc::new(TransferMemo::new()))
         },
+        liveness_pruning: !args.has("no-liveness"),
     };
     let session = VerificationSession::new()
         .with_options(options)
@@ -75,25 +95,144 @@ fn main() -> ExitCode {
     run_single(&args, &session)
 }
 
-/// The classic single-program mode: one source from `--file` or stdin,
-/// the annotated log (or rejection diagnosis) on stdout.
-fn run_single(args: &Args, session: &VerificationSession) -> ExitCode {
-    let source = match args.get_str("file") {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
+/// Loads the program source from `--file` or stdin.
+fn read_source(args: &Args) -> Result<String, ExitCode> {
+    match args.get_str("file") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::from(2)
+        }),
         None => {
             let mut s = String::new();
             if std::io::stdin().read_to_string(&mut s).is_err() {
                 eprintln!("cannot read stdin");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
-            s
+            Ok(s)
         }
+    }
+}
+
+/// Collects and assembles every `.ebpf` fixture under `dir`, sorted by
+/// name.
+fn collect_fixtures(dir: &str) -> Result<(Vec<String>, Vec<Program>), ExitCode> {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "ebpf"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read directory {dir}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .ebpf fixtures under {dir}");
+        return Err(ExitCode::from(2));
+    }
+
+    let mut names = Vec::new();
+    let mut progs: Vec<Program> = Vec::new();
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return Err(ExitCode::from(2));
+            }
+        };
+        match assemble(&source) {
+            Ok(p) => {
+                names.push(
+                    path.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| path.display().to_string()),
+                );
+                progs.push(p);
+            }
+            Err(e) => {
+                eprintln!("assembly error in {}: {e}", path.display());
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok((names, progs))
+}
+
+/// The per-pc pass dump of one program: live registers, live stack-slot
+/// and reaching-definition counts, and dead-code diagnostics.
+fn dump_passes(prog: &Program) {
+    let cfg = Cfg::build(prog);
+    let passes = ProgramPasses::compute(prog, &cfg);
+    for (pc, insn) in prog.insns().iter().enumerate() {
+        if passes.is_unreachable(pc) {
+            println!("{pc:>3}: {insn:<32} [unreachable]");
+            continue;
+        }
+        let live = passes.live_in(pc);
+        let regs: Vec<String> = (0..11)
+            .filter(|i| live.regs & (1 << i) != 0)
+            .map(|i| format!("r{i}"))
+            .collect();
+        let note = if passes.is_dead_def(pc) {
+            "  [dead def]"
+        } else {
+            ""
+        };
+        println!(
+            "{pc:>3}: {insn:<32} live={{{}}} slots={} reach={}{note}",
+            regs.join(","),
+            live.slot_count(),
+            passes.reaching_defs_in(pc),
+        );
+    }
+}
+
+/// `--passes` on a single program: the full per-pc fact table.
+fn run_passes_single(source: &str) -> ExitCode {
+    let prog = match assemble(source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = Cfg::build(&prog);
+    let passes = ProgramPasses::compute(&prog, &cfg);
+    println!(
+        "PASSES ({} instructions, {} dead)\n",
+        prog.len(),
+        passes.dead_insns()
+    );
+    dump_passes(&prog);
+    ExitCode::SUCCESS
+}
+
+/// `--passes --dir`: the per-pc fact table of every fixture, with a
+/// per-file header.
+fn run_passes_dir(names: &[String], progs: &[Program]) -> ExitCode {
+    for (name, prog) in names.iter().zip(progs) {
+        let cfg = Cfg::build(prog);
+        let passes = ProgramPasses::compute(prog, &cfg);
+        println!(
+            "== {name} ({} instructions, {} dead)",
+            prog.len(),
+            passes.dead_insns()
+        );
+        dump_passes(prog);
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// The classic single-program mode: one source from `--file` or stdin,
+/// the annotated log (or rejection diagnosis) on stdout.
+fn run_single(args: &Args, session: &VerificationSession) -> ExitCode {
+    let source = match read_source(args) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
 
     let prog = match assemble(&source) {
@@ -130,48 +269,10 @@ fn run_single(args: &Args, session: &VerificationSession) -> ExitCode {
 /// verified concurrently through [`VerificationSession::run_batch`],
 /// reported as a verdict table plus the throughput summary.
 fn run_dir(session: &VerificationSession, dir: &str, jobs: usize) -> ExitCode {
-    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
-        Ok(entries) => entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "ebpf"))
-            .collect(),
-        Err(e) => {
-            eprintln!("cannot read directory {dir}: {e}");
-            return ExitCode::from(2);
-        }
+    let (names, progs) = match collect_fixtures(dir) {
+        Ok(fixtures) => fixtures,
+        Err(code) => return code,
     };
-    paths.sort();
-    if paths.is_empty() {
-        eprintln!("no .ebpf fixtures under {dir}");
-        return ExitCode::from(2);
-    }
-
-    let mut names = Vec::new();
-    let mut progs: Vec<Program> = Vec::new();
-    for path in &paths {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        };
-        match assemble(&source) {
-            Ok(p) => {
-                names.push(
-                    path.file_name()
-                        .map(|n| n.to_string_lossy().into_owned())
-                        .unwrap_or_else(|| path.display().to_string()),
-                );
-                progs.push(p);
-            }
-            Err(e) => {
-                eprintln!("assembly error in {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        }
-    }
 
     let report = session.run_batch(&progs, jobs);
     let name_width = names.iter().map(String::len).max().unwrap_or(4).max(4);

@@ -1,6 +1,6 @@
 //! `fixpoint_guard` — the CI smoke check for the exploration engines:
 //! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
-//! totals against the committed `BENCH_PR6.json` baseline, and fails
+//! totals against the committed `BENCH_PR7.json` baseline, and fails
 //! when any of the gated quantities regresses by more than 20%:
 //!
 //! * **`states_allocated`** (absolute total): a refactor that quietly
@@ -15,6 +15,13 @@
 //!   change that reopens it (losing the fingerprint gate, the chain
 //!   cap, or dominance eviction) fails CI long before the wall-clock
 //!   noise would show it;
+//! * **masked `subset_checks`** (absolute, vs the baseline's
+//!   `masking=off` ablation row): with liveness masking ON, the
+//!   deep-unroll point must spend at least
+//!   [`MASKED_GATE_PERCENT`]% fewer deep subset checks than the
+//!   unmasked twin recorded in the baseline — a change that quietly
+//!   defeats checkpoint cleaning or the strict-budget-0 masked probe
+//!   (so masked states stop fingerprinting equally) fails CI;
 //! * **`memo_hits`** (absolute total): the transfer-memo counters the
 //!   sweep reports deterministically — a change that silently disables
 //!   or misses the cache fails CI;
@@ -30,7 +37,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR6.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR7.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -54,6 +61,16 @@ const TOLERANCE_PERCENT: u64 = 20;
 /// table).
 const DEEP_UNROLL_LABEL: &str = "path/trips=1024/unroll=64";
 
+/// The deep-unroll configuration's unmasked ablation twin
+/// (`liveness_pruning` off) — the row the masked-pruning gate compares
+/// [`DEEP_UNROLL_LABEL`] against.
+const MASKING_OFF_LABEL: &str = "path/trips=1024/unroll=64/masking=off";
+
+/// Minimum saving the liveness-masked probe path must keep delivering
+/// at the deep-unroll point, in percent of the unmasked twin's
+/// `subset_checks` — the PR 7 acceptance bar.
+const MASKED_GATE_PERCENT: u64 = 25;
+
 /// The throughput configuration the wall-clock gate replays: the
 /// 64-program mixed batch on four workers.
 const THROUGHPUT_GATE_JOBS: usize = 4;
@@ -62,7 +79,7 @@ fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR6.json")
+        .unwrap_or("BENCH_PR7.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -175,6 +192,30 @@ fn main() -> ExitCode {
             "fixpoint_guard: deep-unroll subset_checks regressed: {deep_checks} > {deep_budget} \
              (baseline {base_deep} + {TOLERANCE_PERCENT}%) — the visited table is scanning \
              chains it should fingerprint-reject, cap, or evict"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Masked-pruning gate: the liveness-masked deep-unroll row must
+    // keep spending at least MASKED_GATE_PERCENT% fewer subset checks
+    // than the unmasked ablation twin recorded in the baseline.
+    let Some(base_unmasked) =
+        fixpoint_suite::label_field_in_json(&doc, MASKING_OFF_LABEL, "subset_checks")
+    else {
+        eprintln!("fixpoint_guard: {path} carries no {MASKING_OFF_LABEL} subset_checks");
+        return ExitCode::FAILURE;
+    };
+    let masked_ceiling = base_unmasked * (100 - MASKED_GATE_PERCENT) / 100;
+    println!(
+        "baseline {MASKING_OFF_LABEL} subset_checks {base_unmasked}, masked ceiling \
+         {masked_ceiling} (-{MASKED_GATE_PERCENT}%), current masked {deep_checks}"
+    );
+    if deep_checks > masked_ceiling {
+        eprintln!(
+            "fixpoint_guard: liveness masking stopped paying for itself: the masked \
+             deep-unroll row spends {deep_checks} subset checks, more than \
+             {masked_ceiling} ({MASKED_GATE_PERCENT}% below the unmasked baseline \
+             {base_unmasked}) — checkpoint cleaning or the masked probe path regressed"
         );
         return ExitCode::FAILURE;
     }

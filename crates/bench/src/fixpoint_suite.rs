@@ -95,6 +95,43 @@ pub fn spill_loop(trips: u32) -> Program {
     .expect("assembles")
 }
 
+/// A bounded loop whose two branch arms differ **only in a dead
+/// register**: each trip takes one of two paths that write different
+/// constants into a scratch register nothing ever reads, then
+/// re-converge on the same masked store. Unmasked, the two arrivals at
+/// the join are distinct states and both get explored; with liveness
+/// masking the checkpoint cleaning sets the dead scratch to ⊤ on both,
+/// they fingerprint equally, and the second arrival prunes through the
+/// masked probe — the workload behind the `live_masked_prunes` counter.
+#[must_use]
+pub fn dead_scratch_loop(trips: u32) -> Program {
+    assemble(&format!(
+        r"
+            r1 = 0              ; i
+        loop:
+            r6 = r2             ; unknown bit decides the arm…
+            r6 &= 1
+            if r6 > 0 goto odd
+            r6 = 11             ; …and both arms overwrite it, so the
+            goto join
+        odd:
+            r6 = 22             ; arrivals differ only in dead r6
+        join:
+            r4 = r1
+            r4 &= 15
+            r3 = r10
+            r3 += -16
+            r3 += r4
+            *(u8 *)(r3 + 0) = 0
+            r1 += 1
+            if r1 < {trips} goto loop
+            r0 = r1
+            exit
+        "
+    ))
+    .expect("assembles")
+}
+
 /// A loop-free packet-filter-style program: an untrusted byte bounded
 /// by a branch guard (`bound` ≤ 63 keeps the store inside the 64-byte
 /// window), a checked store, and a pure scalar ALU tail — the acyclic
@@ -238,6 +275,48 @@ pub fn sweep_configs() -> Vec<(String, Program, VerificationSession)> {
                 .with_options(AnalyzerOptions {
                     unroll_k: 64,
                     visited_cap: cap,
+                    ..AnalyzerOptions::default()
+                }),
+        ));
+    }
+    // Liveness-masking ablation: the same deep-unroll configuration with
+    // `liveness_pruning` off is the unmasked twin the guard's
+    // masked-pruning gate (and EXPERIMENTS E18) compares against, under
+    // both strategies.
+    out.push((
+        "path/trips=1024/unroll=64/masking=off".to_string(),
+        masked_memset(1024),
+        VerificationSession::new()
+            .with_strategy(Strategy::PathSensitive)
+            .with_options(AnalyzerOptions {
+                unroll_k: 64,
+                liveness_pruning: false,
+                ..AnalyzerOptions::default()
+            }),
+    ));
+    out.push((
+        "fixpoint/trips=1024/delay=16/masking=off".to_string(),
+        masked_memset(1024),
+        VerificationSession::new().with_options(AnalyzerOptions {
+            liveness_pruning: false,
+            ..AnalyzerOptions::default()
+        }),
+    ));
+    // The dead-scratch loop, masked vs unmasked: per-trip arrivals at
+    // the join differ only in the dead scratch register, so the masked
+    // run collapses the two paths at every trip (`live_masked_prunes`)
+    // while the unmasked run walks both.
+    for masking in [true, false] {
+        out.push((
+            format!(
+                "path/dead_scratch/trips=64{}",
+                if masking { "" } else { "/masking=off" }
+            ),
+            dead_scratch_loop(64),
+            VerificationSession::new()
+                .with_strategy(Strategy::PathSensitive)
+                .with_options(AnalyzerOptions {
+                    liveness_pruning: masking,
                     ..AnalyzerOptions::default()
                 }),
         ));
@@ -448,9 +527,10 @@ mod tests {
         let stats = collect_stats();
         assert_eq!(
             stats.len(),
-            // trips sweep + cap ablation (2) + two-back-edge (3) +
+            // trips sweep + cap ablation (2) + masking ablation (2) +
+            // dead-scratch masking pair (2) + two-back-edge (3) +
             // spill loop (2).
-            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 7
+            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 11
         );
         let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
         assert!(total > 0);
@@ -517,6 +597,56 @@ mod tests {
             spills.bytes_materialized < spills.states_allocated * 4096,
             "chunked frames must copy less than whole-frame semantics: {spills:?}"
         );
+    }
+
+    #[test]
+    fn masking_cuts_subset_checks_at_the_deep_unroll_point() {
+        let stats = collect_stats();
+        let by_label = |needle: &str| {
+            stats
+                .iter()
+                .find(|(l, _)| l == needle)
+                .unwrap_or_else(|| panic!("{needle} missing from sweep"))
+                .1
+        };
+        let masked = by_label("path/trips=1024/unroll=64");
+        let unmasked = by_label("path/trips=1024/unroll=64/masking=off");
+        println!("masked:   {masked:?}");
+        println!("unmasked: {unmasked:?}");
+        // The ablation twin runs with masking off: its new counters are
+        // structurally zero.
+        assert_eq!(unmasked.live_masked_prunes, 0, "{unmasked:?}");
+        assert_eq!(unmasked.dead_components_cleared, 0, "{unmasked:?}");
+        // The masked run cleans dead components at checkpoints and
+        // spends at least 25% fewer deep subset checks than its
+        // unmasked twin (the PR 7 acceptance bar, re-checked against
+        // the committed baseline by `fixpoint_guard`).
+        assert!(masked.dead_components_cleared > 0, "{masked:?}");
+        assert!(
+            masked.subset_checks * 4 <= unmasked.subset_checks * 3,
+            "masked {} vs unmasked {} subset checks",
+            masked.subset_checks,
+            unmasked.subset_checks
+        );
+        // The dead-scratch loop is where masked probes actually *prune*:
+        // per-trip arrivals at the join differ only in the dead scratch
+        // register, so cleaning makes them collide by fingerprint and
+        // the masked run explores strictly less than the unmasked one.
+        let ds_masked = by_label("path/dead_scratch/trips=64");
+        let ds_unmasked = by_label("path/dead_scratch/trips=64/masking=off");
+        assert!(ds_masked.live_masked_prunes > 0, "{ds_masked:?}");
+        assert!(
+            ds_masked.visits < ds_unmasked.visits,
+            "masked {} vs unmasked {} visits",
+            ds_masked.visits,
+            ds_unmasked.visits
+        );
+        // The fixpoint strategy keeps its verdict-relevant work identical
+        // under masking (same visits), it only cleans.
+        let fx_masked = by_label("fixpoint/trips=1024/delay=16");
+        let fx_unmasked = by_label("fixpoint/trips=1024/delay=16/masking=off");
+        assert_eq!(fx_masked.visits, fx_unmasked.visits);
+        assert!(fx_masked.dead_components_cleared > 0, "{fx_masked:?}");
     }
 
     #[test]

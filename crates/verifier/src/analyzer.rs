@@ -93,6 +93,20 @@ pub struct AnalyzerOptions {
     /// `Some` (a fresh cache) by default; `None` disables memoization
     /// entirely (for ablations and differential tests).
     pub memo_cache: Option<Arc<TransferMemo>>,
+    /// Liveness-aware state pruning (on by default): run the
+    /// [`crate::passes`] framework before exploration and *clean* dead
+    /// registers and stack slots — components no future instruction can
+    /// read — from every state arriving at a checkpoint (the kernel's
+    /// `clean_verifier_state`). Cleaned components are
+    /// [`crate::RegValue::Uninit`], the top of the safety order, so
+    /// path states differing only in dead components fingerprint
+    /// equally and prune each other, loop-head summaries stop widening
+    /// dead components, and the fixpoint's merge-point joins
+    /// subset-skip contributions that differ only in dead state.
+    /// Sound by construction (cleaning only weakens states the
+    /// analysis has proven it will never read); disable for ablations
+    /// and the masking-soundness differential campaign.
+    pub liveness_pruning: bool,
 }
 
 impl Default for AnalyzerOptions {
@@ -108,6 +122,7 @@ impl Default for AnalyzerOptions {
             unroll_k: 32,
             visited_cap: 32,
             memo_cache: Some(Arc::new(TransferMemo::new())),
+            liveness_pruning: true,
         }
     }
 }

@@ -37,7 +37,7 @@ use crate::error::VerifierError;
 use crate::explore::Strategy;
 use crate::fixpoint::AnalysisStats;
 use crate::memo;
-use crate::state::{AbsState, StackSlot, REGS, SLOTS};
+use crate::state::{AbsState, SparseStack, REGS};
 use crate::value::RegValue;
 
 /// One unit of batch work: a program with its own options and strategy.
@@ -112,12 +112,15 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
-/// One per-instruction state flattened to dense `Copy` arrays — the
-/// `Send` representation that crosses the worker boundary (boxed: a
-/// point is ~5 KiB and lives in a `Vec`).
+/// One per-instruction state flattened to the `Send` representation
+/// that crosses the worker boundary: a dense register file plus a
+/// *sparse* stack — one boxed chunk per materialized frame position,
+/// `None` where the chunk is entirely uninitialized (untouched, or
+/// cleaned to ⊤ by liveness pruning). A stackless or mostly-dead point
+/// is therefore ~11 register values and eight `None`s, not ~5 KiB.
 struct DensePoint {
     regs: [RegValue; REGS],
-    slots: [StackSlot; SLOTS],
+    chunks: SparseStack,
 }
 
 /// A whole [`Analysis`] in `Send` form.
@@ -136,8 +139,8 @@ impl SendAnalysis {
                 .iter()
                 .map(|s| {
                     s.as_ref().map(|st| {
-                        let (regs, slots) = st.to_parts();
-                        Box::new(DensePoint { regs, slots })
+                        let (regs, chunks) = st.to_parts();
+                        Box::new(DensePoint { regs, chunks })
                     })
                 })
                 .collect(),
@@ -150,7 +153,7 @@ impl SendAnalysis {
             self.strategy,
             self.states
                 .into_iter()
-                .map(|p| p.map(|p| AbsState::from_parts(p.regs, p.slots)))
+                .map(|p| p.map(|p| AbsState::from_parts(p.regs, p.chunks)))
                 .collect(),
             self.stats,
         )
@@ -339,6 +342,40 @@ mod tests {
             }
         }
         assert_eq!(batched.annotate(&prog), direct.annotate(&prog));
+    }
+
+    #[test]
+    fn snapshots_skip_uninit_stack_chunks_and_rebuilds_share_them() {
+        // A stackless program: every captured point crosses the thread
+        // boundary with zero dense chunks.
+        let prog = assemble("r0 = 0\nexit").unwrap();
+        let direct = VerificationSession::new().run(&prog).unwrap();
+        let send = SendAnalysis::capture(&direct);
+        for point in send.states.iter().flatten() {
+            assert!(
+                point.chunks.iter().all(Option::is_none),
+                "untouched frame snapshots dense chunks"
+            );
+        }
+        // One spill materializes exactly one chunk in the snapshot …
+        let prog = assemble("r3 = 1\n*(u64 *)(r10 - 8) = r3\nr0 = 0\nexit").unwrap();
+        let direct = VerificationSession::new().run(&prog).unwrap();
+        let send = SendAnalysis::capture(&direct);
+        let at_exit = send.states[3].as_ref().unwrap();
+        assert_eq!(
+            at_exit.chunks.iter().filter(|c| c.is_some()).count(),
+            1,
+            "one spilled chunk is dense, the other seven stay sparse"
+        );
+        // … and rebuilt frames share one empty-chunk allocation: two
+        // rebuilt pre-spill states agree on all chunks by *pointer*.
+        let rebuilt = send.rebuild();
+        let (a, b) = (
+            rebuilt.state_before(0).unwrap(),
+            rebuilt.state_before(1).unwrap(),
+        );
+        assert_eq!(a.shared_stack_chunks(b), crate::STACK_CHUNKS);
+        assert_eq!(rebuilt.state_before(3), direct.state_before(3));
     }
 
     #[test]

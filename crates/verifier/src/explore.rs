@@ -216,6 +216,16 @@ impl ExplorationStrategy for PathSensitive {
                 preds[s] += 1;
             }
         }
+        // The pass framework feeds checkpoint cleaning: every arrival
+        // at a checkpoint drops its dead components (kernel
+        // `clean_verifier_state`) *before* the summary join and the
+        // visited probe, so paths differing only in dead registers or
+        // slots fingerprint equally and prune each other, and loop-head
+        // summaries never widen (or burn delay on) dead components.
+        let passes = options
+            .liveness_pruning
+            .then(|| crate::passes::ProgramPasses::compute(prog, &cfg));
+        let mut dead_components_cleared: u64 = 0;
 
         let mut visited = VisitedTable::with_cap(prog.len(), options.visited_cap as usize);
         let mut report: Vec<Option<AbsState>> = vec![None; prog.len()];
@@ -240,6 +250,13 @@ impl ExplorationStrategy for PathSensitive {
                 });
             }
             let h = head_idx[pc];
+            let checkpoint = h != usize::MAX || preds[pc] > 1;
+            if checkpoint {
+                if let Some(p) = &passes {
+                    let mask = p.live_in(pc);
+                    dead_components_cleared += u64::from(state.clear_dead(mask.regs, mask.slots));
+                }
+            }
             if h != usize::MAX {
                 // A new trip of this loop restarts the unroll budget of
                 // every head nested inside it (later in RPO), so an
@@ -304,8 +321,13 @@ impl ExplorationStrategy for PathSensitive {
                     }
                 }
             }
-            if h != usize::MAX || preds[pc] > 1 {
-                if visited.is_covered(pc, &state) {
+            if checkpoint {
+                let covered = if passes.is_some() {
+                    visited.is_covered_masked(pc, &state)
+                } else {
+                    visited.is_covered(pc, &state)
+                };
+                if covered {
                     continue;
                 }
                 visited.insert(pc, state.clone());
@@ -342,6 +364,11 @@ impl ExplorationStrategy for PathSensitive {
                 memo_hits,
                 memo_misses,
                 memo_evicted,
+                live_masked_prunes: visited.masked_prunes(),
+                dead_components_cleared,
+                dead_insns: passes
+                    .as_ref()
+                    .map_or(0, crate::passes::ProgramPasses::dead_insns),
             },
         })
     }

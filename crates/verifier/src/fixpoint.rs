@@ -84,6 +84,23 @@ pub struct AnalysisStats {
     /// Transfer memo entries this run's inserts displaced through the
     /// per-shard capacity caps.
     pub memo_evicted: u64,
+    /// Arrivals pruned through the liveness-masked visited probe
+    /// ([`crate::VisitedTable::is_covered_masked`]) — the pruning wins
+    /// attributable to checkpoint cleaning under
+    /// [`AnalyzerOptions::liveness_pruning`]. A subset of
+    /// `states_pruned`; always zero under the widening fixpoint and
+    /// with masking off.
+    pub live_masked_prunes: u64,
+    /// Registers and stack slots reset to their uninitialized top by
+    /// checkpoint cleaning (`AbsState::clear_dead`) because the
+    /// liveness pass proved them dead.
+    pub dead_components_cleared: u64,
+    /// Statically dead instructions the pass framework found:
+    /// unreachable from the entry, or side-effect-free definitions
+    /// whose result is never read. Zero with
+    /// [`AnalyzerOptions::liveness_pruning`] off (the passes never
+    /// run).
+    pub dead_insns: u64,
 }
 
 impl AnalysisStats {
@@ -105,7 +122,9 @@ impl AnalysisStats {
              \"visits\": {}, \"states_pruned\": {}, \"subset_checks\": {}, \
              \"unrolled_trips\": {}, \"fingerprint_rejects\": {}, \
              \"visited_evicted\": {}, \"bytes_materialized\": {}, \
-             \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evicted\": {}}}",
+             \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evicted\": {}, \
+             \"live_masked_prunes\": {}, \"dead_components_cleared\": {}, \
+             \"dead_insns\": {}}}",
             self.states_allocated,
             self.states_shared,
             self.joins_short_circuited,
@@ -119,7 +138,10 @@ impl AnalysisStats {
             self.bytes_materialized,
             self.memo_hits,
             self.memo_misses,
-            self.memo_evicted
+            self.memo_evicted,
+            self.live_masked_prunes,
+            self.dead_components_cleared,
+            self.dead_insns
         )
     }
 }
@@ -177,8 +199,32 @@ pub fn run(
         WidenThresholds::EMPTY
     };
 
+    // The pass framework feeds checkpoint cleaning: states flowing into
+    // a loop head or merge point drop their dead components first, so
+    // contributions differing only in dead registers/slots subset-skip
+    // instead of re-joining, and dead components never burn widening
+    // delay. Cleaning to `Uninit` (the join/order top) is monotone, so
+    // the fixpoint stays a sound over-approximation on live components.
+    let passes = options
+        .liveness_pruning
+        .then(|| crate::passes::ProgramPasses::compute(prog, cfg));
+    let mut preds = vec![0u32; prog.len()];
+    for &pc in cfg.rpo() {
+        for &s in cfg.successors(pc) {
+            preds[s] += 1;
+        }
+    }
+    let mut dead_components_cleared: u64 = 0;
+
+    let mut entry = AbsState::entry();
+    if let Some(p) = &passes {
+        if cfg.is_loop_head(0) || preds[0] > 1 {
+            let mask = p.live_in(0);
+            dead_components_cleared += u64::from(entry.clear_dead(mask.regs, mask.slots));
+        }
+    }
     let mut states: Vec<Option<AbsState>> = vec![None; prog.len()];
-    states[0] = Some(AbsState::entry());
+    states[0] = Some(entry);
     // Per-loop-head, per-component changing-join counters driving the
     // per-register delayed widening (allocated lazily: only heads join).
     let mut counters: Vec<Option<Box<JoinCounters>>> = vec![None; prog.len()];
@@ -204,7 +250,13 @@ pub fn run(
         let state = states[pc]
             .clone()
             .expect("queued instructions have a state");
-        for (succ, out) in transfer.step(prog, state, pc)? {
+        for (succ, mut out) in transfer.step(prog, state, pc)? {
+            if let Some(p) = &passes {
+                if cfg.is_loop_head(succ) || preds[succ] > 1 {
+                    let mask = p.live_in(succ);
+                    dead_components_cleared += u64::from(out.clear_dead(mask.regs, mask.slots));
+                }
+            }
             let changed = match &mut states[succ] {
                 slot @ None => {
                     *slot = Some(out);
@@ -236,7 +288,15 @@ pub fn run(
     let states = if cfg.back_edges().is_empty() {
         states
     } else {
-        narrow(transfer, prog, cfg, &states)?
+        narrow(
+            transfer,
+            prog,
+            cfg,
+            &states,
+            passes.as_ref(),
+            &preds,
+            &mut dead_components_cleared,
+        )?
     };
 
     let traffic = stats::snapshot();
@@ -261,6 +321,11 @@ pub fn run(
             memo_hits,
             memo_misses,
             memo_evicted,
+            live_masked_prunes: 0,
+            dead_components_cleared,
+            dead_insns: passes
+                .as_ref()
+                .map_or(0, super::passes::ProgramPasses::dead_insns),
         },
     ))
 }
@@ -275,14 +340,33 @@ fn narrow(
     prog: &Program,
     cfg: &Cfg,
     states: &[Option<AbsState>],
+    passes: Option<&crate::passes::ProgramPasses>,
+    preds: &[u32],
+    dead_components_cleared: &mut u64,
 ) -> Result<Vec<Option<AbsState>>, VerifierError> {
     let mut narrowed: Vec<Option<AbsState>> = vec![None; prog.len()];
-    narrowed[0] = Some(AbsState::entry());
+    let mut entry = AbsState::entry();
+    if let Some(p) = passes {
+        if cfg.is_loop_head(0) || preds[0] > 1 {
+            let mask = p.live_in(0);
+            *dead_components_cleared += u64::from(entry.clear_dead(mask.regs, mask.slots));
+        }
+    }
+    narrowed[0] = Some(entry);
     for &pc in cfg.rpo() {
         let Some(state) = states[pc].clone() else {
             continue;
         };
-        for (succ, out) in transfer.step(prog, state, pc)? {
+        for (succ, mut out) in transfer.step(prog, state, pc)? {
+            // The same checkpoint cleaning the widened pass applied:
+            // narrowing must not resurrect dead components the
+            // fixpoint already dropped.
+            if let Some(p) = passes {
+                if cfg.is_loop_head(succ) || preds[succ] > 1 {
+                    let mask = p.live_in(succ);
+                    *dead_components_cleared += u64::from(out.clear_dead(mask.regs, mask.slots));
+                }
+            }
             match &mut narrowed[succ] {
                 slot @ None => *slot = Some(out),
                 // In-place join: the cell materializes once and then

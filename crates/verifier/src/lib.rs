@@ -126,11 +126,12 @@
 mod analyzer;
 pub mod batch;
 mod branch;
-mod cfg;
+pub mod cfg;
 mod error;
 pub mod explore;
 pub mod fixpoint;
 pub mod memo;
+pub mod passes;
 mod product;
 mod scalar;
 pub mod state;
@@ -142,10 +143,12 @@ pub use analyzer::{Analysis, Analyzer, AnalyzerOptions, VerificationSession};
 pub use batch::{BatchItem, BatchReport, BatchStats};
 pub use branch::refine as refine_branch;
 pub use branch::refine32 as refine_branch32;
+pub use cfg::Cfg;
 pub use error::VerifierError;
 pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, WideningFixpoint};
 pub use fixpoint::AnalysisStats;
 pub use memo::{MemoEffect, MemoKey, TransferMemo};
+pub use passes::{LiveSet, ProgramPasses};
 pub use product::Product;
 pub use scalar::Scalar;
 pub use state::value_fingerprint;

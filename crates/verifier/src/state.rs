@@ -377,6 +377,11 @@ type RegFile = Cells<RegValue, REGS>;
 /// the chunk's position in when combining.
 type Chunk = Cells<StackSlot, CHUNK_SLOTS>;
 
+/// The `Send` sparse stack snapshot produced by [`AbsState::to_parts`]:
+/// one boxed dense chunk per frame position, or `None` where the chunk
+/// is entirely [`StackSlot::Uninit`] (untouched or liveness-cleaned).
+pub(crate) type SparseStack = [Option<Box<[StackSlot; CHUNK_SLOTS]>>; STACK_CHUNKS];
+
 /// The stack frame spine: [`STACK_CHUNKS`] `Rc`'d chunks plus the
 /// XOR-combined, position-mixed frame fingerprint.
 #[derive(Clone, Debug)]
@@ -682,6 +687,38 @@ impl AbsState {
         }
     }
 
+    /// Sets every register and stack slot *outside* the live masks to
+    /// its uninitialized top (`RegValue::Uninit` / `StackSlot::Uninit`)
+    /// — the kernel's `clean_verifier_state`. A cleaned component is
+    /// covered by anything in inclusion probes and hashes as a fixed
+    /// salt in the fingerprint, so states that differed only in dead
+    /// components become equal and prune each other.
+    ///
+    /// Register bits follow `Reg::index()` (`live_regs` bit `i` keeps
+    /// `r{i}`); slot bits follow the frame's slot indices. Components
+    /// already at top are left untouched (no materialization), so
+    /// cleaning an already-clean state is free and preserves sharing.
+    ///
+    /// Returns the number of components actually cleared.
+    pub fn clear_dead(&mut self, live_regs: u16, live_slots: u64) -> u32 {
+        let mut cleared = 0;
+        for r in Reg::ALL {
+            if live_regs & (1 << r.index()) == 0 && self.regs.vals[r.index()] != RegValue::Uninit {
+                self.regs_mut().set(r.index(), RegValue::Uninit);
+                cleared += 1;
+            }
+        }
+        if live_slots != u64::MAX {
+            for i in 0..SLOTS {
+                if live_slots & (1 << i) == 0 && self.stack.slot(i) != StackSlot::Uninit {
+                    self.frame_mut().set_slot(i, StackSlot::Uninit);
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
+    }
+
     /// Whether every byte of `[start, end)` has been initialized.
     #[must_use]
     pub fn stack_range_initialized(&self, start: i64, end: i64) -> bool {
@@ -807,23 +844,40 @@ impl AbsState {
             .count()
     }
 
-    /// Flattens the state into dense value arrays — plain `Copy` data
-    /// with no `Rc`s, so the result is `Send` and can cross the
-    /// program-granular thread boundary of `verifier::batch`.
-    pub(crate) fn to_parts(&self) -> ([RegValue; REGS], [StackSlot; SLOTS]) {
-        let slots = std::array::from_fn(|i| self.stack.slot(i));
-        (self.regs.vals, slots)
+    /// Flattens the state into the register file plus **sparse**
+    /// per-chunk stack snapshots — plain `Copy` data behind `Box`es with
+    /// no `Rc`s, so the result is `Send` and can cross the
+    /// program-granular thread boundary of `verifier::batch`. Chunks
+    /// that are entirely [`StackSlot::Uninit`] — untouched chunks, and
+    /// chunks the liveness pass cleaned to ⊤ — snapshot as `None`
+    /// instead of eight dense slots, so a mostly-dead frame crosses the
+    /// thread boundary as eight `None`s.
+    pub(crate) fn to_parts(&self) -> ([RegValue; REGS], SparseStack) {
+        let chunks = std::array::from_fn(|c| {
+            let chunk = &self.stack.chunks[c];
+            if chunk.vals.iter().all(|s| *s == StackSlot::Uninit) {
+                None
+            } else {
+                Some(Box::new(chunk.vals))
+            }
+        });
+        (self.regs.vals, chunks)
     }
 
-    /// Rebuilds a state from the dense arrays of
-    /// [`to_parts`](AbsState::to_parts) on the receiving thread.
-    /// Fingerprints are recomputed from the contents, so a round-trip
+    /// Rebuilds a state from the sparse arrays of
+    /// [`to_parts`](AbsState::to_parts) on the receiving thread. Every
+    /// `None` chunk maps to *one* shared all-`Uninit` chunk allocation
+    /// (the same the empty frame uses), so rebuilt mostly-dead frames
+    /// stay as cheap as freshly-forked ones. Fingerprints are
+    /// recomputed from the contents — chunk fingerprints are
+    /// position-independent, so the shared empty chunk fingerprints
+    /// identically to a dense all-`Uninit` one and a round-trip
     /// preserves both equality and [`AbsState::fingerprint`].
-    pub(crate) fn from_parts(regs: [RegValue; REGS], slots: [StackSlot; SLOTS]) -> AbsState {
-        let chunks: [Rc<Chunk>; STACK_CHUNKS] = std::array::from_fn(|c| {
-            Rc::new(Chunk::new(std::array::from_fn(|j| {
-                slots[c * CHUNK_SLOTS + j]
-            })))
+    pub(crate) fn from_parts(regs: [RegValue; REGS], chunks: SparseStack) -> AbsState {
+        let empty = EMPTY_FRAME.with(|f| Rc::clone(&f.chunks[0]));
+        let chunks: [Rc<Chunk>; STACK_CHUNKS] = std::array::from_fn(|c| match &chunks[c] {
+            Some(vals) => Rc::new(Chunk::new(**vals)),
+            None => Rc::clone(&empty),
         });
         AbsState {
             regs: Rc::new(Cells::new(regs)),

@@ -62,6 +62,14 @@ const STRICT_PROBES: usize = 2;
 /// new summary dominates is always the newest entry.
 const DOMINANCE_PROBES: usize = 2;
 
+/// Strict-probe budget of the liveness-masked probe path
+/// ([`VisitedTable::is_covered_masked`]): zero. Checkpoint cleaning
+/// (`AbsState::clear_dead`) sets every dead component to its top, so
+/// states that differ only in dead components *fingerprint equally* and
+/// take the fingerprint-match probe; a mismatch means the live parts
+/// genuinely differ, and spending deep probes on those rarely prunes.
+const MASKED_STRICT_PROBES: usize = 0;
+
 /// One recorded exploration: the state plus its cached fingerprint.
 #[derive(Clone, Debug)]
 struct Entry {
@@ -85,6 +93,7 @@ pub struct VisitedTable {
     states_pruned: u64,
     fingerprint_rejects: u64,
     visited_evicted: u64,
+    masked_prunes: u64,
 }
 
 impl VisitedTable {
@@ -106,6 +115,7 @@ impl VisitedTable {
             states_pruned: 0,
             fingerprint_rejects: 0,
             visited_evicted: 0,
+            masked_prunes: 0,
         }
     }
 
@@ -120,8 +130,31 @@ impl VisitedTable {
     /// get one only within the newest-first [`STRICT_PROBES`] budget and
     /// are otherwise dismissed in O(1).
     pub fn is_covered(&mut self, pc: usize, state: &AbsState) -> bool {
+        self.probe(pc, state, STRICT_PROBES)
+    }
+
+    /// [`VisitedTable::is_covered`] for liveness-*cleaned* arrivals:
+    /// identical semantics, but the strict-probe budget drops to
+    /// [`MASKED_STRICT_PROBES`] — after `AbsState::clear_dead` has set
+    /// every dead component to its top, arrivals that differ only in
+    /// dead components already land on the fingerprint-match path, so
+    /// deep probes on mismatched fingerprints buy almost nothing.
+    /// Prunes through this path are additionally counted in
+    /// [`VisitedTable::masked_prunes`] (the `live_masked_prunes` stat).
+    pub fn is_covered_masked(&mut self, pc: usize, state: &AbsState) -> bool {
+        let covered = self.probe(pc, state, MASKED_STRICT_PROBES);
+        if covered {
+            self.masked_prunes += 1;
+        }
+        covered
+    }
+
+    /// The shared probe loop behind both covering checks, with an
+    /// explicit newest-first budget of strict (fingerprint-mismatched)
+    /// deep probes.
+    fn probe(&mut self, pc: usize, state: &AbsState, strict_budget: usize) -> bool {
         let fp = state.fingerprint();
-        let mut strict_left = STRICT_PROBES;
+        let mut strict_left = strict_budget;
         for seen in self.buckets[pc].iter().rev() {
             let full_probe = if seen.fp == fp {
                 true
@@ -240,6 +273,14 @@ impl VisitedTable {
     pub fn visited_evicted(&self) -> u64 {
         self.visited_evicted
     }
+
+    /// Arrivals pruned through the liveness-masked probe path
+    /// ([`VisitedTable::is_covered_masked`]) — a subset of
+    /// [`VisitedTable::states_pruned`].
+    #[must_use]
+    pub fn masked_prunes(&self) -> u64 {
+        self.masked_prunes
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +373,26 @@ mod tests {
         // An arrival *equal* to the oldest entry is still found: the
         // fingerprint match forces the deep probe wherever it sits.
         assert!(table.is_covered(0, &with_r3(100)));
+    }
+
+    #[test]
+    fn masked_probes_skip_every_mismatched_fingerprint() {
+        let mut table = VisitedTable::with_cap(1, 0);
+        for k in 0..16 {
+            table.insert(0, with_r3(100 + k));
+        }
+        let checks_before = table.subset_checks();
+        // Incomparable arrival: all fingerprints mismatch, and the
+        // masked path spends no strict probes on them at all.
+        assert!(!table.is_covered_masked(0, &with_r3(7)));
+        assert_eq!(table.subset_checks(), checks_before, "no deep probes");
+        assert_eq!(table.fingerprint_rejects(), 16);
+        assert_eq!(table.masked_prunes(), 0);
+        // The equality path is untouched: a fingerprint match forces
+        // the deep probe wherever the entry sits in the chain.
+        assert!(table.is_covered_masked(0, &with_r3(100)));
+        assert_eq!(table.masked_prunes(), 1);
+        assert_eq!(table.states_pruned(), 1);
     }
 
     #[test]

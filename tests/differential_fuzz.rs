@@ -7,9 +7,14 @@
 //! the concrete BPF semantics, the strongest soundness evidence the test
 //! suite produces.
 
+use std::sync::Arc;
+
 use domain::rng::SplitMix64;
 use ebpf::{AluOp, Insn, Program, Reg, Src, Vm, Width};
-use verifier::{Analyzer, AnalyzerOptions, RegValue, Strategy, VerificationSession};
+use verifier::{
+    Analyzer, AnalyzerOptions, Cfg, ProgramPasses, RegValue, Strategy, TransferMemo,
+    VerificationSession,
+};
 
 /// The fuzzed register set: seeded with constants up front so every
 /// random use reads an initialized register.
@@ -645,6 +650,61 @@ fn byte_round_trip_of_random_programs() {
     }
 }
 
+/// The mixed pruning-campaign corpus: bounded loops (both guard widths)
+/// alternating with store-verdict programs whose mask decides
+/// accept/reject — the workload the visited-table hygiene and
+/// liveness-masking locks both run on.
+fn pruning_campaign_program(rng: &mut SplitMix64, round: usize) -> Program {
+    if round % 2 == 0 {
+        let width = if round % 4 == 0 {
+            Width::W64
+        } else {
+            Width::W32
+        };
+        random_loop_program_at(rng, 8, width)
+    } else {
+        let mask = [7i32, 15, 31, 63][rng.below(4) as usize];
+        let mut insns = seed_regs(rng);
+        for _ in 0..6 {
+            insns.push(random_alu_insn(rng));
+        }
+        insns.extend([
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::And,
+                dst: Reg::R3,
+                src: Src::Imm(mask),
+            },
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Mov,
+                dst: Reg::R9,
+                src: Src::Reg(Reg::R10),
+            },
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Add,
+                dst: Reg::R9,
+                src: Src::Imm(-16),
+            },
+            Insn::Alu {
+                width: Width::W64,
+                op: AluOp::Add,
+                dst: Reg::R9,
+                src: Src::Reg(Reg::R3),
+            },
+            Insn::Store {
+                size: ebpf::MemSize::B,
+                base: Reg::R9,
+                off: 0,
+                src: Src::Imm(0),
+            },
+            Insn::Exit,
+        ]);
+        Program::new(insns).expect("store programs validate")
+    }
+}
+
 #[test]
 fn eviction_and_chain_caps_never_change_verdicts() {
     // Pruning-table hygiene — fingerprint-gated probes, dominance
@@ -673,56 +733,7 @@ fn eviction_and_chain_caps_never_change_verdicts() {
     let mut rng = SplitMix64::new(0xE71C);
     let (mut accepts, mut rejects) = (0u32, 0u32);
     for round in 0..60 {
-        // Alternate bounded loops (both guard widths) with store-verdict
-        // programs whose mask decides accept/reject.
-        let prog = if round % 2 == 0 {
-            let width = if round % 4 == 0 {
-                Width::W64
-            } else {
-                Width::W32
-            };
-            random_loop_program_at(&mut rng, 8, width)
-        } else {
-            let mask = [7i32, 15, 31, 63][rng.below(4) as usize];
-            let mut insns = seed_regs(&mut rng);
-            for _ in 0..6 {
-                insns.push(random_alu_insn(&mut rng));
-            }
-            insns.extend([
-                Insn::Alu {
-                    width: Width::W64,
-                    op: AluOp::And,
-                    dst: Reg::R3,
-                    src: Src::Imm(mask),
-                },
-                Insn::Alu {
-                    width: Width::W64,
-                    op: AluOp::Mov,
-                    dst: Reg::R9,
-                    src: Src::Reg(Reg::R10),
-                },
-                Insn::Alu {
-                    width: Width::W64,
-                    op: AluOp::Add,
-                    dst: Reg::R9,
-                    src: Src::Imm(-16),
-                },
-                Insn::Alu {
-                    width: Width::W64,
-                    op: AluOp::Add,
-                    dst: Reg::R9,
-                    src: Src::Reg(Reg::R3),
-                },
-                Insn::Store {
-                    size: ebpf::MemSize::B,
-                    base: Reg::R9,
-                    off: 0,
-                    src: Src::Imm(0),
-                },
-                Insn::Exit,
-            ]);
-            Program::new(insns).expect("store programs validate")
-        };
+        let prog = pruning_campaign_program(&mut rng, round);
         let results: Vec<_> = sessions.iter().map(|s| s.run(&prog)).collect();
         let baseline_ok = results[0].is_ok();
         if baseline_ok {
@@ -756,6 +767,109 @@ fn eviction_and_chain_caps_never_change_verdicts() {
                         a.is_none(),
                         "round {round}: visited_cap={cap} changed exit reachability"
                     ),
+                }
+            }
+        }
+    }
+    assert!(
+        accepts > 5 && rejects > 5,
+        "campaign must exercise both verdicts: {accepts} accepts, {rejects} rejects"
+    );
+}
+
+#[test]
+fn liveness_masked_pruning_never_changes_verdicts_or_reports() {
+    // Liveness-aware masking — checkpoint cleaning plus masked visited
+    // probes — must be a pure optimization: dead components compare as ⊤
+    // and hash to a fixed salt, so states differing only in dead
+    // registers collide and prune, but no *live* fact may move. Lock
+    // exactly that, across the full configuration matrix of strategies ×
+    // memo on/off × visited caps: a masked run must produce the same
+    // verdict (same rejection, rendered identically) as its unmasked
+    // twin, reach the same pcs, and agree on every live component of
+    // every reported state. Dead components are allowed to differ — the
+    // masked run cleans them to ⊤ at checkpoints — so both reports are
+    // cleaned with the same per-pc liveness mask before comparing.
+    let caps: [u32; 3] = [0, 2, 32];
+    let strategies = [Strategy::WideningFixpoint, Strategy::PathSensitive];
+    let mut rng = SplitMix64::new(0x11FE);
+    let (mut accepts, mut rejects) = (0u32, 0u32);
+    for round in 0..30 {
+        let prog = pruning_campaign_program(&mut rng, round);
+        let cfg = Cfg::build(&prog);
+        let passes = ProgramPasses::compute(&prog, &cfg);
+        let mut counted = false;
+        for strategy in strategies {
+            for memo_on in [false, true] {
+                for cap in caps {
+                    let run_with = |liveness_pruning: bool| {
+                        VerificationSession::new()
+                            .with_strategy(strategy)
+                            .with_options(AnalyzerOptions {
+                                visited_cap: cap,
+                                unroll_k: 4, // widening fallback + summaries
+                                liveness_pruning,
+                                memo_cache: memo_on.then(|| Arc::new(TransferMemo::new())),
+                                ..AnalyzerOptions::default()
+                            })
+                            .run(&prog)
+                    };
+                    let masked = run_with(true);
+                    let unmasked = run_with(false);
+                    let label =
+                        format!("round {round} ({strategy:?}, memo={memo_on}, visited_cap={cap})");
+                    let (masked, unmasked) = match (masked, unmasked) {
+                        (Ok(m), Ok(u)) => {
+                            if !counted {
+                                accepts += 1;
+                                counted = true;
+                            }
+                            (m, u)
+                        }
+                        (Err(m), Err(u)) => {
+                            assert_eq!(
+                                m.to_string(),
+                                u.to_string(),
+                                "{label}: masking changed the rejection\n{}",
+                                prog.disassemble(),
+                            );
+                            if !counted {
+                                rejects += 1;
+                                counted = true;
+                            }
+                            continue;
+                        }
+                        (m, u) => panic!(
+                            "{label}: masking changed the verdict \
+                             (masked: {m:?}, unmasked: {u:?})\n{}",
+                            prog.disassemble(),
+                        ),
+                    };
+                    for pc in 0..prog.len() {
+                        match (masked.state_before(pc), unmasked.state_before(pc)) {
+                            (None, None) => {}
+                            (Some(m), Some(u)) => {
+                                let live = passes.live_in(pc);
+                                let mut mc = m.clone();
+                                mc.clear_dead(live.regs, live.slots);
+                                let mut uc = u.clone();
+                                uc.clear_dead(live.regs, live.slots);
+                                assert!(
+                                    mc.is_subset_of(&uc) && uc.is_subset_of(&mc),
+                                    "{label}: live components diverged at pc {pc}\
+                                     \nmasked:   {mc:?}\nunmasked: {uc:?}\n{}",
+                                    prog.disassemble(),
+                                );
+                            }
+                            (m, u) => panic!(
+                                "{label}: masking changed reachability at pc {pc} \
+                                 (masked: {}, unmasked: {})\n{}",
+                                m.is_some(),
+                                u.is_some(),
+                                prog.disassemble(),
+                            ),
+                        }
+                    }
                 }
             }
         }
