@@ -23,7 +23,7 @@
 //! Run with: `cargo bench -p bench --bench fixpoint`
 //!
 //! Set `BENCH_JSON=path.json` to also write the machine-readable
-//! baseline (`BENCH_PR5.json` in the repo root is the committed one).
+//! baseline (`BENCH_PR8.json` in the repo root is the committed one).
 
 use bench::fixpoint_suite;
 use bench::harness::Group;
@@ -76,12 +76,53 @@ fn main() {
     // worker count, cold memo cache per configuration.
     let throughput = fixpoint_suite::throughput_rows();
 
+    // The parallel-exploration family: branchy-tree and deep-unroll
+    // workloads under the parshard strategy at each job count. Wall
+    // clock and counters are scheduling-dependent, so they live in
+    // their own baseline section (par_-prefixed keys).
+    let parshard = fixpoint_suite::parshard_rows();
+
     if let Ok(path) = std::env::var("BENCH_JSON") {
-        let doc = fixpoint_suite::to_json("fixpoint_sweep", group.rows(), &stats, &throughput);
+        let doc = fixpoint_suite::to_json(
+            "fixpoint_sweep",
+            group.rows(),
+            &stats,
+            &throughput,
+            &parshard,
+        );
         std::fs::write(&path, doc).expect("write bench baseline");
         eprintln!("wrote baseline to {path}");
     }
     group.finish();
+
+    println!("\n## parallel path exploration (parshard)\n");
+    let parshard_table: Vec<Vec<String>> = parshard
+        .iter()
+        .map(|(label, ms, s)| {
+            vec![
+                label.clone(),
+                format!("{ms:.1}"),
+                s.visits.to_string(),
+                s.subtrees_spawned.to_string(),
+                s.steals.to_string(),
+                s.shared_prunes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "configuration",
+                "wall ms",
+                "visits",
+                "subtrees",
+                "steals",
+                "shared prunes"
+            ],
+            &parshard_table
+        )
+    );
 
     println!("\n## batched throughput (64 mixed programs)\n");
     let throughput_table: Vec<Vec<String>> = throughput

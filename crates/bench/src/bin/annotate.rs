@@ -13,10 +13,11 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin annotate -- --file prog.s \
-//!     [--strategy fixpoint|path] [--ctx-size 64] [--strict-alignment] \
-//!     [--no-refine] [--reject-loops] [--widen-delay 16] \
-//!     [--unroll-k 32] [--visited-cap 32] [--no-thresholds] \
-//!     [--budget 1000000] [--no-memo] [--no-liveness]
+//!     [--strategy fixpoint|path|parshard] [--ctx-size 64] \
+//!     [--strict-alignment] [--no-refine] [--reject-loops] \
+//!     [--widen-delay 16] [--unroll-k 32] [--visited-cap 32] \
+//!     [--no-thresholds] [--budget 1000000] [--no-memo] [--no-liveness] \
+//!     [--explore-jobs 4] [--spawn-depth 2]
 //! cargo run -p bench --release --bin annotate -- --dir fixtures \
 //!     [--jobs 4] [--strategy path] [--no-memo] [--no-liveness]
 //! cargo run -p bench --release --bin annotate -- --passes --file prog.s
@@ -55,8 +56,9 @@ fn main() -> ExitCode {
     let strategy = match args.get_str("strategy") {
         None | Some("fixpoint") => Strategy::WideningFixpoint,
         Some("path") => Strategy::PathSensitive,
+        Some("parshard") => Strategy::PathParallel,
         Some(other) => {
-            eprintln!("unknown --strategy {other} (expected fixpoint or path)");
+            eprintln!("unknown --strategy {other} (expected fixpoint, path, or parshard)");
             return ExitCode::from(2);
         }
     };
@@ -83,6 +85,12 @@ fn main() -> ExitCode {
             Some(Arc::new(TransferMemo::new()))
         },
         liveness_pruning: !args.has("no-liveness"),
+        explore_jobs: args
+            .get_u64("explore-jobs", u64::from(defaults.explore_jobs))
+            .min(u64::from(u16::MAX)) as u32,
+        spawn_depth: args
+            .get_u64("spawn-depth", u64::from(defaults.spawn_depth))
+            .min(u64::from(u32::MAX)) as u32,
     };
     let session = VerificationSession::new()
         .with_options(options)
@@ -296,6 +304,12 @@ fn run_dir(session: &VerificationSession, dir: &str, jobs: usize) -> ExitCode {
         stats.elapsed.as_secs_f64() * 1e3,
         stats.jobs,
         stats.programs_per_sec()
+    );
+    println!(
+        "threads: {} outer x {} inner = {} of the budget utilized",
+        stats.jobs,
+        stats.inner_jobs,
+        stats.jobs * stats.inner_jobs
     );
     println!(
         "memo: {} hits / {} misses ({:.1}% hit rate), {} evicted",

@@ -1,6 +1,6 @@
 //! `fixpoint_guard` — the CI smoke check for the exploration engines:
 //! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
-//! totals against the committed `BENCH_PR7.json` baseline, and fails
+//! totals against the committed `BENCH_PR8.json` baseline, and fails
 //! when any of the gated quantities regresses by more than 20%:
 //!
 //! * **`states_allocated`** (absolute total): a refactor that quietly
@@ -26,18 +26,26 @@
 //!   sweep reports deterministically — a change that silently disables
 //!   or misses the cache fails CI;
 //! * **batched `programs_per_sec` at jobs=4** (wall-clock, best of
-//!   three runs of the 64-program mixed batch): the one timing-based
-//!   gate, guarding the batch engine's throughput against a >20%
-//!   regression on the same runner class that produced the baseline.
+//!   three runs of the 64-program mixed batch): a timing-based gate,
+//!   guarding the batch engine's throughput against a >20%
+//!   regression on the same runner class that produced the baseline;
+//! * **parallel path exploration at jobs=4** (wall-clock, best of
+//!   three, measured live — no baseline involved): on a multi-core
+//!   runner the parshard strategy must verify the branchy-tree
+//!   workload at least [`PARSHARD_GATE_PERCENT`]% faster with four
+//!   jobs than with one. On a single-core runner the gate is skipped
+//!   with a logged notice — there is no parallelism to buy the saving
+//!   with, and the determinism contract (identical verdicts at every
+//!   job count) is what the test suite checks instead.
 //!
 //! The counter gates are deterministic (unlike the timings), so they
-//! are stable even on noisy runners; the throughput gate takes the best
+//! are stable even on noisy runners; the wall-clock gates take the best
 //! of three runs to shave scheduler noise.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR7.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR8.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -75,11 +83,19 @@ const MASKED_GATE_PERCENT: u64 = 25;
 /// 64-program mixed batch on four workers.
 const THROUGHPUT_GATE_JOBS: usize = 4;
 
+/// Minimum wall-clock saving parallel path exploration must deliver on
+/// the branchy-tree workload at jobs=[`PARSHARD_GATE_JOBS`] vs jobs=1,
+/// in percent — measured live, multi-core runners only.
+const PARSHARD_GATE_PERCENT: u64 = 25;
+
+/// Job count of the parallel-exploration wall-clock gate.
+const PARSHARD_GATE_JOBS: usize = 4;
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR7.json")
+        .unwrap_or("BENCH_PR8.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -271,6 +287,63 @@ fn main() -> ExitCode {
              than {TOLERANCE_PERCENT}% below the baseline {base_rate:.1} at jobs={THROUGHPUT_GATE_JOBS}"
         );
         return ExitCode::FAILURE;
+    }
+
+    // Parallel-exploration gate (measured live, no baseline): on a
+    // multi-core runner, the parshard strategy at jobs=4 must clear the
+    // branchy-tree workload at least PARSHARD_GATE_PERCENT% faster
+    // than at jobs=1, best of three runs each. A single-core runner
+    // has no parallelism to spend, so the gate logs a skip — the
+    // determinism contract (same verdict at every job count) is
+    // enforced by the test suite, not here.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores < 2 {
+        println!(
+            "fixpoint_guard: single-core runner ({cores} hardware thread), skipping the \
+             parallel-exploration wall-clock gate (jobs={PARSHARD_GATE_JOBS} vs jobs=1)"
+        );
+    } else {
+        let prog = fixpoint_suite::branchy_tree(
+            fixpoint_suite::PARSHARD_DEPTH,
+            fixpoint_suite::PARSHARD_TRIPS,
+        );
+        let time_at = |jobs: usize| -> f64 {
+            let session = VerificationSession::new()
+                .with_strategy(verifier::Strategy::PathParallel)
+                .with_options(verifier::AnalyzerOptions {
+                    unroll_k: fixpoint_suite::PARSHARD_TRIPS.max(64),
+                    explore_jobs: u32::try_from(jobs).expect("small"),
+                    ..verifier::AnalyzerOptions::default()
+                });
+            (0..3)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    session.run(&prog).expect("branchy tree stays safe");
+                    start.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let seq = time_at(1);
+        let par = time_at(PARSHARD_GATE_JOBS);
+        let ceiling =
+            seq * f64::from(u32::try_from(100 - PARSHARD_GATE_PERCENT).expect("small")) / 100.0;
+        println!(
+            "parallel exploration on branchy-tree: jobs=1 {:.1} ms, jobs={PARSHARD_GATE_JOBS} \
+             {:.1} ms, ceiling {:.1} ms (-{PARSHARD_GATE_PERCENT}%), best of 3",
+            seq * 1e3,
+            par * 1e3,
+            ceiling * 1e3
+        );
+        if par > ceiling {
+            eprintln!(
+                "fixpoint_guard: parallel exploration stopped paying for itself: \
+                 jobs={PARSHARD_GATE_JOBS} takes {:.1} ms, more than {PARSHARD_GATE_PERCENT}% \
+                 short of the {:.1} ms single-job walk on a {cores}-core runner",
+                par * 1e3,
+                seq * 1e3
+            );
+            return ExitCode::FAILURE;
+        }
     }
     println!("fixpoint_guard: OK");
     ExitCode::SUCCESS

@@ -5,8 +5,10 @@
 //! spill-heavy workload behind the chunked-frame `bytes_materialized`
 //! numbers, the visited-cap ablation at the deep-unroll point, the
 //! batched `throughput/` family (the 64-program mixed batch per worker
-//! count), the [`AnalysisStats`] collection, and the hand-rolled JSON
-//! baseline format (`BENCH_PR6.json`).
+//! count), the parallel-exploration `parshard/` family (branchy-tree
+//! and deep-unroll workloads per job count), the [`AnalysisStats`]
+//! collection, and the hand-rolled JSON baseline format
+//! (`BENCH_PR8.json`).
 //!
 //! Keeping the sweep definition in one place guarantees the guard checks
 //! exactly the configurations the committed baseline was produced from.
@@ -132,6 +134,28 @@ pub fn dead_scratch_loop(trips: u32) -> Program {
     .expect("assembles")
 }
 
+/// A binary branch tree feeding a per-path bounded loop: `depth`
+/// unknown-bit diamonds each fold a distinct power of two into `r6`, so
+/// all `2^depth` paths reach the loop with pairwise-distinct *live*
+/// accumulators — none of them prune each other, and the parallel
+/// explorer can hand every subtree out as a stealable job. The loop
+/// body masks its store index into the 16-byte window, so the program
+/// is safe for every trip count and accumulator value.
+#[must_use]
+pub fn branchy_tree(depth: u32, trips: u32) -> Program {
+    let mut src = String::from("    r2 = *(u8 *)(r1 + 0)\n    r6 = 0\n");
+    for i in 0..depth {
+        let bit = 1u64 << i;
+        src.push_str(&format!(
+            "    r3 = r2\n    r3 >>= {i}\n    r3 &= 1\n    if r3 > 0 goto join{i}\n    r6 += {bit}\njoin{i}:\n"
+        ));
+    }
+    src.push_str(&format!(
+        "    r7 = 0\nloop:\n    r4 = r7\n    r4 += r6\n    r4 &= 15\n    r3 = r10\n    r3 += -16\n    r3 += r4\n    *(u8 *)(r3 + 0) = 0\n    r7 += 1\n    if r7 < {trips} goto loop\n    r0 = r6\n    exit\n"
+    ));
+    assemble(&src).expect("assembles")
+}
+
 /// A loop-free packet-filter-style program: an untrusted byte bounded
 /// by a branch guard (`bound` ≤ 63 keeps the store inside the 64-byte
 /// window), a checked store, and a pure scalar ALU tail — the acyclic
@@ -215,6 +239,81 @@ pub fn throughput_rows() -> Vec<(String, BatchStats)> {
                 "throughput batch programs are all safe"
             );
             (throughput_label(jobs), report.stats)
+        })
+        .collect()
+}
+
+/// Job counts the parallel-exploration (`parshard/`) family sweeps.
+pub const PARSHARD_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Diamond count of the branchy-tree parshard workload: 64 distinct
+/// paths, each an independent loop walk.
+pub const PARSHARD_DEPTH: u32 = 6;
+
+/// Per-path loop trips of the branchy-tree parshard workload — chosen
+/// so one subtree is a few thousand visits, far above the spawn
+/// overhead of a stealable job.
+pub const PARSHARD_TRIPS: u32 = 400;
+
+/// The baseline label of one parshard configuration.
+#[must_use]
+pub fn parshard_label(workload: &str, jobs: usize) -> String {
+    format!("parshard/{workload}/jobs={jobs}")
+}
+
+/// Every `(label, program, session)` configuration of the `parshard/`
+/// family: the branchy tree (`2^depth` independent subtrees — the
+/// workload intra-program parallelism actually helps) and the
+/// deep-unroll masked memset (one serial chain — the honest
+/// no-parallelism-to-find row) under [`Strategy::PathParallel`] at each
+/// [`PARSHARD_JOBS`] count. Every configuration unrolls its loop
+/// exactly, so the whole cost is path exploration.
+#[must_use]
+pub fn parshard_configs(depth: u32, trips: u32) -> Vec<(String, Program, VerificationSession)> {
+    let mut out = Vec::new();
+    for &jobs in &PARSHARD_JOBS {
+        out.push((
+            parshard_label("branchy_tree", jobs),
+            branchy_tree(depth, trips),
+            VerificationSession::new()
+                .with_strategy(Strategy::PathParallel)
+                .with_options(AnalyzerOptions {
+                    unroll_k: trips.max(64),
+                    explore_jobs: jobs as u32,
+                    ..AnalyzerOptions::default()
+                }),
+        ));
+        out.push((
+            parshard_label("deep_unroll", jobs),
+            masked_memset(1024),
+            VerificationSession::new()
+                .with_strategy(Strategy::PathParallel)
+                .with_options(AnalyzerOptions {
+                    unroll_k: 1024,
+                    explore_jobs: jobs as u32,
+                    ..AnalyzerOptions::default()
+                }),
+        ));
+    }
+    out
+}
+
+/// Runs the full-size parshard family once per configuration and
+/// returns `(label, wall-clock ms, stats)` rows. Unlike the sweep's
+/// counters these are *not* deterministic — visit/prune totals shift
+/// with scheduling — which is why [`to_json`] keeps them in their own
+/// section under `par_`-prefixed keys, outside the guard's totals.
+#[must_use]
+pub fn parshard_rows() -> Vec<(String, f64, AnalysisStats)> {
+    parshard_configs(PARSHARD_DEPTH, PARSHARD_TRIPS)
+        .into_iter()
+        .map(|(label, prog, session)| {
+            let start = std::time::Instant::now();
+            let analysis = session
+                .run(&prog)
+                .unwrap_or_else(|e| panic!("{label}: parshard program rejected: {e}"));
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            (label, ms, analysis.stats())
         })
         .collect()
 }
@@ -381,18 +480,22 @@ pub fn collect_stats() -> Vec<(String, AnalysisStats)> {
         .collect()
 }
 
-/// Serializes timing rows, per-configuration statistics, and batched
-/// throughput rows as the `BENCH_PR6.json` baseline document.
+/// Serializes timing rows, per-configuration statistics, batched
+/// throughput rows, and parallel-exploration rows as the
+/// `BENCH_PR8.json` baseline document.
 ///
 /// Throughput rows deliberately prefix their memo counters
-/// (`batch_memo_hits` etc.) so [`total_field_in_json`] totals over the
-/// per-configuration `stats` rows never absorb batch traffic.
+/// (`batch_memo_hits` etc.) and parshard rows prefix *all* their
+/// counters (`par_subtrees_spawned` etc.) so [`total_field_in_json`]
+/// totals over the per-configuration `stats` rows never absorb batch
+/// traffic or scheduling-dependent parallel counters.
 #[must_use]
 pub fn to_json(
     group: &str,
     timings: &[(String, f64)],
     stats: &[(String, AnalysisStats)],
     throughput: &[(String, BatchStats)],
+    parshard: &[(String, f64, AnalysisStats)],
 ) -> String {
     let timing_rows: Vec<String> = timings
         .iter()
@@ -422,11 +525,24 @@ pub fn to_json(
             )
         })
         .collect();
+    let parshard_rows: Vec<String> = parshard
+        .iter()
+        .map(|(label, ms, s)| {
+            format!(
+                "    {{\"label\": \"{label}\", \"par_ms\": {ms:.2}, \
+                 \"par_visits\": {}, \"par_subtrees_spawned\": {}, \
+                 \"par_steals\": {}, \"par_shared_prunes\": {}, \
+                 \"par_states_pruned\": {}}}",
+                s.visits, s.subtrees_spawned, s.steals, s.shared_prunes, s.states_pruned
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"group\": \"{group}\",\n  \"results\": [\n{}\n  ],\n  \"stats\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"group\": \"{group}\",\n  \"results\": [\n{}\n  ],\n  \"stats\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ],\n  \"parshard\": [\n{}\n  ]\n}}\n",
         timing_rows.join(",\n"),
         stat_rows.join(",\n"),
-        throughput_rows.join(",\n")
+        throughput_rows.join(",\n"),
+        parshard_rows.join(",\n")
     )
 }
 
@@ -534,7 +650,13 @@ mod tests {
         );
         let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
         assert!(total > 0);
-        let doc = to_json("fixpoint_sweep", &[("x".to_string(), 1.0)], &stats, &[]);
+        let doc = to_json(
+            "fixpoint_sweep",
+            &[("x".to_string(), 1.0)],
+            &stats,
+            &[],
+            &[],
+        );
         assert_eq!(total_allocated_in_json(&doc), Some(total));
         let pruned: u64 = stats.iter().map(|(_, s)| s.states_pruned).sum();
         assert!(pruned > 0, "the sweep must exercise pruning");
@@ -674,6 +796,7 @@ mod tests {
             accepted: THROUGHPUT_BATCH,
             rejected: 0,
             jobs: 4,
+            inner_jobs: 1,
             elapsed: Duration::from_millis(128),
             per_worker_programs: vec![16; 4],
             per_worker_visits: vec![100; 4],
@@ -687,6 +810,7 @@ mod tests {
             &[],
             &[],
             &[(label.clone(), stats.clone())],
+            &[],
         );
         let rate = label_float_in_json(&doc, &label, "programs_per_sec").unwrap();
         assert!((rate - stats.programs_per_sec()).abs() < 0.1, "{rate}");
@@ -702,6 +826,45 @@ mod tests {
         // The prefixed batch counters never leak into the sweep totals.
         assert_eq!(total_field_in_json(&doc, "memo_hits"), None);
         assert_eq!(total_field_in_json(&doc, "batch_memo_hits"), Some(375));
+    }
+
+    #[test]
+    fn parshard_rows_round_trip_through_json_without_leaking_totals() {
+        // A scaled-down family (8 paths × 24 trips) keeps the debug-mode
+        // test fast; the bench emits the full-size rows.
+        let rows: Vec<(String, f64, AnalysisStats)> = parshard_configs(3, 24)
+            .into_iter()
+            .map(|(label, prog, session)| {
+                let analysis = session.run(&prog).expect("parshard workload accepted");
+                (label, 1.5, analysis.stats())
+            })
+            .collect();
+        assert_eq!(rows.len(), PARSHARD_JOBS.len() * 2);
+        // The branchy tree spawns subtrees at every job count (spawning
+        // is a property of the walk, not the worker count)…
+        let branchy = rows
+            .iter()
+            .find(|(l, _, _)| l == &parshard_label("branchy_tree", 4))
+            .expect("branchy row present");
+        assert!(branchy.2.subtrees_spawned > 0, "{:?}", branchy.2);
+        // …while the serial deep-unroll chain has nothing to hand out
+        // except its final loop exit.
+        let serial = rows
+            .iter()
+            .find(|(l, _, _)| l == &parshard_label("deep_unroll", 4))
+            .expect("deep-unroll row present");
+        assert!(serial.2.subtrees_spawned <= 1, "{:?}", serial.2);
+        let doc = to_json("fixpoint_sweep", &[], &[], &[], &rows);
+        assert_eq!(
+            label_float_in_json(&doc, &branchy.0, "par_subtrees_spawned"),
+            Some(branchy.2.subtrees_spawned as f64)
+        );
+        assert_eq!(label_float_in_json(&doc, &branchy.0, "par_ms"), Some(1.5));
+        // The par_ prefix keeps the scheduling-dependent counters out of
+        // the guard's deterministic sweep totals.
+        assert_eq!(total_field_in_json(&doc, "subtrees_spawned"), None);
+        assert_eq!(total_field_in_json(&doc, "steals"), None);
+        assert_eq!(total_field_in_json(&doc, "visits"), None);
     }
 
     #[test]

@@ -10,13 +10,20 @@
 //!   indices from a shared atomic queue, for *non-uniform* work like
 //!   verifying a batch of programs whose analysis costs differ by orders
 //!   of magnitude: a worker that drew a cheap program immediately steals
-//!   the next pending one instead of idling behind a static partition.
+//!   the next pending one instead of idling behind a static partition;
+//! * [`par_workers`] + [`StealPool`] — per-worker deques with
+//!   work stealing, for work that *spawns more work* (like the
+//!   intra-program path explorer forking DFS subtrees): owners push and
+//!   pop their own deque LIFO to preserve locality, idle workers steal
+//!   the oldest — typically largest — item from a victim's deque FIFO.
 //!
 //! Thread counts default to [`default_threads`], which honors the
 //! `TNUM_THREADS` environment variable so CI runs and bench baselines
 //! can pin reproducible worker counts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Splits `0..total` into contiguous chunks, runs `work` on each chunk in
 /// its own thread, and returns the per-chunk results in order.
@@ -135,6 +142,136 @@ pub fn par_workers<R: Send>(threads: usize, work: impl Fn(usize) -> R + Sync) ->
     })
 }
 
+/// Per-worker deques with work stealing, for workloads whose items
+/// *spawn further items* while running — the shape a [`WorkQueue`] over
+/// a fixed index range cannot express.
+///
+/// Each worker owns one deque. Owners [`push`](StealPool::push) new
+/// items onto the *back* of their own deque and [`pop`](StealPool::pop)
+/// from the back too (LIFO — depth-first, cache-warm); a worker whose
+/// deque drains scans the other deques and steals from the *front*
+/// (FIFO — the oldest item, which in a DFS spawn tree is the largest
+/// outstanding subtree, amortizing the steal).
+///
+/// Termination is tracked by an `outstanding` count of items that are
+/// queued *or still running*: a running item may spawn successors, so a
+/// worker only quits when `outstanding` reaches zero, not when the
+/// deques look momentarily empty. Callers must pair every successful
+/// [`pop`](StealPool::pop) with exactly one
+/// [`complete`](StealPool::complete) after the item (and all its
+/// pushes) finished.
+///
+/// # Examples
+///
+/// ```
+/// use domain::parallel::{par_workers, StealPool};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// // Count the nodes of a binary tree of depth 10, spawning subtrees.
+/// let pool = StealPool::new(4);
+/// pool.push(0, 10u32); // the root: a subtree of depth 10
+/// let nodes = AtomicU64::new(0);
+/// par_workers(4, |worker| {
+///     while let Some(depth) = pool.pop(worker) {
+///         nodes.fetch_add(1, Ordering::Relaxed);
+///         if depth > 0 {
+///             pool.push(worker, depth - 1);
+///             pool.push(worker, depth - 1);
+///         }
+///         pool.complete();
+///     }
+/// });
+/// assert_eq!(nodes.into_inner(), (1 << 11) - 1);
+/// ```
+#[derive(Debug)]
+pub struct StealPool<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+    /// Items queued or currently running; zero means globally done.
+    outstanding: AtomicUsize,
+    steals: AtomicU64,
+}
+
+impl<T> StealPool<T> {
+    /// A pool of `workers` empty deques (at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> StealPool<T> {
+        StealPool {
+            deques: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            outstanding: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues `item` on `worker`'s own deque (back — popped first by the
+    /// owner) and marks it outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker` is out of range or the deque mutex is
+    /// poisoned.
+    pub fn push(&self, worker: usize, item: T) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.deques[worker]
+            .lock()
+            .expect("steal pool lock poisoned")
+            .push_back(item);
+    }
+
+    /// Claims the next item for `worker`: its own deque's newest item
+    /// when one is queued, otherwise the oldest item stolen from another
+    /// worker's deque. Spins (yielding) while deques are empty but items
+    /// are still running — a running item may spawn more — and returns
+    /// `None` only when no item is queued or running anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker` is out of range or a deque mutex is
+    /// poisoned.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        loop {
+            if let Some(item) = self.deques[worker]
+                .lock()
+                .expect("steal pool lock poisoned")
+                .pop_back()
+            {
+                return Some(item);
+            }
+            let n = self.deques.len();
+            for victim in (0..n).filter(|&v| v != worker) {
+                if let Some(item) = self.deques[victim]
+                    .lock()
+                    .expect("steal pool lock poisoned")
+                    .pop_front()
+                {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(item);
+                }
+            }
+            if self.outstanding.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks one previously [`pop`](StealPool::pop)ped item finished.
+    /// Must be called after the item ran and made all its pushes, so the
+    /// `outstanding` count never momentarily hits zero with spawned
+    /// successors still in flight.
+    pub fn complete(&self) {
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// How many times an idle worker took an item from another worker's
+    /// deque.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
 /// A sensible default thread count for this machine: the `TNUM_THREADS`
 /// environment variable when set to a positive integer (CI pins this for
 /// reproducible baselines), otherwise the available parallelism.
@@ -194,5 +331,68 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn steal_pool_runs_every_spawned_item_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        // A spawn tree: item d spawns two items d-1; depth 12 yields
+        // 2^13 - 1 items in total, each of which must run exactly once
+        // regardless of which worker steals it.
+        for workers in [1, 2, 4] {
+            let pool = StealPool::new(workers);
+            pool.push(0, 12u32);
+            let ran = AtomicU64::new(0);
+            par_workers(workers, |worker| {
+                while let Some(depth) = pool.pop(worker) {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if depth > 0 {
+                        pool.push(worker, depth - 1);
+                        pool.push(worker, depth - 1);
+                    }
+                    pool.complete();
+                }
+            });
+            assert_eq!(ran.into_inner(), (1 << 13) - 1, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn steal_pool_owner_pops_lifo_and_thieves_steal_fifo() {
+        let pool = StealPool::new(2);
+        pool.push(0, 'a');
+        pool.push(0, 'b');
+        pool.push(0, 'c');
+        // The owner sees its own deque newest-first…
+        assert_eq!(pool.pop(0), Some('c'));
+        // …while a thief with an empty deque takes the victim's oldest.
+        assert_eq!(pool.pop(1), Some('a'));
+        assert_eq!(pool.steals(), 1);
+        assert_eq!(pool.pop(1), Some('b'));
+        assert_eq!(pool.steals(), 2);
+        for _ in 0..3 {
+            pool.complete();
+        }
+        assert_eq!(pool.pop(0), None);
+        assert_eq!(pool.pop(1), None);
+    }
+
+    #[test]
+    fn steal_pool_single_worker_preserves_dfs_order() {
+        // With one worker and no steals, the pool degenerates to a plain
+        // LIFO stack — the order a sequential DFS would use.
+        let pool = StealPool::new(1);
+        pool.push(0, 1);
+        pool.push(0, 2);
+        let mut order = Vec::new();
+        while let Some(v) = pool.pop(0) {
+            order.push(v);
+            if v == 2 {
+                pool.push(0, 3);
+            }
+            pool.complete();
+        }
+        assert_eq!(order, vec![2, 3, 1]);
+        assert_eq!(pool.steals(), 0);
     }
 }

@@ -107,6 +107,24 @@ pub struct AnalyzerOptions {
     /// analysis has proven it will never read); disable for ablations
     /// and the masking-soundness differential campaign.
     pub liveness_pruning: bool,
+    /// Worker threads for the parallel path explorer
+    /// ([`Strategy::PathParallel`]): `0` (the default) uses
+    /// [`domain::parallel::default_threads`] — every available core, or
+    /// the `TNUM_THREADS` pin. Ignored by the sequential strategies.
+    /// The batch engine ([`crate::batch`]) overrides `0` with its share
+    /// of the batch thread budget so outer × inner parallelism never
+    /// oversubscribes.
+    pub explore_jobs: u32,
+    /// Branch nesting depth below which the parallel path explorer
+    /// keeps both arms of a fork local instead of spawning the
+    /// fall-through subtree as a stealable job. Small depths spawn a
+    /// few huge subtrees (low overhead, poor balance); large depths
+    /// spawn many small ones. The default `2` spawns at most
+    /// one job per branch past the first two nesting levels — enough
+    /// subtrees to feed eight workers on branchy programs while keeping
+    /// snapshot traffic negligible. Ignored by the sequential
+    /// strategies; verdicts are identical at every setting.
+    pub spawn_depth: u32,
 }
 
 impl Default for AnalyzerOptions {
@@ -123,6 +141,8 @@ impl Default for AnalyzerOptions {
             visited_cap: 32,
             memo_cache: Some(Arc::new(TransferMemo::new())),
             liveness_pruning: true,
+            explore_jobs: 0,
+            spawn_depth: 2,
         }
     }
 }

@@ -65,8 +65,16 @@ pub struct BatchStats {
     pub accepted: usize,
     /// Programs rejected (any [`VerifierError`]).
     pub rejected: usize,
-    /// Worker threads the pool actually ran.
+    /// Worker threads the pool actually ran (the *outer*,
+    /// program-granular level).
     pub jobs: usize,
+    /// Intra-program explorer threads granted to each
+    /// [`Strategy::PathParallel`] item that left
+    /// [`AnalyzerOptions::explore_jobs`] at `0`: the batch thread
+    /// budget divided by the outer worker count, so outer × inner never
+    /// oversubscribes it. `1` when the batch has no such items or the
+    /// budget is spent on the outer level.
+    pub inner_jobs: usize,
     /// Wall-clock time from first claim to scope join.
     pub elapsed: Duration,
     /// Programs each worker claimed — the work-stealing distribution.
@@ -177,6 +185,12 @@ struct WorkerOutput {
 pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
     let jobs = if jobs == 0 { default_threads() } else { jobs };
     let workers = jobs.min(items.len()).max(1);
+    // One thread budget, two levels: `workers` outer threads verify
+    // whole programs, and every `PathParallel` item that left
+    // `explore_jobs` at 0 (= auto) gets the leftover budget as its
+    // intra-program worker count, so `outer × inner ≤ jobs` (plus the
+    // coordinator, which only blocks).
+    let inner_jobs = (jobs / workers).max(1);
     let queue = WorkQueue::new(items.len());
     let start = Instant::now();
     let per_worker = par_workers(workers, |_worker| {
@@ -185,8 +199,12 @@ pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
         let mut memo = (0u64, 0u64, 0u64);
         while let Some(i) = queue.claim() {
             let item = &items[i];
+            let mut options = item.options.clone();
+            if item.strategy == Strategy::PathParallel && options.explore_jobs == 0 {
+                options.explore_jobs = inner_jobs as u32;
+            }
             let session = VerificationSession::new()
-                .with_options(item.options.clone())
+                .with_options(options)
                 .with_strategy(item.strategy);
             memo::counters::reset();
             let res = session.run(&item.prog).map(|a| {
@@ -234,6 +252,7 @@ pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
             accepted,
             rejected: results.len() - accepted,
             jobs: workers,
+            inner_jobs,
             elapsed,
             per_worker_programs,
             per_worker_visits,
@@ -394,6 +413,60 @@ mod tests {
         // And the per-program stats surface the same traffic.
         let second = report.results[1].as_ref().unwrap().stats();
         assert!(second.memo_hits > 0, "{second:?}");
+    }
+
+    #[test]
+    fn region_checks_share_the_memo_cache() {
+        // A program whose only memoizable work is the memory check: no
+        // scalar×scalar ALU, no scalar branch. The second identical
+        // program must hit the first one's cached region verdict.
+        let batch = progs(&["r3 = 1\n*(u64 *)(r10 - 8) = r3\nr0 = 0\nexit"; 2]);
+        let report = VerificationSession::new().run_batch(&batch, 1);
+        assert!(
+            report.stats.memo_hits > 0,
+            "second program reuses the first's region-check verdict: {:?}",
+            report.stats
+        );
+        let (a, b) = (
+            report.results[0].as_ref().unwrap(),
+            report.results[1].as_ref().unwrap(),
+        );
+        assert_eq!(a.annotate(&batch[0]), b.annotate(&batch[1]));
+    }
+
+    #[test]
+    fn path_parallel_items_split_the_batch_thread_budget() {
+        let batch = progs(&[
+            "r2 = *(u8 *)(r1 + 0)\nif r2 > 3 goto a\nr2 += 1\na:\nr2 &= 6\nr0 = r2\nexit",
+            "r0 = 7\nexit",
+        ]);
+        let report = VerificationSession::new()
+            .with_strategy(Strategy::PathParallel)
+            .run_batch(&batch, 8);
+        // 8 threads over 2 programs: 2 outer workers × 4 inner explorer
+        // jobs each.
+        assert_eq!(report.stats.jobs, 2);
+        assert_eq!(report.stats.inner_jobs, 4);
+        // And the rebuilt analyses match the sequential strategy's.
+        let seq = VerificationSession::new()
+            .with_strategy(Strategy::PathSensitive)
+            .run_batch(&batch, 1);
+        for (i, (p, s)) in report.results.iter().zip(seq.results.iter()).enumerate() {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.annotate(&batch[i]), s.annotate(&batch[i]));
+        }
+        // An explicit per-item explore_jobs is never overridden.
+        let items = vec![BatchItem {
+            prog: batch[0].clone(),
+            options: AnalyzerOptions {
+                explore_jobs: 1,
+                ..AnalyzerOptions::default()
+            },
+            strategy: Strategy::PathParallel,
+        }];
+        let report = run(&items, 8);
+        assert!(report.results[0].is_ok());
+        assert_eq!(report.results[0].as_ref().unwrap().stats().steals, 0);
     }
 
     #[test]

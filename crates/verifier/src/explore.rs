@@ -22,11 +22,19 @@
 //!   past the bound the loop head falls back to widening (with the same
 //!   harvested thresholds), so unbounded loops still terminate.
 //!
-//! Both return an [`Exploration`] — per-instruction states plus
+//! A third strategy, [`PathParallel`](crate::parshard::PathParallel)
+//! (`Strategy::PathParallel`), is the work-stealing parallel sibling of
+//! [`PathSensitive`]: independent DFS subtrees become stealable jobs,
+//! pruning runs against a shared
+//! [`ConcurrentVisitedTable`](crate::visited::ConcurrentVisitedTable),
+//! and verdicts/errors/reported joins stay bit-identical to the
+//! sequential walk — see [`crate::parshard`].
+//!
+//! All return an [`Exploration`] — per-instruction states plus
 //! [`AnalysisStats`] — which the session tags with its [`Strategy`] into
 //! an [`Analysis`](crate::Analysis). Every future scaling direction
-//! (sharded exploration, per-function caching, strategy portfolios)
-//! plugs in behind the same trait.
+//! (per-function caching, strategy portfolios) plugs in behind the same
+//! trait.
 
 use ebpf::Program;
 use interval_domain::WidenThresholds;
@@ -91,11 +99,21 @@ pub enum Strategy {
     WideningFixpoint,
     /// The kernel-style path-sensitive explorer ([`PathSensitive`]).
     PathSensitive,
+    /// The work-stealing parallel path explorer
+    /// ([`PathParallel`](crate::parshard::PathParallel)): the
+    /// path-sensitive walk sharded over
+    /// [`AnalyzerOptions::explore_jobs`] workers with bit-identical
+    /// verdicts, errors, and reported joins.
+    PathParallel,
 }
 
 impl Strategy {
     /// Every built-in strategy, for sweeps and differential campaigns.
-    pub const ALL: [Strategy; 2] = [Strategy::WideningFixpoint, Strategy::PathSensitive];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::WideningFixpoint,
+        Strategy::PathSensitive,
+        Strategy::PathParallel,
+    ];
 
     /// The implementation behind this selector.
     #[must_use]
@@ -103,10 +121,12 @@ impl Strategy {
         match self {
             Strategy::WideningFixpoint => &WideningFixpoint,
             Strategy::PathSensitive => &PathSensitive,
+            Strategy::PathParallel => &crate::parshard::PathParallel,
         }
     }
 
-    /// The strategy's stable name (`"fixpoint"` / `"path"`).
+    /// The strategy's stable name (`"fixpoint"` / `"path"` /
+    /// `"parshard"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         self.implementation().name()
@@ -369,6 +389,9 @@ impl ExplorationStrategy for PathSensitive {
                 dead_insns: passes
                     .as_ref()
                     .map_or(0, crate::passes::ProgramPasses::dead_insns),
+                subtrees_spawned: 0,
+                steals: 0,
+                shared_prunes: 0,
             },
         })
     }
@@ -383,6 +406,7 @@ mod tests {
         assert_eq!(Strategy::default(), Strategy::WideningFixpoint);
         assert_eq!(Strategy::WideningFixpoint.name(), "fixpoint");
         assert_eq!(Strategy::PathSensitive.name(), "path");
+        assert_eq!(Strategy::PathParallel.name(), "parshard");
         for s in Strategy::ALL {
             assert_eq!(s.implementation().name(), s.name());
         }

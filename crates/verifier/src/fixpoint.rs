@@ -101,6 +101,20 @@ pub struct AnalysisStats {
     /// [`AnalyzerOptions::liveness_pruning`] off (the passes never
     /// run).
     pub dead_insns: u64,
+    /// DFS subtrees packaged as stealable jobs by the parallel path
+    /// explorer ([`Strategy::PathParallel`](crate::Strategy)). Zero for
+    /// the sequential strategies.
+    pub subtrees_spawned: u64,
+    /// Jobs an idle worker took from another worker's deque
+    /// ([`StealPool`](domain::parallel::StealPool) steals). Zero for
+    /// the sequential strategies.
+    pub steals: u64,
+    /// Path prunes where the covering entry in the shared
+    /// [`ConcurrentVisitedTable`](crate::visited::ConcurrentVisitedTable)
+    /// was inserted by a *different* worker — exploration one worker did
+    /// that saved another worker's walk. Zero for the sequential
+    /// strategies.
+    pub shared_prunes: u64,
 }
 
 impl AnalysisStats {
@@ -124,7 +138,8 @@ impl AnalysisStats {
              \"visited_evicted\": {}, \"bytes_materialized\": {}, \
              \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evicted\": {}, \
              \"live_masked_prunes\": {}, \"dead_components_cleared\": {}, \
-             \"dead_insns\": {}}}",
+             \"dead_insns\": {}, \"subtrees_spawned\": {}, \
+             \"steals\": {}, \"shared_prunes\": {}}}",
             self.states_allocated,
             self.states_shared,
             self.joins_short_circuited,
@@ -141,7 +156,10 @@ impl AnalysisStats {
             self.memo_evicted,
             self.live_masked_prunes,
             self.dead_components_cleared,
-            self.dead_insns
+            self.dead_insns,
+            self.subtrees_spawned,
+            self.steals,
+            self.shared_prunes
         )
     }
 }
@@ -326,6 +344,9 @@ pub fn run(
             dead_insns: passes
                 .as_ref()
                 .map_or(0, super::passes::ProgramPasses::dead_insns),
+            subtrees_spawned: 0,
+            steals: 0,
+            shared_prunes: 0,
         },
     ))
 }

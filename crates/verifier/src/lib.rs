@@ -31,6 +31,9 @@
 //!   (`is_state_visited`, via a per-pc [`VisitedTable`]), unrolls the
 //!   first [`AnalyzerOptions::unroll_k`] trips of each loop with exact
 //!   per-trip precision, and falls back to widening past the bound;
+//!   [`Strategy::PathParallel`] ([`parshard`]) shards that same walk
+//!   over work-stealing workers with a shared
+//!   [`ConcurrentVisitedTable`], bit-identical to the sequential walk;
 //! * [`fixpoint`] — the reverse-postorder priority worklist behind the
 //!   fixpoint strategy: joins at merge points, **per-register delayed
 //!   widening** at loop heads (each register and stack slot burns its
@@ -131,6 +134,7 @@ mod error;
 pub mod explore;
 pub mod fixpoint;
 pub mod memo;
+pub mod parshard;
 pub mod passes;
 mod product;
 mod scalar;
@@ -148,10 +152,11 @@ pub use error::VerifierError;
 pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, WideningFixpoint};
 pub use fixpoint::AnalysisStats;
 pub use memo::{MemoEffect, MemoKey, TransferMemo};
+pub use parshard::PathParallel;
 pub use passes::{LiveSet, ProgramPasses};
 pub use product::Product;
 pub use scalar::Scalar;
 pub use state::value_fingerprint;
 pub use state::{AbsState, JoinCounters, StackSlot, CHUNK_SLOTS, STACK_CHUNKS};
 pub use value::RegValue;
-pub use visited::VisitedTable;
+pub use visited::{ConcurrentVisitedTable, VisitedTable};

@@ -14,12 +14,18 @@
 //!   arithmetic ([`MemoEffect::Alu`]);
 //! * **branches**: `(width, op, lhs, rhs) → both refined edges`
 //!   ([`MemoEffect::Branch`]) — including edges proven infeasible, which
-//!   is verdict-relevant and reproduced exactly.
+//!   is verdict-relevant and reproduced exactly;
+//! * **memory checks**: `(offset scalar, packed check parameters) →
+//!   proven access extremes` ([`MemoEffect::Mem`]) — the region kind,
+//!   static displacement, access size, strictness flag, and region
+//!   extent are packed losslessly into the `rhs` operand
+//!   ([`MemoKey::mem`]), so the cached verdict is still a pure function
+//!   of its two operands.
 //!
-//! Pointer arithmetic, memory checks, and errors are never cached: they
-//! depend on more than the operand values (regions, option flags), and
-//! keeping the cache to total scalar functions is what makes a hit
-//! unconditionally sound.
+//! Pointer arithmetic and errors are never cached: pointer ops depend on
+//! more than the operand values, and errors carry the failing `pc` and
+//! terminate the walk — caching only total functions of the stored
+//! operands is what makes a hit unconditionally sound.
 //!
 //! Keys are [`MemoKey`]s — a packed instruction word plus the
 //! XOR-mixed operand fingerprints ([`crate::state::value_fingerprint`]).
@@ -74,6 +80,15 @@ pub(crate) mod counters {
 
     pub(crate) fn bump_evicted() {
         EVICTED.with(|v| v.set(v.get() + 1));
+    }
+
+    /// Adds externally-accumulated traffic to this thread's counters —
+    /// how the parallel explorer folds its worker threads' totals back
+    /// onto the coordinator before outer aggregators snapshot it.
+    pub(crate) fn credit(hits: u64, misses: u64, evicted: u64) {
+        HITS.with(|v| v.set(v.get() + hits));
+        MISSES.with(|v| v.set(v.get() + misses));
+        EVICTED.with(|v| v.set(v.get() + evicted));
     }
 
     /// Zeroes the counters (start of an analysis run).
@@ -142,6 +157,20 @@ impl MemoKey {
         }
     }
 
+    /// The key of a memory region check: the variable offset scalar's
+    /// fingerprint mixed with the packed remaining check inputs (region
+    /// kind, static displacement, access size, strict-alignment flag,
+    /// region extent) — the word the caller also passes as the entry's
+    /// `rhs` operand, so a hit verifies *every* input of the check by
+    /// exact equality. Tagged disjointly from ALU and branch keys.
+    #[must_use]
+    pub fn mem(offset_fp: u64, params: u64) -> MemoKey {
+        MemoKey {
+            insn: 0x400,
+            fp: mix_operands(offset_fp, params),
+        }
+    }
+
     /// The shard this key lands in.
     fn shard(self) -> usize {
         (mix(self.fp ^ self.insn) as usize) & (SHARDS - 1)
@@ -157,6 +186,11 @@ pub enum MemoEffect {
     /// each edge's refined `(dst, src)` scalar pair, or `None` for an
     /// edge proven infeasible.
     Branch([Option<(Scalar, Scalar)>; 2]),
+    /// The `(lo, hi)` extreme byte offsets of a memory access proven in
+    /// bounds (and aligned, under strict alignment) by the transfer
+    /// layer's region check. Only successful checks are cached —
+    /// rejections abort the walk and are never replayed.
+    Mem((i64, i64)),
 }
 
 /// One cached computation: the *exact* operands (for collision-proof
@@ -321,12 +355,38 @@ mod tests {
     }
 
     #[test]
-    fn alu_and_branch_keys_never_overlap() {
+    fn alu_branch_and_mem_keys_never_overlap() {
         // Same opcode byte value, same operands — the kind tag keeps the
         // key spaces disjoint.
         let a = MemoKey::alu(Width::W64, AluOp::Add, 5, 6);
         let b = MemoKey::branch(Width::W64, JmpOp::Eq, 5, 6);
-        assert_ne!(a.insn & 0x300, b.insn & 0x300);
+        let m = MemoKey::mem(5, 6);
+        assert_ne!(a.insn & 0x700, b.insn & 0x700);
+        assert_ne!(a.insn & 0x700, m.insn & 0x700);
+        assert_ne!(b.insn & 0x700, m.insn & 0x700);
+    }
+
+    #[test]
+    fn mem_entries_verify_both_operands_on_hit() {
+        // A forged collision: one key, two different (offset, params)
+        // pairs — the equality check must keep them apart.
+        let memo = TransferMemo::new();
+        let key = MemoKey::mem(77, 88);
+        memo.insert(key, s(8), s(100), MemoEffect::Mem((-8, -8)));
+        assert_eq!(
+            memo.lookup(key, s(8), s(100)),
+            Some(MemoEffect::Mem((-8, -8)))
+        );
+        assert_eq!(
+            memo.lookup(key, s(16), s(100)),
+            None,
+            "different offset scalar under a colliding key must miss"
+        );
+        assert_eq!(
+            memo.lookup(key, s(8), s(101)),
+            None,
+            "different packed check parameters must miss"
+        );
     }
 
     #[test]

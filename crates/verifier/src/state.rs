@@ -884,6 +884,54 @@ impl AbsState {
             stack: Rc::new(Frame::from_chunks(chunks, 0)),
         }
     }
+
+    /// Pointwise inclusion of this state in a
+    /// [`to_parts`](AbsState::to_parts) snapshot, without rebuilding the
+    /// snapshot into a state. This is the probe of the concurrent
+    /// visited table: snapshots are `Send` where `AbsState` is not, so
+    /// the shared table stores parts and in-flight frontier states test
+    /// against them in place. A `None` snapshot chunk is all-`Uninit` —
+    /// the ⊤ of the slot safety order — and therefore covers any
+    /// arrival chunk.
+    pub(crate) fn is_subset_of_parts(&self, regs: &[RegValue; REGS], chunks: &SparseStack) -> bool {
+        if !(0..REGS).all(|i| self.regs.vals[i].is_subset_of(regs[i])) {
+            return false;
+        }
+        self.stack
+            .chunks
+            .iter()
+            .zip(chunks.iter())
+            .all(|(mine, snap)| match snap {
+                // All-Uninit covers everything slotwise.
+                None => true,
+                Some(vals) => mine
+                    .vals
+                    .iter()
+                    .zip(vals.iter())
+                    .all(|(x, y)| x.is_subset_of(*y)),
+            })
+    }
+
+    /// Pointwise inclusion between two [`to_parts`](AbsState::to_parts)
+    /// snapshots — the dominance-eviction test of the concurrent visited
+    /// table (is the *stored* snapshot covered by the arriving one?),
+    /// again without rebuilding either side. `None` chunks are
+    /// all-`Uninit`: they cover everything and are covered only by
+    /// chunks whose slots are all `Uninit`-or-covering — i.e. by `None`
+    /// (or a dense all-`Uninit` chunk).
+    pub(crate) fn parts_subset_of_parts(
+        a: (&[RegValue; REGS], &SparseStack),
+        b: (&[RegValue; REGS], &SparseStack),
+    ) -> bool {
+        if !(0..REGS).all(|i| a.0[i].is_subset_of(b.0[i])) {
+            return false;
+        }
+        a.1.iter().zip(b.1.iter()).all(|(x, y)| match (x, y) {
+            (_, None) => true,
+            (None, Some(vals)) => vals.iter().all(|s| StackSlot::Uninit.is_subset_of(*s)),
+            (Some(xs), Some(ys)) => xs.iter().zip(ys.iter()).all(|(p, q)| p.is_subset_of(*q)),
+        })
+    }
 }
 
 /// The 64-bit structural fingerprint of one abstract register value — a

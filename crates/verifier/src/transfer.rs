@@ -472,10 +472,65 @@ impl Transfer {
 
     /// Proves `region_lo <= offset + off` and
     /// `offset + off + size <= region_hi` for every possible offset, plus
-    /// alignment under strict mode. Returns the extreme byte offsets of
-    /// the access start.
+    /// alignment under strict mode, through the memo cache when enabled:
+    /// the verdict is a pure function of the offset scalar and the
+    /// packed remaining inputs ([`Self::mem_check_params`]), so batches
+    /// of similar programs (and repeated loop trips) skip the bounds
+    /// arithmetic on their recurring accesses. Only `Ok` verdicts are
+    /// cached — errors carry the failing `pc` and abort the walk.
+    /// Returns the extreme byte offsets of the access start.
     #[allow(clippy::too_many_arguments)]
     fn check_region(
+        &self,
+        region: &'static str,
+        offset: Scalar,
+        off: i16,
+        size: MemSize,
+        region_lo: i64,
+        region_hi: i64,
+        pc: usize,
+    ) -> Result<(i64, i64), VerifierError> {
+        if let (Some(cache), Some(params)) = (
+            &self.options.memo_cache,
+            self.mem_check_params(region, off, size),
+        ) {
+            let key = MemoKey::mem(value_fingerprint(RegValue::Scalar(offset)), params);
+            let rhs = Scalar::constant(params);
+            if let Some(MemoEffect::Mem(extremes)) = cache.lookup(key, offset, rhs) {
+                return Ok(extremes);
+            }
+            let extremes =
+                self.check_region_uncached(region, offset, off, size, region_lo, region_hi, pc)?;
+            cache.insert(key, offset, rhs, MemoEffect::Mem(extremes));
+            return Ok(extremes);
+        }
+        self.check_region_uncached(region, offset, off, size, region_lo, region_hi, pc)
+    }
+
+    /// Packs every input of a region check except the offset scalar into
+    /// one verification word — the memo `rhs` operand — or `None` when
+    /// [`AnalyzerOptions::ctx_size`] is too large to pack losslessly
+    /// (then the check simply runs uncached). The region *extent* is
+    /// derived from the kind and `ctx_size`, so the word determines the
+    /// whole check.
+    fn mem_check_params(&self, region: &'static str, off: i16, size: MemSize) -> Option<u64> {
+        if self.options.ctx_size >= 1 << 40 {
+            return None;
+        }
+        let kind = u64::from(region == "ctx");
+        Some(
+            u64::from(off as u16)
+                | size.bytes() << 16
+                | u64::from(self.options.strict_alignment) << 20
+                | kind << 21
+                | self.options.ctx_size << 22,
+        )
+    }
+
+    /// The unmemoized region check: the bounds and alignment arithmetic
+    /// itself.
+    #[allow(clippy::too_many_arguments)]
+    fn check_region_uncached(
         &self,
         region: &'static str,
         offset: Scalar,

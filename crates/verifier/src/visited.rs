@@ -43,7 +43,11 @@
 //! CI (`fixpoint_guard` fails on `subset_checks` regressions at the
 //! deep-unroll point).
 
-use crate::state::AbsState;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::state::{AbsState, SparseStack, REGS};
+use crate::value::RegValue;
 
 /// Default per-pc chain cap (the kernel caps its `explored_states`
 /// lists the same way).
@@ -227,12 +231,20 @@ impl VisitedTable {
     /// which also covers non-checkpoint instructions.)
     #[must_use]
     pub fn joined(&self, pc: usize) -> Option<AbsState> {
-        let mut entries = self.entries(pc);
-        let first = entries.next()?;
+        let (first, rest) = self.buckets[pc].split_first()?;
+        if rest.is_empty() {
+            // The common single-entry checkpoint: an `AbsState` clone is
+            // two `Rc` bumps, so the summary *shares* the entry's
+            // components outright — zero bytes materialized.
+            return Some(first.state.clone());
+        }
         // One O(1) clone of the first entry seeds the fold; `union`
         // already shares unchanged components, so the accumulator never
         // deep-copies what the entries agree on.
-        Some(entries.fold(first.clone(), |acc, s| acc.union(s)))
+        Some(
+            rest.iter()
+                .fold(first.state.clone(), |acc, e| acc.union(&e.state)),
+        )
     }
 
     /// Total number of states recorded across all instructions.
@@ -280,6 +292,230 @@ impl VisitedTable {
     #[must_use]
     pub fn masked_prunes(&self) -> u64 {
         self.masked_prunes
+    }
+}
+
+/// How many lock stripes a [`ConcurrentVisitedTable`] spreads its per-pc
+/// chains over (bounded by the program length): pc `i` lives in stripe
+/// `i % stripes`, so the hot checkpoints of a loop — consecutive pcs —
+/// land in *different* stripes and workers probing different program
+/// points rarely contend.
+const STRIPES: usize = 64;
+
+/// One recorded exploration in the shared table: the fingerprint plus
+/// the state's dense [`AbsState::to_parts`] snapshot. `AbsState` is
+/// `Rc`-backed and cannot cross threads; its snapshot is plain `Send`
+/// data, and probes test arrivals against it in place
+/// ([`AbsState::is_subset_of_parts`]) without ever rebuilding a state.
+#[derive(Debug)]
+struct SharedEntry {
+    fp: u64,
+    regs: [RegValue; REGS],
+    chunks: SparseStack,
+    /// The worker that inserted the entry — prunes observed by a
+    /// *different* worker count as cross-worker `shared_prunes`.
+    worker: usize,
+}
+
+/// The concurrent sibling of [`VisitedTable`] for the work-stealing
+/// path explorer (`verifier::parshard`): per-pc fingerprint chains
+/// sharded over [`STRIPES`] mutex stripes, with **identical**
+/// cap/eviction/probe semantics — the same [`STRICT_PROBES`] /
+/// [`MASKED_STRICT_PROBES`] budgets, the same newest-first
+/// [`DOMINANCE_PROBES`] dominance eviction, the same oldest-first chain
+/// cap — so a pruning decision made on one worker is immediately
+/// visible to (and byte-for-byte the same decision as on) every other
+/// worker.
+///
+/// States are stored as their dense `to_parts` snapshots (the same
+/// representation `verifier::batch` ships finished analyses across
+/// threads with), which keeps the table `Send + Sync` while `AbsState`
+/// itself stays `Rc`-backed and allocation-cheap inside each worker.
+/// Counters are relaxed atomics; they feed the same
+/// [`crate::AnalysisStats`] ledger fields as the sequential table, plus
+/// the cross-worker [`ConcurrentVisitedTable::shared_prunes`] count.
+#[derive(Debug)]
+pub struct ConcurrentVisitedTable {
+    /// `stripes[s]` holds the chains of pcs `s, s + n, s + 2n, …` where
+    /// `n` is the stripe count; chain index within a stripe is `pc / n`.
+    stripes: Vec<Mutex<Vec<Vec<SharedEntry>>>>,
+    cap: usize,
+    subset_checks: AtomicU64,
+    states_pruned: AtomicU64,
+    fingerprint_rejects: AtomicU64,
+    visited_evicted: AtomicU64,
+    masked_prunes: AtomicU64,
+    shared_prunes: AtomicU64,
+}
+
+impl ConcurrentVisitedTable {
+    /// An empty shared table for a program of `len` instructions with an
+    /// explicit per-pc chain cap; `cap == 0` means unbounded chains,
+    /// exactly as in [`VisitedTable::with_cap`].
+    #[must_use]
+    pub fn with_cap(len: usize, cap: usize) -> ConcurrentVisitedTable {
+        let stripes = STRIPES.min(len.max(1));
+        ConcurrentVisitedTable {
+            stripes: (0..stripes)
+                .map(|s| {
+                    // Chains for pcs s, s + stripes, … — div_ceil many.
+                    let chains = len.saturating_sub(s).div_ceil(stripes);
+                    Mutex::new((0..chains).map(|_| Vec::new()).collect())
+                })
+                .collect(),
+            cap: if cap == 0 { usize::MAX } else { cap },
+            subset_checks: AtomicU64::new(0),
+            states_pruned: AtomicU64::new(0),
+            fingerprint_rejects: AtomicU64::new(0),
+            visited_evicted: AtomicU64::new(0),
+            masked_prunes: AtomicU64::new(0),
+            shared_prunes: AtomicU64::new(0),
+        }
+    }
+
+    /// [`VisitedTable::is_covered`], against the shared chains: whether
+    /// `state` is included in a state *any* worker already recorded at
+    /// `pc`. `worker` identifies the prober — a hit on an entry inserted
+    /// by a different worker additionally counts as a
+    /// [`ConcurrentVisitedTable::shared_prunes`] cross-worker prune.
+    pub fn is_covered(&self, pc: usize, state: &AbsState, worker: usize) -> bool {
+        self.probe(pc, state, STRICT_PROBES, worker)
+    }
+
+    /// [`VisitedTable::is_covered_masked`], against the shared chains:
+    /// the liveness-cleaned probe path with its zero strict-probe
+    /// budget, counted in [`ConcurrentVisitedTable::masked_prunes`] on a
+    /// hit.
+    pub fn is_covered_masked(&self, pc: usize, state: &AbsState, worker: usize) -> bool {
+        let covered = self.probe(pc, state, MASKED_STRICT_PROBES, worker);
+        if covered {
+            self.masked_prunes.fetch_add(1, Ordering::Relaxed);
+        }
+        covered
+    }
+
+    /// The shared probe loop — the same newest-first fingerprint-gated
+    /// walk as [`VisitedTable::probe`], under the pc's stripe lock.
+    fn probe(&self, pc: usize, state: &AbsState, strict_budget: usize, worker: usize) -> bool {
+        let fp = state.fingerprint();
+        let n = self.stripes.len();
+        let stripe = self.stripes[pc % n].lock().expect("stripe lock poisoned");
+        let mut strict_left = strict_budget;
+        let (mut checks, mut rejects) = (0u64, 0u64);
+        let mut hit = None;
+        for seen in stripe[pc / n].iter().rev() {
+            let full_probe = if seen.fp == fp {
+                true
+            } else if strict_left > 0 {
+                strict_left -= 1;
+                true
+            } else {
+                rejects += 1;
+                false
+            };
+            if full_probe {
+                checks += 1;
+                if state.is_subset_of_parts(&seen.regs, &seen.chunks) {
+                    hit = Some(seen.worker);
+                    break;
+                }
+            }
+        }
+        drop(stripe);
+        self.subset_checks.fetch_add(checks, Ordering::Relaxed);
+        self.fingerprint_rejects
+            .fetch_add(rejects, Ordering::Relaxed);
+        if let Some(inserter) = hit {
+            self.states_pruned.fetch_add(1, Ordering::Relaxed);
+            if inserter != worker {
+                self.shared_prunes.fetch_add(1, Ordering::Relaxed);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// [`VisitedTable::insert`], against the shared chains: records
+    /// `state`'s snapshot at `pc` on behalf of `worker`, with the same
+    /// newest-first dominance eviction and oldest-first chain cap.
+    pub fn insert(&self, pc: usize, state: &AbsState, worker: usize) {
+        let fp = state.fingerprint();
+        let (regs, chunks) = state.to_parts();
+        let n = self.stripes.len();
+        let (mut checks, mut evicted) = (0u64, 0u64);
+        {
+            let mut stripe = self.stripes[pc % n].lock().expect("stripe lock poisoned");
+            let bucket = &mut stripe[pc / n];
+            let lo = bucket.len().saturating_sub(DOMINANCE_PROBES);
+            for i in (lo..bucket.len()).rev() {
+                checks += 1;
+                if crate::state::AbsState::parts_subset_of_parts(
+                    (&bucket[i].regs, &bucket[i].chunks),
+                    (&regs, &chunks),
+                ) {
+                    bucket.remove(i);
+                    evicted += 1;
+                }
+            }
+            while bucket.len() >= self.cap {
+                bucket.remove(0);
+                evicted += 1;
+            }
+            bucket.push(SharedEntry {
+                fp,
+                regs,
+                chunks,
+                worker,
+            });
+        }
+        self.subset_checks.fetch_add(checks, Ordering::Relaxed);
+        self.visited_evicted.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Notes a prune established outside the table (a worker's job-local
+    /// loop-head summary covering an arrival), mirroring
+    /// [`VisitedTable::note_summary_prune`].
+    pub fn note_summary_prune(&self) {
+        self.subset_checks.fetch_add(1, Ordering::Relaxed);
+        self.states_pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Full inclusion probes performed so far across all workers.
+    #[must_use]
+    pub fn subset_checks(&self) -> u64 {
+        self.subset_checks.load(Ordering::Relaxed)
+    }
+
+    /// Arrivals pruned as covered so far across all workers.
+    #[must_use]
+    pub fn states_pruned(&self) -> u64 {
+        self.states_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Probe candidates dismissed in O(1) on fingerprint mismatch.
+    #[must_use]
+    pub fn fingerprint_rejects(&self) -> u64 {
+        self.fingerprint_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped from shared chains (dominance or chain cap).
+    #[must_use]
+    pub fn visited_evicted(&self) -> u64 {
+        self.visited_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Arrivals pruned through the liveness-masked probe path.
+    #[must_use]
+    pub fn masked_prunes(&self) -> u64 {
+        self.masked_prunes.load(Ordering::Relaxed)
+    }
+
+    /// Cross-worker prunes: arrivals pruned by an entry a *different*
+    /// worker inserted — the observable payoff of sharing the table
+    /// instead of giving each worker a private one.
+    #[must_use]
+    pub fn shared_prunes(&self) -> u64 {
+        self.shared_prunes.load(Ordering::Relaxed)
     }
 }
 
@@ -406,5 +642,123 @@ mod tests {
         assert!(r3.contains(1) && r3.contains(4));
         assert_eq!(table.entries(1).len(), 2);
         assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn joined_single_entry_is_an_rc_share_with_zero_bytes_materialized() {
+        let mut table = VisitedTable::new(2);
+        table.insert(1, with_r3(7));
+        crate::state::stats::reset();
+        let j = table.joined(1).expect("one entry");
+        let traffic = crate::state::stats::snapshot();
+        assert_eq!(
+            traffic.bytes, 0,
+            "a single-entry join must not materialize anything"
+        );
+        assert_eq!(traffic.allocated, 0);
+        // The summary literally shares the entry's components.
+        let entry = table.entries(1).next().unwrap();
+        assert!(j.shares_regs_with(entry) && j.shares_stack_with(entry));
+    }
+
+    #[test]
+    fn concurrent_table_matches_sequential_probe_semantics() {
+        // The same insert/probe script against both tables must make the
+        // same decisions and count the same ledger (the concurrent table
+        // is a drop-in for one worker).
+        let mut seq = VisitedTable::with_cap(4, 0);
+        let par = ConcurrentVisitedTable::with_cap(4, 0);
+        for k in 0..16 {
+            seq.insert(0, with_r3(100 + k));
+            par.insert(0, &with_r3(100 + k), 0);
+        }
+        // Incomparable arrival: strict budget + fingerprint rejects.
+        assert!(!seq.is_covered(0, &with_r3(7)));
+        assert!(!par.is_covered(0, &with_r3(7), 0));
+        assert_eq!(seq.subset_checks(), par.subset_checks());
+        assert_eq!(seq.fingerprint_rejects(), par.fingerprint_rejects());
+        // Equality hit deep in the chain; a strictly smaller arrival hits
+        // through the strict budget.
+        assert!(par.is_covered(0, &with_r3(100), 0));
+        let joined = with_r3(1).union(&with_r3(5));
+        seq.insert(1, joined.clone());
+        par.insert(1, &joined, 0);
+        assert!(par.is_covered(1, &with_r3(5), 0));
+        assert_eq!(par.states_pruned(), 2);
+        // Same-worker prunes are not "shared".
+        assert_eq!(par.shared_prunes(), 0);
+        // Masked probes spend no strict probes on mismatches.
+        let before = par.subset_checks();
+        assert!(!par.is_covered_masked(0, &with_r3(7), 0));
+        assert_eq!(par.subset_checks(), before);
+        assert_eq!(par.masked_prunes(), 0);
+    }
+
+    #[test]
+    fn concurrent_table_counts_cross_worker_prunes() {
+        let par = ConcurrentVisitedTable::with_cap(2, 0);
+        par.insert(1, &with_r3(3), 0);
+        // Worker 1 pruned by worker 0's entry: a shared prune.
+        assert!(par.is_covered(1, &with_r3(3), 1));
+        assert_eq!(par.shared_prunes(), 1);
+        // Worker 0 pruned by its own entry: not shared.
+        assert!(par.is_covered(1, &with_r3(3), 0));
+        assert_eq!(par.shared_prunes(), 1);
+        assert_eq!(par.states_pruned(), 2);
+    }
+
+    #[test]
+    fn concurrent_table_dominance_eviction_and_chain_cap() {
+        // Dominance: a covering insertion evicts the newest entries it
+        // subsumes, exactly as in the sequential table.
+        let par = ConcurrentVisitedTable::with_cap(2, 0);
+        par.insert(1, &with_r3(1), 0);
+        let joined = with_r3(1).union(&with_r3(5));
+        par.insert(1, &joined, 0);
+        assert_eq!(par.visited_evicted(), 1);
+        assert!(par.is_covered(1, &with_r3(1), 0), "survivor still covers");
+        // Chain cap: oldest-first displacement.
+        let capped = ConcurrentVisitedTable::with_cap(1, 2);
+        capped.insert(0, &with_r3(1), 0);
+        capped.insert(0, &with_r3(2), 0);
+        capped.insert(0, &with_r3(3), 0);
+        assert_eq!(capped.visited_evicted(), 1);
+        assert!(!capped.is_covered(0, &with_r3(1), 0), "oldest evicted");
+        assert!(capped.is_covered(0, &with_r3(3), 0), "newest survives");
+    }
+
+    #[test]
+    fn concurrent_table_stripes_cover_every_pc() {
+        // More pcs than stripes: every pc must map to its own chain.
+        let par = ConcurrentVisitedTable::with_cap(200, 0);
+        for pc in 0..200 {
+            par.insert(pc, &with_r3(pc as u64), 0);
+        }
+        for pc in 0..200 {
+            assert!(par.is_covered(pc, &with_r3(pc as u64), 0), "pc {pc}");
+            assert!(!par.is_covered(pc, &with_r3(pc as u64 + 1000), 0));
+        }
+    }
+
+    #[test]
+    fn concurrent_table_probes_spilled_stack_snapshots() {
+        use crate::state::StackSlot;
+        // A state with a spilled slot: the snapshot keeps the chunk
+        // dense, and probes compare slotwise (Uninit covers everything,
+        // a spill covers only included spills).
+        let mut spilled = AbsState::entry();
+        spilled.set_stack_slot(-8, StackSlot::Spill(RegValue::Scalar(Scalar::constant(9))));
+        let par = ConcurrentVisitedTable::with_cap(1, 0);
+        par.insert(0, &spilled, 0);
+        assert!(par.is_covered(0, &spilled, 0), "equal spill covers");
+        // The entry (all-Uninit stack = ⊤) covers the spilled arrival…
+        let entry = AbsState::entry();
+        par.insert(0, &entry, 0);
+        assert!(par.is_covered(0, &spilled, 0));
+        // …but the spilled entry does not cover an all-Uninit arrival
+        // (Uninit only fits under Uninit): probe a fresh table.
+        let only_spill = ConcurrentVisitedTable::with_cap(1, 0);
+        only_spill.insert(0, &spilled, 0);
+        assert!(!only_spill.is_covered(0, &entry, 0));
     }
 }
