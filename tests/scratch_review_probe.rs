@@ -1,0 +1,55 @@
+use ebpf::asm::assemble;
+use verifier::{AnalyzerOptions, Strategy, VerificationSession};
+
+#[test]
+fn fork_before_widening_loop_matches_sequential() {
+    let prog = assemble(
+        r"
+        r2 = *(u8 *)(r1 + 0)
+        r3 = 1
+        if r2 > 3 goto c
+        r3 = 0
+    c:
+        r8 = 0
+    loop:
+        r3 += 1
+        r8 += 1
+        if r8 < 100 goto loop
+        r0 = 0
+        exit
+    ",
+    )
+    .expect("assembles");
+    for jobs in [1u32, 2, 8] {
+        for depth in [0u32, 1] {
+            let opts = |explore_jobs, spawn_depth| AnalyzerOptions {
+                unroll_k: 4,
+                explore_jobs,
+                spawn_depth,
+                ..AnalyzerOptions::default()
+            };
+            let seq = VerificationSession::new()
+                .with_strategy(Strategy::PathSensitive)
+                .with_options(opts(1, 0))
+                .run(&prog)
+                .expect("seq accepts");
+            let par = VerificationSession::new()
+                .with_strategy(Strategy::PathParallel)
+                .with_options(opts(jobs, depth))
+                .run(&prog)
+                .expect("par accepts");
+            assert_eq!(
+                par.annotate(&prog),
+                seq.annotate(&prog),
+                "jobs={jobs} depth={depth}: report diverged"
+            );
+            for pc in 0..prog.len() {
+                assert_eq!(
+                    par.state_before(pc),
+                    seq.state_before(pc),
+                    "jobs={jobs} depth={depth}: state diverged at pc {pc}"
+                );
+            }
+        }
+    }
+}
