@@ -22,6 +22,7 @@
 //!     [--jobs 4] [--strategy path] [--no-memo] [--no-liveness]
 //! cargo run -p bench --release --bin annotate -- --passes --file prog.s
 //! cargo run -p bench --release --bin annotate -- --passes --dir fixtures
+//! cargo run -p bench --release --bin annotate -- --list-helpers
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
@@ -40,6 +41,10 @@ use verifier::{AnalyzerOptions, Cfg, ProgramPasses, Strategy, TransferMemo, Veri
 
 fn main() -> ExitCode {
     let args = Args::parse();
+    if args.has("list-helpers") {
+        list_helpers();
+        return ExitCode::SUCCESS;
+    }
     if args.has("passes") {
         return if let Some(dir) = args.get_str("dir") {
             match collect_fixtures(dir) {
@@ -101,6 +106,58 @@ fn main() -> ExitCode {
         return run_dir(&session, dir, jobs);
     }
     run_single(&args, &session)
+}
+
+/// `--list-helpers`: the registry the verifier and VM share — every
+/// helper signature plus the static map geometry.
+fn list_helpers() {
+    use ebpf::helpers::{ArgKind, RegionSize, RetKind, DEFAULT_MAPS, HELPERS};
+    let region = |size: &RegionSize, writable: bool| {
+        let dir = if writable { "writable" } else { "readable" };
+        match size {
+            RegionSize::KeyOf { arg } => format!("{dir} stack region, key_size of r{}", arg + 1),
+            RegionSize::ValueOf { arg } => {
+                format!("{dir} stack region, value_size of r{}", arg + 1)
+            }
+            RegionSize::Fixed(n) => format!("{dir} stack region, {n} bytes"),
+        }
+    };
+    println!("helpers ({}):", HELPERS.len());
+    for sig in HELPERS {
+        let args: Vec<String> = sig
+            .args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let kind = match a {
+                    ArgKind::Scalar => "scalar".to_string(),
+                    ArgKind::CtxPtr => "ctx pointer".to_string(),
+                    ArgKind::MapHandle => "map handle".to_string(),
+                    ArgKind::StackRegion { writable, size } => region(size, *writable),
+                };
+                format!("r{}: {kind}", i + 1)
+            })
+            .collect();
+        let ret = match sig.ret {
+            RetKind::Scalar => "scalar".to_string(),
+            RetKind::MapValueOrNull { map_arg } => {
+                format!("value pointer into the map of r{} or NULL", map_arg + 1)
+            }
+        };
+        println!(
+            "  {:>2}  {:<12} ({}) -> {ret}",
+            sig.id,
+            sig.name,
+            args.join(", ")
+        );
+    }
+    println!("\nmaps ({}):", DEFAULT_MAPS.len());
+    for (i, m) in DEFAULT_MAPS.iter().enumerate() {
+        println!(
+            "  map {i}: key_size={} value_size={} max_entries={}",
+            m.key_size, m.value_size, m.max_entries
+        );
+    }
 }
 
 /// Loads the program source from `--file` or stdin.

@@ -1,6 +1,6 @@
 //! `fixpoint_guard` — the CI smoke check for the exploration engines:
 //! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
-//! totals against the committed `BENCH_PR8.json` baseline, and fails
+//! totals against the committed `BENCH_PR9.json` baseline, and fails
 //! when any of the gated quantities regresses by more than 20%:
 //!
 //! * **`states_allocated`** (absolute total): a refactor that quietly
@@ -25,6 +25,17 @@
 //! * **`memo_hits`** (absolute total): the transfer-memo counters the
 //!   sweep reports deterministically — a change that silently disables
 //!   or misses the cache fails CI;
+//! * **`maps/` family `subset_checks`** (absolute total over the
+//!   family's rows): helper transfers are never memoized, so the
+//!   map-helper workloads pay full per-visit cost — a change that makes
+//!   the visited table stop covering the update loop's back edge (or
+//!   starts re-exploring the NULL-check split) shows up here first;
+//! * **`maps/` family wall clock** (best of three per row, summed,
+//!   vs the baseline's `ns_per_iter` timings): a deliberately generous
+//!   [`MAPS_WALL_TOLERANCE_PERCENT`]% budget — timings are noisy across
+//!   runner classes, and the deterministic subset-check gate above is
+//!   the precise instrument; this one only catches a helper-path
+//!   verification cost blow-up too large for noise to explain;
 //! * **batched `programs_per_sec` at jobs=4** (wall-clock, best of
 //!   three runs of the 64-program mixed batch): a timing-based gate,
 //!   guarding the batch engine's throughput against a >20%
@@ -45,7 +56,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR8.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR9.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -91,11 +102,17 @@ const PARSHARD_GATE_PERCENT: u64 = 25;
 /// Job count of the parallel-exploration wall-clock gate.
 const PARSHARD_GATE_JOBS: usize = 4;
 
+/// Allowed wall-clock regression of the `maps/` family over the
+/// baseline's `ns_per_iter` timings, in percent — deliberately generous
+/// (the deterministic subset-check gate is the precise instrument;
+/// this one only catches a blow-up noise cannot explain).
+const MAPS_WALL_TOLERANCE_PERCENT: u64 = 150;
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR8.json")
+        .unwrap_or("BENCH_PR9.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -257,9 +274,83 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Batched-throughput gate (the one wall-clock check): replay the
-    // 64-program mixed batch at jobs=4, best of three, against the
-    // baseline rate.
+    // Map-helper family gates. Counters first: helper transfers are
+    // never memoized, so the maps rows' subset_checks are the
+    // deterministic cost signature of the helper verification path —
+    // registry check, NULL-refinement split, map-value bounds proofs.
+    let maps = fixpoint_suite::maps_configs();
+    let maps_checks: u64 = maps
+        .iter()
+        .map(|(label, _, _)| {
+            stats
+                .iter()
+                .find(|(l, _)| l == label)
+                .map_or(0, |(_, s)| s.subset_checks)
+        })
+        .sum();
+    let mut base_maps_checks = 0u64;
+    for (label, _, _) in &maps {
+        let Some(n) = fixpoint_suite::label_field_in_json(&doc, label, "subset_checks") else {
+            eprintln!("fixpoint_guard: {path} carries no {label} subset_checks");
+            return ExitCode::FAILURE;
+        };
+        base_maps_checks += n;
+    }
+    let maps_budget = base_maps_checks + base_maps_checks * TOLERANCE_PERCENT / 100;
+    println!(
+        "baseline maps/ subset_checks {base_maps_checks}, budget {maps_budget} \
+         (+{TOLERANCE_PERCENT}%), current {maps_checks}"
+    );
+    if maps_checks > maps_budget {
+        eprintln!(
+            "fixpoint_guard: maps/ subset_checks regressed: {maps_checks} > {maps_budget} \
+             (baseline {base_maps_checks} + {TOLERANCE_PERCENT}%) — the helper verification \
+             path is re-exploring states the visited table used to cover"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Maps wall clock: best of three per row, summed, against the
+    // baseline's ns_per_iter timings under a generous budget.
+    let mut maps_ns = 0.0f64;
+    let mut base_maps_ns = 0.0f64;
+    for (label, prog, session) in &maps {
+        let Some(base) = fixpoint_suite::label_float_in_json(&doc, label, "ns_per_iter") else {
+            eprintln!("fixpoint_guard: {path} carries no {label} ns_per_iter");
+            return ExitCode::FAILURE;
+        };
+        base_maps_ns += base;
+        maps_ns += (0..3)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                session.run(prog).expect("maps program stays safe");
+                start.elapsed().as_nanos() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+    }
+    let maps_ns_budget = base_maps_ns
+        * f64::from(100 + u32::try_from(MAPS_WALL_TOLERANCE_PERCENT).expect("small"))
+        / 100.0;
+    println!(
+        "baseline maps/ wall {:.1} µs, budget {:.1} µs (+{MAPS_WALL_TOLERANCE_PERCENT}%), \
+         current {:.1} µs (best of 3 per row)",
+        base_maps_ns / 1e3,
+        maps_ns_budget / 1e3,
+        maps_ns / 1e3
+    );
+    if maps_ns > maps_ns_budget {
+        eprintln!(
+            "fixpoint_guard: maps/ wall clock regressed: {:.1} µs is more than \
+             {MAPS_WALL_TOLERANCE_PERCENT}% over the baseline {:.1} µs — helper-call \
+             verification cost blew up beyond what runner noise explains",
+            maps_ns / 1e3,
+            base_maps_ns / 1e3
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Batched-throughput gate: replay the 64-program mixed batch at
+    // jobs=4, best of three, against the baseline rate.
     let gate_label = fixpoint_suite::throughput_label(THROUGHPUT_GATE_JOBS);
     let Some(base_rate) =
         fixpoint_suite::label_float_in_json(&doc, &gate_label, "programs_per_sec")

@@ -6,9 +6,10 @@
 //! numbers, the visited-cap ablation at the deep-unroll point, the
 //! batched `throughput/` family (the 64-program mixed batch per worker
 //! count), the parallel-exploration `parshard/` family (branchy-tree
-//! and deep-unroll workloads per job count), the [`AnalysisStats`]
-//! collection, and the hand-rolled JSON baseline format
-//! (`BENCH_PR8.json`).
+//! and deep-unroll workloads per job count), the map-helper `maps/`
+//! family (the fixture-shaped lookup filter and update loop under both
+//! strategies), the [`AnalysisStats`] collection, and the hand-rolled
+//! JSON baseline format (`BENCH_PR9.json`).
 //!
 //! Keeping the sweep definition in one place guarantees the guard checks
 //! exactly the configurations the committed baseline was produced from.
@@ -190,6 +191,66 @@ pub fn packet_filter(bound: u32) -> Program {
     .expect("assembles")
 }
 
+/// The canonical map-helper filter (the `fixtures/map_filter.ebpf`
+/// shape): build a key on the stack, `map_lookup` it, NULL-check the
+/// returned value pointer, and bump the counter through the refined
+/// edge. Exercises the helper registry check, the `or_null` refinement
+/// in `branch_states`, and the map-value bounds proof — none of which
+/// the memo cache may serve.
+#[must_use]
+pub fn map_filter() -> Program {
+    assemble(
+        r"
+            *(u32 *)(r10 - 4) = 1
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto miss
+            r1 = *(u64 *)(r0 + 0)
+            r1 += 1
+            *(u64 *)(r0 + 0) = r1
+            r0 = 1
+            exit
+        miss:
+            r0 = 0
+            exit
+        ",
+    )
+    .expect("assembles")
+}
+
+/// A bounded `map_update` loop (the `fixtures/map_update_loop.ebpf`
+/// shape at a parameterized trip count): the key and value regions are
+/// re-proved initialized on every trip and every call clobbers
+/// `r1`–`r5`, so only `r6` carries the counter. Because helper
+/// transfers are never memoized, this is the loop workload whose
+/// per-trip cost the memo cache cannot amortize — the `maps/` rows'
+/// `subset_checks` are what `fixpoint_guard` gates.
+#[must_use]
+pub fn map_update_loop(trips: u32) -> Program {
+    assemble(&format!(
+        r"
+            r6 = 0
+        loop:
+            *(u32 *)(r10 - 4) = r6
+            *(u64 *)(r10 - 16) = r6
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            r3 = r10
+            r3 += -16
+            r4 = 0
+            call 2
+            r6 += 1
+            if r6 < {trips} goto loop
+            r0 = 0
+            exit
+        "
+    ))
+    .expect("assembles")
+}
+
 /// Programs in the mixed throughput batch.
 pub const THROUGHPUT_BATCH: usize = 64;
 
@@ -333,7 +394,8 @@ pub const UNROLLS: [u32; 3] = [0, 16, 64];
 /// Every `(label, program, session)` configuration of the sweep, in the
 /// order the bench reports them: the masked-memset trips × delays under
 /// the fixpoint strategy, trips × unrolls under the path-sensitive
-/// strategy, then the two-back-edge pruning workload under both.
+/// strategy, the ablation and pruning workloads, then the map-helper
+/// `maps/` family ([`maps_configs`]).
 #[must_use]
 pub fn sweep_configs() -> Vec<(String, Program, VerificationSession)> {
     let mut out = Vec::new();
@@ -459,6 +521,46 @@ pub fn sweep_configs() -> Vec<(String, Program, VerificationSession)> {
                 ..AnalyzerOptions::default()
             }),
     ));
+    out.extend(maps_configs());
+    out
+}
+
+/// The map-helper `maps/` family (appended to [`sweep_configs`], and
+/// the rows `fixpoint_guard` gates by label): the lookup filter under
+/// both strategies, and the update loop at a short and a deep trip
+/// count. Helper transfers are never memoized, so these rows measure
+/// the registry check, the NULL-refinement split, and the map-value
+/// bounds proofs at full per-visit cost.
+#[must_use]
+pub fn maps_configs() -> Vec<(String, Program, VerificationSession)> {
+    let mut out = Vec::new();
+    out.push((
+        "maps/filter/fixpoint".to_string(),
+        map_filter(),
+        VerificationSession::new(),
+    ));
+    out.push((
+        "maps/filter/path".to_string(),
+        map_filter(),
+        VerificationSession::new().with_strategy(Strategy::PathSensitive),
+    ));
+    for &(trips, unroll) in &[(8u32, 16u32), (64, 64)] {
+        out.push((
+            format!("maps/update_loop/trips={trips}/fixpoint"),
+            map_update_loop(trips),
+            VerificationSession::new(),
+        ));
+        out.push((
+            format!("maps/update_loop/trips={trips}/path/unroll={unroll}"),
+            map_update_loop(trips),
+            VerificationSession::new()
+                .with_strategy(Strategy::PathSensitive)
+                .with_options(AnalyzerOptions {
+                    unroll_k: unroll,
+                    ..AnalyzerOptions::default()
+                }),
+        ));
+    }
     out
 }
 
@@ -645,8 +747,8 @@ mod tests {
             stats.len(),
             // trips sweep + cap ablation (2) + masking ablation (2) +
             // dead-scratch masking pair (2) + two-back-edge (3) +
-            // spill loop (2).
-            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 11
+            // spill loop (2) + maps family (6).
+            TRIPS.len() * (DELAYS.len() + UNROLLS.len()) + 17
         );
         let total: u64 = stats.iter().map(|(_, s)| s.states_allocated).sum();
         assert!(total > 0);
@@ -688,6 +790,34 @@ mod tests {
         assert_eq!(
             label_field_in_json(&doc, "path/trips=1024/unroll=64", "no_such_field"),
             None
+        );
+    }
+
+    #[test]
+    fn maps_family_rows_are_accepted_and_round_trip_through_json() {
+        let rows: Vec<(String, AnalysisStats)> = maps_configs()
+            .into_iter()
+            .map(|(label, prog, session)| {
+                let analysis = session
+                    .run(&prog)
+                    .unwrap_or_else(|e| panic!("{label}: maps program rejected: {e}"));
+                (label, analysis.stats())
+            })
+            .collect();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|(l, _)| l.starts_with("maps/")));
+        // The deep update loop is the family's regression surface: it
+        // must actually probe the visited table on its back edge.
+        let deep = rows
+            .iter()
+            .find(|(l, _)| l == "maps/update_loop/trips=64/path/unroll=64")
+            .expect("deep maps row present");
+        assert!(deep.1.subset_checks > 0, "{:?}", deep.1);
+        // The guard reads the family back per label from the baseline.
+        let doc = to_json("fixpoint_sweep", &[], &rows, &[], &[]);
+        assert_eq!(
+            label_field_in_json(&doc, &deep.0, "subset_checks"),
+            Some(deep.1.subset_checks)
         );
     }
 

@@ -20,6 +20,8 @@
 //! * `rD += rS|imm` and likewise `-= *= /= %= &= |= ^= <<= >>= s>>=`;
 //! * `rD = -rD` (negation);
 //! * `rD = imm ll` (64-bit immediate load);
+//! * `rD = map N` (map-handle load: a tagged `lddw`, see
+//!   [`crate::helpers::map_handle_imm`]);
 //! * `rD = *(u8|u16|u32|u64 *)(rB + off)` loads;
 //! * `*(u8|u16|u32|u64 *)(rB + off) = rS|imm` stores;
 //! * `if rD OP rS|imm goto target` with `OP` one of
@@ -453,6 +455,19 @@ fn parse_assign(line: &str) -> Result<Insn, String> {
         });
     }
 
+    // Map handle: rD = map N (sugar for a tagged lddw).
+    if let Some(id_str) = rhs.strip_prefix("map ").map(str::trim) {
+        if width == Width::W32 {
+            return Err("map handles load 64-bit registers (rN)".to_string());
+        }
+        let id = parse_int(id_str)?;
+        let id = u32::try_from(id).map_err(|_| format!("map id {id} out of range"))?;
+        return Ok(Insn::LoadImm64 {
+            dst,
+            imm: crate::helpers::map_handle_imm(id),
+        });
+    }
+
     // 64-bit immediate: rD = imm ll.
     if let Some(imm_str) = rhs.strip_suffix("ll") {
         if width == Width::W32 {
@@ -609,6 +624,24 @@ mod tests {
             } => assert_eq!(imm, -1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn map_handle_sugar_assembles_and_round_trips() {
+        let prog = assemble("r1 = map 0\nr2 = map 1\nr0 = 0\nexit").unwrap();
+        match (prog.insns()[0], prog.insns()[1]) {
+            (Insn::LoadImm64 { imm: a, .. }, Insn::LoadImm64 { imm: b, .. }) => {
+                assert_eq!(crate::helpers::map_id_of_imm(a), Some(0));
+                assert_eq!(crate::helpers::map_id_of_imm(b), Some(1));
+            }
+            other => panic!("expected lddw pair, got {other:?}"),
+        }
+        // Disassembly prints the sugar back and re-assembles identically.
+        assert_eq!(assemble(&prog.disassemble()).unwrap(), prog);
+        assert!(prog.disassemble().contains("r1 = map 0"));
+        // w-register and junk forms are rejected.
+        assert!(assemble("w1 = map 0\nexit").is_err());
+        assert!(assemble("r1 = map x\nexit").is_err());
     }
 
     #[test]

@@ -96,6 +96,13 @@ impl ProgramBuilder {
         )
     }
 
+    /// `dst = map N` (map-handle load: a tagged `lddw`, see
+    /// [`crate::helpers::map_handle_imm`]).
+    #[must_use]
+    pub fn map_handle(self, dst: Reg, map: u32) -> Self {
+        self.load_imm64(dst, crate::helpers::map_handle_imm(map))
+    }
+
     /// `dst = imm ll` (full 64-bit immediate).
     #[must_use]
     pub fn load_imm64(self, dst: Reg, imm: u64) -> Self {

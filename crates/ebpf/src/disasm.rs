@@ -57,7 +57,10 @@ impl fmt::Display for Insn {
                     AluOp::Arsh => write!(f, "{d} s>>= {s}"),
                 }
             }
-            Insn::LoadImm64 { dst, imm } => write!(f, "r{} = {:#x} ll", dst.index(), imm),
+            Insn::LoadImm64 { dst, imm } => match crate::helpers::map_id_of_imm(imm) {
+                Some(map) => write!(f, "r{} = map {map}", dst.index()),
+                None => write!(f, "r{} = {:#x} ll", dst.index(), imm),
+            },
             Insn::Load {
                 size,
                 dst,

@@ -137,6 +137,14 @@ pub enum VmError {
         /// Program counter of the call.
         pc: usize,
     },
+    /// A map helper was called with an `r1` that is not a valid tagged
+    /// map handle (see [`crate::helpers::map_handle_imm`]).
+    BadMapHandle {
+        /// The helper identifier.
+        helper: u32,
+        /// Program counter of the call.
+        pc: usize,
+    },
     /// The step budget was exhausted (runaway program).
     OutOfFuel,
     /// Execution ran past the end of the program without `exit`
@@ -158,6 +166,12 @@ impl fmt::Display for VmError {
             }
             VmError::UnknownHelper { helper, pc } => {
                 write!(f, "call to unknown helper {helper} (pc {pc})")
+            }
+            VmError::BadMapHandle { helper, pc } => {
+                write!(
+                    f,
+                    "helper {helper} called without a valid map handle (pc {pc})"
+                )
             }
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
             VmError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),

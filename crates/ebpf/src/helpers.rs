@@ -1,0 +1,243 @@
+//! The **helper-call registry**: the single shared description of every
+//! helper the subset supports, consumed by both sides of the toolchain.
+//!
+//! The kernel verifier type-checks `call` sites against per-helper
+//! `bpf_func_proto` descriptors (argument kinds like `ARG_CONST_MAP_PTR`,
+//! `ARG_PTR_TO_MAP_KEY`, return kinds like `RET_PTR_TO_MAP_VALUE_OR_NULL`),
+//! while the runtime dispatches the same ids to concrete implementations.
+//! This module is the analogue for the subset: [`HelperSig`] describes a
+//! helper's argument and return kinds, [`HELPERS`] enumerates the concrete
+//! helpers (kernel ids), and the `verifier` crate and [`crate::Vm`] both
+//! resolve call sites through it, so the abstract and concrete semantics
+//! cannot drift apart.
+//!
+//! Maps are likewise a shared, static convention: [`DEFAULT_MAPS`] fixes
+//! the key/value geometry of every map id, and a map handle enters a
+//! program through the tagged `lddw` form `rD = map N`
+//! ([`map_handle_imm`]), mirroring the kernel's `BPF_PSEUDO_MAP_FD`
+//! relocation without needing a loader.
+
+/// Kernel helper id of `bpf_map_lookup_elem`.
+pub const HELPER_MAP_LOOKUP: u32 = 1;
+/// Kernel helper id of `bpf_map_update_elem`.
+pub const HELPER_MAP_UPDATE: u32 = 2;
+/// Kernel helper id of `bpf_map_delete_elem`.
+pub const HELPER_MAP_DELETE: u32 = 3;
+/// Kernel helper id of `bpf_get_prandom_u32`.
+pub const HELPER_GET_PRANDOM: u32 = 7;
+
+/// How a helper may use one argument register (`r1`–`r5`), the subset's
+/// `bpf_arg_type`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArgKind {
+    /// Any initialized scalar value (flags, sizes, plain numbers).
+    Scalar,
+    /// A pointer into the program's context buffer.
+    CtxPtr,
+    /// A map handle produced by the tagged `lddw` form `rD = map N`.
+    MapHandle,
+    /// A pointer to an initialized stack region; the region's byte size
+    /// comes from a sibling argument per [`RegionSize`].
+    StackRegion {
+        /// Whether the helper also writes the region (a read-only region
+        /// must merely be initialized; a writable one is overwritten).
+        writable: bool,
+        /// Where the region's byte size comes from.
+        size: RegionSize,
+    },
+}
+
+/// Where a [`ArgKind::StackRegion`] argument's byte size comes from —
+/// always another argument of the same call, the subset's analogue of
+/// the kernel's `ARG_CONST_SIZE` sibling-argument sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionSize {
+    /// The key size of the map handle passed in sibling argument `arg`
+    /// (0-based index into [`HelperSig::args`]).
+    KeyOf {
+        /// Sibling argument index holding the map handle.
+        arg: usize,
+    },
+    /// The value size of the map handle passed in sibling argument `arg`.
+    ValueOf {
+        /// Sibling argument index holding the map handle.
+        arg: usize,
+    },
+    /// A fixed byte size independent of the siblings.
+    Fixed(u32),
+}
+
+/// What a helper leaves in `r0`, the subset's `bpf_return_type`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetKind {
+    /// An unknown scalar (status codes, random values).
+    Scalar,
+    /// A pointer to a value of the map passed in argument `map_arg`, or
+    /// NULL — the kernel's `RET_PTR_TO_MAP_VALUE_OR_NULL`.
+    MapValueOrNull {
+        /// Argument index (0-based) of the map handle the value belongs to.
+        map_arg: usize,
+    },
+}
+
+/// The complete signature of one helper: the contract the verifier
+/// enforces at every call site and the VM implements natively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelperSig {
+    /// Helper id named by `call id` (kernel numbering).
+    pub id: u32,
+    /// Human-readable name (for `annotate --list-helpers` and errors).
+    pub name: &'static str,
+    /// Argument kinds for `r1`, `r2`, … — unused trailing registers are
+    /// simply not listed.
+    pub args: &'static [ArgKind],
+    /// What the helper returns in `r0`.
+    pub ret: RetKind,
+}
+
+/// Every helper the subset supports, in id order.
+pub const HELPERS: &[HelperSig] = &[
+    HelperSig {
+        id: HELPER_MAP_LOOKUP,
+        name: "map_lookup",
+        args: &[
+            ArgKind::MapHandle,
+            ArgKind::StackRegion {
+                writable: false,
+                size: RegionSize::KeyOf { arg: 0 },
+            },
+        ],
+        ret: RetKind::MapValueOrNull { map_arg: 0 },
+    },
+    HelperSig {
+        id: HELPER_MAP_UPDATE,
+        name: "map_update",
+        args: &[
+            ArgKind::MapHandle,
+            ArgKind::StackRegion {
+                writable: false,
+                size: RegionSize::KeyOf { arg: 0 },
+            },
+            ArgKind::StackRegion {
+                writable: false,
+                size: RegionSize::ValueOf { arg: 0 },
+            },
+            ArgKind::Scalar,
+        ],
+        ret: RetKind::Scalar,
+    },
+    HelperSig {
+        id: HELPER_MAP_DELETE,
+        name: "map_delete",
+        args: &[
+            ArgKind::MapHandle,
+            ArgKind::StackRegion {
+                writable: false,
+                size: RegionSize::KeyOf { arg: 0 },
+            },
+        ],
+        ret: RetKind::Scalar,
+    },
+    HelperSig {
+        id: HELPER_GET_PRANDOM,
+        name: "get_prandom",
+        args: &[],
+        ret: RetKind::Scalar,
+    },
+];
+
+/// Looks up the signature of helper `id`, if it is a known helper.
+#[must_use]
+pub fn helper_sig(id: u32) -> Option<&'static HelperSig> {
+    HELPERS.iter().find(|h| h.id == id)
+}
+
+/// The static geometry of one map: fixed key and value sizes and a
+/// capacity, as in the kernel's `bpf_map_def`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapDef {
+    /// Exact key size in bytes.
+    pub key_size: u32,
+    /// Exact value size in bytes.
+    pub value_size: u32,
+    /// Maximum number of entries the map holds.
+    pub max_entries: u32,
+}
+
+/// The maps every program may reference, indexed by map id. Fixing the
+/// set statically keeps the verifier and the VM in agreement without a
+/// loader: `rD = map N` is valid iff `N` indexes this table.
+pub const DEFAULT_MAPS: &[MapDef] = &[
+    MapDef {
+        key_size: 4,
+        value_size: 8,
+        max_entries: 16,
+    },
+    MapDef {
+        key_size: 8,
+        value_size: 32,
+        max_entries: 8,
+    },
+];
+
+/// The definition of map `map`, if the id is valid.
+#[must_use]
+pub fn map_def(map: u32) -> Option<&'static MapDef> {
+    DEFAULT_MAPS.get(map as usize)
+}
+
+/// Tag in the upper 32 bits of an `lddw` immediate marking it as a map
+/// handle (`"maph"` in ASCII), the subset's `BPF_PSEUDO_MAP_FD`.
+pub const MAP_HANDLE_TAG: u64 = 0x6d61_7068;
+
+/// The `lddw` immediate encoding a handle to map `map`
+/// (`rD = map N` assembles to `lddw rD, map_handle_imm(N)`).
+#[must_use]
+pub fn map_handle_imm(map: u32) -> u64 {
+    (MAP_HANDLE_TAG << 32) | u64::from(map)
+}
+
+/// Decodes a map id back out of a tagged `lddw` immediate; `None` for
+/// plain 64-bit constants.
+#[must_use]
+pub fn map_id_of_imm(imm: u64) -> Option<u32> {
+    (imm >> 32 == MAP_HANDLE_TAG).then_some(imm as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_listed_helper() {
+        for sig in HELPERS {
+            assert_eq!(helper_sig(sig.id), Some(sig));
+            assert!(sig.args.len() <= 5, "{} takes at most r1-r5", sig.name);
+        }
+        assert_eq!(helper_sig(99), None);
+        assert_eq!(helper_sig(0), None);
+    }
+
+    #[test]
+    fn map_handle_imm_round_trips() {
+        for map in [0u32, 1, 7, u32::MAX] {
+            assert_eq!(map_id_of_imm(map_handle_imm(map)), Some(map));
+        }
+        assert_eq!(map_id_of_imm(0), None);
+        assert_eq!(map_id_of_imm(0x1122_3344_5566_7788), None);
+    }
+
+    #[test]
+    fn region_sizes_resolve_against_default_maps() {
+        let lookup = helper_sig(HELPER_MAP_LOOKUP).unwrap();
+        assert_eq!(lookup.ret, RetKind::MapValueOrNull { map_arg: 0 });
+        let ArgKind::StackRegion { writable, size } = lookup.args[1] else {
+            panic!("map_lookup key is a stack region");
+        };
+        assert!(!writable);
+        assert_eq!(size, RegionSize::KeyOf { arg: 0 });
+        assert_eq!(map_def(0).unwrap().key_size, 4);
+        assert_eq!(map_def(1).unwrap().value_size, 32);
+        assert_eq!(map_def(2), None);
+    }
+}

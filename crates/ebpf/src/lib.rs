@@ -19,9 +19,16 @@
 //!   (`Display for Insn`) using the kernel documentation syntax
 //!   (`r0 = 42`, `r2 += r3`, `if r1 > 8 goto drop`, `*(u32 *)(r10 - 4) = r0`);
 //! * a fluent, label-aware [`builder`] for constructing programs in code;
+//! * a **helper registry** ([`helpers`]): typed signatures for the
+//!   concrete helpers (`map_lookup`, `map_update`, `map_delete`,
+//!   `get_prandom`), the static map definitions, and the tagged `lddw`
+//!   map-handle convention (`rD = map N`) — shared by the verifier's
+//!   call-site type checks and the VM's native implementations;
 //! * a concrete **interpreter** ([`Vm`]) with a 512-byte stack, a caller
-//!   context buffer, registered helper functions, and BPF arithmetic
-//!   semantics (wrapping ops, `x / 0 = 0`, `x % 0 = x`, masked shifts).
+//!   context buffer, registered helper functions, an in-VM map store
+//!   ([`MapStore`]) executing the registry helpers natively, and BPF
+//!   arithmetic semantics (wrapping ops, `x / 0 = 0`, `x % 0 = x`,
+//!   masked shifts).
 //!
 //! The `verifier` crate performs abstract interpretation over [`Insn`]
 //! using the tnum and interval domains; integration tests execute the same
@@ -38,6 +45,7 @@ pub mod builder;
 mod disasm;
 mod encode;
 mod error;
+pub mod helpers;
 mod insn;
 mod program;
 mod reg;
@@ -45,7 +53,11 @@ mod vm;
 
 pub use encode::RawInsn;
 pub use error::{AsmError, DecodeError, ProgramError, VmError};
+pub use helpers::{
+    helper_sig, map_def, map_handle_imm, map_id_of_imm, ArgKind, HelperSig, MapDef, RegionSize,
+    RetKind, DEFAULT_MAPS, HELPERS,
+};
 pub use insn::{AluOp, Insn, JmpOp, MemSize, Src, Width};
 pub use program::Program;
 pub use reg::Reg;
-pub use vm::{HelperFn, Vm, VmOptions, CTX_BASE, STACK_SIZE, STACK_TOP};
+pub use vm::{HelperFn, MapStore, Vm, VmOptions, CTX_BASE, MAP_BASE, STACK_SIZE, STACK_TOP};

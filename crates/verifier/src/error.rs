@@ -88,6 +88,43 @@ pub enum VerifierError {
         /// Index of the offending `exit`.
         pc: usize,
     },
+    /// A load or store dereferences a map value pointer that may still
+    /// be NULL (no `== 0` / `!= 0` check dominates the access).
+    NullMapValue {
+        /// The register holding the unchecked pointer.
+        reg: Reg,
+        /// Faulting instruction.
+        pc: usize,
+    },
+    /// A `call` names a helper that is not in the registry
+    /// ([`ebpf::helpers::HELPERS`]).
+    UnknownHelper {
+        /// The helper id.
+        helper: u32,
+        /// Index of the offending `call`.
+        pc: usize,
+    },
+    /// A helper argument does not match the kind its signature demands
+    /// (e.g. a scalar where a map handle is required, or an
+    /// uninitialized stack region passed as a key).
+    BadHelperArg {
+        /// The helper id.
+        helper: u32,
+        /// 1-based argument number (the register is `r{arg}`).
+        arg: u8,
+        /// What the signature expects there.
+        expected: &'static str,
+        /// Index of the offending `call`.
+        pc: usize,
+    },
+    /// A tagged `lddw` references a map id outside
+    /// [`ebpf::DEFAULT_MAPS`].
+    UnknownMap {
+        /// The invalid map id.
+        map: u32,
+        /// Index of the offending `lddw`.
+        pc: usize,
+    },
 }
 
 impl VerifierError {
@@ -104,7 +141,11 @@ impl VerifierError {
             | VerifierError::UninitStackRead { pc }
             | VerifierError::BadPointerArithmetic { pc }
             | VerifierError::NoReturnValue { pc }
-            | VerifierError::PointerLeak { pc } => pc,
+            | VerifierError::PointerLeak { pc }
+            | VerifierError::NullMapValue { pc, .. }
+            | VerifierError::UnknownHelper { pc, .. }
+            | VerifierError::BadHelperArg { pc, .. }
+            | VerifierError::UnknownMap { pc, .. } => pc,
         }
     }
 }
@@ -161,6 +202,31 @@ impl fmt::Display for VerifierError {
             }
             VerifierError::PointerLeak { pc } => {
                 write!(f, "exit at instruction {pc} would leak a pointer in r0")
+            }
+            VerifierError::NullMapValue { reg, pc } => {
+                write!(
+                    f,
+                    "instruction {pc} dereferences map value pointer {reg} \
+                     that may be NULL (no NULL check on this path)"
+                )
+            }
+            VerifierError::UnknownHelper { helper, pc } => {
+                write!(f, "call at instruction {pc} names unknown helper {helper}")
+            }
+            VerifierError::BadHelperArg {
+                helper,
+                arg,
+                expected,
+                pc,
+            } => {
+                write!(
+                    f,
+                    "call to helper {helper} at instruction {pc}: \
+                     argument r{arg} is not {expected}"
+                )
+            }
+            VerifierError::UnknownMap { map, pc } => {
+                write!(f, "instruction {pc} references unknown map {map}")
             }
         }
     }

@@ -1,0 +1,252 @@
+//! Call-site type checking against the shared helper registry
+//! ([`ebpf::helpers`]) — the abstract half of the helper subsystem.
+//!
+//! The kernel's `check_helper_call` resolves a `bpf_func_proto` per
+//! helper id and walks the argument registers against its
+//! `arg_type`s; this module does the same over [`AbsState`]:
+//!
+//! * each argument register must hold the [`ArgKind`] the signature
+//!   demands (scalar, ctx pointer, map handle, stack region pointer);
+//! * a stack-region argument is bounds-checked against the frame and —
+//!   for readable regions — every possibly-touched byte must be
+//!   initialized, with the region's byte length resolved from a sibling
+//!   map-handle argument ([`RegionSize`]), mirroring the kernel's
+//!   key/value sizing;
+//! * `r0` is typed per the signature's [`RetKind`] — notably
+//!   `map_lookup` produces a [`RegValue::MapValuePtr`] with
+//!   `or_null: true`, unusable until a NULL check refines it;
+//! * `r1`–`r5` are clobbered to [`RegValue::Uninit`].
+//!
+//! Helper transfers are deliberately **never memoized**: they produce
+//! pointers and model impure runtime behaviour, so every call site is
+//! re-checked against the live state (see the memo-exclusion test in
+//! `tests/helper_calls.rs`).
+
+use ebpf::helpers::{helper_sig, map_def, ArgKind, RegionSize, RetKind};
+use ebpf::{Reg, STACK_SIZE};
+
+use crate::error::VerifierError;
+use crate::scalar::Scalar;
+use crate::state::AbsState;
+use crate::value::RegValue;
+
+/// The argument registers in signature order.
+const ARG_REGS: [Reg; 5] = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+
+/// Type-checks one `call helper` site against the registry and applies
+/// its effect on `state`: argument kinds, stack-region bounds and
+/// initialization, `r0` typing, and the `r1`–`r5` clobber.
+///
+/// # Errors
+///
+/// [`VerifierError::UnknownHelper`] for an unregistered id,
+/// [`VerifierError::BadHelperArg`] for an argument of the wrong kind,
+/// and the existing memory errors ([`VerifierError::OutOfBounds`],
+/// [`VerifierError::UninitStackRead`]) for bad stack regions.
+pub fn check_call(state: &mut AbsState, helper: u32, pc: usize) -> Result<(), VerifierError> {
+    let sig = helper_sig(helper).ok_or(VerifierError::UnknownHelper { helper, pc })?;
+
+    // Writable regions are applied after all arguments check out, so a
+    // later argument error cannot leave a half-applied effect.
+    let mut writes: Vec<(i64, i64)> = Vec::new();
+
+    for (i, kind) in sig.args.iter().enumerate() {
+        let reg = ARG_REGS[i];
+        let arg = u8::try_from(i + 1).expect("at most five args");
+        let bad = |expected: &'static str| VerifierError::BadHelperArg {
+            helper,
+            arg,
+            expected,
+            pc,
+        };
+        match (kind, state.reg(reg)) {
+            (ArgKind::Scalar, RegValue::Scalar(_)) => {}
+            (ArgKind::Scalar, _) => return Err(bad("a scalar")),
+            (ArgKind::CtxPtr, RegValue::CtxPtr { .. }) => {}
+            (ArgKind::CtxPtr, _) => return Err(bad("a context pointer")),
+            (ArgKind::MapHandle, RegValue::MapHandle { .. }) => {}
+            (ArgKind::MapHandle, _) => return Err(bad("a map handle")),
+            (ArgKind::StackRegion { writable, size }, RegValue::StackPtr { offset }) => {
+                let len = region_len(state, sig.id, *size, pc)?;
+                let (lo, hi) = (offset.bounds().smin(), offset.bounds().smax());
+                let end = hi.checked_add(len);
+                if lo < -(STACK_SIZE as i64) || !end.is_some_and(|e| e <= 0) {
+                    return Err(VerifierError::OutOfBounds {
+                        region: "stack",
+                        min_off: lo,
+                        max_end: end.unwrap_or(i64::MAX),
+                        pc,
+                    });
+                }
+                if *writable {
+                    // The helper overwrites exactly `len` bytes at the
+                    // pointer; a variable offset would force marking
+                    // possibly-unwritten bytes initialized, so require a
+                    // constant one.
+                    if lo != hi {
+                        return Err(bad("a constant-offset stack region"));
+                    }
+                    writes.push((lo, lo + len));
+                } else if !state.stack_range_initialized(lo, hi + len) {
+                    return Err(VerifierError::UninitStackRead { pc });
+                }
+            }
+            (ArgKind::StackRegion { .. }, _) => return Err(bad("a stack pointer")),
+        }
+    }
+
+    let ret = match sig.ret {
+        RetKind::Scalar => RegValue::unknown_scalar(),
+        RetKind::MapValueOrNull { map_arg } => {
+            let RegValue::MapHandle { map } = state.reg(ARG_REGS[map_arg]) else {
+                unreachable!("map_arg kind was checked above");
+            };
+            RegValue::MapValuePtr {
+                map,
+                or_null: true,
+                offset: Scalar::constant(0),
+            }
+        }
+    };
+
+    for (lo, end) in writes {
+        state.smear_stack(lo, end);
+    }
+    for r in ARG_REGS {
+        state.set_reg(r, RegValue::Uninit);
+    }
+    state.set_reg(Reg::R0, ret);
+    Ok(())
+}
+
+/// Resolves the byte length of a stack-region argument from its sibling
+/// argument per [`RegionSize`].
+fn region_len(
+    state: &AbsState,
+    helper: u32,
+    size: RegionSize,
+    pc: usize,
+) -> Result<i64, VerifierError> {
+    let of_map = |arg: usize, f: fn(&ebpf::MapDef) -> u32| {
+        let RegValue::MapHandle { map } = state.reg(ARG_REGS[arg]) else {
+            // The registry only sizes regions from MapHandle arguments,
+            // which were (or will be) kind-checked; report the sibling.
+            return Err(VerifierError::BadHelperArg {
+                helper,
+                arg: u8::try_from(arg + 1).expect("at most five args"),
+                expected: "a map handle",
+                pc,
+            });
+        };
+        let def = map_def(map).ok_or(VerifierError::UnknownMap { map, pc })?;
+        Ok(i64::from(f(def)))
+    };
+    match size {
+        RegionSize::KeyOf { arg } => of_map(arg, |d| d.key_size),
+        RegionSize::ValueOf { arg } => of_map(arg, |d| d.value_size),
+        RegionSize::Fixed(n) => Ok(i64::from(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf::helpers::HELPER_MAP_LOOKUP;
+
+    fn state_with(regs: &[(Reg, RegValue)]) -> AbsState {
+        let mut s = AbsState::entry();
+        for &(r, v) in regs {
+            s.set_reg(r, v);
+        }
+        s
+    }
+
+    #[test]
+    fn unknown_helper_is_rejected() {
+        let mut s = AbsState::entry();
+        assert_eq!(
+            check_call(&mut s, 99, 5),
+            Err(VerifierError::UnknownHelper { helper: 99, pc: 5 })
+        );
+    }
+
+    #[test]
+    fn lookup_requires_a_map_handle_in_r1() {
+        let mut s = state_with(&[
+            (Reg::R1, RegValue::unknown_scalar()),
+            (
+                Reg::R2,
+                RegValue::StackPtr {
+                    offset: Scalar::constant((-8i64) as u64),
+                },
+            ),
+        ]);
+        assert_eq!(
+            check_call(&mut s, HELPER_MAP_LOOKUP, 3),
+            Err(VerifierError::BadHelperArg {
+                helper: HELPER_MAP_LOOKUP,
+                arg: 1,
+                expected: "a map handle",
+                pc: 3
+            })
+        );
+    }
+
+    #[test]
+    fn lookup_types_r0_and_clobbers_args() {
+        let mut s = state_with(&[
+            (Reg::R1, RegValue::MapHandle { map: 0 }),
+            (
+                Reg::R2,
+                RegValue::StackPtr {
+                    offset: Scalar::constant((-8i64) as u64),
+                },
+            ),
+        ]);
+        // Initialize the 4-byte key region at [-8, -4).
+        s.smear_stack(-8, -4);
+        check_call(&mut s, HELPER_MAP_LOOKUP, 0).expect("well-typed call");
+        assert_eq!(
+            s.reg(Reg::R0),
+            RegValue::MapValuePtr {
+                map: 0,
+                or_null: true,
+                offset: Scalar::constant(0)
+            }
+        );
+        for r in ARG_REGS {
+            assert_eq!(s.reg(r), RegValue::Uninit, "{r} clobbered");
+        }
+    }
+
+    #[test]
+    fn lookup_key_region_must_be_initialized_and_in_bounds() {
+        let key_at = |off: i64| {
+            state_with(&[
+                (Reg::R1, RegValue::MapHandle { map: 0 }),
+                (
+                    Reg::R2,
+                    RegValue::StackPtr {
+                        offset: Scalar::constant(off as u64),
+                    },
+                ),
+            ])
+        };
+        // Uninitialized key bytes.
+        let mut s = key_at(-8);
+        assert_eq!(
+            check_call(&mut s, HELPER_MAP_LOOKUP, 2),
+            Err(VerifierError::UninitStackRead { pc: 2 })
+        );
+        // Key region runs past the frame top.
+        let mut s = key_at(-2);
+        s.smear_stack(-8, 0);
+        assert!(matches!(
+            check_call(&mut s, HELPER_MAP_LOOKUP, 2),
+            Err(VerifierError::OutOfBounds {
+                region: "stack",
+                ..
+            })
+        ));
+    }
+}

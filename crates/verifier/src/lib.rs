@@ -133,6 +133,7 @@ pub mod cfg;
 mod error;
 pub mod explore;
 pub mod fixpoint;
+pub mod helpers;
 pub mod memo;
 pub mod parshard;
 pub mod passes;
@@ -151,6 +152,7 @@ pub use cfg::Cfg;
 pub use error::VerifierError;
 pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, WideningFixpoint};
 pub use fixpoint::AnalysisStats;
+pub use helpers::check_call;
 pub use memo::{MemoEffect, MemoKey, TransferMemo};
 pub use parshard::PathParallel;
 pub use passes::{LiveSet, ProgramPasses};

@@ -28,9 +28,12 @@
 //! layer's *actual* read surface, over-approximated where the static
 //! pass cannot know better:
 //!
-//! * helper calls read nothing (`check_reads` skips them) and clobber
-//!   `r0`–`r5`; `exit` reads `r0` (return-value and pointer-leak
-//!   checks);
+//! * helper calls read the argument registers their registry signature
+//!   names (`r1..r1+n` per [`ebpf::helpers::helper_sig`]; all of
+//!   `r1`–`r5` for an unknown id) — and when the signature takes a
+//!   stack-region argument, conservatively any stack slot — then
+//!   clobber `r0`–`r5`; `exit` reads `r0` (return-value and
+//!   pointer-leak checks);
 //! * a load through `r10` at a constant offset reads exactly the slots
 //!   covering its byte range (including the whole-slot reads of
 //!   `stack_range_initialized`); a load through any register that *may*
@@ -333,8 +336,11 @@ impl DataflowPass for StackTaint {
 /// Backward may-use liveness over registers *and* stack slots, the
 /// kernel's `mark_reg_read` analogue. Fact: [`LiveSet`].
 ///
-/// Uses mirror the transfer layer's `check_reads` exactly — helper
-/// calls read nothing, `exit` reads `r0` — plus the slot reads of
+/// Uses mirror the transfer layer's checks exactly — a helper call
+/// reads its registry arity's argument registers (`r1..r1+n` per
+/// [`ebpf::helpers::helper_sig`]; all of `r1`–`r5` for an unknown
+/// helper) and, when its signature takes a stack-region argument, may
+/// read any stack slot; `exit` reads `r0` — plus the slot reads of
 /// stack loads (exact covering slots through `r10`, all slots through a
 /// possibly-stack-derived base per [`StackTaint`]). Kills are the
 /// register writes of `def_reg`, the `r0`–`r5` clobber of a call, and
@@ -408,10 +414,32 @@ impl DataflowPass for Liveness {
             }
         }
 
-        // Uses: `check_reads` skips calls; everything else reads its
-        // `use_regs`. `exit` reads `r0` directly (return-value and
-        // pointer-leak checks).
-        if !matches!(insn, Insn::Call { .. }) {
+        // Uses: a call reads its helper's argument registers per the
+        // registry arity (conservatively all of r1–r5 when the id is
+        // unknown — the verifier will reject it anyway), and any
+        // stack-region argument may read arbitrary slots through the
+        // passed pointer; everything else reads its `use_regs`. `exit`
+        // reads `r0` directly (return-value and pointer-leak checks).
+        if let Insn::Call { helper } = insn {
+            match ebpf::helpers::helper_sig(helper) {
+                Some(sig) => {
+                    for i in 0..sig.args.len() {
+                        live.regs |= 1 << (i + 1);
+                    }
+                    if sig
+                        .args
+                        .iter()
+                        .any(|a| matches!(a, ebpf::helpers::ArgKind::StackRegion { .. }))
+                    {
+                        live.slots = u64::MAX;
+                    }
+                }
+                None => {
+                    live.regs |= CALL_CLOBBERS & !bit(Reg::R0);
+                    live.slots = u64::MAX;
+                }
+            }
+        } else {
             for r in insn.use_regs() {
                 live.regs |= bit(r);
             }

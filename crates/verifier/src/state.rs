@@ -295,6 +295,12 @@ impl Component for RegValue {
             RegValue::Scalar(s) => mix(hash_scalar(s) ^ 0x2),
             RegValue::StackPtr { offset } => mix(hash_scalar(offset) ^ 0x3),
             RegValue::CtxPtr { offset } => mix(hash_scalar(offset) ^ 0x4),
+            RegValue::MapHandle { map } => mix(u64::from(map) ^ 0x5),
+            RegValue::MapValuePtr {
+                map,
+                or_null,
+                offset,
+            } => mix(hash_scalar(offset) ^ mix(u64::from(map) << 1 | u64::from(or_null)) ^ 0x6),
         }
     }
 }

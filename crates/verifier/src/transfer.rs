@@ -158,8 +158,10 @@ impl Transfer {
 
     /// Rejects reads of uninitialized registers.
     fn check_reads(&self, state: &AbsState, insn: Insn, pc: usize) -> Result<(), VerifierError> {
-        // Helper calls are handled leniently: our model's helpers take no
-        // required arguments.
+        // Helper calls are checked argument-by-argument against the
+        // registry in [`crate::helpers::check_call`], which knows each
+        // helper's arity — `use_regs` would over-approximate with all of
+        // r1–r5.
         if matches!(insn, Insn::Call { .. }) {
             return Ok(());
         }
@@ -189,7 +191,17 @@ impl Transfer {
                 state.set_reg(dst, new);
             }
             Insn::LoadImm64 { dst, imm } => {
-                state.set_reg(dst, RegValue::Scalar(Scalar::constant(imm)));
+                // A tagged immediate (`rD = map N`) loads a map handle —
+                // the analogue of the kernel's BPF_PSEUDO_MAP_FD lddw,
+                // whose fd the loader resolves before verification.
+                let value = match ebpf::helpers::map_id_of_imm(imm) {
+                    Some(map) if ebpf::helpers::map_def(map).is_some() => {
+                        RegValue::MapHandle { map }
+                    }
+                    Some(map) => return Err(VerifierError::UnknownMap { map, pc }),
+                    None => RegValue::Scalar(Scalar::constant(imm)),
+                };
+                state.set_reg(dst, value);
             }
             Insn::Load {
                 size,
@@ -212,11 +224,11 @@ impl Transfer {
                 };
                 self.check_store(&mut state, size, base, off, value, pc)?;
             }
-            Insn::Call { .. } => {
-                state.set_reg(Reg::R0, RegValue::unknown_scalar());
-                for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
-                    state.set_reg(r, RegValue::Uninit);
-                }
+            Insn::Call { helper } => {
+                // Never memoized: helper transfers produce pointers and
+                // model impure runtime behaviour, so every call site is
+                // re-checked against the live state.
+                crate::helpers::check_call(&mut state, helper, pc)?;
             }
             Insn::Ja { .. } | Insn::Jmp { .. } | Insn::Exit => unreachable!("handled by caller"),
         }
@@ -269,11 +281,43 @@ impl Transfer {
                     offset: offset.alu64(op, b),
                 })
             }
+            // Only a NULL-checked map value pointer may be shifted;
+            // arithmetic on an `or_null` pointer (or on a map handle)
+            // falls through to the rejection below, like the kernel's
+            // "pointer arithmetic on map_value_or_null prohibited".
+            (
+                RegValue::MapValuePtr {
+                    map,
+                    or_null: false,
+                    offset,
+                },
+                RegValue::Scalar(b),
+            ) if width == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) => {
+                Ok(RegValue::MapValuePtr {
+                    map,
+                    or_null: false,
+                    offset: offset.alu64(op, b),
+                })
+            }
             // Same-region pointer difference yields a scalar.
             (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
             | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b })
                 if width == Width::W64 && op == AluOp::Sub =>
             {
+                Ok(RegValue::Scalar(a.alu64(AluOp::Sub, b)))
+            }
+            (
+                RegValue::MapValuePtr {
+                    map: ma,
+                    or_null: false,
+                    offset: a,
+                },
+                RegValue::MapValuePtr {
+                    map: mb,
+                    or_null: false,
+                    offset: b,
+                },
+            ) if ma == mb && width == Width::W64 && op == AluOp::Sub => {
                 Ok(RegValue::Scalar(a.alu64(AluOp::Sub, b)))
             }
             (RegValue::Uninit, _) | (_, RegValue::Uninit) => {
@@ -362,6 +406,39 @@ impl Transfer {
         };
         let lhs = state.reg(dst);
 
+        // A NULL check on a may-be-NULL map value pointer splits it: the
+        // nonzero edge carries a dereferenceable pointer, the zero edge a
+        // known-NULL scalar (the kernel's `mark_ptr_or_null_reg`). This is
+        // a safety-typing transition, not a precision refinement, so it is
+        // not gated on `refine_branches` — and never memoized: it changes
+        // a register's *kind*, outside the scalar-effect cache's domain.
+        if let RegValue::MapValuePtr {
+            map,
+            or_null: true,
+            offset,
+        } = lhs
+        {
+            let vs_zero = matches!(rhs, RegValue::Scalar(s) if s.as_constant() == Some(0));
+            if width == Width::W64 && vs_zero && matches!(op, JmpOp::Eq | JmpOp::Ne) {
+                let with = |v: RegValue| {
+                    let mut out = state.clone();
+                    out.set_reg(dst, v);
+                    Some(out)
+                };
+                let null = RegValue::Scalar(Scalar::constant(0));
+                let ptr = RegValue::MapValuePtr {
+                    map,
+                    or_null: false,
+                    offset,
+                };
+                return Ok(if op == JmpOp::Eq {
+                    (with(ptr), with(null))
+                } else {
+                    (with(null), with(ptr))
+                });
+            }
+        }
+
         // Refinement applies to scalar/scalar comparisons; pointers pass
         // both states through unchanged (sound).
         let (lhs_s, rhs_s) = match (lhs, rhs) {
@@ -424,8 +501,21 @@ impl Transfer {
                 )?;
                 Ok(loaded_value(size))
             }
+            RegValue::MapValuePtr { or_null: true, .. } => {
+                Err(VerifierError::NullMapValue { reg: base, pc })
+            }
+            RegValue::MapValuePtr {
+                map,
+                or_null: false,
+                offset,
+            } => {
+                self.check_map_value_region(map, offset, off, size, pc)?;
+                Ok(loaded_value(size))
+            }
             RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
-            RegValue::Scalar(_) => Err(VerifierError::BadPointer { reg: base, pc }),
+            RegValue::Scalar(_) | RegValue::MapHandle { .. } => {
+                Err(VerifierError::BadPointer { reg: base, pc })
+            }
         }
     }
 
@@ -465,9 +555,52 @@ impl Transfer {
                 )?;
                 Ok(())
             }
+            RegValue::MapValuePtr { or_null: true, .. } => {
+                Err(VerifierError::NullMapValue { reg: base, pc })
+            }
+            RegValue::MapValuePtr {
+                map,
+                or_null: false,
+                offset,
+            } => {
+                // Map values are shared with user space: storing a
+                // pointer into one would publish a kernel address (the
+                // kernel's "leaks addr into map" rejection).
+                if value.is_pointer() {
+                    return Err(VerifierError::PointerLeak { pc });
+                }
+                self.check_map_value_region(map, offset, off, size, pc)?;
+                Ok(())
+            }
             RegValue::Uninit => Err(VerifierError::UninitRead { reg: base, pc }),
-            RegValue::Scalar(_) => Err(VerifierError::BadPointer { reg: base, pc }),
+            RegValue::Scalar(_) | RegValue::MapHandle { .. } => {
+                Err(VerifierError::BadPointer { reg: base, pc })
+            }
         }
+    }
+
+    /// Bounds- and alignment-checks an access through a NULL-checked map
+    /// value pointer against its map's `[0, value_size)` region.
+    fn check_map_value_region(
+        &self,
+        map: u32,
+        offset: Scalar,
+        off: i16,
+        size: MemSize,
+        pc: usize,
+    ) -> Result<(i64, i64), VerifierError> {
+        // The map id was validated when the handle was loaded, and the
+        // pointer kind only arises from a checked handle.
+        let def = ebpf::helpers::map_def(map).expect("handle validated at lddw");
+        self.check_region(
+            "map_value",
+            offset,
+            off,
+            size,
+            0,
+            i64::from(def.value_size),
+            pc,
+        )
     }
 
     /// Proves `region_lo <= offset + off` and
@@ -492,7 +625,7 @@ impl Transfer {
     ) -> Result<(i64, i64), VerifierError> {
         if let (Some(cache), Some(params)) = (
             &self.options.memo_cache,
-            self.mem_check_params(region, off, size),
+            self.mem_check_params(region, off, size, region_hi),
         ) {
             let key = MemoKey::mem(value_fingerprint(RegValue::Scalar(offset)), params);
             let rhs = Scalar::constant(params);
@@ -509,21 +642,33 @@ impl Transfer {
 
     /// Packs every input of a region check except the offset scalar into
     /// one verification word — the memo `rhs` operand — or `None` when
-    /// [`AnalyzerOptions::ctx_size`] is too large to pack losslessly
-    /// (then the check simply runs uncached). The region *extent* is
-    /// derived from the kind and `ctx_size`, so the word determines the
-    /// whole check.
-    fn mem_check_params(&self, region: &'static str, off: i16, size: MemSize) -> Option<u64> {
-        if self.options.ctx_size >= 1 << 40 {
+    /// the region extent is too large to pack losslessly (then the check
+    /// simply runs uncached). The two-bit kind fixes `region_lo` (the
+    /// stack frame's `-512`, zero otherwise) and the packed `region_hi`
+    /// the extent, so the word determines the whole check — in
+    /// particular a stack verdict can never satisfy a `map_value` check
+    /// that happens to share an offset scalar.
+    fn mem_check_params(
+        &self,
+        region: &'static str,
+        off: i16,
+        size: MemSize,
+        region_hi: i64,
+    ) -> Option<u64> {
+        if !(0..1 << 40).contains(&region_hi) {
             return None;
         }
-        let kind = u64::from(region == "ctx");
+        let kind = match region {
+            "stack" => 0u64,
+            "ctx" => 1,
+            _ => 2, // map_value
+        };
         Some(
             u64::from(off as u16)
                 | size.bytes() << 16
                 | u64::from(self.options.strict_alignment) << 20
                 | kind << 21
-                | self.options.ctx_size << 22,
+                | (region_hi as u64) << 23,
         )
     }
 

@@ -27,6 +27,26 @@ pub enum RegValue {
         /// Byte offset from the start of the context.
         offset: Scalar,
     },
+    /// A handle to a map, produced by the tagged `lddw` form
+    /// `rD = map N` — the kernel's `CONST_PTR_TO_MAP`. Only usable as a
+    /// helper argument; any dereference or arithmetic is rejected.
+    MapHandle {
+        /// Map id (an index into [`ebpf::DEFAULT_MAPS`]).
+        map: u32,
+    },
+    /// A pointer to a value of map `map`, as returned by `map_lookup` —
+    /// the kernel's `PTR_TO_MAP_VALUE[_OR_NULL]`. While `or_null` is
+    /// set the pointer may be NULL and any dereference is rejected;
+    /// a `== 0` / `!= 0` branch refines the non-zero edge to a
+    /// dereferenceable `or_null: false` pointer.
+    MapValuePtr {
+        /// Map id (fixes the value size the pointer may roam over).
+        map: u32,
+        /// Whether the pointer may still be NULL (unchecked).
+        or_null: bool,
+        /// Byte offset from the start of the value.
+        offset: Scalar,
+    },
 }
 
 impl RegValue {
@@ -54,13 +74,21 @@ impl RegValue {
     /// Whether this is a pointer value.
     #[must_use]
     pub fn is_pointer(self) -> bool {
-        matches!(self, RegValue::StackPtr { .. } | RegValue::CtxPtr { .. })
+        matches!(
+            self,
+            RegValue::StackPtr { .. }
+                | RegValue::CtxPtr { .. }
+                | RegValue::MapHandle { .. }
+                | RegValue::MapValuePtr { .. }
+        )
     }
 
     /// The shared shape of [`RegValue::union`] and [`RegValue::widen`]:
     /// same-kind values merge their scalars with `f`; everything else
     /// collapses to [`RegValue::Uninit`] (for mixed pointer kinds —
-    /// reading such a register is rejected, which is sound).
+    /// reading such a register is rejected, which is sound). Map value
+    /// pointers of the same map join offsets and *or* their `or_null`
+    /// flags (may-be-NULL is the weaker fact).
     fn merge(self, other: RegValue, f: impl Fn(Scalar, Scalar) -> Scalar) -> RegValue {
         match (self, other) {
             (RegValue::Scalar(a), RegValue::Scalar(b)) => RegValue::Scalar(f(a, b)),
@@ -70,6 +98,23 @@ impl RegValue {
             (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => {
                 RegValue::CtxPtr { offset: f(a, b) }
             }
+            (RegValue::MapHandle { map: a }, RegValue::MapHandle { map: b }) if a == b => self,
+            (
+                RegValue::MapValuePtr {
+                    map: a,
+                    or_null: na,
+                    offset: oa,
+                },
+                RegValue::MapValuePtr {
+                    map: b,
+                    or_null: nb,
+                    offset: ob,
+                },
+            ) if a == b => RegValue::MapValuePtr {
+                map: a,
+                or_null: na || nb,
+                offset: f(oa, ob),
+            },
             _ => RegValue::Uninit,
         }
     }
@@ -115,6 +160,23 @@ impl RegValue {
             (RegValue::Scalar(a), RegValue::Scalar(b)) => a.is_subset_of(b),
             (RegValue::StackPtr { offset: a }, RegValue::StackPtr { offset: b })
             | (RegValue::CtxPtr { offset: a }, RegValue::CtxPtr { offset: b }) => a.is_subset_of(b),
+            (RegValue::MapHandle { map: a }, RegValue::MapHandle { map: b }) => a == b,
+            (
+                RegValue::MapValuePtr {
+                    map: a,
+                    or_null: na,
+                    offset: oa,
+                },
+                RegValue::MapValuePtr {
+                    map: b,
+                    or_null: nb,
+                    offset: ob,
+                },
+            ) => {
+                // A checked (non-null) pointer is covered by a may-be-null
+                // one, never the reverse: `or_null` only forbids reads.
+                a == b && (nb || !na) && oa.is_subset_of(ob)
+            }
             _ => false,
         }
     }
@@ -135,6 +197,15 @@ impl fmt::Display for RegValue {
             RegValue::Scalar(s) => write!(f, "{s}"),
             RegValue::StackPtr { offset: o } => offset(f, "stack", o),
             RegValue::CtxPtr { offset: o } => offset(f, "ctx", o),
+            RegValue::MapHandle { map } => write!(f, "map{map}"),
+            RegValue::MapValuePtr {
+                map,
+                or_null,
+                offset: o,
+            } => {
+                let region = format!("map{map}_value{}", if *or_null { "?" } else { "" });
+                offset(f, &region, o)
+            }
         }
     }
 }
@@ -193,6 +264,74 @@ mod tests {
         assert!(!RegValue::Uninit.is_subset_of(s));
         assert!(s.is_subset_of(RegValue::unknown_scalar()));
         assert!(!RegValue::unknown_scalar().is_subset_of(s));
+    }
+
+    #[test]
+    fn map_value_ptr_join_weakens_to_or_null() {
+        let checked = RegValue::MapValuePtr {
+            map: 0,
+            or_null: false,
+            offset: Scalar::constant(0),
+        };
+        let unchecked = RegValue::MapValuePtr {
+            map: 0,
+            or_null: true,
+            offset: Scalar::constant(0),
+        };
+        assert_eq!(checked.union(unchecked), unchecked);
+        assert_eq!(checked.union(checked), checked);
+        // Different maps collapse (reading such a register is rejected).
+        let other = RegValue::MapValuePtr {
+            map: 1,
+            or_null: false,
+            offset: Scalar::constant(0),
+        };
+        assert_eq!(checked.union(other), RegValue::Uninit);
+        assert_eq!(
+            RegValue::MapHandle { map: 0 }.union(RegValue::MapHandle { map: 1 }),
+            RegValue::Uninit
+        );
+        assert_eq!(
+            RegValue::MapHandle { map: 1 }.union(RegValue::MapHandle { map: 1 }),
+            RegValue::MapHandle { map: 1 }
+        );
+    }
+
+    #[test]
+    fn map_value_ptr_order_checked_below_or_null() {
+        let checked = RegValue::MapValuePtr {
+            map: 0,
+            or_null: false,
+            offset: Scalar::constant(4),
+        };
+        let unchecked = RegValue::MapValuePtr {
+            map: 0,
+            or_null: true,
+            offset: Scalar::constant(4),
+        };
+        assert!(checked.is_subset_of(unchecked));
+        assert!(!unchecked.is_subset_of(checked));
+        assert!(checked.is_subset_of(RegValue::Uninit));
+        assert!(!checked.is_subset_of(RegValue::unknown_scalar()));
+        assert!(RegValue::MapHandle { map: 2 }.is_subset_of(RegValue::MapHandle { map: 2 }));
+        assert!(!RegValue::MapHandle { map: 2 }.is_subset_of(RegValue::MapHandle { map: 3 }));
+    }
+
+    #[test]
+    fn map_values_display_compactly() {
+        assert_eq!(RegValue::MapHandle { map: 0 }.to_string(), "map0");
+        let p = RegValue::MapValuePtr {
+            map: 1,
+            or_null: true,
+            offset: Scalar::constant(0),
+        };
+        assert_eq!(p.to_string(), "map1_value?+0");
+        let q = RegValue::MapValuePtr {
+            map: 1,
+            or_null: false,
+            offset: Scalar::constant(8),
+        };
+        assert_eq!(q.to_string(), "map1_value+8");
     }
 
     #[test]

@@ -635,6 +635,199 @@ fn path_sensitive_never_less_precise_on_bounded_loops() {
     }
 }
 
+/// A helper program over map 0 (key 4, value 8, 16 entries): build the
+/// key (and value) regions on the stack, then run one of three shapes —
+/// update-then-lookup (must hit and return the stored value),
+/// lookup-only against a pre-seeded store (hit iff seeded), and
+/// update-delete-lookup (must miss). Every shape NULL-checks the lookup.
+fn helper_program(shape: usize, key: u32, value: u32) -> Program {
+    let source = match shape {
+        0 => format!(
+            r"
+            *(u32 *)(r10 - 4) = {key}
+            *(u64 *)(r10 - 16) = {value}
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            r3 = r10
+            r3 += -16
+            r4 = 0
+            call 2
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto miss
+            r6 = *(u64 *)(r0 + 0)
+            r0 = r6
+            exit
+        miss:
+            r0 = -1
+            exit
+        "
+        ),
+        1 => format!(
+            r"
+            *(u32 *)(r10 - 4) = {key}
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto miss
+            r6 = *(u64 *)(r0 + 0)
+            r0 = r6
+            exit
+        miss:
+            r0 = -1
+            exit
+        "
+        ),
+        _ => format!(
+            r"
+            *(u32 *)(r10 - 4) = {key}
+            *(u64 *)(r10 - 16) = {value}
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            r3 = r10
+            r3 += -16
+            r4 = 0
+            call 2
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            call 3
+            r1 = map 0
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto miss
+            r6 = *(u64 *)(r0 + 0)
+            r0 = r6
+            exit
+        miss:
+            r0 = -1
+            exit
+        "
+        ),
+    };
+    ebpf::asm::assemble(&source).expect("helper programs assemble")
+}
+
+#[test]
+fn helper_programs_differential_against_vm_map_store() {
+    // The verifier's accept verdict on map-helper programs must be
+    // backed by the VM *actually executing* the map semantics: updates
+    // land, lookups hit exactly when a shadow model says they should,
+    // deletes invalidate, and every scalar the trace produces is
+    // contained in the abstract state at its pc (MapValuePtr registers
+    // hold VM map-arena addresses and are deliberately not scalars).
+    let mut rng = SplitMix64::new(0x3A95);
+    let analyzer = Analyzer::new(AnalyzerOptions::default());
+    for round in 0..60 {
+        let shape = round % 3;
+        let key = rng.below(16) as u32;
+        let value = rng.below(i32::MAX as u64) as u32;
+        let prog = helper_program(shape, key, value);
+        let analysis = analyzer
+            .analyze(&prog)
+            .unwrap_or_else(|e| panic!("round {round}: helper program rejected: {e}"));
+
+        let mut vm = Vm::new();
+        // Pre-seed the store for the lookup-only shape, mirrored in a
+        // shadow model that decides the expected verdict.
+        let mut shadow = std::collections::BTreeMap::new();
+        if shape == 1 {
+            for _ in 0..rng.below(8) {
+                let k = rng.below(16) as u32;
+                let v = u64::from(rng.next_u32());
+                assert!(vm.maps_mut().update(0, &k.to_le_bytes(), &v.to_le_bytes()));
+                shadow.insert(k, v);
+            }
+        }
+        let mut ctx = [0u8; 8];
+        let (ret, trace) = vm
+            .run_traced(&prog, &mut ctx)
+            .expect("verified helper programs execute safely");
+
+        let expected = match shape {
+            0 => u64::from(value),
+            1 => shadow.get(&key).copied().unwrap_or((-1i64) as u64),
+            _ => (-1i64) as u64,
+        };
+        assert_eq!(
+            ret, expected,
+            "round {round} shape {shape}: VM map semantics diverged \
+             (key {key}, value {value})"
+        );
+        if shape == 0 {
+            assert_eq!(
+                vm.maps().get(0, &key.to_le_bytes()),
+                Some(u64::from(value).to_le_bytes().as_slice()),
+                "round {round}: update did not land in the store"
+            );
+        }
+
+        for snap in &trace {
+            let state = analysis.state_before(snap.pc).expect("reachable");
+            for reg in Reg::ALL {
+                if let RegValue::Scalar(s) = state.reg(reg) {
+                    assert!(
+                        s.contains(snap.regs[reg.index()]),
+                        "round {round} pc {}: {reg} = {:#x} escapes {s:?}\nprogram:\n{}",
+                        snap.pc,
+                        snap.regs[reg.index()],
+                        prog.disassemble(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn helper_update_loop_populates_the_store() {
+    // The map_update_loop fixture shape, end to end: after the verified
+    // program runs, every key 0..8 must sit in map 0 with its trip
+    // counter as the value — the loop's helper calls really executed.
+    let prog = ebpf::asm::assemble(
+        r"
+        r6 = 0
+    loop:
+        *(u32 *)(r10 - 4) = r6
+        *(u64 *)(r10 - 16) = r6
+        r1 = map 0
+        r2 = r10
+        r2 += -4
+        r3 = r10
+        r3 += -16
+        r4 = 0
+        call 2
+        r6 += 1
+        if r6 < 8 goto loop
+        r0 = 0
+        exit
+    ",
+    )
+    .unwrap();
+    Analyzer::new(AnalyzerOptions::default())
+        .analyze(&prog)
+        .expect("update loop verifies");
+    let mut vm = Vm::new();
+    let (ret, _) = vm
+        .run_traced(&prog, &mut [0u8; 8])
+        .expect("verified program executes safely");
+    assert_eq!(ret, 0);
+    for k in 0u32..8 {
+        assert_eq!(
+            vm.maps().get(0, &k.to_le_bytes()),
+            Some(u64::from(k).to_le_bytes().as_slice()),
+            "key {k} missing after the update loop"
+        );
+    }
+    assert_eq!(vm.maps().get(0, &8u32.to_le_bytes()), None);
+}
+
 #[test]
 fn byte_round_trip_of_random_programs() {
     let mut rng = SplitMix64::new(0xD15C);

@@ -15,8 +15,50 @@
 //! rejection verbatim, not a scheduling-dependent one).
 
 use domain::rng::SplitMix64;
+use ebpf::asm::assemble;
 use ebpf::{AluOp, Insn, Program, Reg, Src, Width};
 use verifier::{AnalyzerOptions, Strategy, VerificationSession};
+
+/// Asserts the parallel explorer reproduces the sequential verdict,
+/// report, and per-pc states for one program/options pair.
+fn assert_matches_sequential(prog: &Program, options: AnalyzerOptions, label: &str) {
+    let sequential = VerificationSession::new()
+        .with_strategy(Strategy::PathSensitive)
+        .with_options(AnalyzerOptions {
+            explore_jobs: 0,
+            spawn_depth: 0,
+            ..options.clone()
+        })
+        .run(prog);
+    let parallel = VerificationSession::new()
+        .with_strategy(Strategy::PathParallel)
+        .with_options(options)
+        .run(prog);
+    match (&parallel, &sequential) {
+        (Ok(par), Ok(seq)) => {
+            assert_eq!(
+                par.annotate(prog),
+                seq.annotate(prog),
+                "{label}: report diverged"
+            );
+            for pc in 0..prog.len() {
+                assert_eq!(
+                    par.state_before(pc),
+                    seq.state_before(pc),
+                    "{label}: state diverged at pc {pc}"
+                );
+            }
+        }
+        (Err(par), Err(seq)) => {
+            assert_eq!(
+                par.to_string(),
+                seq.to_string(),
+                "{label}: rejection diverged"
+            );
+        }
+        (par, seq) => panic!("{label}: verdict diverged: {par:?} vs {seq:?}"),
+    }
+}
 
 /// The fuzzed register set: seeded with constants up front so every
 /// random use reads an initialized register.
@@ -303,6 +345,141 @@ fn parallel_explorer_is_bit_identical_across_the_matrix() {
         accepts > 10 && rejects >= 3,
         "campaign must exercise both verdicts: {accepts} accepts, {rejects} rejects"
     );
+}
+
+#[test]
+fn fork_before_widening_loop_matches_sequential() {
+    // A branch fork feeding a loop that outruns `unroll_k = 4`: the
+    // spawned subtree and the stealing worker both hit the widening
+    // fallback, and the merged report must still be the sequential one.
+    let prog = assemble(
+        r"
+        r2 = *(u8 *)(r1 + 0)
+        r3 = 1
+        if r2 > 3 goto c
+        r3 = 0
+    c:
+        r8 = 0
+    loop:
+        r3 += 1
+        r8 += 1
+        if r8 < 100 goto loop
+        r0 = 0
+        exit
+    ",
+    )
+    .expect("assembles");
+    for jobs in [1u32, 2, 8] {
+        for depth in [0u32, 1] {
+            let options = AnalyzerOptions {
+                unroll_k: 4,
+                explore_jobs: jobs,
+                spawn_depth: depth,
+                ..AnalyzerOptions::default()
+            };
+            assert_matches_sequential(&prog, options, &format!("jobs={jobs} depth={depth}"));
+        }
+    }
+}
+
+#[test]
+fn map_helper_programs_are_bit_identical_across_the_matrix() {
+    // Map-heavy shapes stress exactly the state the parallel layer must
+    // ship across workers: MapHandle/MapValuePtr registers (their
+    // fingerprints feed the shared visited table), the NULL-check fork
+    // (a spawnable two-successor branch whose edges differ in register
+    // *kind*, not just range), and helper clobbers inside loops.
+    let lookup_filter = assemble(
+        r"
+        *(u32 *)(r10 - 4) = 1
+        r1 = map 0
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto miss
+        r1 = *(u64 *)(r0 + 0)
+        r1 += 1
+        *(u64 *)(r0 + 0) = r1
+        r0 = 1
+        exit
+    miss:
+        r0 = 0
+        exit
+    ",
+    )
+    .expect("assembles");
+    let update_loop = assemble(
+        r"
+        r6 = 0
+    loop:
+        *(u32 *)(r10 - 4) = r6
+        *(u64 *)(r10 - 16) = r6
+        r1 = map 0
+        r2 = r10
+        r2 += -4
+        r3 = r10
+        r3 += -16
+        r4 = 0
+        call 2
+        r6 += 1
+        if r6 < 8 goto loop
+        r0 = 0
+        exit
+    ",
+    )
+    .expect("assembles");
+    // Lookup under a data-dependent fork, delete on one side — both
+    // edges re-join on a second NULL check.
+    let forked_lookup = assemble(
+        r"
+        r6 = *(u8 *)(r1 + 0)
+        *(u32 *)(r10 - 4) = r6
+        r1 = map 0
+        r2 = r10
+        r2 += -4
+        if r6 > 7 goto probe
+        call 1
+        if r0 != 0 goto hit
+        r0 = 0
+        exit
+    probe:
+        call 3
+        r0 = 0
+        exit
+    hit:
+        r7 = *(u64 *)(r0 + 0)
+        r0 = r7
+        exit
+    ",
+    )
+    .expect("assembles");
+    for (name, prog) in [
+        ("lookup_filter", &lookup_filter),
+        ("update_loop", &update_loop),
+        ("forked_lookup", &forked_lookup),
+    ] {
+        for masking in [true, false] {
+            for cap in [0u32, 2, 32] {
+                for jobs in [1u32, 2, 8] {
+                    for spawn_depth in [0u32, 2] {
+                        let options = AnalyzerOptions {
+                            visited_cap: cap,
+                            unroll_k: 4,
+                            liveness_pruning: masking,
+                            explore_jobs: jobs,
+                            spawn_depth,
+                            ..AnalyzerOptions::default()
+                        };
+                        let label = format!(
+                            "{name} (jobs={jobs}, spawn_depth={spawn_depth}, \
+                             cap={cap}, masking={masking})"
+                        );
+                        assert_matches_sequential(prog, options, &label);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[test]
