@@ -17,15 +17,27 @@
 //!     [--strict-alignment] [--no-refine] [--reject-loops] \
 //!     [--widen-delay 16] [--unroll-k 32] [--visited-cap 32] \
 //!     [--no-thresholds] [--budget 1000000] [--no-memo] [--no-liveness] \
-//!     [--explore-jobs 4] [--spawn-depth 2]
+//!     [--explore-jobs 4] [--spawn-depth 2] [--deadline-ms 5000] \
+//!     [--fail-fast]
 //! cargo run -p bench --release --bin annotate -- --dir fixtures \
-//!     [--jobs 4] [--strategy path] [--no-memo] [--no-liveness]
+//!     [--jobs 4] [--strategy path] [--no-memo] [--no-liveness] \
+//!     [--deadline-ms 5000] [--fail-fast]
 //! cargo run -p bench --release --bin annotate -- --passes --file prog.s
 //! cargo run -p bench --release --bin annotate -- --passes --dir fixtures
 //! cargo run -p bench --release --bin annotate -- --list-helpers
 //! echo 'r0 = 0
 //! exit' | cargo run -p bench --release --bin annotate
 //! ```
+//!
+//! `--deadline-ms N` bounds each program's analysis wall clock
+//! ([`AnalyzerOptions::deadline`]); governance failures — blown
+//! deadlines and contained panics — normally walk the degradation
+//! ladder (parshard → path → fixpoint) before rejecting, and
+//! `--fail-fast` reports them immediately instead
+//! ([`DegradationPolicy::FailFast`]). The `TNUM_FAILPOINTS` environment
+//! variable installs a deterministic fault plan
+//! ([`verifier::failpoint`]) for resilience drills, e.g.
+//! `TNUM_FAILPOINTS=parshard-job:panic@3`.
 //!
 //! Exit status: 0 when every program is accepted, 1 when any is
 //! rejected, 2 on assembly or usage errors.
@@ -37,10 +49,22 @@ use std::sync::Arc;
 use bench::cli::Args;
 use ebpf::asm::assemble;
 use ebpf::Program;
-use verifier::{AnalyzerOptions, Cfg, ProgramPasses, Strategy, TransferMemo, VerificationSession};
+use verifier::{
+    AnalyzerOptions, Cfg, DegradationPolicy, ProgramPasses, Strategy, TransferMemo,
+    VerificationSession,
+};
 
 fn main() -> ExitCode {
     let args = Args::parse();
+    // Holds the fault plan (if any) armed for the whole run; dropping
+    // it at exit disarms the fail points.
+    let _failpoints = match verifier::failpoint::arm_from_env() {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("invalid TNUM_FAILPOINTS: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if args.has("list-helpers") {
         list_helpers();
         return ExitCode::SUCCESS;
@@ -96,10 +120,19 @@ fn main() -> ExitCode {
         spawn_depth: args
             .get_u64("spawn-depth", u64::from(defaults.spawn_depth))
             .min(u64::from(u32::MAX)) as u32,
+        deadline: match args.get_u64("deadline-ms", 0) {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
     };
     let session = VerificationSession::new()
         .with_options(options)
-        .with_strategy(strategy);
+        .with_strategy(strategy)
+        .with_degradation(if args.has("fail-fast") {
+            DegradationPolicy::FailFast
+        } else {
+            DegradationPolicy::Ladder
+        });
 
     if let Some(dir) = args.get_str("dir") {
         let jobs = args.get_u64("jobs", 0).min(u64::from(u16::MAX)) as usize;
@@ -315,6 +348,14 @@ fn run_single(args: &Args, session: &VerificationSession) -> ExitCode {
                 prog.len(),
                 analysis.strategy().name()
             );
+            let degradations = analysis.stats().degradations;
+            if degradations > 0 {
+                println!(
+                    "note: degraded {degradations} rung(s) down the ladder after \
+                     contained governance faults; verdict is from the {} strategy\n",
+                    analysis.strategy().name()
+                );
+            }
             print!("{}", analysis.annotate(&prog));
             ExitCode::SUCCESS
         }
@@ -375,6 +416,12 @@ fn run_dir(session: &VerificationSession, dir: &str, jobs: usize) -> ExitCode {
         stats.memo_hit_rate() * 100.0,
         stats.memo_evicted
     );
+    if stats.deadline_exceeded + stats.internal_faults > 0 || stats.degradations > 0 {
+        println!(
+            "governance: {} deadline rejections, {} contained faults, {} ladder downgrades",
+            stats.deadline_exceeded, stats.internal_faults, stats.degradations
+        );
+    }
     if rejected == 0 {
         ExitCode::SUCCESS
     } else {

@@ -1,6 +1,6 @@
 //! `fixpoint_guard` — the CI smoke check for the exploration engines:
 //! re-runs the strategy sweep (`bench::fixpoint_suite`), compares the
-//! totals against the committed `BENCH_PR9.json` baseline, and fails
+//! totals against the committed `BENCH_PR10.json` baseline, and fails
 //! when any of the gated quantities regresses by more than 20%:
 //!
 //! * **`states_allocated`** (absolute total): a refactor that quietly
@@ -47,7 +47,14 @@
 //!   jobs than with one. On a single-core runner the gate is skipped
 //!   with a logged notice — there is no parallelism to buy the saving
 //!   with, and the determinism contract (identical verdicts at every
-//!   job count) is what the test suite checks instead.
+//!   job count) is what the test suite checks instead;
+//! * **governance overhead on the batched throughput** (wall-clock,
+//!   measured live — governed best-of-five vs the ungoverned rate just
+//!   measured): arming a generous per-program deadline (the full
+//!   per-visit governance stack: deadline check, fail-point gate,
+//!   visit ledger) must cost at most
+//!   [`GOVERNANCE_TOLERANCE_PERCENT`]% of the ungoverned
+//!   programs/sec — fault tolerance that taxes the hot path fails CI.
 //!
 //! The counter gates are deterministic (unlike the timings), so they
 //! are stable even on noisy runners; the wall-clock gates take the best
@@ -56,7 +63,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR9.json]
+//! cargo run --release -p bench --bin fixpoint_guard -- [--baseline BENCH_PR10.json]
 //! ```
 //!
 //! Exit status: 0 when within budget, 1 on regression or a missing/old
@@ -94,6 +101,14 @@ const MASKED_GATE_PERCENT: u64 = 25;
 /// 64-program mixed batch on four workers.
 const THROUGHPUT_GATE_JOBS: usize = 4;
 
+/// Maximum throughput the resource-governance machinery — per-visit
+/// deadline checks, the disarmed fail-point gate, and the visit ledger
+/// — may cost on the `throughput/` batch, in percent of the ungoverned
+/// rate measured in the same process moments earlier. Governance is
+/// designed to be a relaxed load and an `Option` test per visit;
+/// anything above noise here means a hot-path regression.
+const GOVERNANCE_TOLERANCE_PERCENT: u64 = 5;
+
 /// Minimum wall-clock saving parallel path exploration must deliver on
 /// the branchy-tree workload at jobs=[`PARSHARD_GATE_JOBS`] vs jobs=1,
 /// in percent — measured live, multi-core runners only.
@@ -112,7 +127,7 @@ fn main() -> ExitCode {
     let args = Args::parse();
     let path = args
         .get_str("baseline")
-        .unwrap_or("BENCH_PR9.json")
+        .unwrap_or("BENCH_PR10.json")
         .to_string();
 
     let stats = fixpoint_suite::collect_stats();
@@ -376,6 +391,44 @@ fn main() -> ExitCode {
         eprintln!(
             "fixpoint_guard: batched throughput regressed: {rate:.1} programs/sec is more \
              than {TOLERANCE_PERCENT}% below the baseline {base_rate:.1} at jobs={THROUGHPUT_GATE_JOBS}"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Governance-overhead gate: replay the same batch with the full
+    // governance stack armed — a generous per-program deadline (so the
+    // cooperative check runs on every visit but never fires) on top of
+    // the always-compiled fail-point gate and visit ledger — and
+    // require the rate to stay within GOVERNANCE_TOLERANCE_PERCENT% of
+    // the ungoverned rate just measured on this same runner. Best of
+    // five runs to shave scheduler noise under the tight budget.
+    let governed_session = VerificationSession::new().with_options(verifier::AnalyzerOptions {
+        deadline: Some(std::time::Duration::from_secs(30)),
+        ..verifier::AnalyzerOptions::default()
+    });
+    let governed = (0..5)
+        .map(|_| {
+            let report = governed_session.run_batch(&batch, THROUGHPUT_GATE_JOBS);
+            assert_eq!(report.stats.rejected, 0, "governed batch stays safe");
+            assert_eq!(
+                report.stats.deadline_exceeded, 0,
+                "30 s deadline never fires"
+            );
+            report.stats.programs_per_sec()
+        })
+        .fold(0.0f64, f64::max);
+    let governed_floor =
+        rate * f64::from(100 - u32::try_from(GOVERNANCE_TOLERANCE_PERCENT).expect("small")) / 100.0;
+    println!(
+        "ungoverned {gate_label} {rate:.1} programs/sec, governed floor {governed_floor:.1} \
+         (-{GOVERNANCE_TOLERANCE_PERCENT}%), current governed {governed:.1} (best of 5)"
+    );
+    if governed < governed_floor {
+        eprintln!(
+            "fixpoint_guard: resource governance stopped being free: {governed:.1} \
+             programs/sec with a generous deadline armed is more than \
+             {GOVERNANCE_TOLERANCE_PERCENT}% below the ungoverned {rate:.1} — the per-visit \
+             deadline check, fail-point gate, or visit ledger grew a hot-path cost"
         );
         return ExitCode::FAILURE;
     }

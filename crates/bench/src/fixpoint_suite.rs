@@ -618,12 +618,17 @@ pub fn to_json(
             format!(
                 "    {{\"label\": \"{label}\", \"programs_per_sec\": {:.1}, \
                  \"accepted\": {}, \"batch_memo_hits\": {}, \
-                 \"batch_memo_misses\": {}, \"batch_memo_evicted\": {}}}",
+                 \"batch_memo_misses\": {}, \"batch_memo_evicted\": {}, \
+                 \"deadline_exceeded\": {}, \"internal_faults\": {}, \
+                 \"degradations\": {}}}",
                 s.programs_per_sec(),
                 s.accepted,
                 s.memo_hits,
                 s.memo_misses,
-                s.memo_evicted
+                s.memo_evicted,
+                s.deadline_exceeded,
+                s.internal_faults,
+                s.degradations
             )
         })
         .collect();
@@ -933,6 +938,9 @@ mod tests {
             memo_hits: 375,
             memo_misses: 225,
             memo_evicted: 3,
+            deadline_exceeded: 0,
+            internal_faults: 0,
+            degradations: 0,
         };
         let label = throughput_label(4);
         let doc = to_json(
@@ -947,6 +955,10 @@ mod tests {
         assert_eq!(
             label_float_in_json(&doc, &label, "batch_memo_hits"),
             Some(375.0)
+        );
+        assert_eq!(
+            label_float_in_json(&doc, &label, "internal_faults"),
+            Some(0.0)
         );
         assert_eq!(label_float_in_json(&doc, &label, "no_such_field"), None);
         assert_eq!(

@@ -23,7 +23,32 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if the mutex is poisoned.
+///
+/// A mutex is poisoned when a thread panics while holding it; with the
+/// panic-containment layers in `verifier` (batch workers and parshard
+/// jobs run under `catch_unwind`), a contained panic must not cascade
+/// into a second panic in an innocent sibling that merely touches the
+/// same lock. Every shared structure locked across containment
+/// boundaries in this workspace holds state that stays structurally
+/// valid at all times (caches, counters, result vectors appended to
+/// atomically), so recovering the inner guard is always sound — at
+/// worst, a cache entry the panicking thread meant to write is absent.
+///
+/// # Examples
+///
+/// ```
+/// use domain::parallel::lock_recover;
+/// use std::sync::Mutex;
+/// let m = Mutex::new(5);
+/// *lock_recover(&m) += 1;
+/// assert_eq!(*lock_recover(&m), 6);
+/// ```
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Splits `0..total` into contiguous chunks, runs `work` on each chunk in
 /// its own thread, and returns the per-chunk results in order.
@@ -205,18 +230,16 @@ impl<T> StealPool<T> {
     }
 
     /// Queues `item` on `worker`'s own deque (back — popped first by the
-    /// owner) and marks it outstanding.
+    /// owner) and marks it outstanding. Poisoned deque locks are
+    /// recovered ([`lock_recover`]): a panic contained elsewhere never
+    /// cascades here.
     ///
     /// # Panics
     ///
-    /// Panics when `worker` is out of range or the deque mutex is
-    /// poisoned.
+    /// Panics when `worker` is out of range.
     pub fn push(&self, worker: usize, item: T) {
         self.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.deques[worker]
-            .lock()
-            .expect("steal pool lock poisoned")
-            .push_back(item);
+        lock_recover(&self.deques[worker]).push_back(item);
     }
 
     /// Claims the next item for `worker`: its own deque's newest item
@@ -227,24 +250,15 @@ impl<T> StealPool<T> {
     ///
     /// # Panics
     ///
-    /// Panics when `worker` is out of range or a deque mutex is
-    /// poisoned.
+    /// Panics when `worker` is out of range.
     pub fn pop(&self, worker: usize) -> Option<T> {
         loop {
-            if let Some(item) = self.deques[worker]
-                .lock()
-                .expect("steal pool lock poisoned")
-                .pop_back()
-            {
+            if let Some(item) = lock_recover(&self.deques[worker]).pop_back() {
                 return Some(item);
             }
             let n = self.deques.len();
             for victim in (0..n).filter(|&v| v != worker) {
-                if let Some(item) = self.deques[victim]
-                    .lock()
-                    .expect("steal pool lock poisoned")
-                    .pop_front()
-                {
+                if let Some(item) = lock_recover(&self.deques[victim]).pop_front() {
                     self.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(item);
                 }

@@ -18,6 +18,7 @@
 //!   accounting both strategies report.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use ebpf::{Program, Reg};
 
@@ -125,6 +126,17 @@ pub struct AnalyzerOptions {
     /// snapshot traffic negligible. Ignored by the sequential
     /// strategies; verdicts are identical at every setting.
     pub spawn_depth: u32,
+    /// Wall-clock budget for one exploration, checked cooperatively at
+    /// the same points as [`AnalyzerOptions::analysis_budget`] (worklist
+    /// pops, DFS arrivals, parallel job visits); exceeding it aborts
+    /// with [`VerifierError::DeadlineExceeded`]. Unlike the visit
+    /// budget, this bounds *time*, so a program whose individual
+    /// transfers are slow (huge join chains, memo-hostile workloads)
+    /// cannot hold a service thread hostage. `None` (the default)
+    /// disables the check; the only overhead when disabled is one
+    /// `Option` test per visit. Under the degradation ladder each
+    /// re-run gets a fresh deadline window.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for AnalyzerOptions {
@@ -143,8 +155,58 @@ impl Default for AnalyzerOptions {
             liveness_pruning: true,
             explore_jobs: 0,
             spawn_depth: 2,
+            deadline: None,
         }
     }
+}
+
+/// What a [`VerificationSession`] does when an exploration fails for a
+/// *governance* reason — [`VerifierError::InternalFault`] (a contained
+/// panic) or [`VerifierError::DeadlineExceeded`] — rather than for a
+/// fault in the program under analysis.
+///
+/// Program faults (out-of-bounds access, uninitialized reads, budget
+/// exhaustion, …) are deterministic verdicts about the *program* and
+/// always propagate unchanged, whatever the policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Walk down the strategy ladder and re-run:
+    /// [`Strategy::PathParallel`] degrades to
+    /// [`Strategy::PathSensitive`] (shedding threads, shared locks, and
+    /// snapshot traffic), which degrades to
+    /// [`Strategy::WideningFixpoint`] (shedding path fan-out — the
+    /// cheapest, most predictable engine). A failure on the last rung
+    /// is final. Every downgrade increments
+    /// [`AnalysisStats::degradations`] on the eventual result, so
+    /// operators can see that a verdict was produced in degraded mode.
+    /// This formalizes (and makes observable) the parallel explorer's
+    /// long-standing error→sequential re-run. The default.
+    #[default]
+    Ladder,
+    /// Return the governance error to the caller unchanged. For tests
+    /// and deployments that prefer a loud failure over a slower,
+    /// simpler re-run.
+    FailFast,
+}
+
+/// The cooperative deadline check every strategy runs at the same
+/// points as its visit-budget check: errors with
+/// [`VerifierError::DeadlineExceeded`] once `start` is at least
+/// [`AnalyzerOptions::deadline`] old. One `Option` test when no
+/// deadline is configured.
+#[inline]
+pub(crate) fn check_deadline(
+    start: std::time::Instant,
+    options: &AnalyzerOptions,
+    pc: usize,
+) -> Result<(), VerifierError> {
+    if let Some(deadline) = options.deadline {
+        let elapsed = start.elapsed();
+        if elapsed >= deadline {
+            return Err(VerifierError::DeadlineExceeded { elapsed, pc });
+        }
+    }
+    Ok(())
 }
 
 /// The result of a successful analysis: the abstract state *before* every
@@ -302,6 +364,7 @@ impl Analysis {
 pub struct VerificationSession {
     options: AnalyzerOptions,
     strategy: Strategy,
+    degradation: DegradationPolicy,
 }
 
 impl VerificationSession {
@@ -326,6 +389,15 @@ impl VerificationSession {
         self
     }
 
+    /// Selects the [`DegradationPolicy`] applied when an exploration
+    /// fails with a governance error (contained panic or blown
+    /// deadline).
+    #[must_use]
+    pub fn with_degradation(mut self, degradation: DegradationPolicy) -> VerificationSession {
+        self.degradation = degradation;
+        self
+    }
+
     /// The session's analysis options (the memo cache `Arc` is shared,
     /// not deep-copied).
     #[must_use]
@@ -339,21 +411,85 @@ impl VerificationSession {
         self.strategy
     }
 
+    /// The session's degradation policy.
+    #[must_use]
+    pub fn degradation(&self) -> DegradationPolicy {
+        self.degradation
+    }
+
     /// Explores the program with the selected strategy, returning the
     /// strategy-tagged per-instruction states on acceptance.
+    ///
+    /// The exploration runs under `catch_unwind`: a panic anywhere in
+    /// the analyzer is contained and surfaces as
+    /// [`VerifierError::InternalFault`] instead of unwinding into the
+    /// caller. Under the default [`DegradationPolicy::Ladder`], a
+    /// governance failure (contained panic or blown deadline) re-runs
+    /// the program with the next-simpler strategy; the returned
+    /// [`Analysis`] is then tagged with the strategy that actually
+    /// produced it and carries the downgrade count in
+    /// [`AnalysisStats::degradations`].
     ///
     /// # Errors
     ///
     /// A [`VerifierError`] describing the first problem found; the
     /// program must be rejected.
     pub fn run(&self, prog: &Program) -> Result<Analysis, VerifierError> {
-        let Exploration { states, stats } =
-            self.explore_with(self.strategy.implementation(), prog)?;
-        Ok(Analysis {
-            strategy: self.strategy,
-            states,
-            stats,
-        })
+        let mut strategy = self.strategy;
+        let mut degradations = 0u64;
+        loop {
+            match self.explore_contained(strategy, prog) {
+                Ok(Exploration { states, mut stats }) => {
+                    stats.degradations += degradations;
+                    return Ok(Analysis {
+                        strategy,
+                        states,
+                        stats,
+                    });
+                }
+                Err(err) => {
+                    let governance = matches!(
+                        err,
+                        VerifierError::InternalFault { .. }
+                            | VerifierError::DeadlineExceeded { .. }
+                    );
+                    let next = match strategy {
+                        Strategy::PathParallel => Some(Strategy::PathSensitive),
+                        Strategy::PathSensitive => Some(Strategy::WideningFixpoint),
+                        Strategy::WideningFixpoint => None,
+                    };
+                    match next {
+                        Some(next)
+                            if governance && self.degradation == DegradationPolicy::Ladder =>
+                        {
+                            strategy = next;
+                            degradations += 1;
+                        }
+                        _ => return Err(err),
+                    }
+                }
+            }
+        }
+    }
+
+    /// One rung of [`VerificationSession::run`]: explore with
+    /// `strategy`, converting a panic into
+    /// [`VerifierError::InternalFault`].
+    ///
+    /// `AssertUnwindSafe` is sound here: the closure borrows only
+    /// `self` (read-only) and `prog`, and every structure shared with
+    /// other threads (memo shards, visited stripes, result vectors) is
+    /// lock-protected with poison-recovering accessors, so an unwind
+    /// cannot leave observable broken invariants behind.
+    fn explore_contained(
+        &self,
+        strategy: Strategy,
+        prog: &Program,
+    ) -> Result<Exploration, VerifierError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.explore_with(strategy.implementation(), prog)
+        }))
+        .unwrap_or_else(|payload| Err(VerifierError::from_panic(payload.as_ref())))
     }
 
     /// Verifies a batch of programs concurrently on `jobs` worker
@@ -398,6 +534,7 @@ impl VerificationSession {
                 prog: prog.clone(),
                 options: self.options.clone(),
                 strategy: self.strategy,
+                degradation: self.degradation,
             })
             .collect();
         batch::run(&items, jobs)

@@ -32,10 +32,10 @@ use std::time::{Duration, Instant};
 use domain::parallel::{default_threads, par_workers, WorkQueue};
 use ebpf::Program;
 
-use crate::analyzer::{Analysis, AnalyzerOptions, VerificationSession};
+use crate::analyzer::{Analysis, AnalyzerOptions, DegradationPolicy, VerificationSession};
 use crate::error::VerifierError;
 use crate::explore::Strategy;
-use crate::fixpoint::AnalysisStats;
+use crate::fixpoint::{self, AnalysisStats};
 use crate::memo;
 use crate::state::{AbsState, SparseStack, REGS};
 use crate::value::RegValue;
@@ -53,6 +53,10 @@ pub struct BatchItem {
     pub options: AnalyzerOptions,
     /// The exploration strategy for this program.
     pub strategy: Strategy,
+    /// What the worker's session does when a governance fault (a
+    /// contained panic or a blown deadline) hits this program: walk the
+    /// degradation ladder (the default) or fail fast.
+    pub degradation: DegradationPolicy,
 }
 
 /// The roll-up of one batch run: throughput, verdict counts, how the
@@ -79,8 +83,11 @@ pub struct BatchStats {
     pub elapsed: Duration,
     /// Programs each worker claimed — the work-stealing distribution.
     pub per_worker_programs: Vec<usize>,
-    /// Instruction visits each worker's *accepted* analyses consumed
-    /// (rejected runs abort at the first error and report no stats).
+    /// Instruction visits each worker's analyses consumed — including
+    /// the partial walks of *rejected* runs (which abort at the first
+    /// error and report no `AnalysisStats` of their own): the work a
+    /// rejection burned is real batch load and is not dropped from the
+    /// roll-up.
     pub per_worker_visits: Vec<u64>,
     /// Memo-cache hits across all workers (accepted and rejected runs).
     pub memo_hits: u64,
@@ -88,6 +95,18 @@ pub struct BatchStats {
     pub memo_misses: u64,
     /// Memo-cache entries evicted by the per-shard caps.
     pub memo_evicted: u64,
+    /// Programs whose final verdict was
+    /// [`VerifierError::DeadlineExceeded`] — the wall-clock governance
+    /// rejections ([`AnalyzerOptions::deadline`]).
+    pub deadline_exceeded: usize,
+    /// Programs whose final verdict was
+    /// [`VerifierError::InternalFault`] — per-program contained panics
+    /// that did not take the batch down.
+    pub internal_faults: usize,
+    /// Total strategy downgrades the sessions' degradation ladders took
+    /// across the batch's *accepted* programs
+    /// ([`AnalysisStats::degradations`] summed).
+    pub degradations: u64,
 }
 
 impl BatchStats {
@@ -205,15 +224,22 @@ pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
             }
             let session = VerificationSession::new()
                 .with_options(options)
-                .with_strategy(item.strategy);
+                .with_strategy(item.strategy)
+                .with_degradation(item.degradation);
             memo::counters::reset();
-            let res = session.run(&item.prog).map(|a| {
-                visits += a.stats().visits;
-                SendAnalysis::capture(&a)
-            });
-            // The thread-local memo counters now hold exactly this
-            // program's traffic — harvested here so rejected runs
-            // (which produce no `AnalysisStats`) are counted too.
+            fixpoint::ledger::reset();
+            // Belt over the session's own containment: a panic anywhere
+            // in this program's run (including the dense-state capture
+            // below) costs only this slot, never the batch.
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.run(&item.prog).map(|a| SendAnalysis::capture(&a))
+            }))
+            .unwrap_or_else(|payload| Err(VerifierError::from_panic(payload.as_ref())));
+            // The thread-local memo counters and visit ledger now hold
+            // exactly this program's traffic — harvested here so
+            // rejected runs (which produce no `AnalysisStats`) still
+            // contribute the partial work they burned.
+            visits += fixpoint::ledger::snapshot();
             let (h, m, e) = memo::counters::snapshot();
             memo = (memo.0 + h, memo.1 + m, memo.2 + e);
             results.push((i, res));
@@ -246,6 +272,15 @@ pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
         .map(|r| r.expect("the queue hands every index to exactly one worker"))
         .collect();
     let accepted = results.iter().filter(|r| r.is_ok()).count();
+    let (mut deadline_exceeded, mut internal_faults, mut degradations) = (0usize, 0usize, 0u64);
+    for res in &results {
+        match res {
+            Ok(a) => degradations += a.stats().degradations,
+            Err(VerifierError::DeadlineExceeded { .. }) => deadline_exceeded += 1,
+            Err(VerifierError::InternalFault { .. }) => internal_faults += 1,
+            Err(_) => {}
+        }
+    }
     BatchReport {
         stats: BatchStats {
             programs: items.len(),
@@ -259,6 +294,9 @@ pub fn run(items: &[BatchItem], jobs: usize) -> BatchReport {
             memo_hits,
             memo_misses,
             memo_evicted,
+            deadline_exceeded,
+            internal_faults,
+            degradations,
         },
         results,
     }
@@ -463,6 +501,7 @@ mod tests {
                 ..AnalyzerOptions::default()
             },
             strategy: Strategy::PathParallel,
+            degradation: DegradationPolicy::default(),
         }];
         let report = run(&items, 8);
         assert!(report.results[0].is_ok());
@@ -493,6 +532,7 @@ mod tests {
                 prog: loopy.clone(),
                 options: AnalyzerOptions::default(),
                 strategy: Strategy::WideningFixpoint,
+                degradation: DegradationPolicy::default(),
             },
             BatchItem {
                 prog: loopy,
@@ -501,6 +541,7 @@ mod tests {
                     ..AnalyzerOptions::default()
                 },
                 strategy: Strategy::WideningFixpoint,
+                degradation: DegradationPolicy::default(),
             },
         ];
         let report = run(&items, 2);

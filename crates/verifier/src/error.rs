@@ -125,6 +125,26 @@ pub enum VerifierError {
         /// Index of the offending `lddw`.
         pc: usize,
     },
+    /// The exploration ran past its wall-clock deadline
+    /// ([`AnalyzerOptions::deadline`](crate::AnalyzerOptions::deadline)).
+    /// Checked cooperatively at the same points as the visit budget, so
+    /// `elapsed` is at least the configured deadline but may overshoot
+    /// by one transfer's worth of work.
+    DeadlineExceeded {
+        /// Wall-clock time spent when the deadline check fired.
+        elapsed: std::time::Duration,
+        /// The instruction being processed when time ran out.
+        pc: usize,
+    },
+    /// The analyzer itself faulted: a panic inside a batch worker or a
+    /// parallel-exploration job was contained by `catch_unwind` and
+    /// converted into a per-program rejection instead of taking down
+    /// the whole batch. `detail` carries the panic payload when it was
+    /// a string.
+    InternalFault {
+        /// Human-readable description of the contained fault.
+        detail: String,
+    },
 }
 
 impl VerifierError {
@@ -145,8 +165,27 @@ impl VerifierError {
             | VerifierError::NullMapValue { pc, .. }
             | VerifierError::UnknownHelper { pc, .. }
             | VerifierError::BadHelperArg { pc, .. }
-            | VerifierError::UnknownMap { pc, .. } => pc,
+            | VerifierError::UnknownMap { pc, .. }
+            | VerifierError::DeadlineExceeded { pc, .. } => pc,
+            // A contained panic has no faulting instruction — the fault
+            // is in the analyzer, not the program. Point at entry.
+            VerifierError::InternalFault { .. } => 0,
         }
+    }
+
+    /// Converts a payload caught by `std::panic::catch_unwind` into an
+    /// [`VerifierError::InternalFault`], extracting the message when
+    /// the payload is a string (the overwhelmingly common case:
+    /// `panic!`, `assert!`, `expect`, and the fail-point injector all
+    /// produce string payloads).
+    #[must_use]
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> VerifierError {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        VerifierError::InternalFault { detail }
     }
 }
 
@@ -228,6 +267,16 @@ impl fmt::Display for VerifierError {
             VerifierError::UnknownMap { map, pc } => {
                 write!(f, "instruction {pc} references unknown map {map}")
             }
+            VerifierError::DeadlineExceeded { elapsed, pc } => {
+                write!(
+                    f,
+                    "analysis deadline exceeded after {:.3} ms at instruction {pc}",
+                    elapsed.as_secs_f64() * 1e3
+                )
+            }
+            VerifierError::InternalFault { detail } => {
+                write!(f, "internal analyzer fault (contained): {detail}")
+            }
         }
     }
 }
@@ -254,6 +303,23 @@ mod tests {
         };
         assert!(e.to_string().contains("r3"));
         assert_eq!(e.pc(), 1);
+    }
+
+    #[test]
+    fn governance_variants_report_pc_and_display() {
+        let e = VerifierError::DeadlineExceeded {
+            elapsed: std::time::Duration::from_millis(7),
+            pc: 9,
+        };
+        assert_eq!(e.pc(), 9);
+        assert!(e.to_string().contains("deadline"));
+        assert!(e.to_string().contains("7.000 ms"));
+        let e = VerifierError::InternalFault {
+            detail: "worker panicked: boom".to_string(),
+        };
+        assert_eq!(e.pc(), 0);
+        assert!(e.to_string().contains("contained"));
+        assert!(e.to_string().contains("boom"));
     }
 
     #[test]

@@ -260,15 +260,19 @@ impl ExplorationStrategy for PathSensitive {
         // counts only materialize at loop heads, where they change.
         let mut stack: Vec<(usize, AbsState, std::rc::Rc<Vec<u32>>)> =
             vec![(0, AbsState::entry(), std::rc::Rc::new(vec![0; heads.len()]))];
+        let start = std::time::Instant::now();
         let mut visits: u64 = 0;
         while let Some((pc, mut state, mut trips)) = stack.pop() {
             visits += 1;
+            crate::fixpoint::ledger::bump();
             if visits > options.analysis_budget {
                 return Err(VerifierError::AnalysisBudgetExhausted {
                     pc,
                     budget: options.analysis_budget,
                 });
             }
+            crate::analyzer::check_deadline(start, options, pc)?;
+            crate::failpoint::fire(crate::failpoint::FaultSite::PathVisit);
             let h = head_idx[pc];
             let checkpoint = h != usize::MAX || preds[pc] > 1;
             if checkpoint {
@@ -392,6 +396,7 @@ impl ExplorationStrategy for PathSensitive {
                 subtrees_spawned: 0,
                 steals: 0,
                 shared_prunes: 0,
+                degradations: 0,
             },
         })
     }

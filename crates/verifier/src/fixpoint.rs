@@ -24,6 +24,43 @@ use crate::error::VerifierError;
 use crate::state::{stats, AbsState, JoinCounters, WidenCtx};
 use crate::transfer::Transfer;
 
+/// Thread-local visit ledger: every strategy bumps it once per
+/// instruction visit (the parallel explorer credits its shared atomic
+/// back on the coordinator thread), and [`crate::batch::run`] resets
+/// and harvests it around each program so a *rejected* run's partial
+/// walk still lands in `BatchStats::per_worker_visits` — an
+/// error return discards the strategy's local counters, and before
+/// this ledger existed that burned work silently vanished from the
+/// batch roll-up.
+pub(crate) mod ledger {
+    use std::cell::Cell;
+
+    thread_local! {
+        static VISITS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Counts one instruction visit on this thread.
+    pub(crate) fn bump() {
+        VISITS.with(|v| v.set(v.get() + 1));
+    }
+
+    /// Credits `n` visits performed elsewhere (parallel explorer jobs)
+    /// to this thread's ledger.
+    pub(crate) fn credit(n: u64) {
+        VISITS.with(|v| v.set(v.get() + n));
+    }
+
+    /// Zeroes the ledger (start of one batch item).
+    pub(crate) fn reset() {
+        VISITS.with(|v| v.set(0));
+    }
+
+    /// Reads the ledger (end of one batch item, `Ok` or `Err`).
+    pub(crate) fn snapshot() -> u64 {
+        VISITS.with(Cell::get)
+    }
+}
+
 /// Counters describing one analysis run — the observable effect of the
 /// copy-on-write state layer and (under the path-sensitive strategy) of
 /// kernel-style visited-state pruning, emitted by the fixpoint bench
@@ -115,6 +152,14 @@ pub struct AnalysisStats {
     /// that saved another worker's walk. Zero for the sequential
     /// strategies.
     pub shared_prunes: u64,
+    /// Strategy downgrades the session's
+    /// [`DegradationPolicy::Ladder`](crate::DegradationPolicy) took to
+    /// produce this result after a governance failure (contained panic
+    /// or blown deadline): `0` means the requested strategy succeeded
+    /// directly, `1` that one re-run with the next-simpler strategy was
+    /// needed, and so on. Set by the session, not the strategies (which
+    /// always report `0`).
+    pub degradations: u64,
 }
 
 impl AnalysisStats {
@@ -139,7 +184,7 @@ impl AnalysisStats {
              \"memo_hits\": {}, \"memo_misses\": {}, \"memo_evicted\": {}, \
              \"live_masked_prunes\": {}, \"dead_components_cleared\": {}, \
              \"dead_insns\": {}, \"subtrees_spawned\": {}, \
-             \"steals\": {}, \"shared_prunes\": {}}}",
+             \"steals\": {}, \"shared_prunes\": {}, \"degradations\": {}}}",
             self.states_allocated,
             self.states_shared,
             self.joins_short_circuited,
@@ -159,7 +204,8 @@ impl AnalysisStats {
             self.dead_insns,
             self.subtrees_spawned,
             self.steals,
-            self.shared_prunes
+            self.shared_prunes,
+            self.degradations
         )
     }
 }
@@ -255,16 +301,20 @@ pub fn run(
     queue.push(Reverse((cfg.rpo_pos(0), 0)));
     queued[0] = true;
 
+    let start = std::time::Instant::now();
     let mut visits: u64 = 0;
     while let Some(Reverse((_, pc))) = queue.pop() {
         queued[pc] = false;
         visits += 1;
+        ledger::bump();
         if visits > options.analysis_budget {
             return Err(VerifierError::AnalysisBudgetExhausted {
                 pc,
                 budget: options.analysis_budget,
             });
         }
+        crate::analyzer::check_deadline(start, options, pc)?;
+        crate::failpoint::fire(crate::failpoint::FaultSite::FixpointVisit);
         let state = states[pc]
             .clone()
             .expect("queued instructions have a state");
@@ -347,6 +397,7 @@ pub fn run(
             subtrees_spawned: 0,
             steals: 0,
             shared_prunes: 0,
+            degradations: 0,
         },
     ))
 }

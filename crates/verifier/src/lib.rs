@@ -132,6 +132,7 @@ mod branch;
 pub mod cfg;
 mod error;
 pub mod explore;
+pub mod failpoint;
 pub mod fixpoint;
 pub mod helpers;
 pub mod memo;
@@ -144,13 +145,14 @@ pub mod transfer;
 mod value;
 pub mod visited;
 
-pub use analyzer::{Analysis, Analyzer, AnalyzerOptions, VerificationSession};
+pub use analyzer::{Analysis, Analyzer, AnalyzerOptions, DegradationPolicy, VerificationSession};
 pub use batch::{BatchItem, BatchReport, BatchStats};
 pub use branch::refine as refine_branch;
 pub use branch::refine32 as refine_branch32;
 pub use cfg::Cfg;
 pub use error::VerifierError;
 pub use explore::{Exploration, ExplorationStrategy, PathSensitive, Strategy, WideningFixpoint};
+pub use failpoint::{FaultPlan, FaultSite};
 pub use fixpoint::AnalysisStats;
 pub use helpers::check_call;
 pub use memo::{MemoEffect, MemoKey, TransferMemo};

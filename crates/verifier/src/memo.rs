@@ -45,6 +45,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
+use domain::parallel::lock_recover;
 use ebpf::{AluOp, JmpOp, Width};
 
 use crate::scalar::Scalar;
@@ -253,9 +254,11 @@ impl TransferMemo {
     /// Counts a hit or miss in the calling thread's [`counters`].
     #[must_use]
     pub fn lookup(&self, key: MemoKey, lhs: Scalar, rhs: Scalar) -> Option<MemoEffect> {
-        let shard = self.shards[key.shard()]
-            .lock()
-            .expect("memo shard poisoned");
+        // Poison recovery, not unwrap: a worker that panicked (and was
+        // contained) mid-insert leaves at worst an absent entry — the
+        // map itself is updated atomically under the lock — so siblings
+        // sharing the cache keep working.
+        let shard = lock_recover(&self.shards[key.shard()]);
         match shard.map.get(&key) {
             Some(entry) if entry.lhs == lhs && entry.rhs == rhs => {
                 counters::bump_hit();
@@ -276,9 +279,11 @@ impl TransferMemo {
         if self.shard_cap == 0 {
             return;
         }
-        let mut shard = self.shards[key.shard()]
-            .lock()
-            .expect("memo shard poisoned");
+        let mut shard = lock_recover(&self.shards[key.shard()]);
+        // Fired while the shard lock is held, so an injected panic
+        // poisons a real lock — the scenario the `lock_recover`
+        // accessors exist for.
+        crate::failpoint::fire(crate::failpoint::FaultSite::MemoInsert);
         let entry = MemoEntry { lhs, rhs, effect };
         if shard.map.insert(key, entry).is_some() {
             return; // overwrote in place; key already in `order`
@@ -297,10 +302,7 @@ impl TransferMemo {
     /// Total number of live entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).map.len()).sum()
     }
 
     /// Whether the cache currently holds no entries.

@@ -50,11 +50,17 @@
 //!   where the sequential walk exhausts; budgets are a resource policy,
 //!   not a safety verdict, and the default budget leaves three orders
 //!   of magnitude of headroom over every workload in the repo.
+//!   *Governance* failures are the exception to the rerun: a contained
+//!   job panic ([`VerifierError::InternalFault`]) or a blown deadline
+//!   ([`VerifierError::DeadlineExceeded`]) is a fault of the analyzer
+//!   run, not a verdict about the program, so it propagates to the
+//!   session's [`DegradationPolicy`](crate::DegradationPolicy), which
+//!   owns (and counts) the downgrade to the sequential explorer.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use domain::parallel::{default_threads, par_workers, StealPool};
+use domain::parallel::{default_threads, lock_recover, par_workers, StealPool};
 use ebpf::Program;
 use interval_domain::WidenThresholds;
 
@@ -100,6 +106,9 @@ struct SharedCtx<'a> {
     pool: StealPool<Job>,
     visited: ConcurrentVisitedTable,
     visits: AtomicU64,
+    /// Exploration start, for the cooperative deadline check every job
+    /// runs at its visit site.
+    start: std::time::Instant,
     errored: AtomicBool,
     next_id: AtomicUsize,
     results: Mutex<Vec<JobResult>>,
@@ -171,6 +180,7 @@ impl ExplorationStrategy for PathParallel {
             pool: StealPool::new(jobs),
             visited: ConcurrentVisitedTable::with_cap(prog.len(), options.visited_cap as usize),
             visits: AtomicU64::new(0),
+            start: std::time::Instant::now(),
             errored: AtomicBool::new(false),
             next_id: AtomicUsize::new(1), // 0 is the root job below
             results: Mutex::new(Vec::new()),
@@ -205,11 +215,12 @@ impl ExplorationStrategy for PathParallel {
             stats::reset();
             crate::memo::counters::reset();
             while let Some(job) = ctx.pool.pop(worker) {
+                let job_id = job.id;
                 let result = if ctx.errored.load(Ordering::SeqCst) {
                     // The run is already doomed to the sequential rerun:
                     // drain remaining jobs without walking them.
                     JobResult {
-                        id: job.id,
+                        id: job_id,
                         children: Vec::new(),
                         report: Vec::new(),
                         error: None,
@@ -217,25 +228,76 @@ impl ExplorationStrategy for PathParallel {
                         dead_components_cleared: 0,
                     }
                 } else {
-                    run_job(&ctx, worker, job)
+                    // Containment boundary: a panic inside one job must
+                    // not unwind through `par_workers`'s join (which
+                    // would take down the whole exploration). It becomes
+                    // this job's error, trips the errored latch like any
+                    // other job failure, and — crucially — still reaches
+                    // `pool.complete()` below, so sibling workers
+                    // terminate normally instead of spinning on an
+                    // outstanding count that never drains.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_job(&ctx, worker, job)
+                    }))
+                    .unwrap_or_else(|payload| JobResult {
+                        id: job_id,
+                        children: Vec::new(),
+                        report: Vec::new(),
+                        error: Some(VerifierError::from_panic(payload.as_ref())),
+                        unrolled_trips: 0,
+                        dead_components_cleared: 0,
+                    })
                 };
                 if result.error.is_some() {
                     ctx.errored.store(true, Ordering::SeqCst);
                 }
-                ctx.results.lock().expect("results poisoned").push(result);
+                lock_recover(&ctx.results).push(result);
                 ctx.pool.complete();
             }
             (stats::snapshot(), crate::memo::counters::snapshot())
         });
 
+        // Credit the workers' visits to the coordinator's thread-local
+        // ledger whether the run succeeds, degrades, or reruns
+        // sequentially — the batch engine harvests the ledger around
+        // each item so even a doomed parallel attempt's burned work
+        // shows up in the roll-up.
+        crate::fixpoint::ledger::credit(ctx.visits.load(Ordering::Relaxed));
+
         if ctx.errored.load(Ordering::SeqCst) {
-            // Any error — unsafe path or budget — hands the program to
-            // the sequential explorer so the reported rejection (which
-            // path, which pc) is the canonical one. See module docs.
-            return PathSensitive.explore(prog, options);
+            // Governance failures — a contained panic or a blown
+            // deadline — are faults of the *analyzer run*, not verdicts
+            // about the program, so they propagate to the session,
+            // whose degradation ladder decides whether (and how) to
+            // re-run. Every other error — unsafe path or budget — hands
+            // the program to the sequential explorer so the reported
+            // rejection (which path, which pc) is the canonical one.
+            // See module docs.
+            let results = ctx
+                .results
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let governance = results
+                .iter()
+                .filter_map(|r| r.error.as_ref())
+                .find(|e| {
+                    matches!(
+                        e,
+                        VerifierError::InternalFault { .. }
+                            | VerifierError::DeadlineExceeded { .. }
+                    )
+                })
+                .cloned();
+            return match governance {
+                Some(e) => Err(e),
+                None => PathSensitive.explore(prog, options),
+            };
         }
 
-        let results = ctx.results.into_inner().expect("results poisoned");
+        let results = ctx
+            .results
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut by_id: Vec<Option<JobResult>> = Vec::new();
         let spawned = results.len() as u64;
         for r in results {
@@ -319,6 +381,7 @@ impl ExplorationStrategy for PathParallel {
                 subtrees_spawned: spawned.saturating_sub(1),
                 steals: ctx.pool.steals(),
                 shared_prunes: ctx.visited.shared_prunes(),
+                degradations: 0,
             },
         })
     }
@@ -357,6 +420,11 @@ fn run_job(ctx: &SharedCtx<'_>, worker: usize, job: Job) -> JobResult {
             });
             break;
         }
+        if let Err(e) = crate::analyzer::check_deadline(ctx.start, ctx.options, pc) {
+            error = Some(e);
+            break;
+        }
+        crate::failpoint::fire(crate::failpoint::FaultSite::ParshardJob);
         let h = ctx.head_idx[pc];
         let checkpoint = h != usize::MAX || ctx.preds[pc] > 1;
         if checkpoint {

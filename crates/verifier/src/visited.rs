@@ -46,6 +46,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use domain::parallel::lock_recover;
+
 use crate::state::{AbsState, SparseStack, REGS};
 use crate::value::RegValue;
 
@@ -399,7 +401,13 @@ impl ConcurrentVisitedTable {
     fn probe(&self, pc: usize, state: &AbsState, strict_budget: usize, worker: usize) -> bool {
         let fp = state.fingerprint();
         let n = self.stripes.len();
-        let stripe = self.stripes[pc % n].lock().expect("stripe lock poisoned");
+        // Poison recovery: a contained worker panic can only have left
+        // the stripe's chains structurally intact (entries are appended
+        // or removed whole under the lock), so siblings keep probing —
+        // at worst a prune opportunity is missing.
+        let stripe = lock_recover(&self.stripes[pc % n]);
+        // Fired while the stripe lock is held (see FaultSite docs).
+        crate::failpoint::fire(crate::failpoint::FaultSite::VisitedProbe);
         let mut strict_left = strict_budget;
         let (mut checks, mut rejects) = (0u64, 0u64);
         let mut hit = None;
@@ -444,7 +452,7 @@ impl ConcurrentVisitedTable {
         let n = self.stripes.len();
         let (mut checks, mut evicted) = (0u64, 0u64);
         {
-            let mut stripe = self.stripes[pc % n].lock().expect("stripe lock poisoned");
+            let mut stripe = lock_recover(&self.stripes[pc % n]);
             let bucket = &mut stripe[pc / n];
             let lo = bucket.len().saturating_sub(DOMINANCE_PROBES);
             for i in (lo..bucket.len()).rev() {
